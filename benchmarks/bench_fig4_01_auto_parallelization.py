@@ -1,0 +1,47 @@
+"""Fig 4-1: program information and results of automatic parallelization.
+
+Paper row per application: description, data set, lines, coverage,
+granularity, 8-processor speedup.  Shape: coverage is already high
+(70-90 %) yet speedups stay between 1.0 and 2.7 — coverage alone does not
+deliver performance.
+"""
+
+from conftest import once, print_table
+
+NAMES = ["mdg", "arc3d", "hydro", "flo88"]
+
+
+def test_fig4_01(benchmark, ch4):
+    def compute():
+        return {name: ch4(name) for name in NAMES}
+
+    data = once(benchmark, compute)
+
+    rows = []
+    for name in NAMES:
+        d = data[name]
+        paper = d.workload.paper
+        rows.append([
+            name,
+            d.program.total_lines(),
+            f"{d.auto_coverage:.0%} (paper {paper['auto_coverage']:.0%})",
+            f"{d.auto_granularity:.4f} ms",
+            f"{d.auto_by_procs[8].speedup:.2f} "
+            f"(paper {paper['auto_speedup_8']:.1f})",
+        ])
+    print_table("Fig 4-1: automatic parallelization",
+                ["program", "lines", "coverage", "granularity",
+                 "speedup(8p)"], rows)
+
+    for name in NAMES:
+        d = data[name]
+        # respectable coverage...
+        assert d.auto_coverage > 0.6
+        # ...but modest speedup, never above ~3 (paper max: 2.7)
+        assert d.auto_by_procs[8].speedup < 3.2
+    # mdg gets essentially nothing from automatic parallelization
+    assert data["mdg"].auto_by_procs[8].speedup < 1.2
+    # hydro profits most among the AlphaServer codes (paper: 2.7)
+    assert data["hydro"].auto_by_procs[8].speedup > \
+        data["arc3d"].auto_by_procs[8].speedup > \
+        data["mdg"].auto_by_procs[8].speedup

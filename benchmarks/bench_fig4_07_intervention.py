@@ -1,0 +1,65 @@
+"""Fig 4-7: number of loops requiring user intervention.
+
+Paper rows per application (split inter/intra-procedural): executed,
+sequential, important, important-without-dynamic-dependence,
+user-parallelized, remaining important.  Shape: the compiler handles ~80 %
+of loops; the dynamic filter reduces the rest to a handful; the user
+parallelizes most of those; almost nothing important remains.
+"""
+
+from conftest import once, print_table
+
+NAMES = ["mdg", "arc3d", "hydro", "flo88"]
+
+
+def _split(loops, pred):
+    inter = sum(1 for l in loops if l.contains_call() and pred(l))
+    intra = sum(1 for l in loops if not l.contains_call() and pred(l))
+    return inter, intra
+
+
+def test_fig4_07(benchmark, ch4):
+    data = once(benchmark, lambda: {n: ch4(n) for n in NAMES})
+
+    totals = {}
+    rows = []
+    for name in NAMES:
+        d = data[name]
+        guru = d.auto_guru
+        executed = [r.loop for r in guru.executed_reports()]
+        sequential = [r.loop for r in guru.sequential_reports()]
+        important = [r.loop for r in guru.targets()]
+        no_dyn = [r.loop for r in guru.targets_without_dynamic_deps()]
+        user_par = [l for l in important
+                    if d.user_plan.is_parallel(l)
+                    and not d.auto_plan.is_parallel(l)]
+        remaining = [r.loop for r in d.user_guru.targets()]
+        totals[name] = dict(executed=len(executed),
+                            sequential=len(sequential),
+                            important=len(important),
+                            no_dyn=len(no_dyn), user=len(user_par),
+                            remaining=len(remaining))
+        for label, loops in (("executed", executed),
+                             ("sequential", sequential),
+                             ("important", important),
+                             ("imp, no dyn dep", no_dyn),
+                             ("user-parallelized", user_par),
+                             ("remaining important", remaining)):
+            inter, intra = _split(loops, lambda l: True)
+            rows.append([name, label, inter, intra, inter + intra])
+    print_table("Fig 4-7: loops requiring user intervention",
+                ["program", "row", "inter", "intra", "total"], rows)
+
+    for name in NAMES:
+        t = totals[name]
+        # the funnel narrows monotonically
+        assert t["executed"] >= t["sequential"] >= t["important"] \
+            >= t["no_dyn"] >= t["user"]
+        # compiler parallelizes a majority of executed loops
+        assert t["sequential"] <= 0.65 * t["executed"]
+        # almost nothing important remains after user input
+        assert t["remaining"] <= max(1, t["important"] - t["user"])
+    # the user parallelizes a meaningful number of loops overall
+    assert sum(t["user"] for t in totals.values()) >= 10
+    # and a couple of attempts fail program-wide (paper: 2 remaining)
+    assert sum(t["remaining"] for t in totals.values()) <= 4

@@ -1,0 +1,70 @@
+"""Fig 4-9: user-assisted parallelization — what the compiler analyzed
+automatically vs. what the user supplied, in the user-parallelized loops.
+
+Paper rows: parallel arrays / privatizable arrays / privatizable scalars /
+reduction arrays / reduction scalars (automatic), then user-input
+privatizable arrays/scalars.  Shape: the compiler does the vast majority
+of the variable-level work; the user touches a handful of variables.
+"""
+
+from conftest import once, print_table
+from repro.parallelize.plan import (INDUCTION, PARALLEL, PRIVATE,
+                                    PRIVATE_FINAL, PRIVATE_USER, REDUCTION)
+
+NAMES = ["mdg", "arc3d", "hydro", "flo88"]
+
+
+def test_fig4_09(benchmark, ch4):
+    def compute():
+        table = {}
+        for name in NAMES:
+            d = ch4(name)
+            counts = dict(par_arr=0, priv_arr=0, priv_scl=0, red_arr=0,
+                          red_scl=0, user_arr=0, user_scl=0)
+            user_loops = [r.loop for r in d.auto_guru.targets()
+                          if d.user_plan.is_parallel(r.loop)
+                          and not d.auto_plan.is_parallel(r.loop)]
+            for loop in user_loops:
+                lp = d.user_plan.plan_for(loop)
+                for vp in lp.vars.values():
+                    scalar = vp.is_scalar
+                    if vp.status == PARALLEL:
+                        counts["par_arr" if not scalar else
+                               "priv_scl"] += (0 if scalar else 1)
+                    elif vp.status in (PRIVATE, PRIVATE_FINAL, INDUCTION):
+                        counts["priv_scl" if scalar else "priv_arr"] += 1
+                    elif vp.status == REDUCTION:
+                        counts["red_scl" if scalar else "red_arr"] += 1
+                    elif vp.status == PRIVATE_USER:
+                        counts["user_scl" if scalar else "user_arr"] += 1
+            table[name] = counts
+        return table
+
+    table = once(benchmark, compute)
+
+    rows = []
+    for label, key in (("parallel arrays", "par_arr"),
+                       ("privatizable arrays (auto)", "priv_arr"),
+                       ("privatizable scalars (auto)", "priv_scl"),
+                       ("reduction arrays", "red_arr"),
+                       ("reduction scalars", "red_scl"),
+                       ("privatizable arrays (user)", "user_arr"),
+                       ("privatizable scalars (user)", "user_scl")):
+        rows.append([label] + [table[n][key] for n in NAMES]
+                    + [sum(table[n][key] for n in NAMES)])
+    print_table("Fig 4-9: automatic vs user-supplied analysis",
+                ["classification"] + NAMES + ["total"], rows)
+
+    auto_total = sum(table[n][k] for n in NAMES
+                     for k in ("par_arr", "priv_arr", "priv_scl",
+                               "red_arr", "red_scl"))
+    user_total = sum(table[n][k] for n in NAMES
+                     for k in ("user_arr", "user_scl"))
+    # paper: 363 automatic vs 63 user — the compiler dominates
+    assert auto_total > user_total
+    # mdg's signature: 3 reduction arrays and 1 reduction scalar
+    assert table["mdg"]["red_arr"] == 3
+    assert table["mdg"]["red_scl"] == 1
+    # arc3d's user work is scalar privatization (the SN pattern)
+    assert table["arc3d"]["user_scl"] == 3
+    assert table["arc3d"]["user_arr"] == 0

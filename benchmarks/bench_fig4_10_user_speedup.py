@@ -1,0 +1,56 @@
+"""Fig 4-10: results of parallelization with and without user input.
+
+Paper rows per application: coverage, granularity, 4- and 8-processor
+speedups, automatic vs user-assisted.  Shape: user input lifts coverage
+to >= 94 % and multiplies the speedups (mdg 1.0 -> 6.0 on 8 procs).
+"""
+
+from conftest import once, print_table
+
+NAMES = ["mdg", "arc3d", "hydro", "flo88"]
+
+
+def test_fig4_10(benchmark, ch4):
+    data = once(benchmark, lambda: {n: ch4(n) for n in NAMES})
+
+    rows = []
+    for name in NAMES:
+        d = data[name]
+        paper = d.workload.paper
+        rows.append([
+            name, "auto",
+            f"{d.auto_coverage:.0%}",
+            f"{d.auto_granularity:.4f}",
+            f"{d.auto_by_procs[4].speedup:.2f}",
+            f"{d.auto_by_procs[8].speedup:.2f} "
+            f"(paper {paper['auto_speedup_8']:.1f})",
+        ])
+        rows.append([
+            name, "user",
+            f"{d.user_coverage:.0%} (paper {paper['user_coverage']:.0%})",
+            f"{d.user_granularity:.4f}",
+            f"{d.user_by_procs[4].speedup:.2f} "
+            f"(paper {paper['user_speedup_4']:.1f})",
+            f"{d.user_by_procs[8].speedup:.2f} "
+            f"(paper {paper['user_speedup_8']:.1f})",
+        ])
+    print_table("Fig 4-10: with and without user intervention",
+                ["program", "mode", "coverage", "gran (ms)",
+                 "speedup(4p)", "speedup(8p)"], rows)
+
+    for name in NAMES:
+        d = data[name]
+        # user input raises coverage and granularity
+        assert d.user_coverage >= d.auto_coverage - 1e-9
+        assert d.user_coverage > 0.9
+        assert d.user_granularity > d.auto_granularity
+        # and improves both 4- and 8-processor speedups substantially
+        assert d.user_by_procs[4].speedup > d.auto_by_procs[4].speedup
+        assert d.user_by_procs[8].speedup > d.auto_by_procs[8].speedup
+    # mdg's dramatic jump (paper: 1.0 -> 6.0)
+    m = data["mdg"]
+    assert m.user_by_procs[8].speedup > 5 * m.auto_by_procs[8].speedup
+    # hydro's moderate jump (paper: 2.7 -> 4.3)
+    h = data["hydro"]
+    assert 1.3 < (h.user_by_procs[8].speedup
+                  / h.auto_by_procs[8].speedup) < 4.0

@@ -1,0 +1,21 @@
+"""Fig 5-5: program information for the chapter-5 benchmark suite."""
+
+from conftest import once, print_table
+from repro.workloads import CHAPTER5
+
+
+def test_fig5_05(benchmark):
+    def compute():
+        return [(w.name, w.description, w.line_count(),
+                 w.paper.get("lines", "-"), len(w.build().all_loops()))
+                for w in CHAPTER5]
+
+    rows = once(benchmark, compute)
+    print_table("Fig 5-5: program information",
+                ["program", "description", "lines (miniature)",
+                 "lines (paper)", "loops"],
+                [[n, d[:44], lc, pl, nl] for n, d, lc, pl, nl in rows])
+    names = [r[0] for r in rows]
+    assert names == ["hydro", "flo88", "arc3d", "wave5", "hydro2d"]
+    for _, _, lc, _, nl in rows:
+        assert lc > 40 and nl >= 5

@@ -1,0 +1,60 @@
+"""Fig 5-12: flo88 speedups without and with array contraction on the
+32-processor SGI Origin.
+
+Paper series: without contraction the code saturates at ~6.3x by 32
+processors; with contraction it reaches 19.6x.  Shape: a low memory-bound
+plateau before, near-linear-ish scaling after, with the crossover visible
+from 8 processors up.
+"""
+
+import pytest
+
+from conftest import once, print_table
+from repro.parallelize import Parallelizer, contract_in_program
+from repro.runtime import SGI_ORIGIN, ParallelExecutor, run_program
+from repro.workloads import get
+
+PROCS = [1, 2, 4, 8, 16, 32]
+
+
+def test_fig5_12(benchmark):
+    def compute():
+        w = get("flo88_fused")
+        prog = w.build()
+        seq = run_program(prog, w.inputs).outputs
+        plan = Parallelizer(prog, assertions=w.user_assertions).plan()
+        before = ParallelExecutor(prog, plan, SGI_ORIGIN,
+                                  inputs=w.inputs).results_for(PROCS)
+        contraction = contract_in_program(prog)
+        assert run_program(prog, w.inputs).outputs == seq
+        plan2 = Parallelizer(prog, assertions=w.user_assertions).plan()
+        after = ParallelExecutor(prog, plan2, SGI_ORIGIN,
+                                 inputs=w.inputs).results_for(PROCS)
+        return w, contraction, before, after
+
+    w, contraction, before, after = once(benchmark, compute)
+
+    rows = [[p, f"{before[p].speedup:.2f}", f"{after[p].speedup:.2f}"]
+            for p in PROCS]
+    print_table("Fig 5-12: flo88 speedups without/with array contraction "
+                "(SGI Origin)",
+                ["processors", "without", "with"], rows)
+    print(f"paper @32: {w.paper['contraction_speedup_before_32']} -> "
+          f"{w.paper['contraction_speedup_after_32']}")
+    print("contracted:", contraction.contracted)
+
+    # the paper's 2-D -> 1-D -> scalar rewrites happened
+    names = {v for _, v, _ in contraction.contracted}
+    assert {"d", "t"} <= names
+    # both curves monotone non-decreasing
+    for series in (before, after):
+        sp = [series[p].speedup for p in PROCS]
+        assert all(b >= a - 0.05 for a, b in zip(sp, sp[1:]))
+    # without contraction the code saturates well below 32
+    assert before[32].speedup < 12
+    assert before[32].speedup < before[16].speedup * 1.5
+    # with contraction the 32-processor point is ~3x better (paper 3.1x)
+    assert after[32].speedup > 2.0 * before[32].speedup
+    assert after[32].speedup > 15
+    # small processor counts barely differ (the crossover is in the tail)
+    assert abs(after[2].speedup - before[2].speedup) < 0.8

@@ -1,0 +1,27 @@
+"""Fig 6-1: characteristics of the multiprocessor systems used for the
+experiments — reproduced as the simulated machine models' parameters."""
+
+from conftest import once, print_table
+from repro.runtime import MACHINES
+
+
+def test_fig6_01(benchmark):
+    rows = once(benchmark, lambda: [
+        [m.name, m.processors, f"{m.clock_mhz} MHz",
+         f"{m.cache_bytes // (1024 * 1024)} MB",
+         int(m.spawn_ops), int(m.lock_ops), m.bus_ops_per_miss,
+         m.description]
+        for m in MACHINES.values()])
+    print_table("Fig 6-1: simulated machine models",
+                ["machine", "procs", "clock", "cache/CPU", "spawn(ops)",
+                 "lock(ops)", "bus/miss", "description"], rows)
+
+    by_name = {r[0]: r for r in rows}
+    assert "SGI Challenge" in by_name and "SGI Origin 2000" in by_name
+    # the paper's contrast: the Challenge is the small bus machine, the
+    # Origin the scalable ccNUMA one
+    challenge = MACHINES["challenge"]
+    origin = MACHINES["origin"]
+    assert challenge.processors < origin.processors
+    assert challenge.bus_contention > origin.bus_contention
+    assert origin.cache_bytes >= challenge.cache_bytes

@@ -1,0 +1,58 @@
+"""Fig 6-2: numbers of reductions according to their operation types in
+the SPEC92 kernels.
+
+Columns: +, *, MIN, MAX, split scalar vs array.  Shape: sums dominate,
+every operation type appears somewhere in the suite, and both scalar and
+array targets occur.
+"""
+
+from conftest import once, print_table
+from repro.analysis import scan_block_reductions
+from repro.ir.expressions import ArrayRef
+from repro.workloads import spec_kernels
+
+
+def census(prog):
+    counts = {}
+    for proc in prog.procedures.values():
+        for upd in scan_block_reductions(proc.body):
+            kind = "array" if isinstance(upd.target, ArrayRef) else "scalar"
+            counts[(upd.op, kind)] = counts.get((upd.op, kind), 0) + 1
+    return counts
+
+
+def test_fig6_02(benchmark):
+    def compute():
+        return {w.name: census(w.build())
+                for w in spec_kernels.WORKLOADS}
+
+    table = once(benchmark, compute)
+
+    ops = ["+", "*", "min", "max"]
+    rows = []
+    for name, counts in table.items():
+        rows.append([name] + [
+            f"{counts.get((op, 'scalar'), 0)}/"
+            f"{counts.get((op, 'array'), 0)}" for op in ops])
+    totals = {(op, k): sum(c.get((op, k), 0) for c in table.values())
+              for op in ops for k in ("scalar", "array")}
+    rows.append(["TOTAL"] + [
+        f"{totals[(op, 'scalar')]}/{totals[(op, 'array')]}" for op in ops])
+    print_table("Fig 6-2: reductions by operation type (scalar/array)",
+                ["program"] + ops, rows)
+
+    # the curated minimum census holds
+    for name, expected in spec_kernels.EXPECTED_REDUCTIONS.items():
+        counts = table[name]
+        remap = {"sum": "+", "prod": "*", "min": "min", "max": "max"}
+        for key, n in expected.items():
+            op, kind = key.rsplit("_", 1)
+            assert counts.get((remap[op], kind), 0) >= n, (name, key)
+    # shape: + dominates; MIN/MAX and * all occur; arrays and scalars both
+    plus = totals[("+", "scalar")] + totals[("+", "array")]
+    assert plus > sum(totals[(op, k)] for op in ("*", "min", "max")
+                      for k in ("scalar", "array")) / 2
+    assert totals[("min", "scalar")] >= 1
+    assert totals[("max", "scalar")] >= 2
+    assert totals[("*", "scalar")] >= 1
+    assert totals[("+", "array")] >= 4

@@ -1,0 +1,26 @@
+"""Fig 6-3: program information for the NAS Parallel and Perfect Club
+miniatures used in the chapter-6 reduction study."""
+
+from conftest import once, print_table
+from repro.workloads import nas_perfect
+
+
+def test_fig6_03(benchmark):
+    def compute():
+        rows = []
+        for w in nas_perfect.WORKLOADS:
+            prog = w.build()
+            suite = "NAS" if "nas" in w.tags else "Perfect"
+            rows.append([w.name, suite, w.line_count(),
+                         len(prog.all_loops()),
+                         len(prog.procedures)])
+        return rows
+
+    rows = once(benchmark, compute)
+    print_table("Fig 6-3: NAS + Perfect program information",
+                ["program", "suite", "lines", "loops", "procedures"], rows)
+
+    suites = {r[1] for r in rows}
+    assert suites == {"NAS", "Perfect"}
+    assert len(rows) >= 10
+    assert any(r[4] > 1 for r in rows)   # interprocedural programs present

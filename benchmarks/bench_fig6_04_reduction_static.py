@@ -1,0 +1,47 @@
+"""Fig 6-4: impact of reductions — static measurements.
+
+Paper rows: per program, how many loops parallelize with reduction
+recognition off vs on.  Shape: reduction recognition strictly adds
+parallel loops on most programs ("parallelizing reductions makes a
+tremendous difference in the amount of computation that can be
+parallelized") and never removes any.
+"""
+
+from conftest import once, print_table
+from repro.parallelize import Parallelizer
+from repro.workloads import nas_perfect, get
+
+PROGRAMS = [w.name for w in nas_perfect.WORKLOADS] + ["bdna", "mdg"]
+
+
+def test_fig6_04(benchmark):
+    def compute():
+        table = {}
+        for name in PROGRAMS:
+            prog = get(name).build()
+            on = Parallelizer(prog, use_reductions=True).plan()
+            off = Parallelizer(prog, use_reductions=False).plan()
+            on_names = {l.name for l in on.parallel_loops()}
+            off_names = {l.name for l in off.parallel_loops()}
+            table[name] = (len(prog.all_loops()), off_names, on_names)
+        return table
+
+    table = once(benchmark, compute)
+    rows = [[name, total, len(off), len(on), len(on - off)]
+            for name, (total, off, on) in table.items()]
+    print_table("Fig 6-4: parallel loops without/with reduction analysis",
+                ["program", "loops", "parallel w/o red",
+                 "parallel w/ red", "gained"], rows)
+
+    gained_programs = 0
+    for name, (total, off, on) in table.items():
+        assert off <= on, f"{name}: reduction analysis removed loops!"
+        if on - off:
+            gained_programs += 1
+    # the paper finds reductions matter on 12 programs across the suites
+    assert gained_programs >= 10
+    # the signature cases
+    _, off, on = table["bdna"]
+    assert {"actfor/240", "scatter/60"} <= on - off
+    _, off, on = table["spec77"]
+    assert "spec77/100" in on - off       # interprocedural reduction

@@ -1,0 +1,51 @@
+"""Fig 6-5: coverage and granularity on the programs where parallel
+reductions have an impact — dynamic measurements.
+
+Shape: with reduction recognition, the affected programs reach high
+parallelism coverage (the paper's impacted set all exceed ~50 %, many
+90 %+); without it coverage collapses.
+"""
+
+from conftest import once, print_table
+from repro.explorer.metrics import (parallel_coverage,
+                                    parallel_granularity_ms)
+from repro.parallelize import Parallelizer
+from repro.runtime import SGI_CHALLENGE, profile_program
+from repro.workloads import get, nas_perfect
+
+PROGRAMS = [w.name for w in nas_perfect.WORKLOADS] + ["bdna"]
+
+
+def test_fig6_05(benchmark):
+    def compute():
+        table = {}
+        for name in PROGRAMS:
+            w = get(name)
+            prog = w.build()
+            prof = profile_program(prog, w.inputs)
+            on = Parallelizer(prog, use_reductions=True).plan()
+            off = Parallelizer(prog, use_reductions=False).plan()
+            table[name] = dict(
+                cov_on=parallel_coverage(prog, on, prof),
+                cov_off=parallel_coverage(prog, off, prof),
+                gran_on=parallel_granularity_ms(prog, on, prof,
+                                                SGI_CHALLENGE),
+            )
+        return table
+
+    table = once(benchmark, compute)
+    rows = [[n, f"{e['cov_on']:.0%}", f"{e['cov_off']:.0%}",
+             f"{e['gran_on']:.4f} ms"] for n, e in table.items()]
+    print_table("Fig 6-5: coverage & granularity, with/without reductions",
+                ["program", "coverage w/ red", "coverage w/o red",
+                 "granularity"], rows)
+
+    impacted = [n for n, e in table.items()
+                if e["cov_on"] - e["cov_off"] > 0.3]
+    # the paper's impacted set: most of these programs
+    assert len(impacted) >= 9
+    for n in impacted:
+        assert table[n]["cov_on"] > 0.5
+    # embar is the extreme case: nothing parallel without reductions
+    assert table["embar"]["cov_off"] < 0.05
+    assert table["embar"]["cov_on"] > 0.95

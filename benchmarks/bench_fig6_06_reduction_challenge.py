@@ -1,0 +1,49 @@
+"""Fig 6-6: performance improvement due to reduction analysis on a
+4-processor SGI Challenge.
+
+Shape: every impacted program speeds up with reduction recognition, most
+substantially (the paper shows up to ~3.5x on 4 processors); no program
+slows down.
+"""
+
+from conftest import once, print_table
+from repro.parallelize import Parallelizer
+from repro.runtime import ParallelExecutor, SGI_CHALLENGE
+from repro.workloads import get, nas_perfect
+
+PROGRAMS = [w.name for w in nas_perfect.WORKLOADS] + ["bdna"]
+
+
+def _speedups(machine, procs):
+    table = {}
+    for name in PROGRAMS:
+        w = get(name)
+        prog = w.build()
+        on = Parallelizer(prog, use_reductions=True).plan()
+        off = Parallelizer(prog, use_reductions=False).plan()
+        sp_on = ParallelExecutor(prog, on, machine, inputs=w.inputs
+                                 ).results_for([procs])[procs].speedup
+        sp_off = ParallelExecutor(prog, off, machine, inputs=w.inputs
+                                  ).results_for([procs])[procs].speedup
+        table[name] = (sp_off, sp_on)
+    return table
+
+
+def test_fig6_06(benchmark):
+    table = once(benchmark, lambda: _speedups(SGI_CHALLENGE, 4))
+    rows = [[n, f"{off:.2f}", f"{on:.2f}", f"{on / off:.2f}x"]
+            for n, (off, on) in table.items()]
+    print_table("Fig 6-6: 4-processor SGI Challenge speedups "
+                "without/with reduction analysis",
+                ["program", "w/o reductions", "w/ reductions",
+                 "improvement"], rows)
+
+    improved = 0
+    for name, (off, on) in table.items():
+        assert on >= off * 0.98, f"{name} regressed"
+        if on > off * 1.3:
+            improved += 1
+    assert improved >= 8
+    # embar: from nothing to near-linear
+    off, on = table["embar"]
+    assert off < 1.1 and on > 3.0

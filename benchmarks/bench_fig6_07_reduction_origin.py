@@ -1,0 +1,23 @@
+"""Fig 6-7: the same reduction-analysis improvement on a 4-processor SGI
+Origin.  Shape: the qualitative story matches Fig 6-6 on the second
+machine (the paper runs both to show machine-independence of the win)."""
+
+from conftest import once, print_table
+from repro.runtime import SGI_ORIGIN
+
+from bench_fig6_06_reduction_challenge import PROGRAMS, _speedups
+
+
+def test_fig6_07(benchmark):
+    table = once(benchmark, lambda: _speedups(SGI_ORIGIN, 4))
+    rows = [[n, f"{off:.2f}", f"{on:.2f}", f"{on / off:.2f}x"]
+            for n, (off, on) in table.items()]
+    print_table("Fig 6-7: 4-processor SGI Origin speedups "
+                "without/with reduction analysis",
+                ["program", "w/o reductions", "w/ reductions",
+                 "improvement"], rows)
+
+    improved = sum(1 for off, on in table.values() if on > off * 1.3)
+    assert improved >= 8
+    for name, (off, on) in table.items():
+        assert on >= off * 0.98, f"{name} regressed"

@@ -1,0 +1,90 @@
+"""Shared benchmark infrastructure.
+
+Each bench regenerates one of the paper's tables/figures: it prints the
+same rows/series the paper reports (with the paper's numbers alongside)
+and asserts the *shape* — who wins, roughly by how much, where crossovers
+fall.  Expensive Explorer sessions are computed once per pytest session
+and shared.
+
+All benches use the ``benchmark`` fixture (rounds=1) so that
+``pytest benchmarks/ --benchmark-only`` selects and times them.
+"""
+
+from typing import Dict
+
+import pytest
+
+from repro.explorer import ExplorerSession
+from repro.runtime import (ALPHASERVER_8400, SGI_ORIGIN, ParallelExecutor)
+from repro.workloads import get
+
+_CH4_MACHINE = {"mdg": ALPHASERVER_8400, "arc3d": ALPHASERVER_8400,
+                "hydro": ALPHASERVER_8400, "flo88": SGI_ORIGIN}
+
+
+class Chapter4Data:
+    """One full Explorer story for a chapter-4 workload: automatic pass,
+    user assertions, and 4/8-processor pricing of both plans."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.workload = get(name)
+        self.machine = _CH4_MACHINE[name]
+        self.program = self.workload.build()
+        self.session = ExplorerSession(
+            self.program, inputs=self.workload.inputs,
+            machine=self.machine, use_liveness=False)
+        self.auto_result = self.session.run_automatic()
+        self.auto_plan = self.session.plan
+        self.auto_guru = self.session.guru
+        auto_ex = ParallelExecutor(self.program, self.auto_plan,
+                                   self.machine,
+                                   inputs=self.workload.inputs)
+        self.auto_by_procs = auto_ex.results_for([4, 8])
+        self.auto_coverage = self.session.coverage()
+        self.auto_granularity = self.session.granularity_ms()
+        # slices for the unresolved dependences, captured while the
+        # automatic plan is still current
+        self.auto_slices = {
+            r.loop.stmt_id: self.session.slices_for(r.loop)
+            for r in self.auto_guru.targets()}
+
+        self.outcomes, self.user_result = self.session.apply_assertions(
+            self.workload.user_assertions)
+        self.user_plan = self.session.plan
+        self.user_guru = self.session.guru
+        user_ex = ParallelExecutor(self.program, self.user_plan,
+                                   self.machine,
+                                   inputs=self.workload.inputs)
+        self.user_by_procs = user_ex.results_for([4, 8])
+        self.user_coverage = self.session.coverage()
+        self.user_granularity = self.session.granularity_ms()
+
+
+_cache: Dict[str, Chapter4Data] = {}
+
+
+def chapter4_data(name: str) -> Chapter4Data:
+    if name not in _cache:
+        _cache[name] = Chapter4Data(name)
+    return _cache[name]
+
+
+@pytest.fixture(scope="session")
+def ch4():
+    """name -> Chapter4Data, computed lazily."""
+    return chapter4_data
+
+
+def print_table(title: str, headers, rows) -> None:
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), *(len(str(r[k])) for r in rows))
+              for k, h in enumerate(headers)]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

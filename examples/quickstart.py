@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: parallelize a small program end to end.
+
+Covers the core pipeline in ~40 lines of API:
+
+    source -> IR -> automatic parallelization -> simulated speedup
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.ir import build_program
+from repro.parallelize import Parallelizer, annotate_source
+from repro.runtime import ALPHASERVER_8400, execute_parallel, run_program
+
+SOURCE = """
+      PROGRAM demo
+      DIMENSION a(2000), b(2000)
+      INTEGER n
+      n = 2000
+      DO 10 i = 1, n
+        a(i) = i * 0.5
+10    CONTINUE
+      s = 0.0
+      DO 20 i = 2, n
+        tmp = a(i-1) * 0.25 + a(i) * 0.5
+        b(i) = tmp * tmp + a(i)
+        s = s + b(i)
+20    CONTINUE
+      PRINT *, s
+      END
+"""
+
+
+def main() -> None:
+    # 1. Parse mini-Fortran into the resolved IR.
+    program = build_program(SOURCE, "demo")
+    print("loops:", ", ".join(program.loop_names()))
+
+    # 2. Execute it sequentially (the interpreter is the ground truth).
+    interp = run_program(program)
+    print("sequential output:", interp.outputs, f"({interp.ops} ops)")
+
+    # 3. Run the automatic interprocedural parallelizer.
+    plan = Parallelizer(program).plan()
+    for loop in program.all_loops():
+        lp = plan.plan_for(loop)
+        verdict = "PARALLEL" if lp.parallel else "sequential"
+        detail = ", ".join(f"{v.display_name}:{v.status}"
+                           for v in lp.vars.values())
+        print(f"  {loop.name}: {verdict}  [{detail}]")
+
+    # 4. Simulate execution on the paper's 8-processor AlphaServer.
+    result = execute_parallel(program, plan, ALPHASERVER_8400)
+    print(f"coverage {result.coverage:.0%}, "
+          f"speedup on 8 processors: {result.speedup:.2f}x")
+    assert result.outputs == interp.outputs   # simulation preserves results
+
+    # 5. Show the annotated source the "recompiled" program corresponds to.
+    print("\nannotated source:")
+    print(annotate_source(program, plan))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Chapter 6's reduction analysis, end to end.
+
+* recognition: scalar / regular-array / sparse / interprocedural
+  reductions across the NAS + Perfect miniatures,
+* impact: coverage with and without reduction recognition (Fig 6-4/6-5),
+* implementation: the section-6.3 lowering strategies priced against each
+  other on bdna's region and sparse reductions.
+
+Run:  python examples/reduction_survey.py
+"""
+
+from repro.explorer.metrics import parallel_coverage
+from repro.parallelize import (Parallelizer, lower_array_reduction,
+                               lower_scalar_reduction)
+from repro.runtime import (ATOMIC, MINIMIZED, NAIVE, STAGGERED,
+                           ParallelExecutor, SGI_CHALLENGE,
+                           profile_program)
+from repro.workloads import get, nas_perfect
+
+
+def impact_table() -> None:
+    print("== reduction impact (Fig 6-4/6-5 style) ==")
+    print(f"{'program':10s} {'cov with':>9s} {'cov w/o':>9s} "
+          f"{'speedup4 with':>14s} {'speedup4 w/o':>13s}")
+    for w in nas_perfect.WORKLOADS:
+        prog = w.build()
+        prof = profile_program(prog, w.inputs)
+        plan_on = Parallelizer(prog, use_reductions=True).plan()
+        plan_off = Parallelizer(prog, use_reductions=False).plan()
+        cov_on = parallel_coverage(prog, plan_on, prof)
+        cov_off = parallel_coverage(prog, plan_off, prof)
+        sp_on = ParallelExecutor(prog, plan_on, SGI_CHALLENGE,
+                                 inputs=w.inputs).results_for([4])[4]
+        sp_off = ParallelExecutor(prog, plan_off, SGI_CHALLENGE,
+                                  inputs=w.inputs).results_for([4])[4]
+        print(f"{w.name:10s} {cov_on:9.0%} {cov_off:9.0%} "
+              f"{sp_on.speedup:14.2f} {sp_off.speedup:13.2f}")
+
+
+def lowering_strategies() -> None:
+    print("\n== reduction lowering strategies on bdna (section 6.3) ==")
+    w = get("bdna")
+    prog = w.build()
+    plan = Parallelizer(prog).plan()
+    for strategy in (NAIVE, MINIMIZED, STAGGERED, ATOMIC):
+        res = ParallelExecutor(prog, plan, SGI_CHALLENGE,
+                               reduction_strategy=strategy,
+                               inputs=w.inputs).run()
+        print(f"  {strategy:10s}: speedup(4p) = {res.speedup:.2f}x")
+
+    print("\ngenerated SPMD lowering for the sparse FOX reduction "
+          "(section 6.3.5):")
+    print(lower_array_reduction("fox", "+", strategy="atomic"))
+    print("\nscalar lowering (section 6.3.1):")
+    print(lower_scalar_reduction("s", "+"))
+
+
+if __name__ == "__main__":
+    impact_table()
+    lowering_strategies()

@@ -1,0 +1,23 @@
+"""repro — reproduction of *SUIF Explorer: An Interactive and
+Interprocedural Parallelizer* (PPoPP 1999).
+
+Public API tour
+---------------
+
+* :func:`repro.ir.build_program` — parse a mini-Fortran program,
+* :class:`repro.parallelize.Parallelizer` — the automatic interprocedural
+  parallelizer (dependence + privatization + reduction + liveness),
+* :class:`repro.explorer.ExplorerSession` — the interactive Explorer:
+  profiling, dynamic dependences, Guru loop ranking, assertions,
+* :mod:`repro.slicing` — demand-driven context-sensitive program slicing,
+* :mod:`repro.runtime` — sequential interpreter and the simulated
+  multiprocessor used for all speedup measurements,
+* :mod:`repro.workloads` — the benchmark corpus (mdg, hydro, arc3d, flo88,
+  wave5, hydro2d, bdna, SPEC/NAS/Perfect kernels).
+"""
+
+__version__ = "1.0.0"
+
+from .ir import build_program
+
+__all__ = ["build_program", "__version__"]

@@ -1,0 +1,31 @@
+"""Static program analyses: symbolic, array data-flow, dependence,
+liveness (ch. 5), reduction recognition (ch. 6), scalar liveness, alias."""
+
+from .access import LocKey, location_key
+from .alias import Steensgaard, fortran_alias_pairs
+from .scalar_liveness import ScalarLiveness
+from .dependence import (anti_dependence, flow_into_exposed,
+                         loop_carried_conflict, reduction_conflicts_plain)
+from .liveness import (FLOW_INSENSITIVE, FULL, ONE_BIT, ArrayLiveness,
+                       LivenessResult, dead_fraction_per_program)
+from .reduction import (ReductionUpdate, classify_assignment,
+                        classify_if_minmax, scan_block_reductions)
+from .region_analysis import ArrayDataFlow
+from .summaries import (AccessSummary, VarSummary, close_summary, join,
+                        seq_compose, transfer)
+from .symbolic import ProcSymbolic, SymbolicAnalysis
+
+__all__ = [
+    "LocKey", "location_key",
+    "Steensgaard", "fortran_alias_pairs", "ScalarLiveness",
+    "anti_dependence", "flow_into_exposed", "loop_carried_conflict",
+    "reduction_conflicts_plain",
+    "FLOW_INSENSITIVE", "FULL", "ONE_BIT", "ArrayLiveness", "LivenessResult",
+    "dead_fraction_per_program",
+    "ReductionUpdate", "classify_assignment", "classify_if_minmax",
+    "scan_block_reductions",
+    "ArrayDataFlow",
+    "AccessSummary", "VarSummary", "close_summary", "join", "seq_compose",
+    "transfer",
+    "ProcSymbolic", "SymbolicAnalysis",
+]

@@ -1,0 +1,199 @@
+"""Translating IR variable references into polyhedral array sections.
+
+Every memory access in the program is mapped to an *abstract location key*
+plus a :class:`Section` describing which elements it touches:
+
+* local scalars/arrays            → ``("v", proc, name)``, sections in the
+  array's own (dim0..dimK) coordinates,
+* formal scalars/arrays           → ``("f", proc, name)`` — same coordinate
+  convention; mapped to caller locations at call sites,
+* COMMON members (scalar or array)→ ``("cm", block)`` with the access
+  *flattened* to the block's 1-D element coordinates (column-major, as
+  Fortran lays out storage).  Flattening is what lets two differently
+  shaped views of a block (hydro2d's ``vz(mp,np)`` vs ``vz1(0:mp,np)``)
+  be compared exactly — the heart of the common-block-splitting
+  application in paper section 5.5.
+
+Scalar accesses use 0-dimensional sections (the universe system == "the
+scalar"); common scalars become single points in block coordinates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.expressions import ArrayRef, Expression, VarRef
+from ..ir.program import Procedure
+from ..ir.statements import Statement
+from ..ir.symbols import Symbol
+from ..poly import Constraint, LinExpr, Section, System, dim
+from .symbolic import Env, ProcSymbolic, entry_var, eval_affine
+
+LocKey = Tuple
+
+_aux_counter = itertools.count(1)
+
+
+def location_key(sym: Symbol) -> LocKey:
+    if sym.is_common:
+        return ("cm", sym.common_block)
+    if sym.is_formal:
+        return ("f", sym.proc_name, sym.name)
+    return ("v", sym.proc_name, sym.name)
+
+
+def scalar_section(sym: Symbol) -> Section:
+    """The section denoting a whole scalar variable."""
+    if sym.is_common:
+        return Section([System([
+            Constraint.eq(LinExpr.var(dim(0)),
+                          LinExpr.constant(sym.common_offset))])])
+    return Section.universe()
+
+
+def entry_env(proc: Procedure) -> Env:
+    """Environment mapping each scalar to its procedure-entry value."""
+    env = Env()
+    for sym in proc.symbols:
+        if not sym.is_array and not sym.is_const:
+            env.set(sym, LinExpr.var(entry_var(proc.name, sym.name)))
+    return env
+
+
+def declared_bounds(sym: Symbol, proc: Procedure,
+                    symbolic: ProcSymbolic
+                    ) -> List[Tuple[Optional[LinExpr], Optional[LinExpr]]]:
+    """Affine lower/upper bounds of each dimension, evaluated at procedure
+    entry (None where not affine or assumed-size)."""
+    env = entry_env(proc)
+    out: List[Tuple[Optional[LinExpr], Optional[LinExpr]]] = []
+    for d in sym.dims:
+        lo = eval_affine(d.low, env, symbolic.tags, proc.body.statements[0]
+                         if proc.body.statements else None) \
+            if d.low is not None else None
+        hi = None
+        if d.high is not None:
+            hi = eval_affine(d.high, env, symbolic.tags,
+                             proc.body.statements[0]
+                             if proc.body.statements else None)
+        out.append((lo, hi))
+    return out
+
+
+def constant_strides(sym: Symbol) -> Optional[List[int]]:
+    """Column-major element strides per dimension, if the shape is constant
+    (required for COMMON members and reshape mapping)."""
+    strides: List[int] = []
+    acc = 1
+    for d in sym.dims:
+        strides.append(acc)
+        ext = d.constant_extent()
+        if ext is None:
+            return None
+        acc *= ext
+    return strides
+
+
+def constant_lower_bounds(sym: Symbol) -> Optional[List[int]]:
+    from ..ir.expressions import Const
+    lows: List[int] = []
+    for d in sym.dims:
+        if isinstance(d.low, Const) and isinstance(d.low.value, int):
+            lows.append(d.low.value)
+        else:
+            return None
+    return lows
+
+
+def whole_symbol_section(sym: Symbol, proc: Procedure,
+                         symbolic: ProcSymbolic) -> Section:
+    """The section covering every element of ``sym``."""
+    if not sym.is_array:
+        return scalar_section(sym)
+    if sym.is_common:
+        size = sym.constant_size() or 1
+        lo = sym.common_offset
+        v = LinExpr.var(dim(0))
+        return Section([System([Constraint.ge(v, LinExpr.constant(lo)),
+                                Constraint.le(v, LinExpr.constant(
+                                    lo + size - 1))])])
+    cons: List[Constraint] = []
+    for k, (lo, hi) in enumerate(declared_bounds(sym, proc, symbolic)):
+        v = LinExpr.var(dim(k))
+        if lo is not None:
+            cons.append(Constraint.ge(v, lo))
+        if hi is not None:
+            cons.append(Constraint.le(v, hi))
+    return Section([System(cons)])
+
+
+def element_section(ref: ArrayRef, stmt: Statement, proc: Procedure,
+                    symbolic: ProcSymbolic) -> Section:
+    """Section for one array-element access ``a(e1, .., ek)`` at ``stmt``.
+
+    Non-affine subscripts degrade that dimension to its declared bounds
+    ("a non-affine index in a dimension is replaced by a conservative
+    approximation: the entire dimension may be accessed", section 5.2.1).
+    """
+    sym = ref.symbol
+    index_values: List[Optional[LinExpr]] = [
+        symbolic.affine_index(e, stmt) for e in ref.indices]
+
+    if not sym.is_common:
+        bounds = declared_bounds(sym, proc, symbolic)
+        cons: List[Constraint] = []
+        for k, val in enumerate(index_values):
+            v = LinExpr.var(dim(k))
+            lo, hi = bounds[k] if k < len(bounds) else (None, None)
+            if val is not None:
+                cons.append(Constraint.eq(v, val))
+            # Fortran accesses are assumed in-bounds: constrain by the
+            # declared extent either way (for affine subscripts this bounds
+            # otherwise-unknown symbolic terms like a loop limit read from
+            # input).
+            if lo is not None:
+                cons.append(Constraint.ge(v, lo))
+            if hi is not None:
+                cons.append(Constraint.le(v, hi))
+        return Section([System(cons)])
+
+    # COMMON member: flatten to block coordinates.
+    strides = constant_strides(sym)
+    lows = constant_lower_bounds(sym)
+    if strides is None or lows is None:
+        return whole_symbol_section(sym, proc, symbolic)
+    flat = LinExpr.constant(sym.common_offset)
+    cons = []
+    aux_vars: List[str] = []
+    for k, val in enumerate(index_values):
+        ext = sym.dims[k].constant_extent()
+        if val is None:
+            aux = f"_aux{next(_aux_counter)}"
+            aux_vars.append(aux)
+            val = LinExpr.var(aux)
+        # in-bounds assumption (see the local-array branch above)
+        cons.append(Constraint.ge(val, LinExpr.constant(lows[k])))
+        if ext is not None:
+            cons.append(Constraint.le(
+                val, LinExpr.constant(lows[k] + ext - 1)))
+        flat = flat + (val - lows[k]) * strides[k]
+    cons.append(Constraint.eq(LinExpr.var(dim(0)), flat))
+    system = System(cons)
+    if aux_vars:
+        system = system.project_away(aux_vars)
+    return Section([system])
+
+
+def access_of(ref, stmt: Statement, proc: Procedure,
+              symbolic: ProcSymbolic) -> Tuple[LocKey, Section]:
+    """(location key, section) for a VarRef or element ArrayRef."""
+    if isinstance(ref, VarRef):
+        return location_key(ref.symbol), scalar_section(ref.symbol)
+    if isinstance(ref, ArrayRef):
+        if not ref.indices:
+            return (location_key(ref.symbol),
+                    whole_symbol_section(ref.symbol, proc, symbolic))
+        return (location_key(ref.symbol),
+                element_section(ref, stmt, proc, symbolic))
+    raise TypeError(f"not an lvalue reference: {ref!r}")

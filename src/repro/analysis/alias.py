@@ -1,0 +1,161 @@
+"""Alias information (paper section 3.4).
+
+Two halves, matching the paper's two languages:
+
+* **Fortran** (section 3.4.2): aliases arise from COMMON-block overlap and
+  reference parameters.  :func:`fortran_alias_pairs` reports both, using
+  the storage-overlap computation of :class:`CommonBlock` and call-site
+  formal/actual binding.
+
+* **C** (section 3.4.1): Steensgaard's near-linear flow- and context-
+  insensitive points-to analysis, partitioning references into alias
+  equivalence classes.  Our mini language has no pointers, so the
+  implementation takes abstract assignment constraints (``p = &x``,
+  ``p = q``, ``*p = q``, ``p = *q``) — the same kernel Steensgaard's
+  algorithm runs on — and produces the equivalence classes the ISSA
+  construction would use for C inputs.  It also implements the paper's
+  refinement: "we further partition each alias equivalence class so that
+  direct reads and writes to individual scalar variables are placed in
+  their own subclasses" (strong-update subclasses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..ir.expressions import ArrayRef, VarRef
+from ..ir.program import Program
+from ..ir.statements import CallStmt
+from ..ir.symbols import Symbol
+
+
+# ---------------------------------------------------------------------------
+# Fortran aliasing
+# ---------------------------------------------------------------------------
+
+def fortran_alias_pairs(program: Program) -> List[Tuple[str, str, str]]:
+    """All alias pairs in a program: (kind, name_a, name_b) where kind is
+    ``"common"`` (storage overlap across views) or ``"param"`` (formal
+    bound to a caller variable at some call site)."""
+    out: List[Tuple[str, str, str]] = []
+    for block in program.commons.values():
+        for a, b in block.overlapping_pairs():
+            out.append(("common", a.qualified(), b.qualified()))
+    for proc in program.procedures.values():
+        for call in proc.call_sites():
+            callee = program.procedures.get(call.callee)
+            if callee is None:
+                continue
+            for formal, actual in zip(callee.formals, call.args):
+                if isinstance(actual, (VarRef, ArrayRef)):
+                    out.append(("param", formal.qualified(),
+                                actual.symbol.qualified()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Steensgaard points-to (for C front ends)
+# ---------------------------------------------------------------------------
+
+class _Node:
+    __slots__ = ("name", "parent", "pointee")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.parent: "_Node" = self
+        self.pointee: Optional["_Node"] = None
+
+
+class Steensgaard:
+    """Unification-based points-to analysis.
+
+    Constraints (one per program assignment):
+
+    * ``address(p, x)``   — ``p = &x``
+    * ``copy(p, q)``      — ``p = q``
+    * ``store(p, q)``     — ``*p = q``
+    * ``load(p, q)``      — ``p = *q``
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, _Node] = {}
+
+    # -- union-find ------------------------------------------------------------
+    def _node(self, name: str) -> _Node:
+        node = self._nodes.get(name)
+        if node is None:
+            node = _Node(name)
+            self._nodes[name] = node
+        return node
+
+    def _find(self, node: _Node) -> _Node:
+        while node.parent is not node:
+            node.parent = node.parent.parent
+            node = node.parent
+        return node
+
+    def _union(self, a: _Node, b: _Node) -> _Node:
+        ra, rb = self._find(a), self._find(b)
+        if ra is rb:
+            return ra
+        rb.parent = ra
+        # unify pointees recursively (the Steensgaard "join")
+        pa, pb = ra.pointee, rb.pointee
+        if pa is None:
+            ra.pointee = pb
+        elif pb is not None:
+            ra.pointee = self._union(pa, pb)
+        return ra
+
+    def _pointee(self, node: _Node) -> _Node:
+        root = self._find(node)
+        if root.pointee is None:
+            fresh = _Node(f"*{root.name}")
+            self._nodes[fresh.name] = fresh
+            root.pointee = fresh
+        return self._find(root.pointee)
+
+    # -- constraints ---------------------------------------------------------
+    def address(self, p: str, x: str) -> None:
+        self._union(self._pointee(self._node(p)), self._node(x))
+
+    def copy(self, p: str, q: str) -> None:
+        self._union(self._pointee(self._node(p)),
+                    self._pointee(self._node(q)))
+
+    def store(self, p: str, q: str) -> None:
+        # *p = q : pointee(p) may hold whatever q points to
+        self._union(self._pointee(self._pointee(self._node(p))),
+                    self._pointee(self._node(q)))
+
+    def load(self, p: str, q: str) -> None:
+        self._union(self._pointee(self._node(p)),
+                    self._pointee(self._pointee(self._node(q))))
+
+    # -- results -----------------------------------------------------------
+    def may_alias(self, x: str, y: str) -> bool:
+        if x not in self._nodes or y not in self._nodes:
+            return False
+        return self._find(self._nodes[x]) is self._find(self._nodes[y])
+
+    def equivalence_classes(self) -> List[Set[str]]:
+        groups: Dict[int, Set[str]] = {}
+        for name, node in self._nodes.items():
+            if name.startswith("*"):
+                continue
+            root = self._find(node)
+            groups.setdefault(id(root), set()).add(name)
+        return [g for g in groups.values()]
+
+    def alias_classes_with_subclasses(
+            self, direct_scalars: Iterable[str]
+    ) -> List[Tuple[Set[str], Set[str]]]:
+        """Each class split into (direct-scalar subclasses, alias subclass)
+        per section 3.4.1's strong-update refinement."""
+        directs = set(direct_scalars)
+        out = []
+        for cls in self.equivalence_classes():
+            strong = cls & directs
+            weak = cls - directs
+            out.append((strong, weak))
+        return out

@@ -1,0 +1,123 @@
+"""Loop-carried dependence testing on polyhedral body summaries.
+
+Given a loop's per-iteration access summary (sections parameterized by the
+loop's index term and by iteration-variant opaque tags), a cross-iteration
+conflict between accesses A and B exists iff
+
+    ∃ i1, i2 :  lo <= i1 < i2 <= hi  and  A[i:=i1] ∩ B[i:=i2] ≠ ∅
+
+where *every* iteration-variant term is duplicated per iteration copy and
+loop-invariant terms are shared (paper section 2.4's dependence analysis;
+variance classification comes from the symbolic analysis).  The tests:
+
+* ``loop_carried_conflict`` — any W(i1) ∩ (R ∪ W)(i2), i1 ≠ i2
+  (the loop-parallel test),
+* ``flow_into_exposed``    — W(i1) ∩ E(i2), i1 < i2
+  (privatizability: do exposed reads receive prior-iteration values?),
+* ``anti_dependence``      — R(i1) ∩ W(i2), i1 < i2
+  (used by the exposed-read sharpening of section 5.2.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ir.statements import LoopStmt
+from ..poly import Constraint, LinExpr, Section
+from .summaries import VarSummary
+from .symbolic import ProcSymbolic, index_var
+
+
+def rename_iteration_copy(section: Section, loop: LoopStmt,
+                          symbolic: ProcSymbolic, copy: int) -> Section:
+    """Rename every iteration-variant term to its per-copy version."""
+    mapping = {}
+    for system in section.systems:
+        for name in system.variables():
+            if name.startswith("_"):
+                continue                      # dimension / aux variables
+            if name in mapping:
+                continue
+            if symbolic.is_variant(name, loop):
+                mapping[name] = f"{name}${copy}"
+    return section.rename(mapping) if mapping else section
+
+
+def _iteration_constraints(loop: LoopStmt, symbolic: ProcSymbolic,
+                           order: str) -> List[Constraint]:
+    """Bound + ordering constraints linking iteration copies 1 and 2."""
+    ix = index_var(loop)
+    i1 = LinExpr.var(f"{ix}$1")
+    i2 = LinExpr.var(f"{ix}$2")
+    cons: List[Constraint] = []
+    low, high, step = symbolic.loop_bounds.get(loop.stmt_id,
+                                               (None, None, None))
+    ascending = step is None or step > 0
+    for iv in (i1, i2):
+        if low is not None:
+            cons.append(Constraint.ge(iv, low) if ascending
+                        else Constraint.le(iv, low))
+        if high is not None:
+            cons.append(Constraint.le(iv, high) if ascending
+                        else Constraint.ge(iv, high))
+    if order == "lt":
+        # copy 1 is an earlier iteration than copy 2
+        cons.append(Constraint.lt(i1, i2) if ascending
+                    else Constraint.lt(i2, i1))
+    elif order == "ne":
+        raise ValueError("test both 'lt' directions instead of 'ne'")
+    return cons
+
+
+def sections_conflict(a: Section, b: Section, loop: LoopStmt,
+                      symbolic: ProcSymbolic, order: str = "lt",
+                      swap: bool = False) -> bool:
+    """Does access-set ``a`` in one iteration overlap ``b`` in a later
+    (order='lt') iteration?  With ``swap`` the copies are exchanged so the
+    caller can test the opposite direction."""
+    if a.is_empty() or b.is_empty():
+        return False
+    ca, cb = (2, 1) if swap else (1, 2)
+    a1 = rename_iteration_copy(a, loop, symbolic, ca)
+    b2 = rename_iteration_copy(b, loop, symbolic, cb)
+    cons = _iteration_constraints(loop, symbolic, order)
+    meetsec = a1.intersect(b2)
+    if not cons:
+        return not meetsec.is_empty()
+    return not meetsec.constrain(*cons).is_empty()
+
+
+def loop_carried_conflict(summary: VarSummary, loop: LoopStmt,
+                          symbolic: ProcSymbolic) -> bool:
+    """W(i1) ∩ (R∪W)(i2) ≠ ∅ for some i1 ≠ i2 (either order)."""
+    w = summary.may_write
+    rw = summary.read.union(summary.may_write)
+    return (sections_conflict(w, rw, loop, symbolic, "lt")
+            or sections_conflict(w, rw, loop, symbolic, "lt", swap=True))
+
+
+def flow_into_exposed(summary: VarSummary, loop: LoopStmt,
+                      symbolic: ProcSymbolic) -> bool:
+    """W(i1) ∩ E(i2) ≠ ∅ for i1 < i2: an upwards-exposed read may receive
+    a value produced by an earlier iteration (kills privatization)."""
+    return sections_conflict(summary.may_write, summary.exposed, loop,
+                             symbolic, "lt")
+
+
+def anti_dependence(summary: VarSummary, loop: LoopStmt,
+                    symbolic: ProcSymbolic) -> bool:
+    """R(i1) ∩ W(i2) ≠ ∅ for i1 < i2."""
+    return sections_conflict(summary.read, summary.may_write, loop,
+                             symbolic, "lt")
+
+
+def reduction_conflicts_plain(summary: VarSummary, loop: LoopStmt,
+                              symbolic: ProcSymbolic) -> bool:
+    """Do reduction-updated elements collide across iterations with plain
+    reads/writes?  (If so, the reduction transform cannot explain away the
+    dependence.)"""
+    red = summary.reduction_region()
+    plain = summary.read.union(summary.may_write)
+    return (sections_conflict(red, plain, loop, symbolic, "lt")
+            or sections_conflict(red, plain, loop, symbolic, "lt",
+                                 swap=True))

@@ -1,0 +1,174 @@
+"""Statement-level reduction recognition (paper section 6.2.2.1).
+
+"The computation is a commutative update to a single memory location A of
+the form A = A op ..., where op is one of the commutative operations
+recognized by the compiler.  Currently, the set of such operations includes
++, *, MIN, and MAX.  The MIN (and, similarly, MAX) reductions of the form
+'if (a(i) < tmin) tmin = a(i)' are also supported."
+
+Recognition here is purely local; whether the update actually *is* a
+reduction over a loop is decided region-wide by the data-flow framework
+(the region must not overlap any non-commutative access — see
+``VarSummary.validated``).  Because region conflicts are handled there,
+sparse updates through index arrays (``HISTOGRAM(A(I)) = HISTOGRAM(A(I))+1``)
+are recognized even though their location is statically unknown.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ir.expressions import (ArrayRef, BinaryOp, Const, Expression,
+                              Intrinsic, UnaryOp, VarRef)
+from ..ir.statements import AssignStmt, Block, IfStmt, Statement
+
+
+class ReductionUpdate:
+    """One recognized commutative update."""
+
+    __slots__ = ("op", "target", "other_reads", "stmt")
+
+    def __init__(self, op: str, target, other_reads: List[Expression],
+                 stmt: Statement):
+        self.op = op                    # "+", "*", "min", "max"
+        self.target = target            # VarRef or ArrayRef being updated
+        self.other_reads = other_reads  # rhs expressions besides the target
+        self.stmt = stmt
+
+    def __repr__(self):
+        return f"ReductionUpdate({self.op}, {self.target!r})"
+
+
+def exprs_equal(a: Expression, b: Expression) -> bool:
+    """Structural equality of IR expressions (symbols by identity)."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Const):
+        return a.value == b.value
+    if isinstance(a, VarRef):
+        return a.symbol is b.symbol
+    if isinstance(a, ArrayRef):
+        return (a.symbol is b.symbol and len(a.indices) == len(b.indices)
+                and all(exprs_equal(x, y)
+                        for x, y in zip(a.indices, b.indices)))
+    if isinstance(a, BinaryOp):
+        return (a.op == b.op and exprs_equal(a.left, b.left)
+                and exprs_equal(a.right, b.right))
+    if isinstance(a, UnaryOp):
+        return a.op == b.op and exprs_equal(a.operand, b.operand)
+    if isinstance(a, Intrinsic):
+        return (a.name == b.name and len(a.args) == len(b.args)
+                and all(exprs_equal(x, y) for x, y in zip(a.args, b.args)))
+    return False
+
+
+def _additive_terms(expr: Expression, sign: int = 1
+                    ) -> List[Tuple[int, Expression]]:
+    """Flatten a +/- tree into signed terms."""
+    if isinstance(expr, BinaryOp) and expr.op == "+":
+        return _additive_terms(expr.left, sign) + \
+            _additive_terms(expr.right, sign)
+    if isinstance(expr, BinaryOp) and expr.op == "-":
+        return _additive_terms(expr.left, sign) + \
+            _additive_terms(expr.right, -sign)
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        return _additive_terms(expr.operand, -sign)
+    return [(sign, expr)]
+
+
+def _multiplicative_factors(expr: Expression) -> List[Expression]:
+    if isinstance(expr, BinaryOp) and expr.op == "*":
+        return _multiplicative_factors(expr.left) + \
+            _multiplicative_factors(expr.right)
+    return [expr]
+
+
+def _target_mentions(expr: Expression, target) -> bool:
+    """Does ``expr`` reference the target's symbol at all?"""
+    sym = target.symbol
+    return any(s is sym for s in expr.referenced_symbols())
+
+
+def classify_assignment(stmt: AssignStmt) -> Optional[ReductionUpdate]:
+    """Recognize ``t = t + e``, ``t = t * e``, ``t = MIN(t, e)`` etc."""
+    target = stmt.target
+    value = stmt.value
+
+    # MIN/MAX intrinsic form.
+    if isinstance(value, Intrinsic) and value.name in ("min", "max") \
+            and len(value.args) == 2:
+        for a, b in ((value.args[0], value.args[1]),
+                     (value.args[1], value.args[0])):
+            if exprs_equal(a, target) and not _target_mentions(b, target):
+                return ReductionUpdate(value.name, target, [b], stmt)
+        return None
+
+    # Sum form: exactly one +target term among the additive terms, and no
+    # other term may mention the target's symbol (a read of the same array
+    # elsewhere in the rhs would make the update non-commutative with
+    # itself; region-level validation could not see the ordering).
+    terms = _additive_terms(value)
+    if len(terms) >= 2:
+        matches = [k for k, (sgn, t) in enumerate(terms)
+                   if sgn == 1 and exprs_equal(t, target)]
+        if len(matches) == 1:
+            rest = [t for k, (sgn, t) in enumerate(terms)
+                    if k != matches[0]]
+            if not any(_target_mentions(t, target) for t in rest):
+                return ReductionUpdate("+", target, rest, stmt)
+
+    # Product form.
+    if isinstance(value, BinaryOp) and value.op == "*":
+        factors = _multiplicative_factors(value)
+        matches = [k for k, f in enumerate(factors)
+                   if exprs_equal(f, target)]
+        if len(matches) == 1:
+            rest = [f for k, f in enumerate(factors) if k != matches[0]]
+            if not any(_target_mentions(f, target) for f in rest):
+                return ReductionUpdate("*", target, rest, stmt)
+    return None
+
+
+def classify_if_minmax(stmt: IfStmt) -> Optional[ReductionUpdate]:
+    """Recognize ``IF (e .LT. t) t = e`` (min) / ``IF (e .GT. t) t = e``."""
+    if len(stmt.arms) != 1 or stmt.else_block is not None:
+        return None
+    cond, body = stmt.arms[0]
+    if len(body.statements) != 1:
+        return None
+    inner = body.statements[0]
+    if not isinstance(inner, AssignStmt):
+        return None
+    target = inner.target
+    value = inner.value
+    if not isinstance(cond, BinaryOp) or cond.op not in ("<", "<=", ">",
+                                                         ">="):
+        return None
+    if _target_mentions(value, target):
+        return None
+    # Normalize to: value OP target
+    left, right, op = cond.left, cond.right, cond.op
+    if exprs_equal(right, target) and exprs_equal(left, value):
+        pass
+    elif exprs_equal(left, target) and exprs_equal(right, value):
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+    else:
+        return None
+    red = "min" if op in ("<", "<=") else "max"
+    return ReductionUpdate(red, target, [value], stmt)
+
+
+def scan_block_reductions(block: Block) -> List[ReductionUpdate]:
+    """All syntactic commutative updates in a statement tree (used by the
+    static-measurement benches, Fig 6-2)."""
+    out: List[ReductionUpdate] = []
+    for stmt in block.walk():
+        if isinstance(stmt, AssignStmt):
+            got = classify_assignment(stmt)
+            if got is not None:
+                out.append(got)
+        elif isinstance(stmt, IfStmt):
+            got = classify_if_minmax(stmt)
+            if got is not None:
+                out.append(got)
+    return out

@@ -1,0 +1,689 @@
+"""Bottom-up interprocedural array data-flow analysis (paper section 5.2.2.1,
+6.2.2).
+
+For every region — statement sequences, IF arms, loop bodies, loops, whole
+procedures — this pass computes an :class:`AccessSummary` (⟨R,E,W,M⟩ plus
+reduction regions per location).  Loops additionally keep their *body*
+summary (per-iteration, parameterized by the loop index term) because the
+dependence, privatization, and reduction tests all operate on it.
+
+Interprocedural composition maps callee summaries into caller coordinates
+at each call site ("If the formal array parameters are declared differently
+from the actual array parameters, the array sections are reshaped across
+the procedure boundaries"):
+
+* callee locals are per-invocation storage and vanish from the caller view,
+* COMMON locations pass through (already in canonical block-flat coords),
+* formal locations are rebased onto the actual argument — identity when
+  shapes agree, affine rebasing for 1-D/element-offset actuals, full
+  flatten/unflatten for constant-shape reshapes, and a conservative
+  whole-array approximation otherwise (may-sets widen, must-sets drop),
+* every symbolic term of the callee (entry values, opaque tags) is
+  substituted with the caller's call-site value or a fresh call-site tag.
+
+The exposed-read sharpening of section 5.2.2.3 is applied at loop closure:
+for call-free loops whose writes are unconditional must-writes and that
+carry no anti-dependence on the variable, the written section is subtracted
+from the upwards-exposed section (this is what privatizes flo88's psmoo
+temporaries).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.expressions import ArrayRef, Expression, VarRef
+from ..ir.program import Procedure, Program
+from ..ir.statements import (AssignStmt, Block, CallStmt, CycleStmt,
+                             ExitStmt, IfStmt, IoStmt, LoopStmt, NoopStmt,
+                             ReturnStmt, Statement, StopStmt)
+from ..ir.symbols import Symbol
+from ..ir.callgraph import CallGraph
+from ..poly import Constraint, LinExpr, Section, System, dim
+from .access import (LocKey, constant_lower_bounds, constant_strides,
+                     declared_bounds, element_section, location_key,
+                     scalar_section, whole_symbol_section)
+from .dependence import anti_dependence
+from .reduction import (ReductionUpdate, classify_assignment,
+                        classify_if_minmax)
+from .summaries import (AccessSummary, VarSummary, close_summary, join,
+                        seq_compose, transfer)
+from .symbolic import (ProcSymbolic, SymbolicAnalysis, entry_var, index_var)
+
+
+def _may_divert(stmt: Statement) -> bool:
+    """Can control leave the enclosing statement sequence from inside this
+    statement (cycle / exit / return / stop)?"""
+    return any(isinstance(s, (CycleStmt, ExitStmt, ReturnStmt, StopStmt))
+               for s in stmt.walk())
+
+
+def _weaken_must(summary: AccessSummary) -> AccessSummary:
+    """Drop must-information (statements that may be bypassed)."""
+    out = {}
+    for key, vs in summary.items():
+        w = vs.copy()
+        w.must_write = Section.empty()
+        out[key] = w
+    return AccessSummary(out)
+
+
+class ArrayDataFlow:
+    """Run the bottom-up phase over a whole program."""
+
+    def __init__(self, program: Program,
+                 symbolic: Optional[SymbolicAnalysis] = None,
+                 callgraph: Optional[CallGraph] = None,
+                 key_fn=None):
+        self.program = program
+        self.symbolic = symbolic or SymbolicAnalysis(program)
+        self.callgraph = callgraph or CallGraph(program)
+        # Location-key function: the default merges all views of a COMMON
+        # block into one canonical location; the common-block splitter
+        # passes a view-attributed key function instead (section 5.5).
+        self.key_fn = key_fn or location_key
+        self.proc_summary: Dict[str, AccessSummary] = {}
+        self.loop_body_summary: Dict[int, AccessSummary] = {}
+        self.loop_summary: Dict[int, AccessSummary] = {}
+        # summary from the *end of each subregion node* to the end of its
+        # enclosing region, needed by the top-down liveness phase (S_{r,n})
+        self.after_in_region: Dict[int, AccessSummary] = {}
+        # per-statement summaries (immutable once computed) memoized for
+        # the liveness variants that re-query them
+        self._stmt_memo: Dict[int, AccessSummary] = {}
+        self._run()
+
+    # -- driver ------------------------------------------------------------
+    def _run(self) -> None:
+        for proc_name in self.callgraph.bottom_up_order():
+            proc = self.program.procedures[proc_name]
+            psym = self.symbolic.result(proc)
+            self.proc_summary[proc_name] = self._summarize_block(
+                proc.body, proc, psym)
+
+    # -- block / statement summaries -----------------------------------------
+    def _summarize_block(self, block: Block, proc: Procedure,
+                         psym: ProcSymbolic) -> AccessSummary:
+        """Sequential composition of a statement list.  Also records, for
+        loop and call nodes, the summary of everything *after* the node up
+        to the end of this block (used by the liveness top-down phase)."""
+        stmts = block.statements
+        summaries = [self._summarize_stmt(s, proc, psym) for s in stmts]
+
+        # Once a statement may divert control, everything after it is
+        # conditionally executed: drop its must-writes.
+        diverted = False
+        for k, stmt in enumerate(stmts):
+            if diverted:
+                summaries[k] = _weaken_must(summaries[k])
+            if _may_divert(stmt):
+                diverted = True
+
+        # Suffix summaries for S_{r,n} (after node n to end of block).
+        suffix = AccessSummary.empty()
+        for k in range(len(stmts) - 1, -1, -1):
+            stmt = stmts[k]
+            if isinstance(stmt, (LoopStmt, CallStmt, IfStmt)):
+                self.after_in_region[stmt.stmt_id] = suffix
+            suffix = seq_compose(summaries[k], suffix)
+        return suffix
+
+    def _summarize_stmt(self, stmt: Statement, proc: Procedure,
+                        psym: ProcSymbolic) -> AccessSummary:
+        cached = self._stmt_memo.get(stmt.stmt_id)
+        if cached is not None:
+            return cached
+        out = self._summarize_stmt_uncached(stmt, proc, psym)
+        self._stmt_memo[stmt.stmt_id] = out
+        return out
+
+    def _summarize_stmt_uncached(self, stmt: Statement, proc: Procedure,
+                                 psym: ProcSymbolic) -> AccessSummary:
+        if isinstance(stmt, AssignStmt):
+            return self._summarize_assign(stmt, proc, psym)
+        if isinstance(stmt, IfStmt):
+            return self._summarize_if(stmt, proc, psym)
+        if isinstance(stmt, LoopStmt):
+            return self._summarize_loop(stmt, proc, psym)
+        if isinstance(stmt, CallStmt):
+            return self._summarize_call(stmt, proc, psym)
+        if isinstance(stmt, IoStmt):
+            return self._summarize_io(stmt, proc, psym)
+        return AccessSummary.empty()
+
+    # -- expression reads -----------------------------------------------------
+    def _constrain_by_loops(self, section: Section, stmt: Statement,
+                            psym: ProcSymbolic) -> Section:
+        """Add the bound constraints of every enclosing loop whose index
+        variable appears in the section.  The access only executes when
+        those bounds hold, so this loses nothing and keeps member-group
+        refinement and dependence tests from seeing phantom index values."""
+        from ..ir.statements import enclosing_loops
+        from .symbolic import index_var
+        cons: List[Constraint] = []
+        free = set()
+        for system in section.systems:
+            free.update(system.variables())
+        for loop in enclosing_loops(stmt):
+            iv = index_var(loop)
+            if iv not in free:
+                continue
+            low, high, step = psym.loop_bounds.get(loop.stmt_id,
+                                                   (None, None, None))
+            v = LinExpr.var(iv)
+            ascending = step is None or step > 0
+            if low is not None:
+                cons.append(Constraint.ge(v, low) if ascending
+                            else Constraint.le(v, low))
+            if high is not None:
+                cons.append(Constraint.le(v, high) if ascending
+                            else Constraint.ge(v, high))
+        if not cons:
+            return section
+        return section.constrain(*cons)
+
+    def _reads_of_exprs(self, exprs: List[Expression], stmt: Statement,
+                        proc: Procedure, psym: ProcSymbolic) -> AccessSummary:
+        acc = AccessSummary.empty()
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, VarRef):
+                    if node.symbol.is_const:
+                        continue
+                    acc.add(self.key_fn(node.symbol),
+                            VarSummary.for_read(scalar_section(node.symbol),
+                                                node.symbol.name))
+                elif isinstance(node, ArrayRef):
+                    sec = (element_section(node, stmt, proc, psym)
+                           if node.indices else
+                           whole_symbol_section(node.symbol, proc, psym))
+                    sec = self._constrain_by_loops(sec, stmt, psym)
+                    acc.add(self.key_fn(node.symbol),
+                            VarSummary.for_read(sec, node.symbol.name))
+        return acc
+
+    # -- assignments ------------------------------------------------------------
+    def _summarize_assign(self, stmt: AssignStmt, proc: Procedure,
+                          psym: ProcSymbolic) -> AccessSummary:
+        red = classify_assignment(stmt)
+        target = stmt.target
+        index_exprs = list(target.indices) if isinstance(target, ArrayRef) \
+            else []
+        if red is not None:
+            reads = self._reads_of_exprs(red.other_reads + index_exprs,
+                                         stmt, proc, psym)
+            key, sec = self._target_access(target, stmt, proc, psym)
+            update = AccessSummary()
+            update.add(key, VarSummary.for_reduction(red.op, sec,
+                                                     target.symbol.name))
+            return seq_compose(reads, update)
+        reads = self._reads_of_exprs([stmt.value] + index_exprs, stmt, proc,
+                                     psym)
+        key, sec = self._target_access(target, stmt, proc, psym)
+        write = AccessSummary()
+        write.add(key, VarSummary.for_write(sec, target.symbol.name,
+                                            must=True))
+        return seq_compose(reads, write)
+
+    def _target_access(self, target, stmt, proc, psym
+                       ) -> Tuple[LocKey, Section]:
+        if isinstance(target, VarRef):
+            return (self.key_fn(target.symbol),
+                    scalar_section(target.symbol))
+        sec = element_section(target, stmt, proc, psym)
+        return (self.key_fn(target.symbol),
+                self._constrain_by_loops(sec, stmt, psym))
+
+    # -- IF ------------------------------------------------------------------
+    def _summarize_if(self, stmt: IfStmt, proc: Procedure,
+                      psym: ProcSymbolic) -> AccessSummary:
+        red = classify_if_minmax(stmt)
+        if red is not None:
+            # IF (e .LT. t) t = e — the guard read of t *is* the
+            # commutative update's read; e is a plain read.
+            reads = self._reads_of_exprs(
+                red.other_reads + (list(red.target.indices)
+                                   if isinstance(red.target, ArrayRef)
+                                   else []),
+                stmt, proc, psym)
+            key, sec = self._target_access(red.target,
+                                           stmt.arms[0][1].statements[0],
+                                           proc, psym)
+            update = AccessSummary()
+            update.add(key, VarSummary.for_reduction(
+                red.op, sec, red.target.symbol.name))
+            return seq_compose(reads, update)
+
+        cond_reads = self._reads_of_exprs([c for c, _ in stmt.arms], stmt,
+                                          proc, psym)
+        merged: Optional[AccessSummary] = None
+        for _, body in stmt.arms:
+            s = self._summarize_block(body, proc, psym)
+            merged = s if merged is None else join(merged, s)
+        if stmt.else_block is not None:
+            merged = join(merged, self._summarize_block(stmt.else_block,
+                                                        proc, psym))
+        else:
+            merged = join(merged, AccessSummary.empty())
+        return seq_compose(cond_reads, merged)
+
+    # -- loops --------------------------------------------------------------
+    def _summarize_loop(self, loop: LoopStmt, proc: Procedure,
+                        psym: ProcSymbolic) -> AccessSummary:
+        bound_exprs = [loop.low, loop.high] + (
+            [loop.step] if loop.step is not None else [])
+        bound_reads = self._reads_of_exprs(bound_exprs, loop, proc, psym)
+
+        body = self._summarize_block(loop.body, proc, psym)
+        self.loop_body_summary[loop.stmt_id] = body
+
+        low, high, step = psym.loop_bounds.get(loop.stmt_id,
+                                               (None, None, None))
+        closed = close_summary(body, index_var(loop), low, high, step)
+
+        # Section 5.2.2.3 sharpening of upwards-exposed reads.
+        if not loop.contains_call():
+            for key, vs_body in body.items():
+                vs = closed.vars.get(key)
+                if vs is None or vs.exposed.is_empty():
+                    continue
+                unconditional = vs_body.must_write.contains(
+                    vs_body.may_write)
+                # "all of the write operations must precede any reads to
+                # the same location": requires no anti-dependence either
+                # across iterations or WITHIN one (an exposed read whose
+                # own iteration later writes the same element — e.g.
+                # `a(j) = a(j)` — is not covered by the writes; found by
+                # the soundness fuzzer).
+                same_iter_anti = not vs_body.exposed.intersect(
+                    vs_body.may_write).is_empty()
+                if not vs_body.may_write.is_empty() and unconditional \
+                        and not same_iter_anti \
+                        and not anti_dependence(vs_body, loop, psym):
+                    vs.exposed = vs.exposed.subtract(vs.must_write)
+
+        self.loop_summary[loop.stmt_id] = closed
+        return seq_compose(bound_reads, closed)
+
+    # -- I/O -----------------------------------------------------------------
+    def _summarize_io(self, stmt: IoStmt, proc: Procedure,
+                      psym: ProcSymbolic) -> AccessSummary:
+        if stmt.kind == "print":
+            return self._reads_of_exprs(stmt.items, stmt, proc, psym)
+        acc = AccessSummary.empty()
+        for item in stmt.items:
+            if isinstance(item, VarRef):
+                acc.add(self.key_fn(item.symbol),
+                        VarSummary.for_write(scalar_section(item.symbol),
+                                             item.symbol.name, must=True))
+            elif isinstance(item, ArrayRef):
+                idx_reads = self._reads_of_exprs(list(item.indices), stmt,
+                                                 proc, psym)
+                acc = seq_compose(acc, idx_reads)
+                sec = (element_section(item, stmt, proc, psym)
+                       if item.indices else
+                       whole_symbol_section(item.symbol, proc, psym))
+                acc.add(self.key_fn(item.symbol),
+                        VarSummary.for_write(sec, item.symbol.name,
+                                             must=bool(item.indices)))
+        return acc
+
+    # -- calls ---------------------------------------------------------------
+    def _summarize_call(self, call: CallStmt, proc: Procedure,
+                        psym: ProcSymbolic) -> AccessSummary:
+        callee = self.program.procedures[call.callee]
+        callee_summary = self.proc_summary[call.callee]
+        # Reads performed evaluating expression actuals (lvalue actuals are
+        # accessed per the callee summary, not here; their subscript
+        # expressions are read by the caller though).
+        arg_read_exprs: List[Expression] = []
+        for actual in call.args:
+            if isinstance(actual, VarRef):
+                continue
+            if isinstance(actual, ArrayRef):
+                arg_read_exprs.extend(actual.indices)
+                continue
+            arg_read_exprs.append(actual)
+        reads = self._reads_of_exprs(arg_read_exprs, call, proc, psym)
+        mapped = self._map_callee(callee_summary, call, proc, psym, callee)
+        constrained = AccessSummary({
+            key: VarSummary(
+                read=self._constrain_by_loops(vs.read, call, psym),
+                exposed=self._constrain_by_loops(vs.exposed, call, psym),
+                may_write=self._constrain_by_loops(vs.may_write, call, psym),
+                must_write=self._constrain_by_loops(vs.must_write, call,
+                                                    psym),
+                reductions={op: self._constrain_by_loops(sec, call, psym)
+                            for op, sec in vs.reductions.items()},
+                names=set(vs.names))
+            for key, vs in mapped.items()})
+        return seq_compose(reads, constrained)
+
+    # ----- callee summary mapping -------------------------------------------
+    def _map_callee(self, summary: AccessSummary, call: CallStmt,
+                    caller: Procedure, caller_psym: ProcSymbolic,
+                    callee: Procedure) -> AccessSummary:
+        subst = _TermSubstitution(self, call, caller, caller_psym, callee)
+        out = AccessSummary.empty()
+        for key, vs in summary.items():
+            kind = key[0]
+            if kind == "v":
+                continue                      # callee-private storage
+            vs2 = subst.apply_to_var_summary(vs)
+            if kind == "cm":
+                out.add(key, vs2)
+                continue
+            # formal location: rebase onto the actual argument
+            fname = key[2]
+            pos = next((k for k, f in enumerate(callee.formals)
+                        if f.name == fname), None)
+            if pos is None or pos >= len(call.args):
+                continue
+            mapped = self._map_formal(vs2, callee.formals[pos],
+                                      call.args[pos], call, caller,
+                                      caller_psym, callee, subst)
+            if mapped is not None:
+                tkey, tvs = mapped
+                out.add(tkey, tvs)
+        return out
+
+    def _map_formal(self, vs: VarSummary, formal: Symbol, actual,
+                    call: CallStmt, caller: Procedure,
+                    caller_psym: ProcSymbolic, callee: Procedure,
+                    subst: "_TermSubstitution"
+                    ) -> Optional[Tuple[LocKey, VarSummary]]:
+        # Scalar formal ------------------------------------------------------
+        if not formal.is_array:
+            if isinstance(actual, VarRef):
+                tsym = actual.symbol
+                conv = lambda sec: (scalar_section(tsym)
+                                    if not sec.is_empty() else Section.empty())
+                return self.key_fn(tsym), _convert(vs, conv, keep_must=True,
+                                                   name=tsym.name)
+            if isinstance(actual, ArrayRef) and actual.indices:
+                tsym = actual.symbol
+                esec = element_section(actual, call, caller, caller_psym)
+                conv = lambda sec: (esec if not sec.is_empty()
+                                    else Section.empty())
+                return self.key_fn(tsym), _convert(vs, conv, keep_must=True,
+                                                   name=tsym.name)
+            # expression actual: a read-only temporary; writes vanish and
+            # reads were already collected from the expression itself.
+            return None
+
+        # Array formal -------------------------------------------------------
+        if not isinstance(actual, ArrayRef):
+            return None                       # scalar-to-array mismatch
+        tsym = actual.symbol
+
+        elem_off: Optional[LinExpr] = None    # flat offset of the actual
+        if actual.indices:
+            elem_off = self._element_flat_offset(actual, call, caller,
+                                                 caller_psym)
+        else:
+            elem_off = LinExpr.constant(0)
+
+        transform = None
+        if elem_off is not None:
+            transform = self._formal_transform(formal, tsym, elem_off,
+                                               caller, caller_psym, callee,
+                                               subst,
+                                               is_element=bool(actual.indices))
+        tkey = self.key_fn(tsym)
+        if transform is None:
+            whole = whole_symbol_section(tsym, caller, caller_psym)
+            conv = lambda sec: (whole if not sec.is_empty()
+                                else Section.empty())
+            return tkey, _convert(vs, conv, keep_must=False, name=tsym.name)
+        return tkey, _convert(vs, transform, keep_must=True, name=tsym.name)
+
+    def _element_flat_offset(self, actual: ArrayRef, call: CallStmt,
+                             caller: Procedure, caller_psym: ProcSymbolic
+                             ) -> Optional[LinExpr]:
+        """Flat offset (in elements, from the actual array's first element)
+        of an element actual like ``aif3(k1)``."""
+        tsym = actual.symbol
+        strides = constant_strides(tsym)
+        lows = constant_lower_bounds(tsym)
+        values = [caller_psym.affine_index(e, call) for e in actual.indices]
+        if any(v is None for v in values):
+            return None
+        if strides is None or lows is None:
+            if len(values) == 1:
+                bounds = declared_bounds(tsym, caller, caller_psym)
+                lo = bounds[0][0] if bounds else None
+                if lo is None:
+                    return None
+                return values[0] - lo
+            return None
+        off = LinExpr.constant(0)
+        for k, v in enumerate(values):
+            off = off + (v - lows[k]) * strides[k]
+        return off
+
+    def _formal_transform(self, formal: Symbol, tsym: Symbol,
+                          elem_off: LinExpr, caller: Procedure,
+                          caller_psym: ProcSymbolic, callee: Procedure,
+                          subst: "_TermSubstitution", is_element: bool):
+        """Build a Section→Section transform from formal coordinates into
+        the actual's coordinates, or None for the conservative fallback."""
+        callee_psym = self.symbolic.result(callee)
+
+        # Formal flat position relative to the formal's first element.
+        f_strides = constant_strides(formal)
+        f_lows = constant_lower_bounds(formal)
+        f_bounds = declared_bounds(formal, callee, callee_psym)
+
+        def formal_flat() -> Optional[Tuple[LinExpr, List[str]]]:
+            """flat = Σ stride_k (d_k − lo_k), with dims renamed to temps."""
+            if formal.rank == 1:
+                lo = f_bounds[0][0] if f_bounds else None
+                if lo is None:
+                    return None
+                lo_sub = subst.substitute_linexpr(lo)
+                if lo_sub is None:
+                    return None
+                tmp = "_t0"
+                return LinExpr.var(tmp) - lo_sub, [tmp]
+            if f_strides is None or f_lows is None:
+                return None
+            expr = LinExpr.constant(0)
+            tmps = []
+            for k in range(formal.rank):
+                tmp = f"_t{k}"
+                tmps.append(tmp)
+                expr = expr + (LinExpr.var(tmp) - f_lows[k]) * f_strides[k]
+            return expr, tmps
+
+        got = formal_flat()
+        if got is None:
+            return None
+        flat_expr, tmps = got
+        rename_map = {dim(k): tmps[k] for k in range(formal.rank)}
+
+        if tsym.is_common:
+            base = LinExpr.constant(tsym.common_offset) + elem_off
+            size = tsym.constant_size() or 1
+            span_lo = LinExpr.constant(tsym.common_offset)
+            span_hi = LinExpr.constant(tsym.common_offset + size - 1)
+
+            def conv_common(sec: Section) -> Section:
+                moved = sec.rename(rename_map)
+                d0 = LinExpr.var(dim(0))
+                # in-bounds assumption: the callee never writes outside
+                # the actual's member span
+                moved = moved.constrain(
+                    Constraint.eq(d0, base + flat_expr),
+                    Constraint.ge(d0, span_lo),
+                    Constraint.le(d0, span_hi))
+                return moved.project_away(tmps)
+
+            return conv_common
+
+        # local / formal target array in the caller
+        t_strides = constant_strides(tsym)
+        t_lows = constant_lower_bounds(tsym)
+
+        # Identity case: same rank, matching bounds, whole-array actual.
+        if not is_element and formal.rank == tsym.rank:
+            t_bounds = declared_bounds(tsym, caller, caller_psym)
+            same = True
+            for k in range(formal.rank):
+                flo = subst.substitute_linexpr(f_bounds[k][0]) \
+                    if f_bounds[k][0] is not None else None
+                fhi = subst.substitute_linexpr(f_bounds[k][1]) \
+                    if f_bounds[k][1] is not None else None
+                tlo, thi = t_bounds[k]
+                if flo is None or tlo is None or flo != tlo:
+                    same = False
+                    break
+                if k < formal.rank - 1 and (fhi is None or thi is None
+                                            or fhi != thi):
+                    same = False
+                    break
+            if same:
+                return lambda sec: sec
+
+        if tsym.rank == 1:
+            t_bounds = declared_bounds(tsym, caller, caller_psym)
+            tlo = t_bounds[0][0] if t_bounds else None
+            if tlo is None:
+                return None
+
+            thi = t_bounds[0][1] if t_bounds else None
+
+            def conv_1d(sec: Section) -> Section:
+                moved = sec.rename(rename_map)
+                d0 = LinExpr.var(dim(0))
+                cons = [Constraint.eq(d0, tlo + elem_off + flat_expr),
+                        Constraint.ge(d0, tlo)]
+                if thi is not None:
+                    cons.append(Constraint.le(d0, thi))
+                moved = moved.constrain(*cons)
+                return moved.project_away(tmps)
+
+            return conv_1d
+
+        if t_strides is None or t_lows is None:
+            return None
+        t_bounds_c: List[Tuple[int, int]] = []
+        for k, d in enumerate(tsym.dims):
+            ext = d.constant_extent()
+            if ext is None:
+                return None
+            t_bounds_c.append((t_lows[k], t_lows[k] + ext - 1))
+
+        def conv_reshape(sec: Section) -> Section:
+            moved = sec.rename(rename_map)
+            t_flat = LinExpr.constant(0)
+            cons = []
+            for k in range(tsym.rank):
+                v = LinExpr.var(dim(k))
+                t_flat = t_flat + (v - t_lows[k]) * t_strides[k]
+                cons.append(Constraint.ge(v, LinExpr.constant(
+                    t_bounds_c[k][0])))
+                cons.append(Constraint.le(v, LinExpr.constant(
+                    t_bounds_c[k][1])))
+            cons.append(Constraint.eq(t_flat, elem_off + flat_expr))
+            moved = moved.constrain(*cons)
+            return moved.project_away(tmps)
+
+        return conv_reshape
+
+
+def _convert(vs: VarSummary, conv, keep_must: bool, name: str) -> VarSummary:
+    out = VarSummary(
+        read=conv(vs.read),
+        exposed=conv(vs.exposed),
+        may_write=conv(vs.may_write),
+        must_write=conv(vs.must_write) if keep_must else Section.empty(),
+        reductions={op: conv(sec) for op, sec in vs.reductions.items()},
+        names={name})
+    return out.validated()
+
+
+class _TermSubstitution:
+    """Rewrites callee symbolic terms into caller terms at one call site."""
+
+    def __init__(self, dataflow: ArrayDataFlow, call: CallStmt,
+                 caller: Procedure, caller_psym: ProcSymbolic,
+                 callee: Procedure):
+        self.dataflow = dataflow
+        self.call = call
+        self.caller = caller
+        self.caller_psym = caller_psym
+        self.callee = callee
+        self._map: Dict[str, Optional[LinExpr]] = {}
+        self._fresh: Dict[str, str] = {}
+
+    def _caller_value_of(self, term: str) -> Optional[LinExpr]:
+        if term in self._map:
+            return self._map[term]
+        value: Optional[LinExpr] = None
+        if term.startswith(f"in:{self.callee.name}:"):
+            sname = term.split(":", 2)[2]
+            sym = self.callee.symbols.lookup(sname)
+            if sym is not None and not sym.is_array:
+                if sym.is_formal:
+                    pos = next((k for k, f in enumerate(self.callee.formals)
+                                if f is sym), None)
+                    if pos is not None and pos < len(self.call.args):
+                        env = self.caller_psym.env_at(self.call)
+                        from .symbolic import eval_affine
+                        value = eval_affine(self.call.args[pos], env,
+                                            self.caller_psym.tags, self.call)
+                elif sym.is_common:
+                    for csym in self.caller.symbols:
+                        if (csym.is_common
+                                and csym.common_block == sym.common_block
+                                and csym.common_offset == sym.common_offset
+                                and not csym.is_array):
+                            env = self.caller_psym.env_at(self.call)
+                            value = env.get(csym)
+                            break
+        self._map[term] = value
+        return value
+
+    def _fresh_tag(self, term: str) -> str:
+        got = self._fresh.get(term)
+        if got is None:
+            got = self.dataflow.symbolic.tags.fresh(self.call)
+            self._fresh[term] = got
+        return got
+
+    def substitute_linexpr(self, expr: LinExpr) -> Optional[LinExpr]:
+        out = expr
+        for term in list(expr.coeffs):
+            if term.startswith("_"):
+                continue
+            value = self._caller_value_of(term)
+            if value is None:
+                return None
+            out = out.substitute(term, value)
+        return out
+
+    def apply_to_section(self, section: Section) -> Section:
+        out = section
+        terms = set()
+        for system in section.systems:
+            for name in system.variables():
+                if not name.startswith("_"):
+                    terms.add(name)
+        for term in terms:
+            value = self._caller_value_of(term)
+            if value is not None:
+                out = out.substitute(term, value)
+            else:
+                out = out.rename({term: self._fresh_tag(term)})
+        return out
+
+    def apply_to_var_summary(self, vs: VarSummary) -> VarSummary:
+        return VarSummary(
+            read=self.apply_to_section(vs.read),
+            exposed=self.apply_to_section(vs.exposed),
+            may_write=self.apply_to_section(vs.may_write),
+            must_write=self.apply_to_section(vs.must_write),
+            reductions={op: self.apply_to_section(sec)
+                        for op, sec in vs.reductions.items()},
+            names=set(vs.names))

@@ -1,0 +1,71 @@
+"""Classic backward scalar liveness on the CFG.
+
+Part of the "base" analysis suite (scalar mod/ref + symbolic + scalar
+liveness) whose cost Fig 5-6 reports separately from the array passes.
+Used for scalar privatization sanity checks and dead-store queries in
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from ..ir.cfg import BasicBlock, Cfg
+from ..ir.program import Procedure
+from ..ir.symbols import Symbol
+
+
+class ScalarLiveness:
+    """live_in / live_out per basic block for scalar symbols."""
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self.cfg = Cfg(proc)
+        self.use: Dict[int, Set[Symbol]] = {}
+        self.defs: Dict[int, Set[Symbol]] = {}
+        self.live_in: Dict[int, Set[Symbol]] = {}
+        self.live_out: Dict[int, Set[Symbol]] = {}
+        self._local_sets()
+        self._solve()
+
+    def _local_sets(self) -> None:
+        for bb in self.cfg.blocks:
+            use: Set[Symbol] = set()
+            defs: Set[Symbol] = set()
+            for item in bb.items:
+                for sym in item.uses():
+                    if not sym.is_array and sym not in defs:
+                        use.add(sym)
+                for sym, strong in item.defs():
+                    if not sym.is_array and strong:
+                        defs.add(sym)
+            self.use[bb.block_id] = use
+            self.defs[bb.block_id] = defs
+
+    def _solve(self) -> None:
+        for bb in self.cfg.blocks:
+            self.live_in[bb.block_id] = set()
+            self.live_out[bb.block_id] = set()
+        changed = True
+        while changed:
+            changed = False
+            for bb in reversed(self.cfg.reverse_post_order()):
+                out: Set[Symbol] = set()
+                for succ in bb.succs:
+                    out |= self.live_in[succ.block_id]
+                new_in = self.use[bb.block_id] | (
+                    out - self.defs[bb.block_id])
+                if out != self.live_out[bb.block_id] or \
+                        new_in != self.live_in[bb.block_id]:
+                    self.live_out[bb.block_id] = out
+                    self.live_in[bb.block_id] = new_in
+                    changed = True
+
+    # -- queries -----------------------------------------------------------
+    def live_at_entry(self) -> FrozenSet[Symbol]:
+        return frozenset(self.live_in[self.cfg.entry.block_id])
+
+    def upwards_exposed(self) -> FrozenSet[Symbol]:
+        """Scalars whose procedure-entry value may be read (used by scalar
+        privatization: an exposed scalar cannot be blindly privatized)."""
+        return self.live_at_entry()

@@ -1,0 +1,268 @@
+"""The ⟨R, E, W, M⟩ array data-flow summaries (paper section 5.2.1).
+
+"One array summary consists of a four-tuple <R, E, W, M>, where R is all of
+the array sections that may have been read, E is all of the upwards-exposed
+read array sections, W is all of the may-write array sections, and M is all
+of the must-write array sections."
+
+We additionally carry the reduction regions of chapter 6 in the same
+object: a map from commutative operator (``+ * min max``) to the section
+updated by that operator.  "The resulting system of inequalities will only
+be marked as a reduction if both reduction types are identical"
+(section 6.2.2.3) — a region touched by two different operators, or by a
+reduction *and* an ordinary access, is demoted back into the plain
+read/write sets.
+
+Convention difference from the paper: our ``W`` includes all writes (must
+and may), with ``M ⊆ W``; the paper keeps them disjoint.  The transfer and
+meet operators below are the paper's, rewritten for that convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..poly import Constraint, LinExpr, Section, System
+
+REDUCTION_OPS = ("+", "*", "min", "max")
+
+
+class VarSummary:
+    """Access summary for one abstract location."""
+
+    __slots__ = ("read", "exposed", "may_write", "must_write", "reductions",
+                 "names")
+
+    def __init__(self,
+                 read: Optional[Section] = None,
+                 exposed: Optional[Section] = None,
+                 may_write: Optional[Section] = None,
+                 must_write: Optional[Section] = None,
+                 reductions: Optional[Dict[str, Section]] = None,
+                 names: Optional[Set[str]] = None):
+        self.read = read or Section.empty()
+        self.exposed = exposed or Section.empty()
+        self.may_write = may_write or Section.empty()
+        self.must_write = must_write or Section.empty()
+        self.reductions = reductions or {}
+        self.names = names or set()
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def for_read(section: Section, name: str = "") -> "VarSummary":
+        return VarSummary(read=section, exposed=section,
+                          names={name} if name else set())
+
+    @staticmethod
+    def for_write(section: Section, name: str = "",
+                  must: bool = True) -> "VarSummary":
+        return VarSummary(may_write=section,
+                          must_write=section if must else Section.empty(),
+                          names={name} if name else set())
+
+    @staticmethod
+    def for_reduction(op: str, section: Section, name: str = ""
+                      ) -> "VarSummary":
+        return VarSummary(reductions={op: section},
+                          names={name} if name else set())
+
+    # -- queries -----------------------------------------------------------
+    def is_empty(self) -> bool:
+        return (self.read.is_empty() and self.may_write.is_empty()
+                and all(s.is_empty() for s in self.reductions.values()))
+
+    def writes_anything(self) -> bool:
+        return not self.may_write.is_empty() or any(
+            not s.is_empty() for s in self.reductions.values())
+
+    def all_accessed(self) -> Section:
+        acc = self.read.union(self.may_write)
+        for s in self.reductions.values():
+            acc = acc.union(s)
+        return acc
+
+    def reduction_region(self) -> Section:
+        acc = Section.empty()
+        for s in self.reductions.values():
+            acc = acc.union(s)
+        return acc
+
+    def copy(self) -> "VarSummary":
+        return VarSummary(self.read, self.exposed, self.may_write,
+                          self.must_write, dict(self.reductions),
+                          set(self.names))
+
+    # -- validation -----------------------------------------------------------
+    def validated(self) -> "VarSummary":
+        """Demote reduction regions that conflict with ordinary accesses or
+        with a different reduction operator (section 6.2.2.4)."""
+        if not self.reductions:
+            return self
+        plain = self.read.union(self.may_write)
+        bad_ops: Set[str] = set()
+        ops = list(self.reductions)
+        for i, op in enumerate(ops):
+            sec = self.reductions[op]
+            if sec.intersects(plain):
+                bad_ops.add(op)
+            for other in ops[i + 1:]:
+                if sec.intersects(self.reductions[other]):
+                    bad_ops.add(op)
+                    bad_ops.add(other)
+        if not bad_ops:
+            return self
+        out = self.copy()
+        for op in bad_ops:
+            sec = out.reductions.pop(op)
+            # A commutative update both reads (exposed: the old value flows
+            # in) and writes its location.
+            out.read = out.read.union(sec)
+            out.exposed = out.exposed.union(sec)
+            out.may_write = out.may_write.union(sec)
+        return out
+
+    def __repr__(self):
+        return (f"VarSummary(R={self.read!r}, E={self.exposed!r}, "
+                f"W={self.may_write!r}, M={self.must_write!r}, "
+                f"red={self.reductions!r})")
+
+
+def transfer(first: VarSummary, then: VarSummary) -> VarSummary:
+    """Sequential composition: ``first`` executes, then ``then``.
+
+    The paper's T (section 5.2.2.1), adapted to M ⊆ W:
+    R = R1 ∪ R2, E = E1 ∪ (E2 − M1), W = W1 ∪ W2, M = M1 ∪ M2.
+    Reduction regions union per operator, then validate.
+    """
+    reds: Dict[str, Section] = {}
+    for op in set(first.reductions) | set(then.reductions):
+        a = first.reductions.get(op, Section.empty())
+        b = then.reductions.get(op, Section.empty())
+        reds[op] = a.union(b)
+    out = VarSummary(
+        read=first.read.union(then.read),
+        exposed=first.exposed.union(then.exposed.subtract(first.must_write)),
+        may_write=first.may_write.union(then.may_write),
+        must_write=first.must_write.union(then.must_write),
+        reductions=reds,
+        names=first.names | then.names)
+    return out.validated()
+
+
+def meet(a: VarSummary, b: VarSummary) -> VarSummary:
+    """Control-flow join (either path may run):
+    R/E/W union, M intersect, reductions union + validate."""
+    reds: Dict[str, Section] = {}
+    for op in set(a.reductions) | set(b.reductions):
+        reds[op] = a.reductions.get(op, Section.empty()).union(
+            b.reductions.get(op, Section.empty()))
+    out = VarSummary(
+        read=a.read.union(b.read),
+        exposed=a.exposed.union(b.exposed),
+        may_write=a.may_write.union(b.may_write),
+        must_write=a.must_write.intersect(b.must_write),
+        reductions=reds,
+        names=a.names | b.names)
+    return out.validated()
+
+
+def close_over_loop(summary: VarSummary, index_name: str,
+                    low: Optional[LinExpr], high: Optional[LinExpr],
+                    step: Optional[int]) -> VarSummary:
+    """The closure operator: project the loop index out of every section
+    after adding the loop-bound constraints (section 5.2.2.1).
+
+    Must-writes survive projection because the bound constraints stay in
+    the polyhedron: for parameter values where the loop runs zero times the
+    instantiated section is empty.  Non-unit steps drop must-writes (the
+    projection would claim elements of skipped iterations).
+    """
+    def close(section: Section, keep: bool = True) -> Section:
+        if not keep:
+            return Section.empty()
+        constrained = section
+        cons: List[Constraint] = []
+        v = LinExpr.var(index_name)
+        if step is None or step > 0:
+            if low is not None:
+                cons.append(Constraint.ge(v, low))
+            if high is not None:
+                cons.append(Constraint.le(v, high))
+        else:
+            if low is not None:
+                cons.append(Constraint.le(v, low))
+            if high is not None:
+                cons.append(Constraint.ge(v, high))
+        if cons:
+            constrained = constrained.constrain(*cons)
+        return constrained.project_away([index_name])
+
+    must_ok = step in (1, -1) and low is not None and high is not None
+    reds = {op: close(sec) for op, sec in summary.reductions.items()}
+    return VarSummary(
+        read=close(summary.read),
+        exposed=close(summary.exposed),
+        may_write=close(summary.may_write),
+        must_write=close(summary.must_write, keep=must_ok),
+        reductions=reds,
+        names=set(summary.names)).validated()
+
+
+class AccessSummary:
+    """Map of abstract location → :class:`VarSummary` for a code region."""
+
+    __slots__ = ("vars",)
+
+    def __init__(self, vars_: Optional[Dict[Tuple, VarSummary]] = None):
+        self.vars: Dict[Tuple, VarSummary] = vars_ or {}
+
+    @staticmethod
+    def empty() -> "AccessSummary":
+        return AccessSummary()
+
+    def get(self, key: Tuple) -> VarSummary:
+        return self.vars.get(key, VarSummary())
+
+    def add(self, key: Tuple, summary: VarSummary) -> None:
+        existing = self.vars.get(key)
+        if existing is None:
+            self.vars[key] = summary
+        else:
+            self.vars[key] = transfer(existing, summary)
+
+    def copy(self) -> "AccessSummary":
+        return AccessSummary({k: v.copy() for k, v in self.vars.items()})
+
+    def keys(self):
+        return self.vars.keys()
+
+    def items(self):
+        return self.vars.items()
+
+    def __contains__(self, key):
+        return key in self.vars
+
+    def __repr__(self):
+        return f"AccessSummary({self.vars!r})"
+
+
+def seq_compose(first: AccessSummary, then: AccessSummary) -> AccessSummary:
+    out: Dict[Tuple, VarSummary] = {}
+    for key in set(first.vars) | set(then.vars):
+        out[key] = transfer(first.get(key), then.get(key))
+    return AccessSummary(out)
+
+
+def join(a: AccessSummary, b: AccessSummary) -> AccessSummary:
+    out: Dict[Tuple, VarSummary] = {}
+    for key in set(a.vars) | set(b.vars):
+        out[key] = meet(a.get(key), b.get(key))
+    return AccessSummary(out)
+
+
+def close_summary(summary: AccessSummary, index_name: str,
+                  low: Optional[LinExpr], high: Optional[LinExpr],
+                  step: Optional[int]) -> AccessSummary:
+    return AccessSummary({
+        key: close_over_loop(vs, index_name, low, high, step)
+        for key, vs in summary.vars.items()})

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command> <file.f> ...``.
+
+Commands mirror the Explorer workflow on mini-Fortran source files:
+
+* ``run``         — execute the program, print its output,
+* ``parallelize`` — run the automatic parallelizer, print per-loop plans
+  and the annotated source,
+* ``explore``     — the full Explorer session: profile, dynamic
+  dependences, Guru strategy, codeview, simulated speedup,
+* ``slice``       — slice a variable's uses inside a loop,
+* ``advise``      — memory-performance advisories,
+* ``compile``     — transpile to a self-contained Python module.
+
+Workload names from the corpus (e.g. ``mdg``) may be given instead of a
+file path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .explorer import ExplorerSession
+from .ir import build_program
+from .ir.program import Program
+from .parallelize import Parallelizer, annotate_source
+from .parallelize.memory_advisor import advise, report_lines
+from .runtime import MACHINES, execute_parallel, run_program
+from .viz import Codeview, render_slice
+
+
+def _load(target: str):
+    """A (program, inputs, assertions) triple from a path or corpus name."""
+    from .workloads import ALL
+    if target in ALL:
+        w = ALL[target]
+        return w.build(), w.inputs, w.user_assertions
+    with open(target) as fh:
+        text = fh.read()
+    return build_program(text, target), [], []
+
+
+def _machine(name: str):
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise SystemExit(f"unknown machine {name!r}; "
+                         f"choose from {sorted(MACHINES)}")
+
+
+def cmd_run(args) -> int:
+    program, inputs, _ = _load(args.target)
+    if args.inputs:
+        inputs = [float(x) for x in args.inputs]
+    interp = run_program(program, inputs)
+    for value in interp.outputs:
+        print(value)
+    print(f"[{interp.ops} ops]", file=sys.stderr)
+    return 0
+
+
+def cmd_parallelize(args) -> int:
+    program, inputs, assertions = _load(args.target)
+    plan = Parallelizer(program,
+                        assertions=assertions if args.assertions else [],
+                        use_reductions=not args.no_reductions,
+                        use_liveness=not args.no_liveness).plan()
+    for loop in program.all_loops():
+        lp = plan.plan_for(loop)
+        tag = "PARALLEL" if lp.parallel else "sequential"
+        print(f"{loop.name}: {tag}")
+        for vp in lp.vars.values():
+            line = f"    {vp.display_name}: {vp.status}"
+            if vp.reason:
+                line += f"  ({vp.reason})"
+            print(line)
+    if args.annotate:
+        print("\n--- annotated source ---")
+        print(annotate_source(program, plan))
+    return 0
+
+
+def cmd_explore(args) -> int:
+    program, inputs, assertions = _load(args.target)
+    machine = _machine(args.machine)
+    session = ExplorerSession(program, inputs=inputs, machine=machine,
+                              use_liveness=not args.no_liveness)
+    result = session.run_automatic()
+    print("== automatic parallelization ==")
+    for line in session.summary_lines():
+        print(line)
+    print("\n== Parallelization Guru ==")
+    for line in session.guru.strategy_lines():
+        print(line)
+    if args.codeview:
+        targets = session.guru.targets()
+        focus = targets[0].loop if targets else None
+        print("\n== codeview ==")
+        view = Codeview(program, session.plan)
+        print(view.render(focus=focus))
+        print(view.legend())
+    if assertions and args.assertions:
+        print("\n== applying workload assertions ==")
+        outcomes, result = session.apply_assertions(assertions)
+        for o in outcomes:
+            status = "accepted" if o.accepted else "REJECTED"
+            print(f"{o.assertion}: {status}")
+            for w in o.warnings:
+                print(f"  warning: {w}")
+        for line in session.summary_lines():
+            print(line)
+    return 0
+
+
+def cmd_slice(args) -> int:
+    from .ir.statements import AssignStmt
+    from .ir.expressions import ArrayRef, VarRef
+    from .slicing import Slicer
+    program, _, _ = _load(args.target)
+    loop = program.loop(args.loop)
+    proc = program.procedures[loop.proc_name]
+    symbol = proc.symbols.lookup(args.variable.lower())
+    if symbol is None:
+        raise SystemExit(f"no variable {args.variable!r} in "
+                         f"{loop.proc_name}")
+    slicer = Slicer(program)
+    stmt = None
+    for s in loop.body.walk():
+        for expr in s.sub_expressions():
+            for node in expr.walk():
+                if isinstance(node, (VarRef, ArrayRef)) and \
+                        node.symbol is symbol:
+                    stmt = s
+                    break
+    if stmt is None:
+        raise SystemExit(f"{args.variable} is not read inside {args.loop}")
+    res = slicer.slice_of_use(
+        stmt, symbol, kind=args.kind,
+        array_restricted=args.array_restricted,
+        region_loop=loop if args.region_restricted else None)
+    print(render_slice(program, res, around_loop=loop))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from .runtime.transpile import transpile_to_python
+    program, _, _ = _load(args.target)
+    text = transpile_to_python(program)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_advise(args) -> int:
+    program, _, assertions = _load(args.target)
+    plan = Parallelizer(program, assertions=assertions).plan()
+    for line in report_lines(advise(program, plan)):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SUIF Explorer reproduction - interactive and "
+                    "interprocedural parallelization of mini-Fortran")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="execute a program")
+    p.add_argument("target")
+    p.add_argument("--inputs", nargs="*", help="values for READ statements")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("parallelize", help="automatic parallelization plan")
+    p.add_argument("target")
+    p.add_argument("--annotate", action="store_true",
+                   help="print the directive-annotated source")
+    p.add_argument("--assertions", action="store_true",
+                   help="apply the workload's user assertions")
+    p.add_argument("--no-reductions", action="store_true")
+    p.add_argument("--no-liveness", action="store_true")
+    p.set_defaults(func=cmd_parallelize)
+
+    p = sub.add_parser("explore", help="full Explorer session")
+    p.add_argument("target")
+    p.add_argument("--machine", default="alphaserver",
+                   choices=sorted(MACHINES))
+    p.add_argument("--codeview", action="store_true")
+    p.add_argument("--assertions", action="store_true")
+    p.add_argument("--no-liveness", action="store_true")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("slice", help="slice a variable's use in a loop")
+    p.add_argument("target")
+    p.add_argument("loop", help="loop name, e.g. interf/1000")
+    p.add_argument("variable")
+    p.add_argument("--kind", default="program",
+                   choices=["program", "data"])
+    p.add_argument("--array-restricted", action="store_true")
+    p.add_argument("--region-restricted", action="store_true")
+    p.set_defaults(func=cmd_slice)
+
+    p = sub.add_parser("advise", help="memory-performance advisories")
+    p.add_argument("target")
+    p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser("compile", help="transpile to a Python module")
+    p.add_argument("target")
+    p.add_argument("-o", "--output", help="write to a file")
+    p.set_defaults(func=cmd_compile)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

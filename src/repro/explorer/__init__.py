@@ -1,0 +1,15 @@
+"""The interactive Explorer: Guru, metrics, assertion checker, session."""
+
+from .assertions import AssertionChecker, CheckOutcome
+from .guru import LoopReport, ParallelizationGuru
+from .metrics import (loops_under_parallel, outermost_parallel_dynamic,
+                      parallel_coverage, parallel_granularity_ms)
+from .session import DependenceSlices, ExplorerSession
+
+__all__ = [
+    "AssertionChecker", "CheckOutcome",
+    "LoopReport", "ParallelizationGuru",
+    "loops_under_parallel", "outermost_parallel_dynamic",
+    "parallel_coverage", "parallel_granularity_ms",
+    "DependenceSlices", "ExplorerSession",
+]

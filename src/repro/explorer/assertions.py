@@ -1,0 +1,157 @@
+"""The Assertion Checker (paper section 2.8).
+
+"If the user asserts that two references are independent, the Explorer
+checks the information against the Dynamic Dependence Analyzer to determine
+if any true dependence has been observed for the user-supplied input set.
+If the user asserts that a global array needs to be privatized in a
+procedure, the Explorer checks if a similar assertion is provided for all
+other called procedures that access the same array.  If it is not, it
+issues a warning and privatizes the array for the programmer
+automatically."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.program import Program
+from ..ir.statements import CallStmt, LoopStmt
+from ..parallelize.parallelizer import Assertion
+from ..runtime.dyndep import DynamicDependenceAnalyzer
+
+
+class CheckOutcome:
+    """Result of checking one assertion."""
+
+    __slots__ = ("assertion", "accepted", "warnings", "errors",
+                 "auto_added")
+
+    def __init__(self, assertion: Assertion):
+        self.assertion = assertion
+        self.accepted = True
+        self.warnings: List[str] = []
+        self.errors: List[str] = []
+        self.auto_added: List[Assertion] = []
+
+    def __repr__(self):
+        tag = "OK" if self.accepted else "REJECTED"
+        return f"CheckOutcome({self.assertion!r}: {tag})"
+
+
+class AssertionChecker:
+    def __init__(self, program: Program,
+                 dyndep: Optional[DynamicDependenceAnalyzer] = None):
+        self.program = program
+        self.dyndep = dyndep
+
+    def check(self, assertions: List[Assertion]) -> List[CheckOutcome]:
+        outcomes = [self._check_one(a, assertions) for a in assertions]
+        return outcomes
+
+    def checked_assertions(self, assertions: List[Assertion]
+                           ) -> Tuple[List[Assertion], List[CheckOutcome]]:
+        """Run the checker; return the (possibly augmented) assertion list
+        of all accepted + auto-added assertions, plus the outcomes."""
+        outcomes = self.check(assertions)
+        final: List[Assertion] = []
+        for o in outcomes:
+            if o.accepted:
+                final.append(o.assertion)
+                final.extend(o.auto_added)
+        return final, outcomes
+
+    # ------------------------------------------------------------------
+    def _check_one(self, assertion: Assertion,
+                   all_assertions: List[Assertion]) -> CheckOutcome:
+        outcome = CheckOutcome(assertion)
+        try:
+            loop = self.program.loop(assertion.loop_name)
+        except KeyError:
+            outcome.accepted = False
+            outcome.errors.append(
+                f"unknown loop {assertion.loop_name!r}")
+            return outcome
+
+        if assertion.kind == "independent":
+            self._check_against_dyndep(assertion, loop, outcome)
+        if assertion.kind in ("privatizable", "independent") \
+                and assertion.var_name:
+            self._check_callee_consistency(assertion, loop, outcome,
+                                           all_assertions)
+        return outcome
+
+    def _buffer_names_for(self, var_name: str, loop: LoopStmt) -> Set[str]:
+        """Runtime buffer names that could hold this variable."""
+        names: Set[str] = set()
+        for proc in self.program.procedures.values():
+            sym = proc.symbols.lookup(var_name)
+            if sym is None:
+                continue
+            if sym.is_common:
+                names.add(f"/{sym.common_block}/")
+            else:
+                names.add(f"{proc.name}::{var_name}")
+        return names
+
+    def _check_against_dyndep(self, assertion: Assertion, loop: LoopStmt,
+                              outcome: CheckOutcome) -> None:
+        if self.dyndep is None:
+            return
+        buffers = self._buffer_names_for(assertion.var_name, loop)
+        for (lid, bname), count in self.dyndep.carried_by_var.items():
+            if lid == loop.stmt_id and bname in buffers and count > 0:
+                outcome.accepted = False
+                outcome.errors.append(
+                    f"dynamic dependence observed on {assertion.var_name} "
+                    f"in {loop.name} ({count} instance(s)) — independence "
+                    f"assertion contradicts the execution")
+                return
+
+    def _check_callee_consistency(self, assertion: Assertion,
+                                  loop: LoopStmt, outcome: CheckOutcome,
+                                  all_assertions: List[Assertion]) -> None:
+        """A privatization assertion on a COMMON array must hold in every
+        procedure the loop calls that accesses the same storage; missing
+        ones are warned about and added automatically."""
+        proc = self.program.procedures[loop.proc_name]
+        sym = proc.symbols.lookup(assertion.var_name)
+        if sym is None or not sym.is_common:
+            return
+        accessors = self._callee_accessors(loop, sym.common_block)
+        for callee_name, member_name in accessors:
+            if member_name == assertion.var_name:
+                continue
+            covered = any(a.var_name == member_name
+                          and a.loop_name == assertion.loop_name
+                          for a in all_assertions)
+            if not covered:
+                outcome.warnings.append(
+                    f"procedure {callee_name} accesses /{sym.common_block}/"
+                    f" member {member_name}; privatizing it automatically")
+                outcome.auto_added.append(Assertion(
+                    assertion.loop_name, member_name, "privatizable"))
+
+    def _callee_accessors(self, loop: LoopStmt, block: str
+                          ) -> List[Tuple[str, str]]:
+        out: List[Tuple[str, str]] = []
+        seen: Set[str] = set()
+
+        def visit(proc_name: str) -> None:
+            if proc_name in seen:
+                return
+            seen.add(proc_name)
+            proc = self.program.procedures.get(proc_name)
+            if proc is None:
+                return
+            if block in proc.common_blocks:
+                view = self.program.commons[block].views.get(proc_name)
+                if view:
+                    for member in view.symbols:
+                        out.append((proc_name, member.name))
+            for call in proc.call_sites():
+                visit(call.callee)
+
+        for stmt in loop.body.walk():
+            if isinstance(stmt, CallStmt):
+                visit(stmt.callee)
+        return out

@@ -1,0 +1,179 @@
+"""The Parallelization Guru (paper section 2.6).
+
+"It presents to the programmer a list of loops to parallelize.  The list
+contains all the sequential loops that have no I/O and that are not
+dynamically nested under a parallel loop; the loops are sorted in
+decreasing order of their execution time ...  Attached to each loop is the
+information on whether they contain any loop-carried dynamic dependences
+found by the Dynamic Dependence Analyzer and the number of static data
+dependences found by the parallelizing compiler."
+
+Importance cutoffs (section 4.3.2): coverage > 2 % and granularity >
+0.05 ms — "these cut-off numbers are parameterized and can be changed by
+the user".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.program import Program
+from ..ir.statements import LoopStmt
+from ..parallelize.plan import DEP, LoopPlan, ProgramPlan
+from ..runtime.dyndep import DynamicDependenceAnalyzer
+from ..runtime.machine import Machine
+from ..runtime.profiler import LoopProfiler
+from .metrics import loops_under_parallel
+
+
+class LoopReport:
+    """One row of the Guru's loop list."""
+
+    __slots__ = ("loop", "plan", "coverage", "granularity_ms",
+                 "dynamic_deps", "static_deps", "important", "executed",
+                 "under_parallel")
+
+    def __init__(self, loop: LoopStmt, plan: LoopPlan):
+        self.loop = loop
+        self.plan = plan
+        self.coverage = 0.0
+        self.granularity_ms = 0.0
+        self.dynamic_deps = 0
+        self.static_deps = 0
+        self.important = False
+        self.executed = False
+        self.under_parallel = False
+
+    @property
+    def name(self) -> str:
+        return self.loop.name
+
+    @property
+    def parallel(self) -> bool:
+        return self.plan.parallel
+
+    @property
+    def interprocedural(self) -> bool:
+        return self.loop.contains_call()
+
+    def __repr__(self):
+        tag = "par" if self.parallel else "seq"
+        return (f"LoopReport({self.name} {tag} cov={self.coverage:.1%} "
+                f"gran={self.granularity_ms:.3f}ms dyn={self.dynamic_deps} "
+                f"static={self.static_deps})")
+
+
+class ParallelizationGuru:
+    """Integrates static plans with dynamic profiles into a strategy."""
+
+    def __init__(self, program: Program, plan: ProgramPlan,
+                 profiler: LoopProfiler,
+                 dyndep: Optional[DynamicDependenceAnalyzer],
+                 machine: Machine,
+                 coverage_cutoff: float = 0.02,
+                 granularity_cutoff_ms: float = 0.05):
+        self.program = program
+        self.plan = plan
+        self.profiler = profiler
+        self.dyndep = dyndep
+        self.machine = machine
+        self.coverage_cutoff = coverage_cutoff
+        self.granularity_cutoff_ms = granularity_cutoff_ms
+        self.reports: Dict[int, LoopReport] = {}
+        self._build()
+
+    def _build(self) -> None:
+        under = loops_under_parallel(self.program, self.plan)
+        for proc in self.program.procedures.values():
+            for loop in proc.loops():
+                lp = self.plan.loops.get(loop.stmt_id)
+                if lp is None:
+                    continue
+                report = LoopReport(loop, lp)
+                prof = self.profiler.profile(loop)
+                if prof is not None:
+                    report.executed = True
+                    report.coverage = self.profiler.coverage_of(loop)
+                    report.granularity_ms = self.profiler.granularity_ms(
+                        loop, self.machine)
+                if self.dyndep is not None:
+                    report.dynamic_deps = self.dyndep.dependence_count(loop)
+                report.static_deps = len(lp.dependent_vars())
+                report.under_parallel = loop.stmt_id in under
+                report.important = (
+                    report.executed and not lp.parallel
+                    and not lp.contains_io
+                    and not report.under_parallel
+                    and report.coverage > self.coverage_cutoff
+                    and report.granularity_ms > self.granularity_cutoff_ms)
+                self.reports[loop.stmt_id] = report
+
+    # -- queries -----------------------------------------------------------
+    def all_reports(self) -> List[LoopReport]:
+        return sorted(self.reports.values(),
+                      key=lambda r: -r.coverage)
+
+    def executed_reports(self) -> List[LoopReport]:
+        return [r for r in self.all_reports() if r.executed]
+
+    def sequential_reports(self) -> List[LoopReport]:
+        return [r for r in self.executed_reports() if not r.parallel]
+
+    def targets(self) -> List[LoopReport]:
+        """The ranked list the Guru walks the user through: important
+        sequential loops, highest coverage first."""
+        return [r for r in self.all_reports() if r.important]
+
+    def targets_without_dynamic_deps(self) -> List[LoopReport]:
+        return [r for r in self.targets() if r.dynamic_deps == 0]
+
+    def report_for(self, loop: LoopStmt) -> Optional[LoopReport]:
+        return self.reports.get(loop.stmt_id)
+
+    def codeview_filter(self, *, min_coverage: float = 0.0,
+                        min_granularity_ms: float = 0.0,
+                        max_depth: Optional[int] = None) -> set:
+        """Source lines of loops the Codeview should gray out — the
+        section-2.7 'sliders' ("a set of sliders to determine if loops
+        should be filtered from the code view according to their loop
+        depth, granularity and execution time")."""
+        from ..ir.statements import enclosing_loops
+        filtered: set = set()
+        for report in self.reports.values():
+            loop = report.loop
+            depth = len(enclosing_loops(loop)) + 1
+            drop = (report.coverage < min_coverage
+                    or report.granularity_ms < min_granularity_ms
+                    or (max_depth is not None and depth > max_depth))
+            if drop:
+                filtered.add(loop.line)
+                for stmt in loop.body.walk():
+                    filtered.add(stmt.line)
+        # never filter lines that belong to a surviving loop
+        for report in self.reports.values():
+            loop = report.loop
+            depth = len(enclosing_loops(loop)) + 1
+            keep = (report.coverage >= min_coverage
+                    and report.granularity_ms >= min_granularity_ms
+                    and (max_depth is None or depth <= max_depth))
+            if keep:
+                filtered.discard(loop.line)
+                for stmt in loop.body.walk():
+                    filtered.discard(stmt.line)
+        return filtered
+
+    def strategy_lines(self) -> List[str]:
+        """A textual strategy summary for the user."""
+        out = []
+        targets = self.targets()
+        out.append(f"{len(targets)} important sequential loop(s) found "
+                   f"(coverage > {self.coverage_cutoff:.0%}, granularity > "
+                   f"{self.granularity_cutoff_ms} ms):")
+        for r in targets:
+            hint = ("no dynamic dependence observed — likely parallelizable"
+                    if r.dynamic_deps == 0 else
+                    f"{r.dynamic_deps} dynamic dependence(s) observed")
+            out.append(f"  {r.name}: coverage {r.coverage:.1%}, "
+                       f"granularity {r.granularity_ms:.3f} ms, "
+                       f"{r.static_deps} static dependence(s); {hint}")
+        return out

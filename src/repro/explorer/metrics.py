@@ -1,0 +1,86 @@
+"""The Parallelization Guru's two quantitative metrics (paper section 2.6).
+
+* **Parallelism coverage** — "the percentage of total execution time spent
+  in the parallel regions"; by Amdahl's law it bounds the speedup.
+* **Parallelism granularity** — "the average length of computation between
+  synchronizations in the parallel regions"; fine-grain parallel loops can
+  lose performance to spawn/synchronization overheads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.program import Program
+from ..ir.statements import CallStmt, LoopStmt
+from ..parallelize.plan import ProgramPlan
+from ..runtime.machine import Machine
+from ..runtime.profiler import LoopProfiler
+
+
+def parallel_coverage(program: Program, plan: ProgramPlan,
+                      profiler: LoopProfiler) -> float:
+    """Fraction of execution ops spent inside (outermost) parallel regions."""
+    if not profiler.total_ops:
+        return 0.0
+    covered = 0
+    for loop in outermost_parallel_dynamic(program, plan):
+        prof = profiler.profile(loop)
+        if prof is not None:
+            covered += prof.total_ops
+    return min(1.0, covered / profiler.total_ops)
+
+
+def parallel_granularity_ms(program: Program, plan: ProgramPlan,
+                            profiler: LoopProfiler,
+                            machine: Machine) -> float:
+    """Average work per parallel-region invocation, in milliseconds."""
+    total_ops = 0
+    invocations = 0
+    for loop in outermost_parallel_dynamic(program, plan):
+        prof = profiler.profile(loop)
+        if prof is not None:
+            total_ops += prof.total_ops
+            invocations += prof.invocations
+    if not invocations:
+        return 0.0
+    return machine.seconds(total_ops / invocations) * 1e3
+
+
+def outermost_parallel_dynamic(program: Program, plan: ProgramPlan
+                               ) -> List[LoopStmt]:
+    """Parallel loops that actually run parallel: not nested (lexically or
+    through calls) under another parallel loop."""
+    nested = loops_under_parallel(program, plan)
+    return [loop for loop in plan.parallel_loops()
+            if loop.stmt_id not in nested]
+
+
+def loops_under_parallel(program: Program, plan: ProgramPlan) -> Set[int]:
+    """Ids of loops dynamically nested under some parallel loop (including
+    loops of procedures called from parallel loop bodies)."""
+    nested: Set[int] = set()
+
+    def mark_proc(name: str, seen: Set[str]) -> None:
+        if name in seen:
+            return
+        seen.add(name)
+        proc = program.procedures.get(name)
+        if proc is None:
+            return
+        for loop in proc.loops():
+            nested.add(loop.stmt_id)
+        for call in proc.call_sites():
+            mark_proc(call.callee, seen)
+
+    def mark_body(loop: LoopStmt) -> None:
+        seen: Set[str] = set()
+        for stmt in loop.body.walk():
+            if isinstance(stmt, LoopStmt):
+                nested.add(stmt.stmt_id)
+            elif isinstance(stmt, CallStmt):
+                mark_proc(stmt.callee, seen)
+
+    for loop in plan.parallel_loops():
+        mark_body(loop)
+    return nested

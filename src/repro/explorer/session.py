@@ -1,0 +1,223 @@
+"""The SUIF Explorer session — the chapter-2/4 workflow in one object.
+
+"In parallelizing a program, SUIF Explorer first invokes the compiler to
+parallelize the code.  Then, the Explorer instruments the parallelized code
+using the dynamic tools and gathers profile data of an execution.  The
+Parallelization Guru module analyzes the static and dynamic information to
+identify target loops. ... Finally, the demand-driven slicing algorithm is
+invoked to help users decide the parallelizability" (section 2.3.1).
+
+A scripted (non-GUI) session:
+
+>>> session = ExplorerSession(program, inputs=...)
+>>> session.run_automatic()          # compiler + analyzers + simulation
+>>> session.guru.targets()           # ranked important sequential loops
+>>> session.slices_for(loop)         # pruned slices per unresolved dep
+>>> session.apply_assertions([...])  # checker + re-parallelize + re-run
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.liveness import FULL
+from ..ir.program import Program
+from ..ir.statements import LoopStmt
+from ..parallelize.parallelizer import Assertion, Parallelizer
+from ..parallelize.plan import DEP, ProgramPlan, VarPlan
+from ..runtime.dyndep import (DynamicDependenceAnalyzer,
+                              analyze_dependences, reduction_stmt_ids)
+from ..runtime.machine import ALPHASERVER_8400, Machine
+from ..runtime.parallel_exec import (ParallelExecutionResult,
+                                     execute_parallel)
+from ..runtime.profiler import LoopProfiler, profile_program
+from ..slicing.slicer import SliceResult, Slicer
+from .assertions import AssertionChecker, CheckOutcome
+from .guru import LoopReport, ParallelizationGuru
+from .metrics import parallel_coverage, parallel_granularity_ms
+
+
+class DependenceSlices:
+    """The slices the Explorer shows for one unresolved dependence."""
+
+    __slots__ = ("var", "program_slice", "control_slice",
+                 "program_slice_cr", "control_slice_cr",
+                 "program_slice_ar", "control_slice_ar")
+
+    def __init__(self, var: VarPlan, program_slice: SliceResult,
+                 control_slice: SliceResult,
+                 program_slice_cr: SliceResult,
+                 control_slice_cr: SliceResult,
+                 program_slice_ar: SliceResult,
+                 control_slice_ar: SliceResult):
+        self.var = var
+        self.program_slice = program_slice
+        self.control_slice = control_slice
+        self.program_slice_cr = program_slice_cr
+        self.control_slice_cr = control_slice_cr
+        self.program_slice_ar = program_slice_ar
+        self.control_slice_ar = control_slice_ar
+
+
+class ExplorerSession:
+    def __init__(self, program: Program, *,
+                 machine: Machine = ALPHASERVER_8400,
+                 inputs: Sequence[float] = (),
+                 use_liveness: bool = True,
+                 liveness_variant: str = FULL,
+                 max_ops: int = 500_000_000):
+        self.program = program
+        self.machine = machine
+        self.inputs = inputs
+        self.use_liveness = use_liveness
+        self.liveness_variant = liveness_variant
+        self.max_ops = max_ops
+
+        self.parallelizer: Optional[Parallelizer] = None
+        self.plan: Optional[ProgramPlan] = None
+        self.profiler: Optional[LoopProfiler] = None
+        self.dyndep: Optional[DynamicDependenceAnalyzer] = None
+        self.guru: Optional[ParallelizationGuru] = None
+        self.result: Optional[ParallelExecutionResult] = None
+        self.assertions: List[Assertion] = []
+        self._slicer: Optional[Slicer] = None
+
+    # -- phase 1: automatic parallelization + execution analysis -------------
+    def run_automatic(self) -> ParallelExecutionResult:
+        self.parallelizer = Parallelizer(
+            self.program, use_liveness=self.use_liveness,
+            liveness_variant=self.liveness_variant,
+            assertions=self.assertions)
+        self.plan = self.parallelizer.plan()
+        self.profiler = profile_program(self.program, self.inputs,
+                                        max_ops=self.max_ops)
+        self.dyndep = analyze_dependences(
+            self.program, self.inputs,
+            skip_stmt_ids=reduction_stmt_ids(self.program),
+            max_ops=self.max_ops)
+        self.guru = ParallelizationGuru(self.program, self.plan,
+                                        self.profiler, self.dyndep,
+                                        self.machine)
+        self.result = execute_parallel(self.program, self.plan,
+                                       self.machine, inputs=self.inputs,
+                                       max_ops=self.max_ops)
+        return self.result
+
+    # -- metrics ----------------------------------------------------------
+    def coverage(self) -> float:
+        return parallel_coverage(self.program, self.plan, self.profiler)
+
+    def granularity_ms(self) -> float:
+        return parallel_granularity_ms(self.program, self.plan,
+                                       self.profiler, self.machine)
+
+    # -- phase 2: slicing assistance --------------------------------------------
+    @property
+    def slicer(self) -> Slicer:
+        if self._slicer is None:
+            self._slicer = Slicer(self.program)
+        return self._slicer
+
+    def slices_for(self, loop: LoopStmt) -> List[DependenceSlices]:
+        """Per unresolved dependence of a loop, the program and control
+        slices at the pruning levels of Fig 4-8 (full / code-region /
+        code-region+array)."""
+        plan = self.plan.loops[loop.stmt_id]
+        out: List[DependenceSlices] = []
+        for var in plan.dependent_vars():
+            refs = self._references_to(loop, var)
+            if not refs:
+                continue
+            out.append(DependenceSlices(
+                var,
+                self._union_slices(refs, loop, None, False, "program"),
+                self._union_slices(refs, loop, None, False, "control"),
+                self._union_slices(refs, loop, loop, False, "program"),
+                self._union_slices(refs, loop, loop, False, "control"),
+                self._union_slices(refs, loop, loop, True, "program"),
+                self._union_slices(refs, loop, loop, True, "control")))
+        return out
+
+    def _references_to(self, loop: LoopStmt, var: VarPlan) -> List[Tuple]:
+        """(stmt, symbol) pairs whose slices the Explorer presents for a
+        dependence on ``var``.
+
+        Following section 3.2.2, for array references the interesting
+        slices are those of the *index expressions* ("the program slices
+        of the array index expressions specify the locations accessed") —
+        Fig 4-3 presents the slices of the references to K, not to RL.
+        Scalar dependences slice the scalar itself."""
+        from ..ir.expressions import ArrayRef, VarRef
+        from ..ir.statements import AssignStmt
+        symbols = {id(s) for s in var.symbols}
+        refs: List[Tuple] = []
+
+        def add_array_ref(stmt, node):
+            added = False
+            for idx in node.indices:
+                for sub in idx.walk():
+                    if isinstance(sub, VarRef) and not sub.symbol.is_const:
+                        refs.append((stmt, sub.symbol))
+                        added = True
+            if not added:
+                refs.append((stmt, node.symbol))
+
+        for stmt in loop.body.walk():
+            if isinstance(stmt, AssignStmt) and \
+                    id(stmt.target.symbol) in symbols:
+                if isinstance(stmt.target, ArrayRef):
+                    add_array_ref(stmt, stmt.target)
+                else:
+                    refs.append((stmt, stmt.target.symbol))
+            for expr in stmt.sub_expressions():
+                for node in expr.walk():
+                    if isinstance(node, (VarRef, ArrayRef)) and \
+                            id(node.symbol) in symbols:
+                        if isinstance(node, ArrayRef):
+                            add_array_ref(stmt, node)
+                        else:
+                            refs.append((stmt, node.symbol))
+        return refs[:8]      # the Explorer shows the few key references
+
+    def _union_slices(self, refs, loop, region_loop, array_restricted,
+                      kind) -> SliceResult:
+        ids = set()
+        for stmt, symbol in refs:
+            if kind == "control":
+                res = self.slicer.control_slice(
+                    stmt, array_restricted=array_restricted,
+                    region_loop=region_loop)
+            else:
+                res = self.slicer.slice_of_use(
+                    stmt, symbol, kind="program",
+                    array_restricted=array_restricted,
+                    region_loop=region_loop)
+            ids.update(res.stmt_ids)
+        return SliceResult(self.program, frozenset(ids))
+
+    # -- phase 3: user feedback ---------------------------------------------
+    def apply_assertions(self, assertions: List[Assertion]
+                         ) -> Tuple[List[CheckOutcome],
+                                    ParallelExecutionResult]:
+        """Check the assertions, annotate, re-parallelize, re-simulate."""
+        checker = AssertionChecker(self.program, self.dyndep)
+        final, outcomes = checker.checked_assertions(assertions)
+        self.assertions.extend(final)
+        result = self.run_automatic()
+        return outcomes, result
+
+    # -- reporting -----------------------------------------------------------
+    def summary_lines(self) -> List[str]:
+        r = self.result
+        out = [
+            f"program: {self.program.name} "
+            f"({self.program.total_lines()} lines)",
+            f"machine: {self.machine.name} ({self.machine.processors} "
+            f"processors)",
+            f"coverage: {self.coverage():.1%}",
+            f"granularity: {self.granularity_ms():.3f} ms",
+            f"speedup: {r.speedup:.2f}x" if r else "not executed",
+        ]
+        if self.assertions:
+            out.append(f"user assertions: {len(self.assertions)}")
+        return out

@@ -1,0 +1,27 @@
+"""Resolved intermediate representation of mini-Fortran programs."""
+
+from .builder import build_program
+from .callgraph import CallGraph
+from .cfg import Cfg
+from .expressions import (ArrayRef, BinaryOp, Const, Expression, Intrinsic,
+                          StrConst, UnaryOp, VarRef)
+from .printer import format_expr, format_procedure, format_program, \
+    format_statement
+from .program import Procedure, Program
+from .regions import Region, RegionGraph
+from .statements import (AssignStmt, Block, CallStmt, CycleStmt, ExitStmt,
+                         IfStmt, IoStmt, LoopStmt, NoopStmt, ReturnStmt,
+                         Statement, StopStmt, enclosing_loops)
+from .symbols import CommonBlock, Dimension, Symbol, SymbolTable
+
+__all__ = [
+    "build_program", "CallGraph", "Cfg",
+    "ArrayRef", "BinaryOp", "Const", "Expression", "Intrinsic", "StrConst",
+    "UnaryOp", "VarRef",
+    "format_expr", "format_procedure", "format_program", "format_statement",
+    "Procedure", "Program", "Region", "RegionGraph",
+    "AssignStmt", "Block", "CallStmt", "CycleStmt", "ExitStmt", "IfStmt",
+    "IoStmt", "LoopStmt", "NoopStmt", "ReturnStmt", "Statement", "StopStmt",
+    "enclosing_loops",
+    "CommonBlock", "Dimension", "Symbol", "SymbolTable",
+]

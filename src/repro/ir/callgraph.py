@@ -1,0 +1,85 @@
+"""Call graph construction and traversal orders.
+
+The interprocedural analyses are all *region based* two-phase algorithms
+(paper section 5.2): a bottom-up pass over procedures (callees before
+callers) and a top-down pass (callers before callees).  Recursion is not
+supported — the paper's algorithm "currently does not handle recursion;
+thus the region graph is simply a DAG" — and we diagnose it loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .program import Program
+from .statements import CallStmt
+
+
+class CallGraph:
+    def __init__(self, program: Program):
+        self.program = program
+        self.callees: Dict[str, Set[str]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+        self.call_sites: Dict[str, List[CallStmt]] = {}   # callee -> sites
+        for name, proc in program.procedures.items():
+            self.callees.setdefault(name, set())
+            self.callers.setdefault(name, set())
+        for name, proc in program.procedures.items():
+            for call in proc.call_sites():
+                self.callees[name].add(call.callee)
+                self.callers.setdefault(call.callee, set()).add(name)
+                self.call_sites.setdefault(call.callee, []).append(call)
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        state: Dict[str, int] = {}
+
+        def visit(node: str, stack: List[str]) -> None:
+            state[node] = 1
+            for callee in sorted(self.callees.get(node, ())):
+                if state.get(callee) == 1:
+                    cycle = " -> ".join(stack + [node, callee])
+                    raise ValueError(f"recursive call cycle: {cycle}")
+                if state.get(callee, 0) == 0:
+                    visit(callee, stack + [node])
+            state[node] = 2
+
+        for name in self.program.procedures:
+            if state.get(name, 0) == 0:
+                visit(name, [])
+
+    def bottom_up_order(self) -> List[str]:
+        """Procedures ordered callees-first (leaves to main)."""
+        order: List[str] = []
+        visited: Set[str] = set()
+
+        def visit(node: str) -> None:
+            if node in visited:
+                return
+            visited.add(node)
+            for callee in sorted(self.callees.get(node, ())):
+                visit(callee)
+            order.append(node)
+
+        for name in sorted(self.program.procedures):
+            visit(name)
+        return order
+
+    def top_down_order(self) -> List[str]:
+        return list(reversed(self.bottom_up_order()))
+
+    def sites_calling(self, callee: str) -> List[CallStmt]:
+        return self.call_sites.get(callee, [])
+
+    def reachable_from_main(self) -> Set[str]:
+        if self.program.main is None:
+            return set(self.program.procedures)
+        seen: Set[str] = set()
+        work = [self.program.main]
+        while work:
+            node = work.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            work.extend(self.callees.get(node, ()))
+        return seen

@@ -1,0 +1,256 @@
+"""Per-procedure control-flow graphs over the structured IR.
+
+Used by SSA construction (:mod:`repro.ssa`) and scalar liveness.  Because
+the IR is structured, the CFG is built by a single recursive walk; DO loops
+expand into init / test / body / increment blocks (so the loop index has
+explicit defs for SSA), and IF arms expand into diamonds.
+
+Each basic block holds a list of :class:`CfgItem`; items wrap either a real
+simple statement or a pseudo-operation (loop init/test/incr, branch
+condition) and expose uniform ``defs()`` / ``uses()`` in terms of scalar
+symbols plus *weak* array defs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .expressions import ArrayRef, Expression, VarRef
+from .program import Procedure
+from .statements import (AssignStmt, Block, CallStmt, CycleStmt, ExitStmt,
+                         IfStmt, IoStmt, LoopStmt, NoopStmt, ReturnStmt,
+                         Statement, StopStmt)
+from .symbols import Symbol
+
+STMT = "stmt"
+LOOP_INIT = "loop_init"
+LOOP_TEST = "loop_test"
+LOOP_INCR = "loop_incr"
+BRANCH = "branch"
+
+
+class CfgItem:
+    """One operation inside a basic block."""
+
+    __slots__ = ("kind", "stmt", "cond")
+
+    def __init__(self, kind: str, stmt: Statement,
+                 cond: Optional[Expression] = None):
+        self.kind = kind
+        self.stmt = stmt          # underlying IR statement (loop / if / simple)
+        self.cond = cond          # branch condition for BRANCH items
+
+    # -- def/use sets --------------------------------------------------------
+    def defs(self) -> List[Tuple[Symbol, bool]]:
+        """(symbol, is_strong) pairs defined by this item.  Array-element
+        stores are weak defs of the whole array (section 3.4.2: 'any store
+        to an array element potentially modifies the entire array')."""
+        if self.kind == STMT and isinstance(self.stmt, AssignStmt):
+            tgt = self.stmt.target
+            if isinstance(tgt, VarRef):
+                return [(tgt.symbol, True)]
+            return [(tgt.symbol, False)]
+        if self.kind in (LOOP_INIT, LOOP_INCR):
+            return [(self.stmt.index, True)]
+        if self.kind == STMT and isinstance(self.stmt, IoStmt) \
+                and self.stmt.kind == "read":
+            out = []
+            for item in self.stmt.items:
+                if isinstance(item, VarRef):
+                    out.append((item.symbol, True))
+                elif isinstance(item, ArrayRef):
+                    out.append((item.symbol, False))
+            return out
+        return []
+
+    def uses(self) -> List[Symbol]:
+        """Symbols read by this item (arrays read as whole variables)."""
+        exprs: List[Expression] = []
+        if self.kind == STMT:
+            s = self.stmt
+            if isinstance(s, AssignStmt):
+                exprs.append(s.value)
+                if isinstance(s.target, ArrayRef):
+                    exprs.extend(s.target.indices)
+            elif isinstance(s, CallStmt):
+                exprs.extend(s.args)
+            elif isinstance(s, IoStmt) and s.kind == "print":
+                exprs.extend(s.items)
+            elif isinstance(s, IoStmt) and s.kind == "read":
+                for item in s.items:
+                    if isinstance(item, ArrayRef):
+                        exprs.extend(item.indices)
+        elif self.kind == LOOP_INIT:
+            exprs.append(self.stmt.low)
+        elif self.kind == LOOP_TEST:
+            exprs.append(self.stmt.high)
+            exprs.append(VarRef(self.stmt.index))
+            if self.stmt.step is not None:
+                exprs.append(self.stmt.step)
+        elif self.kind == LOOP_INCR:
+            exprs.append(VarRef(self.stmt.index))
+            if self.stmt.step is not None:
+                exprs.append(self.stmt.step)
+        elif self.kind == BRANCH:
+            exprs.append(self.cond)
+        out: List[Symbol] = []
+        for e in exprs:
+            for ref in e.walk():
+                if isinstance(ref, (VarRef, ArrayRef)):
+                    out.append(ref.symbol)
+        return out
+
+    def __repr__(self):
+        return f"CfgItem({self.kind}, {self.stmt!r})"
+
+
+class BasicBlock:
+    __slots__ = ("block_id", "items", "succs", "preds")
+
+    def __init__(self, block_id: int):
+        self.block_id = block_id
+        self.items: List[CfgItem] = []
+        self.succs: List["BasicBlock"] = []
+        self.preds: List["BasicBlock"] = []
+
+    def add_edge(self, other: "BasicBlock") -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+            other.preds.append(self)
+
+    def __repr__(self):
+        return f"BB{self.block_id}"
+
+
+class Cfg:
+    """CFG for one procedure.  ``entry`` and ``exit`` are empty blocks."""
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self._next_id = 0
+        self.blocks: List[BasicBlock] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        # Map loop stmt_id -> (incr block, after block) for cycle/exit edges.
+        self._loop_targets: Dict[int, Tuple[BasicBlock, BasicBlock]] = {}
+        self._loop_stack: List[LoopStmt] = []
+        last = self._build_block(proc.body, self.entry)
+        last.add_edge(self.exit)
+        self._prune_unreachable()
+
+    def _new_block(self) -> BasicBlock:
+        bb = BasicBlock(self._next_id)
+        self._next_id += 1
+        self.blocks.append(bb)
+        return bb
+
+    # -- construction -------------------------------------------------------
+    def _build_block(self, block: Block, current: BasicBlock) -> BasicBlock:
+        for stmt in block.statements:
+            current = self._build_stmt(stmt, current)
+        return current
+
+    def _build_stmt(self, stmt: Statement, current: BasicBlock) -> BasicBlock:
+        if isinstance(stmt, (AssignStmt, CallStmt, IoStmt, NoopStmt)):
+            current.items.append(CfgItem(STMT, stmt))
+            return current
+        if isinstance(stmt, IfStmt):
+            join = self._new_block()
+            for cond, arm_block in stmt.arms:
+                current.items.append(CfgItem(BRANCH, stmt, cond))
+                arm_entry = self._new_block()
+                current.add_edge(arm_entry)
+                arm_end = self._build_block(arm_block, arm_entry)
+                arm_end.add_edge(join)
+                fall = self._new_block()
+                current.add_edge(fall)
+                current = fall
+            if stmt.else_block is not None:
+                end = self._build_block(stmt.else_block, current)
+                end.add_edge(join)
+            else:
+                current.add_edge(join)
+            return join
+        if isinstance(stmt, LoopStmt):
+            current.items.append(CfgItem(LOOP_INIT, stmt))
+            header = self._new_block()
+            header.items.append(CfgItem(LOOP_TEST, stmt))
+            current.add_edge(header)
+            body_entry = self._new_block()
+            after = self._new_block()
+            incr = self._new_block()
+            incr.items.append(CfgItem(LOOP_INCR, stmt))
+            header.add_edge(body_entry)
+            header.add_edge(after)
+            self._loop_targets[stmt.stmt_id] = (incr, after)
+            self._loop_stack.append(stmt)
+            body_end = self._build_block(stmt.body, body_entry)
+            self._loop_stack.pop()
+            body_end.add_edge(incr)
+            incr.add_edge(header)
+            return after
+        if isinstance(stmt, CycleStmt):
+            loop = self._resolve_cycle_target(stmt)
+            incr, _ = self._loop_targets[loop.stmt_id]
+            current.add_edge(incr)
+            return self._new_block()    # unreachable continuation
+        if isinstance(stmt, ExitStmt):
+            if not self._loop_stack:
+                raise ValueError(f"EXIT outside loop at line {stmt.line}")
+            _, after = self._loop_targets[self._loop_stack[-1].stmt_id]
+            current.add_edge(after)
+            return self._new_block()
+        if isinstance(stmt, (ReturnStmt, StopStmt)):
+            current.add_edge(self.exit)
+            return self._new_block()
+        raise TypeError(f"unexpected statement {stmt!r}")
+
+    def _resolve_cycle_target(self, stmt: CycleStmt) -> LoopStmt:
+        if stmt.target_label is None:
+            if not self._loop_stack:
+                raise ValueError(f"CYCLE outside loop at line {stmt.line}")
+            return self._loop_stack[-1]
+        for loop in reversed(self._loop_stack):
+            if loop.term_label == stmt.target_label:
+                return loop
+        raise ValueError(
+            f"CYCLE target label {stmt.target_label} not found "
+            f"(line {stmt.line})")
+
+    def _prune_unreachable(self) -> None:
+        reachable: Set[int] = set()
+        work = [self.entry]
+        while work:
+            bb = work.pop()
+            if bb.block_id in reachable:
+                continue
+            reachable.add(bb.block_id)
+            work.extend(bb.succs)
+        reachable.add(self.exit.block_id)
+        self.blocks = [b for b in self.blocks if b.block_id in reachable]
+        for b in self.blocks:
+            b.succs = [s for s in b.succs if s.block_id in reachable]
+            b.preds = [p for p in b.preds if p.block_id in reachable]
+
+    # -- traversal ----------------------------------------------------------
+    def reverse_post_order(self) -> List[BasicBlock]:
+        visited: Set[int] = set()
+        order: List[BasicBlock] = []
+
+        def visit(bb: BasicBlock) -> None:
+            visited.add(bb.block_id)
+            for s in bb.succs:
+                if s.block_id not in visited:
+                    visit(s)
+            order.append(bb)
+
+        visit(self.entry)
+        for bb in self.blocks:     # disconnected exit etc.
+            if bb.block_id not in visited:
+                visit(bb)
+        order.reverse()
+        return order
+
+    def items(self) -> Iterator[CfgItem]:
+        for bb in self.blocks:
+            yield from bb.items

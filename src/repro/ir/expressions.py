@@ -1,0 +1,208 @@
+"""Resolved IR expressions.
+
+Unlike the AST, every variable reference carries its :class:`Symbol`, and
+array references are distinguished from intrinsic calls.  Expressions know
+how to enumerate the scalar/array reads they perform — the raw material for
+every data-flow analysis in the system.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from .symbols import Symbol
+
+ARITH_OPS = ("+", "-", "*", "/", "**")
+CMP_OPS = ("<", "<=", ">", ">=", "==", "/=")
+LOGIC_OPS = ("and", "or")
+
+
+class Expression:
+    __slots__ = ()
+
+    def walk(self) -> Iterator["Expression"]:
+        """Yield self and all sub-expressions, pre-order."""
+        yield self
+
+    def scalar_reads(self) -> Iterator["VarRef"]:
+        for node in self.walk():
+            if isinstance(node, VarRef):
+                yield node
+
+    def array_reads(self) -> Iterator["ArrayRef"]:
+        for node in self.walk():
+            if isinstance(node, ArrayRef):
+                yield node
+
+    def referenced_symbols(self) -> Iterator[Symbol]:
+        for node in self.walk():
+            if isinstance(node, (VarRef, ArrayRef)):
+                yield node.symbol
+
+
+class Const(Expression):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return repr(self.value)
+
+    def __eq__(self, other):
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("Const", self.value))
+
+
+class StrConst(Expression):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __repr__(self):
+        return f"'{self.value}'"
+
+
+class VarRef(Expression):
+    """Read (or, as an assignment target, write) of a scalar variable."""
+
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: Symbol):
+        self.symbol = symbol
+
+    def __repr__(self):
+        return self.symbol.name
+
+    def __eq__(self, other):
+        return isinstance(other, VarRef) and self.symbol is other.symbol
+
+    def __hash__(self):
+        return hash(("VarRef", id(self.symbol)))
+
+
+class ArrayRef(Expression):
+    """``a(i, j)`` — element reference with one subscript per dimension."""
+
+    __slots__ = ("symbol", "indices")
+
+    def __init__(self, symbol: Symbol, indices: Sequence[Expression]):
+        self.symbol = symbol
+        self.indices = list(indices)
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        for idx in self.indices:
+            yield from idx.walk()
+
+    def __repr__(self):
+        return f"{self.symbol.name}({', '.join(map(repr, self.indices))})"
+
+
+class BinaryOp(Expression):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class UnaryOp(Expression):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expression):
+        self.op = op
+        self.operand = operand
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        yield from self.operand.walk()
+
+    def __repr__(self):
+        return f"({self.op}{self.operand!r})"
+
+
+class Intrinsic(Expression):
+    """Intrinsic function application (MIN, MAX, ABS, MOD, SQRT, ...)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expression]):
+        self.name = name
+        self.args = list(args)
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        for a in self.args:
+            yield from a.walk()
+
+    def __repr__(self):
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+def expr_uses_symbol(expr: Expression, symbol: Symbol) -> bool:
+    return any(s is symbol for s in expr.referenced_symbols())
+
+
+def fold_constants(expr: Expression) -> Expression:
+    """Light constant folding used by declaration-bound evaluation."""
+    if isinstance(expr, BinaryOp):
+        left = fold_constants(expr.left)
+        right = fold_constants(expr.right)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(_apply_binop(expr.op, left.value, right.value))
+        return BinaryOp(expr.op, left, right)
+    if isinstance(expr, UnaryOp):
+        inner = fold_constants(expr.operand)
+        if isinstance(inner, Const):
+            if expr.op == "-":
+                return Const(-inner.value)
+            if expr.op == "not":
+                return Const(not inner.value)
+        return UnaryOp(expr.op, inner)
+    return expr
+
+
+def _apply_binop(op: str, a, b):
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if isinstance(a, int) and isinstance(b, int):
+            q = abs(a) // abs(b)
+            return q if (a >= 0) == (b >= 0) else -q
+        return a / b
+    if op == "**":
+        return a ** b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    if op == "==":
+        return a == b
+    if op == "/=":
+        return a != b
+    if op == "and":
+        return bool(a) and bool(b)
+    if op == "or":
+        return bool(a) or bool(b)
+    raise ValueError(f"unknown operator {op!r}")

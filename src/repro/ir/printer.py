@@ -1,0 +1,101 @@
+"""Render IR back to mini-Fortran-style text (for viz and examples)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .expressions import (ArrayRef, BinaryOp, Const, Expression, Intrinsic,
+                          StrConst, UnaryOp, VarRef)
+from .program import Procedure, Program
+from .statements import (AssignStmt, Block, CallStmt, CycleStmt, ExitStmt,
+                         IfStmt, IoStmt, LoopStmt, NoopStmt, ReturnStmt,
+                         Statement, StopStmt)
+
+
+def format_expr(expr: Expression) -> str:
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, StrConst):
+        return f"'{expr.value}'"
+    if isinstance(expr, VarRef):
+        return expr.symbol.name
+    if isinstance(expr, ArrayRef):
+        return f"{expr.symbol.name}({', '.join(format_expr(i) for i in expr.indices)})"
+    if isinstance(expr, BinaryOp):
+        op = {"and": ".AND.", "or": ".OR."}.get(expr.op, expr.op)
+        return f"({format_expr(expr.left)} {op} {format_expr(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        op = ".NOT. " if expr.op == "not" else expr.op
+        return f"({op}{format_expr(expr.operand)})"
+    if isinstance(expr, Intrinsic):
+        return f"{expr.name.upper()}({', '.join(format_expr(a) for a in expr.args)})"
+    return repr(expr)
+
+
+def format_statement(stmt: Statement, indent: int = 0) -> List[str]:
+    pad = "  " * indent
+    lab = f"{stmt.label} " if stmt.label else ""
+    if isinstance(stmt, AssignStmt):
+        return [f"{pad}{lab}{format_expr(stmt.target)} = "
+                f"{format_expr(stmt.value)}"]
+    if isinstance(stmt, CallStmt):
+        args = ", ".join(format_expr(a) for a in stmt.args)
+        return [f"{pad}{lab}CALL {stmt.callee}({args})"]
+    if isinstance(stmt, LoopStmt):
+        head = (f"{pad}{lab}DO {stmt.term_label or ''} "
+                f"{stmt.index.name} = {format_expr(stmt.low)}, "
+                f"{format_expr(stmt.high)}").rstrip()
+        if stmt.step is not None:
+            head += f", {format_expr(stmt.step)}"
+        lines = [head]
+        for s in stmt.body.statements:
+            lines.extend(format_statement(s, indent + 1))
+        if stmt.term_label is None:
+            lines.append(f"{pad}END DO")
+        return lines
+    if isinstance(stmt, IfStmt):
+        lines: List[str] = []
+        for k, (cond, body) in enumerate(stmt.arms):
+            kw = "IF" if k == 0 else "ELSE IF"
+            lines.append(f"{pad}{lab if k == 0 else ''}{kw} "
+                         f"({format_expr(cond)}) THEN")
+            for s in body.statements:
+                lines.extend(format_statement(s, indent + 1))
+        if stmt.else_block is not None:
+            lines.append(f"{pad}ELSE")
+            for s in stmt.else_block.statements:
+                lines.extend(format_statement(s, indent + 1))
+        lines.append(f"{pad}END IF")
+        return lines
+    if isinstance(stmt, CycleStmt):
+        return [f"{pad}{lab}CYCLE"]
+    if isinstance(stmt, ExitStmt):
+        return [f"{pad}{lab}EXIT"]
+    if isinstance(stmt, ReturnStmt):
+        return [f"{pad}{lab}RETURN"]
+    if isinstance(stmt, StopStmt):
+        return [f"{pad}{lab}STOP"]
+    if isinstance(stmt, NoopStmt):
+        return [f"{pad}{lab}CONTINUE"]
+    if isinstance(stmt, IoStmt):
+        items = ", ".join(format_expr(i) for i in stmt.items)
+        return [f"{pad}{lab}{stmt.kind.upper()} *, {items}".rstrip(", ")]
+    return [f"{pad}{stmt!r}"]
+
+
+def format_procedure(proc: Procedure) -> str:
+    if proc.kind == "program":
+        head = f"PROGRAM {proc.name}"
+    else:
+        params = ", ".join(f.name for f in proc.formals)
+        head = f"SUBROUTINE {proc.name}({params})"
+    lines = [head]
+    for stmt in proc.body.statements:
+        lines.extend(format_statement(stmt, 1))
+    lines.append("END")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    return "\n\n".join(format_procedure(p)
+                       for p in program.procedures.values())

@@ -1,0 +1,181 @@
+"""Region graph: the hierarchical program representation of section 5.2.
+
+"A region graph is a hierarchical program representation where every
+procedure, loop, and loop body in the program is represented as a region.
+The edges connect a region to its subregions, i.e. from callers to callees,
+and from code representing an outer scope to that of an inner scope."
+
+Regions here are lightweight wrappers over the structured IR; the analyses
+traverse them in bottom-up or top-down order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+from .callgraph import CallGraph
+from .program import Procedure, Program
+from .statements import Block, CallStmt, LoopStmt, Statement
+
+PROC = "proc"
+LOOP = "loop"
+LOOP_BODY = "loop_body"
+
+
+class Region:
+    """One node of the region graph."""
+
+    __slots__ = ("kind", "proc", "loop", "region_id", "parent", "children")
+
+    _counter = [0]
+
+    def __init__(self, kind: str, proc: Procedure,
+                 loop: Optional[LoopStmt] = None):
+        self.kind = kind
+        self.proc = proc
+        self.loop = loop
+        Region._counter[0] += 1
+        self.region_id = Region._counter[0]
+        self.parent: Optional[Region] = None
+        self.children: List[Region] = []
+
+    @property
+    def name(self) -> str:
+        if self.kind == PROC:
+            return self.proc.name
+        suffix = "" if self.kind == LOOP else ".body"
+        return f"{self.loop.name}{suffix}"
+
+    def block(self) -> Block:
+        """The statement list this region directly contains.
+
+        * proc region: the procedure body,
+        * loop region: a one-statement view (the loop statement itself),
+        * loop-body region: the loop body block.
+        """
+        if self.kind == PROC:
+            return self.proc.body
+        if self.kind == LOOP:
+            return Block([self.loop])
+        return self.loop.body
+
+    def direct_statements(self) -> Iterator[Statement]:
+        """Statements at this region's own nesting level (loops appear as
+        single LoopStmt nodes; their insides belong to subregions)."""
+        if self.kind == LOOP:
+            yield self.loop
+            return
+        block = self.proc.body if self.kind == PROC else self.loop.body
+        yield from _direct(block)
+
+    def call_sites(self) -> List[CallStmt]:
+        return [s for s in self.direct_statements_recursive_nonloop()
+                if isinstance(s, CallStmt)]
+
+    def direct_statements_recursive_nonloop(self) -> Iterator[Statement]:
+        """All statements in this region excluding those inside nested
+        loop subregions (i.e. IF bodies are included, loop bodies not)."""
+        if self.kind == LOOP:
+            return iter(())
+        block = self.proc.body if self.kind == PROC else self.loop.body
+        return _walk_stop_at_loops(block)
+
+    def __repr__(self):
+        return f"Region({self.kind}:{self.name})"
+
+
+def _direct(block: Block) -> Iterator[Statement]:
+    for stmt in block.statements:
+        yield stmt
+
+
+def _walk_stop_at_loops(block: Block) -> Iterator[Statement]:
+    for stmt in block.statements:
+        yield stmt
+        if isinstance(stmt, LoopStmt):
+            continue
+        for child in stmt.children_blocks():
+            yield from _walk_stop_at_loops(child)
+
+
+class RegionGraph:
+    """Region graph for a whole program.
+
+    ``proc_region[p]`` is procedure p's region; ``loop_region[id(loop)]`` /
+    ``body_region[id(loop)]`` give each loop's two regions.  ``bottom_up()``
+    yields regions innermost-first within each procedure, procedures in
+    callee-first order; ``top_down()`` is the reverse.
+    """
+
+    def __init__(self, program: Program,
+                 callgraph: Optional[CallGraph] = None):
+        self.program = program
+        self.callgraph = callgraph or CallGraph(program)
+        self.proc_region: Dict[str, Region] = {}
+        self.loop_region: Dict[int, Region] = {}
+        self.body_region: Dict[int, Region] = {}
+        for proc in program.procedures.values():
+            self._build_proc(proc)
+
+    def _build_proc(self, proc: Procedure) -> None:
+        root = Region(PROC, proc)
+        self.proc_region[proc.name] = root
+
+        def attach(loop: LoopStmt, parent: Region) -> None:
+            lr = Region(LOOP, proc, loop)
+            br = Region(LOOP_BODY, proc, loop)
+            lr.parent = parent
+            parent.children.append(lr)
+            br.parent = lr
+            lr.children.append(br)
+            self.loop_region[loop.stmt_id] = lr
+            self.body_region[loop.stmt_id] = br
+            for inner in _immediate_inner_loops(loop.body):
+                attach(inner, br)
+
+        for top in _immediate_inner_loops(proc.body):
+            attach(top, root)
+
+    # -- traversal orders ---------------------------------------------------
+    def bottom_up(self) -> Iterator[Region]:
+        """Regions innermost-first, callee procedures before callers."""
+        for proc_name in self.callgraph.bottom_up_order():
+            root = self.proc_region.get(proc_name)
+            if root is None:
+                continue
+            yield from self._post_order(root)
+
+    def top_down(self) -> Iterator[Region]:
+        order = list(self.bottom_up())
+        return iter(reversed(order))
+
+    def _post_order(self, region: Region) -> Iterator[Region]:
+        for child in region.children:
+            yield from self._post_order(child)
+        yield region
+
+    def region_of_loop(self, loop: LoopStmt) -> Region:
+        return self.loop_region[loop.stmt_id]
+
+    def body_of_loop(self, loop: LoopStmt) -> Region:
+        return self.body_region[loop.stmt_id]
+
+    def parent_region(self, region: Region) -> Optional[Region]:
+        return region.parent
+
+
+def _immediate_inner_loops(block: Block) -> List[LoopStmt]:
+    """Loops at the top nesting level of ``block`` (descending into IFs but
+    not into other loops)."""
+    out: List[LoopStmt] = []
+
+    def scan(b: Block) -> None:
+        for stmt in b.statements:
+            if isinstance(stmt, LoopStmt):
+                out.append(stmt)
+            else:
+                for child in stmt.children_blocks():
+                    scan(child)
+
+    scan(block)
+    return out

@@ -1,0 +1,245 @@
+"""Resolved, structured IR statements.
+
+The IR is fully structured: the builder has already eliminated GOTOs
+(forward conditional jumps become guarded blocks, back-to-terminator jumps
+become :class:`CycleStmt`).  Every statement carries a globally unique
+``stmt_id``, its source ``line``, and its owning procedure name, so analyses
+and the slicer can report statement sets directly as source lines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .expressions import ArrayRef, Expression, VarRef
+from .symbols import Symbol
+
+_stmt_counter = itertools.count(1)
+
+
+def _next_id() -> int:
+    return next(_stmt_counter)
+
+
+class Statement:
+    __slots__ = ("stmt_id", "line", "label", "proc_name", "parent")
+
+    def __init__(self, line: int = 0, label: Optional[int] = None):
+        self.stmt_id = _next_id()
+        self.line = line
+        self.label = label
+        self.proc_name = ""
+        self.parent: Optional["Statement"] = None
+
+    # Traversal ---------------------------------------------------------------
+    def children_blocks(self) -> Sequence["Block"]:
+        return ()
+
+    def walk(self) -> Iterator["Statement"]:
+        yield self
+        for block in self.children_blocks():
+            for stmt in block.statements:
+                yield from stmt.walk()
+
+    def sub_expressions(self) -> Iterator[Expression]:
+        """All expressions evaluated directly by this statement (not by
+        statements nested inside it)."""
+        return iter(())
+
+    def __repr__(self):
+        return f"{type(self).__name__}#{self.stmt_id}@{self.line}"
+
+
+class Block:
+    """An ordered list of statements (a lexical scope level)."""
+
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: Optional[List[Statement]] = None):
+        self.statements = statements or []
+
+    def walk(self) -> Iterator[Statement]:
+        for stmt in self.statements:
+            yield from stmt.walk()
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self):
+        return len(self.statements)
+
+
+class AssignStmt(Statement):
+    """``target = value`` where target is a VarRef or ArrayRef."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target, value: Expression, line=0, label=None):
+        super().__init__(line, label)
+        self.target = target
+        self.value = value
+
+    @property
+    def target_symbol(self) -> Symbol:
+        return self.target.symbol
+
+    @property
+    def is_array_assign(self) -> bool:
+        return isinstance(self.target, ArrayRef)
+
+    def sub_expressions(self) -> Iterator[Expression]:
+        yield self.value
+        if isinstance(self.target, ArrayRef):
+            for idx in self.target.indices:
+                yield idx
+
+    def __repr__(self):
+        return f"Assign#{self.stmt_id}({self.target!r} = {self.value!r})"
+
+
+class CallStmt(Statement):
+    """``CALL name(args)``.  Arguments pass by reference: a bare VarRef /
+    ArrayRef / array-name actual may be both read and written by the
+    callee; expression actuals are read-only temporaries."""
+
+    __slots__ = ("callee", "args")
+
+    def __init__(self, callee: str, args: List[Expression], line=0,
+                 label=None):
+        super().__init__(line, label)
+        self.callee = callee
+        self.args = args
+
+    def sub_expressions(self) -> Iterator[Expression]:
+        return iter(self.args)
+
+    def __repr__(self):
+        return f"Call#{self.stmt_id}({self.callee})"
+
+
+class LoopStmt(Statement):
+    """A DO loop.  ``name`` is the paper-style ``proc/label`` identifier
+    (falling back to ``proc/L<line>`` for ENDDO loops)."""
+
+    __slots__ = ("index", "low", "high", "step", "body", "term_label", "name")
+
+    def __init__(self, index: Symbol, low: Expression, high: Expression,
+                 step: Optional[Expression], body: Block,
+                 term_label: Optional[int] = None, line=0, label=None):
+        super().__init__(line, label)
+        self.index = index
+        self.low = low
+        self.high = high
+        self.step = step
+        self.body = body
+        self.term_label = term_label
+        self.name = ""
+
+    def children_blocks(self) -> Sequence[Block]:
+        return (self.body,)
+
+    def sub_expressions(self) -> Iterator[Expression]:
+        yield self.low
+        yield self.high
+        if self.step is not None:
+            yield self.step
+
+    def inner_loops(self) -> List["LoopStmt"]:
+        return [s for s in self.body.walk() if isinstance(s, LoopStmt)]
+
+    def contains_call(self) -> bool:
+        return any(isinstance(s, CallStmt) for s in self.body.walk())
+
+    def contains_io(self) -> bool:
+        return any(isinstance(s, IoStmt) for s in self.body.walk())
+
+    def __repr__(self):
+        return f"Loop#{self.stmt_id}({self.name or self.index.name})"
+
+
+class IfStmt(Statement):
+    """Block IF with one or more (condition, block) arms and optional else."""
+
+    __slots__ = ("arms", "else_block")
+
+    def __init__(self, arms: List[Tuple[Expression, Block]],
+                 else_block: Optional[Block] = None, line=0, label=None):
+        super().__init__(line, label)
+        self.arms = arms
+        self.else_block = else_block
+
+    def children_blocks(self) -> Sequence[Block]:
+        blocks = [b for _, b in self.arms]
+        if self.else_block is not None:
+            blocks.append(self.else_block)
+        return blocks
+
+    def sub_expressions(self) -> Iterator[Expression]:
+        for cond, _ in self.arms:
+            yield cond
+
+    def __repr__(self):
+        return f"If#{self.stmt_id}"
+
+
+class CycleStmt(Statement):
+    """Jump to the next iteration of the enclosing loop whose terminating
+    label is ``target_label`` (None = innermost)."""
+
+    __slots__ = ("target_label",)
+
+    def __init__(self, target_label: Optional[int] = None, line=0, label=None):
+        super().__init__(line, label)
+        self.target_label = target_label
+
+
+class ExitStmt(Statement):
+    __slots__ = ()
+
+
+class ReturnStmt(Statement):
+    __slots__ = ()
+
+
+class StopStmt(Statement):
+    __slots__ = ()
+
+
+class NoopStmt(Statement):
+    """A CONTINUE that survived GOTO elimination (kept for its label/line)."""
+    __slots__ = ()
+
+
+class IoStmt(Statement):
+    """PRINT/READ.  Loops containing I/O are never parallelized
+    (paper section 2.6)."""
+
+    __slots__ = ("kind", "items")
+
+    def __init__(self, kind: str, items: List[Expression], line=0, label=None):
+        super().__init__(line, label)
+        self.kind = kind
+        self.items = items
+
+    def sub_expressions(self) -> Iterator[Expression]:
+        return iter(self.items)
+
+
+def assign_parents(block: Block, parent: Optional[Statement] = None) -> None:
+    """Set ``stmt.parent`` links throughout a statement tree."""
+    for stmt in block.statements:
+        stmt.parent = parent
+        for child in stmt.children_blocks():
+            assign_parents(child, stmt)
+
+
+def enclosing_loops(stmt: Statement) -> List[LoopStmt]:
+    """Loops containing ``stmt``, innermost first."""
+    loops: List[LoopStmt] = []
+    cur = stmt.parent
+    while cur is not None:
+        if isinstance(cur, LoopStmt):
+            loops.append(cur)
+        cur = cur.parent
+    return loops

@@ -1,0 +1,202 @@
+"""Symbols, array shapes, and COMMON-block layout.
+
+Fortran semantics the analyses depend on live here:
+
+* arrays have per-dimension inclusive bounds (default lower bound 1),
+  possibly *adjustable* (bounds are expressions over formals) or
+  *assumed-size* (``*`` last dimension),
+* COMMON blocks give every procedure its own *view* (name, shape, element
+  offset) over one shared storage sequence — the source of the aliasing
+  that the array-liveness-driven common-block splitting (paper section 5.5)
+  untangles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+INT = "integer"
+REAL = "real"
+
+
+class Dimension:
+    """One array dimension with inclusive bounds ``low:high``.
+
+    Bounds are IR expressions (:mod:`repro.ir.expressions`); ``high`` may be
+    None for an assumed-size ``*`` dimension.  ``constant_extent`` is filled
+    in when both bounds fold to integers.
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low, high):
+        self.low = low
+        self.high = high
+
+    def constant_extent(self) -> Optional[int]:
+        from .expressions import Const
+        if isinstance(self.low, Const) and isinstance(self.high, Const):
+            return int(self.high.value) - int(self.low.value) + 1
+        return None
+
+    def __repr__(self) -> str:
+        return f"{self.low!r}:{self.high!r}"
+
+
+class Symbol:
+    """A scalar or array variable local to one procedure's scope.
+
+    ``storage`` distinguishes where the value lives:
+
+    * ``"local"`` — procedure-private,
+    * ``"formal"`` — dummy argument (passed by reference),
+    * ``"common"`` — a view into COMMON block ``common_block`` at element
+      offset ``common_offset``,
+    * ``"const"`` — PARAMETER constant with ``const_value``.
+    """
+
+    __slots__ = ("name", "type", "dims", "storage", "common_block",
+                 "common_offset", "const_value", "proc_name")
+
+    def __init__(self, name: str, type_: str = REAL,
+                 dims: Optional[List[Dimension]] = None,
+                 storage: str = "local",
+                 common_block: Optional[str] = None,
+                 common_offset: int = 0,
+                 const_value=None,
+                 proc_name: str = ""):
+        self.name = name
+        self.type = type_
+        self.dims = dims or []
+        self.storage = storage
+        self.common_block = common_block
+        self.common_offset = common_offset
+        self.const_value = const_value
+        self.proc_name = proc_name
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def is_formal(self) -> bool:
+        return self.storage == "formal"
+
+    @property
+    def is_common(self) -> bool:
+        return self.storage == "common"
+
+    @property
+    def is_const(self) -> bool:
+        return self.storage == "const"
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def constant_size(self) -> Optional[int]:
+        """Total element count if all extents are constant, else None."""
+        if not self.is_array:
+            return 1
+        total = 1
+        for d in self.dims:
+            e = d.constant_extent()
+            if e is None:
+                return None
+            total *= e
+        return total
+
+    def qualified(self) -> str:
+        return f"{self.proc_name}::{self.name}" if self.proc_name else self.name
+
+    def __repr__(self) -> str:
+        shape = "(" + ",".join(map(repr, self.dims)) + ")" if self.dims else ""
+        return f"Symbol({self.qualified()}{shape}, {self.storage})"
+
+
+class CommonView:
+    """One procedure's declared view of a COMMON block: the ordered symbols
+    it lays over the block's storage."""
+
+    __slots__ = ("proc_name", "symbols")
+
+    def __init__(self, proc_name: str, symbols: List[Symbol]):
+        self.proc_name = proc_name
+        self.symbols = symbols
+
+
+class CommonBlock:
+    """A COMMON block: shared flat storage plus all per-procedure views."""
+
+    __slots__ = ("name", "views", "size")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.views: Dict[str, CommonView] = {}
+        self.size = 0
+
+    def add_view(self, view: CommonView) -> None:
+        self.views[view.proc_name] = view
+        offset = 0
+        for sym in view.symbols:
+            sym.common_offset = offset
+            n = sym.constant_size()
+            if n is None:
+                raise ValueError(
+                    f"COMMON /{self.name}/ member {sym.name} in "
+                    f"{view.proc_name} must have constant shape")
+            offset += n
+        self.size = max(self.size, offset)
+
+    def overlapping_pairs(self) -> List[Tuple[Symbol, Symbol]]:
+        """All pairs of symbols from *different* views whose storage ranges
+        overlap — the alias pairs (paper section 3.4.2 / 5.5)."""
+        spans: List[Tuple[Symbol, int, int]] = []
+        for view in self.views.values():
+            for sym in view.symbols:
+                size = sym.constant_size() or 0
+                spans.append((sym, sym.common_offset,
+                              sym.common_offset + size))
+        pairs: List[Tuple[Symbol, Symbol]] = []
+        for i, (a, alo, ahi) in enumerate(spans):
+            for b, blo, bhi in spans[i + 1:]:
+                if a.proc_name == b.proc_name:
+                    continue
+                if alo < bhi and blo < ahi:
+                    pairs.append((a, b))
+        return pairs
+
+
+class SymbolTable:
+    """Per-procedure name → Symbol mapping."""
+
+    def __init__(self, proc_name: str):
+        self.proc_name = proc_name
+        self._symbols: Dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol) -> Symbol:
+        symbol.proc_name = self.proc_name
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        return self._symbols.get(name)
+
+    def get_or_create(self, name: str, type_: str = REAL) -> Symbol:
+        sym = self._symbols.get(name)
+        if sym is None:
+            inferred = INT if name[:1] in "ijklmn" else type_
+            sym = self.define(Symbol(name, inferred))
+        return sym
+
+    def all(self) -> List[Symbol]:
+        return list(self._symbols.values())
+
+    def arrays(self) -> List[Symbol]:
+        return [s for s in self._symbols.values() if s.is_array]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __iter__(self):
+        return iter(self._symbols.values())

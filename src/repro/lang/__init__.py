@@ -1,0 +1,11 @@
+"""Mini-Fortran front end: lexer, AST, parser."""
+
+from .errors import BuildError, FrontEndError, LexError, ParseError, \
+    SourceLocation
+from .lexer import Token, tokenize
+from .parser import parse_source
+
+__all__ = [
+    "BuildError", "FrontEndError", "LexError", "ParseError",
+    "SourceLocation", "Token", "tokenize", "parse_source",
+]

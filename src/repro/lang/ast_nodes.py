@@ -1,0 +1,316 @@
+"""Abstract syntax tree for the mini-Fortran language.
+
+The AST is purely syntactic: names are unresolved strings, GOTOs are still
+gotos, and array references are indistinguishable from intrinsic calls
+(Fortran's classic `a(i)` ambiguity).  Lowering to the resolved IR happens
+in :mod:`repro.ir.builder`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .errors import SourceLocation
+
+
+class Node:
+    """Base AST node; every node records its source location."""
+
+    __slots__ = ("loc",)
+
+    def __init__(self, loc: SourceLocation):
+        self.loc = loc
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class NumLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, loc: SourceLocation):
+        super().__init__(loc)
+        self.value = value
+
+    def __repr__(self):
+        return f"NumLit({self.value})"
+
+
+class StrLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, loc: SourceLocation):
+        super().__init__(loc)
+        self.value = value
+
+    def __repr__(self):
+        return f"StrLit({self.value!r})"
+
+
+class BoolLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, loc: SourceLocation):
+        super().__init__(loc)
+        self.value = value
+
+    def __repr__(self):
+        return f"BoolLit({self.value})"
+
+
+class Name(Expr):
+    """A bare identifier — scalar variable or array name."""
+
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: str, loc: SourceLocation):
+        super().__init__(loc)
+        self.ident = ident
+
+    def __repr__(self):
+        return f"Name({self.ident})"
+
+
+class Apply(Expr):
+    """``name(arg, ...)`` — array reference *or* intrinsic function call;
+    disambiguated during IR building from the declared symbols."""
+
+    __slots__ = ("ident", "args")
+
+    def __init__(self, ident: str, args: Sequence[Expr], loc: SourceLocation):
+        super().__init__(loc)
+        self.ident = ident
+        self.args = list(args)
+
+    def __repr__(self):
+        return f"Apply({self.ident}, {self.args})"
+
+
+class BinOp(Expr):
+    """Binary operation.  ``op`` is one of
+    ``+ - * / ** < <= > >= == /= and or``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self):
+        return f"BinOp({self.op}, {self.left}, {self.right})"
+
+
+class UnOp(Expr):
+    """Unary ``-`` or ``not``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self):
+        return f"UnOp({self.op}, {self.operand})"
+
+
+class RangeArg(Expr):
+    """``lo:hi`` inside a declaration dimension or section expression."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Optional[Expr], high: Optional[Expr],
+                 loc: SourceLocation):
+        super().__init__(loc)
+        self.low = low
+        self.high = high
+
+    def __repr__(self):
+        return f"RangeArg({self.low}, {self.high})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt(Node):
+    __slots__ = ("label",)
+
+    def __init__(self, loc: SourceLocation, label: Optional[int] = None):
+        super().__init__(loc)
+        self.label = label
+
+
+class Assign(Stmt):
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Expr, value: Expr, loc, label=None):
+        super().__init__(loc, label)
+        self.target = target
+        self.value = value
+
+
+class CallStmt(Stmt):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr], loc, label=None):
+        super().__init__(loc, label)
+        self.name = name
+        self.args = list(args)
+
+
+class DoLoop(Stmt):
+    """``DO [termlabel] var = low, high [, step]`` with its body.
+
+    ``term_label`` is the label of the terminating CONTINUE for
+    label-terminated loops (None for ``ENDDO`` form); it gives loops their
+    paper-style names like ``interf/1000``.
+    """
+
+    __slots__ = ("var", "low", "high", "step", "body", "term_label")
+
+    def __init__(self, var: str, low: Expr, high: Expr, step: Optional[Expr],
+                 body: List[Stmt], term_label: Optional[int], loc, label=None):
+        super().__init__(loc, label)
+        self.var = var
+        self.low = low
+        self.high = high
+        self.step = step
+        self.body = body
+        self.term_label = term_label
+
+
+class IfBlock(Stmt):
+    """Block IF: list of (condition, body) arms plus optional else body."""
+
+    __slots__ = ("arms", "else_body")
+
+    def __init__(self, arms: List[Tuple[Expr, List[Stmt]]],
+                 else_body: Optional[List[Stmt]], loc, label=None):
+        super().__init__(loc, label)
+        self.arms = arms
+        self.else_body = else_body
+
+
+class LogicalIf(Stmt):
+    """One-line ``IF (cond) stmt``."""
+
+    __slots__ = ("cond", "stmt")
+
+    def __init__(self, cond: Expr, stmt: Stmt, loc, label=None):
+        super().__init__(loc, label)
+        self.cond = cond
+        self.stmt = stmt
+
+
+class Goto(Stmt):
+    __slots__ = ("target",)
+
+    def __init__(self, target: int, loc, label=None):
+        super().__init__(loc, label)
+        self.target = target
+
+
+class Continue(Stmt):
+    """A (possibly labeled) CONTINUE — a no-op that can end a DO loop."""
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ()
+
+
+class Stop(Stmt):
+    __slots__ = ()
+
+
+class ExitStmt(Stmt):
+    __slots__ = ()
+
+
+class CycleStmt(Stmt):
+    __slots__ = ()
+
+
+class IoStmt(Stmt):
+    """PRINT or READ.  I/O pins a loop sequential (paper section 2.6)."""
+
+    __slots__ = ("kind", "items")
+
+    def __init__(self, kind: str, items: Sequence[Expr], loc, label=None):
+        super().__init__(loc, label)
+        self.kind = kind          # "print" | "read"
+        self.items = list(items)
+
+
+# ---------------------------------------------------------------------------
+# Declarations & program units
+# ---------------------------------------------------------------------------
+
+class ArrayDecl:
+    """``name(d1, d2, ...)`` in DIMENSION/type/COMMON statements.
+
+    Each dim is ``(low, high)`` of optional Exprs; ``(None, None)`` means an
+    assumed-size ``*`` dimension; scalar declarations have no dims.
+    """
+
+    __slots__ = ("name", "dims", "loc")
+
+    def __init__(self, name: str,
+                 dims: List[Tuple[Optional[Expr], Optional[Expr]]],
+                 loc: SourceLocation):
+        self.name = name
+        self.dims = dims
+        self.loc = loc
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+
+class Declaration(Node):
+    """A specification statement."""
+
+    __slots__ = ("kind", "type_name", "common_name", "entries", "params")
+
+    def __init__(self, kind: str, loc: SourceLocation, *,
+                 type_name: str = "", common_name: str = "",
+                 entries: Optional[List[ArrayDecl]] = None,
+                 params: Optional[List[Tuple[str, Expr]]] = None):
+        super().__init__(loc)
+        self.kind = kind                # "type" | "dimension" | "common" | "parameter"
+        self.type_name = type_name      # "integer" | "real" for kind=="type"
+        self.common_name = common_name
+        self.entries = entries or []
+        self.params = params or []
+
+
+class Unit(Node):
+    """A PROGRAM or SUBROUTINE unit."""
+
+    __slots__ = ("kind", "name", "params", "decls", "body")
+
+    def __init__(self, kind: str, name: str, params: List[str],
+                 decls: List[Declaration], body: List[Stmt],
+                 loc: SourceLocation):
+        super().__init__(loc)
+        self.kind = kind                # "program" | "subroutine"
+        self.name = name
+        self.params = params
+        self.decls = decls
+        self.body = body
+
+
+class SourceFile(Node):
+    __slots__ = ("units",)
+
+    def __init__(self, units: List[Unit], loc: SourceLocation):
+        super().__init__(loc)
+        self.units = units

@@ -1,0 +1,40 @@
+"""Diagnostics for the mini-Fortran front end."""
+
+from __future__ import annotations
+
+
+class SourceLocation:
+    """A (line, column) position inside a named source unit."""
+
+    __slots__ = ("line", "column", "unit")
+
+    def __init__(self, line: int, column: int = 0, unit: str = "<input>"):
+        self.line = line
+        self.column = column
+        self.unit = unit
+
+    def __repr__(self) -> str:
+        return f"{self.unit}:{self.line}:{self.column}"
+
+
+class FrontEndError(Exception):
+    """Base class for lexer/parser/builder diagnostics."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        where = f"{location}: " if location else ""
+        super().__init__(f"{where}{message}")
+
+
+class LexError(FrontEndError):
+    pass
+
+
+class ParseError(FrontEndError):
+    pass
+
+
+class BuildError(FrontEndError):
+    """Raised while lowering the AST to IR (symbol resolution, GOTO
+    structuring, shape checking)."""
+    pass

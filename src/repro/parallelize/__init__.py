@@ -1,0 +1,22 @@
+"""Automatic parallelization: planning, transforms, data decomposition."""
+
+from .decomposition import (SplitReport, find_splittable_blocks,
+                            split_common_blocks, split_pass)
+from .parallelizer import Assertion, Parallelizer
+from .plan import (DEP, INDUCTION, PARALLEL, PRIVATE, PRIVATE_FINAL,
+                   PRIVATE_USER, REDUCTION, LoopPlan, ProgramPlan, VarPlan)
+from .transforms import (ContractionResult, annotate_source,
+                         contract_array, contract_in_program,
+                         contraction_candidates, loop_directives,
+                         lower_array_reduction, lower_scalar_reduction)
+
+__all__ = [
+    "Assertion", "Parallelizer",
+    "DEP", "INDUCTION", "PARALLEL", "PRIVATE", "PRIVATE_FINAL",
+    "PRIVATE_USER", "REDUCTION", "LoopPlan", "ProgramPlan", "VarPlan",
+    "SplitReport", "find_splittable_blocks", "split_common_blocks",
+    "split_pass",
+    "ContractionResult", "annotate_source", "contract_array",
+    "contract_in_program", "contraction_candidates", "loop_directives",
+    "lower_array_reduction", "lower_scalar_reduction",
+]

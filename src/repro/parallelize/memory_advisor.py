@@ -1,0 +1,147 @@
+"""Memory-performance advisor — the paper's future-work direction
+("SUIF Explorer for Optimizing Memory Performance", section 7.5.1),
+covering the two problems diagnosed manually in section 4.2.4 / Fig 4-6:
+
+* **poor spatial locality**: Fortran arrays are column-major, so an
+  innermost loop whose index subscripts a *non-first* dimension walks
+  memory with a large stride ("the inner loop accesses the data by row,
+  which is not contiguous in Fortran"); the classic fix is a loop
+  interchange or an array transpose,
+* **conflicting data decompositions**: two parallel loops that distribute
+  the same array along *different* dimensions force data reshuffling
+  between them ("the loops vsetuv/85 and vqterm/85 are parallel, but the
+  data are distributed across the processors by column and by row,
+  respectively").
+
+The advisor reports both, with the transformation a compiler expert would
+apply.  It is diagnostic (the paper applied these fixes by hand too).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.expressions import ArrayRef, VarRef
+from ..ir.program import Program
+from ..ir.statements import AssignStmt, LoopStmt, enclosing_loops
+from ..ir.symbols import Symbol
+from .plan import ProgramPlan
+
+
+class Advisory:
+    __slots__ = ("kind", "loop_names", "array", "detail")
+
+    def __init__(self, kind: str, loop_names: List[str], array: str,
+                 detail: str):
+        self.kind = kind              # "locality" | "decomposition"
+        self.loop_names = loop_names
+        self.array = array
+        self.detail = detail
+
+    def __repr__(self):
+        return f"Advisory({self.kind}, {self.array}, {self.loop_names})"
+
+
+def _subscript_dims(loop: LoopStmt, sym_filter=None
+                    ) -> Dict[Symbol, Set[int]]:
+    """For each array referenced in the loop, the set of dimensions whose
+    subscript mentions the loop's own index."""
+    out: Dict[Symbol, Set[int]] = {}
+    for stmt in loop.body.walk():
+        exprs = list(stmt.sub_expressions())
+        if isinstance(stmt, AssignStmt):
+            exprs.append(stmt.target)
+        for expr in exprs:
+            for node in expr.walk():
+                if not isinstance(node, ArrayRef) or not node.indices:
+                    continue
+                if sym_filter is not None and not sym_filter(node.symbol):
+                    continue
+                for k, idx in enumerate(node.indices):
+                    for ref in idx.walk():
+                        if isinstance(ref, VarRef) and \
+                                ref.symbol is loop.index:
+                            out.setdefault(node.symbol, set()).add(k)
+    return out
+
+
+def locality_advisories(program: Program) -> List[Advisory]:
+    """Innermost loops whose index walks a non-first dimension of a
+    multi-dimensional array (stride >= extent of dim 0)."""
+    advisories: List[Advisory] = []
+    for proc in program.procedures.values():
+        for loop in proc.loops():
+            if loop.inner_loops():
+                continue                       # only innermost loops
+            dims = _subscript_dims(loop,
+                                   lambda s: s.rank >= 2)
+            bad = [(sym, ds) for sym, ds in dims.items()
+                   if 0 not in ds and ds]
+            for sym, ds in bad:
+                outer = enclosing_loops(loop)
+                fix = "array transpose"
+                for o in outer:
+                    odims = _subscript_dims(o, lambda s: s is sym)
+                    if 0 in odims.get(sym, ()):
+                        fix = (f"loop interchange with {o.name} "
+                               f"(its index walks dimension 0)")
+                        break
+                advisories.append(Advisory(
+                    "locality", [loop.name], sym.name,
+                    f"innermost loop {loop.name} subscripts only "
+                    f"dimension(s) {sorted(d + 1 for d in ds)} of "
+                    f"{sym.name} — non-contiguous column-major access; "
+                    f"suggested fix: {fix}"))
+    return advisories
+
+
+def decomposition_advisories(program: Program, plan: ProgramPlan
+                             ) -> List[Advisory]:
+    """Pairs of parallel loops that distribute the same array along
+    different dimensions (Fig 4-6's vsetuv/vqterm conflict)."""
+    def storage_key(sym: Symbol):
+        # unify COMMON views across procedures: they are the same data
+        if sym.is_common:
+            return ("cm", sym.common_block, sym.common_offset)
+        return ("v", id(sym))
+
+    distribution: Dict[Tuple, List[Tuple[str, int, str]]] = {}
+    for loop in plan.outermost_parallel():
+        dims = _subscript_dims(loop, lambda s: s.rank >= 2)
+        for sym, ds in dims.items():
+            if len(ds) == 1:
+                distribution.setdefault(storage_key(sym), []).append(
+                    (loop.name, next(iter(ds)), sym.name))
+    advisories: List[Advisory] = []
+    for uses in distribution.values():
+        by_dim: Dict[int, List[str]] = {}
+        for lname, d, _ in uses:
+            by_dim.setdefault(d, []).append(lname)
+        if len(by_dim) > 1:
+            name = uses[0][2]
+            parts = ", ".join(
+                f"dim {d + 1} in {sorted(set(ls))}"
+                for d, ls in sorted(by_dim.items()))
+            advisories.append(Advisory(
+                "decomposition", sorted({l for l, _, _ in uses}),
+                name,
+                f"{name} is distributed along conflicting dimensions "
+                f"({parts}) — data reshuffling between the loops; "
+                f"suggested fix: transpose one use or align the "
+                f"distributions"))
+    return advisories
+
+
+def advise(program: Program, plan: Optional[ProgramPlan] = None
+           ) -> List[Advisory]:
+    """Full advisory report for a (possibly parallelized) program."""
+    out = locality_advisories(program)
+    if plan is not None:
+        out.extend(decomposition_advisories(program, plan))
+    return out
+
+
+def report_lines(advisories: List[Advisory]) -> List[str]:
+    if not advisories:
+        return ["no memory-performance advisories"]
+    return [f"[{a.kind}] {a.detail}" for a in advisories]

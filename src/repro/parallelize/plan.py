@@ -1,0 +1,144 @@
+"""Plan datatypes produced by the parallelizer.
+
+A :class:`LoopPlan` records, per loop, how every written location was
+classified — the same vocabulary Fig 4-9 of the paper uses (parallel
+arrays, privatizable arrays/scalars, reduction arrays/scalars) plus
+induction variables — and whether the loop as a whole is parallelizable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.statements import LoopStmt
+from ..ir.symbols import Symbol
+
+# classification statuses
+PARALLEL = "parallel"          # accesses carry no loop-carried dependence
+PRIVATE = "private"            # privatizable; dead at exit, no finalization
+PRIVATE_FINAL = "private_final"  # privatizable with last-iteration finalization
+PRIVATE_USER = "private_user"  # privatized on a user assertion
+REDUCTION = "reduction"
+INDUCTION = "induction"
+DEP = "dep"                    # unresolved dependence — blocks the loop
+
+_OK = {PARALLEL, PRIVATE, PRIVATE_FINAL, PRIVATE_USER, REDUCTION, INDUCTION}
+
+
+class VarPlan:
+    """Classification of one abstract location within one loop."""
+
+    __slots__ = ("key", "symbols", "status", "reduction_ops", "reason")
+
+    def __init__(self, key: Tuple, symbols: Set[Symbol], status: str,
+                 reduction_ops: Optional[Set[str]] = None, reason: str = ""):
+        self.key = key
+        self.symbols = symbols
+        self.status = status
+        self.reduction_ops = reduction_ops or set()
+        self.reason = reason
+
+    @property
+    def ok(self) -> bool:
+        return self.status in _OK
+
+    @property
+    def is_scalar(self) -> bool:
+        return all(not s.is_array for s in self.symbols) and bool(self.symbols)
+
+    @property
+    def display_name(self) -> str:
+        names = sorted({s.name for s in self.symbols})
+        return "/".join(names) if names else str(self.key)
+
+    def __repr__(self):
+        return f"VarPlan({self.display_name}: {self.status})"
+
+
+class LoopPlan:
+    """Parallelization verdict for one loop."""
+
+    __slots__ = ("loop", "vars", "contains_io", "blockers",
+                 "assertions_used", "parallel")
+
+    def __init__(self, loop: LoopStmt):
+        self.loop = loop
+        self.vars: Dict[Tuple, VarPlan] = {}
+        self.contains_io = False
+        self.blockers: List[str] = []
+        self.assertions_used: List[str] = []
+        self.parallel = False
+
+    def finalize(self) -> None:
+        if self.contains_io:
+            self.blockers.append("loop performs I/O")
+        for vp in self.vars.values():
+            if not vp.ok:
+                self.blockers.append(
+                    f"{vp.display_name}: {vp.reason or 'data dependence'}")
+        self.parallel = not self.blockers
+
+    # -- reporting helpers ----------------------------------------------------
+    def classified(self, *statuses: str) -> List[VarPlan]:
+        return [v for v in self.vars.values() if v.status in statuses]
+
+    def count(self, status: str, scalar: Optional[bool] = None) -> int:
+        n = 0
+        for v in self.vars.values():
+            if v.status != status:
+                continue
+            if scalar is None or v.is_scalar == scalar:
+                n += 1
+        return n
+
+    def dependent_vars(self) -> List[VarPlan]:
+        return [v for v in self.vars.values() if v.status == DEP]
+
+    def __repr__(self):
+        tag = "PARALLEL" if self.parallel else "sequential"
+        return f"LoopPlan({self.loop.name}: {tag})"
+
+
+class ProgramPlan:
+    """All loop plans for a program plus the outermost-parallel strategy."""
+
+    def __init__(self, program):
+        self.program = program
+        self.loops: Dict[int, LoopPlan] = {}
+
+    def plan_for(self, loop: LoopStmt) -> LoopPlan:
+        return self.loops[loop.stmt_id]
+
+    def plan_by_name(self, name: str) -> LoopPlan:
+        return self.loops[self.program.loop(name).stmt_id]
+
+    def is_parallel(self, loop: LoopStmt) -> bool:
+        plan = self.loops.get(loop.stmt_id)
+        return plan is not None and plan.parallel
+
+    def parallel_loops(self) -> List[LoopStmt]:
+        return [p.loop for p in self.loops.values() if p.parallel]
+
+    def sequential_loops(self) -> List[LoopStmt]:
+        return [p.loop for p in self.loops.values() if not p.parallel]
+
+    def outermost_parallel(self) -> List[LoopStmt]:
+        """Parallel loops not lexically nested inside another parallel loop
+        of the same procedure (the runtime additionally suppresses loops
+        dynamically nested under a parallel loop across calls)."""
+        from ..ir.statements import enclosing_loops
+        out = []
+        for plan in self.loops.values():
+            if not plan.parallel:
+                continue
+            if any(self.is_parallel(outer)
+                   for outer in enclosing_loops(plan.loop)):
+                continue
+            out.append(plan.loop)
+        return out
+
+    def summary_counts(self) -> Dict[str, int]:
+        out = {"loops": len(self.loops), "parallel": 0, "sequential": 0}
+        for plan in self.loops.values():
+            out["parallel" if plan.parallel else "sequential"] += 1
+        return out

@@ -1,0 +1,193 @@
+"""Fourier-Motzkin elimination over the rationals.
+
+This is the "potentially exponential" engine the paper leans on for all
+array-section operations (section 5.2.3: "operations on array summaries use
+the potentially exponential Fourier-Motzkin method").  Sizes here are tiny
+(a handful of loop indices and symbolic constants), so the classical
+algorithm with redundancy pruning is plenty.
+
+Equalities are removed first by Gaussian substitution, which both speeds up
+elimination and keeps it exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from .linexpr import LinExpr
+from .system import Constraint, System
+
+# Safety valve: beyond this many inequalities we conservatively keep the
+# variable unconstrained (the projection becomes an over-approximation,
+# which is sound for may-information and handled by callers for must-).
+MAX_CONSTRAINTS = 600
+
+
+def _split(system: System) -> Tuple[List[Constraint], List[Constraint]]:
+    eqs = [c for c in system.constraints if c.is_equality]
+    ineqs = [c for c in system.constraints if not c.is_equality]
+    return eqs, ineqs
+
+
+def _solve_equalities(system: System, protect: Sequence[str] = ()
+                      ) -> System | None:
+    """Use equalities to substitute variables away (Gaussian elimination).
+
+    Returns an equivalent system whose equalities involve only variables in
+    ``protect`` (or constants), or ``None`` if a contradiction was found.
+    Variables in ``protect`` are never chosen as substitution targets.
+    """
+    protected = set(protect)
+    current = system
+    changed = True
+    while changed:
+        changed = False
+        eqs, _ = _split(current)
+        for eq in eqs:
+            # pick a variable to solve for
+            pivot = None
+            for var in eq.expr.coeffs:
+                if var not in protected:
+                    pivot = var
+                    break
+            if pivot is None:
+                if eq.expr.is_constant() and eq.expr.const != 0:
+                    return None
+                continue
+            coef = eq.expr.coeffs[pivot]
+            # pivot = -(rest)/coef
+            rest = LinExpr({v: c for v, c in eq.expr.coeffs.items()
+                            if v != pivot}, eq.expr.const)
+            replacement = rest * Fraction(-1, 1) * (Fraction(1, 1) / coef)
+            new_constraints = []
+            for c in current.constraints:
+                if c is eq:
+                    continue
+                new_constraints.append(c.substitute(pivot, replacement))
+            current = System(new_constraints)
+            changed = True
+            break
+        else:
+            break
+    # check remaining constant equalities
+    for c in current.constraints:
+        if c.is_trivially_false():
+            return None
+    return current
+
+
+def eliminate_variable(ineqs: List[Constraint], var: str) -> List[Constraint]:
+    """One Fourier-Motzkin step: eliminate ``var`` from inequalities."""
+    lower: List[LinExpr] = []   # var >= expr  (normalized)
+    upper: List[LinExpr] = []   # var <= expr
+    free: List[Constraint] = []
+    for c in ineqs:
+        coef = c.expr.coeff(var)
+        if coef == 0:
+            free.append(c)
+            continue
+        # c.expr = coef*var + rest >= 0
+        rest = LinExpr({v: k for v, k in c.expr.coeffs.items() if v != var},
+                       c.expr.const)
+        if coef > 0:
+            # var >= -rest/coef
+            lower.append(rest * (Fraction(-1) / coef))
+        else:
+            # var <= rest/(-coef)
+            upper.append(rest * (Fraction(1) / (-coef)))
+    result = list(free)
+    for lo in lower:
+        for hi in upper:
+            # lo <= var <= hi  =>  hi - lo >= 0
+            result.append(Constraint(hi - lo))
+    return _prune(result)
+
+
+def _prune(constraints: List[Constraint]) -> List[Constraint]:
+    """Drop trivially-true and syntactically duplicate constraints, and
+    inequalities dominated by another with the same linear part."""
+    best: dict = {}
+    order: List[Tuple] = []
+    for c in constraints:
+        if c.is_trivially_true():
+            continue
+        lin = tuple(sorted(c.expr.coeffs.items()))
+        key = (lin, c.is_equality)
+        prev = best.get(key)
+        if prev is None:
+            best[key] = c
+            order.append(key)
+        elif not c.is_equality:
+            # same linear part: expr+c1 >= 0 dominated by expr+c2 >= 0, c2<c1
+            if c.expr.const < prev.expr.const:
+                best[key] = c
+    return [best[k] for k in order]
+
+
+def project(system: System, variables: Sequence[str]) -> System:
+    """Existentially project away ``variables``."""
+    # Equality substitution may only eliminate the variables being
+    # projected — every other variable must survive into the result.
+    keep = [v for v in system.variables() if v not in set(variables)]
+    solved = _solve_equalities(system, protect=keep)
+    if solved is None:
+        # Contradictory system: projection of the empty set is empty.
+        return System([Constraint(LinExpr.constant(-1))])
+    remaining = set(variables)
+    # Substitution may already have removed some of them.
+    _, ineqs = _split(solved)
+    eqs, _ = _split(solved)
+    constraints = list(solved.constraints)
+    for var in list(remaining):
+        present = any(c.expr.references(var) for c in constraints)
+        if not present:
+            remaining.discard(var)
+    for var in sorted(remaining):
+        # separate equalities mentioning var: substitute through one of them
+        eq_with = [c for c in constraints
+                   if c.is_equality and c.expr.references(var)]
+        if eq_with:
+            eq = eq_with[0]
+            coef = eq.expr.coeffs[var]
+            rest = LinExpr({v: k for v, k in eq.expr.coeffs.items()
+                            if v != var}, eq.expr.const)
+            repl = rest * (Fraction(-1) / coef)
+            constraints = [c.substitute(var, repl) for c in constraints
+                           if c is not eq]
+            constraints = _prune(constraints)
+            continue
+        ineqs_all = [c for c in constraints if not c.is_equality]
+        eqs_all = [c for c in constraints if c.is_equality]
+        new_ineqs = eliminate_variable(ineqs_all, var)
+        if len(new_ineqs) > MAX_CONSTRAINTS:
+            # over-approximate: drop every constraint that mentions var
+            new_ineqs = [c for c in ineqs_all if not c.expr.references(var)]
+        constraints = eqs_all + new_ineqs
+    return System(constraints)
+
+
+def system_is_empty(system: System) -> bool:
+    """Decide rational emptiness by eliminating every variable."""
+    solved = _solve_equalities(system)
+    if solved is None:
+        return True
+    _, ineqs = _split(solved)
+    eqs, _ = _split(solved)
+    # Any surviving equality here mentions only protected vars — none were
+    # protected, so it must be constant; _solve_equalities checked those.
+    ineqs = _prune(ineqs)
+    variables = sorted({v for c in ineqs for v in c.variables()})
+    for var in variables:
+        ineqs = eliminate_variable(ineqs, var)
+        if len(ineqs) > MAX_CONSTRAINTS:
+            # Over-approximate (treat as non-empty): sound for dependence
+            # testing where non-empty means "assume a dependence".
+            return False
+        for c in ineqs:
+            if c.is_trivially_false():
+                return True
+    for c in ineqs:
+        if c.is_trivially_false():
+            return True
+    return False

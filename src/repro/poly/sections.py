@@ -1,0 +1,216 @@
+"""Array sections: finite unions of integer polyhedra.
+
+"The accessed region of an array is represented as a set of such polyhedra"
+(paper section 5.2.1).  A :class:`Section` is that set.  Dimension ``k`` of
+an array is bound to the reserved variable ``dim(k)`` (``"_d0"``, ``"_d1"``,
+...); any other variables appearing in a system are symbolic context
+variables (loop-invariant scalars, loop indices not yet projected away).
+
+The operations here mirror exactly what the analyses need:
+
+* ``union`` / ``intersect`` / ``subtract`` — set algebra on regions,
+* ``project_away`` — the *closure* operator that removes a loop index,
+* ``is_empty`` / ``contains`` — decision procedures (conservative over Z),
+* ``rename`` / ``substitute`` — parameter mapping across call sites.
+
+``subtract`` is exact over the rationals for polyhedral operands; when a
+result would explode past ``MAX_DISJUNCTS`` the *subtrahend is ignored*
+for that disjunct, which over-approximates the difference — sound wherever
+sections describe may-information (exposed reads), and callers that need
+under-approximation (must-writes) never subtract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+from .linexpr import LinExpr
+from .system import Constraint, System
+
+MAX_DISJUNCTS = 40
+
+_DIM_PREFIX = "_d"
+
+
+def dim(k: int) -> str:
+    """Reserved variable name for array dimension ``k`` (0-based)."""
+    return f"{_DIM_PREFIX}{k}"
+
+
+def is_dim(name: str) -> bool:
+    return name.startswith(_DIM_PREFIX) and name[len(_DIM_PREFIX):].isdigit()
+
+
+class Section:
+    """A union of :class:`System` polyhedra describing array elements."""
+
+    __slots__ = ("systems",)
+
+    def __init__(self, systems: Iterable[System] = ()):
+        kept: List[System] = []
+        seen = set()
+        for s in systems:
+            k = s.key()
+            if k not in seen:
+                seen.add(k)
+                kept.append(s)
+        self.systems: Tuple[System, ...] = tuple(kept)
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def empty() -> "Section":
+        return Section()
+
+    @staticmethod
+    def universe() -> "Section":
+        """The whole array (every index value) — the conservative section
+        used for non-affine subscripts."""
+        return Section([System.universe()])
+
+    @staticmethod
+    def from_system(system: System) -> "Section":
+        return Section([system])
+
+    @staticmethod
+    def point(indices: Sequence[LinExpr]) -> "Section":
+        """The single element whose subscripts are the given affine exprs."""
+        cons = [Constraint.eq(LinExpr.var(dim(k)), e)
+                for k, e in enumerate(indices)]
+        return Section([System(cons)])
+
+    # -- predicates ----------------------------------------------------------
+    def is_empty(self) -> bool:
+        return all(s.is_empty() for s in self.systems)
+
+    def is_universe(self) -> bool:
+        return any(not s.constraints for s in self.systems)
+
+    def contains(self, other: "Section") -> bool:
+        """Conservative containment: every disjunct of ``other`` must be
+        contained in a single disjunct of ``self`` (or be empty).  May
+        return False for true containments split across disjuncts — the
+        safe direction for all callers."""
+        for o in other.systems:
+            if o.is_empty():
+                continue
+            if not any(s.contains(o) for s in self.systems):
+                return False
+        return True
+
+    def intersects(self, other: "Section") -> bool:
+        return not self.intersect(other).is_empty()
+
+    # -- algebra -------------------------------------------------------------
+    def union(self, other: "Section") -> "Section":
+        merged = list(self.systems) + list(other.systems)
+        if len(merged) > MAX_DISJUNCTS:
+            merged = _coalesce(merged)
+        if len(merged) > MAX_DISJUNCTS:
+            # Over-approximate to the whole array — sound for may-info.
+            return Section.universe()
+        return Section(merged)
+
+    def intersect(self, other: "Section") -> "Section":
+        out: List[System] = []
+        for a in self.systems:
+            for b in other.systems:
+                c = a.intersect(b)
+                if not c.is_empty():
+                    out.append(c)
+        return Section(out)
+
+    def subtract(self, other: "Section") -> "Section":
+        """Set difference ``self - other`` (over-approximated on blowup)."""
+        current = [s for s in self.systems if not s.is_empty()]
+        for b in other.systems:
+            if not b.constraints:           # subtracting the universe
+                return Section.empty()
+            nxt: List[System] = []
+            for a in current:
+                pieces = _subtract_one(a, b)
+                if len(nxt) + len(pieces) > MAX_DISJUNCTS:
+                    nxt.append(a)           # give up on this subtrahend
+                else:
+                    nxt.extend(pieces)
+            current = nxt
+        return Section(current)
+
+    def project_away(self, variables: Sequence[str]) -> "Section":
+        """Closure: existentially eliminate loop-index variables."""
+        return Section(s.project_away(variables) for s in self.systems)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Section":
+        return Section(s.rename(mapping) for s in self.systems)
+
+    def substitute(self, var: str, repl: LinExpr) -> "Section":
+        return Section(s.substitute(var, repl) for s in self.systems)
+
+    def constrain(self, *constraints: Constraint) -> "Section":
+        return Section(s.and_also(*constraints) for s in self.systems)
+
+    # -- introspection ---------------------------------------------------------
+    def free_variables(self) -> Tuple[str, ...]:
+        """Non-dimension variables appearing in the section."""
+        names = set()
+        for s in self.systems:
+            for v in s.variables():
+                if not is_dim(v):
+                    names.add(v)
+        return tuple(sorted(names))
+
+    def key(self) -> Tuple:
+        return tuple(sorted(s.key() for s in self.systems))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Section) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        if not self.systems:
+            return "Section(EMPTY)"
+        if self.is_universe():
+            return "Section(ALL)"
+        return "Section[" + " U ".join(map(repr, self.systems)) + "]"
+
+
+def _subtract_one(a: System, b: System) -> List[System]:
+    """``a - b`` for single polyhedra, as a disjoint union of polyhedra.
+
+    Standard construction: for constraints c1..cn of b,
+    ``a - b = U_i  (a & c1 & ... & c_{i-1} & !ci)``.
+    """
+    out: List[System] = []
+    prefix: List[Constraint] = []
+    for c in b.constraints:
+        for neg in c.negate():
+            cand = a.and_also(*prefix, neg)
+            if not cand.is_empty():
+                out.append(cand)
+        prefix.append(c)
+    if not b.constraints:
+        return []
+    return out
+
+
+def _coalesce(systems: List[System]) -> List[System]:
+    """Cheap coalescing: drop systems contained in another."""
+    kept: List[System] = []
+    for s in systems:
+        if s.is_empty():
+            continue
+        if any(other.contains(s) for other in kept):
+            continue
+        kept = [k for k in kept if not s.contains(k)]
+        kept.append(s)
+    return kept
+
+
+def range_section(low: LinExpr | int, high: LinExpr | int,
+                  dimension: int = 0) -> Section:
+    """The 1-D section ``low <= dim <= high`` (Fortran-style inclusive)."""
+    v = LinExpr.var(dim(dimension))
+    lo = low if isinstance(low, LinExpr) else LinExpr.constant(low)
+    hi = high if isinstance(high, LinExpr) else LinExpr.constant(high)
+    return Section([System([Constraint.ge(v, lo), Constraint.le(v, hi)])])

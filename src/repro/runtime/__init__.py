@@ -1,0 +1,27 @@
+"""Dynamic substrate: interpreter, execution analyzers, machine simulation."""
+
+from .dyndep import (DynamicDependenceAnalyzer, analyze_dependences,
+                     reduction_stmt_ids)
+from .interpreter import (Interpreter, Observer, RuntimeErrorInProgram,
+                          run_program)
+from .machine import (ALPHASERVER_8400, MACHINES, SGI_CHALLENGE, SGI_ORIGIN,
+                      Machine, with_processors)
+from .parallel_exec import (ATOMIC, MINIMIZED, NAIVE, STAGGERED, TREE,
+                            ParallelExecutionResult, ParallelExecutor,
+                            execute_parallel)
+from .profiler import LoopProfile, LoopProfiler, profile_program
+from .transpile import compile_program, transpile_to_python
+from .values import ArrayView, Buffer
+
+__all__ = [
+    "DynamicDependenceAnalyzer", "analyze_dependences", "reduction_stmt_ids",
+    "Interpreter", "Observer", "RuntimeErrorInProgram", "run_program",
+    "ALPHASERVER_8400", "MACHINES", "SGI_CHALLENGE", "SGI_ORIGIN", "Machine",
+    "with_processors",
+    "ATOMIC", "MINIMIZED", "NAIVE", "STAGGERED", "TREE",
+    "ParallelExecutionResult",
+    "ParallelExecutor", "execute_parallel",
+    "LoopProfile", "LoopProfiler", "profile_program",
+    "compile_program", "transpile_to_python",
+    "ArrayView", "Buffer",
+]

@@ -1,0 +1,157 @@
+"""The Dynamic Dependence Analyzer (paper section 2.5.2).
+
+"The dynamic dependence analyzer works by instrumenting the read and write
+accesses of the program and keeping track of the most recent write
+operations for each memory location.  It is aware of the induction
+variables and reduction operations found by the compiler, and will ignore
+dependences on these variables.  It also ignores anti-dependences and can
+detect parallelism that requires data to be privatized."
+
+Implementation notes:
+
+* shadow memory maps (buffer, offset) → the loop-iteration snapshot of the
+  most recent write; a read whose last write came from a *different
+  iteration* of a still-active loop is a loop-carried flow dependence for
+  that loop,
+* reads preceded by a write in the same iteration never trigger (that is
+  the privatization-awareness),
+* statements the compiler recognized as reduction updates are skipped, as
+  are accesses to induction/loop-index scalars (scalar locals are not
+  buffer-backed at all, matching the tool's array focus),
+* ``sample_stride`` skips batches of iterations — the speed-up trick of
+  section 2.5.2 ("the instrumentation can skip batches of iterations
+  because the analysis result is used only as a hint").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.program import Program
+from ..ir.statements import LoopStmt, Statement
+from .interpreter import Interpreter, Observer
+from .values import Buffer
+
+
+class _ActiveLoop:
+    __slots__ = ("loop", "invocation", "iteration")
+
+    def __init__(self, loop: LoopStmt, invocation: int):
+        self.loop = loop
+        self.invocation = invocation
+        self.iteration = 0
+
+
+class DynamicDependenceAnalyzer(Observer):
+    """Observer detecting loop-carried flow dependences in one execution."""
+
+    def __init__(self, skip_stmt_ids: Optional[Set[int]] = None,
+                 sample_stride: int = 1):
+        self.skip_stmt_ids = skip_stmt_ids or set()
+        self.sample_stride = max(1, sample_stride)
+        self.interpreter: Optional[Interpreter] = None
+        self._stack: List[_ActiveLoop] = []
+        self._invocations: Dict[int, int] = {}
+        # (buffer id, offset) -> tuple of (loop id, invocation, iteration)
+        self._last_write: Dict[Tuple[int, int], Tuple] = {}
+        self._buffers: Dict[int, Buffer] = {}
+        # loop stmt_id -> number of observed loop-carried flow dependences
+        self.carried: Dict[int, int] = {}
+        # (loop stmt_id, buffer name) -> count, for per-variable queries
+        self.carried_by_var: Dict[Tuple[int, str], int] = {}
+        # loop stmt_id -> sample pairs (writer stmt line, reader stmt line)
+        self.witnesses: Dict[int, Tuple[int, int]] = {}
+
+    def attach(self, interpreter: Interpreter
+               ) -> "DynamicDependenceAnalyzer":
+        self.interpreter = interpreter
+        interpreter.observers.append(self)
+        return self
+
+    # -- observer ------------------------------------------------------------
+    def on_loop_enter(self, loop: LoopStmt) -> None:
+        inv = self._invocations.get(loop.stmt_id, 0) + 1
+        self._invocations[loop.stmt_id] = inv
+        self._stack.append(_ActiveLoop(loop, inv))
+
+    def on_loop_iteration(self, loop: LoopStmt, index_value: int) -> None:
+        self._stack[-1].iteration += 1
+
+    def on_loop_exit(self, loop: LoopStmt) -> None:
+        self._stack.pop()
+
+    def _sampled(self) -> bool:
+        if self.sample_stride == 1:
+            return True
+        return all(a.iteration % self.sample_stride in (0, 1)
+                   for a in self._stack)
+
+    def _snapshot(self) -> Tuple:
+        return tuple((a.loop.stmt_id, a.invocation, a.iteration)
+                     for a in self._stack)
+
+    def on_write(self, buffer: Buffer, offset: int,
+                 stmt: Optional[Statement]) -> None:
+        if stmt is not None and stmt.stmt_id in self.skip_stmt_ids:
+            return
+        if not self._sampled():
+            return
+        self._buffers[id(buffer)] = buffer
+        key = (id(buffer), offset)
+        self._last_write[key] = (self._snapshot(),
+                                 stmt.line if stmt else 0)
+
+    def on_read(self, buffer: Buffer, offset: int,
+                stmt: Optional[Statement]) -> None:
+        if stmt is not None and stmt.stmt_id in self.skip_stmt_ids:
+            return
+        if not self._sampled():
+            return
+        key = (id(buffer), offset)
+        got = self._last_write.get(key)
+        if got is None:
+            return
+        write_snapshot, write_line = got
+        current = {(lid, inv): it for lid, inv, it in self._snapshot()}
+        for lid, inv, it in write_snapshot:
+            cur_it = current.get((lid, inv))
+            if cur_it is not None and cur_it != it:
+                self.carried[lid] = self.carried.get(lid, 0) + 1
+                vkey = (lid, buffer.name)
+                self.carried_by_var[vkey] = \
+                    self.carried_by_var.get(vkey, 0) + 1
+                self.witnesses.setdefault(
+                    lid, (write_line, stmt.line if stmt else 0))
+
+    # -- queries -----------------------------------------------------------
+    def has_carried_dependence(self, loop: LoopStmt) -> bool:
+        return self.carried.get(loop.stmt_id, 0) > 0
+
+    def dependence_count(self, loop: LoopStmt) -> int:
+        return self.carried.get(loop.stmt_id, 0)
+
+
+def analyze_dependences(program: Program, inputs=(),
+                        skip_stmt_ids: Optional[Set[int]] = None,
+                        sample_stride: int = 1,
+                        max_ops: int = 500_000_000
+                        ) -> DynamicDependenceAnalyzer:
+    """Run one instrumented execution and return the analyzer."""
+    analyzer = DynamicDependenceAnalyzer(skip_stmt_ids, sample_stride)
+    interp = Interpreter(program, inputs, observers=[], max_ops=max_ops)
+    analyzer.attach(interp)
+    interp.run()
+    return analyzer
+
+
+def reduction_stmt_ids(program: Program) -> Set[int]:
+    """Statement ids of syntactic commutative updates — the compiler
+    knowledge the analyzer is 'aware of'."""
+    from ..analysis.reduction import scan_block_reductions
+    out: Set[int] = set()
+    for proc in program.procedures.values():
+        for upd in scan_block_reductions(proc.body):
+            out.add(upd.stmt.stmt_id)
+            for inner in upd.stmt.walk():
+                out.add(inner.stmt_id)
+    return out

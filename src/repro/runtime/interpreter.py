@@ -1,0 +1,453 @@
+"""Deterministic op-counting interpreter for the structured IR.
+
+The interpreter is the substrate for every dynamic component of the
+Explorer: the Loop Profile Analyzer instruments loop entry/exit, the
+Dynamic Dependence Analyzer instruments loads and stores, and the parallel
+machine simulator consumes per-iteration operation counts.
+
+"Time" is a deterministic operation count: every expression node and
+statement costs a fixed number of abstract operations.  Machine models
+translate operations into seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.expressions import (ArrayRef, BinaryOp, Const, Expression,
+                              Intrinsic, StrConst, UnaryOp, VarRef)
+from ..ir.program import Procedure, Program
+from ..ir.statements import (AssignStmt, Block, CallStmt, CycleStmt,
+                             ExitStmt, IfStmt, IoStmt, LoopStmt, NoopStmt,
+                             ReturnStmt, Statement, StopStmt)
+from ..ir.symbols import Symbol, INT
+from .values import ArrayView, Buffer
+
+
+class RuntimeErrorInProgram(Exception):
+    pass
+
+
+class _Cycle(Exception):
+    def __init__(self, target_label):
+        self.target_label = target_label
+
+
+class _Exit(Exception):
+    pass
+
+
+class _Return(Exception):
+    pass
+
+
+class _Stop(Exception):
+    pass
+
+
+class Observer:
+    """Hook interface; every callback is optional (no-op by default)."""
+
+    def on_loop_enter(self, loop: LoopStmt) -> None: ...
+    def on_loop_iteration(self, loop: LoopStmt, index_value: int) -> None: ...
+    def on_loop_exit(self, loop: LoopStmt) -> None: ...
+    def on_read(self, buffer: Buffer, offset: int, stmt: Statement) -> None: ...
+    def on_write(self, buffer: Buffer, offset: int, stmt: Statement) -> None: ...
+    def on_call(self, call: CallStmt) -> None: ...
+
+
+class Frame:
+    """One procedure activation: scalar values + array views."""
+
+    __slots__ = ("proc", "scalars", "arrays")
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self.scalars: Dict[Symbol, float] = {}
+        self.arrays: Dict[Symbol, ArrayView] = {}
+
+
+class Interpreter:
+    """Execute a program; deterministic and instrumentable.
+
+    Parameters
+    ----------
+    program:
+        The IR program.
+    inputs:
+        Values consumed by ``READ`` statements, in order.
+    observers:
+        Instrumentation hooks.
+    max_ops:
+        Abort knob against runaway loops.
+    """
+
+    def __init__(self, program: Program, inputs: Sequence[float] = (),
+                 observers: Sequence[Observer] = (),
+                 max_ops: int = 500_000_000):
+        self.program = program
+        self.inputs = list(inputs)
+        self._input_pos = 0
+        self.observers = list(observers)
+        self.ops = 0
+        self.max_ops = max_ops
+        self.outputs: List[float] = []
+        self.current_stmt: Optional[Statement] = None
+        self.commons: Dict[str, Buffer] = {}
+        self._frames: List[Frame] = []
+        for name, block in program.commons.items():
+            self.commons[name] = Buffer(f"/{name}/", block.size)
+
+    # -- public -----------------------------------------------------------
+    def run(self) -> "Interpreter":
+        main = self.program.main_procedure()
+        frame = self._make_frame(main, [])
+        try:
+            self._exec_block(main.body, frame)
+        except _Stop:
+            pass
+        except _Return:
+            pass
+        return self
+
+    # -- frames ------------------------------------------------------------
+    def _make_frame(self, proc: Procedure, bound_args: List) -> Frame:
+        frame = Frame(proc)
+        self._frames.append(frame)
+        # formals first
+        for formal, value in zip(proc.formals, bound_args):
+            if isinstance(value, ArrayView):
+                frame.arrays[formal] = value
+            else:
+                frame.scalars[formal] = value
+        # commons
+        for block_name in proc.common_blocks:
+            buffer = self.commons[block_name]
+            view = self.program.commons[block_name].views[proc.name]
+            for sym in view.symbols:
+                if sym.is_array:
+                    dims = [self._dim_bounds(d, frame) for d in sym.dims]
+                    frame.arrays[sym] = ArrayView(
+                        buffer, sym.common_offset,
+                        [lo for lo, _ in dims],
+                        [(hi - lo + 1) if hi is not None else None
+                         for lo, hi in dims])
+                else:
+                    frame.arrays[sym] = ArrayView(buffer, sym.common_offset,
+                                                  [1], [1])
+        # locals
+        for sym in proc.symbols:
+            if sym in frame.arrays or sym in frame.scalars or sym.is_const:
+                continue
+            if sym.is_formal:
+                if sym.is_array and sym not in frame.arrays:
+                    raise RuntimeErrorInProgram(
+                        f"array formal {sym.name} of {proc.name} not bound")
+                frame.scalars.setdefault(sym, 0)
+                continue
+            if sym.is_array:
+                dims = [self._dim_bounds(d, frame) for d in sym.dims]
+                size = 1
+                for lo, hi in dims:
+                    if hi is None:
+                        raise RuntimeErrorInProgram(
+                            f"local array {sym.name} has assumed size")
+                    size *= hi - lo + 1
+                buffer = Buffer(f"{proc.name}::{sym.name}", size)
+                frame.arrays[sym] = ArrayView(
+                    buffer, 0, [lo for lo, _ in dims],
+                    [hi - lo + 1 for lo, hi in dims])
+            else:
+                frame.scalars[sym] = 0
+        return frame
+
+    def _dim_bounds(self, dimension, frame: Frame
+                    ) -> Tuple[int, Optional[int]]:
+        low = int(self._eval(dimension.low, frame))
+        high = (int(self._eval(dimension.high, frame))
+                if dimension.high is not None else None)
+        return low, high
+
+    # -- statements -----------------------------------------------------------
+    def _exec_block(self, block: Block, frame: Frame) -> None:
+        for stmt in block.statements:
+            self._exec_stmt(stmt, frame)
+
+    def _exec_stmt(self, stmt: Statement, frame: Frame) -> None:
+        self.ops += 1
+        self.current_stmt = stmt
+        if self.ops > self.max_ops:
+            raise RuntimeErrorInProgram("operation budget exceeded")
+        if isinstance(stmt, AssignStmt):
+            value = self._eval(stmt.value, frame)
+            self._store(stmt.target, value, frame, stmt)
+            return
+        if isinstance(stmt, IfStmt):
+            for cond, body in stmt.arms:
+                if self._truthy(self._eval(cond, frame)):
+                    self._exec_block(body, frame)
+                    return
+            if stmt.else_block is not None:
+                self._exec_block(stmt.else_block, frame)
+            return
+        if isinstance(stmt, LoopStmt):
+            self._exec_loop(stmt, frame)
+            return
+        if isinstance(stmt, CallStmt):
+            self._exec_call(stmt, frame)
+            return
+        if isinstance(stmt, IoStmt):
+            self._exec_io(stmt, frame)
+            return
+        if isinstance(stmt, NoopStmt):
+            return
+        if isinstance(stmt, CycleStmt):
+            raise _Cycle(stmt.target_label)
+        if isinstance(stmt, ExitStmt):
+            raise _Exit()
+        if isinstance(stmt, ReturnStmt):
+            raise _Return()
+        if isinstance(stmt, StopStmt):
+            raise _Stop()
+        raise RuntimeErrorInProgram(f"cannot execute {stmt!r}")
+
+    def _exec_loop(self, loop: LoopStmt, frame: Frame) -> None:
+        low = int(self._eval(loop.low, frame))
+        high = int(self._eval(loop.high, frame))
+        step = int(self._eval(loop.step, frame)) if loop.step is not None \
+            else 1
+        if step == 0:
+            raise RuntimeErrorInProgram(f"zero step in {loop.name}")
+        for obs in self.observers:
+            obs.on_loop_enter(loop)
+        i = low
+        try:
+            while (step > 0 and i <= high) or (step < 0 and i >= high):
+                frame.scalars[loop.index] = i
+                for obs in self.observers:
+                    obs.on_loop_iteration(loop, i)
+                try:
+                    self._exec_block(loop.body, frame)
+                except _Cycle as cyc:
+                    if cyc.target_label is not None and \
+                            cyc.target_label != loop.term_label:
+                        raise
+                i += step
+                self.ops += 1
+        except _Exit:
+            pass
+        finally:
+            frame.scalars[loop.index] = i
+            for obs in self.observers:
+                obs.on_loop_exit(loop)
+
+    def _exec_call(self, call: CallStmt, frame: Frame) -> None:
+        callee = self.program.procedures[call.callee]
+        for obs in self.observers:
+            obs.on_call(call)
+        bound: List = []
+        copy_back: List[Tuple[int, Symbol]] = []   # (arg position, caller sym)
+        for pos, (actual, formal) in enumerate(zip(call.args,
+                                                   callee.formals)):
+            if isinstance(actual, ArrayRef):
+                view = frame.arrays.get(actual.symbol)
+                if view is None:
+                    raise RuntimeErrorInProgram(
+                        f"array {actual.symbol.name} unbound")
+                if actual.indices:
+                    idx = [int(self._eval(e, frame)) for e in actual.indices]
+                    if formal.is_array:
+                        bound.append(view.subview_at(idx))
+                    else:
+                        # scalar formal bound to array element: copy-in/out
+                        bound.append(view.load(idx))
+                        copy_back.append((pos, actual.symbol))
+                else:
+                    bound.append(view)
+            elif isinstance(actual, VarRef) and not formal.is_array:
+                bound.append(frame.scalars.get(actual.symbol, 0))
+                copy_back.append((pos, actual.symbol))
+            else:
+                bound.append(self._eval(actual, frame))
+        callee_frame = self._make_frame(callee, bound)
+        self.ops += 5      # call overhead
+        try:
+            self._exec_block(callee.body, callee_frame)
+        except _Return:
+            pass
+        finally:
+            # copy-out for by-reference scalars
+            for pos, caller_sym in copy_back:
+                formal = callee.formals[pos]
+                value = callee_frame.scalars.get(formal, 0)
+                actual = call.args[pos]
+                if isinstance(actual, VarRef):
+                    frame.scalars[caller_sym] = self._coerce(caller_sym,
+                                                             value)
+                elif isinstance(actual, ArrayRef) and actual.indices:
+                    idx = [int(self._eval(e, frame)) for e in actual.indices]
+                    frame.arrays[caller_sym].store(idx, value)
+            self._frames.pop()
+
+    def _exec_io(self, stmt: IoStmt, frame: Frame) -> None:
+        if stmt.kind == "print":
+            for item in stmt.items:
+                self.outputs.append(self._eval(item, frame))
+            return
+        for item in stmt.items:
+            if self._input_pos >= len(self.inputs):
+                raise RuntimeErrorInProgram("READ past end of inputs")
+            value = self.inputs[self._input_pos]
+            self._input_pos += 1
+            self._store(item, value, frame, stmt)
+
+    # -- expressions -----------------------------------------------------------
+    def _eval(self, expr: Expression, frame: Frame):
+        self.ops += 1
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, StrConst):
+            return expr.value
+        if isinstance(expr, VarRef):
+            sym = expr.symbol
+            if sym.is_const:
+                return sym.const_value
+            if sym in frame.arrays and not sym.is_array:
+                # common scalar accessed via its buffer view
+                view = frame.arrays[sym]
+                for obs in self.observers:
+                    obs.on_read(view.buffer, view.offset, self.current_stmt)
+                return view.buffer.data[view.offset]
+            return frame.scalars.get(sym, 0)
+        if isinstance(expr, ArrayRef):
+            view = frame.arrays.get(expr.symbol)
+            if view is None:
+                raise RuntimeErrorInProgram(f"array {expr.symbol.name} "
+                                            f"unbound in {frame.proc.name}")
+            idx = [int(self._eval(e, frame)) for e in expr.indices]
+            off = view.flat_index(idx)
+            for obs in self.observers:
+                obs.on_read(view.buffer, off, self.current_stmt)
+            return view.buffer.data[off]
+        if isinstance(expr, BinaryOp):
+            left = self._eval(expr.left, frame)
+            if expr.op == "and":
+                return bool(left) and bool(self._eval(expr.right, frame))
+            if expr.op == "or":
+                return bool(left) or bool(self._eval(expr.right, frame))
+            right = self._eval(expr.right, frame)
+            return _binop(expr.op, left, right)
+        if isinstance(expr, UnaryOp):
+            inner = self._eval(expr.operand, frame)
+            if expr.op == "-":
+                return -inner
+            if expr.op == "not":
+                return not bool(inner)
+        if isinstance(expr, Intrinsic):
+            args = [self._eval(a, frame) for a in expr.args]
+            return _intrinsic(expr.name, args)
+        raise RuntimeErrorInProgram(f"cannot evaluate {expr!r}")
+
+    def _store(self, target, value, frame: Frame, stmt: Statement) -> None:
+        if isinstance(target, VarRef):
+            sym = target.symbol
+            if sym in frame.arrays and not sym.is_array:
+                view = frame.arrays[sym]
+                for obs in self.observers:
+                    obs.on_write(view.buffer, view.offset, stmt)
+                view.buffer.data[view.offset] = value
+                return
+            frame.scalars[sym] = self._coerce(sym, value)
+            return
+        if isinstance(target, ArrayRef):
+            view = frame.arrays.get(target.symbol)
+            if view is None:
+                raise RuntimeErrorInProgram(
+                    f"array {target.symbol.name} unbound")
+            idx = [int(self._eval(e, frame)) for e in target.indices]
+            off = view.flat_index(idx)
+            for obs in self.observers:
+                obs.on_write(view.buffer, off, stmt)
+            view.buffer.data[off] = value
+            return
+        raise RuntimeErrorInProgram(f"invalid store target {target!r}")
+
+    @staticmethod
+    def _coerce(sym: Symbol, value):
+        if sym.type == INT:
+            return int(value)
+        return float(value)
+
+    @staticmethod
+    def _truthy(value) -> bool:
+        return bool(value)
+
+
+def _binop(op: str, a, b):
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if isinstance(a, (int, np.integer)) and isinstance(b, (int,
+                                                               np.integer)):
+            if b == 0:
+                raise RuntimeErrorInProgram("integer division by zero")
+            q = abs(a) // abs(b)
+            return int(q if (a >= 0) == (b >= 0) else -q)
+        return a / b
+    if op == "**":
+        return a ** b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    if op == "==":
+        return a == b
+    if op == "/=":
+        return a != b
+    raise RuntimeErrorInProgram(f"unknown operator {op}")
+
+
+def _intrinsic(name: str, args: List):
+    import math
+    if name == "min":
+        return min(args)
+    if name == "max":
+        return max(args)
+    if name == "abs":
+        return abs(args[0])
+    if name == "mod":
+        return args[0] % args[1]
+    if name == "sqrt":
+        return math.sqrt(args[0])
+    if name == "exp":
+        return math.exp(args[0])
+    if name == "log":
+        return math.log(args[0])
+    if name == "sin":
+        return math.sin(args[0])
+    if name == "cos":
+        return math.cos(args[0])
+    if name == "float":
+        return float(args[0])
+    if name == "int":
+        return int(args[0])
+    if name == "sign":
+        return abs(args[0]) if args[1] >= 0 else -abs(args[0])
+    raise RuntimeErrorInProgram(f"unknown intrinsic {name}")
+
+
+def run_program(program: Program, inputs: Sequence[float] = (),
+                observers: Sequence[Observer] = (),
+                max_ops: int = 500_000_000) -> Interpreter:
+    """Convenience: build an interpreter, run it, return it."""
+    return Interpreter(program, inputs, observers, max_ops).run()

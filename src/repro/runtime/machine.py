@@ -1,0 +1,145 @@
+"""Simulated multiprocessor models (substitute for the paper's testbeds).
+
+The paper measures on a Digital AlphaServer 8400 (8×300 MHz 21164, 4 MB
+board cache per CPU), a 4-processor SGI Challenge, and SGI Origin 2000s
+(Fig 6-1).  None of that hardware is available, so speedups here come from
+a deterministic cost model over the interpreter's operation counts:
+
+* sequential time  = ops / ops_per_second,
+* a parallel loop costs
+  ``spawn + max_p(chunk_ops(p)) * mem_factor + reduction overheads``,
+* ``mem_factor ≥ 1`` grows when the per-processor working-set footprint
+  exceeds the cache (this is what array contraction improves) and with a
+  small per-processor bus-contention term (this is why 8-processor
+  speedups trail 4-processor efficiency, as in Fig 4-10).
+
+The model's constants are chosen so the *shapes* of the paper's results
+hold; absolute times are meaningless and never compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A shared-memory multiprocessor model."""
+
+    name: str
+    processors: int
+    clock_mhz: int
+    ops_per_second: float           # scalar execution rate
+    cache_bytes: int                # per-processor cache (elements * 8)
+    spawn_ops: float                # parallel-loop fork/join cost, in ops
+    lock_ops: float                 # acquire+release of one lock, in ops
+    mem_penalty_max: float          # mem_factor when footprint >> cache
+    bus_contention: float           # per-extra-processor contention factor
+    bus_ops_per_miss: float = 2.0   # shared-bus cost per cache-missing access
+    description: str = ""
+
+    def miss_ratio(self, footprint_bytes: float) -> float:
+        """Fraction of memory accesses missing a single cache when a
+        region's working set is ``footprint_bytes``."""
+        if footprint_bytes <= self.cache_bytes:
+            return 0.0
+        return min(1.0, (footprint_bytes - self.cache_bytes)
+                   / footprint_bytes)
+
+    def bandwidth_floor_ops(self, accesses: float,
+                            footprint_bytes: float) -> float:
+        """Serialized shared-memory traffic: a lower bound on any parallel
+        region's elapsed time.  This is what keeps memory-bound codes
+        (arc3d before loop interchange, flo88 before array contraction)
+        from scaling, and what array contraction removes by shrinking the
+        working set into the cache."""
+        return accesses * self.miss_ratio(footprint_bytes) \
+            * self.bus_ops_per_miss
+
+    def seconds(self, ops: float) -> float:
+        return ops / self.ops_per_second
+
+    def mem_factor(self, footprint_bytes: float, processors: int) -> float:
+        """Memory-system slowdown for a parallel region.
+
+        ``footprint_bytes`` is the region's total touched data; each of
+        ``processors`` caches holds roughly 1/P of it under a blocked
+        schedule."""
+        if processors <= 0:
+            processors = 1
+        per_proc = footprint_bytes / processors
+        if per_proc <= self.cache_bytes:
+            ratio = 0.0
+        else:
+            ratio = min(1.0, (per_proc - self.cache_bytes) / per_proc)
+        factor = 1.0 + ratio * (self.mem_penalty_max - 1.0)
+        factor *= 1.0 + self.bus_contention * max(0, processors - 1)
+        return factor
+
+    def uni_mem_factor(self, footprint_bytes: float) -> float:
+        """Uniprocessor cache effect (array contraction helps here too)."""
+        if footprint_bytes <= self.cache_bytes:
+            return 1.0
+        ratio = min(1.0, (footprint_bytes - self.cache_bytes)
+                    / footprint_bytes)
+        return 1.0 + 0.5 * ratio * (self.mem_penalty_max - 1.0)
+
+
+# The three machines of the paper's evaluation (Fig 6-1 and chapter 4).
+ALPHASERVER_8400 = Machine(
+    name="Digital AlphaServer 8400",
+    processors=8,
+    clock_mhz=300,
+    ops_per_second=6.0e7,
+    cache_bytes=4 * 1024 * 1024,
+    spawn_ops=250.0,
+    lock_ops=30.0,
+    mem_penalty_max=3.0,
+    bus_contention=0.012,
+    bus_ops_per_miss=2.0,
+    description="8x 300MHz Alpha 21164, bus-based, 4MB external cache/CPU")
+
+SGI_CHALLENGE = Machine(
+    name="SGI Challenge",
+    processors=4,
+    clock_mhz=200,
+    ops_per_second=4.0e7,
+    cache_bytes=1 * 1024 * 1024,
+    spawn_ops=300.0,
+    lock_ops=40.0,
+    mem_penalty_max=3.5,
+    bus_contention=0.02,
+    bus_ops_per_miss=2.5,
+    description="4x 200MHz R4400, bus-based shared memory")
+
+SGI_ORIGIN = Machine(
+    name="SGI Origin 2000",
+    processors=32,
+    clock_mhz=195,
+    ops_per_second=4.0e7,
+    cache_bytes=4 * 1024 * 1024,
+    spawn_ops=350.0,
+    lock_ops=25.0,
+    mem_penalty_max=4.0,
+    bus_contention=0.004,
+    bus_ops_per_miss=2.5,
+    description="32x 195MHz R10000, ccNUMA, 4MB L2/CPU")
+
+MACHINES: Dict[str, Machine] = {
+    "alphaserver": ALPHASERVER_8400,
+    "challenge": SGI_CHALLENGE,
+    "origin": SGI_ORIGIN,
+}
+
+
+def with_processors(machine: Machine, processors: int) -> Machine:
+    """The same machine restricted/extended to a processor count."""
+    return Machine(
+        name=machine.name, processors=processors,
+        clock_mhz=machine.clock_mhz, ops_per_second=machine.ops_per_second,
+        cache_bytes=machine.cache_bytes, spawn_ops=machine.spawn_ops,
+        lock_ops=machine.lock_ops, mem_penalty_max=machine.mem_penalty_max,
+        bus_contention=machine.bus_contention,
+        bus_ops_per_miss=machine.bus_ops_per_miss,
+        description=machine.description)

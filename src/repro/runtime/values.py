@@ -1,0 +1,103 @@
+"""Runtime storage: flat column-major arrays and views.
+
+Fortran storage semantics the workloads rely on:
+
+* arrays are column-major storage sequences with per-dimension lower
+  bounds,
+* COMMON blocks are single flat buffers; each procedure's view lays its
+  members over the buffer at element offsets (two views of different
+  shapes alias, as in hydro2d),
+* passing ``a(k)`` to an array formal passes the storage sequence starting
+  at that element (hydro's ``CALL init(aif3(k1), n)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.symbols import Symbol
+
+
+class Buffer:
+    """A flat storage sequence with a stable identity for the dynamic
+    dependence analyzer."""
+
+    __slots__ = ("name", "data")
+    _counter = [0]
+
+    def __init__(self, name: str, size: int, dtype=np.float64):
+        self.name = name
+        self.data = np.zeros(size, dtype=dtype)
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        return f"Buffer({self.name}, {len(self.data)})"
+
+
+class ArrayView:
+    """A (possibly offset) view of a buffer with shape metadata."""
+
+    __slots__ = ("buffer", "offset", "lows", "extents", "strides")
+
+    def __init__(self, buffer: Buffer, offset: int, lows: Sequence[int],
+                 extents: Sequence[Optional[int]]):
+        self.buffer = buffer
+        self.offset = offset
+        self.lows = list(lows)
+        self.extents = list(extents)
+        strides: List[int] = []
+        acc = 1
+        for ext in self.extents:
+            strides.append(acc)
+            acc *= ext if ext is not None else 1
+        self.strides = strides
+
+    @property
+    def rank(self) -> int:
+        return len(self.extents)
+
+    def flat_index(self, indices: Sequence[int]) -> int:
+        """Flat element address inside the buffer (bounds unchecked beyond
+        the buffer itself, like real Fortran)."""
+        pos = self.offset
+        for k, idx in enumerate(indices):
+            pos += (idx - self.lows[k]) * self.strides[k]
+        return pos
+
+    def load(self, indices: Sequence[int]) -> float:
+        return self.buffer.data[self.flat_index(indices)]
+
+    def store(self, indices: Sequence[int], value) -> None:
+        self.buffer.data[self.flat_index(indices)] = value
+
+    def size(self) -> int:
+        total = 1
+        for ext in self.extents:
+            total *= ext if ext is not None else 1
+        return total
+
+    def subview_at(self, indices: Sequence[int]) -> "ArrayView":
+        """View starting at the given element (sequence association for
+        element actuals): rank collapses to 1-D open-ended."""
+        start = self.flat_index(indices)
+        remaining = len(self.buffer) - start
+        return ArrayView(self.buffer, start, [1], [remaining])
+
+    def __repr__(self):
+        return (f"ArrayView({self.buffer.name}+{self.offset}, "
+                f"extents={self.extents})")
+
+
+def view_for_symbol(sym: Symbol, buffer: Buffer, offset: int,
+                    dim_values: Sequence[Tuple[int, Optional[int]]]
+                    ) -> ArrayView:
+    """Build a view for a declared array.  ``dim_values`` holds evaluated
+    (low, high) per dimension; assumed-size dims get an open extent."""
+    lows = [lo for lo, _ in dim_values]
+    extents = [(hi - lo + 1) if hi is not None else None
+               for lo, hi in dim_values]
+    return ArrayView(buffer, offset, lows, extents)

@@ -1,0 +1,9 @@
+"""Interprocedural program slicing for interactive parallelization (ch. 3)."""
+
+from .hierarchy import EMPTY_NODE, SliceNode, make_node, union_nodes
+from .slicer import (DATA, PROGRAM, SliceMode, SliceResult, Slicer, Summary)
+
+__all__ = [
+    "EMPTY_NODE", "SliceNode", "make_node", "union_nodes",
+    "DATA", "PROGRAM", "SliceMode", "SliceResult", "Slicer", "Summary",
+]

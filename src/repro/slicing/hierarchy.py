@@ -1,0 +1,85 @@
+"""Hierarchical slice representation (paper section 3.5.4).
+
+"We represent a set of statements by a collection of subsets of statements
+plus additional individual statements. ... a union operator between two
+nodes can be performed by simply creating a new node that points to the
+operands."  Strongly-connected components are collapsed by the slicer
+before nodes are created, so the graph here is a DAG.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+_node_ids = itertools.count(1)
+
+EMPTY_FROZEN: FrozenSet[int] = frozenset()
+
+
+class SliceNode:
+    """A DAG node: its own statement ids plus child subsets."""
+
+    __slots__ = ("node_id", "own", "children", "_flat")
+
+    def __init__(self, own: Iterable[int] = (),
+                 children: Iterable["SliceNode"] = ()):
+        self.node_id = next(_node_ids)
+        self.own: Tuple[int, ...] = tuple(own)
+        self.children: Tuple[SliceNode, ...] = tuple(children)
+        self._flat: Optional[FrozenSet[int]] = None
+
+    def flatten(self) -> FrozenSet[int]:
+        """All statement ids in this node's transitive closure (memoized)."""
+        if self._flat is not None:
+            return self._flat
+        # Iterative DFS with per-node memoization.
+        out: Set[int] = set()
+        seen: Set[int] = set()
+        stack: List[SliceNode] = [self]
+        while stack:
+            node = stack.pop()
+            if node.node_id in seen:
+                continue
+            seen.add(node.node_id)
+            if node._flat is not None:
+                out.update(node._flat)
+                continue
+            out.update(node.own)
+            stack.extend(node.children)
+        self._flat = frozenset(out)
+        return self._flat
+
+    def node_count(self) -> int:
+        """Number of distinct DAG nodes reachable (a sharing metric)."""
+        seen: Set[int] = set()
+        stack: List[SliceNode] = [self]
+        while stack:
+            node = stack.pop()
+            if node.node_id in seen:
+                continue
+            seen.add(node.node_id)
+            stack.extend(node.children)
+        return len(seen)
+
+    def __repr__(self):
+        return f"SliceNode#{self.node_id}(own={len(self.own)})"
+
+
+EMPTY_NODE = SliceNode()
+
+
+def make_node(own: Iterable[int] = (),
+              children: Iterable[SliceNode] = ()) -> SliceNode:
+    own_t = tuple(own)
+    kids = tuple(c for c in children if c is not EMPTY_NODE)
+    if not own_t:
+        if not kids:
+            return EMPTY_NODE
+        if len(kids) == 1:
+            return kids[0]
+    return SliceNode(own_t, kids)
+
+
+def union_nodes(nodes: Iterable[SliceNode]) -> SliceNode:
+    return make_node((), nodes)

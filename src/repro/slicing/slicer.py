@@ -1,0 +1,410 @@
+"""Demand-driven, context-sensitive interprocedural slicing (chapter 3).
+
+Slice summaries (section 3.5.2): the summary of a reference r is a pair
+⟨S, F⟩ — S the *call subslice* (statements in r's procedure and its callees
+contributing to r), F the upwards-exposed formal entries r depends on.  At
+a call site the callee's exposed formals are resolved with **that site's**
+actuals, which is exactly what makes the slices context sensitive.
+
+Recurrences (loop phis) are handled by collapsing strongly connected
+components — "all elements in a strongly connected component have the same
+value" (section 3.5.4) — and processing the condensation in reverse
+topological order.  Summaries are memoized per (value, mode), and statement
+sets use the hierarchical DAG representation.
+
+Slice kinds (section 3.2.1):
+
+* ``data``    — follow data-dependence edges only,
+* ``program`` — data + control dependences,
+* control slices are the immediate control dependences of a reference plus
+  the program slices of the controlling expressions (:meth:`Slicer.control_slice`).
+
+Pruning (section 3.6): *array-restricted* slices stop at array values;
+*code-region-restricted* slices stop at statements outside a loop (plus
+its transitive callees).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..ir.program import Procedure, Program
+from ..ir.statements import (CallStmt, IfStmt, LoopStmt, Statement,
+                             enclosing_loops)
+from ..ir.symbols import Symbol
+from ..ssa.issa import (ARG_EXPR, ASSIGN, CALL_OUT, ENTRY, FORMAL_PHI, ISSA,
+                        IO_READ, LOOP_INCR_DEF, LOOP_INIT_DEF, PHI, SSAValue,
+                        WEAK)
+from .hierarchy import EMPTY_NODE, SliceNode, make_node, union_nodes
+
+DATA = "data"
+PROGRAM = "program"
+
+
+class SliceMode:
+    """Slicing configuration: kind + pruning options."""
+
+    __slots__ = ("kind", "array_restricted", "region_stmts", "region_tag")
+
+    def __init__(self, kind: str = PROGRAM, array_restricted: bool = False,
+                 region_stmts: Optional[FrozenSet[int]] = None,
+                 region_tag: str = ""):
+        self.kind = kind
+        self.array_restricted = array_restricted
+        self.region_stmts = region_stmts
+        self.region_tag = region_tag
+
+    def key(self) -> Tuple:
+        return (self.kind, self.array_restricted, self.region_tag)
+
+    def in_region(self, stmt: Optional[Statement]) -> bool:
+        if self.region_stmts is None or stmt is None:
+            return True
+        return stmt.stmt_id in self.region_stmts
+
+
+class Summary:
+    """⟨S, F⟩: call-subslice node + upwards-exposed formal entries."""
+
+    __slots__ = ("node", "exposed")
+
+    def __init__(self, node: SliceNode, exposed: FrozenSet[SSAValue]):
+        self.node = node
+        self.exposed = exposed
+
+    def statements(self) -> FrozenSet[int]:
+        return self.node.flatten()
+
+
+EMPTY_SUMMARY = Summary(EMPTY_NODE, frozenset())
+
+
+class SliceResult:
+    """A computed slice, reported as statements and source lines."""
+
+    def __init__(self, program: Program, stmt_ids: FrozenSet[int],
+                 terminals: FrozenSet[SSAValue] = frozenset()):
+        self.program = program
+        self.stmt_ids = stmt_ids
+        self.terminals = terminals     # pruned / exposed boundary values
+
+    def statements(self) -> List[Statement]:
+        out = []
+        for sid in self.stmt_ids:
+            try:
+                out.append(self.program.statement(sid))
+            except KeyError:
+                pass
+        return sorted(out, key=lambda s: (s.proc_name, s.line))
+
+    def lines(self) -> Set[Tuple[str, int]]:
+        return {(s.proc_name, s.line) for s in self.statements()}
+
+    def line_count(self) -> int:
+        return len(self.lines())
+
+    def lines_within(self, stmt_ids: FrozenSet[int]) -> int:
+        inside = {(s.proc_name, s.line) for s in self.statements()
+                  if s.stmt_id in stmt_ids}
+        return len(inside)
+
+    def __repr__(self):
+        return f"SliceResult({self.line_count()} lines)"
+
+
+class Slicer:
+    """Demand-driven slicer over a program's ISSA graph."""
+
+    def __init__(self, program: Program, issa: Optional[ISSA] = None):
+        self.program = program
+        self.issa = issa or ISSA(program)
+        # (value id, mode key) -> Summary
+        self._memo: Dict[Tuple[int, Tuple], Summary] = {}
+        self._region_cache: Dict[int, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------- public API
+    def slice_of_use(self, stmt: Statement, symbol: Symbol,
+                     kind: str = PROGRAM, array_restricted: bool = False,
+                     region_loop: Optional[LoopStmt] = None,
+                     context: Optional[Sequence[CallStmt]] = None
+                     ) -> SliceResult:
+        """Slice of the value of ``symbol`` as used at ``stmt``."""
+        value = self.issa.use_at(stmt, symbol)
+        if value is None:
+            return SliceResult(self.program, frozenset())
+        return self.slice_of_value(value, kind, array_restricted,
+                                   region_loop, context)
+
+    def slice_of_value(self, value: SSAValue, kind: str = PROGRAM,
+                       array_restricted: bool = False,
+                       region_loop: Optional[LoopStmt] = None,
+                       context: Optional[Sequence[CallStmt]] = None
+                       ) -> SliceResult:
+        mode = self._mode(kind, array_restricted, region_loop)
+        if context is None:
+            summ = self._summary(value, mode)
+            return SliceResult(self.program, summ.statements(),
+                               frozenset(summ.exposed))
+        stmts, exposed = self._cslice(value, mode, list(context))
+        return SliceResult(self.program, frozenset(stmts),
+                           frozenset(exposed))
+
+    def control_slice(self, stmt: Statement, array_restricted: bool = False,
+                      region_loop: Optional[LoopStmt] = None) -> SliceResult:
+        """Control slice of a statement: its immediate control dependences
+        plus the program slices of the controlling expressions
+        (section 3.2.1)."""
+        mode = self._mode(PROGRAM, array_restricted, region_loop)
+        ids: Set[int] = set()
+        exposed: Set[SSAValue] = set()
+        for ctrl, uses in self._control_chain(stmt):
+            if mode.in_region(ctrl):
+                ids.add(ctrl.stmt_id)
+            for value in uses:
+                summ = self._summary(value, mode)
+                ids.update(summ.statements())
+                exposed.update(summ.exposed)
+        return SliceResult(self.program, frozenset(ids), frozenset(exposed))
+
+    def region_of_loop(self, loop: LoopStmt) -> FrozenSet[int]:
+        """Statement ids inside a loop, including procedures it transitively
+        calls (the 'code region' of code-region-restricted slices, and the
+        loop-size denominator of Fig 4-8)."""
+        cached = self._region_cache.get(loop.stmt_id)
+        if cached is not None:
+            return cached
+        ids: Set[int] = {loop.stmt_id}
+        procs: Set[str] = set()
+
+        def add_proc(name: str) -> None:
+            if name in procs:
+                return
+            procs.add(name)
+            proc = self.program.procedures[name]
+            for s in proc.statements():
+                ids.add(s.stmt_id)
+                if isinstance(s, CallStmt):
+                    add_proc(s.callee)
+
+        for s in loop.body.walk():
+            ids.add(s.stmt_id)
+            if isinstance(s, CallStmt):
+                add_proc(s.callee)
+        out = frozenset(ids)
+        self._region_cache[loop.stmt_id] = out
+        return out
+
+    def loop_line_count(self, loop: LoopStmt) -> int:
+        region = self.region_of_loop(loop)
+        lines = set()
+        for sid in region:
+            try:
+                s = self.program.statement(sid)
+            except KeyError:
+                continue
+            lines.add((s.proc_name, s.line))
+        return len(lines)
+
+    # -------------------------------------------------------------- internals
+    def _mode(self, kind: str, array_restricted: bool,
+              region_loop: Optional[LoopStmt]) -> SliceMode:
+        if region_loop is None:
+            return SliceMode(kind, array_restricted)
+        return SliceMode(kind, array_restricted,
+                         self.region_of_loop(region_loop),
+                         region_tag=f"loop{region_loop.stmt_id}")
+
+    # -- dependency edges -----------------------------------------------------
+    def _deps(self, value: SSAValue, mode: SliceMode
+              ) -> Tuple[List[SSAValue], List["SSAValue"]]:
+        """(intraprocedural operand edges, callee-exit values) of a node
+        under ``mode``.  Callee edges are handled contextually by the
+        caller of this function."""
+        if value.kind in (FORMAL_PHI, ENTRY):
+            return [], []
+        ops: List[SSAValue] = []
+        callee_exits: List[SSAValue] = []
+        for op in value.operands:
+            if self._prunable(op, mode):
+                continue
+            ops.append(op)
+        if value.kind == CALL_OUT:
+            callee_exits = list(value.callee_exits)
+        if mode.kind == PROGRAM and value.stmt is not None:
+            for ctrl, uses in self._control_chain(value.stmt):
+                for u in uses:
+                    if not self._prunable(u, mode):
+                        ops.append(u)
+        return ops, callee_exits
+
+    def _prunable(self, value: SSAValue, mode: SliceMode) -> bool:
+        if mode.array_restricted and value.var is not None \
+                and value.var.is_array:
+            return True
+        if mode.region_stmts is not None and value.stmt is not None \
+                and not mode.in_region(value.stmt):
+            return True
+        return False
+
+    def _own_stmts(self, value: SSAValue, mode: SliceMode) -> List[int]:
+        out: List[int] = []
+        if value.stmt is not None and mode.in_region(value.stmt):
+            out.append(value.stmt.stmt_id)
+        if mode.kind == PROGRAM and value.stmt is not None:
+            for ctrl, _uses in self._control_chain(value.stmt):
+                if mode.in_region(ctrl):
+                    out.append(ctrl.stmt_id)
+        return out
+
+    def _control_chain(self, stmt: Statement
+                       ) -> List[Tuple[Statement, List[SSAValue]]]:
+        """Enclosing control statements of ``stmt`` with the SSA values
+        their conditions/bounds use."""
+        out: List[Tuple[Statement, List[SSAValue]]] = []
+        cur = stmt.parent
+        while cur is not None:
+            if isinstance(cur, (IfStmt, LoopStmt)):
+                uses = list(self.issa.stmt_uses.get(cur.stmt_id,
+                                                    {}).values())
+                out.append((cur, uses))
+            cur = cur.parent
+        return out
+
+    # -- SCC-based summary computation ---------------------------------------
+    def _summary(self, root: SSAValue, mode: SliceMode) -> Summary:
+        key = (root.vid, mode.key())
+        got = self._memo.get(key)
+        if got is not None:
+            return got
+        self._compute_component(root, mode)
+        return self._memo[key]
+
+    def _compute_component(self, root: SSAValue, mode: SliceMode) -> None:
+        """Tarjan SCC over the subgraph reachable from ``root`` (within the
+        intraprocedural + context-resolved edges), computing summaries for
+        every node in reverse topological order of the condensation."""
+        mkey = mode.key()
+        index: Dict[int, int] = {}
+        lowlink: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[SSAValue] = []
+        counter = [0]
+        edges_cache: Dict[int, List[SSAValue]] = {}
+
+        def edges(v: SSAValue) -> List[SSAValue]:
+            got = edges_cache.get(v.vid)
+            if got is not None:
+                return got
+            ops, callee_exits = self._deps(v, mode)
+            out = list(ops)
+            for exit_val in callee_exits:
+                # Callee summaries close over a different procedure; compute
+                # them recursively (the call graph is acyclic) then resolve
+                # exposed formals with THIS site's actuals.
+                callee_summ = self._summary(exit_val, mode)
+                for formal in callee_summ.exposed:
+                    site_ops = formal.site_operands.get(
+                        v.call.stmt_id if v.call else -1, [])
+                    for actual in site_ops:
+                        if not self._prunable(actual, mode):
+                            out.append(actual)
+            edges_cache[v.vid] = out
+            return out
+
+        def strongconnect(v: SSAValue) -> None:
+            work = [(v, iter(edges(v)))]
+            index[v.vid] = lowlink[v.vid] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v.vid)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    skey = (succ.vid, mkey)
+                    if skey in self._memo:
+                        continue
+                    if succ.vid not in index:
+                        index[succ.vid] = lowlink[succ.vid] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ.vid)
+                        work.append((succ, iter(edges(succ))))
+                        advanced = True
+                        break
+                    if succ.vid in on_stack:
+                        lowlink[node.vid] = min(lowlink[node.vid],
+                                                index[succ.vid])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent.vid] = min(lowlink[parent.vid],
+                                              lowlink[node.vid])
+                if lowlink[node.vid] == index[node.vid]:
+                    component: List[SSAValue] = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w.vid)
+                        component.append(w)
+                        if w is node:
+                            break
+                    self._finalize_component(component, mode, edges)
+
+        strongconnect(root)
+
+    def _finalize_component(self, component: List[SSAValue],
+                            mode: SliceMode, edges) -> None:
+        """All members of an SCC share one summary (section 3.5.4)."""
+        mkey = mode.key()
+        member_ids = {v.vid for v in component}
+        own: Set[int] = set()
+        children: List[SliceNode] = []
+        exposed: Set[SSAValue] = set()
+        for v in component:
+            own.update(self._own_stmts(v, mode))
+            if v.kind == FORMAL_PHI:
+                exposed.add(v)
+            if v.kind == CALL_OUT:
+                for exit_val in v.callee_exits:
+                    callee_summ = self._summary(exit_val, mode)
+                    children.append(callee_summ.node)
+            for succ in edges(v):
+                if succ.vid in member_ids:
+                    continue
+                skey = (succ.vid, mkey)
+                summ = self._memo.get(skey)
+                if summ is None:
+                    # Successor finished earlier in this Tarjan run or is
+                    # trivially terminal.
+                    summ = self._summary(succ, mode)
+                children.append(summ.node)
+                exposed.update(summ.exposed)
+        node = make_node(sorted(own), children)
+        result = Summary(node, frozenset(exposed))
+        for v in component:
+            self._memo[(v.vid, mkey)] = result
+
+    # -- context-specific slices (Cslice, section 3.5.3) -----------------------
+    def _cslice(self, value: SSAValue, mode: SliceMode,
+                context: List[CallStmt]) -> Tuple[Set[int], Set[SSAValue]]:
+        summ = self._summary(value, mode)
+        stmts: Set[int] = set(summ.statements())
+        exposed: Set[SSAValue] = set()
+        if not context:
+            return stmts, set(summ.exposed)
+        top = context[-1]
+        rest = context[:-1]
+        for formal in summ.exposed:
+            site_ops = formal.site_operands.get(top.stmt_id)
+            if site_ops is None:
+                exposed.add(formal)
+                continue
+            for actual in site_ops:
+                if self._prunable(actual, mode):
+                    continue
+                sub_stmts, sub_exposed = self._cslice(actual, mode, rest)
+                stmts.update(sub_stmts)
+                exposed.update(sub_exposed)
+        return stmts, exposed

@@ -1,0 +1,12 @@
+"""Interprocedural SSA form (paper section 3.4)."""
+
+from .cfg_dom import Dominance
+from .issa import (ARG_EXPR, ASSIGN, CALL_OUT, ENTRY, FORMAL_PHI, IO_READ,
+                   ISSA, LOOP_INCR_DEF, LOOP_INIT_DEF, ModRefInfo, PHI,
+                   SSAValue, WEAK)
+
+__all__ = [
+    "Dominance", "ISSA", "ModRefInfo", "SSAValue",
+    "ARG_EXPR", "ASSIGN", "CALL_OUT", "ENTRY", "FORMAL_PHI", "IO_READ",
+    "LOOP_INCR_DEF", "LOOP_INIT_DEF", "PHI", "WEAK",
+]

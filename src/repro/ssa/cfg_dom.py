@@ -1,0 +1,104 @@
+"""Dominator trees and dominance frontiers over :class:`repro.ir.cfg.Cfg`.
+
+Cooper–Harvey–Kennedy "engineered" dominance algorithm; used for minimal
+phi placement when building the interprocedural SSA form of chapter 3
+("we compute the minimal SSA form for the whole program using the concept
+of iterated dominance frontiers").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.cfg import BasicBlock, Cfg
+
+
+class Dominance:
+    def __init__(self, cfg: Cfg):
+        self.cfg = cfg
+        self.rpo = cfg.reverse_post_order()
+        self.order: Dict[int, int] = {bb.block_id: k
+                                      for k, bb in enumerate(self.rpo)}
+        self.idom: Dict[int, Optional[BasicBlock]] = {}
+        self._compute_idoms()
+        self.frontier: Dict[int, Set[BasicBlock]] = {}
+        self._compute_frontiers()
+        self.children: Dict[int, List[BasicBlock]] = {}
+        for bb in self.rpo:
+            parent = self.idom.get(bb.block_id)
+            if parent is not None and parent is not bb:
+                self.children.setdefault(parent.block_id, []).append(bb)
+
+    # -- immediate dominators (CHK algorithm) --------------------------------
+    def _compute_idoms(self) -> None:
+        entry = self.cfg.entry
+        self.idom[entry.block_id] = entry
+        changed = True
+        while changed:
+            changed = False
+            for bb in self.rpo:
+                if bb is entry:
+                    continue
+                processed = [p for p in bb.preds
+                             if p.block_id in self.idom]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for p in processed[1:]:
+                    new_idom = self._intersect(p, new_idom)
+                if self.idom.get(bb.block_id) is not new_idom:
+                    self.idom[bb.block_id] = new_idom
+                    changed = True
+
+    def _intersect(self, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while self.order[a.block_id] > self.order[b.block_id]:
+                a = self.idom[a.block_id]
+            while self.order[b.block_id] > self.order[a.block_id]:
+                b = self.idom[b.block_id]
+        return a
+
+    # -- dominance frontiers ---------------------------------------------------
+    def _compute_frontiers(self) -> None:
+        for bb in self.rpo:
+            self.frontier[bb.block_id] = set()
+        for bb in self.rpo:
+            if len(bb.preds) < 2:
+                continue
+            target = self.idom.get(bb.block_id)
+            for pred in bb.preds:
+                runner = pred
+                while runner is not None and runner is not target \
+                        and runner.block_id in self.idom:
+                    self.frontier[runner.block_id].add(bb)
+                    nxt = self.idom[runner.block_id]
+                    if nxt is runner:
+                        break
+                    runner = nxt
+
+    # -- queries -----------------------------------------------------------
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        runner: Optional[BasicBlock] = b
+        while runner is not None:
+            if runner is a:
+                return True
+            nxt = self.idom.get(runner.block_id)
+            if nxt is runner:
+                return runner is a
+            runner = nxt
+        return False
+
+    def iterated_frontier(self, blocks: List[BasicBlock]
+                          ) -> Set[BasicBlock]:
+        """DF+ of a set of blocks (phi placement sites)."""
+        result: Set[int] = set()
+        out: List[BasicBlock] = []
+        work = list(blocks)
+        while work:
+            bb = work.pop()
+            for f in self.frontier.get(bb.block_id, ()):
+                if f.block_id not in result:
+                    result.add(f.block_id)
+                    out.append(f)
+                    work.append(f)
+        return set(out)

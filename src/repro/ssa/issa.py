@@ -1,0 +1,494 @@
+"""Interprocedural SSA form (paper section 3.4).
+
+Differences from textbook SSA, following the paper:
+
+* arrays are single variables with **weak updates**: an element store
+  defines a new version whose operands include the previous version
+  ("our algorithm does not distinguish between different elements in an
+  array ... we handle assignments to array elements in the same way we
+  handle weak assignments in C"),
+* Fortran parameter passing is modeled copy-in/copy-out (section 3.4.2):
+  each formal's entry definition is a **formal phi** whose operands are
+  the actuals at every call site (tagged by site — the key to
+  context-sensitive slicing), and every variable a callee may modify gets
+  a **call-out** definition at the call site whose operands are the
+  pre-call version plus the callee's exit version (the *return edge*),
+* COMMON members are threaded through every procedure on the call paths
+  that reach them; procedures that access a block only via callees get a
+  hidden whole-block pseudo-variable.  Members of the same block from
+  different procedures are connected when their storage ranges overlap
+  (the alias handling of section 3.4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.callgraph import CallGraph
+from ..ir.cfg import (BRANCH, Cfg, CfgItem, LOOP_INCR, LOOP_INIT, LOOP_TEST,
+                      STMT)
+from ..ir.expressions import ArrayRef, Const, Expression, VarRef
+from ..ir.program import Procedure, Program
+from ..ir.statements import (AssignStmt, CallStmt, IoStmt, LoopStmt,
+                             Statement)
+from ..ir.symbols import Dimension, Symbol
+from .cfg_dom import Dominance
+
+_vid = itertools.count(1)
+
+# SSAValue kinds
+ENTRY = "entry"            # program-entry value (main) / untracked input
+FORMAL_PHI = "formal_phi"  # callee entry value, operands per call site
+ASSIGN = "assign"
+WEAK = "weak"              # array element store / weak update
+PHI = "phi"
+CALL_OUT = "call_out"      # version after a call site
+LOOP_INIT_DEF = "loop_init"
+LOOP_INCR_DEF = "loop_incr"
+IO_READ = "io_read"
+ARG_EXPR = "arg_expr"      # pseudo-value: expression actual at a call
+
+
+class SSAValue:
+    __slots__ = ("vid", "var", "kind", "stmt", "proc_name", "operands",
+                 "site_operands", "call", "callee_exits")
+
+    def __init__(self, var: Symbol, kind: str, stmt: Optional[Statement],
+                 proc_name: str):
+        self.vid = next(_vid)
+        self.var = var
+        self.kind = kind
+        self.stmt = stmt
+        self.proc_name = proc_name
+        self.operands: List["SSAValue"] = []
+        # FORMAL_PHI: call-site stmt_id -> operand values from that site
+        self.site_operands: Dict[int, List["SSAValue"]] = {}
+        self.call: Optional[CallStmt] = None          # for CALL_OUT
+        self.callee_exits: List["SSAValue"] = []      # for CALL_OUT
+
+    def all_site_operands(self) -> List["SSAValue"]:
+        out: List[SSAValue] = []
+        for ops in self.site_operands.values():
+            out.extend(ops)
+        return out
+
+    def __repr__(self):
+        name = self.var.name if self.var is not None else "?"
+        return f"SSA({name}.{self.vid}:{self.kind})"
+
+
+class ModRefInfo:
+    """Transitive may-modify / may-reference keys per procedure.
+
+    Keys: ``("f", position)`` for formals, ``("cm", block)`` for COMMON
+    blocks (block granularity)."""
+
+    def __init__(self, program: Program, callgraph: CallGraph):
+        self.program = program
+        self.mod: Dict[str, Set[Tuple]] = {}
+        self.ref: Dict[str, Set[Tuple]] = {}
+        for name in callgraph.bottom_up_order():
+            self._analyze(program.procedures[name])
+
+    def _key_of(self, sym: Symbol, proc: Procedure) -> Optional[Tuple]:
+        if sym.is_common:
+            return ("cm", sym.common_block)
+        if sym.is_formal:
+            pos = next((k for k, f in enumerate(proc.formals) if f is sym),
+                       None)
+            return ("f", pos) if pos is not None else None
+        return None
+
+    def _analyze(self, proc: Procedure) -> None:
+        mod: Set[Tuple] = set()
+        ref: Set[Tuple] = set()
+        for stmt in proc.statements():
+            if isinstance(stmt, AssignStmt):
+                k = self._key_of(stmt.target.symbol, proc)
+                if k:
+                    mod.add(k)
+            if isinstance(stmt, IoStmt) and stmt.kind == "read":
+                for item in stmt.items:
+                    if isinstance(item, (VarRef, ArrayRef)):
+                        k = self._key_of(item.symbol, proc)
+                        if k:
+                            mod.add(k)
+            for expr in stmt.sub_expressions():
+                for node in expr.walk():
+                    if isinstance(node, (VarRef, ArrayRef)):
+                        k = self._key_of(node.symbol, proc)
+                        if k:
+                            ref.add(k)
+            if isinstance(stmt, CallStmt):
+                callee = self.program.procedures[stmt.callee]
+                for key in self.mod.get(stmt.callee, ()):
+                    mapped = self._map_key(key, stmt, proc)
+                    mod.update(mapped)
+                for key in self.ref.get(stmt.callee, ()):
+                    ref.update(self._map_key(key, stmt, proc))
+        self.mod[proc.name] = mod
+        self.ref[proc.name] = ref
+
+    def _map_key(self, key: Tuple, call: CallStmt, caller: Procedure
+                 ) -> List[Tuple]:
+        if key[0] == "cm":
+            return [key]
+        pos = key[1]
+        if pos is None or pos >= len(call.args):
+            return []
+        actual = call.args[pos]
+        if isinstance(actual, (VarRef, ArrayRef)):
+            k = self._key_of(actual.symbol, caller)
+            return [k] if k else []
+        return []
+
+    # -- call-site resolution -------------------------------------------------
+    def symbols_at_call(self, call: CallStmt, caller: Procedure,
+                        tracked: Dict[str, List[Symbol]],
+                        which: str) -> List[Symbol]:
+        """Caller symbols the call may modify ('mod') or reference ('ref')."""
+        keys = (self.mod if which == "mod" else self.ref).get(call.callee,
+                                                              set())
+        out: List[Symbol] = []
+        seen: Set[int] = set()
+        caller_syms = tracked.get(caller.name, [])
+        for key in keys:
+            if key[0] == "cm":
+                for sym in caller_syms:
+                    if sym.is_common and sym.common_block == key[1] \
+                            and id(sym) not in seen:
+                        seen.add(id(sym))
+                        out.append(sym)
+            else:
+                pos = key[1]
+                if pos is not None and pos < len(call.args):
+                    actual = call.args[pos]
+                    if isinstance(actual, (VarRef, ArrayRef)) \
+                            and id(actual.symbol) not in seen:
+                        seen.add(id(actual.symbol))
+                        out.append(actual.symbol)
+        return out
+
+
+class ISSA:
+    """The whole-program interprocedural SSA graph."""
+
+    def __init__(self, program: Program,
+                 callgraph: Optional[CallGraph] = None):
+        self.program = program
+        self.callgraph = callgraph or CallGraph(program)
+        self.modref = ModRefInfo(program, self.callgraph)
+        self.values: List[SSAValue] = []
+        # stmt_id -> {symbol id: version used}
+        self.stmt_uses: Dict[int, Dict[int, SSAValue]] = {}
+        self.stmt_defs: Dict[int, List[SSAValue]] = {}
+        self.entry_defs: Dict[str, Dict[int, SSAValue]] = {}
+        self.exit_versions: Dict[str, Dict[int, SSAValue]] = {}
+        self.tracked: Dict[str, List[Symbol]] = {}
+        self._pseudo_blocks: Dict[Tuple[str, str], Symbol] = {}
+        # caller versions immediately before each call, per symbol id
+        self._pre_call: Dict[int, Dict[int, SSAValue]] = {}
+
+        self._compute_tracked()
+        for name in self.callgraph.bottom_up_order():
+            self._build_proc(program.procedures[name])
+        self._link_interprocedural()
+
+    # -- tracked variable sets --------------------------------------------------
+    def _blocks_accessed(self, proc_name: str, acc: Dict[str, Set[str]]
+                         ) -> Set[str]:
+        if proc_name in acc:
+            return acc[proc_name]
+        acc[proc_name] = set()
+        proc = self.program.procedures[proc_name]
+        blocks = set(proc.common_blocks)
+        for call in proc.call_sites():
+            blocks |= self._blocks_accessed(call.callee, acc)
+        acc[proc_name] = blocks
+        return blocks
+
+    def _compute_tracked(self) -> None:
+        acc: Dict[str, Set[str]] = {}
+        for name, proc in self.program.procedures.items():
+            syms: List[Symbol] = [s for s in proc.symbols if not s.is_const]
+            declared_blocks = set(proc.common_blocks)
+            for block in sorted(self._blocks_accessed(name, acc)):
+                if block in declared_blocks:
+                    continue
+                pseudo = Symbol(f"__blk_{block}", dims=[
+                    Dimension(Const(1), Const(max(1, self.program.commons[
+                        block].size)))], storage="common",
+                    common_block=block, common_offset=0, proc_name=name)
+                self._pseudo_blocks[(name, block)] = pseudo
+                syms.append(pseudo)
+            self.tracked[name] = syms
+
+    def _overlapping(self, sym: Symbol, other_proc: str) -> List[Symbol]:
+        """Symbols of ``other_proc`` aliasing ``sym`` through its COMMON
+        block (storage-range overlap)."""
+        if not sym.is_common:
+            return []
+        lo = sym.common_offset
+        hi = lo + (sym.constant_size() or 1)
+        out = []
+        for cand in self.tracked.get(other_proc, []):
+            if not cand.is_common or cand.common_block != sym.common_block:
+                continue
+            clo = cand.common_offset
+            chi = clo + (cand.constant_size() or 1)
+            if clo < hi and lo < chi:
+                out.append(cand)
+        return out
+
+    # -- per-procedure SSA ---------------------------------------------------
+    def _build_proc(self, proc: Procedure) -> None:
+        cfg = Cfg(proc)
+        dom = Dominance(cfg)
+        tracked = self.tracked[proc.name]
+        by_id = {id(s): s for s in tracked}
+
+        # definition sites per symbol
+        def_blocks: Dict[int, List] = {id(s): [] for s in tracked}
+        for bb in cfg.blocks:
+            for item in bb.items:
+                for sym in self._item_def_symbols(item, proc):
+                    if id(sym) in def_blocks:
+                        def_blocks[id(sym)].append(bb)
+
+        # phi placement (non-pruned minimal SSA)
+        phis: Dict[int, Dict[int, SSAValue]] = {bb.block_id: {}
+                                                for bb in cfg.blocks}
+        for sid, blocks in def_blocks.items():
+            if not blocks:
+                continue
+            sym = by_id[sid]
+            for bb in dom.iterated_frontier(blocks):
+                val = self._new_value(sym, PHI, None, proc.name)
+                phis[bb.block_id][sid] = val
+
+        # entry definitions
+        entry_defs: Dict[int, SSAValue] = {}
+        for sym in tracked:
+            kind = FORMAL_PHI if (sym.is_formal or sym.is_common) else ENTRY
+            if proc.kind == "program":
+                kind = ENTRY
+            entry_defs[id(sym)] = self._new_value(sym, kind, None, proc.name)
+        self.entry_defs[proc.name] = entry_defs
+
+        stacks: Dict[int, List[SSAValue]] = {
+            sid: [val] for sid, val in entry_defs.items()}
+
+        exit_snapshot: Dict[int, SSAValue] = {}
+
+        def current(sym: Symbol) -> SSAValue:
+            stack = stacks.get(id(sym))
+            if stack:
+                return stack[-1]
+            # untracked (e.g. local of another proc) — shouldn't happen
+            val = self._new_value(sym, ENTRY, None, proc.name)
+            stacks[id(sym)] = [val]
+            return val
+
+        def rename(bb) -> None:
+            pushed: List[int] = []
+            for sid, phi in phis[bb.block_id].items():
+                stacks.setdefault(sid, []).append(phi)
+                pushed.append(sid)
+            for item in bb.items:
+                pushed.extend(self._rename_item(item, proc, current, stacks,
+                                                by_id))
+            if bb is cfg.exit:
+                for sid in stacks:
+                    if stacks[sid]:
+                        exit_snapshot[sid] = stacks[sid][-1]
+            for succ in bb.succs:
+                for sid, phi in phis[succ.block_id].items():
+                    stack = stacks.get(sid)
+                    if stack:
+                        if stack[-1] not in phi.operands:
+                            phi.operands.append(stack[-1])
+            for child in dom.children.get(bb.block_id, []):
+                rename(child)
+            for sid in pushed:
+                stacks[sid].pop()
+
+        rename(cfg.entry)
+        if not exit_snapshot:
+            exit_snapshot = {sid: stacks[sid][0] if stacks[sid] else
+                             entry_defs[sid] for sid in entry_defs}
+        self.exit_versions[proc.name] = exit_snapshot
+
+    def _item_def_symbols(self, item: CfgItem, proc: Procedure
+                          ) -> List[Symbol]:
+        out = [sym for sym, _ in item.defs()]
+        if item.kind == STMT and isinstance(item.stmt, CallStmt):
+            out.extend(self.modref.symbols_at_call(item.stmt, proc,
+                                                   self.tracked, "mod"))
+        return out
+
+    def _rename_item(self, item: CfgItem, proc: Procedure, current,
+                     stacks, by_id) -> List[int]:
+        pushed: List[int] = []
+        stmt = item.stmt
+        uses_map = self.stmt_uses.setdefault(stmt.stmt_id, {})
+        for sym in item.uses():
+            if sym.is_const:
+                continue
+            uses_map[id(sym)] = current(sym)
+
+        def define(sym: Symbol, kind: str) -> SSAValue:
+            val = self._new_value(sym, kind, stmt, proc.name)
+            stacks.setdefault(id(sym), []).append(val)
+            pushed.append(id(sym))
+            self.stmt_defs.setdefault(stmt.stmt_id, []).append(val)
+            return val
+
+        if item.kind == STMT and isinstance(stmt, CallStmt):
+            # snapshot pre-call versions for interprocedural linking
+            snap: Dict[int, SSAValue] = {}
+            for sym in self.tracked[proc.name]:
+                stack = stacks.get(id(sym))
+                if stack:
+                    snap[id(sym)] = stack[-1]
+            self._pre_call[stmt.stmt_id] = snap
+            for sym in self.modref.symbols_at_call(stmt, proc, self.tracked,
+                                                   "mod"):
+                old = current(sym)
+                val = define(sym, CALL_OUT)
+                val.call = stmt
+                val.operands.append(old)
+            # referenced-by-callee variables count as uses at the call
+            for sym in self.modref.symbols_at_call(stmt, proc, self.tracked,
+                                                   "ref"):
+                uses_map.setdefault(id(sym), snap.get(id(sym)) or
+                                    current(sym))
+            return pushed
+
+        if item.kind == STMT and isinstance(stmt, AssignStmt):
+            target = stmt.target
+            operand_vals = [v for v in uses_map.values()]
+            if isinstance(target, VarRef):
+                val = define(target.symbol, ASSIGN)
+                val.operands = list(dict.fromkeys(operand_vals))
+            else:
+                old = current(target.symbol)
+                val = define(target.symbol, WEAK)
+                val.operands = [old] + [v for v in
+                                        dict.fromkeys(operand_vals)
+                                        if v is not old]
+            return pushed
+
+        if item.kind == STMT and isinstance(stmt, IoStmt) \
+                and stmt.kind == "read":
+            for sym, strong in item.defs():
+                old = None if strong else current(sym)
+                val = define(sym, IO_READ)
+                if old is not None:
+                    val.operands.append(old)
+            return pushed
+
+        if item.kind == LOOP_INIT:
+            val = define(stmt.index, LOOP_INIT_DEF)
+            val.operands = list(dict.fromkeys(uses_map.values()))
+            return pushed
+        if item.kind == LOOP_INCR:
+            old = current(stmt.index)
+            val = define(stmt.index, LOOP_INCR_DEF)
+            val.operands = [old]
+            return pushed
+        # LOOP_TEST / BRANCH / plain statements define nothing
+        return pushed
+
+    def _new_value(self, var: Symbol, kind: str, stmt: Optional[Statement],
+                   proc_name: str) -> SSAValue:
+        val = SSAValue(var, kind, stmt, proc_name)
+        self.values.append(val)
+        return val
+
+    # -- interprocedural linking ----------------------------------------------
+    def _link_interprocedural(self) -> None:
+        for caller_name, caller in self.program.procedures.items():
+            for call in caller.call_sites():
+                self._link_call(call, caller)
+
+    def _actual_value_at(self, call: CallStmt, caller: Procedure,
+                         pos: int) -> Optional[SSAValue]:
+        snap = self._pre_call.get(call.stmt_id, {})
+        actual = call.args[pos]
+        if isinstance(actual, (VarRef, ArrayRef)):
+            got = snap.get(id(actual.symbol))
+            if got is not None:
+                return got
+            entry = self.entry_defs[caller.name].get(id(actual.symbol))
+            return entry
+        # expression actual: synthesize a pseudo-value over its uses
+        val = self._new_value(Symbol(f"__arg{pos}", proc_name=caller.name),
+                              ARG_EXPR, call, caller.name)
+        uses = self.stmt_uses.get(call.stmt_id, {})
+        for node in actual.walk():
+            if isinstance(node, (VarRef, ArrayRef)):
+                got = uses.get(id(node.symbol)) or \
+                    snap.get(id(node.symbol))
+                if got is not None and got not in val.operands:
+                    val.operands.append(got)
+        return val
+
+    def _link_call(self, call: CallStmt, caller: Procedure) -> None:
+        callee = self.program.procedures[call.callee]
+        snap = self._pre_call.get(call.stmt_id, {})
+        entry = self.entry_defs[call.callee]
+        # formal phis gain this site's actuals
+        for pos, formal in enumerate(callee.formals):
+            if pos >= len(call.args):
+                continue
+            phi = entry.get(id(formal))
+            if phi is None or phi.kind != FORMAL_PHI:
+                continue
+            actual_val = self._actual_value_at(call, caller, pos)
+            if actual_val is not None:
+                phi.site_operands.setdefault(call.stmt_id,
+                                             []).append(actual_val)
+        # common members: connect overlapping caller symbols
+        for sym in self.tracked[call.callee]:
+            if not sym.is_common:
+                continue
+            phi = entry.get(id(sym))
+            if phi is None or phi.kind != FORMAL_PHI:
+                continue
+            for caller_sym in self._overlapping(sym, caller.name):
+                val = snap.get(id(caller_sym)) or \
+                    self.entry_defs[caller.name].get(id(caller_sym))
+                if val is not None:
+                    phi.site_operands.setdefault(call.stmt_id,
+                                                 []).append(val)
+        # call-out defs: attach callee exit versions
+        exit_v = self.exit_versions[call.callee]
+        for val in self.stmt_defs.get(call.stmt_id, []):
+            if val.kind != CALL_OUT:
+                continue
+            sym = val.var
+            # the actual may have been passed by reference to a formal...
+            for pos, formal in enumerate(callee.formals):
+                if pos >= len(call.args):
+                    continue
+                actual = call.args[pos]
+                if isinstance(actual, (VarRef, ArrayRef)) and \
+                        actual.symbol is sym:
+                    ev = exit_v.get(id(formal))
+                    if ev is not None and ev not in val.callee_exits:
+                        val.callee_exits.append(ev)
+            # ...and/or be visible to the callee through its COMMON block
+            if sym.is_common:
+                for callee_sym in self._overlapping(sym, call.callee):
+                    ev = exit_v.get(id(callee_sym))
+                    if ev is not None and ev not in val.callee_exits:
+                        val.callee_exits.append(ev)
+
+    # -- public queries -----------------------------------------------------------
+    def use_at(self, stmt: Statement, symbol: Symbol) -> Optional[SSAValue]:
+        """The SSA version of ``symbol`` used by ``stmt``."""
+        return self.stmt_uses.get(stmt.stmt_id, {}).get(id(symbol))
+
+    def defs_at(self, stmt: Statement) -> List[SSAValue]:
+        return self.stmt_defs.get(stmt.stmt_id, [])

@@ -1,0 +1,8 @@
+"""Terminal visualizations standing in for the Rivet system (section 2.7)."""
+
+from .callgraph_view import CallGraphView
+from .codeview import Codeview, SourceView
+from .slice_view import render_slice, slice_statistics
+
+__all__ = ["CallGraphView", "Codeview", "SourceView", "render_slice",
+           "slice_statistics"]

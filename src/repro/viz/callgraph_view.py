@@ -1,0 +1,64 @@
+"""Call-graph visualization — the hyperbolic-browser stand-in (section 2.7).
+
+Rivet's hyperbolic graph browser is "focus-plus-context": the focus node
+renders large, distant nodes shrink.  The terminal rendering keeps the
+focus-plus-context idea by depth-limited expansion: nodes near the focus
+are fully expanded, distant subtrees are summarized as counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.callgraph import CallGraph
+from ..ir.program import Program
+
+
+class CallGraphView:
+    def __init__(self, program: Program,
+                 callgraph: Optional[CallGraph] = None):
+        self.program = program
+        self.callgraph = callgraph or CallGraph(program)
+
+    def render(self, focus: Optional[str] = None, context_depth: int = 2
+               ) -> str:
+        root = focus or self.program.main or \
+            next(iter(self.program.procedures))
+        out: List[str] = []
+        seen: Set[str] = set()
+
+        def visit(node: str, depth: int, prefix: str) -> None:
+            proc = self.program.procedures.get(node)
+            size = proc.line_count() if proc else 0
+            loops = len(proc.loops()) if proc else 0
+            marker = "*" if node == root else " "
+            out.append(f"{prefix}{marker}{node} "
+                       f"[{size} lines, {loops} loops]")
+            if node in seen:
+                out[-1] += " (shared)"
+                return
+            seen.add(node)
+            callees = sorted(self.callgraph.callees.get(node, ()))
+            if depth >= context_depth and callees:
+                total = self._subtree_size(node)
+                out.append(f"{prefix}  ... {len(callees)} callee(s), "
+                           f"{total} procedures in subtree")
+                return
+            for callee in callees:
+                visit(callee, depth + 1, prefix + "  ")
+
+        visit(root, 0, "")
+        return "\n".join(out)
+
+    def _subtree_size(self, node: str) -> int:
+        seen: Set[str] = set()
+
+        def walk(n: str) -> None:
+            if n in seen:
+                return
+            seen.add(n)
+            for c in self.callgraph.callees.get(n, ()):
+                walk(c)
+
+        walk(node)
+        return len(seen)

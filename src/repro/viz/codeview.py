@@ -1,0 +1,101 @@
+"""ASCII Codeview — the Rivet "bird's-eye" metaphor (paper section 2.7).
+
+"Each line of the source is displayed as a single line segment whose length
+is proportional to the textual length of the line. ... Filtered loops are
+shown in gray; unfiltered sequential loops are shown in black; unfiltered
+parallel loops are shown in white.  A white focus bar in the Codeview
+indicates that the loop was selected as a good candidate for hand
+parallelization."
+
+Rendering scheme (one output row per source line):
+
+* ``.`` gray   — filtered / non-loop code,
+* ``#`` black  — unfiltered sequential loop line,
+* ``o`` white  — parallel loop line,
+* ``>`` focus  — the Guru's current candidate loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.program import Program
+from ..ir.statements import LoopStmt
+from ..parallelize.plan import ProgramPlan
+
+
+class Codeview:
+    def __init__(self, program: Program, plan: Optional[ProgramPlan] = None,
+                 width: int = 64):
+        self.program = program
+        self.plan = plan
+        self.width = width
+
+    def _line_ranges(self) -> Dict[int, str]:
+        """line number -> glyph class"""
+        glyphs: Dict[int, str] = {}
+        for proc in self.program.procedures.values():
+            for loop in proc.loops():
+                lines = self._loop_lines(loop)
+                parallel = bool(self.plan and self.plan.is_parallel(loop))
+                glyph = "o" if parallel else "#"
+                for ln in lines:
+                    # innermost classification wins (later loops overwrite)
+                    glyphs[ln] = glyph
+        return glyphs
+
+    def _loop_lines(self, loop: LoopStmt) -> Set[int]:
+        lines = {loop.line}
+        for stmt in loop.body.walk():
+            lines.add(stmt.line)
+        return lines
+
+    def render(self, focus: Optional[LoopStmt] = None,
+               filtered_loops: Optional[Set[int]] = None) -> str:
+        """One row per source line: line number, glyph, proportional bar."""
+        source_lines = self.program.source_text.splitlines()
+        glyphs = self._line_ranges()
+        focus_lines: Set[int] = set()
+        if focus is not None:
+            focus_lines = self._loop_lines(focus)
+        filtered = filtered_loops or set()
+        rows: List[str] = []
+        for ln, text in enumerate(source_lines, start=1):
+            stripped = text.rstrip()
+            if not stripped.strip():
+                rows.append("")
+                continue
+            glyph = glyphs.get(ln, ".")
+            if ln in filtered:
+                glyph = "."
+            if ln in focus_lines:
+                glyph = ">"
+            bar_len = max(1, min(self.width,
+                                 int(len(stripped) / 72 * self.width)))
+            rows.append(f"{ln:5d} {glyph} {glyph * bar_len}")
+        return "\n".join(rows)
+
+    def legend(self) -> str:
+        return ("legend: '.' filtered/non-loop, '#' sequential loop, "
+                "'o' parallel loop, '>' focus candidate")
+
+
+class SourceView:
+    """Annotated source viewer: highlights slice lines and loop status."""
+
+    def __init__(self, program: Program):
+        self.program = program
+
+    def render(self, first_line: int, last_line: int,
+               highlight_lines: Optional[Set[int]] = None,
+               annotations: Optional[Dict[int, str]] = None) -> str:
+        lines = self.program.source_text.splitlines()
+        highlight = highlight_lines or set()
+        notes = annotations or {}
+        out: List[str] = []
+        for ln in range(max(1, first_line),
+                        min(len(lines), last_line) + 1):
+            marker = "*" if ln in highlight else " "
+            note = f"   ! {notes[ln]}" if ln in notes else ""
+            out.append(f"{ln:5d} {marker} {lines[ln - 1].rstrip()}{note}")
+        return "\n".join(out)

@@ -1,0 +1,56 @@
+"""Slice rendering: annotated source with slice lines highlighted —
+how the Explorer "presents the program slice ... to the programmer"
+(sections 2.6 and 4.1.3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.program import Program
+from ..ir.statements import LoopStmt
+from ..slicing.slicer import SliceResult
+from .codeview import SourceView
+
+
+def render_slice(program: Program, result: SliceResult,
+                 around_loop: Optional[LoopStmt] = None,
+                 context: int = 2) -> str:
+    """Annotated source with '*' on slice lines.  When ``around_loop`` is
+    given, only that loop's span (plus context lines) is shown; otherwise
+    the smallest span covering the slice."""
+    lines_by_proc: Dict[str, Set[int]] = {}
+    for proc_name, ln in result.lines():
+        lines_by_proc.setdefault(proc_name, set()).add(ln)
+    view = SourceView(program)
+    sections: List[str] = []
+    for proc_name in sorted(lines_by_proc):
+        lines = lines_by_proc[proc_name]
+        lo, hi = min(lines), max(lines)
+        if around_loop is not None and around_loop.proc_name == proc_name:
+            loop_lines = {s.line for s in around_loop.body.walk()}
+            loop_lines.add(around_loop.line)
+            lo = min(lo, min(loop_lines))
+            hi = max(hi, max(loop_lines))
+        sections.append(f"--- {proc_name} ---")
+        sections.append(view.render(lo - context, hi + context,
+                                    highlight_lines=lines))
+    header = (f"slice: {result.line_count()} line(s)"
+              + (f", {len(result.terminals)} pruned terminal(s)"
+                 if result.terminals else ""))
+    return header + "\n" + "\n".join(sections)
+
+
+def slice_statistics(program: Program, result: SliceResult,
+                     loop: LoopStmt, slicer) -> Dict[str, float]:
+    """The Fig 4-8 measurements for one slice: sizes as % of loop size."""
+    region = slicer.region_of_loop(loop)
+    loop_lines = slicer.loop_line_count(loop)
+    full = result.line_count()
+    inside = result.lines_within(region)
+    return {
+        "loop_lines": loop_lines,
+        "full_lines": full,
+        "inside_lines": inside,
+        "full_pct": 100.0 * full / loop_lines if loop_lines else 0.0,
+        "inside_pct": 100.0 * inside / loop_lines if loop_lines else 0.0,
+    }

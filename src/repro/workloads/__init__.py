@@ -1,0 +1,7 @@
+"""Benchmark corpus: miniatures of the paper's evaluation programs."""
+
+from .base import Workload
+from .corpus import ALL, CHAPTER4, CHAPTER5, CHAPTER6, by_tag, get
+
+__all__ = ["Workload", "ALL", "CHAPTER4", "CHAPTER5", "CHAPTER6",
+           "by_tag", "get"]

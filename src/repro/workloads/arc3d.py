@@ -1,0 +1,120 @@
+"""arc3d — 3-D Euler equations solver (NASA Ames), section 4.4.1.
+
+Faithful structures:
+
+* ``stepf3d/701``, ``/702``, ``/801`` — the user-parallelized loops, each
+  blocked by the paper's SN pattern: a scalar conditionally initialized by
+  an IF chain that in fact covers the whole iteration space
+  ("The variable SN is initialized when N is 3, 4, or 5.  The user
+  observes that the initialization code covers the entire iteration
+  space; thus, SN is privatizable").
+* ``filter3d/701`` — the remaining important loop: a genuine line
+  recurrence the user cannot fix (arc3d's one "remaining important"
+  row in Fig 4-7).
+* Large field arrays give the code its memory-bound character: the
+  paper's arc3d *degrades* from 4 to 8 processors until loop interchange
+  fixes locality; our bandwidth-floor model caps its scaling the same
+  way.
+"""
+
+from ..parallelize.parallelizer import Assertion
+from .base import Workload
+
+SOURCE = """
+      PROGRAM arc3d
+      COMMON /flow/ q1(600,600), q2(600,600), press(600,600)
+      COMMON /scl/ jm, km, lm
+      jm = 40
+      km = 40
+      lm = 40
+      CALL setup
+      DO 900 step = 1, 2
+        CALL stepf3d
+        CALL filter3d
+        PRINT *, q1(3,3)
+900   CONTINUE
+      END
+
+      SUBROUTINE setup
+      COMMON /flow/ q1(600,600), q2(600,600), press(600,600)
+      COMMON /scl/ jm, km, lm
+      DO 10 l = 1, lm+1
+        DO 10 j = 1, jm+1
+          q1(j,l) = j * 0.01 + l * 0.001
+          q2(j,l) = j * 0.002 - l * 0.01
+          press(j,l) = 1.0 + j * 0.0001
+10    CONTINUE
+      END
+
+      SUBROUTINE stepf3d
+      COMMON /flow/ q1(600,600), q2(600,600), press(600,600)
+      COMMON /scl/ jm, km, lm
+      DO 701 l = 2, lm
+        DO 300 n = 3, 5
+          IF (n .EQ. 3) sn = 0.1
+          IF (n .EQ. 4) sn = 0.2
+          IF (n .EQ. 5) sn = 0.3
+          DO 310 j = 2, jm
+            q1(j,l) = q1(j,l) + sn * (q2(j,l) - q2(j-1,l))
+            q1(j,l) = q1(j,l) + sn * press(j,l) * 0.01
+310       CONTINUE
+300     CONTINUE
+701   CONTINUE
+      DO 702 l = 2, lm
+        DO 400 n = 3, 5
+          IF (n .EQ. 3) sn = 0.05
+          IF (n .EQ. 4) sn = 0.15
+          IF (n .EQ. 5) sn = 0.25
+          DO 410 j = 2, jm
+            q2(j,l) = q2(j,l) + sn * (q1(j,l) - q1(j-1,l))
+            q2(j,l) = q2(j,l) - sn * press(j,l) * 0.005
+410       CONTINUE
+400     CONTINUE
+702   CONTINUE
+      DO 801 l = 2, lm
+        DO 500 n = 3, 5
+          IF (n .EQ. 3) sn = 0.3
+          IF (n .EQ. 4) sn = 0.2
+          IF (n .EQ. 5) sn = 0.1
+          DO 510 j = 2, jm
+            press(j,l) = press(j,l) + sn * q1(j,l) * q2(j,l) * 0.001
+510       CONTINUE
+500     CONTINUE
+801   CONTINUE
+      END
+
+C     An implicit line filter: a true recurrence over l.
+      SUBROUTINE filter3d
+      COMMON /flow/ q1(600,600), q2(600,600), press(600,600)
+      COMMON /scl/ jm, km, lm
+      DO 701 l = 2, lm
+        DO 600 j = 2, jm
+          q1(j,l) = q1(j,l) * 0.9 + q1(j,l-1) * 0.1
+600     CONTINUE
+701   CONTINUE
+      END
+"""
+
+WORKLOAD = Workload(
+    "arc3d",
+    "3-D Euler equations solver (NASA Ames) - sections 4.4-4.5",
+    SOURCE,
+    user_assertions=[
+        Assertion("stepf3d/701", "sn", "privatizable"),
+        Assertion("stepf3d/702", "sn", "privatizable"),
+        Assertion("stepf3d/801", "sn", "privatizable"),
+    ],
+    paper={
+        "lines": 4053,
+        "auto_coverage": 0.90,
+        "auto_speedup_4": 2.1,
+        "auto_speedup_8": 1.6,
+        "user_coverage": 0.98,
+        "user_speedup_4": 5.4,
+        "user_speedup_8": 4.9,
+        "user_parallelized_loops": 3,
+        "user_privatizable_scalars": 3,
+        "failed_loop": "filter3d/701",
+    },
+    tags=("chapter4", "chapter5"),
+)

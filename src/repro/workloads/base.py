@@ -1,0 +1,43 @@
+"""Workload infrastructure.
+
+Each workload is a synthetic mini-Fortran program modeled on one of the
+paper's applications: it reproduces the *documented loop structures* (the
+code excerpts, loop names, dependence patterns, and analysis challenges
+the paper describes) at a laptop-friendly scale.  A workload carries the
+user assertions its chapter-4 session supplies and the paper-reported
+numbers its benches compare shapes against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ir.builder import build_program
+from ..ir.program import Program
+from ..parallelize.parallelizer import Assertion
+
+
+class Workload:
+    def __init__(self, name: str, description: str, source: str, *,
+                 inputs: Sequence[float] = (),
+                 user_assertions: Optional[List[Assertion]] = None,
+                 paper: Optional[Dict] = None,
+                 tags: Sequence[str] = ()):
+        self.name = name
+        self.description = description
+        self.source = source
+        self.inputs = list(inputs)
+        self.user_assertions = user_assertions or []
+        self.paper = paper or {}
+        self.tags = tuple(tags)
+
+    def build(self) -> Program:
+        """A fresh IR program (transforms may mutate it, so never cache)."""
+        return build_program(self.source, self.name)
+
+    def line_count(self) -> int:
+        return sum(1 for line in self.source.splitlines()
+                   if line.strip() and not line.lstrip().startswith("C "))
+
+    def __repr__(self):
+        return f"Workload({self.name})"

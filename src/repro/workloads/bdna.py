@@ -1,0 +1,84 @@
+"""bdna — molecular dynamics of DNA (Perfect Club), chapter 6's running
+example for array-reduction implementation.
+
+* ``actfor/240`` — the section 6.3.3 region reduction: inside a loop over
+  solvent groups, forces accumulate into ``FAX(1:NATOMS)``, a small prefix
+  of a 2000-element array; the *minimized-region* lowering initializes and
+  finalizes only the touched prefix.
+* ``scatter/60`` — the section 6.3.5 sparse update
+  ``FOX(IND(J)) = FOX(IND(J)) + FOXP(J)``: an indirect reduction through
+  an index array, unanalyzable by dependence testing yet parallelizable by
+  reduction recognition (with per-element locking as one lowering choice).
+"""
+
+from .base import Workload
+
+SOURCE = """
+      PROGRAM bdna
+      COMMON /frc/ fax(2000), fay(2000), fox(2000)
+      COMMON /ind/ ind(500), foxp(500)
+      COMMON /scb/ nsp, natoms, l
+      nsp = 40
+      natoms = 60
+      l = 300
+      CALL setupb
+      DO 900 it = 1, 2
+        CALL actfor
+        CALL scatter
+        PRINT *, fax(3), fox(5)
+900   CONTINUE
+      END
+
+      SUBROUTINE setupb
+      COMMON /frc/ fax(2000), fay(2000), fox(2000)
+      COMMON /ind/ ind(500), foxp(500)
+      COMMON /scb/ nsp, natoms, l
+      DO 10 i = 1, 2000
+        fax(i) = 0.0
+        fay(i) = 0.0
+        fox(i) = 0.0
+10    CONTINUE
+      DO 20 j = 1, l
+        ind(j) = mod(j * 7, 97) + 1
+        foxp(j) = j * 0.001
+20    CONTINUE
+      END
+
+C     Region reduction: FAX/FAY updated only on (1:NATOMS) — the
+C     minimized-region lowering beats the naive whole-array one.
+      SUBROUTINE actfor
+      COMMON /frc/ fax(2000), fay(2000), fox(2000)
+      COMMON /scb/ nsp, natoms, l
+      DO 240 i = 1, nsp
+        DO 230 ia = 1, natoms
+          gx = i * 0.01 + ia * 0.002
+          gy = i * 0.002 - ia * 0.001
+          gg = gx * gx + gy * gy + 0.5
+          fax(ia) = fax(ia) + gx / gg
+          fay(ia) = fay(ia) + gy / gg
+230     CONTINUE
+240   CONTINUE
+      END
+
+C     Sparse (indirect) reduction through an index array.
+      SUBROUTINE scatter
+      COMMON /frc/ fax(2000), fay(2000), fox(2000)
+      COMMON /ind/ ind(500), foxp(500)
+      COMMON /scb/ nsp, natoms, l
+      DO 60 j = 1, l
+        fox(ind(j)) = fox(ind(j)) + foxp(j)
+60    CONTINUE
+      END
+"""
+
+WORKLOAD = Workload(
+    "bdna",
+    "DNA molecular dynamics (Perfect Club) - reduction lowering, ch. 6",
+    SOURCE,
+    paper={
+        "lines": 3980,
+        "region_reduction_loop": "actfor/240",
+        "sparse_reduction_loop": "scatter/60",
+    },
+    tags=("chapter6", "perfect", "reduction"),
+)

@@ -1,0 +1,32 @@
+"""The workload registry: every benchmark program the benches draw on."""
+
+from typing import Dict, List
+
+from . import (arc3d, bdna, flo88, hydro, hydro2d, mdg, nas_perfect,
+               spec_kernels, wave5)
+from .base import Workload
+
+CHAPTER4: List[Workload] = [
+    mdg.WORKLOAD, arc3d.WORKLOAD, hydro.WORKLOAD, flo88.WORKLOAD,
+]
+
+CHAPTER5: List[Workload] = [
+    hydro.WORKLOAD, flo88.WORKLOAD, arc3d.WORKLOAD, wave5.WORKLOAD,
+    hydro2d.WORKLOAD,
+]
+
+CHAPTER6: List[Workload] = ([bdna.WORKLOAD] + spec_kernels.WORKLOADS
+                            + nas_perfect.WORKLOADS)
+
+ALL: Dict[str, Workload] = {}
+for _w in (CHAPTER4 + CHAPTER5 + CHAPTER6
+           + [flo88.WORKLOAD_FUSED]):
+    ALL[_w.name] = _w
+
+
+def get(name: str) -> Workload:
+    return ALL[name]
+
+
+def by_tag(tag: str) -> List[Workload]:
+    return [w for w in ALL.values() if tag in w.tags]

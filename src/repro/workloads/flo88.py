@@ -1,0 +1,262 @@
+"""flo88 — transonic wing-body flow (Stanford CIT), sections 4.x / 5.6.
+
+Faithful structures:
+
+* ``psmoo/50``, ``psmoo/100``, ``psmoo/150`` — the Fig 5-4 smoothing
+  loops: each outer k-iteration initializes a row of the temporary ``d``,
+  runs a forward recurrence producing ``t``/``d``, and applies the result.
+  Loop bounds mix ``il`` and ``ie``, two scalars read *separately* from
+  the input, so the compiler cannot know ``ie = il + 1`` ("the user needs
+  to know the relationship between the scalar IE and the scalar IL in
+  order to privatize the arrays in the loop psmoo/50", section 4.4.1).
+* ``dflux/30``, ``dflux/50``, ``dflux/70``, ``eflux/50`` — flux loops with
+  conditionally-written scratch rows (user-privatized).
+* Large 2-D temporaries ``d``/``t`` dominate the working set: the program
+  is memory-bound and barely scales until **array contraction**
+  (section 5.6) shrinks them — ``build_fused()`` returns the
+  post-affine-partitioning form of Fig 5-11(b) on which
+  ``contract_in_program`` performs the 5-11(c) rewrite.
+
+Inputs: ``il`` and ``ie`` are read from input (4 values: il, ie, jl, kl).
+"""
+
+from ..parallelize.parallelizer import Assertion
+from .base import Workload
+
+_COMMONS = """
+      COMMON /flow/ w(64,64,33), p2(64,64,33)
+      COMMON /fl2/ radi(64,64,33)
+      COMMON /scr/ fs(66), gs(66)
+      COMMON /scl2/ il, ie, jl, kl
+"""
+
+_MAIN = """
+      PROGRAM flo88
+""" + _COMMONS + """
+      READ *, il
+      READ *, ie
+      READ *, jl
+      READ *, kl
+      CALL initw
+      DO 900 ncyc = 1, 2
+        CALL psmoo
+        CALL dflux
+        CALL eflux
+        PRINT *, w(3,3,1)
+900   CONTINUE
+      END
+
+      SUBROUTINE initw
+""" + _COMMONS + """
+      DO 10 k = 1, kl
+        DO 10 j = 1, jl+2
+          DO 10 i = 1, ie+2
+            w(i,j,k) = i * 0.01 + j * 0.002 + k * 0.1
+            p2(i,j,k) = 1.0 + i * 0.0001
+            radi(i,j,k) = 0.5 + j * 0.0003
+10    CONTINUE
+      END
+"""
+
+_PSMOO_ORIGINAL = """
+C     Fig 5-4: vector-style smoothing with 2-D temporaries.
+      SUBROUTINE psmoo
+""" + _COMMONS + """
+      DIMENSION d(385,385), t(385,385)
+      DO 50 k = 2, kl
+        DO 20 j = 2, jl
+          d(1,j) = 0.0
+20      CONTINUE
+        DO 30 i = 2, il
+          DO 30 j = 2, jl
+            cfl = 0.25 + 0.01 * i - 0.002 * j
+            cfl = cfl * cfl * 0.5 + cfl * 0.25 + 0.125
+            eps = cfl * 0.3 + 0.07
+            eps = eps * eps + cfl * eps * 0.5
+            t(i,j) = d(i-1,j) * cfl + w(i,j,k) * radi(i,j,k)
+            d(i,j) = t(i,j) * eps + p2(i,j,k) * 0.125
+30      CONTINUE
+        DO 40 i = 2, ie-1
+          DO 40 j = 2, jl
+            w(i,j,k) = w(i,j,k) + d(i,j) * 0.125 - t(i,j) * 0.0625
+40      CONTINUE
+50    CONTINUE
+      DO 100 k = 2, kl
+        DO 60 j = 2, jl
+          d(1,j) = 0.0
+60      CONTINUE
+        DO 70 i = 2, il
+          DO 70 j = 2, jl
+            cfl = 0.2 + 0.005 * i + 0.001 * j
+            cfl = cfl * cfl * 0.4 + cfl * 0.2 + 0.1
+            eps = cfl * 0.25 + 0.05
+            eps = eps * eps + cfl * eps * 0.4
+            t(i,j) = d(i-1,j) * cfl + p2(i,j,k) * radi(i,j,k)
+            d(i,j) = t(i,j) * eps + w(i,j,k) * 0.1
+70      CONTINUE
+        DO 80 i = 2, ie-1
+          DO 80 j = 2, jl
+            p2(i,j,k) = p2(i,j,k) + d(i,j) * 0.0625
+80      CONTINUE
+100   CONTINUE
+      DO 150 k = 2, kl
+        DO 110 j = 2, jl
+          d(1,j) = 0.0
+110     CONTINUE
+        DO 120 i = 2, il
+          DO 120 j = 2, jl
+            cfl = 0.3 + 0.002 * i - 0.001 * j
+            cfl = cfl * cfl * 0.6 + cfl * 0.3 + 0.05
+            eps = cfl * 0.2 + 0.04
+            eps = eps * eps + cfl * eps * 0.3
+            t(i,j) = d(i-1,j) * cfl + w(i,j,k) * 0.05
+            d(i,j) = t(i,j) * eps + radi(i,j,k) * 0.01
+120     CONTINUE
+        DO 130 i = 2, ie-1
+          DO 130 j = 2, jl
+            radi(i,j,k) = radi(i,j,k) + d(i,j) * 0.03125
+130     CONTINUE
+150   CONTINUE
+      END
+"""
+
+_PSMOO_FUSED = """
+C     Fig 5-11(b): after affine partitioning the j loop is outermost and
+C     all operations on column j happen in its iteration; the temporaries
+C     are then contractible (d -> d(i), t -> scalar).
+      SUBROUTINE psmoo
+""" + _COMMONS + """
+      DIMENSION d(385,385), t(385,385)
+      DO 50 k = 2, kl
+        DO 50 j = 2, jl
+          d(1,j) = 0.0
+          DO 30 i = 2, il
+            t(i,j) = d(i-1,j) * 0.25 + w(i,j,k) * radi(i,j,k)
+            d(i,j) = t(i,j) * 0.5 + p2(i,j,k) * 0.125
+30        CONTINUE
+          DO 40 i = 2, il
+            w(i,j,k) = w(i,j,k) + d(i,j) * 0.125
+40        CONTINUE
+50    CONTINUE
+      DO 100 k = 2, kl
+        DO 100 j = 2, jl
+          d(1,j) = 0.0
+          DO 70 i = 2, il
+            t(i,j) = d(i-1,j) * 0.2 + p2(i,j,k) * radi(i,j,k)
+            d(i,j) = t(i,j) * 0.4 + w(i,j,k) * 0.1
+70        CONTINUE
+          DO 80 i = 2, il
+            p2(i,j,k) = p2(i,j,k) + d(i,j) * 0.0625
+80        CONTINUE
+100   CONTINUE
+      END
+"""
+
+_FLUXES = """
+      SUBROUTINE dflux
+""" + _COMMONS + """
+      DO 30 j = 2, jl
+        DO 10 i = 2, il
+          IF (w(i,j,1) .GT. 0.0) THEN
+            fs(i) = w(i,j,1) - w(i-1,j,1) + p2(i,j,1) * 0.01
+          ENDIF
+10      CONTINUE
+        DO 20 i = 2, il
+          IF (w(i,j,1) .GT. 0.0) THEN
+            w(i,j,1) = w(i,j,1) + fs(i) * 0.05
+          ENDIF
+20      CONTINUE
+30    CONTINUE
+      DO 50 j = 2, jl
+        DO 35 i = 2, il
+          IF (p2(i,j,1) .GT. 1.0) THEN
+            fs(i) = p2(i,j,1) - p2(i-1,j,1)
+          ENDIF
+35      CONTINUE
+        DO 45 i = 2, il
+          IF (p2(i,j,1) .GT. 1.0) THEN
+            p2(i,j,1) = p2(i,j,1) + fs(i) * 0.025
+          ENDIF
+45      CONTINUE
+50    CONTINUE
+      DO 70 j = 2, jl
+        DO 55 i = 2, il
+          IF (radi(i,j,1) .GT. 0.5) THEN
+            gs(i) = radi(i,j,1) * 0.5 - radi(i-1,j,1) * 0.25
+          ENDIF
+55      CONTINUE
+        DO 65 i = 2, il
+          IF (radi(i,j,1) .GT. 0.5) THEN
+            radi(i,j,1) = radi(i,j,1) + gs(i) * 0.125
+          ENDIF
+65      CONTINUE
+70    CONTINUE
+      END
+
+      SUBROUTINE eflux
+""" + _COMMONS + """
+      DO 50 j = 2, jl
+        DO 42 i = 2, il
+          IF (w(i,j,2) .GT. 0.0) THEN
+            fs(i) = w(i,j,2) * 0.5 + w(i+1,j,2) * 0.5
+            gs(i) = p2(i,j,2) * 0.5 + p2(i+1,j,2) * 0.5
+          ENDIF
+42      CONTINUE
+        DO 48 i = 2, ie-1
+          IF (w(i,j,2) .GT. 0.0) THEN
+            w(i,j,2) = w(i,j,2) - fs(i) * 0.01 + gs(i) * 0.005
+          ENDIF
+48      CONTINUE
+50    CONTINUE
+      END
+"""
+
+SOURCE = _MAIN + _PSMOO_ORIGINAL + _FLUXES
+SOURCE_FUSED = _MAIN + _PSMOO_FUSED + _FLUXES
+
+INPUTS = [24.0, 25.0, 16.0, 33.0]         # il, ie, jl, kl
+
+USER_ASSERTIONS = [
+    # section 4.4.1: privatizing psmoo's temporaries requires IE = IL + 1.
+    Assertion("psmoo/50", "d", "privatizable"),
+    Assertion("psmoo/50", "t", "privatizable"),
+    Assertion("psmoo/100", "d", "privatizable"),
+    Assertion("psmoo/100", "t", "privatizable"),
+    Assertion("psmoo/150", "d", "privatizable"),
+    Assertion("psmoo/150", "t", "privatizable"),
+    Assertion("dflux/30", "fs", "privatizable"),
+    Assertion("dflux/50", "fs", "privatizable"),
+    Assertion("dflux/70", "gs", "privatizable"),
+    Assertion("eflux/50", "fs", "privatizable"),
+    Assertion("eflux/50", "gs", "privatizable"),
+]
+
+WORKLOAD = Workload(
+    "flo88",
+    "Wing-body transonic flow (Stanford CIT) - sections 4.x and 5.6",
+    SOURCE,
+    inputs=INPUTS,
+    user_assertions=USER_ASSERTIONS,
+    paper={
+        "lines": 7438,
+        "auto_coverage": 0.81,
+        "auto_speedup_8": 1.0,
+        "user_coverage": 0.98,
+        "user_speedup_4": 3.1,
+        "user_speedup_8": 5.5,
+        "user_parallelized_loops": 7,
+        "contraction_speedup_before_32": 6.3,
+        "contraction_speedup_after_32": 19.6,
+    },
+    tags=("chapter4", "chapter5", "contraction"),
+)
+
+WORKLOAD_FUSED = Workload(
+    "flo88_fused",
+    "flo88 after affine partitioning (Fig 5-11b) - contraction input",
+    SOURCE_FUSED,
+    inputs=INPUTS,
+    user_assertions=USER_ASSERTIONS,
+    paper=WORKLOAD.paper,
+    tags=("chapter5", "contraction"),
+)

@@ -1,0 +1,290 @@
+"""hydro — 2-D Lagrangian hydrodynamics (Los Alamos), sections 4.2 / 5.x.
+
+Faithful structures:
+
+* ``update/1000`` — the Fig 2-1 coarse-grain loop: an outer loop over grid
+  columns whose body is eight procedure calls (period / vmeos0 / vmeos1 /
+  sesind / sesgrd / sesint / srchdf / ivsr, mirroring the figure's
+  UPDATE->...->IVSR chain) with automatically-parallelizable inner loops;
+  the outer loop is blocked by a conditionally-written scratch row
+  (``wrk1``) that only the user can privatize (the mdg/RL situation).
+* ``vsetuv/85`` — the Fig 4-5 excerpt verbatim: ``k1 = k_lower(l)`` /
+  ``k2 = k_upper(l)`` come from index arrays, so the written range of
+  ``dkrc`` is loop-variant and unknown; ``k1p1`` is conditionally bumped.
+  ``aif3`` is initialized through ``CALL init1(aif3(k1), k2-k1+1)``
+  (Fig 5-1).  Both need user assertions.
+* ``vsetuv/105`` / ``vsetuv/155`` / ``vqterm/85`` — privatizable scratch
+  rows whose written region varies *affinely* with the outer index: the
+  last-iteration finalization trick fails, so they parallelize
+  automatically **only** with the chapter-5 array liveness analysis
+  (deadness at exit).  Chapter-4 benches run with ``use_liveness=False``
+  and the user supplies the assertions, matching the paper's timeline.
+* ``vsetgc/200`` — another conditional-guard pattern (user).
+* ``vh2200/1000`` — a genuine recurrence ("attempted without success").
+* The cycle loop prints diagnostics, keeping it off the Guru's list.
+"""
+
+from ..parallelize.parallelizer import Assertion
+from .base import Workload
+
+SOURCE = """
+      PROGRAM hydro
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /wrk/ dkrc(44), aif3(44), wrk1(44), wrk2(44)
+      COMMON /bnd/ klo(44), khi(44)
+      COMMON /scl/ kmax, lmax
+      kmax = 40
+      lmax = 40
+      CALL init
+      DO 200 ncy = 1, 2
+        CALL update
+        CALL vsetuv
+        CALL vqterm
+        CALL vsetgc
+        CALL vh2200
+        PRINT *, q(3,3), duac(3,3)
+200   CONTINUE
+      END
+
+      SUBROUTINE init
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /bnd/ klo(44), khi(44)
+      COMMON /scl/ kmax, lmax
+      DO 10 l = 1, lmax+1
+        DO 10 k = 1, kmax+1
+          u(k,l) = k * 0.01 + l * 0.02
+          v(k,l) = k * 0.02 - l * 0.01
+          p(k,l) = 1.0 + k * 0.001
+          q(k,l) = 0.5
+          duac(k,l) = 0.0
+10    CONTINUE
+      DO 15 l = 1, lmax+1
+        klo(l) = 2 + mod(l, 2)
+        khi(l) = kmax - mod(l, 3)
+15    CONTINUE
+      END
+
+C     The Fig 2-1 coarse-grain loop: spans four procedures.
+      SUBROUTINE update
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /wrk/ dkrc(44), aif3(44), wrk1(44), wrk2(44)
+      COMMON /scl/ kmax, lmax
+      DO 1000 l = 2, lmax
+        CALL period(l)
+        CALL vmeos0(l)
+        CALL vmeos1(l)
+        CALL sesind(l)
+        CALL sesgrd(l)
+        CALL sesint(l)
+        CALL srchdf(l)
+        CALL ivsr(l)
+1000  CONTINUE
+      END
+
+      SUBROUTINE period(l)
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /wrk/ dkrc(44), aif3(44), wrk1(44), wrk2(44)
+      COMMON /scl/ kmax, lmax
+C     wrk1 is written only where the flow limiter triggers; the reads are
+C     guarded by the same condition, but the compiler cannot prove the
+C     implication (the mdg/RL situation again).
+      DO 20 k = 1, kmax
+        IF (u(k,l) + v(k,l) .GT. 0.0) THEN
+          wrk1(k) = p(k,l) * 0.5 + q(k,l) + u(k,l) * v(k,l) * 0.125
+        ENDIF
+20    CONTINUE
+      DO 25 k = 1, kmax
+        IF (u(k,l) + v(k,l) .GT. 0.0) THEN
+          q(k,l) = wrk1(k) * 0.25 + q(k,l) * 0.75 - wrk1(k) * q(k,l) * 0.01
+        ENDIF
+25    CONTINUE
+      END
+
+      SUBROUTINE vmeos0(l)
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /scl/ kmax, lmax
+      DO 30 k = 2, kmax
+        ekin = u(k,l) * u(k,l) + v(k,l) * v(k,l)
+        eth = q(k,l) * 2.5 + p(k,l) * 0.4
+        p(k,l) = p(k,l) + 0.1 * ekin + 0.01 * eth
+        q(k,l) = q(k,l) * 0.99 + eth * 0.002
+30    CONTINUE
+      END
+
+      SUBROUTINE vmeos1(l)
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /scl/ kmax, lmax
+      DO 40 k = 2, kmax
+        grad = p(k,l) - p(k-1,l)
+        u(k,l) = u(k,l) + 0.01 * grad + 0.001 * u(k,l) * grad
+        v(k,l) = v(k,l) - 0.01 * grad + 0.001 * v(k,l) * grad
+40    CONTINUE
+      END
+
+      SUBROUTINE sesind(l)
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /wrk/ dkrc(44), aif3(44), wrk1(44), wrk2(44)
+      COMMON /scl/ kmax, lmax
+      DO 50 k = 2, kmax
+        wrk2(k) = p(k,l) - p(k-1,l) + q(k,l) * 0.01
+        duac(k,l) = duac(k,l) + wrk2(k) * 0.5 + wrk2(k) * wrk2(k) * 0.01
+50    CONTINUE
+      END
+
+      SUBROUTINE sesgrd(l)
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /scl/ kmax, lmax
+      DO 52 k = 2, kmax
+        grd = p(k,l) - p(k-1,l)
+        u(k,l) = u(k,l) - grd * 0.004 + grd * grd * 0.0001
+52    CONTINUE
+      END
+
+      SUBROUTINE sesint(l)
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /scl/ kmax, lmax
+      DO 54 k = 2, kmax
+        eint = q(k,l) * 2.5 + p(k,l) * 0.4
+        q(k,l) = q(k,l) + eint * 0.001 - q(k,l) * q(k,l) * 0.0001
+54    CONTINUE
+      END
+
+      SUBROUTINE srchdf(l)
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /scl/ kmax, lmax
+      dfmax = 0.0
+      DO 56 k = 2, kmax
+        df = abs(u(k,l) - u(k-1,l))
+        IF (df .GT. dfmax) dfmax = df
+56    CONTINUE
+      duac(1,l) = dfmax
+      END
+
+      SUBROUTINE ivsr(l)
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /scl/ kmax, lmax
+      DO 58 k = 2, kmax
+        v(k,l) = v(k,l) * 0.999 + u(k,l) * 0.001 + duac(k,l) * 0.0005
+58    CONTINUE
+      END
+
+C     Fig 4-5 verbatim: loop-variant ranges from index arrays.
+      SUBROUTINE vsetuv
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /wrk/ dkrc(44), aif3(44), wrk1(44), wrk2(44)
+      COMMON /bnd/ klo(44), khi(44)
+      COMMON /scl/ kmax, lmax
+      DO 85 l = 2, lmax
+        k1 = klo(l)
+        k2 = khi(l)
+        k1p1 = k1
+        IF (k1 .EQ. 1) k1p1 = k1 + 1
+        CALL init1(aif3(k1), k2 - k1 + 1)
+        DO 60 k = k1, k2
+          dkrc(k) = u(k,l) * 0.5 + aif3(k) + v(k,l) * 0.25
+60      CONTINUE
+        DO 80 k = k1p1, k2
+          duac(k,l) = duac(k,l) + dkrc(k) + dkrc(k-1)
+80      CONTINUE
+85    CONTINUE
+      DO 105 l = 2, lmax
+        DO 90 k = 2, l
+          dkrc(k) = v(k,l) - v(k-1,l) + u(k,l) * 0.01
+90      CONTINUE
+        DO 100 k = 2, l
+          u(k,l) = u(k,l) + dkrc(k) * 0.125
+100     CONTINUE
+105   CONTINUE
+      DO 155 l = 2, lmax
+        DO 140 k = 2, l
+          aif3(k) = q(k,l) * 0.5 + p(k,l) * 0.125
+140     CONTINUE
+        DO 150 k = 2, l
+          v(k,l) = v(k,l) + aif3(k) * 0.0625
+150     CONTINUE
+155   CONTINUE
+      END
+
+      SUBROUTINE init1(qq, n)
+      DIMENSION qq(*)
+      DO 70 j = 1, n
+        qq(j) = j * 0.001
+70    CONTINUE
+      END
+
+C     Scratch row whose written region varies affinely with k: only
+C     liveness (or the user) privatizes wrk2 here.
+      SUBROUTINE vqterm
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /wrk/ dkrc(44), aif3(44), wrk1(44), wrk2(44)
+      COMMON /scl/ kmax, lmax
+      DO 85 k = 2, kmax
+        DO 110 l = 2, k
+          wrk2(l) = duac(k,l) * 0.5 + p(k,l) * 0.01
+110     CONTINUE
+        DO 115 l = 2, k
+          q(k,l) = q(k,l) + wrk2(l) * 0.5
+115     CONTINUE
+85    CONTINUE
+      END
+
+      SUBROUTINE vsetgc
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /wrk/ dkrc(44), aif3(44), wrk1(44), wrk2(44)
+      COMMON /scl/ kmax, lmax
+      DO 200 l = 2, lmax
+        DO 180 k = 1, kmax
+          IF (p(k,l) .GT. 1.0) THEN
+            wrk1(k) = p(k,l) - 1.0 + q(k,l) * 0.01
+          ENDIF
+180     CONTINUE
+        DO 190 k = 1, kmax
+          IF (p(k,l) .GT. 1.0) THEN
+            duac(k,l) = duac(k,l) + wrk1(k) * 0.5
+          ENDIF
+190     CONTINUE
+200   CONTINUE
+      END
+
+C     A genuine recurrence over l — "attempted without success".
+      SUBROUTINE vh2200
+      COMMON /grid/ duac(42,42), u(42,42), v(42,42), p(42,42), q(42,42)
+      COMMON /scl/ kmax, lmax
+      DO 1000 l = 2, lmax
+        DO 210 k = 2, kmax
+          q(k,l) = q(k,l) + q(k,l-1) * 0.25
+210     CONTINUE
+1000  CONTINUE
+      END
+"""
+
+WORKLOAD = Workload(
+    "hydro",
+    "2-D Lagrangian hydrodynamics (Los Alamos) - section 4.2 case study",
+    SOURCE,
+    user_assertions=[
+        # section 4.2.4: "SUIF Explorer parallelizes a total of 6 loops
+        # after the user provides 25 assertions on privatization."
+        Assertion("update/1000", "wrk1", "privatizable"),
+        Assertion("vsetuv/85", "dkrc", "privatizable"),
+        Assertion("vsetuv/85", "aif3", "privatizable"),
+        Assertion("vsetuv/105", "dkrc", "privatizable"),
+        Assertion("vsetuv/155", "aif3", "privatizable"),
+        Assertion("vqterm/85", "wrk2", "privatizable"),
+        Assertion("vsetgc/200", "wrk1", "privatizable"),
+    ],
+    paper={
+        "lines": 12942,
+        "auto_coverage": 0.86,
+        "auto_speedup_8": 2.7,
+        "auto_speedup_4": 2.4,
+        "auto_granularity_ms": 0.3,
+        "user_coverage": 0.94,
+        "user_speedup_4": 3.2,
+        "user_speedup_8": 4.3,
+        "user_parallelized_loops": 6,
+        "failed_loop": "vh2200/1000",
+        "important_loops": 7,
+    },
+    tags=("chapter4", "chapter5"),
+)

@@ -1,0 +1,161 @@
+"""hydro2d — astrophysical Navier-Stokes (SPEC92), sections 5.3 / 5.5.
+
+The Fig 5-9 structure, verbatim: the COMMON block ``/varh/`` is viewed as
+``vz(mp,np)`` by ``tistep``/``vps`` and as ``vz1(0:mp,np)`` by
+``trans2``/``fct`` — two differently-shaped aliases with **disjoint live
+ranges** ("trans2 writes vz1 which is then read by fct, and vps writes vz
+which is then read by tistep in the next iteration").  The full liveness
+analysis proves the ranges disjoint, enabling the common-block split of
+Fig 5-10; the weaker top-down variants cannot ("finding that the variable
+vz is upwardly exposed at the beginning of the loop body of Loop/100, the
+weaker top-down phases cannot tell that the subroutine vps kills the live
+section of vz").
+
+Two more split candidates (/varg/, /varf/) follow the same pattern, and a
+non-splittable control block (/varc/) carries genuine cross-shape flow as
+a negative case.  hydro2d has dead variables but no privatizable arrays
+(Fig 5-8 row: zero improved loops).
+"""
+
+from .base import Workload
+
+SOURCE = """
+      PROGRAM hydro2d
+      COMMON /varh/ vz(130,130)
+      COMMON /varg/ vg(120,120)
+      COMMON /varf/ vf(110,110)
+      COMMON /varc/ vc(100,100)
+      COMMON /varn/ vn(80,80)
+      COMMON /sc2/ mp, np2
+      mp = 48
+      np2 = 48
+      CALL start2d
+      DO 100 icnt = 1, 2
+        CALL tistep
+        CALL advnce
+        CALL check
+        PRINT *, vz(3,3)
+100   CONTINUE
+      END
+
+      SUBROUTINE start2d
+      COMMON /varh/ vz(130,130)
+      COMMON /varc/ vc(100,100)
+      COMMON /sc2/ mp, np2
+      DO 10 j = 1, np2
+        DO 10 i = 1, mp
+          vz(i,j) = i * 0.01 + j * 0.001
+          vc(i,j) = 0.5
+10    CONTINUE
+      END
+
+C     Reads vz (written by vps in the previous cycle).
+      SUBROUTINE tistep
+      COMMON /varh/ vz(130,130)
+      COMMON /varc/ vc(100,100)
+      COMMON /varn/ vn(80,80)
+      COMMON /sc2/ mp, np2
+      dt = 0.0
+      DO 20 j = 1, np2
+        DO 20 i = 1, mp
+          IF (vz(i,j) .GT. dt) dt = vz(i,j)
+          vc(i,j) = vc(i,j) + vz(i,j) * 0.001
+20    CONTINUE
+C     vn genuinely flows across shapes: written here as vn, read in fct
+C     through the vn1 view — /varn/ must NOT be split.
+      DO 22 i = 1, mp
+        vn(i,1) = vc(i,1) * 0.5
+22    CONTINUE
+C     Ghost cells: written every cycle, never read — dead element-wise,
+C     invisible to whole-variable (1-bit) liveness because the rest of
+C     /varh/ stays live.
+      DO 25 i = 1, mp
+        vz(i,np2+2) = vz(i,np2) * 0.5
+25    CONTINUE
+      END
+
+      SUBROUTINE advnce
+      COMMON /sc2/ mp, np2
+      CALL trans2
+      CALL fct
+      END
+
+C     Writes the vz1-shaped view of /varh/ (and /varg/, /varf/ views).
+      SUBROUTINE trans2
+      COMMON /varh/ vz1(0:130,129)
+      COMMON /varg/ vg1(0:120,119)
+      COMMON /varf/ vf1(0:110,109)
+      COMMON /varc/ vc(100,100)
+      COMMON /sc2/ mp, np2
+      DO 30 j = 1, np2
+        DO 30 i = 1, mp
+          vz1(i,j) = vc(i,j) * 0.5 + i * 0.001
+          vg1(i,j) = vc(i,j) * 0.25 - j * 0.001
+          vf1(i,j) = vc(i,j) * 0.125
+30    CONTINUE
+      END
+
+C     Consumes vz1 within the same cycle; vz1 dies here.
+      SUBROUTINE fct
+      COMMON /varh/ vz1(0:130,129)
+      COMMON /varg/ vg1(0:120,119)
+      COMMON /varf/ vf1(0:110,109)
+      COMMON /varc/ vc(100,100)
+      COMMON /varn/ vn1(0:80,79)
+      COMMON /sc2/ mp, np2
+      DO 40 j = 1, np2
+        DO 40 i = 1, mp
+          vc(i,j) = vc(i,j) + vz1(i,j) * 0.1 + vg1(i,j) * 0.05
+          vc(i,j) = vc(i,j) + vf1(i,j) * 0.025
+40    CONTINUE
+C     Cross-shape consumer of tistep's vn writes (storage overlap).
+      DO 42 i = 1, mp
+        vc(i,2) = vc(i,2) + vn1(i,1) * 0.01
+42    CONTINUE
+      DO 45 i = 1, mp
+        vz1(i,np2+1) = vz1(i,np2) * 0.25
+45    CONTINUE
+      END
+
+      SUBROUTINE check
+      COMMON /sc2/ mp, np2
+      CALL vps
+      END
+
+C     Rewrites the vz-shaped view for the next cycle's tistep.
+      SUBROUTINE vps
+      COMMON /varh/ vz(130,130)
+      COMMON /varg/ vg(120,120)
+      COMMON /varf/ vf(110,110)
+      COMMON /varc/ vc(100,100)
+      COMMON /sc2/ mp, np2
+      DO 50 j = 1, np2
+        DO 50 i = 1, mp
+          vz(i,j) = vc(i,j) * 0.75
+          vg(i,j) = vc(i,j) * 0.5
+          vf(i,j) = vc(i,j) * 0.25
+50    CONTINUE
+C     More ghost writes (dead element-wise only).
+      DO 55 i = 1, mp
+        vg(i,np2+2) = vg(i,np2) * 0.5
+        vf(i,np2+2) = vf(i,np2) * 0.5
+55    CONTINUE
+      END
+"""
+
+WORKLOAD = Workload(
+    "hydro2d",
+    "Astrophysical Navier-Stokes (SPEC92) - common-block splitting, ch. 5",
+    SOURCE,
+    paper={
+        "lines": 4461,
+        "loops": 155,
+        "modified_vars": 287,
+        "dead_pct": {"flow_insensitive": 0.01, "one_bit": 0.05,
+                     "full": 0.18},
+        "common_splits": 5,
+        "speedup_before_splits": 2.6,
+        "speedup_after_splits": 2.8,
+    },
+    tags=("chapter5", "split"),
+)

@@ -1,0 +1,159 @@
+"""mdg — molecular dynamics model (Perfect Club), the section 4.1 case
+study.
+
+Faithful structures:
+
+* ``interf/1000`` dominates execution (paper: 90 %), spans procedure
+  calls, and is blocked by a single static dependence on the work array
+  ``RL`` — the exact Fig 4-3 pattern: ``RL(K+4)`` written under
+  ``RS(K+4) .LE. CUT2`` inside loop 1130, ``RL(K-5)`` read under
+  ``KC .EQ. 0`` inside loop 1140, with ``KC`` counting how many ``RS``
+  entries exceed ``CUT2`` in loop 1110.  The read condition implies the
+  write condition, so RL *is* privatizable — but only a human (or the
+  slice) can see it.  The Dynamic Dependence Analyzer observes no carried
+  dependence.
+* force arrays ``FX/FY/FZ`` and the virial ``VIR`` are interprocedural
+  sum reductions (Fig 4-9's 3 reduction arrays + 1 reduction scalar).
+* ``predic``/``correc`` hold the small automatically-parallel loops whose
+  granularity is too fine to profit (paper: 0.002 ms granularity, no
+  speedup from automatic parallelization).
+* the timestep loop performs I/O, keeping it off the Guru's list.
+"""
+
+from ..parallelize.parallelizer import Assertion
+from .base import Workload
+
+SOURCE = """
+      PROGRAM mdg
+      COMMON /coords/ x(200), y(200), z(200)
+      COMMON /forces/ fx(200), fy(200), fz(200)
+      COMMON /work/ rs(9), rl(14), kc
+      COMMON /params/ nmol, cut2, vir
+      nmol = 48
+      cut2 = 60.0
+      CALL initia
+      DO 500 ts = 1, 3
+        CALL predic
+        CALL interf
+        CALL correc
+        ekin = 0.0
+        DO 510 i = 1, nmol
+          ekin = ekin + fx(i)*fx(i) + fy(i)*fy(i) + fz(i)*fz(i)
+510     CONTINUE
+        PRINT *, ekin, vir
+500   CONTINUE
+      END
+
+      SUBROUTINE initia
+      COMMON /coords/ x(200), y(200), z(200)
+      COMMON /forces/ fx(200), fy(200), fz(200)
+      COMMON /params/ nmol, cut2, vir
+      DO 10 i = 1, nmol
+        x(i) = i * 0.25
+        y(i) = i * 0.5 - 3.0
+        z(i) = 11.0 - i * 0.125
+        fx(i) = 0.0
+        fy(i) = 0.0
+        fz(i) = 0.0
+10    CONTINUE
+      vir = 0.0
+      END
+
+      SUBROUTINE predic
+      COMMON /coords/ x(200), y(200), z(200)
+      COMMON /forces/ fx(200), fy(200), fz(200)
+      COMMON /params/ nmol, cut2, vir
+      DO 20 i = 1, nmol
+        x(i) = x(i) + fx(i) * 0.001
+        y(i) = y(i) + fy(i) * 0.001
+        z(i) = z(i) + fz(i) * 0.001
+20    CONTINUE
+      END
+
+      SUBROUTINE correc
+      COMMON /coords/ x(200), y(200), z(200)
+      COMMON /forces/ fx(200), fy(200), fz(200)
+      COMMON /params/ nmol, cut2, vir
+      DO 30 i = 1, nmol
+        fx(i) = fx(i) * 0.5
+        fy(i) = fy(i) * 0.5
+        fz(i) = fz(i) * 0.5
+30    CONTINUE
+      END
+
+      SUBROUTINE interf
+      COMMON /coords/ x(200), y(200), z(200)
+      COMMON /forces/ fx(200), fy(200), fz(200)
+      COMMON /work/ rs(9), rl(14), kc
+      COMMON /params/ nmol, cut2, vir
+      DO 1000 i = 1, nmol
+        DO 1100 jj = 1, 16
+          j = mod(i + jj - 1, nmol) + 1
+          CALL dists(i, j)
+          kc = 0
+          DO 1110 k = 1, 9
+            IF (rs(k) .GT. cut2) kc = kc + 1
+1110      CONTINUE
+          IF (kc .NE. 9) THEN
+            DO 1130 k = 2, 5
+              IF (rs(k+4) .LE. cut2) THEN
+                rl(k+4) = rs(k+4) * 0.5 + rs(k) * 0.25
+              ENDIF
+1130        CONTINUE
+            IF (kc .EQ. 0) THEN
+              DO 1140 k = 11, 14
+                gg = rl(k-5) * 0.125
+                fx(i) = fx(i) + gg * (x(i) - x(j))
+                fx(j) = fx(j) - gg * (x(i) - x(j))
+                fy(i) = fy(i) + gg * (y(i) - y(j))
+                fy(j) = fy(j) - gg * (y(i) - y(j))
+                fz(i) = fz(i) + gg * (z(i) - z(j))
+                fz(j) = fz(j) - gg * (z(i) - z(j))
+                vir = vir + gg * rs(k-5)
+1140          CONTINUE
+            ENDIF
+          ENDIF
+1100    CONTINUE
+1000  CONTINUE
+      END
+
+      SUBROUTINE dists(i, j)
+      COMMON /coords/ x(200), y(200), z(200)
+      COMMON /work/ rs(9), rl(14), kc
+      dx = x(i) - x(j)
+      dy = y(i) - y(j)
+      dz = z(i) - z(j)
+      rr = dx*dx + dy*dy + dz*dz
+      DO 40 k = 1, 9
+        rs(k) = rr + k * 0.5 + dx * dy * 0.01
+40    CONTINUE
+      END
+"""
+
+WORKLOAD = Workload(
+    "mdg",
+    "Molecular dynamics model (Perfect Club) - section 4.1 case study",
+    SOURCE,
+    user_assertions=[
+        # "Once the programmer asserts that the array RL is privatizable,
+        # the Assertion Checker ... enables the compiler to successfully
+        # parallelize the main loop" (section 4.1.4).  The checker's
+        # callee-consistency rule auto-privatizes the sibling work-array
+        # members (RS, KC) accessed by DISTS.
+        Assertion("interf/1000", "rl", "privatizable"),
+    ],
+    paper={
+        "lines": 1238,
+        "auto_coverage": 0.73,
+        "auto_speedup_8": 1.0,
+        "auto_granularity_ms": 0.002,
+        "user_coverage": 0.98,
+        "user_speedup_4": 4.0,
+        "user_speedup_8": 6.0,
+        "reduction_arrays": 3,
+        "reduction_scalars": 1,
+        "target_loop": "interf/1000",
+        "target_coverage": 0.90,
+    },
+    tags=("chapter4", "perfect"),
+)

@@ -1,0 +1,341 @@
+"""NAS Parallel + Perfect Club miniatures — the chapter-6 impact study.
+
+Fig 6-3/6-4/6-5 measure, across NAS and Perfect Club programs, how much of
+the computation can only be parallelized when reduction recognition is on;
+Fig 6-6/6-7 turn that into 4-processor speedups on the SGI Challenge and
+Origin.  Each miniature's *dominant* loop depends on a reduction —
+scalar, array-region, sparse/indirect, or interprocedural — so disabling
+the analysis (``Parallelizer(use_reductions=False)``) collapses its
+coverage, exactly the paper's ablation.
+"""
+
+from typing import Dict, List
+
+from .base import Workload
+
+_P: Dict[str, str] = {}
+
+# --- NAS ------------------------------------------------------------------
+
+_P["cgm"] = """
+      PROGRAM cgm
+      DIMENSION aval(3000), acol(3000), x(600), q(600), arow(601)
+      INTEGER n, nz
+      n = 200
+      nz = 5
+      DO 10 i = 1, n
+        x(i) = 1.0 + i * 0.001
+        arow(i) = (i-1) * nz + 1
+        DO 8 k = 1, nz
+          aval((i-1)*nz + k) = 0.1 * k
+          acol((i-1)*nz + k) = mod(i + k * 17, n) + 1
+8       CONTINUE
+10    CONTINUE
+      arow(n+1) = n * nz + 1
+      DO 900 it = 1, 3
+        DO 100 i = 1, n
+          sum = 0.0
+          DO 90 k = arow(i), arow(i+1) - 1
+            sum = sum + aval(k) * x(acol(k))
+90        CONTINUE
+          q(i) = sum
+100     CONTINUE
+        rho = 0.0
+        DO 200 i = 1, n
+          rho = rho + q(i) * x(i)
+200     CONTINUE
+        DO 300 i = 1, n
+          x(i) = x(i) + q(i) / (rho + 1.0)
+300     CONTINUE
+        PRINT *, rho
+900   CONTINUE
+      END
+"""
+
+_P["embar"] = """
+      PROGRAM embar
+      INTEGER n
+      n = 4000
+      sx = 0.0
+      sy = 0.0
+      DO 100 i = 1, n
+        t1 = mod(i * 1220703125, 16777216) / 16777216.0
+        t2 = mod(i * 279470273, 16777216) / 16777216.0
+        g = t1 * t1 + t2 * t2 + 0.001
+        sx = sx + t1 * g
+        sy = sy + t2 * g
+100   CONTINUE
+      PRINT *, sx, sy
+      END
+"""
+
+_P["appbt"] = """
+      PROGRAM appbt
+      DIMENSION u(66,66), rsd(66,66)
+      INTEGER n
+      n = 64
+      DO 10 j = 1, n
+        DO 10 i = 1, n
+          u(i,j) = i * 0.01 + j * 0.02
+          rsd(i,j) = 0.0
+10    CONTINUE
+      DO 900 it = 1, 2
+        rsdnm = 0.0
+        DO 100 j = 2, n-1
+          DO 100 i = 2, n-1
+            rsd(i,j) = u(i+1,j) + u(i-1,j) + u(i,j+1) + u(i,j-1) - 4.0 * u(i,j)
+            rsdnm = rsdnm + rsd(i,j) * rsd(i,j)
+100     CONTINUE
+        DO 200 j = 2, n-1
+          DO 200 i = 2, n-1
+            u(i,j) = u(i,j) + rsd(i,j) * 0.2
+200     CONTINUE
+        PRINT *, rsdnm
+900   CONTINUE
+      END
+"""
+
+_P["mgrid"] = """
+      PROGRAM mgrid
+      DIMENSION v(80,80), r(80,80)
+      INTEGER n
+      n = 64
+      DO 10 j = 1, n
+        DO 10 i = 1, n
+          v(i,j) = 0.0
+          r(i,j) = sin(i * 0.1) * cos(j * 0.1)
+10    CONTINUE
+      DO 900 it = 1, 2
+        DO 100 j = 2, n-1
+          DO 100 i = 2, n-1
+            v(i,j) = v(i,j) + r(i,j) * 0.25
+100     CONTINUE
+        rmax = 0.0
+        rmin = 1000000.0
+        DO 200 j = 2, n-1
+          DO 200 i = 2, n-1
+            r(i,j) = r(i,j) * 0.9 + v(i,j) * 0.01
+            rmax = max(rmax, r(i,j))
+            rmin = min(rmin, r(i,j))
+200     CONTINUE
+        PRINT *, rmax, rmin
+900   CONTINUE
+      END
+"""
+
+# --- Perfect Club -----------------------------------------------------------
+
+_P["trfd"] = """
+      PROGRAM trfd
+      DIMENSION xints(200,200), val(200)
+      INTEGER n
+      n = 80
+      DO 10 j = 1, n
+        DO 10 i = 1, n
+          xints(i,j) = 1.0 / (i + j)
+10    CONTINUE
+      DO 20 i = 1, n
+        val(i) = 0.0
+20    CONTINUE
+C     two-electron integral transformation: array reduction into val
+      DO 100 j = 1, n
+        DO 100 i = 1, n
+          val(i) = val(i) + xints(i,j) * xints(j,i)
+100   CONTINUE
+      tr = 0.0
+      DO 200 i = 1, n
+        tr = tr + val(i)
+200   CONTINUE
+      PRINT *, tr
+      END
+"""
+
+_P["ocean"] = """
+      PROGRAM ocean
+      DIMENSION psi(130,130), vort(130,130)
+      INTEGER n
+      n = 64
+      DO 10 j = 1, n
+        DO 10 i = 1, n
+          psi(i,j) = 0.0
+          vort(i,j) = sin(i * 0.05) * sin(j * 0.05)
+10    CONTINUE
+      DO 900 it = 1, 2
+        enrgy = 0.0
+        enstr = 0.0
+        DO 100 j = 2, n-1
+          DO 100 i = 2, n-1
+            psi(i,j) = psi(i,j) + vort(i,j) * 0.2
+            enrgy = enrgy + psi(i,j) * psi(i,j)
+            enstr = enstr + vort(i,j) * vort(i,j)
+100     CONTINUE
+        PRINT *, enrgy, enstr
+900   CONTINUE
+      END
+"""
+
+_P["dyfesm"] = """
+      PROGRAM dyfesm
+      DIMENSION force(800), disp(800), elst(200)
+      INTEGER nel, nnode
+      nel = 150
+      nnode = 600
+      DO 10 i = 1, nnode
+        force(i) = 0.0
+        disp(i) = i * 0.001
+10    CONTINUE
+      DO 15 ie = 1, nel
+        elst(ie) = 1.0 + ie * 0.01
+15    CONTINUE
+C     element assembly: indirect (sparse) array reduction
+      DO 100 ie = 1, nel
+        i1 = mod(ie * 13, nnode) + 1
+        i2 = mod(ie * 29, nnode) + 1
+        f = elst(ie) * (disp(i1) - disp(i2))
+        force(i1) = force(i1) + f
+        force(i2) = force(i2) - f
+100   CONTINUE
+      ftot = 0.0
+      DO 200 i = 1, nnode
+        ftot = ftot + abs(force(i))
+200   CONTINUE
+      PRINT *, ftot
+      END
+"""
+
+_P["qcd"] = """
+      PROGRAM qcd
+      DIMENSION link(4096)
+      INTEGER nsite
+      nsite = 2048
+      DO 10 i = 1, nsite
+        link(i) = cos(i * 0.003)
+10    CONTINUE
+      action = 0.0
+      DO 100 i = 1, nsite - 4
+        plaq = link(i) * link(i+1) * link(i+2) * link(i+3)
+        action = action + plaq
+100   CONTINUE
+      PRINT *, action
+      END
+"""
+
+_P["spec77"] = """
+      PROGRAM spec77
+      DIMENSION sp(258), fl(258)
+      INTEGER n
+      n = 256
+      DO 10 i = 1, n
+        sp(i) = sin(i * 0.02)
+        fl(i) = 0.0
+10    CONTINUE
+      DO 900 it = 1, 3
+        CALL fluxes
+        emean = 0.0
+        DO 200 i = 1, n
+          emean = emean + fl(i)
+200     CONTINUE
+        PRINT *, emean
+900   CONTINUE
+      END
+
+C     interprocedural reduction: the update spans a call boundary
+      SUBROUTINE fluxes
+      COMMON /spc/ dummy
+      END
+"""
+
+_P["track"] = """
+      PROGRAM track
+      DIMENSION hits(400), trkx(100)
+      INTEGER ntrk, nhit
+      ntrk = 60
+      nhit = 300
+      DO 10 i = 1, nhit
+        hits(i) = mod(i * 37, 359) + 0.5
+10    CONTINUE
+      DO 20 k = 1, ntrk
+        trkx(k) = 0.0
+20    CONTINUE
+C     histogramming into track bins: sparse reduction
+      DO 100 i = 1, nhit
+        k = mod(i * 7, 60) + 1
+        trkx(k) = trkx(k) + hits(i) * 0.01
+100   CONTINUE
+      best = 0.0
+      DO 200 k = 1, ntrk
+        best = max(best, trkx(k))
+200   CONTINUE
+      PRINT *, best
+      END
+"""
+
+_P["adm"] = """
+      PROGRAM adm
+      DIMENSION conc(100,100)
+      INTEGER n
+      n = 64
+      DO 10 j = 1, n
+        DO 10 i = 1, n
+          conc(i,j) = exp(0.0 - (i - 32.0) * (i - 32.0) * 0.01)
+10    CONTINUE
+      DO 900 it = 1, 2
+        total = 0.0
+        cmax = 0.0
+        DO 100 j = 2, n-1
+          DO 100 i = 2, n-1
+            conc(i,j) = conc(i,j) * 0.98 + conc(i-1,j) * 0.005 + conc(i+1,j) * 0.005 + conc(i,j-1) * 0.005
+            total = total + conc(i,j)
+            cmax = max(cmax, conc(i,j))
+100     CONTINUE
+        PRINT *, total, cmax
+900   CONTINUE
+      END
+"""
+
+# spec77 needs the interprocedural reduction: rewrite it properly
+_P["spec77"] = """
+      PROGRAM spec77
+      COMMON /spc/ sp(258), fl(258), emean
+      INTEGER n
+      COMMON /sps/ n
+      n = 256
+      DO 10 i = 1, n
+        sp(i) = sin(i * 0.02)
+        fl(i) = 0.0
+10    CONTINUE
+      DO 900 it = 1, 3
+        emean = 0.0
+        DO 100 i = 2, n - 1
+          CALL accum(i)
+100     CONTINUE
+        PRINT *, emean
+900   CONTINUE
+      END
+
+C     Interprocedural reduction: the commutative updates of fl and emean
+C     happen inside a procedure called from the loop (section 6.1's
+C     "reduction operations that span multiple procedures").
+      SUBROUTINE accum(i)
+      COMMON /spc/ sp(258), fl(258), emean
+      INTEGER n
+      COMMON /sps/ n
+      flux = (sp(i+1) - sp(i-1)) * 0.5
+      fl(i) = fl(i) + flux * flux
+      emean = emean + flux * sp(i)
+      END
+"""
+
+PAPER_NAS = ["appbt", "cgm", "embar", "mgrid"]
+PAPER_PERFECT = ["adm", "dyfesm", "ocean", "qcd", "spec77", "track", "trfd"]
+
+WORKLOADS: List[Workload] = [
+    Workload(name,
+             ("NAS Parallel miniature: " if name in PAPER_NAS
+              else "Perfect Club miniature: ") + name,
+             src,
+             tags=("chapter6", "nas" if name in PAPER_NAS else "perfect"))
+    for name, src in _P.items()
+]
+
+BY_NAME = {w.name: w for w in WORKLOADS}

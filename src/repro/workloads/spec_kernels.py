@@ -1,0 +1,226 @@
+"""SPEC92 floating-point kernels — the static reduction census of Fig 6-2.
+
+Fig 6-2 counts recognized commutative updates in the SPEC92 benchmarks by
+operation type (+, *, MIN, MAX) and target kind (scalar / array).  Each
+kernel here is a miniature of the corresponding benchmark's documented
+numerics, carrying a known mix of reduction statements; the bench
+regenerates the census with ``scan_block_reductions``.
+"""
+
+from typing import Dict, List
+
+from .base import Workload
+
+_KERNELS: Dict[str, str] = {}
+
+_KERNELS["tomcatv"] = """
+      PROGRAM tomcatv
+      DIMENSION x(200,200), y(200,200), rx(200,200), ry(200,200)
+      INTEGER n
+      n = 64
+      DO 5 j = 1, n
+        DO 5 i = 1, n
+          x(i,j) = i * 0.1
+          y(i,j) = j * 0.1
+          rx(i,j) = 0.0
+          ry(i,j) = 0.0
+5     CONTINUE
+      DO 100 it = 1, 2
+        rxm = 0.0
+        rym = 0.0
+        DO 60 j = 2, n-1
+          DO 60 i = 2, n-1
+            rx(i,j) = x(i+1,j) - 2.0*x(i,j) + x(i-1,j)
+            ry(i,j) = y(i,j+1) - 2.0*y(i,j) + y(i,j-1)
+            rxm = max(rxm, abs(rx(i,j)))
+            rym = max(rym, abs(ry(i,j)))
+60      CONTINUE
+        DO 80 j = 2, n-1
+          DO 80 i = 2, n-1
+            x(i,j) = x(i,j) + rx(i,j) * 0.3
+            y(i,j) = y(i,j) + ry(i,j) * 0.3
+80      CONTINUE
+        PRINT *, rxm, rym
+100   CONTINUE
+      END
+"""
+
+_KERNELS["ora"] = """
+      PROGRAM ora
+      INTEGER nray
+      nray = 256
+      vint = 0.0
+      wint = 1.0
+      DO 100 i = 1, nray
+        t = i * 0.01
+        f = t * t * 0.5 + sin(t) * 0.25
+        g = 1.0 + t * 0.001
+        vint = vint + f * 0.01
+        wint = wint * g
+100   CONTINUE
+      PRINT *, vint, wint
+      END
+"""
+
+_KERNELS["doduc"] = """
+      PROGRAM doduc
+      DIMENSION u(500), du(500)
+      INTEGER n
+      n = 200
+      DO 10 i = 1, n
+        u(i) = i * 0.05
+        du(i) = 0.0
+10    CONTINUE
+      dtmin = 1000000.0
+      esum = 0.0
+      DO 100 i = 2, n-1
+        du(i) = u(i+1) - 2.0*u(i) + u(i-1)
+        dt = 1.0 / (abs(du(i)) + 0.001)
+        IF (dt .LT. dtmin) dtmin = dt
+        esum = esum + u(i) * u(i)
+100   CONTINUE
+      PRINT *, dtmin, esum
+      END
+"""
+
+_KERNELS["swm256"] = """
+      PROGRAM swm256
+      DIMENSION p(130,130), uvel(130,130), vvel(130,130)
+      INTEGER n
+      n = 48
+      DO 10 j = 1, n
+        DO 10 i = 1, n
+          p(i,j) = 1000.0 + i * 0.5
+          uvel(i,j) = 0.1 * i
+          vvel(i,j) = 0.1 * j
+10    CONTINUE
+      ptot = 0.0
+      ketot = 0.0
+      pmax = 0.0
+      DO 100 j = 1, n
+        DO 100 i = 1, n
+          ptot = ptot + p(i,j)
+          ketot = ketot + uvel(i,j)*uvel(i,j) + vvel(i,j)*vvel(i,j)
+          pmax = max(pmax, p(i,j))
+100   CONTINUE
+      PRINT *, ptot, ketot, pmax
+      END
+"""
+
+_KERNELS["su2cor"] = """
+      PROGRAM su2cor
+      DIMENSION corr(64), field(4096)
+      INTEGER nsite
+      nsite = 1024
+      DO 10 i = 1, nsite
+        field(i) = sin(i * 0.01)
+10    CONTINUE
+      DO 20 k = 1, 32
+        corr(k) = 0.0
+20    CONTINUE
+      DO 100 i = 1, nsite - 32
+        DO 90 k = 1, 32
+          corr(k) = corr(k) + field(i) * field(i+k)
+90      CONTINUE
+100   CONTINUE
+      PRINT *, corr(1), corr(32)
+      END
+"""
+
+_KERNELS["nasa7"] = """
+      PROGRAM nasa7
+      DIMENSION a(128,128), b(128,128), c(128,128)
+      INTEGER n
+      n = 40
+      DO 10 j = 1, n
+        DO 10 i = 1, n
+          a(i,j) = i * 0.01 + j
+          b(i,j) = j * 0.01 - i
+          c(i,j) = 0.0
+10    CONTINUE
+      DO 100 j = 1, n
+        DO 100 k = 1, n
+          DO 100 i = 1, n
+            c(i,j) = c(i,j) + a(i,k) * b(k,j)
+100   CONTINUE
+      emax = 0.0
+      emin = 1000000.0
+      DO 200 j = 1, n
+        DO 200 i = 1, n
+          emax = max(emax, c(i,j))
+          emin = min(emin, c(i,j))
+200   CONTINUE
+      PRINT *, emax, emin
+      END
+"""
+
+_KERNELS["mdljdp2"] = """
+      PROGRAM mdljdp2
+      DIMENSION fx(512), x(512)
+      INTEGER natom
+      natom = 128
+      DO 10 i = 1, natom
+        x(i) = i * 0.3
+        fx(i) = 0.0
+10    CONTINUE
+      epot = 0.0
+      vir = 0.0
+      DO 100 i = 1, natom
+        DO 90 jj = 1, 8
+          j = mod(i + jj - 1, natom) + 1
+          r2 = (x(i) - x(j)) * (x(i) - x(j)) + 0.5
+          fij = 1.0 / (r2 * r2)
+          fx(i) = fx(i) + fij
+          fx(j) = fx(j) - fij
+          epot = epot + fij * r2
+          vir = vir - fij
+90      CONTINUE
+100   CONTINUE
+      PRINT *, epot, vir, fx(3)
+      END
+"""
+
+_KERNELS["ear"] = """
+      PROGRAM ear
+      DIMENSION sig(2048), eng(32)
+      INTEGER n
+      n = 2048
+      DO 10 i = 1, n
+        sig(i) = sin(i * 0.02) * cos(i * 0.005)
+10    CONTINUE
+      DO 20 k = 1, 32
+        eng(k) = 0.0
+20    CONTINUE
+      DO 100 k = 1, 32
+        DO 90 i = 1, 64
+          eng(k) = eng(k) + sig((k-1)*64 + i) * sig((k-1)*64 + i)
+90      CONTINUE
+100   CONTINUE
+      etot = 0.0
+      DO 200 k = 1, 32
+        etot = etot + eng(k)
+200   CONTINUE
+      PRINT *, etot
+      END
+"""
+
+# Expected static census per kernel (op, scalar-or-array) — verified by
+# the Fig 6-2 bench against scan_block_reductions.
+EXPECTED_REDUCTIONS: Dict[str, Dict[str, int]] = {
+    "tomcatv": {"max_scalar": 2},
+    "ora": {"sum_scalar": 1, "prod_scalar": 1},
+    "doduc": {"min_scalar": 1, "sum_scalar": 1},
+    "swm256": {"sum_scalar": 2, "max_scalar": 1},
+    "su2cor": {"sum_array": 1},
+    "nasa7": {"sum_array": 1, "max_scalar": 1, "min_scalar": 1},
+    "mdljdp2": {"sum_array": 2, "sum_scalar": 2},
+    "ear": {"sum_array": 1, "sum_scalar": 1},
+}
+
+WORKLOADS: List[Workload] = [
+    Workload(name, f"SPEC92 kernel miniature: {name} (Fig 6-2 census)",
+             src, tags=("chapter6", "spec92"))
+    for name, src in _KERNELS.items()
+]
+
+BY_NAME = {w.name: w for w in WORKLOADS}

@@ -1,0 +1,130 @@
+"""wave5 — Maxwell's equations + particle push (SPEC95), chapter 5 only.
+
+The paper uses wave5 to expose the precision ladder of the three liveness
+variants (Fig 5-7: 3 % / 22 % / 32 % of modified variables dead at loop
+exits for flow-insensitive / 1-bit / full; Fig 5-8: 0 / 15 / 19 dead
+privatizable arrays).  The corresponding patterns here:
+
+* *flow-insensitive killers*: every scratch array is **read by an earlier
+  sibling region** (the diagnostic sweep at the top of each phase), so the
+  order-blind variant believes it is live after every later loop,
+* *1-bit killers*: phases communicate through **disjoint halves** of the
+  shared field rows (particles write cells 1..n, the field solver later
+  reads only cells n+1..2n), so whole-variable liveness sees a live
+  variable where element-wise liveness sees a dead half,
+* the newly privatizable loops are deliberately fine-grained, so the
+  extra parallel loops change no speedup (paper: 1.0 before and after).
+"""
+
+from .base import Workload
+
+SOURCE = """
+      PROGRAM wave5
+      COMMON /fld/ ex(400), ey(400), rho(400)
+      COMMON /prt/ px(200), pv(200)
+      COMMON /wk5/ cur(400), tmp(400), smt(400)
+      COMMON /scw/ np, ng
+      np = 60
+      ng = 80
+      CALL setup5
+      DO 500 it = 1, 2
+        CALL diag5
+        CALL push5
+        CALL field5
+        PRINT *, ex(3), rho(3)
+500   CONTINUE
+      END
+
+      SUBROUTINE setup5
+      COMMON /fld/ ex(400), ey(400), rho(400)
+      COMMON /prt/ px(200), pv(200)
+      COMMON /scw/ np, ng
+      DO 10 i = 1, np
+        px(i) = i * 1.25
+        pv(i) = 0.01 * i - 0.3
+10    CONTINUE
+      DO 20 i = 1, 2*ng
+        ex(i) = 0.001 * i
+        ey(i) = 0.5
+        rho(i) = 0.0
+20    CONTINUE
+      END
+
+C     Diagnostics first: reads the scratch arrays BEFORE the phases that
+C     recompute them — harmless in program order, fatal to the
+C     flow-insensitive liveness variant.
+      SUBROUTINE diag5
+      COMMON /wk5/ cur(400), tmp(400), smt(400)
+      COMMON /scw/ np, ng
+      dsum = 0.0
+      DO 30 i = 1, ng
+        dsum = dsum + cur(i) + tmp(i) + smt(i)
+30    CONTINUE
+      END
+
+C     Particle push: deposits current into cur(1:ng) through scratch rows
+C     that die at each loop exit.
+      SUBROUTINE push5
+      COMMON /fld/ ex(400), ey(400), rho(400)
+      COMMON /prt/ px(200), pv(200)
+      COMMON /wk5/ cur(400), tmp(400), smt(400)
+      COMMON /scw/ np, ng
+      DO 110 i = 1, ng
+        cur(i) = 0.0
+110   CONTINUE
+      DO 120 ip = 1, np
+        pv(ip) = pv(ip) + ex(1) * 0.01
+        px(ip) = px(ip) + pv(ip) * 0.1
+120   CONTINUE
+      DO 140 i = 1, ng
+        tmp(i) = rho(i) * 0.5 + ex(i) * 0.25
+        rho(i) = tmp(i) + rho(i) * 0.5
+140   CONTINUE
+      DO 160 i = 1, ng
+        smt(i) = rho(i) * 0.25 + cur(i)
+        cur(i) = smt(i) * 0.5 + cur(i) * 0.5
+160   CONTINUE
+      END
+
+C     Field solve: works on the UPPER half ex(ng+1:2*ng) — the lower half
+C     written by the smoothing loops below is dead, but only element-wise
+C     (full) liveness can tell.
+      SUBROUTINE field5
+      COMMON /fld/ ex(400), ey(400), rho(400)
+      COMMON /wk5/ cur(400), tmp(400), smt(400)
+      COMMON /scw/ np, ng
+      DO 210 i = 1, ng
+        tmp(i) = ex(i) * 0.5
+        ex(i) = tmp(i) + cur(i) * 0.125
+210   CONTINUE
+      DO 230 i = 1, ng
+        smt(i) = ey(i) * 0.5 + rho(i) * 0.25
+        ey(i) = smt(i) * 0.75 + ey(i) * 0.25
+230   CONTINUE
+      DO 250 i = ng+1, 2*ng
+        ex(i) = ex(i) * 0.9 + ey(i) * 0.1
+250   CONTINUE
+      DO 270 i = 1, ng
+        tmp(i) = ex(ng+i) * 0.5
+        ey(ng+i) = tmp(i) + ey(ng+i) * 0.5
+270   CONTINUE
+      END
+"""
+
+WORKLOAD = Workload(
+    "wave5",
+    "Maxwell equations + particle equations of motion (SPEC95) - ch. 5",
+    SOURCE,
+    paper={
+        "lines": 7764,
+        "loops": 361,
+        "modified_vars": 668,
+        "dead_pct": {"flow_insensitive": 0.03, "one_bit": 0.22,
+                     "full": 0.32},
+        "dead_private": {"flow_insensitive": 0, "one_bit": 15, "full": 19},
+        "parallel_loops_gained": {"flow_insensitive": 0, "one_bit": 9,
+                                  "full": 12},
+        "speedup_4": 1.0,
+    },
+    tags=("chapter5",),
+)

@@ -1,0 +1,204 @@
+"""IR lowering: symbol resolution, GOTO elimination, COMMON layout."""
+
+import pytest
+
+from repro.ir import build_program
+from repro.ir.statements import (AssignStmt, CycleStmt, IfStmt, LoopStmt,
+                                 NoopStmt)
+from repro.ir.expressions import ArrayRef, Intrinsic, UnaryOp, VarRef
+from repro.lang.errors import BuildError
+
+
+def test_goto_to_loop_terminator_becomes_cycle():
+    prog = build_program("""
+      PROGRAM t
+      DO 85 l = 1, 10
+        IF (l .EQ. 3) GO TO 85
+        x = l * 1.0
+85    CONTINUE
+      END
+""")
+    loop = prog.loop("t/85")
+    guard = loop.body.statements[0]
+    assert isinstance(guard, IfStmt)
+    inner = guard.arms[0][1].statements[0]
+    assert isinstance(inner, CycleStmt)
+    assert inner.target_label == 85
+
+
+def test_goto_to_outer_loop_terminator():
+    prog = build_program("""
+      PROGRAM t
+      DO 100 i = 1, 5
+        DO 50 j = 1, 5
+          IF (j .EQ. 2) GO TO 100
+          x = i * j * 1.0
+50      CONTINUE
+100   CONTINUE
+      END
+""")
+    inner = prog.loop("t/50")
+    guard = inner.body.statements[0]
+    cyc = guard.arms[0][1].statements[0]
+    assert isinstance(cyc, CycleStmt)
+    assert cyc.target_label == 100
+
+
+def test_forward_goto_becomes_guard():
+    """The mdg pattern: IF (c) GO TO 2355 jumps over statements."""
+    prog = build_program("""
+      PROGRAM t
+      DO 2365 s = 1, 10
+        IF (s .EQ. 5) GO TO 2355
+        x = s * 2.0
+        y = x + 1.0
+2355    z = s * 1.0
+2365  CONTINUE
+      END
+""")
+    loop = prog.loop("t/2365")
+    guard = loop.body.statements[0]
+    assert isinstance(guard, IfStmt)
+    cond = guard.arms[0][0]
+    assert isinstance(cond, UnaryOp) and cond.op == "not"
+    assert len(guard.arms[0][1].statements) == 2   # the two skipped assigns
+    labelled = loop.body.statements[1]
+    assert isinstance(labelled, AssignStmt)
+    assert labelled.label == 2355
+
+
+def test_unsupported_goto_raises():
+    with pytest.raises(BuildError):
+        build_program("""
+      PROGRAM t
+      GO TO 99
+      x = 1.0
+      END
+""")
+
+
+def test_array_vs_intrinsic_disambiguation():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(10)
+      a(1) = min(2.0, 3.0)
+      x = a(1)
+      END
+""")
+    assigns = [s for s in prog.procedure("t").statements()
+               if isinstance(s, AssignStmt)]
+    assert isinstance(assigns[0].target, ArrayRef)
+    assert isinstance(assigns[0].value, Intrinsic)
+    assert isinstance(assigns[1].value, ArrayRef)
+
+
+def test_unknown_apply_raises():
+    with pytest.raises(BuildError):
+        build_program("      PROGRAM t\n      x = nosuch(3)\n      END\n")
+
+
+def test_call_arity_checked():
+    with pytest.raises(BuildError):
+        build_program("""
+      PROGRAM t
+      CALL f(1.0)
+      END
+      SUBROUTINE f(a, b)
+      a = b
+      END
+""")
+
+
+def test_call_to_undefined_raises():
+    with pytest.raises(BuildError):
+        build_program("      PROGRAM t\n      CALL ghost\n      END\n")
+
+
+def test_common_block_layout_offsets():
+    prog = build_program("""
+      PROGRAM t
+      COMMON /blk/ a(10), s, b(5)
+      a(1) = 1.0
+      END
+""")
+    block = prog.commons["blk"]
+    syms = {m.name: m for m in block.views["t"].symbols}
+    assert syms["a"].common_offset == 0
+    assert syms["s"].common_offset == 10
+    assert syms["b"].common_offset == 11
+    assert block.size == 16
+
+
+def test_common_overlap_pairs_across_views():
+    prog = build_program("""
+      PROGRAM t
+      COMMON /v/ x(10)
+      x(1) = 1.0
+      CALL f
+      END
+      SUBROUTINE f
+      COMMON /v/ y(0:10)
+      y(0) = 2.0
+      END
+""")
+    pairs = prog.commons["v"].overlapping_pairs()
+    names = {(a.name, b.name) for a, b in pairs}
+    assert ("x", "y") in names or ("y", "x") in names
+
+
+def test_implicit_typing():
+    prog = build_program("""
+      PROGRAM t
+      ival = 3
+      xval = 2.5
+      END
+""")
+    table = prog.procedure("t").symbols
+    assert table.lookup("ival").type == "integer"
+    assert table.lookup("xval").type == "real"
+
+
+def test_parameter_constant_folds():
+    prog = build_program("""
+      PROGRAM t
+      PARAMETER (n = 4 * 5)
+      DIMENSION a(n)
+      a(1) = 1.0
+      END
+""")
+    sym = prog.procedure("t").symbols.lookup("a")
+    assert sym.constant_size() == 20
+
+
+def test_loop_names_use_terminator_labels(simple_program):
+    assert "main/20" in simple_program.loop_names()
+    assert "fill/10" in simple_program.loop_names()
+
+
+def test_continue_survives_as_noop():
+    prog = build_program("""
+      PROGRAM t
+      DO 5 i = 1, 3
+        x = i * 1.0
+5     CONTINUE
+      END
+""")
+    loop = prog.loop("t/5")
+    assert isinstance(loop.body.statements[-1], NoopStmt)
+
+
+def test_recursion_is_rejected():
+    from repro.ir import CallGraph
+    prog = build_program("""
+      PROGRAM t
+      CALL a
+      END
+      SUBROUTINE a
+      CALL b
+      END
+      SUBROUTINE b
+      CALL a
+      END
+""")
+    with pytest.raises(ValueError, match="recursive"):
+        CallGraph(prog)

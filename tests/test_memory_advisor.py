@@ -1,0 +1,100 @@
+"""The memory-performance advisor (section 4.2.4 / 7.5.1)."""
+
+from repro.ir import build_program
+from repro.parallelize import Parallelizer
+from repro.parallelize.memory_advisor import (advise,
+                                              decomposition_advisories,
+                                              locality_advisories,
+                                              report_lines)
+
+
+def test_row_walking_loop_flagged():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(64,64)
+      DO 20 i = 1, 64
+        DO 10 j = 1, 64
+          a(i,j) = i * j * 1.0
+10      CONTINUE
+20    CONTINUE
+      END
+""")
+    adv = locality_advisories(prog)
+    assert len(adv) == 1
+    assert adv[0].array == "a"
+    assert "interchange" in adv[0].detail        # outer i walks dim 0
+
+
+def test_column_walking_loop_clean():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(64,64)
+      DO 20 j = 1, 64
+        DO 10 i = 1, 64
+          a(i,j) = i * j * 1.0
+10      CONTINUE
+20    CONTINUE
+      END
+""")
+    assert locality_advisories(prog) == []
+
+
+def test_transpose_suggested_without_interchange_partner():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(64,64)
+      DO 10 j = 1, 64
+        a(5,j) = j * 1.0
+10    CONTINUE
+      END
+""")
+    adv = locality_advisories(prog)
+    assert adv and "transpose" in adv[0].detail
+
+
+def test_conflicting_decompositions_detected():
+    """Fig 4-6: one parallel loop distributes duac by column, the other
+    by row."""
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION duac(64,64)
+      DO 20 l = 1, 64
+        DO 10 k = 1, 64
+          duac(k,l) = k * l * 1.0
+10      CONTINUE
+20    CONTINUE
+      DO 40 k = 1, 64
+        DO 30 l = 1, 64
+          duac(k,l) = duac(k,l) * 0.5
+30      CONTINUE
+40    CONTINUE
+      END
+""")
+    plan = Parallelizer(prog).plan()
+    adv = decomposition_advisories(prog, plan)
+    assert any(a.array == "duac" for a in adv)
+    assert "conflicting dimensions" in adv[0].detail
+
+
+def test_hydro_fig_4_6_conflict(hydro_program, hydro_workload):
+    """The real case: vsetuv distributes duac by column (parallel over l),
+    vqterm by row (parallel over k)."""
+    plan = Parallelizer(hydro_program,
+                        assertions=hydro_workload.user_assertions).plan()
+    adv = decomposition_advisories(hydro_program, plan)
+    assert any(a.array == "duac" for a in adv), \
+        "Fig 4-6's duac conflict must be diagnosed"
+
+
+def test_report_lines():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(8,8)
+      DO 10 j = 1, 8
+        DO 10 i = 1, 8
+          a(i,j) = 1.0
+10    CONTINUE
+      END
+""")
+    lines = report_lines(advise(prog))
+    assert lines == ["no memory-performance advisories"]

@@ -1,0 +1,156 @@
+"""Scalar liveness, alias analysis, regions, viz."""
+
+from repro.analysis import ScalarLiveness, Steensgaard, fortran_alias_pairs
+from repro.ir import CallGraph, RegionGraph, build_program
+from repro.viz import CallGraphView, Codeview, SourceView, render_slice
+
+
+# -- scalar liveness ---------------------------------------------------------
+
+def test_scalar_liveness_upwards_exposed():
+    prog = build_program("""
+      PROGRAM t
+      y = x + 1.0
+      x = 2.0
+      z = x
+      PRINT *, y, z
+      END
+""")
+    sl = ScalarLiveness(prog.procedure("t"))
+    exposed = {s.name for s in sl.upwards_exposed()}
+    assert "x" in exposed            # read before its write
+    assert "z" not in exposed
+
+
+def test_scalar_liveness_through_loop():
+    prog = build_program("""
+      PROGRAM t
+      s = 0.0
+      DO 10 i = 1, 5
+        s = s + i
+10    CONTINUE
+      PRINT *, s
+      END
+""")
+    sl = ScalarLiveness(prog.procedure("t"))
+    # s is defined before use at entry: not upwards exposed
+    assert "s" not in {x.name for x in sl.upwards_exposed()}
+
+
+# -- Steensgaard -------------------------------------------------------------
+
+def test_steensgaard_address_and_copy():
+    st = Steensgaard()
+    st.address("p", "x")       # p = &x
+    st.copy("q", "p")          # q = p
+    st.address("r", "y")       # r = &y
+    assert st.may_alias("x", "x")
+    # p and q point to the same class; x unified with nothing else
+    assert not st.may_alias("x", "y")
+
+
+def test_steensgaard_unification_is_symmetric():
+    st = Steensgaard()
+    st.address("p", "a")
+    st.address("p", "b")       # p may point to both -> a, b unify
+    assert st.may_alias("a", "b")
+    assert st.may_alias("b", "a")
+
+
+def test_steensgaard_store_load():
+    st = Steensgaard()
+    st.address("p", "x")
+    st.address("q", "y")
+    st.store("p", "q")         # *p = q  => x may hold &y
+    st.load("r", "p")          # r = *p  => r may point where x points
+    classes = st.equivalence_classes()
+    assert any({"x"} <= c for c in classes)
+
+
+def test_steensgaard_strong_update_subclasses():
+    st = Steensgaard()
+    st.address("p", "a")
+    st.address("p", "b")
+    out = st.alias_classes_with_subclasses(["a"])
+    cls = next(c for c in out if "a" in c[0] | c[1])
+    strong, weak = cls
+    assert "a" in strong
+    assert "b" in weak
+
+
+def test_fortran_alias_pairs(mdg_program):
+    pairs = fortran_alias_pairs(mdg_program)
+    kinds = {k for k, _, _ in pairs}
+    assert "param" in kinds           # dists(i, j) formals
+    # common overlap requires differing views; mdg has uniform views
+    assert all(k in ("param", "common") for k in kinds)
+
+
+def test_fortran_common_alias_pairs():
+    from repro.workloads import get
+    prog = get("hydro2d").build()
+    pairs = fortran_alias_pairs(prog)
+    common = [(a, b) for k, a, b in pairs if k == "common"]
+    assert any("vz" in a and "vz1" in b or "vz1" in a and "vz" in b
+               for a, b in common)
+
+
+# -- regions -------------------------------------------------------------------
+
+def test_region_graph_orders(simple_program):
+    rg = RegionGraph(simple_program)
+    order = [r.name for r in rg.bottom_up()]
+    # callee (fill) regions come before caller (main) regions
+    assert order.index("fill") < order.index("main")
+    # loop body precedes loop precedes procedure
+    assert order.index("main/20.body") < order.index("main/20") \
+        < order.index("main")
+
+
+def test_callgraph_orders(simple_program):
+    cg = CallGraph(simple_program)
+    bu = cg.bottom_up_order()
+    assert bu.index("fill") < bu.index("main")
+    assert cg.top_down_order()[0] in ("main",)
+
+
+# -- viz ----------------------------------------------------------------------
+
+def test_codeview_renders_loops(mdg_program):
+    from repro.parallelize import Parallelizer
+    plan = Parallelizer(mdg_program).plan()
+    view = Codeview(mdg_program, plan)
+    text = view.render(focus=mdg_program.loop("interf/1000"))
+    assert ">" in text                # focus bar
+    assert "#" in text                # sequential loop lines
+    assert "o" in text                # parallel loop lines
+    assert "legend" in view.legend()
+
+
+def test_source_view_highlights():
+    prog = build_program("      PROGRAM t\n      x = 1.0\n      END\n")
+    view = SourceView(prog)
+    out = view.render(1, 3, highlight_lines={2})
+    assert "x = 1.0" in out
+    assert any(line.lstrip().startswith("2 *") for line in out.splitlines())
+
+
+def test_callgraph_view(mdg_program):
+    view = CallGraphView(mdg_program)
+    out = view.render()
+    assert "mdg" in out and "interf" in out
+
+
+def test_render_slice(mdg_program):
+    from repro.slicing import Slicer
+    from repro.ir.statements import AssignStmt
+    slicer = Slicer(mdg_program)
+    loop = mdg_program.loop("interf/1000")
+    interf = mdg_program.procedure("interf")
+    rl = interf.symbols.lookup("rl")
+    stmt = next(s for s in loop.body.walk()
+                if isinstance(s, AssignStmt) and "rl" in repr(s.value))
+    res = slicer.slice_of_use(stmt, rl, region_loop=loop)
+    text = render_slice(mdg_program, res, around_loop=loop)
+    assert "slice:" in text
+    assert "interf" in text

@@ -1,0 +1,251 @@
+"""The automatic parallelizer: classification, blockers, assertions."""
+
+import pytest
+
+from repro.ir import build_program
+from repro.parallelize import (Assertion, DEP, INDUCTION, PARALLEL,
+                               PRIVATE, PRIVATE_FINAL, PRIVATE_USER,
+                               Parallelizer, REDUCTION)
+
+
+def plan_for(src, **kw):
+    prog = build_program(src)
+    return prog, Parallelizer(prog, **kw).plan()
+
+
+def var_status(plan, loop_name, var):
+    lp = plan.plan_by_name(loop_name)
+    for vp in lp.vars.values():
+        if var in vp.display_name.split("/"):
+            return vp.status
+    return None
+
+
+def test_independent_loop_parallel():
+    prog, plan = plan_for("""
+      PROGRAM t
+      DIMENSION a(50)
+      DO 10 i = 1, 50
+        a(i) = i * 1.0
+10    CONTINUE
+      END
+""")
+    assert plan.plan_by_name("t/10").parallel
+
+
+def test_recurrence_blocks():
+    prog, plan = plan_for("""
+      PROGRAM t
+      DIMENSION a(50)
+      DO 10 i = 2, 50
+        a(i) = a(i-1) + 1.0
+10    CONTINUE
+      END
+""")
+    lp = plan.plan_by_name("t/10")
+    assert not lp.parallel
+    assert var_status(plan, "t/10", "a") == DEP
+
+
+def test_scalar_reduction_classified():
+    prog, plan = plan_for("""
+      PROGRAM t
+      DIMENSION a(50)
+      s = 0.0
+      DO 10 i = 1, 50
+        s = s + a(i)
+10    CONTINUE
+      PRINT *, s
+      END
+""")
+    assert var_status(plan, "t/10", "s") == REDUCTION
+    assert plan.plan_by_name("t/10").parallel
+
+
+def test_induction_variable_classified():
+    prog, plan = plan_for("""
+      PROGRAM t
+      DIMENSION a(100)
+      INTEGER k
+      k = 0
+      DO 10 i = 1, 50
+        k = k + 1
+        a(i) = k * 1.0
+10    CONTINUE
+      END
+""")
+    assert var_status(plan, "t/10", "k") == INDUCTION
+
+
+def test_privatizable_temp_dead_at_exit():
+    prog, plan = plan_for("""
+      PROGRAM t
+      DIMENSION w(50), b(50)
+      DO 10 i = 1, 50
+        w(1) = i * 1.0
+        w(2) = i * 2.0
+        b(i) = w(1) + w(2)
+10    CONTINUE
+      PRINT *, b(3)
+      END
+""")
+    assert var_status(plan, "t/10", "w") == PRIVATE
+    assert plan.plan_by_name("t/10").parallel
+
+
+def test_privatizable_needs_finalization_when_live():
+    prog, plan = plan_for("""
+      PROGRAM t
+      DIMENSION w(50), b(50)
+      DO 10 i = 1, 50
+        w(1) = i * 1.0
+        b(i) = w(1) * 2.0
+10    CONTINUE
+      PRINT *, w(1)
+      END
+""")
+    # w live after the loop; region is iteration-invariant -> last-value
+    assert var_status(plan, "t/10", "w") == PRIVATE_FINAL
+
+
+def test_variant_region_needs_liveness():
+    src = """
+      PROGRAM t
+      DIMENSION w(60), b(60)
+      DO 10 i = 1, 50
+        DO 5 k = 1, i
+          w(k) = k * 1.0
+5       CONTINUE
+        b(i) = w(i) * 2.0
+10    CONTINUE
+      PRINT *, b(3)
+      END
+"""
+    prog, plan = plan_for(src, use_liveness=False)
+    assert var_status(plan, "t/10", "w") == DEP     # finalization unprovable
+    prog, plan = plan_for(src, use_liveness=True)
+    assert var_status(plan, "t/10", "w") == PRIVATE
+
+
+def test_exposed_read_blocks_privatization():
+    prog, plan = plan_for("""
+      PROGRAM t
+      DIMENSION w(50), b(50)
+      w(9) = 5.0
+      DO 10 i = 1, 50
+        w(1) = i * 1.0
+        b(i) = w(1) + w(9)
+10    CONTINUE
+      PRINT *, b(3)
+      END
+""")
+    assert var_status(plan, "t/10", "w") == DEP
+
+
+def test_reduction_recognition_can_be_disabled():
+    src = """
+      PROGRAM t
+      DIMENSION a(50)
+      s = 0.0
+      DO 10 i = 1, 50
+        s = s + a(i)
+10    CONTINUE
+      PRINT *, s
+      END
+"""
+    prog, plan = plan_for(src, use_reductions=False)
+    assert not plan.plan_by_name("t/10").parallel
+    prog, plan = plan_for(src, use_reductions=True)
+    assert plan.plan_by_name("t/10").parallel
+
+
+def test_io_blocks_parallelization():
+    prog, plan = plan_for("""
+      PROGRAM t
+      DIMENSION a(50)
+      DO 10 i = 1, 50
+        a(i) = i * 1.0
+        PRINT *, a(i)
+10    CONTINUE
+      END
+""")
+    lp = plan.plan_by_name("t/10")
+    assert not lp.parallel
+    assert any("I/O" in b for b in lp.blockers)
+
+
+def test_early_exit_blocks_parallelization():
+    prog, plan = plan_for("""
+      PROGRAM t
+      DIMENSION a(50)
+      DO 10 i = 1, 50
+        a(i) = i * 1.0
+        IF (a(i) .GT. 40.0) EXIT
+10    CONTINUE
+      END
+""")
+    assert not plan.plan_by_name("t/10").parallel
+
+
+def test_user_assertion_overrides_dep():
+    src = """
+      PROGRAM t
+      DIMENSION w(50), b(50)
+      w(9) = 5.0
+      DO 10 i = 1, 50
+        w(1) = i * 1.0
+        b(i) = w(1) + w(9)
+10    CONTINUE
+      PRINT *, b(3)
+      END
+"""
+    prog = build_program(src)
+    plan = Parallelizer(prog, assertions=[
+        Assertion("t/10", "w", "privatizable")]).plan()
+    assert plan.plan_by_name("t/10").parallel
+    lp = plan.plan_by_name("t/10")
+    statuses = {v.display_name: v.status for v in lp.vars.values()}
+    assert statuses["w"] == PRIVATE_USER
+
+
+def test_assertion_does_not_demote_automatic_results():
+    """An assertion on an already-privatizable variable keeps the
+    automatic classification (the paper's accounting separates the two)."""
+    src = """
+      PROGRAM t
+      DIMENSION w(50), b(50)
+      DO 10 i = 1, 50
+        w(1) = i * 1.0
+        b(i) = w(1) * 2.0
+10    CONTINUE
+      PRINT *, b(3)
+      END
+"""
+    prog = build_program(src)
+    plan = Parallelizer(prog, assertions=[
+        Assertion("t/10", "w", "privatizable")]).plan()
+    assert var_status(plan, "t/10", "w") in (PRIVATE, PRIVATE_FINAL)
+
+
+def test_outermost_parallel_strategy():
+    prog, plan = plan_for("""
+      PROGRAM t
+      DIMENSION a(30,30)
+      DO 20 j = 1, 30
+        DO 10 i = 1, 30
+          a(i,j) = i * j * 1.0
+10      CONTINUE
+20    CONTINUE
+      END
+""")
+    outer = plan.outermost_parallel()
+    assert [l.name for l in outer] == ["t/20"]
+
+
+def test_interprocedural_loop_parallel(mdg_program):
+    """mdg's interf/1000 becomes parallel only with the rl assertion."""
+    plan_auto = Parallelizer(mdg_program).plan()
+    assert not plan_auto.plan_by_name("interf/1000").parallel
+    plan_user = Parallelizer(mdg_program, assertions=[
+        Assertion("interf/1000", "rl", "privatizable")]).plan()
+    assert plan_user.plan_by_name("interf/1000").parallel

@@ -1,0 +1,178 @@
+"""Polyhedral core: LinExpr algebra, systems, Fourier-Motzkin, sections."""
+
+from fractions import Fraction
+
+from repro.poly import (Constraint, LinExpr, Section, System, bounds_system,
+                        dim, range_section)
+
+
+# -- LinExpr -----------------------------------------------------------------
+
+def test_linexpr_arithmetic():
+    x = LinExpr.var("x")
+    y = LinExpr.var("y")
+    e = 2 * x + y - 3
+    assert e.coeff("x") == 2
+    assert e.coeff("y") == 1
+    assert e.const == -3
+    assert (e - e).is_constant()
+
+
+def test_linexpr_substitute():
+    x = LinExpr.var("x")
+    e = 3 * x + 1
+    out = e.substitute("x", LinExpr.var("y") + 2)
+    assert out.coeff("y") == 3
+    assert out.const == 7
+
+
+def test_linexpr_rename_and_equality():
+    e1 = LinExpr.var("a") + 5
+    e2 = e1.rename({"a": "b"})
+    assert e2 == LinExpr.var("b") + 5
+    assert e1 != e2
+
+
+def test_linexpr_zero_coeffs_dropped():
+    x = LinExpr.var("x")
+    e = x - x
+    assert e.variables() == ()
+
+
+# -- System emptiness / containment ---------------------------------------------
+
+def test_empty_system_detected():
+    x = LinExpr.var("x")
+    sys_ = System([Constraint.ge(x, 5), Constraint.le(x, 3)])
+    assert sys_.is_empty()
+
+
+def test_satisfiable_system():
+    x = LinExpr.var("x")
+    sys_ = System([Constraint.ge(x, 1), Constraint.le(x, 10)])
+    assert not sys_.is_empty()
+
+
+def test_equality_contradiction():
+    x = LinExpr.var("x")
+    sys_ = System([Constraint.eq(x, 3), Constraint.eq(x, 4)])
+    assert sys_.is_empty()
+
+
+def test_multivar_emptiness():
+    x, y = LinExpr.var("x"), LinExpr.var("y")
+    # x >= y + 1 and y >= x  -> empty
+    sys_ = System([Constraint.ge(x, y + 1), Constraint.ge(y, x)])
+    assert sys_.is_empty()
+
+
+def test_containment():
+    small = bounds_system("x", 2, 5)
+    big = bounds_system("x", 1, 10)
+    assert big.contains(small)
+    assert not small.contains(big)
+
+
+def test_projection_keeps_relations():
+    # {d = i + 1, 1 <= i <= 9} project i -> {2 <= d <= 10}
+    d, i = LinExpr.var("d"), LinExpr.var("i")
+    sys_ = System([Constraint.eq(d, i + 1),
+                   Constraint.ge(i, 1), Constraint.le(i, 9)])
+    proj = sys_.project_away(["i"])
+    assert not proj.and_also(Constraint.eq(d, 2)).is_empty()
+    assert not proj.and_also(Constraint.eq(d, 10)).is_empty()
+    assert proj.and_also(Constraint.eq(d, 1)).is_empty()
+    assert proj.and_also(Constraint.eq(d, 11)).is_empty()
+
+
+def test_projection_never_eliminates_kept_vars():
+    # regression: Gaussian substitution must not erase the kept dimension
+    d, k, i = LinExpr.var("_d0"), LinExpr.var("k"), LinExpr.var("i")
+    sys_ = System([Constraint.eq(d - k - 34 * i, 0),
+                   Constraint.ge(k, 11), Constraint.le(k, 14)])
+    proj = sys_.project_away(["k"])
+    assert "_d0" in proj.variables()
+    # d = k + 34 i with k in [11, 14]: for i = 1, d in [45, 48]
+    probe = proj.and_also(Constraint.eq(i, 1), Constraint.eq(d, 45))
+    assert not probe.is_empty()
+    probe2 = proj.and_also(Constraint.eq(i, 1), Constraint.eq(d, 49))
+    assert probe2.is_empty()
+
+
+def test_sample_point_oracle_agrees():
+    x, y = LinExpr.var("x"), LinExpr.var("y")
+    sys_ = System([Constraint.ge(x + y, 3), Constraint.le(x, 2),
+                   Constraint.le(y, 2)])
+    assert (sys_.sample_point() is not None) == (not sys_.is_empty())
+
+
+# -- Sections ------------------------------------------------------------------
+
+def test_section_union_intersect():
+    a = range_section(1, 10)
+    b = range_section(5, 20)
+    u = a.union(b)
+    i = a.intersect(b)
+    assert i.contains(range_section(5, 10))
+    assert u.contains(a) and u.contains(b)
+
+
+def test_section_subtract_exact():
+    a = range_section(1, 10)
+    b = range_section(4, 6)
+    d = a.subtract(b)
+    assert d.contains(range_section(1, 3))
+    assert d.contains(range_section(7, 10))
+    assert not d.intersects(range_section(5, 5))
+
+
+def test_section_subtract_everything():
+    a = range_section(1, 10)
+    assert a.subtract(Section.universe()).is_empty()
+    assert a.subtract(a).is_empty()
+
+
+def test_point_section():
+    p = Section.point([LinExpr.constant(7)])
+    assert p.intersects(range_section(1, 10))
+    assert not p.intersects(range_section(8, 10))
+
+
+def test_symbolic_range_subtraction():
+    n = LinExpr.var("n")
+    written = range_section(2, n)
+    read = range_section(1, n)
+    exposed = read.subtract(written)
+    # only element 1 remains exposed
+    assert exposed.intersects(range_section(1, 1))
+    probe = exposed.intersect(range_section(2, 2))
+    # element 2 is only exposed if n < 2; with n >= 2 constraint it's gone
+    constrained = probe.constrain(Constraint.ge(n, 2))
+    assert constrained.is_empty()
+
+
+def test_two_dim_section():
+    from repro.poly import dim as d
+    sec = Section([System([
+        Constraint.ge(LinExpr.var(d(0)), 1), Constraint.le(LinExpr.var(d(0)), 4),
+        Constraint.ge(LinExpr.var(d(1)), 1), Constraint.le(LinExpr.var(d(1)), 4)])])
+    row = Section([System([Constraint.eq(LinExpr.var(d(0)), 2),
+                           Constraint.ge(LinExpr.var(d(1)), 1),
+                           Constraint.le(LinExpr.var(d(1)), 4)])])
+    assert sec.contains(row)
+    assert not row.contains(sec)
+
+
+def test_section_project_away_closure():
+    i = LinExpr.var("i")
+    sec = Section.point([i]).constrain(
+        Constraint.ge(i, 1), Constraint.le(i, 8))
+    closed = sec.project_away(["i"])
+    assert closed.contains(range_section(1, 8))
+    assert not closed.intersects(range_section(9, 9))
+
+
+def test_free_variables_excludes_dims():
+    i = LinExpr.var("i")
+    sec = Section.point([i + 1])
+    assert sec.free_variables() == ("i",)

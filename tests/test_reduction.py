@@ -1,0 +1,180 @@
+"""Reduction recognition: syntactic forms and region-level validity."""
+
+from repro.analysis.reduction import (classify_assignment, classify_if_minmax,
+                                      scan_block_reductions)
+from repro.ir import build_program
+from repro.ir.statements import AssignStmt, IfStmt
+
+
+def first_assign(src, name):
+    prog = build_program(src)
+    for s in prog.procedure(prog.main).statements():
+        if isinstance(s, AssignStmt) and s.target.symbol.name == name:
+            return s
+    raise AssertionError(f"no assignment to {name}")
+
+
+def test_scalar_sum():
+    s = first_assign("""
+      PROGRAM t
+      DIMENSION a(10)
+      DO 10 i = 1, 10
+        s = s + a(i)
+10    CONTINUE
+      END
+""", "s")
+    upd = classify_assignment(s)
+    assert upd is not None and upd.op == "+"
+
+
+def test_sum_with_subtracted_terms():
+    s = first_assign("""
+      PROGRAM t
+      DIMENSION a(10)
+      s = s + a(1) - a(2)
+      END
+""", "s")
+    upd = classify_assignment(s)
+    assert upd is not None and upd.op == "+"
+    assert len(upd.other_reads) == 2
+
+
+def test_reversed_operand_order():
+    s = first_assign("""
+      PROGRAM t
+      DIMENSION a(10)
+      s = a(1) + s
+      END
+""", "s")
+    assert classify_assignment(s).op == "+"
+
+
+def test_product():
+    s = first_assign("      PROGRAM t\n      p = p * 1.5\n      END\n", "p")
+    assert classify_assignment(s).op == "*"
+
+
+def test_array_element_sum():
+    s = first_assign("""
+      PROGRAM t
+      DIMENSION b(10), a(10)
+      DO 10 i = 1, 10
+        b(3) = b(3) + a(i)
+10    CONTINUE
+      END
+""", "b")
+    upd = classify_assignment(s)
+    assert upd is not None and upd.op == "+"
+
+
+def test_indirect_sparse_update():
+    s = first_assign("""
+      PROGRAM t
+      DIMENSION h(100), ind(10)
+      INTEGER ind
+      DO 10 i = 1, 10
+        h(ind(i)) = h(ind(i)) + 1.0
+10    CONTINUE
+      END
+""", "h")
+    assert classify_assignment(s).op == "+"
+
+
+def test_mismatched_indices_not_a_reduction():
+    s = first_assign("""
+      PROGRAM t
+      DIMENSION h(100)
+      DO 10 i = 2, 10
+        h(i) = h(i-1) + 1.0
+10    CONTINUE
+      END
+""", "h")
+    assert classify_assignment(s) is None
+
+
+def test_rhs_referencing_target_elsewhere_rejected():
+    s = first_assign("""
+      PROGRAM t
+      DIMENSION h(100)
+      h(1) = h(1) + h(2)
+      END
+""", "h")
+    assert classify_assignment(s) is None
+
+
+def test_min_max_intrinsics():
+    s = first_assign("      PROGRAM t\n      m = min(m, 3.0)\n      END\n",
+                     "m")
+    assert classify_assignment(s).op == "min"
+    s = first_assign("      PROGRAM t\n      m = max(2.0, m)\n      END\n",
+                     "m")
+    assert classify_assignment(s).op == "max"
+
+
+def test_if_guarded_min():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(10)
+      DO 10 i = 1, 10
+        IF (a(i) .LT. tmin) tmin = a(i)
+10    CONTINUE
+      END
+""")
+    ifs = [s for s in prog.procedure("t").statements()
+           if isinstance(s, IfStmt)]
+    upd = classify_if_minmax(ifs[0])
+    assert upd is not None and upd.op == "min"
+
+
+def test_if_guarded_max_flipped_comparison():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(10)
+      DO 10 i = 1, 10
+        IF (tmax .LT. a(i)) tmax = a(i)
+10    CONTINUE
+      END
+""")
+    ifs = [s for s in prog.procedure("t").statements()
+           if isinstance(s, IfStmt)]
+    assert classify_if_minmax(ifs[0]).op == "max"
+
+
+def test_scan_counts_all_updates():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(10), b(10)
+      DO 10 i = 1, 10
+        s = s + a(i)
+        p = p * a(i)
+        b(i) = b(i) + 1.0
+        IF (a(i) .GT. mx) mx = a(i)
+10    CONTINUE
+      END
+""")
+    ups = scan_block_reductions(prog.procedure("t").body)
+    ops = sorted(u.op for u in ups)
+    assert ops == ["*", "+", "+", "max"]
+
+
+def test_region_validation_demotes_conflicting_reduction(simple_program):
+    """A location both reduced and plainly accessed must not stay a
+    reduction (VarSummary.validated)."""
+    from repro.analysis import ArrayDataFlow
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(50)
+      DO 10 i = 1, 50
+        a(i) = a(i) + 1.0
+        x = a(7)
+10    CONTINUE
+      END
+""")
+    df = ArrayDataFlow(prog)
+    loop = prog.loop("t/10")
+    body = df.loop_body_summary[loop.stmt_id]
+    key = ("v", "t", "a")
+    vs = body.vars[key]
+    # the plain read of a(7) overlaps the reduction region: demoted
+    assert not vs.reductions or all(
+        s.is_empty() for s in vs.reductions.values())

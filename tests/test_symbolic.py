@@ -1,0 +1,192 @@
+"""Symbolic analysis: affine values, loop bounds, induction, variance."""
+
+from repro.analysis.symbolic import SymbolicAnalysis, index_var
+from repro.ir import build_program
+from repro.ir.statements import AssignStmt
+
+
+def build(src):
+    prog = build_program(src)
+    return prog, SymbolicAnalysis(prog)
+
+
+def assigns_to(prog, proc, name):
+    p = prog.procedure(proc)
+    return [s for s in p.statements() if isinstance(s, AssignStmt)
+            and s.target.symbol.name == name]
+
+
+def test_constant_propagation_into_subscript():
+    prog, sa = build("""
+      PROGRAM t
+      DIMENSION a(100)
+      INTEGER n
+      n = 10
+      DO 10 i = 1, n
+        a(i + 2) = 1.0
+10    CONTINUE
+      END
+""")
+    psym = sa.result(prog.procedure("t"))
+    loop = prog.loop("t/10")
+    low, high, step = psym.loop_bounds[loop.stmt_id]
+    assert low.is_constant() and low.const == 1
+    assert high.is_constant() and high.const == 10
+    assert step == 1
+    stmt = assigns_to(prog, "t", "a")[0]
+    idx = psym.affine_index(stmt.target.indices[0], stmt)
+    assert idx is not None
+    assert idx.coeff(index_var(loop)) == 1
+    assert idx.const == 2
+
+
+def test_affine_chain_through_scalars():
+    prog, sa = build("""
+      PROGRAM t
+      DIMENSION a(100)
+      INTEGER n
+      n = 20
+      DO 10 i = 1, n
+        k = i * 2
+        k2 = k + 3
+        a(k2) = 1.0
+10    CONTINUE
+      END
+""")
+    psym = sa.result(prog.procedure("t"))
+    loop = prog.loop("t/10")
+    stmt = assigns_to(prog, "t", "a")[0]
+    idx = psym.affine_index(stmt.target.indices[0], stmt)
+    assert idx.coeff(index_var(loop)) == 2
+    assert idx.const == 3
+
+
+def test_conditional_assignment_becomes_opaque():
+    """The vsetuv/85 pattern: k1p1 conditionally bumped -> unknown."""
+    prog, sa = build("""
+      PROGRAM t
+      DIMENSION a(100)
+      DO 10 i = 1, 10
+        k1 = 2
+        k1p1 = k1
+        IF (k1 .EQ. 1) k1p1 = k1 + 1
+        a(k1p1) = 1.0
+10    CONTINUE
+      END
+""")
+    psym = sa.result(prog.procedure("t"))
+    stmt = assigns_to(prog, "t", "a")[0]
+    idx = psym.affine_index(stmt.target.indices[0], stmt)
+    # the merge of 2 and 3 must be an opaque (tag) term, not a constant
+    assert idx is None or any(psym.tags.is_tag(v) for v in idx.variables())
+
+
+def test_array_load_is_opaque_and_loop_variant():
+    prog, sa = build("""
+      PROGRAM t
+      DIMENSION a(100), klo(100)
+      INTEGER klo
+      DO 10 i = 1, 10
+        k = klo(i)
+        a(k) = 1.0
+10    CONTINUE
+      END
+""")
+    psym = sa.result(prog.procedure("t"))
+    loop = prog.loop("t/10")
+    stmt = assigns_to(prog, "t", "a")[0]
+    idx = psym.affine_index(stmt.target.indices[0], stmt)
+    assert idx is not None
+    (term,) = idx.variables()
+    assert psym.tags.is_tag(term)
+    assert psym.is_variant(term, loop)
+
+
+def test_invariant_entry_value_not_variant():
+    prog, sa = build("""
+      PROGRAM t
+      DIMENSION a(100)
+      INTEGER n
+      READ *, n
+      DO 10 i = 1, n
+        a(n) = 1.0
+10    CONTINUE
+      END
+""")
+    psym = sa.result(prog.procedure("t"))
+    loop = prog.loop("t/10")
+    stmt = assigns_to(prog, "t", "a")[0]
+    idx = psym.affine_index(stmt.target.indices[0], stmt)
+    assert idx is not None
+    for term in idx.variables():
+        assert not psym.is_variant(term, loop)
+
+
+def test_basic_induction_variable_recognized():
+    prog, sa = build("""
+      PROGRAM t
+      INTEGER k
+      k = 0
+      DO 10 i = 1, 10
+        k = k + 2
+        x = k * 1.0
+10    CONTINUE
+      END
+""")
+    psym = sa.result(prog.procedure("t"))
+    loop = prog.loop("t/10")
+    ind = psym.induction[loop.stmt_id]
+    names = {s.name for s in ind}
+    assert "k" in names
+
+
+def test_variant_increment_is_not_induction():
+    """qcd regression: action = action + plaq with plaq loop-defined."""
+    prog, sa = build("""
+      PROGRAM t
+      DIMENSION a(100)
+      s = 0.0
+      DO 10 i = 1, 10
+        p = a(i) * 2.0
+        s = s + p
+10    CONTINUE
+      END
+""")
+    psym = sa.result(prog.procedure("t"))
+    loop = prog.loop("t/10")
+    assert not any(sym.name == "s" for sym in psym.induction[loop.stmt_id])
+
+
+def test_conditional_increment_is_not_induction():
+    prog, sa = build("""
+      PROGRAM t
+      INTEGER k
+      k = 0
+      DO 10 i = 1, 10
+        IF (i .GT. 5) k = k + 1
+10    CONTINUE
+      END
+""")
+    psym = sa.result(prog.procedure("t"))
+    loop = prog.loop("t/10")
+    assert not any(sym.name == "k" for sym in psym.induction[loop.stmt_id])
+
+
+def test_call_kills_affine_value():
+    prog, sa = build("""
+      PROGRAM t
+      DIMENSION a(100)
+      INTEGER n
+      n = 5
+      CALL bump(n)
+      a(n) = 1.0
+      END
+      SUBROUTINE bump(m)
+      m = m + 1
+      END
+""")
+    psym = sa.result(prog.procedure("t"))
+    stmt = assigns_to(prog, "t", "a")[0]
+    idx = psym.affine_index(stmt.target.indices[0], stmt)
+    # n was 5, but the call modifies it: must NOT still be the constant 5
+    assert idx is None or not (idx.is_constant() and idx.const == 5)

@@ -1,0 +1,140 @@
+"""Smaller public surfaces: plan summaries, metrics helpers, slice
+statistics, workload metadata, poly utilities, IR printer details."""
+
+from fractions import Fraction
+
+from repro.ir import build_program, format_expr, format_statement
+from repro.parallelize import Parallelizer
+from repro.poly import LinExpr, Section, bounds_system, range_section
+
+
+def test_linexpr_scale_to_integer():
+    e = LinExpr({"x": Fraction(1, 3), "y": Fraction(1, 2)}, Fraction(5, 6))
+    scaled = e.scale_to_integer()
+    assert all(c.denominator == 1 for c in scaled.coeffs.values())
+    assert scaled.const.denominator == 1
+    assert scaled.coeff("x") == 2 and scaled.coeff("y") == 3
+
+
+def test_bounds_system():
+    sys_ = bounds_system("i", 2, 9)
+    assert not sys_.is_empty()
+    from repro.poly import Constraint
+    assert sys_.and_also(Constraint.eq(LinExpr.var("i"), 1)).is_empty()
+    assert not sys_.and_also(Constraint.eq(LinExpr.var("i"), 9)).is_empty()
+
+
+def test_section_union_overflow_to_universe():
+    from repro.poly.sections import MAX_DISJUNCTS
+    acc = Section.empty()
+    # many disjoint points force the coalescing cap
+    for k in range(0, (MAX_DISJUNCTS + 3) * 4, 4):
+        acc = acc.union(range_section(k, k + 1))
+    assert acc.is_universe() or len(acc.systems) <= MAX_DISJUNCTS
+
+
+def test_plan_summary_counts(simple_program):
+    plan = Parallelizer(simple_program).plan()
+    counts = plan.summary_counts()
+    assert counts["loops"] == counts["parallel"] + counts["sequential"]
+    assert counts["loops"] == len(simple_program.all_loops())
+
+
+def test_loopplan_count_helper(simple_program):
+    plan = Parallelizer(simple_program).plan()
+    lp = plan.plan_by_name("main/30")        # the s = s + b(i) reduction
+    assert lp.count("reduction", scalar=True) == 1
+    assert lp.count("reduction", scalar=False) == 0
+
+
+def test_format_statement_variants(simple_program):
+    main = simple_program.procedure("main")
+    text = "\n".join(
+        line for stmt in main.body.statements
+        for line in format_statement(stmt))
+    assert "DO 20" in text and "CALL fill" in text and "PRINT *" in text
+
+
+def test_format_expr_operators():
+    prog = build_program("""
+      PROGRAM t
+      x = -(1.0 + 2.0) * max(3.0, 4.0)
+      END
+""")
+    from repro.ir.statements import AssignStmt
+    stmt = next(s for s in prog.procedure("t").statements()
+                if isinstance(s, AssignStmt))
+    text = format_expr(stmt.value)
+    assert "MAX" in text and "+" in text
+
+
+def test_slice_statistics(mdg_program):
+    from repro.ir.statements import AssignStmt
+    from repro.slicing import Slicer
+    from repro.viz import slice_statistics
+    slicer = Slicer(mdg_program)
+    loop = mdg_program.loop("interf/1000")
+    interf = mdg_program.procedure("interf")
+    stmt = next(s for s in loop.body.walk()
+                if isinstance(s, AssignStmt)
+                and s.target.symbol.name == "gg")
+    res = slicer.slice_of_use(stmt, interf.symbols.lookup("rl"),
+                              region_loop=loop)
+    stats = slice_statistics(mdg_program, res, loop, slicer)
+    assert stats["loop_lines"] > 0
+    assert 0 <= stats["inside_pct"] <= 120
+
+
+def test_workload_metadata():
+    from repro.workloads import ALL, by_tag, get
+    w = get("mdg")
+    assert w.line_count() > 50
+    assert "chapter4" in w.tags
+    assert w.paper["user_speedup_8"] == 6.0
+    assert {x.name for x in by_tag("contraction")} >= {"flo88"}
+    assert len(ALL) >= 25
+
+
+def test_machine_seconds_scaling():
+    from repro.runtime import ALPHASERVER_8400
+    assert ALPHASERVER_8400.seconds(ALPHASERVER_8400.ops_per_second) == 1.0
+
+
+def test_parallel_result_metrics(simple_program):
+    from repro.runtime import ALPHASERVER_8400, execute_parallel
+    plan = Parallelizer(simple_program).plan()
+    res = execute_parallel(simple_program, plan, ALPHASERVER_8400)
+    assert res.seconds_sequential() >= res.seconds_parallel() > 0
+    assert 0 <= res.coverage <= 1
+    assert res.granularity_ms() >= 0
+
+
+def test_executor_account_matches_direct_run(simple_program):
+    from repro.runtime import ALPHASERVER_8400, ParallelExecutor, \
+        execute_parallel
+    ex = ParallelExecutor(simple_program, Parallelizer(
+        simple_program).plan(), ALPHASERVER_8400)
+    via_account = ex.results_for([8])[8]
+    direct = execute_parallel(simple_program,
+                              Parallelizer(simple_program).plan(),
+                              ALPHASERVER_8400, processors=8)
+    assert via_account.par_ops == direct.par_ops
+    assert via_account.speedup == direct.speedup
+
+
+def test_region_direct_statements(simple_program):
+    from repro.ir import RegionGraph
+    rg = RegionGraph(simple_program)
+    loop = simple_program.loop("main/20")
+    body = rg.body_of_loop(loop)
+    names = [type(s).__name__ for s in body.direct_statements()]
+    assert "AssignStmt" in names
+    proc_region = rg.proc_region["main"]
+    # loop interiors belong to subregions, not to the procedure region
+    direct = list(proc_region.direct_statements_recursive_nonloop())
+    assert all(not _inside_loop(s) for s in direct)
+
+
+def _inside_loop(stmt):
+    from repro.ir.statements import enclosing_loops
+    return bool(enclosing_loops(stmt))

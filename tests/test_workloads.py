@@ -1,0 +1,139 @@
+"""The workload corpus: every program builds, runs, and carries the
+structural properties its paper role depends on."""
+
+import pytest
+
+from repro.parallelize import Parallelizer
+from repro.runtime import run_program
+from repro.workloads import ALL, CHAPTER4, CHAPTER5, CHAPTER6, by_tag, get
+
+FAST = [n for n, w in ALL.items()
+        if n not in ("flo88", "flo88_fused", "hydro", "mdg", "arc3d")]
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_workload_builds(name):
+    w = get(name)
+    prog = w.build()
+    assert prog.main is not None
+    assert prog.all_loops()
+
+
+@pytest.mark.parametrize("name", sorted(FAST))
+def test_workload_runs_deterministically(name):
+    w = get(name)
+    a = run_program(w.build(), w.inputs)
+    b = run_program(w.build(), w.inputs)
+    assert a.outputs == b.outputs
+    assert a.outputs, "every workload prints at least one diagnostic"
+
+
+def test_registry_structure():
+    assert {w.name for w in CHAPTER4} == {"mdg", "arc3d", "hydro", "flo88"}
+    assert len(CHAPTER5) == 5
+    assert len(CHAPTER6) >= 15
+    assert by_tag("reduction")
+
+
+def test_mdg_blocked_only_by_rl(mdg_program):
+    plan = Parallelizer(mdg_program, use_liveness=False).plan()
+    lp = plan.plan_by_name("interf/1000")
+    assert not lp.parallel
+    blocked = {v.display_name for v in lp.dependent_vars()}
+    assert blocked == {"rl"}
+
+
+def test_hydro_has_seven_important_patterns(hydro_program):
+    plan = Parallelizer(hydro_program, use_liveness=False).plan()
+    names = ["update/1000", "vsetuv/85", "vsetuv/105", "vsetuv/155",
+             "vqterm/85", "vsetgc/200", "vh2200/1000"]
+    for nm in names:
+        assert not plan.plan_by_name(nm).parallel, nm
+
+
+def test_hydro_liveness_parallelizes_some_loops(hydro_program):
+    plan = Parallelizer(hydro_program, use_liveness=True).plan()
+    auto_par = [nm for nm in ("vsetuv/155", "vqterm/85")
+                if plan.plan_by_name(nm).parallel]
+    assert auto_par, "array liveness must recover some hydro loops"
+
+
+def test_hydro_vh2200_never_parallelizes(hydro_workload, hydro_program):
+    plan = Parallelizer(hydro_program, use_liveness=True,
+                        assertions=hydro_workload.user_assertions).plan()
+    assert not plan.plan_by_name("vh2200/1000").parallel
+
+
+def test_arc3d_sn_pattern():
+    w = get("arc3d")
+    prog = w.build()
+    plan = Parallelizer(prog, use_liveness=False).plan()
+    for nm in ("stepf3d/701", "stepf3d/702", "stepf3d/801"):
+        lp = plan.plan_by_name(nm)
+        assert not lp.parallel
+        assert {v.display_name for v in lp.dependent_vars()} == {"sn"}
+    plan2 = Parallelizer(prog, use_liveness=False,
+                         assertions=w.user_assertions).plan()
+    for nm in ("stepf3d/701", "stepf3d/702", "stepf3d/801"):
+        assert plan2.plan_by_name(nm).parallel
+    assert not plan2.plan_by_name("filter3d/701").parallel
+
+
+def test_bdna_reduction_loops():
+    prog = get("bdna").build()
+    plan = Parallelizer(prog).plan()
+    for nm in ("actfor/240", "scatter/60"):
+        lp = plan.plan_by_name(nm)
+        assert lp.parallel, nm
+        assert lp.classified("reduction"), nm
+
+
+def test_spec_kernels_census_matches_expectations():
+    from repro.analysis import scan_block_reductions
+    from repro.ir.expressions import ArrayRef
+    from repro.workloads import spec_kernels
+    for w in spec_kernels.WORKLOADS:
+        prog = w.build()
+        counts = {}
+        for proc in prog.procedures.values():
+            for upd in scan_block_reductions(proc.body):
+                kind = "array" if isinstance(upd.target, ArrayRef) \
+                    else "scalar"
+                op = {"+": "sum", "*": "prod"}.get(upd.op, upd.op)
+                key = f"{op}_{kind}"
+                counts[key] = counts.get(key, 0) + 1
+        expected = spec_kernels.EXPECTED_REDUCTIONS[w.name]
+        for key, n in expected.items():
+            assert counts.get(key, 0) >= n, (w.name, key, counts)
+
+
+def test_nas_perfect_reduction_impact():
+    """Disabling reduction recognition must hurt most chapter-6 programs
+    (Fig 6-4's point)."""
+    from repro.runtime import profile_program
+    from repro.explorer.metrics import parallel_coverage
+    from repro.workloads import nas_perfect
+    hurt = 0
+    for w in nas_perfect.WORKLOADS:
+        prog = w.build()
+        prof = profile_program(prog, w.inputs)
+        cov_with = parallel_coverage(
+            prog, Parallelizer(prog, use_reductions=True).plan(), prof)
+        cov_without = parallel_coverage(
+            prog, Parallelizer(prog, use_reductions=False).plan(), prof)
+        assert cov_without <= cov_with + 1e-9
+        if cov_with - cov_without > 0.3:
+            hurt += 1
+    assert hurt >= 8      # "tremendous difference" on most programs
+
+
+def test_spec77_interprocedural_reduction():
+    prog = get("spec77").build()
+    plan = Parallelizer(prog).plan()
+    lp = plan.plan_by_name("spec77/100")
+    assert lp.parallel
+    reds = lp.classified("reduction")
+    names = set()
+    for vp in reds:
+        names.update(vp.display_name.split("/"))
+    assert {"fl", "emean"} <= names
