@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Performance regression gate for the execution engines.
+
+Re-runs ``benchmarks/bench_perf_engine.py`` and compares fresh ops/sec
+numbers against the committed baseline ``BENCH_engine.json``.  Fails
+(exit 1) when either engine regresses by more than ``--tolerance``
+(default 20%) on any workload, or when the compiled engine drops below
+the 2x-over-tree contract.
+
+Run it next to the tier-1 suite::
+
+    PYTHONPATH=src python scripts/perf_check.py
+
+The baseline is host-dependent (wall-clock ops/sec), so regenerate it
+when moving to new hardware::
+
+    PYTHONPATH=src python scripts/perf_check.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from bench_perf_engine import (BASELINE_PATH, MIN_SPEEDUP,  # noqa: E402
+                               run_bench)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Failure messages for every >tolerance ops/sec drop."""
+    failures = []
+    for name, base in baseline["workloads"].items():
+        cur = fresh["workloads"].get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        for engine in ("tree", "compiled"):
+            was = base[engine]["ops_per_sec"]
+            now = cur[engine]["ops_per_sec"]
+            if now < was * (1.0 - tolerance):
+                failures.append(
+                    f"{name}/{engine}: {now / 1e6:.2f}M ops/s is "
+                    f"{(1 - now / was):.0%} below baseline "
+                    f"{was / 1e6:.2f}M ops/s (tolerance {tolerance:.0%})")
+        if cur["speedup"] < MIN_SPEEDUP:
+            failures.append(
+                f"{name}: compiled/tree speedup {cur['speedup']:.2f}x "
+                f"below the {MIN_SPEEDUP}x contract")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional ops/sec drop (default 0.20)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite BENCH_engine.json from this run")
+    args = ap.parse_args(argv)
+
+    fresh = run_bench()
+    for name, r in fresh["workloads"].items():
+        print(f"{name:10s} tree={r['tree']['ops_per_sec'] / 1e6:5.2f}M/s  "
+              f"compiled={r['compiled']['ops_per_sec'] / 1e6:5.2f}M/s  "
+              f"speedup={r['speedup']:.2f}x")
+
+    if args.update or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"baseline written: {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print("\nPERF REGRESSION:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nok: within {args.tolerance:.0%} of {BASELINE_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

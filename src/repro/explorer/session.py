@@ -65,13 +65,15 @@ class ExplorerSession:
                  inputs: Sequence[float] = (),
                  use_liveness: bool = True,
                  liveness_variant: str = FULL,
-                 max_ops: int = 500_000_000):
+                 max_ops: int = 500_000_000,
+                 engine: str = "compiled"):
         self.program = program
         self.machine = machine
         self.inputs = inputs
         self.use_liveness = use_liveness
         self.liveness_variant = liveness_variant
         self.max_ops = max_ops
+        self.engine = engine
 
         self.parallelizer: Optional[Parallelizer] = None
         self.plan: Optional[ProgramPlan] = None
@@ -90,17 +92,19 @@ class ExplorerSession:
             assertions=self.assertions)
         self.plan = self.parallelizer.plan()
         self.profiler = profile_program(self.program, self.inputs,
-                                        max_ops=self.max_ops)
+                                        max_ops=self.max_ops,
+                                        engine=self.engine)
         self.dyndep = analyze_dependences(
             self.program, self.inputs,
             skip_stmt_ids=reduction_stmt_ids(self.program),
-            max_ops=self.max_ops)
+            max_ops=self.max_ops, engine=self.engine)
         self.guru = ParallelizationGuru(self.program, self.plan,
                                         self.profiler, self.dyndep,
                                         self.machine)
         self.result = execute_parallel(self.program, self.plan,
                                        self.machine, inputs=self.inputs,
-                                       max_ops=self.max_ops)
+                                       max_ops=self.max_ops,
+                                       engine=self.engine)
         return self.result
 
     # -- metrics ----------------------------------------------------------

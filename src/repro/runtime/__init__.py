@@ -1,9 +1,18 @@
-"""Dynamic substrate: interpreter, execution analyzers, machine simulation."""
+"""Dynamic substrate: execution engines, analyzers, machine simulation.
 
+Two execution engines share one semantics: the closure-compiling
+:class:`CompiledEngine` (default, fast) and the tree-walking
+:class:`Interpreter` (the reference oracle).  Every entry point taking an
+``engine=`` keyword accepts ``"compiled"`` or ``"tree"``.
+"""
+
+from .compile_engine import (CompiledEngine, CompiledProgram,
+                             compile_closures, make_engine, select_variant,
+                             VARIANT_FULL, VARIANT_LOOPS, VARIANT_NONE)
 from .dyndep import (DynamicDependenceAnalyzer, analyze_dependences,
                      reduction_stmt_ids)
-from .interpreter import (Interpreter, Observer, RuntimeErrorInProgram,
-                          run_program)
+from .interpreter import (BINOPS, INTRINSICS, Interpreter, Observer,
+                          RuntimeErrorInProgram, run_program)
 from .machine import (ALPHASERVER_8400, MACHINES, SGI_CHALLENGE, SGI_ORIGIN,
                       Machine, with_processors)
 from .parallel_exec import (ATOMIC, MINIMIZED, NAIVE, STAGGERED, TREE,
@@ -14,7 +23,10 @@ from .transpile import compile_program, transpile_to_python
 from .values import ArrayView, Buffer
 
 __all__ = [
+    "CompiledEngine", "CompiledProgram", "compile_closures", "make_engine",
+    "select_variant", "VARIANT_FULL", "VARIANT_LOOPS", "VARIANT_NONE",
     "DynamicDependenceAnalyzer", "analyze_dependences", "reduction_stmt_ids",
+    "BINOPS", "INTRINSICS",
     "Interpreter", "Observer", "RuntimeErrorInProgram", "run_program",
     "ALPHASERVER_8400", "MACHINES", "SGI_CHALLENGE", "SGI_ORIGIN", "Machine",
     "with_processors",

@@ -1,0 +1,1124 @@
+"""Closure-compiled execution engine for the dynamic-analysis substrate.
+
+The tree-walking :class:`~repro.runtime.interpreter.Interpreter` re-does
+``isinstance`` dispatch, ``Dict[Symbol, ...]`` probes, and an observer loop
+on every expression node of every iteration.  This module performs that
+work **once per procedure** instead: a one-pass compiler lowers the IR to
+nested Python closures, and executing a loop iteration is then just calling
+a tuple of prebuilt functions.
+
+Design
+------
+
+* **Precomputed frame layouts.**  Every procedure activation is a flat
+  Python ``list``; each symbol is resolved to a list index (a *slot*) at
+  compile time.  Scalars live directly in their slot; arrays and
+  buffer-backed COMMON scalars hold an :class:`~repro.runtime.values.ArrayView`.
+  No ``Dict[Symbol, ...]`` probe survives into the hot path.
+
+* **Observer fast paths.**  Each procedure compiles into one of three
+  variants, selected at run start from the attached observers:
+
+  - :data:`VARIANT_NONE` — no observers: loop drivers are tight ``while``
+    loops with **zero** callback overhead,
+  - :data:`VARIANT_LOOPS` — loop/call events only (the Loop Profile
+    Analyzer): array reads/writes stay callback-free,
+  - :data:`VARIANT_FULL` — full read/write instrumentation (the Dynamic
+    Dependence Analyzer, the parallel-machine cost observer).
+
+* **Exact op-count parity.**  The tree-walker charges one abstract op per
+  expression node and statement.  The compiler pre-sums those charges per
+  statement (per arm/operand for short-circuit constructs) and adds them in
+  batches, in an order that keeps ``engine.ops`` exact at every observer
+  callback boundary.  The differential tests assert bit-identical outputs,
+  COMMON buffer contents, and op counts against the oracle interpreter.
+
+The tree-walking interpreter remains the reference oracle; both engines
+share the operator/intrinsic dispatch tables (``BINOPS``/``INTRINSICS``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.expressions import (ArrayRef, BinaryOp, Const, Expression,
+                              Intrinsic, StrConst, UnaryOp, VarRef)
+from ..ir.program import Procedure, Program
+from ..ir.statements import (AssignStmt, Block, CallStmt, CycleStmt,
+                             ExitStmt, IfStmt, IoStmt, LoopStmt, NoopStmt,
+                             ReturnStmt, Statement, StopStmt)
+from ..ir.symbols import INT, Symbol
+from .interpreter import (BINOPS, INTRINSICS, COMPILED_ENGINE_NAMES,
+                          TREE_ENGINE_NAMES, Interpreter, Observer,
+                          RuntimeErrorInProgram, _Cycle, _Exit,
+                          _fortran_div, _Return, _Stop)
+from .values import ArrayView, Buffer
+
+VARIANT_NONE = "none"
+VARIANT_LOOPS = "loops"
+VARIANT_FULL = "full"
+
+_BUDGET_MSG = "operation budget exceeded"
+
+#: Direct single-argument intrinsic fast paths (same semantics as the
+#: shared ``INTRINSICS`` table entries they shadow).
+_ONE_ARG = {"abs": abs, "sqrt": math.sqrt, "exp": math.exp,
+            "log": math.log, "sin": math.sin, "cos": math.cos,
+            "float": float, "int": int}
+
+
+def select_variant(observers: Sequence[Observer]) -> str:
+    """Pick the cheapest compiled variant that still delivers every
+    callback an attached observer actually overrides.  Unknown (duck-typed)
+    observers conservatively get the full variant — which calls every hook
+    exactly like the tree-walking interpreter does."""
+    needs_rw = False
+    needs_loops = False
+    for obs in observers:
+        t = type(obs)
+        if not isinstance(obs, Observer):
+            return VARIANT_FULL
+        if (t.on_read is not Observer.on_read
+                or t.on_write is not Observer.on_write):
+            needs_rw = True
+        if (t.on_loop_enter is not Observer.on_loop_enter
+                or t.on_loop_iteration is not Observer.on_loop_iteration
+                or t.on_loop_exit is not Observer.on_loop_exit
+                or t.on_call is not Observer.on_call):
+            needs_loops = True
+    if needs_rw:
+        return VARIANT_FULL
+    if needs_loops:
+        return VARIANT_LOOPS
+    return VARIANT_NONE
+
+
+def _int_valued(e: Expression) -> bool:
+    """True when ``e`` statically always evaluates to a Python int, so the
+    compiled subscript can skip the ``int()`` conversion the oracle
+    performs (a no-op on ints)."""
+    if isinstance(e, Const):
+        return isinstance(e.value, (int, np.integer)) \
+            and not isinstance(e.value, bool)
+    if isinstance(e, VarRef):
+        sym = e.symbol
+        if sym.is_const:
+            return isinstance(sym.const_value, (int, np.integer))
+        return (not sym.is_array and sym.type == INT
+                and sym.storage == "local")
+    return False
+
+
+class CompiledProcedure:
+    """One procedure lowered to closures for one observer variant."""
+
+    __slots__ = ("name", "make_frame", "body", "formal_slots")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.make_frame: Callable = None
+        self.body: Tuple[Callable, ...] = ()
+        self.formal_slots: List[int] = []
+
+
+class _ProcCompiler:
+    """Compiles one :class:`Procedure` into a :class:`CompiledProcedure`."""
+
+    def __init__(self, program: Program, proc: Procedure, variant: str,
+                 procs: Dict[str, CompiledProcedure]):
+        self.program = program
+        self.proc = proc
+        self.variant = variant
+        self.procs = procs          # shared, filled lazily (recursion-safe)
+        self._slots: Dict[int, int] = {}      # id(sym) -> slot
+        self._shadow: Dict[int, int] = {}     # id(sym) -> shadow slot
+        self._nslots = 0
+
+    # -- slots ---------------------------------------------------------------
+    def slot(self, sym: Symbol) -> int:
+        k = self._slots.get(id(sym))
+        if k is None:
+            k = self._nslots
+            self._nslots += 1
+            self._slots[id(sym)] = k
+        return k
+
+    def shadow_slot(self, sym: Symbol) -> int:
+        """A write-only slot for loop indices that are buffer-backed: the
+        oracle writes such indices into ``frame.scalars`` where they shadow
+        (and never reach) the COMMON buffer — reads keep going to the
+        buffer.  A dedicated dead slot reproduces that exactly."""
+        k = self._shadow.get(id(sym))
+        if k is None:
+            k = self._nslots
+            self._nslots += 1
+            self._shadow[id(sym)] = k
+        return k
+
+    @staticmethod
+    def _buffer_backed(sym: Symbol) -> bool:
+        """Scalars living in a COMMON buffer (the oracle keeps them in
+        ``frame.arrays`` as one-element views)."""
+        return sym.is_common and not sym.is_array
+
+    def _index_slot(self, sym: Symbol) -> int:
+        if self._buffer_backed(sym) or sym.is_const:
+            return self.shadow_slot(sym)
+        return self.slot(sym)
+
+    # -- expressions ---------------------------------------------------------
+    def _c_expr(self, e: Expression) -> Tuple[Callable, int]:
+        """Compile ``e`` to ``fn(st, frame) -> value`` plus the static op
+        count charged by the caller.  Short-circuit operands account for
+        their own (conditional) ops inside the closure."""
+        full = self.variant == VARIANT_FULL
+        if isinstance(e, Const) or isinstance(e, StrConst):
+            v = e.value
+            return (lambda st, f: v), 1
+        if isinstance(e, VarRef):
+            sym = e.symbol
+            if sym.is_const:
+                v = sym.const_value
+                return (lambda st, f: v), 1
+            if self._buffer_backed(sym):
+                k = self.slot(sym)
+                if full:
+                    def rd(st, f, k=k):
+                        vw = f[k]
+                        b = vw.buffer
+                        o = vw.offset
+                        for ob in st.observers:
+                            ob.on_read(b, o, st.current_stmt)
+                        return b.data[o]
+                    return rd, 1
+
+                def rd(st, f, k=k):
+                    vw = f[k]
+                    return vw.buffer.data[vw.offset]
+                return rd, 1
+            if sym.is_array:
+                # the oracle resolves a bare VarRef of an array symbol via
+                # frame.scalars.get(sym, 0) -> always 0
+                return (lambda st, f: 0), 1
+            k = self.slot(sym)
+            return (lambda st, f: f[k]), 1
+        if isinstance(e, ArrayRef):
+            return self._c_array_load(e)
+        if isinstance(e, BinaryOp):
+            return self._c_binop(e)
+        if isinstance(e, UnaryOp):
+            inner, n = self._c_expr(e.operand)
+            if e.op == "-":
+                return (lambda st, f: -inner(st, f)), 1 + n
+            if e.op == "not":
+                return (lambda st, f: not bool(inner(st, f))), 1 + n
+            msg = f"cannot evaluate {e!r}"
+
+            def bad(st, f, inner=inner):
+                inner(st, f)
+                raise RuntimeErrorInProgram(msg)
+            return bad, 1 + n
+        if isinstance(e, Intrinsic):
+            return self._c_intrinsic(e)
+        msg = f"cannot evaluate {e!r}"
+
+        def bad2(st, f):
+            raise RuntimeErrorInProgram(msg)
+        return bad2, 1
+
+    def _c_index(self, e: Expression) -> Tuple[Callable, int]:
+        """Compile a subscript to ``fn(st, f) -> int``."""
+        fn, n = self._c_expr(e)
+        if _int_valued(e):
+            return fn, n
+        return (lambda st, f: int(fn(st, f))), n
+
+    def _c_offset(self, indices: Sequence[Expression]
+                  ) -> Tuple[Callable, int]:
+        """Compile subscripts to ``fn(st, f, view) -> flat offset``,
+        mirroring :meth:`ArrayView.flat_index` (first stride is always 1)."""
+        comp = [self._c_index(i) for i in indices]
+        n = sum(m for _, m in comp)
+        if len(comp) == 1:
+            i0 = comp[0][0]
+
+            def off1(st, f, vw):
+                return vw.offset + i0(st, f) - vw.lows[0]
+            return off1, n
+        if len(comp) == 2:
+            i0 = comp[0][0]
+            i1 = comp[1][0]
+
+            def off2(st, f, vw):
+                return (vw.offset + i0(st, f) - vw.lows[0]
+                        + (i1(st, f) - vw.lows[1]) * vw.strides[1])
+            return off2, n
+        fns = tuple(fn for fn, _ in comp)
+
+        def offn(st, f, vw):
+            pos = vw.offset
+            lows = vw.lows
+            strides = vw.strides
+            for d, it in enumerate(fns):
+                pos += (it(st, f) - lows[d]) * strides[d]
+            return pos
+        return offn, n
+
+    def _c_idx_list(self, indices: Sequence[Expression]
+                    ) -> Tuple[Callable, int]:
+        """Compile subscripts to ``fn(st, f) -> [int, ...]`` (used where the
+        oracle builds an index list: call binding and copy-out)."""
+        comp = [self._c_index(i) for i in indices]
+        n = sum(m for _, m in comp)
+        fns = tuple(fn for fn, _ in comp)
+        if len(fns) == 1:
+            i0 = fns[0]
+            return (lambda st, f: [i0(st, f)]), n
+        return (lambda st, f: [it(st, f) for it in fns]), n
+
+    def _c_array_load(self, e: ArrayRef) -> Tuple[Callable, int]:
+        # Unbound arrays cannot reach here: frame setup raises for missing
+        # array formals, so the oracle's per-access None check is dropped.
+        k = self.slot(e.symbol)
+        off, n = self._c_offset(e.indices)
+        if self.variant == VARIANT_FULL:
+            def rd(st, f):
+                vw = f[k]
+                o = off(st, f, vw)
+                b = vw.buffer
+                for ob in st.observers:
+                    ob.on_read(b, o, st.current_stmt)
+                return b.data[o]
+            return rd, 1 + n
+
+        def rd(st, f):
+            vw = f[k]
+            return vw.buffer.data[off(st, f, vw)]
+        return rd, 1 + n
+
+    def _c_binop(self, e: BinaryOp) -> Tuple[Callable, int]:
+        lf, ln = self._c_expr(e.left)
+        op = e.op
+        if op == "and":
+            rf, rn = self._c_expr(e.right)
+
+            def f_and(st, f):
+                left = lf(st, f)
+                if not left:
+                    return False
+                st.ops += rn
+                return bool(rf(st, f))
+            return f_and, 1 + ln
+        if op == "or":
+            rf, rn = self._c_expr(e.right)
+
+            def f_or(st, f):
+                left = lf(st, f)
+                if left:
+                    return True
+                st.ops += rn
+                return bool(rf(st, f))
+            return f_or, 1 + ln
+        rf, rn = self._c_expr(e.right)
+        n = 1 + ln + rn
+        # hot operators inlined; all semantics identical to BINOPS entries
+        if op == "+":
+            return (lambda st, f: lf(st, f) + rf(st, f)), n
+        if op == "-":
+            return (lambda st, f: lf(st, f) - rf(st, f)), n
+        if op == "*":
+            return (lambda st, f: lf(st, f) * rf(st, f)), n
+        if op == "/":
+            return (lambda st, f: _fortran_div(lf(st, f), rf(st, f))), n
+        g = BINOPS.get(op)
+        if g is None:
+            msg = f"unknown operator {op}"
+
+            def bad(st, f):
+                lf(st, f)
+                rf(st, f)
+                raise RuntimeErrorInProgram(msg)
+            return bad, n
+        return (lambda st, f: g(lf(st, f), rf(st, f))), n
+
+    def _c_intrinsic(self, e: Intrinsic) -> Tuple[Callable, int]:
+        comp = [self._c_expr(a) for a in e.args]
+        n = 1 + sum(m for _, m in comp)
+        fns = tuple(fn for fn, _ in comp)
+        name = e.name
+        g = INTRINSICS.get(name)
+        if g is None:
+            msg = f"unknown intrinsic {name}"
+
+            def bad(st, f):
+                for a in fns:
+                    a(st, f)
+                raise RuntimeErrorInProgram(msg)
+            return bad, n
+        if len(fns) == 1:
+            a0 = fns[0]
+            h = _ONE_ARG.get(name)
+            if h is not None:
+                return (lambda st, f: h(a0(st, f))), n
+            if name in ("min", "max"):
+                return (lambda st, f: a0(st, f)), n   # min([x]) == x
+            return (lambda st, f: g([a0(st, f)])), n
+        if len(fns) == 2:
+            a0, a1 = fns
+            if name == "mod":
+                return (lambda st, f: a0(st, f) % a1(st, f)), n
+            if name == "min":
+                return (lambda st, f: min(a0(st, f), a1(st, f))), n
+            if name == "max":
+                return (lambda st, f: max(a0(st, f), a1(st, f))), n
+        return (lambda st, f: g([a(st, f) for a in fns])), n
+
+    # -- statements ----------------------------------------------------------
+    def _c_block(self, block: Block) -> Tuple[Callable, ...]:
+        """Compile a block to a tuple of self-accounting closures.  Runs of
+        straight-line statements are merged into a single closure that adds
+        their combined op count once (one budget check per run)."""
+        out: List[Callable] = []
+        run_effects: List[Callable] = []
+        run_n = 0
+
+        def flush():
+            nonlocal run_effects, run_n
+            if run_n:
+                out.append(_make_run(tuple(run_effects), run_n))
+            run_effects = []
+            run_n = 0
+
+        for stmt in block.statements:
+            compiled = self._c_stmt(stmt)
+            if compiled is None:
+                continue
+            fn, n = compiled
+            if n is None:                 # self-accounting (dynamic)
+                flush()
+                out.append(fn)
+            else:                          # static effect, batched
+                if fn is not None:
+                    run_effects.append(fn)
+                run_n += n
+        flush()
+        return tuple(out)
+
+    def _c_stmt(self, stmt: Statement
+                ) -> Optional[Tuple[Optional[Callable], Optional[int]]]:
+        """Returns ``(effect, static_ops)`` for straight-line statements
+        (``effect`` may be None for pure-cost statements), or
+        ``(closure, None)`` for self-accounting control statements."""
+        if isinstance(stmt, AssignStmt):
+            return self._c_assign(stmt)
+        if isinstance(stmt, IfStmt):
+            return self._c_if(stmt), None
+        if isinstance(stmt, LoopStmt):
+            return self._c_loop(stmt), None
+        if isinstance(stmt, CallStmt):
+            return self._c_call(stmt), None
+        if isinstance(stmt, IoStmt):
+            return self._c_io(stmt)
+        if isinstance(stmt, NoopStmt):
+            return None, 1
+        full = self.variant == VARIANT_FULL
+        if isinstance(stmt, CycleStmt):
+            return _make_raiser(_Cycle, stmt.target_label, stmt, full), None
+        if isinstance(stmt, ExitStmt):
+            return _make_raiser(_Exit, None, stmt, full), None
+        if isinstance(stmt, ReturnStmt):
+            return _make_raiser(_Return, None, stmt, full), None
+        if isinstance(stmt, StopStmt):
+            return _make_raiser(_Stop, None, stmt, full), None
+        msg = f"cannot execute {stmt!r}"
+
+        def bad(st, f):
+            ops = st.ops + 1
+            st.ops = ops
+            if ops > st.max_ops:
+                raise RuntimeErrorInProgram(_BUDGET_MSG)
+            raise RuntimeErrorInProgram(msg)
+        return bad, None
+
+    def _c_assign(self, stmt: AssignStmt) -> Tuple[Callable, int]:
+        val, vn = self._c_expr(stmt.value)
+        full = self.variant == VARIANT_FULL
+        target = stmt.target
+        if isinstance(target, VarRef):
+            sym = target.symbol
+            if self._buffer_backed(sym):
+                k = self.slot(sym)
+                if full:
+                    def eff(st, f):
+                        st.current_stmt = stmt
+                        v = val(st, f)
+                        vw = f[k]
+                        b = vw.buffer
+                        o = vw.offset
+                        for ob in st.observers:
+                            ob.on_write(b, o, stmt)
+                        b.data[o] = v
+                    return eff, 1 + vn
+
+                def eff(st, f):
+                    v = val(st, f)
+                    vw = f[k]
+                    vw.buffer.data[vw.offset] = v
+                return eff, 1 + vn
+            k = self.slot(sym)
+            coerce = int if sym.type == INT else float
+            if full:
+                def eff(st, f):
+                    st.current_stmt = stmt
+                    f[k] = coerce(val(st, f))
+                return eff, 1 + vn
+            return (lambda st, f: f.__setitem__(k, coerce(val(st, f)))), \
+                1 + vn
+        # array element target
+        k = self.slot(target.symbol)
+        off, on = self._c_offset(target.indices)
+        if full:
+            def eff(st, f):
+                st.current_stmt = stmt
+                v = val(st, f)
+                vw = f[k]
+                o = off(st, f, vw)
+                b = vw.buffer
+                for ob in st.observers:
+                    ob.on_write(b, o, stmt)
+                b.data[o] = v
+            return eff, 1 + vn + on
+
+        def eff(st, f):
+            v = val(st, f)
+            vw = f[k]
+            vw.buffer.data[off(st, f, vw)] = v
+        return eff, 1 + vn + on
+
+    def _c_if(self, stmt: IfStmt) -> Callable:
+        arms = []
+        for cond, body in stmt.arms:
+            cf, cn = self._c_expr(cond)
+            arms.append((cf, cn, self._c_block(body)))
+        else_blk = (self._c_block(stmt.else_block)
+                    if stmt.else_block is not None else None)
+        full = self.variant == VARIANT_FULL
+        if len(arms) == 1:
+            cf, cn, blk = arms[0]
+            head_n = 1 + cn
+
+            def fn(st, f):
+                ops = st.ops + head_n
+                st.ops = ops
+                if ops > st.max_ops:
+                    raise RuntimeErrorInProgram(_BUDGET_MSG)
+                if full:
+                    st.current_stmt = stmt
+                if cf(st, f):
+                    for s in blk:
+                        s(st, f)
+                elif else_blk is not None:
+                    for s in else_blk:
+                        s(st, f)
+            return fn
+        arm_t = tuple(arms)
+        head_n = 1 + arm_t[0][1]
+
+        def fn(st, f):
+            ops = st.ops + head_n
+            st.ops = ops
+            if ops > st.max_ops:
+                raise RuntimeErrorInProgram(_BUDGET_MSG)
+            if full:
+                st.current_stmt = stmt
+            first = True
+            for cf, cn, blk in arm_t:
+                if first:
+                    first = False
+                else:
+                    st.ops += cn
+                if cf(st, f):
+                    for s in blk:
+                        s(st, f)
+                    return
+            if else_blk is not None:
+                for s in else_blk:
+                    s(st, f)
+        return fn
+
+    def _c_loop(self, loop: LoopStmt) -> Callable:
+        low_f, low_n = self._c_expr(loop.low)
+        high_f, high_n = self._c_expr(loop.high)
+        if loop.step is not None:
+            step_f, step_n = self._c_expr(loop.step)
+        else:
+            step_f, step_n = None, 0
+        head_n = 1 + low_n + high_n + step_n
+        body = self._c_block(loop.body)
+        k = self._index_slot(loop.index)
+        term = loop.term_label
+        name = loop.name
+        variant = self.variant
+        events = variant != VARIANT_NONE
+        full = variant == VARIANT_FULL
+        # the oracle wraps every iteration in try/except _Cycle and the
+        # whole loop in try/except _Exit; skip the wrappers when the body
+        # can never raise them (no CYCLE/EXIT reachable, no calls)
+        stmts = list(loop.body.walk())
+        has_call = any(isinstance(s, CallStmt) for s in stmts)
+        need_cycle = has_call or any(isinstance(s, CycleStmt)
+                                     for s in stmts)
+        need_exit = has_call or _has_shallow_exit(loop.body)
+
+        def fn(st, f):
+            ops = st.ops + head_n
+            st.ops = ops
+            if ops > st.max_ops:
+                raise RuntimeErrorInProgram(_BUDGET_MSG)
+            if full:
+                st.current_stmt = loop
+            low = int(low_f(st, f))
+            high = int(high_f(st, f))
+            step = int(step_f(st, f)) if step_f is not None else 1
+            if step == 0:
+                raise RuntimeErrorInProgram(f"zero step in {name}")
+            if events:
+                for ob in st.observers:
+                    ob.on_loop_enter(loop)
+            i = low
+            try:
+                if events or need_cycle:
+                    while (i <= high) if step > 0 else (i >= high):
+                        f[k] = i
+                        if events:
+                            for ob in st.observers:
+                                ob.on_loop_iteration(loop, i)
+                        try:
+                            for s in body:
+                                s(st, f)
+                        except _Cycle as cyc:
+                            if cyc.target_label is not None and \
+                                    cyc.target_label != term:
+                                raise
+                        i += step
+                        st.ops += 1
+                elif step > 0:
+                    while i <= high:
+                        f[k] = i
+                        for s in body:
+                            s(st, f)
+                        i += step
+                        st.ops += 1
+                else:
+                    while i >= high:
+                        f[k] = i
+                        for s in body:
+                            s(st, f)
+                        i += step
+                        st.ops += 1
+            except _Exit:
+                pass
+            finally:
+                f[k] = i
+                if events:
+                    for ob in st.observers:
+                        ob.on_loop_exit(loop)
+        if not (need_exit or events or need_cycle):
+            # tightest driver: no exception fences at all
+            def fast(st, f):
+                ops = st.ops + head_n
+                st.ops = ops
+                if ops > st.max_ops:
+                    raise RuntimeErrorInProgram(_BUDGET_MSG)
+                low = int(low_f(st, f))
+                high = int(high_f(st, f))
+                step = int(step_f(st, f)) if step_f is not None else 1
+                if step == 0:
+                    raise RuntimeErrorInProgram(f"zero step in {name}")
+                i = low
+                if step > 0:
+                    while i <= high:
+                        f[k] = i
+                        for s in body:
+                            s(st, f)
+                        i += step
+                        st.ops += 1
+                else:
+                    while i >= high:
+                        f[k] = i
+                        for s in body:
+                            s(st, f)
+                        i += step
+                        st.ops += 1
+                f[k] = i
+            return fast
+        return fn
+
+    def _c_call(self, call: CallStmt) -> Callable:
+        callee = self.program.procedures.get(call.callee)
+        if callee is None:
+            msg = call.callee
+
+            def missing(st, f):
+                ops = st.ops + 1
+                st.ops = ops
+                if ops > st.max_ops:
+                    raise RuntimeErrorInProgram(_BUDGET_MSG)
+                raise KeyError(msg)
+            return missing
+        binders: List[Callable] = []
+        args_n = 0
+        copybacks: List[Callable] = []   # cb(st, f, callee_frame)
+        cb_n = 0
+        for pos, (actual, formal) in enumerate(zip(call.args,
+                                                   callee.formals)):
+            b, bn, cb, cbn = self._c_bind(pos, actual, formal, callee)
+            binders.append(b)
+            args_n += bn
+            if cb is not None:
+                copybacks.append(cb)
+                cb_n += cbn
+        bind_t = tuple(binders)
+        cb_t = tuple(copybacks)
+        procs = self.procs
+        callee_name = call.callee
+        cell: List[CompiledProcedure] = []
+        events = self.variant != VARIANT_NONE
+        full = self.variant == VARIANT_FULL
+        total_args_n = args_n
+        total_cb_n = cb_n
+
+        def fn(st, f):
+            ops = st.ops + 1
+            st.ops = ops
+            if ops > st.max_ops:
+                raise RuntimeErrorInProgram(_BUDGET_MSG)
+            if full:
+                st.current_stmt = call
+            if events:
+                for ob in st.observers:
+                    ob.on_call(call)
+            if not cell:
+                cell.append(procs[callee_name])
+            cp = cell[0]
+            st.ops += total_args_n
+            bound = [b(st, f) for b in bind_t]
+            cf = cp.make_frame(st, bound)
+            st.ops += 5                     # call overhead, like the oracle
+            try:
+                for s in cp.body:
+                    s(st, cf)
+            except _Return:
+                pass
+            finally:
+                st.ops += total_cb_n
+                for cb in cb_t:
+                    cb(st, f, cf)
+        return fn
+
+    def _c_bind(self, pos: int, actual: Expression, formal: Symbol,
+                callee: Procedure):
+        """Compile one argument binding.  Returns
+        ``(bind_fn, bind_ops, copyback_fn_or_None, copyback_ops)``."""
+        formal_pos = pos
+        if isinstance(actual, ArrayRef):
+            k = self.slot(actual.symbol)
+            aname = actual.symbol.name
+            if actual.indices:
+                idx_f, idx_n = self._c_idx_list(actual.indices)
+                if formal.is_array:
+                    def bind(st, f):
+                        vw = f[k]
+                        if vw == 0:
+                            raise RuntimeErrorInProgram(
+                                f"array {aname} unbound")
+                        return vw.subview_at(idx_f(st, f))
+                    return bind, idx_n, None, 0
+                # scalar formal bound to an array element: copy-in/out
+                # (the oracle uses view.load/store directly — no callbacks)
+
+                def bind(st, f):
+                    vw = f[k]
+                    if vw == 0:
+                        raise RuntimeErrorInProgram(
+                            f"array {aname} unbound")
+                    return vw.load(idx_f(st, f))
+                cb_idx_f, cb_idx_n = self._c_idx_list(actual.indices)
+                fslot = self._callee_scalar_slot(callee, formal_pos)
+
+                def cb(st, f, cf, fslot=fslot):
+                    v = cf[fslot] if fslot is not None else 0
+                    f[k].store(cb_idx_f(st, f), v)
+                return bind, idx_n, cb, cb_idx_n
+
+            def bind(st, f):
+                vw = f[k]
+                if vw == 0:
+                    raise RuntimeErrorInProgram(f"array {aname} unbound")
+                return vw
+            return bind, 0, None, 0
+        if isinstance(actual, VarRef) and not formal.is_array:
+            sym = actual.symbol
+            if self._buffer_backed(sym) or sym.is_const or sym.is_array:
+                # oracle: frame.scalars.get(sym, 0) -> 0 for symbols that
+                # never live in the scalars dict; the copy-out lands in the
+                # scalars dict where it shadows nothing and is never read
+                return (lambda st, f: 0), 0, (lambda st, f, cf: None), 0
+            k = self.slot(sym)
+            coerce = int if sym.type == INT else float
+            fslot = self._callee_scalar_slot(callee, formal_pos)
+
+            def cb(st, f, cf, fslot=fslot):
+                v = cf[fslot] if fslot is not None else 0
+                f[k] = coerce(v)
+            return (lambda st, f: f[k]), 0, cb, 0
+        # read-only expression temporary
+        fn, n = self._c_expr(actual)
+        return fn, n, None, 0
+
+    def _callee_scalar_slot(self, callee: Procedure, pos: int
+                            ) -> Optional[int]:
+        """Slot of formal #pos in the callee's compiled frame (resolved
+        after the callee compiles; returns a late-bound lookup value)."""
+        # Formal slots are assigned first and deterministically by
+        # make_frame compilation order, which mirrors proc.formals order.
+        # We can't index self.procs yet (callee may compile later), so we
+        # rely on the invariant that _compile() allocates formal slots
+        # 0..len(formals)-1 in order.
+        if pos >= len(callee.formals):
+            return None
+        return pos
+
+    # -- frame setup ---------------------------------------------------------
+    def _compile_make_frame(self) -> Callable:
+        proc = self.proc
+        pname = proc.name
+        # 1. formals — allocate first so formal slots are 0..n-1 in order
+        formal_plan = []
+        for formal in proc.formals:
+            formal_plan.append((self.slot(formal), formal.is_array,
+                                formal.name))
+        # 2. commons
+        common_plan = []
+        setup_static = 0
+        for block_name in proc.common_blocks:
+            view = self.program.commons[block_name].views[proc.name]
+            for sym in view.symbols:
+                if sym.is_array:
+                    dims = []
+                    for d in sym.dims:
+                        lo_f, lo_n = self._c_expr(d.low)
+                        setup_static += lo_n
+                        if d.high is not None:
+                            hi_f, hi_n = self._c_expr(d.high)
+                            setup_static += hi_n
+                        else:
+                            hi_f = None
+                        dims.append((lo_f, hi_f))
+                    common_plan.append((self.slot(sym), block_name,
+                                        sym.common_offset, tuple(dims)))
+                else:
+                    common_plan.append((self.slot(sym), block_name,
+                                        sym.common_offset, None))
+        # 3. locals
+        local_plan = []
+        for sym in proc.symbols:
+            if sym.is_const or sym.is_formal or sym.is_common:
+                continue
+            if sym.is_array:
+                dims = []
+                assumed = False
+                for d in sym.dims:
+                    lo_f, lo_n = self._c_expr(d.low)
+                    setup_static += lo_n
+                    if d.high is None:
+                        assumed = True
+                        hi_f = None
+                    else:
+                        hi_f, hi_n = self._c_expr(d.high)
+                        setup_static += hi_n
+                    dims.append((lo_f, hi_f))
+                local_plan.append((self.slot(sym), sym.name, tuple(dims),
+                                   assumed))
+            else:
+                self.slot(sym)       # scalars: list default 0 suffices
+        formal_t = tuple(formal_plan)
+        common_t = tuple(common_plan)
+        local_t = tuple(local_plan)
+        nslots_box = [0]             # finalized after body compiles
+
+        def make_frame(st, bound):
+            f = [0] * nslots_box[0]
+            nb = len(bound)
+            for j, (slot, is_arr, fname) in enumerate(formal_t):
+                if j < nb:
+                    f[slot] = bound[j]
+                elif is_arr:
+                    raise RuntimeErrorInProgram(
+                        f"array formal {fname} of {pname} not bound")
+            st.ops += setup_static
+            commons = st.commons
+            for slot, bname, offset, dims in common_t:
+                buffer = commons[bname]
+                if dims is None:
+                    f[slot] = ArrayView(buffer, offset, [1], [1])
+                    continue
+                lows = []
+                extents = []
+                for lo_f, hi_f in dims:
+                    lo = int(lo_f(st, f))
+                    lows.append(lo)
+                    extents.append(int(hi_f(st, f)) - lo + 1
+                                   if hi_f is not None else None)
+                f[slot] = ArrayView(buffer, offset, lows, extents)
+            for slot, name, dims, assumed in local_t:
+                if assumed:
+                    raise RuntimeErrorInProgram(
+                        f"local array {name} has assumed size")
+                size = 1
+                lows = []
+                extents = []
+                for lo_f, hi_f in dims:
+                    lo = int(lo_f(st, f))
+                    ext = int(hi_f(st, f)) - lo + 1
+                    lows.append(lo)
+                    extents.append(ext)
+                    size *= ext
+                buffer = Buffer(f"{pname}::{name}", size)
+                f[slot] = ArrayView(buffer, 0, lows, extents)
+            return f
+        return make_frame, nslots_box
+
+    # -- io ------------------------------------------------------------------
+    def _c_io(self, stmt: IoStmt) -> Tuple[Callable, int]:
+        full = self.variant == VARIANT_FULL
+        if stmt.kind == "print":
+            comp = [self._c_expr(item) for item in stmt.items]
+            n = 1 + sum(m for _, m in comp)
+            fns = tuple(fn for fn, _ in comp)
+
+            def eff(st, f):
+                if full:
+                    st.current_stmt = stmt
+                out = st.outputs
+                for t in fns:
+                    out.append(t(st, f))
+            return eff, n
+        # READ
+        stores = []
+        n = 1
+        for item in stmt.items:
+            if isinstance(item, VarRef):
+                sym = item.symbol
+                if self._buffer_backed(sym):
+                    k = self.slot(sym)
+                    if full:
+                        def sto(st, f, v, k=k):
+                            vw = f[k]
+                            b = vw.buffer
+                            o = vw.offset
+                            for ob in st.observers:
+                                ob.on_write(b, o, stmt)
+                            b.data[o] = v
+                    else:
+                        def sto(st, f, v, k=k):
+                            vw = f[k]
+                            vw.buffer.data[vw.offset] = v
+                else:
+                    k = self.slot(sym)
+                    coerce = int if sym.type == INT else float
+
+                    def sto(st, f, v, k=k, coerce=coerce):
+                        f[k] = coerce(v)
+                stores.append(sto)
+            elif isinstance(item, ArrayRef):
+                k = self.slot(item.symbol)
+                off, on = self._c_offset(item.indices)
+                n += on
+                if full:
+                    def sto(st, f, v, k=k, off=off):
+                        vw = f[k]
+                        o = off(st, f, vw)
+                        b = vw.buffer
+                        for ob in st.observers:
+                            ob.on_write(b, o, stmt)
+                        b.data[o] = v
+                else:
+                    def sto(st, f, v, k=k, off=off):
+                        vw = f[k]
+                        vw.buffer.data[off(st, f, vw)] = v
+                stores.append(sto)
+            else:
+                msg = f"invalid store target {item!r}"
+
+                def sto(st, f, v, msg=msg):
+                    raise RuntimeErrorInProgram(msg)
+                stores.append(sto)
+        store_t = tuple(stores)
+
+        def eff(st, f):
+            if full:
+                st.current_stmt = stmt
+            for sto in store_t:
+                pos = st._input_pos
+                if pos >= len(st.inputs):
+                    raise RuntimeErrorInProgram("READ past end of inputs")
+                v = st.inputs[pos]
+                st._input_pos = pos + 1
+                sto(st, f, v)
+        return eff, n
+
+    # -- driver --------------------------------------------------------------
+    def compile(self) -> CompiledProcedure:
+        cp = CompiledProcedure(self.proc.name)
+        make_frame, nslots_box = self._compile_make_frame()
+        cp.body = self._c_block(self.proc.body)
+        nslots_box[0] = self._nslots
+        cp.make_frame = make_frame
+        cp.formal_slots = [self._slots[id(f)] for f in self.proc.formals]
+        return cp
+
+
+def _has_shallow_exit(block: Block) -> bool:
+    """EXIT statements not enclosed in a deeper loop (those are the ones
+    whose _Exit reaches *this* loop)."""
+    for stmt in block.statements:
+        if isinstance(stmt, ExitStmt):
+            return True
+        if isinstance(stmt, LoopStmt):
+            continue                      # inner loop catches its own _Exit
+        for child in stmt.children_blocks():
+            if _has_shallow_exit(child):
+                return True
+    return False
+
+
+def _make_run(effects: Tuple[Callable, ...], n: int) -> Callable:
+    """One batched straight-line run: charge ``n`` ops, check the budget
+    once, execute the effects in order."""
+    if len(effects) == 1:
+        e0 = effects[0]
+
+        def run1(st, f):
+            ops = st.ops + n
+            st.ops = ops
+            if ops > st.max_ops:
+                raise RuntimeErrorInProgram(_BUDGET_MSG)
+            e0(st, f)
+        return run1
+    if not effects:
+        def run0(st, f):
+            ops = st.ops + n
+            st.ops = ops
+            if ops > st.max_ops:
+                raise RuntimeErrorInProgram(_BUDGET_MSG)
+        return run0
+
+    def run(st, f):
+        ops = st.ops + n
+        st.ops = ops
+        if ops > st.max_ops:
+            raise RuntimeErrorInProgram(_BUDGET_MSG)
+        for e in effects:
+            e(st, f)
+    return run
+
+
+def _make_raiser(exc_type, arg, stmt, full: bool) -> Callable:
+    if exc_type is _Cycle:
+        def fn(st, f):
+            ops = st.ops + 1
+            st.ops = ops
+            if ops > st.max_ops:
+                raise RuntimeErrorInProgram(_BUDGET_MSG)
+            if full:
+                st.current_stmt = stmt
+            raise _Cycle(arg)
+        return fn
+
+    def fn(st, f):
+        ops = st.ops + 1
+        st.ops = ops
+        if ops > st.max_ops:
+            raise RuntimeErrorInProgram(_BUDGET_MSG)
+        if full:
+            st.current_stmt = stmt
+        raise exc_type()
+    return fn
+
+
+class CompiledProgram:
+    """All procedures of one program compiled for one observer variant."""
+
+    __slots__ = ("program", "variant", "procs")
+
+    def __init__(self, program: Program, variant: str):
+        self.program = program
+        self.variant = variant
+        self.procs: Dict[str, CompiledProcedure] = {}
+        for name, proc in program.procedures.items():
+            self.procs[name] = _ProcCompiler(program, proc, variant,
+                                             self.procs).compile()
+
+
+def compile_closures(program: Program, variant: str = VARIANT_NONE
+                     ) -> CompiledProgram:
+    """One-pass compile of ``program`` for the given observer variant."""
+    return CompiledProgram(program, variant)
+
+
+class CompiledEngine:
+    """Drop-in replacement for :class:`Interpreter` running closure-compiled
+    code.  Same constructor signature and public attributes (``ops``,
+    ``outputs``, ``observers``, ``commons``, ``inputs``, ``max_ops``)."""
+
+    __slots__ = ("program", "inputs", "_input_pos", "observers", "ops",
+                 "max_ops", "outputs", "current_stmt", "commons", "variant")
+
+    def __init__(self, program: Program, inputs: Sequence[float] = (),
+                 observers: Sequence[Observer] = (),
+                 max_ops: int = 500_000_000):
+        self.program = program
+        self.inputs = list(inputs)
+        self._input_pos = 0
+        self.observers = list(observers)
+        self.ops = 0
+        self.max_ops = max_ops
+        self.outputs: List = []
+        self.current_stmt: Optional[Statement] = None
+        self.variant: Optional[str] = None
+        self.commons: Dict[str, Buffer] = {}
+        for name, block in program.commons.items():
+            self.commons[name] = Buffer(f"/{name}/", block.size)
+
+    def run(self) -> "CompiledEngine":
+        if self.program.main is None:
+            raise ValueError("program has no PROGRAM unit")
+        self.variant = select_variant(self.observers)
+        compiled = compile_closures(self.program, self.variant)
+        main = compiled.procs[self.program.main]
+        frame = main.make_frame(self, [])
+        try:
+            for s in main.body:
+                s(self, frame)
+        except _Stop:
+            pass
+        except _Return:
+            pass
+        return self
+
+
+def make_engine(program: Program, inputs: Sequence[float] = (),
+                observers: Sequence[Observer] = (),
+                max_ops: int = 500_000_000, engine: str = "compiled"):
+    """Build (don't run) the selected execution engine."""
+    if engine in COMPILED_ENGINE_NAMES:
+        return CompiledEngine(program, inputs, observers, max_ops)
+    if engine in TREE_ENGINE_NAMES:
+        return Interpreter(program, inputs, observers, max_ops)
+    raise ValueError(f"unknown engine {engine!r}; expected one of "
+                     f"{COMPILED_ENGINE_NAMES + TREE_ENGINE_NAMES}")

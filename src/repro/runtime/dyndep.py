@@ -33,6 +33,11 @@ from .interpreter import Interpreter, Observer
 from .values import Buffer
 
 
+#: Upper bound on distinct (writer line, reader line) witness pairs
+#: remembered per loop — they are diagnostics, not a dependence census.
+_MAX_WITNESSES = 4
+
+
 class _ActiveLoop:
     __slots__ = ("loop", "invocation", "iteration")
 
@@ -59,8 +64,9 @@ class DynamicDependenceAnalyzer(Observer):
         self.carried: Dict[int, int] = {}
         # (loop stmt_id, buffer name) -> count, for per-variable queries
         self.carried_by_var: Dict[Tuple[int, str], int] = {}
-        # loop stmt_id -> sample pairs (writer stmt line, reader stmt line)
-        self.witnesses: Dict[int, Tuple[int, int]] = {}
+        # loop stmt_id -> sample pairs (writer stmt line, reader stmt line);
+        # at most _MAX_WITNESSES distinct pairs are kept per loop
+        self.witnesses: Dict[int, List[Tuple[int, int]]] = {}
 
     def attach(self, interpreter: Interpreter
                ) -> "DynamicDependenceAnalyzer":
@@ -120,8 +126,10 @@ class DynamicDependenceAnalyzer(Observer):
                 vkey = (lid, buffer.name)
                 self.carried_by_var[vkey] = \
                     self.carried_by_var.get(vkey, 0) + 1
-                self.witnesses.setdefault(
-                    lid, (write_line, stmt.line if stmt else 0))
+                pair = (write_line, stmt.line if stmt else 0)
+                pairs = self.witnesses.setdefault(lid, [])
+                if len(pairs) < _MAX_WITNESSES and pair not in pairs:
+                    pairs.append(pair)
 
     # -- queries -----------------------------------------------------------
     def has_carried_dependence(self, loop: LoopStmt) -> bool:
@@ -134,11 +142,19 @@ class DynamicDependenceAnalyzer(Observer):
 def analyze_dependences(program: Program, inputs=(),
                         skip_stmt_ids: Optional[Set[int]] = None,
                         sample_stride: int = 1,
-                        max_ops: int = 500_000_000
+                        max_ops: int = 500_000_000,
+                        engine: str = "compiled"
                         ) -> DynamicDependenceAnalyzer:
-    """Run one instrumented execution and return the analyzer."""
+    """Run one instrumented execution and return the analyzer.
+
+    ``engine`` selects the execution substrate (see
+    :func:`repro.runtime.interpreter.run_program`).  The analyzer overrides
+    the read/write hooks, so the compiled engine runs its fully
+    instrumented variant — callback order is identical to the oracle."""
+    from .compile_engine import make_engine
     analyzer = DynamicDependenceAnalyzer(skip_stmt_ids, sample_stride)
-    interp = Interpreter(program, inputs, observers=[], max_ops=max_ops)
+    interp = make_engine(program, inputs, observers=[], max_ops=max_ops,
+                         engine=engine)
     analyzer.attach(interp)
     interp.run()
     return analyzer

@@ -12,6 +12,8 @@ translate operations into seconds.
 
 from __future__ import annotations
 
+import math
+
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -385,69 +387,94 @@ class Interpreter:
         return bool(value)
 
 
+def _fortran_div(a, b):
+    """Fortran ``/``: truncating division on integer operands."""
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int,
+                                                           np.integer)):
+        if b == 0:
+            raise RuntimeErrorInProgram("integer division by zero")
+        q = abs(a) // abs(b)
+        return int(q if (a >= 0) == (b >= 0) else -q)
+    return a / b
+
+
+def _sign(a, b):
+    return abs(a) if b >= 0 else -abs(a)
+
+
+#: Binary operator dispatch, shared by the tree-walking interpreter and the
+#: closure-compiling engine (``compile_engine.py``).  ``and``/``or`` are NOT
+#: here: they short-circuit and each engine sequences them itself.
+BINOPS: Dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _fortran_div,
+    "**": lambda a, b: a ** b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "/=": lambda a, b: a != b,
+}
+
+#: Intrinsic dispatch (callable over the evaluated argument list), shared by
+#: both execution engines.
+INTRINSICS: Dict[str, Callable[[List], object]] = {
+    "min": lambda args: min(args),
+    "max": lambda args: max(args),
+    "abs": lambda args: abs(args[0]),
+    "mod": lambda args: args[0] % args[1],
+    "sqrt": lambda args: math.sqrt(args[0]),
+    "exp": lambda args: math.exp(args[0]),
+    "log": lambda args: math.log(args[0]),
+    "sin": lambda args: math.sin(args[0]),
+    "cos": lambda args: math.cos(args[0]),
+    "float": lambda args: float(args[0]),
+    "int": lambda args: int(args[0]),
+    "sign": lambda args: _sign(args[0], args[1]),
+}
+
+
 def _binop(op: str, a, b):
-    if op == "+":
-        return a + b
-    if op == "-":
-        return a - b
-    if op == "*":
-        return a * b
-    if op == "/":
-        if isinstance(a, (int, np.integer)) and isinstance(b, (int,
-                                                               np.integer)):
-            if b == 0:
-                raise RuntimeErrorInProgram("integer division by zero")
-            q = abs(a) // abs(b)
-            return int(q if (a >= 0) == (b >= 0) else -q)
-        return a / b
-    if op == "**":
-        return a ** b
-    if op == "<":
-        return a < b
-    if op == "<=":
-        return a <= b
-    if op == ">":
-        return a > b
-    if op == ">=":
-        return a >= b
-    if op == "==":
-        return a == b
-    if op == "/=":
-        return a != b
-    raise RuntimeErrorInProgram(f"unknown operator {op}")
+    fn = BINOPS.get(op)
+    if fn is None:
+        raise RuntimeErrorInProgram(f"unknown operator {op}")
+    return fn(a, b)
 
 
 def _intrinsic(name: str, args: List):
-    import math
-    if name == "min":
-        return min(args)
-    if name == "max":
-        return max(args)
-    if name == "abs":
-        return abs(args[0])
-    if name == "mod":
-        return args[0] % args[1]
-    if name == "sqrt":
-        return math.sqrt(args[0])
-    if name == "exp":
-        return math.exp(args[0])
-    if name == "log":
-        return math.log(args[0])
-    if name == "sin":
-        return math.sin(args[0])
-    if name == "cos":
-        return math.cos(args[0])
-    if name == "float":
-        return float(args[0])
-    if name == "int":
-        return int(args[0])
-    if name == "sign":
-        return abs(args[0]) if args[1] >= 0 else -abs(args[0])
-    raise RuntimeErrorInProgram(f"unknown intrinsic {name}")
+    fn = INTRINSICS.get(name)
+    if fn is None:
+        raise RuntimeErrorInProgram(f"unknown intrinsic {name}")
+    return fn(args)
+
+
+#: Engine selector aliases accepted by :func:`run_program` and friends.
+TREE_ENGINE_NAMES = ("tree", "interp", "interpreter", "oracle")
+COMPILED_ENGINE_NAMES = ("compiled", "closure")
 
 
 def run_program(program: Program, inputs: Sequence[float] = (),
                 observers: Sequence[Observer] = (),
-                max_ops: int = 500_000_000) -> Interpreter:
-    """Convenience: build an interpreter, run it, return it."""
-    return Interpreter(program, inputs, observers, max_ops).run()
+                max_ops: int = 500_000_000, engine: str = "compiled"):
+    """Execute ``program`` and return the finished engine.
+
+    ``engine`` selects the execution substrate:
+
+    * ``"compiled"`` (default) — the closure-compiling engine
+      (:mod:`repro.runtime.compile_engine`): one compile pass lowers the IR
+      to nested Python closures with precomputed frame slots and
+      observer-specialized fast paths,
+    * ``"tree"`` — this module's tree-walking :class:`Interpreter`, kept as
+      the reference oracle (exact op-count and output parity is enforced by
+      the differential tests).
+    """
+    if engine in COMPILED_ENGINE_NAMES:
+        from .compile_engine import CompiledEngine
+        return CompiledEngine(program, inputs, observers, max_ops).run()
+    if engine in TREE_ENGINE_NAMES:
+        return Interpreter(program, inputs, observers, max_ops).run()
+    raise ValueError(f"unknown engine {engine!r}; expected one of "
+                     f"{COMPILED_ENGINE_NAMES + TREE_ENGINE_NAMES}")

@@ -142,7 +142,8 @@ class ParallelExecutor:
                  reduction_strategy: str = STAGGERED,
                  suppress_factor: float = 2.0,
                  inputs: Sequence[float] = (),
-                 max_ops: int = 500_000_000):
+                 max_ops: int = 500_000_000,
+                 engine: str = "compiled"):
         self.program = program
         self.plan = plan
         self.machine = (with_processors(machine, processors)
@@ -151,6 +152,7 @@ class ParallelExecutor:
         self.suppress_factor = suppress_factor
         self.inputs = inputs
         self.max_ops = max_ops
+        self.engine = engine
         self._parallel_ids = {l.stmt_id for l in plan.parallel_loops()}
         self._red_stmts = self._collect_reduction_stmts()
         self._active: Optional[RegionStats] = None
@@ -177,11 +179,15 @@ class ParallelExecutor:
         return self.account(self.machine.processors)
 
     def measure(self) -> "ParallelExecutor":
-        """Execute once and collect region measurements."""
+        """Execute once and collect region measurements.  The cost observer
+        needs memory traffic, so under the compiled engine this runs the
+        fully instrumented variant."""
         if self._ran:
             return self
-        self.interp = Interpreter(self.program, self.inputs,
-                                  observers=[], max_ops=self.max_ops)
+        from .compile_engine import make_engine
+        self.interp = make_engine(self.program, self.inputs,
+                                  observers=[], max_ops=self.max_ops,
+                                  engine=self.engine)
         self.interp.observers.append(_CostObserver(self))
         self.interp.run()
         self._total_ops = self.interp.ops

@@ -98,11 +98,18 @@ class LoopProfiler(Observer):
         return machine.seconds(prof.ops_per_invocation()) * 1e3
 
 
-def profile_program(program: Program, inputs=(), max_ops: int = 500_000_000
-                    ) -> LoopProfiler:
-    """Run the program once under the Loop Profile Analyzer."""
+def profile_program(program: Program, inputs=(), max_ops: int = 500_000_000,
+                    engine: str = "compiled") -> LoopProfiler:
+    """Run the program once under the Loop Profile Analyzer.
+
+    ``engine`` selects the execution substrate (see
+    :func:`repro.runtime.interpreter.run_program`).  Under the compiled
+    engine the profiler triggers the loop-events-only variant: array
+    reads/writes run with zero callback overhead."""
+    from .compile_engine import make_engine
     profiler = LoopProfiler()
-    interp = Interpreter(program, inputs, observers=[], max_ops=max_ops)
+    interp = make_engine(program, inputs, observers=[], max_ops=max_ops,
+                         engine=engine)
     profiler.attach(interp)
     interp.run()
     profiler.finish()

@@ -144,12 +144,60 @@ def test_static_parallel_loops_have_no_dynamic_flow_deps(source):
 @settings(max_examples=30, deadline=None)
 @given(programs())
 def test_interpreter_vs_transpiled_backend(source):
-    """Differential semantics fuzzing: the tree-walking interpreter and
-    the transpiled-Python backend are independent implementations and
-    must agree exactly on every generated program."""
+    """Differential semantics fuzzing: the tree-walking interpreter, the
+    closure-compiling engine, and the transpiled-Python backend are three
+    independent implementations and must agree on every generated
+    program."""
     from repro.runtime.transpile import compile_program
     prog = build_program(source, "fuzz")
-    interp = run_program(prog, max_ops=2_000_000).outputs
-    compiled = compile_program(prog)([])
-    assert compiled == pytest.approx([float(v) for v in interp])
+    interp = run_program(prog, max_ops=2_000_000, engine="tree").outputs
+    closure = run_program(prog, max_ops=2_000_000,
+                          engine="compiled").outputs
+    transpiled = compile_program(prog)([])
+    assert closure == interp
+    assert transpiled == pytest.approx([float(v) for v in interp])
+
+
+def _assert_engine_parity(prog_a, prog_b, inputs=(),
+                          max_ops=20_000_000, context=""):
+    """Tree-walking oracle and compiled engine must agree *exactly*:
+    printed outputs, final COMMON-block buffer contents, and the op
+    count (the compiled engine's contract is bit-identical accounting,
+    not just matching answers)."""
+    import numpy as np
+    tree = run_program(prog_a, inputs, max_ops=max_ops, engine="tree")
+    comp = run_program(prog_b, inputs, max_ops=max_ops, engine="compiled")
+    assert comp.outputs == tree.outputs, context
+    assert comp.ops == tree.ops, (
+        f"{context}: op-count drift tree={tree.ops} compiled={comp.ops}")
+    assert set(comp.commons) == set(tree.commons), context
+    for name, buf in tree.commons.items():
+        assert np.array_equal(comp.commons[name].data, buf.data), (
+            f"{context}: COMMON /{name}/ contents differ")
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_compiled_engine_matches_tree_oracle(source):
+    """Differential fuzzing of the closure-compiled engine against the
+    tree-walking reference: outputs, COMMON memory, and op counts must
+    be identical, not merely close."""
+    prog = build_program(source, "fuzz")
+    _assert_engine_parity(prog, prog, max_ops=2_000_000, context="fuzz")
+
+
+def _corpus_names():
+    from repro.workloads import corpus
+    return sorted(corpus.ALL)
+
+
+@pytest.mark.parametrize("name", _corpus_names())
+def test_compiled_engine_parity_on_corpus(name):
+    """Every workload in the registry runs bit-identically under both
+    engines — the whole-corpus safety net behind the ``engine=``
+    default flip."""
+    from repro.workloads import corpus
+    w = corpus.get(name)
+    _assert_engine_parity(w.build(), w.build(), inputs=w.inputs,
+                          context=name)
 

@@ -64,6 +64,49 @@ def test_dyndep_detects_real_recurrence():
     assert dd.dependence_count(prog.loop("t/10")) > 0
 
 
+RECURRENCE_SRC = """
+      PROGRAM t
+      DIMENSION a(60)
+      a(1) = 1.0
+      DO 10 i = 2, 60
+        a(i) = a(i-1) + 1.0
+10    CONTINUE
+      PRINT *, a(60)
+      END
+"""
+
+
+@pytest.mark.parametrize("stride", [2, 3, 7])
+def test_dyndep_sampling_keeps_distance_one_dependences(stride):
+    """``sample_stride > 1`` skips batches of iterations (section 2.5.2)
+    but must still observe a distance-1 loop-carried flow dependence:
+    the sampling window keeps adjacent iteration pairs (k*stride,
+    k*stride + 1), so the write at the end of one sampled iteration is
+    seen by the read at the start of the next."""
+    prog = build_program(RECURRENCE_SRC)
+    dd = analyze_dependences(prog, sample_stride=stride)
+    loop = prog.loop("t/10")
+    assert dd.has_carried_dependence(loop)
+    # sampling thins the census but must never zero it out
+    full = analyze_dependences(prog)
+    assert 0 < dd.dependence_count(loop) <= full.dependence_count(loop)
+
+
+def test_dyndep_witnesses_are_bounded_sample_pairs():
+    """``witnesses`` maps a loop to a short list of distinct
+    (writer line, reader line) pairs, never an unbounded census."""
+    prog = build_program(RECURRENCE_SRC)
+    dd = analyze_dependences(prog)
+    loop = prog.loop("t/10")
+    pairs = dd.witnesses[loop.stmt_id]
+    assert isinstance(pairs, list) and pairs
+    assert len(pairs) <= 4
+    assert len(set(pairs)) == len(pairs)
+    for writer_line, reader_line in pairs:
+        assert isinstance(writer_line, int)
+        assert isinstance(reader_line, int)
+
+
 def test_dyndep_silent_on_independent_loop():
     prog = build_program("""
       PROGRAM t
