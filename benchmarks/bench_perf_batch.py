@@ -1,0 +1,120 @@
+"""Cold vs warm-cache batch latency over the workload corpus.
+
+The PR-2 tentpole contract: a ``repro batch`` over the corpus served
+from a warm artifact cache must be at least :data:`MIN_WARM_SPEEDUP`x
+faster than the cold batch that populated it, and the batch artifacts
+must be bit-identical to sequential in-process Explorer runs.
+
+Run standalone to measure and record ``BENCH_batch.json``::
+
+    PYTHONPATH=src python benchmarks/bench_perf_batch.py [--quick]
+
+``--quick`` restricts to the sub-second corpus entries (the full corpus
+takes ~1 min cold on a laptop core).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.service import (AnalysisRequest, ArtifactStore, BatchScheduler,
+                           ServiceMetrics, canonical_json)
+from repro.workloads import ALL
+
+MIN_WARM_SPEEDUP = 5.0
+#: Small entries used by --quick (each sub-second cold).
+QUICK = ["ora", "track", "ear", "doduc", "dyfesm", "wave5", "hydro2d",
+         "bdna", "cgm", "mdljdp2"]
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+
+def _timed_batch(names: List[str], cache_dir: str,
+                 workers: Optional[int]) -> Dict:
+    """One scheduler pass over ``names`` against ``cache_dir``."""
+    metrics = ServiceMetrics()
+    store = ArtifactStore(cache_dir, metrics=metrics)
+    requests = [AnalysisRequest(n) for n in names]
+    t0 = time.perf_counter()
+    with BatchScheduler(store, metrics=metrics, workers=workers) as sched:
+        jobs = [sched.submit(r) for r in requests]
+        ok = sched.wait(jobs, timeout=1800)
+        artifacts = [sched.artifact(j) for j in jobs]
+    seconds = time.perf_counter() - t0
+    assert ok, "batch timed out"
+    failed = [n for n, a in zip(names, artifacts) if a is None]
+    assert not failed, f"failed workloads: {failed}"
+    snap = metrics.snapshot()
+    return {"seconds": seconds, "artifacts": artifacts,
+            "cache_hit_rate": snap["cache_hit_rate"],
+            "cached_jobs": metrics.counter("jobs_served_cached")}
+
+
+def run_bench(names: Optional[List[str]] = None,
+              workers: Optional[int] = None,
+              verify_sequential: bool = True) -> Dict:
+    names = list(names or sorted(ALL))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        cold = _timed_batch(names, cache_dir, workers)
+        warm = _timed_batch(names, cache_dir, workers)
+
+    assert warm["cached_jobs"] == len(names), "warm batch missed the cache"
+    speedup = cold["seconds"] / warm["seconds"] if warm["seconds"] else \
+        float("inf")
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm batch only {speedup:.1f}x faster than cold "
+        f"(contract: >= {MIN_WARM_SPEEDUP}x)")
+
+    drifted: List[str] = []
+    if verify_sequential:
+        # determinism contract: pool artifacts == sequential oracle
+        from repro.service import execute_request
+        for name, artifact in zip(names, cold["artifacts"]):
+            oracle = execute_request(AnalysisRequest(name))
+            if canonical_json(artifact) != canonical_json(oracle):
+                drifted.append(name)
+        assert not drifted, f"batch/sequential drift: {drifted}"
+
+    return {
+        "benchmark": "cold vs warm-cache batch latency",
+        "units": "wall-clock seconds for one batch over the corpus",
+        "host": {"python": platform.python_version(),
+                 "machine": platform.machine()},
+        "workloads": names,
+        "cold": {"seconds": round(cold["seconds"], 3),
+                 "cache_hit_rate": cold["cache_hit_rate"]},
+        "warm": {"seconds": round(warm["seconds"], 3),
+                 "cache_hit_rate": warm["cache_hit_rate"]},
+        "warm_speedup": round(speedup, 1),
+        "contract_min_speedup": MIN_WARM_SPEEDUP,
+        "sequential_verified": verify_sequential,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help=f"only the small entries: {', '.join(QUICK)}")
+    ap.add_argument("--workers", type=int, default=None)
+    ap.add_argument("--no-verify", action="store_true",
+                    help="skip the batch-vs-sequential bit-identity check")
+    ap.add_argument("--no-write", action="store_true",
+                    help="don't record BENCH_batch.json")
+    args = ap.parse_args(argv)
+    names = QUICK if args.quick else None
+    result = run_bench(names, workers=args.workers,
+                       verify_sequential=not args.no_verify)
+    print(json.dumps(result, indent=2))
+    if not args.no_write:
+        BASELINE_PATH.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

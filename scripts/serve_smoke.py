@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the analysis service (CI gate).
+
+Starts the HTTP server on an ephemeral port, submits a corpus job,
+polls it to completion, fetches the artifact, re-submits to prove the
+cache serves the repeat, and checks ``/metrics`` consistency.  Exits
+non-zero on any failure::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--workload ora]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def call(base: str, method: str, path: str, body=None, timeout=60):
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(base + path, data=data, method=method,
+                                 headers={"Content-Type":
+                                          "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def fail(message: str) -> "NoReturn":
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workload", default="ora",
+                    help="corpus entry to analyze (default: ora)")
+    ap.add_argument("--timeout", type=float, default=120.0,
+                    help="seconds to wait for the job")
+    args = ap.parse_args(argv)
+
+    from repro.service import AnalysisServer
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as cache_dir:
+        with AnalysisServer(cache_dir=cache_dir, port=0) as server:
+            base = server.url
+            print(f"server up at {base} (cache {cache_dir})")
+
+            status, health = call(base, "GET", "/healthz")
+            expect(status == 200 and health.get("ok"), "healthz not ok")
+
+            status, corpus = call(base, "GET", "/corpus")
+            expect(status == 200, f"/corpus -> {status}")
+            names = {w["name"] for w in corpus["workloads"]}
+            expect(args.workload in names,
+                   f"{args.workload!r} missing from /corpus")
+
+            # submit and poll to completion
+            status, out = call(base, "POST", "/jobs",
+                               {"workload": args.workload})
+            expect(status == 202, f"POST /jobs -> {status}: {out}")
+            job = out["job"]
+            deadline = time.time() + args.timeout
+            while job["state"] not in ("done", "failed"):
+                expect(time.time() < deadline, "job timed out")
+                time.sleep(0.2)
+                status, out = call(base, "GET", f"/jobs/{job['id']}")
+                expect(status == 200, f"GET /jobs/{job['id']} -> {status}")
+                job = out["job"]
+            expect(job["state"] == "done",
+                   f"job failed: {job.get('error')}")
+            print(f"job {job['id']} done in "
+                  f"{job['finished_at'] - job['created_at']:.2f}s "
+                  f"(attempts={job['attempts']})")
+
+            status, artifact = call(base, "GET",
+                                    f"/artifacts/{job['key']}")
+            expect(status == 200, f"GET /artifacts -> {status}")
+            speedup = artifact["execution"]["speedup"]
+            expect(speedup >= 1.0, f"nonsense speedup {speedup}")
+            print(f"artifact ok: speedup {speedup:.2f}x, "
+                  f"{len(artifact['plan'])} loop plans")
+
+            # the repeat must be served from the warm cache
+            status, out = call(base, "POST", "/jobs",
+                               {"workload": args.workload})
+            expect(status == 202 and out["job"]["cached"],
+                   "repeat submission was not cache-served")
+
+            status, metrics = call(base, "GET", "/metrics")
+            expect(status == 200, f"/metrics -> {status}")
+            counters = metrics["counters"]
+            expect(counters.get("jobs_completed", 0) >= 1,
+                   f"no completed jobs in metrics: {counters}")
+            expect(counters.get("cache_hits", 0) >= 1,
+                   f"no cache hits in metrics: {counters}")
+            expect(metrics["cache_hit_rate"] > 0.0, "zero cache hit-rate")
+            print(f"metrics ok: {counters}; "
+                  f"hit-rate {metrics['cache_hit_rate']:.0%}")
+
+            # error paths stay errors
+            expect(call(base, "POST", "/jobs",
+                        {"workload": "nope"})[0] == 400,
+                   "unknown workload did not 400")
+            expect(call(base, "GET", "/no/route")[0] == 404,
+                   "unknown route did not 404")
+
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

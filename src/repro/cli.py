@@ -9,7 +9,10 @@ Commands mirror the Explorer workflow on mini-Fortran source files:
   dependences, Guru strategy, codeview, simulated speedup,
 * ``slice``       — slice a variable's uses inside a loop,
 * ``advise``      — memory-performance advisories,
-* ``compile``     — transpile to a self-contained Python module.
+* ``compile``     — transpile to a self-contained Python module,
+* ``batch``       — run many workloads through the cached process-pool
+  scheduler (``repro batch`` = the full corpus),
+* ``serve``       — the multi-client analysis service over HTTP.
 
 Workload names from the corpus (e.g. ``mdg``) may be given instead of a
 file path.
@@ -32,10 +35,15 @@ from .viz import Codeview, render_slice
 
 def _load(target: str):
     """A (program, inputs, assertions) triple from a path or corpus name."""
+    import os
     from .workloads import ALL
     if target in ALL:
         w = ALL[target]
         return w.build(), w.inputs, w.user_assertions
+    if not os.path.exists(target):
+        raise SystemExit(
+            f"{target!r} is neither a file nor a corpus workload; "
+            f"workloads: {', '.join(sorted(ALL))}")
     with open(target) as fh:
         text = fh.read()
     return build_program(text, target), [], []
@@ -156,6 +164,66 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    import json
+    import time
+    from .service import (AnalysisRequest, ArtifactStore, BatchScheduler,
+                          ServiceMetrics, canonical_json)
+    from .workloads import ALL, get
+    names = args.names or sorted(ALL)
+    try:
+        for name in names:
+            get(name)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    options = {"engine": args.engine, "machine": args.machine,
+               "use_liveness": not args.no_liveness,
+               "assertions": args.assertions}
+    requests = [AnalysisRequest(name, options=options) for name in names]
+    metrics = ServiceMetrics()
+    store = ArtifactStore(args.cache_dir, metrics=metrics)
+    t0 = time.perf_counter()
+    with BatchScheduler(store, metrics=metrics, workers=args.workers,
+                        inline=args.sequential) as scheduler:
+        jobs = [scheduler.submit(r) for r in requests]
+        scheduler.wait(jobs)
+        artifacts = [scheduler.artifact(j) for j in jobs]
+    elapsed = time.perf_counter() - t0
+    failed = 0
+    if args.json:
+        print(canonical_json({n: a for n, a in zip(names, artifacts)}))
+    for name, job, artifact in zip(names, jobs, artifacts):
+        if artifact is None:
+            failed += 1
+            print(f"{name:14s} FAILED  {job.error}", file=sys.stderr)
+        elif not args.json:
+            ex = artifact["execution"]
+            tag = "cached" if job.cached else "computed"
+            print(f"{name:14s} {tag:8s} speedup {ex['speedup']:5.2f}x  "
+                  f"coverage {ex['coverage']:6.1%}  "
+                  f"key {job.key[:12]}")
+    snap = metrics.snapshot()
+    print(f"[{len(names)} jobs in {elapsed:.2f}s; cache hit-rate "
+          f"{snap['cache_hit_rate']:.0%}]", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def cmd_serve(args) -> int:
+    from .service import AnalysisServer
+    server = AnalysisServer(cache_dir=args.cache_dir, workers=args.workers,
+                            host=args.host, port=args.port,
+                            quiet=not args.verbose)
+    print(f"analysis service listening on {server.url}")
+    print("  POST /jobs {\"workload\": \"mdg\"}   GET /jobs/<id>")
+    print("  GET /artifacts/<key>   GET /corpus   GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.stop()
+    return 0
+
+
 def cmd_advise(args) -> int:
     program, _, assertions = _load(args.target)
     plan = Parallelizer(program, assertions=assertions).plan()
@@ -213,6 +281,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target")
     p.add_argument("-o", "--output", help="write to a file")
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("batch", help="analyze corpus workloads through "
+                                     "the cached batch scheduler")
+    p.add_argument("names", nargs="*",
+                   help="workload names (default: the full corpus)")
+    p.add_argument("--cache-dir", help="artifact store directory "
+                                       "(default: in-memory only)")
+    p.add_argument("--workers", type=int, help="process-pool size")
+    p.add_argument("--sequential", action="store_true",
+                   help="run inline in this process (no pool)")
+    p.add_argument("--engine", default="compiled",
+                   choices=["compiled", "tree"])
+    p.add_argument("--machine", default="alphaserver",
+                   choices=sorted(MACHINES))
+    p.add_argument("--assertions", action="store_true",
+                   help="apply each workload's user assertions")
+    p.add_argument("--no-liveness", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="print the artifacts as canonical JSON")
+    p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser("serve", help="serve the analysis API over HTTP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8077)
+    p.add_argument("--cache-dir", help="artifact store directory")
+    p.add_argument("--workers", type=int, help="process-pool size")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

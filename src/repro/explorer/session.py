@@ -107,11 +107,20 @@ class ExplorerSession:
                                        engine=self.engine)
         return self.result
 
+    def _require_run(self) -> None:
+        """Guard for the phase-2 queries that need phase-1 products."""
+        if self.plan is None or self.profiler is None:
+            raise RuntimeError(
+                "run_automatic() first: this session has no plan/profile "
+                "yet — call session.run_automatic() before querying it")
+
     # -- metrics ----------------------------------------------------------
     def coverage(self) -> float:
+        self._require_run()
         return parallel_coverage(self.program, self.plan, self.profiler)
 
     def granularity_ms(self) -> float:
+        self._require_run()
         return parallel_granularity_ms(self.program, self.plan,
                                        self.profiler, self.machine)
 
@@ -126,6 +135,7 @@ class ExplorerSession:
         """Per unresolved dependence of a loop, the program and control
         slices at the pruning levels of Fig 4-8 (full / code-region /
         code-region+array)."""
+        self._require_run()
         plan = self.plan.loops[loop.stmt_id]
         out: List[DependenceSlices] = []
         for var in plan.dependent_vars():

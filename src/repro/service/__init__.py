@@ -1,0 +1,28 @@
+"""The analysis service: cache, scheduler, and HTTP serving layers.
+
+Turns the library into a multi-client Explorer service: a
+content-addressed :class:`ArtifactStore` memoizes every analysis
+product, a :class:`BatchScheduler` fans requests across a process pool
+(deduped, crash-retried, deterministic), and :class:`AnalysisServer`
+exposes it all over a stdlib-only JSON HTTP API so many clients share
+one warm cache.
+"""
+
+from .artifacts import (SCHEMA_VERSION, ArtifactStore, artifact_key,
+                        canonical_json)
+from .jobs import (DONE, FAILED, MAX_SLICE_TARGETS, QUEUED, RUNNING,
+                   STATES, SUBMITTED, AnalysisRequest, Job,
+                   execute_request, session_snapshot)
+from .metrics import ServiceMetrics
+from .scheduler import BatchScheduler, run_sequential
+from .server import AnalysisServer, AnalysisService
+
+__all__ = [
+    "SCHEMA_VERSION", "ArtifactStore", "artifact_key", "canonical_json",
+    "SUBMITTED", "QUEUED", "RUNNING", "DONE", "FAILED", "STATES",
+    "MAX_SLICE_TARGETS", "AnalysisRequest", "Job", "execute_request",
+    "session_snapshot",
+    "ServiceMetrics",
+    "BatchScheduler", "run_sequential",
+    "AnalysisServer", "AnalysisService",
+]

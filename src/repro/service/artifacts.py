@@ -1,0 +1,199 @@
+"""Content-addressed, versioned artifact store for analysis results.
+
+The Explorer is interactive: the same programs are re-analyzed over and
+over while a user works (paper Ch. 2/4), and many concurrent clients ask
+for the same corpus entries.  Every analysis artifact (parallelization
+plan, loop profile, dyndep summary, Guru report, slices, simulated
+parallel execution) is therefore keyed by a *content address*::
+
+    key = sha256(schema version + program source + program name
+                 + inputs + analysis options)
+
+so a cache entry can never be served stale: any change to the workload
+source text, its inputs, the analysis options, or the artifact schema
+version produces a different key.  Explicit invalidation exists for
+operators, but correctness never depends on it.
+
+Storage is two-level: a bounded in-memory LRU in front of a JSON-file
+tree on disk (``<root>/<key[:2]>/<key>.json``).  Disk entries are written
+atomically (tmp + ``os.replace``); a truncated or corrupt file is treated
+as a miss and quarantined (unlinked) rather than crashing the service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .metrics import NULL_METRICS, ServiceMetrics
+
+#: Bump whenever the artifact payload layout changes — old cache entries
+#: then miss (different key) instead of being misread.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(obj) -> str:
+    """The byte-stable encoding used both for hashing and for the
+    batch-vs-sequential bit-identity checks."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def artifact_key(source: str, program_name: str, inputs, options: Dict,
+                 schema_version: int = SCHEMA_VERSION) -> str:
+    """Content address of one analysis request."""
+    payload = canonical_json({
+        "schema": schema_version,
+        "source": source,
+        "program": program_name,
+        "inputs": [float(x) for x in inputs],
+        "options": options,
+    })
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """Two-level (memory LRU + disk JSON) content-addressed store."""
+
+    def __init__(self, root: Optional[str] = None, *,
+                 memory_capacity: int = 128,
+                 metrics: ServiceMetrics = NULL_METRICS):
+        self.root = Path(root) if root is not None else None
+        self.memory_capacity = max(0, memory_capacity)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+    def _path(self, key: str) -> Optional[Path]:
+        if self.root is None:
+            return None
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- core API ----------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored artifact for ``key``, or None on miss/corruption."""
+        with self._lock:
+            hit = self._memory.get(key)
+            if hit is not None:
+                self._memory.move_to_end(key)
+                self.metrics.incr("cache_hits")
+                self.metrics.incr("cache_hits_memory")
+                return hit
+        artifact = self._read_disk(key)
+        if artifact is None:
+            self.metrics.incr("cache_misses")
+            return None
+        with self._lock:
+            self._remember(key, artifact)
+        self.metrics.incr("cache_hits")
+        self.metrics.incr("cache_hits_disk")
+        return artifact
+
+    def put(self, key: str, artifact: Dict) -> None:
+        path = self._path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            envelope = {"key": key, "schema": SCHEMA_VERSION,
+                        "artifact": artifact}
+            tmp.write_text(canonical_json(envelope))
+            os.replace(tmp, path)
+        with self._lock:
+            self._remember(key, artifact)
+        self.metrics.incr("cache_stores")
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry from both levels; True if anything was dropped."""
+        dropped = False
+        with self._lock:
+            if self._memory.pop(key, None) is not None:
+                dropped = True
+        path = self._path(key)
+        if path is not None and path.exists():
+            path.unlink()
+            dropped = True
+        if dropped:
+            self.metrics.incr("cache_invalidations")
+        return dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+        if self.root is not None:
+            for path in self.root.glob("*/*.json"):
+                path.unlink()
+
+    def clear_memory(self) -> None:
+        """Drop the LRU only (used by tests to force disk reads)."""
+        with self._lock:
+            self._memory.clear()
+
+    # -- introspection -----------------------------------------------------
+    def keys(self) -> List[str]:
+        seen = set()
+        with self._lock:
+            seen.update(self._memory)
+        if self.root is not None:
+            for path in self.root.glob("*/*.json"):
+                seen.add(path.stem)
+        return sorted(seen)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        path = self._path(key)
+        return path is not None and path.exists()
+
+    def stats(self) -> Dict:
+        with self._lock:
+            in_memory = len(self._memory)
+        on_disk = 0
+        if self.root is not None:
+            on_disk = sum(1 for _ in self.root.glob("*/*.json"))
+        return {"memory_entries": in_memory,
+                "memory_capacity": self.memory_capacity,
+                "disk_entries": on_disk,
+                "root": str(self.root) if self.root else None}
+
+    # -- internals ---------------------------------------------------------
+    def _remember(self, key: str, artifact: Dict) -> None:
+        """Insert into the LRU (lock held by the caller)."""
+        if self.memory_capacity <= 0:
+            return
+        self._memory[key] = artifact
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_capacity:
+            self._memory.popitem(last=False)
+            self.metrics.incr("cache_evictions")
+
+    def _read_disk(self, key: str) -> Optional[Dict]:
+        path = self._path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            envelope = json.loads(path.read_text())
+            if envelope.get("schema") != SCHEMA_VERSION or \
+                    envelope.get("key") != key:
+                raise ValueError("schema/key mismatch")
+            return envelope["artifact"]
+        except (OSError, ValueError, KeyError, TypeError):
+            # Truncated write, bit rot, or foreign layout: quarantine the
+            # file and recompute instead of crashing the service.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.metrics.incr("cache_corrupt")
+            return None

@@ -1,0 +1,342 @@
+"""The job model of the analysis service.
+
+An :class:`AnalysisRequest` names *what* to analyze (a corpus workload or
+raw mini-Fortran source), with which inputs and analysis options; its
+:meth:`~AnalysisRequest.key` is the content address under which the
+result artifact is cached (see :mod:`repro.service.artifacts`).
+
+:func:`execute_request` is the pure worker function: request in, a fully
+JSON-serializable artifact out.  It runs the complete Explorer pipeline
+(parallelizer plan → loop profile → dynamic dependences → Guru report →
+slices of the Guru's targets → simulated parallel execution → optional
+user assertions) and flattens every product into plain dicts with a
+deterministic encoding, so a process-pool batch is bit-identical to a
+sequential run of the same requests.
+
+A :class:`Job` tracks one request through the scheduler lifecycle::
+
+    submitted -> queued -> running -> done | failed
+
+with retry accounting for worker crashes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .artifacts import SCHEMA_VERSION, artifact_key
+
+# -- job states --------------------------------------------------------------
+SUBMITTED = "submitted"
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: All states, in lifecycle order.
+STATES = (SUBMITTED, QUEUED, RUNNING, DONE, FAILED)
+
+#: How many Guru targets get their dependence slices materialized into the
+#: artifact (slicing every loop of every request would swamp the payload).
+MAX_SLICE_TARGETS = 4
+
+_DEFAULT_OPTIONS = {
+    "engine": "compiled",
+    "machine": "alphaserver",
+    "use_liveness": True,
+    "assertions": False,
+}
+
+
+class AnalysisRequest:
+    """One unit of analysis work, content-addressable."""
+
+    __slots__ = ("workload", "source", "program_name", "inputs", "options")
+
+    def __init__(self, workload: Optional[str] = None, *,
+                 source: Optional[str] = None,
+                 program_name: Optional[str] = None,
+                 inputs: Optional[Sequence[float]] = None,
+                 options: Optional[Dict] = None):
+        if (workload is None) == (source is None):
+            raise ValueError(
+                "exactly one of workload= or source= is required")
+        self.workload = workload
+        self.source = source
+        self.program_name = program_name
+        self.inputs = None if inputs is None else [float(x) for x in inputs]
+        merged = dict(_DEFAULT_OPTIONS)
+        merged.update(options or {})
+        self.options = merged
+
+    # -- resolution --------------------------------------------------------
+    def resolved(self) -> "AnalysisRequest":
+        """A copy with source/name/inputs materialized from the corpus, so
+        the content address covers the *actual* source text (editing a
+        workload module invalidates its cache entries)."""
+        if self.workload is None:
+            out = AnalysisRequest(
+                source=self.source,
+                program_name=self.program_name or "program",
+                inputs=self.inputs or [], options=self.options)
+            return out
+        from ..workloads import get
+        w = get(self.workload)
+        inputs = self.inputs if self.inputs is not None else list(w.inputs)
+        return AnalysisRequest(source=w.source, program_name=w.name,
+                               inputs=inputs, options=self.options)
+
+    def key(self) -> str:
+        r = self.resolved()
+        return artifact_key(r.source, r.program_name, r.inputs, r.options)
+
+    # -- (de)serialization for process-pool transfer and the HTTP API ------
+    def to_dict(self) -> Dict:
+        return {"workload": self.workload, "source": self.source,
+                "program_name": self.program_name, "inputs": self.inputs,
+                "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "AnalysisRequest":
+        return cls(data.get("workload"), source=data.get("source"),
+                   program_name=data.get("program_name"),
+                   inputs=data.get("inputs"),
+                   options=data.get("options"))
+
+    def describe(self) -> str:
+        return self.workload or self.program_name or "<source>"
+
+    def __repr__(self):
+        return f"AnalysisRequest({self.describe()})"
+
+
+# -- executing a request ------------------------------------------------------
+
+def execute_request(request: AnalysisRequest) -> Dict:
+    """Run the full Explorer pipeline for one request.
+
+    Pure in the sense that matters for caching and batching: output is a
+    function of the request content only, and every field is plain JSON.
+    """
+    _maybe_inject_fault(request.options)
+    r = request.resolved()
+    from ..ir import build_program
+    from ..runtime.machine import MACHINES
+    from ..explorer.session import ExplorerSession
+
+    machine_name = r.options.get("machine", "alphaserver")
+    try:
+        machine = MACHINES[machine_name]
+    except KeyError:
+        raise ValueError(f"unknown machine {machine_name!r}; choose from "
+                         f"{sorted(MACHINES)}") from None
+    program = build_program(r.source, r.program_name)
+    session = ExplorerSession(
+        program, inputs=r.inputs, machine=machine,
+        use_liveness=bool(r.options.get("use_liveness", True)),
+        engine=r.options.get("engine", "compiled"))
+    session.run_automatic()
+
+    outcomes = []
+    if r.options.get("assertions") and request.workload is not None:
+        from ..workloads import get
+        w = get(request.workload)
+        if w.user_assertions:
+            checked, _result = session.apply_assertions(w.user_assertions)
+            outcomes = [{"assertion": str(o.assertion),
+                         "accepted": o.accepted,
+                         "warnings": list(o.warnings),
+                         "errors": list(o.errors)} for o in checked]
+
+    artifact = session_snapshot(session)
+    artifact["request"] = {"program": r.program_name,
+                           "workload": request.workload,
+                           "inputs": r.inputs,
+                           "options": r.options,
+                           "schema": SCHEMA_VERSION}
+    if outcomes:
+        artifact["assertion_outcomes"] = outcomes
+    return artifact
+
+
+def session_snapshot(session,
+                     max_slice_targets: int = MAX_SLICE_TARGETS) -> Dict:
+    """Flatten a finished :class:`ExplorerSession` into plain JSON dicts:
+    plan, profiles, dyndep summary, Guru report, target slices, and the
+    simulated parallel-execution result."""
+    program = session.program
+    names = {loop.stmt_id: loop.name for loop in program.all_loops()}
+
+    plan: Dict[str, Dict] = {}
+    for loop in program.all_loops():
+        lp = session.plan.loops.get(loop.stmt_id)
+        if lp is None:
+            continue
+        plan[loop.name] = {
+            "parallel": lp.parallel,
+            "contains_io": lp.contains_io,
+            "blockers": sorted(lp.blockers),
+            "vars": {vp.display_name: {"status": vp.status,
+                                       "reason": vp.reason or ""}
+                     for vp in lp.vars.values()},
+        }
+
+    profiles = {}
+    for prof in session.profiler.executed_loops():
+        profiles[prof.name] = {"total_ops": prof.total_ops,
+                               "invocations": prof.invocations,
+                               "iterations": prof.iterations}
+
+    dyndep = {
+        "carried": {names.get(lid, str(lid)): count
+                    for lid, count in session.dyndep.carried.items()},
+        "witnesses": {names.get(lid, str(lid)): sorted(pairs)
+                      for lid, pairs in session.dyndep.witnesses.items()},
+    }
+
+    guru_rows = {}
+    for report in session.guru.all_reports():
+        guru_rows[report.name] = {
+            "parallel": report.parallel,
+            "executed": report.executed,
+            "important": report.important,
+            "under_parallel": report.under_parallel,
+            "interprocedural": report.interprocedural,
+            "coverage": report.coverage,
+            "granularity_ms": report.granularity_ms,
+            "dynamic_deps": report.dynamic_deps,
+            "static_deps": report.static_deps,
+        }
+
+    slices: Dict[str, Dict] = {}
+    for report in session.guru.targets()[:max_slice_targets]:
+        per_var: Dict[str, Dict] = {}
+        for ds in session.slices_for(report.loop):
+            per_var[ds.var.display_name] = {
+                "program": ds.program_slice.line_count(),
+                "control": ds.control_slice.line_count(),
+                "program_cr": ds.program_slice_cr.line_count(),
+                "control_cr": ds.control_slice_cr.line_count(),
+                "program_ar": ds.program_slice_ar.line_count(),
+                "control_ar": ds.control_slice_ar.line_count(),
+            }
+        slices[report.name] = per_var
+
+    result = session.result
+    return {
+        "program": {"name": program.name,
+                    "lines": program.total_lines(),
+                    "loops": len(program.all_loops()),
+                    "procedures": sorted(program.procedures)},
+        "plan": plan,
+        "profiles": profiles,
+        "total_ops": session.profiler.total_ops,
+        "dyndep": dyndep,
+        "guru": {"rows": guru_rows,
+                 "targets": [r.name for r in session.guru.targets()],
+                 "strategy": session.guru.strategy_lines()},
+        "slices": slices,
+        "metrics": {"coverage": session.coverage(),
+                    "granularity_ms": session.granularity_ms()},
+        "execution": {"speedup": result.speedup,
+                      "coverage": result.coverage,
+                      "granularity_ms": result.granularity_ms(),
+                      "seq_ops": result.seq_ops,
+                      "par_ops": result.par_ops,
+                      "processors": result.machine.processors,
+                      "machine": result.machine.name,
+                      "outputs": [float(v) for v in result.outputs]},
+        "summary": session.summary_lines(),
+    }
+
+
+def _maybe_inject_fault(options: Dict) -> None:
+    """Crash-injection hook for exercising the scheduler's worker-crash
+    retry path (``options["fault"] = "crash-once:<marker-path>"``): the
+    first execution of the request hard-kills the worker process; the
+    retry finds the marker file and proceeds normally."""
+    fault = options.get("fault")
+    if not fault or not str(fault).startswith("crash-once:"):
+        return
+    import os
+    marker = str(fault).split(":", 1)[1]
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("crashed")
+        os._exit(17)            # simulate a hard worker crash
+
+
+# -- the job record -----------------------------------------------------------
+
+_job_counter = itertools.count(1)
+
+
+class Job:
+    """One request moving through the scheduler lifecycle."""
+
+    __slots__ = ("id", "request", "key", "state", "error", "attempts",
+                 "created_at", "started_at", "finished_at", "cached",
+                 "done_event")
+
+    def __init__(self, request: AnalysisRequest, key: str):
+        self.id = f"job-{next(_job_counter):06d}"
+        self.request = request
+        self.key = key
+        self.state = SUBMITTED
+        self.error: Optional[str] = None
+        self.attempts = 0
+        self.created_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.cached = False          # served straight from the store
+        self.done_event = threading.Event()
+
+    # -- transitions (scheduler holds its lock around these) ----------------
+    def mark_queued(self) -> None:
+        self.state = QUEUED
+
+    def mark_running(self) -> None:
+        self.state = RUNNING
+        self.attempts += 1
+        if self.started_at is None:
+            self.started_at = time.time()
+
+    def mark_done(self, *, cached: bool = False) -> None:
+        self.state = DONE
+        self.cached = cached
+        self.finished_at = time.time()
+        self.done_event.set()
+
+    def mark_failed(self, error: str) -> None:
+        self.state = FAILED
+        self.error = error
+        self.finished_at = time.time()
+        self.done_event.set()
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self.done_event.wait(timeout)
+
+    def to_dict(self) -> Dict:
+        return {
+            "id": self.id,
+            "target": self.request.describe(),
+            "key": self.key,
+            "state": self.state,
+            "error": self.error,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    def __repr__(self):
+        return f"Job({self.id} {self.request.describe()} {self.state})"

@@ -1,0 +1,114 @@
+"""Service observability: thread-safe counters, gauges, and phase timers.
+
+Every component of the analysis service (artifact store, batch scheduler,
+HTTP server) reports into one :class:`ServiceMetrics` instance, so a
+single ``GET /metrics`` answer tells an operator the cache hit-rate, the
+queue depth, how many jobs were served, and where the latency goes
+(per-phase timers).  Everything is stdlib + a single lock; the service is
+I/O- and fork-bound, so the lock is never contended enough to matter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+
+class _Timer:
+    """Aggregated latency accounting for one named phase."""
+
+    __slots__ = ("count", "total_s", "max_s")
+
+    def __init__(self):
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        self.max_s = max(self.max_s, seconds)
+
+    def to_dict(self) -> Dict:
+        mean = self.total_s / self.count if self.count else 0.0
+        return {"count": self.count,
+                "total_s": round(self.total_s, 6),
+                "mean_s": round(mean, 6),
+                "max_s": round(self.max_s, 6)}
+
+
+class ServiceMetrics:
+    """Counters / gauges / timers shared by the whole service."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, _Timer] = {}
+        self._started = time.time()
+
+    # -- writers -----------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def adjust_gauge(self, name: str, delta: float) -> None:
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0.0) + delta
+
+    def observe(self, phase: str, seconds: float) -> None:
+        with self._lock:
+            timer = self._timers.get(phase)
+            if timer is None:
+                timer = self._timers[phase] = _Timer()
+            timer.observe(seconds)
+
+    def time_phase(self, phase: str) -> "_PhaseContext":
+        """``with metrics.time_phase("execute"): ...``"""
+        return _PhaseContext(self, phase)
+
+    # -- readers -----------------------------------------------------------
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            timers = {k: t.to_dict() for k, t in self._timers.items()}
+        hits = counters.get("cache_hits", 0)
+        misses = counters.get("cache_misses", 0)
+        looked = hits + misses
+        return {
+            "uptime_s": round(time.time() - self._started, 3),
+            "counters": counters,
+            "gauges": gauges,
+            "timers": timers,
+            "cache_hit_rate": round(hits / looked, 4) if looked else 0.0,
+        }
+
+
+class _PhaseContext:
+    __slots__ = ("metrics", "phase", "_t0")
+
+    def __init__(self, metrics: ServiceMetrics, phase: str):
+        self.metrics = metrics
+        self.phase = phase
+        self._t0: Optional[float] = None
+
+    def __enter__(self) -> "_PhaseContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.metrics.observe(self.phase, time.perf_counter() - self._t0)
+
+
+#: Default metrics sink for components constructed without an explicit one.
+NULL_METRICS = ServiceMetrics()

@@ -1,0 +1,220 @@
+"""Process-pool batch scheduler for analysis requests.
+
+Astrée-style observation (Monniaux, cs/0701191): static-analysis
+pipelines fan out cleanly across workers when each unit of work is a
+pure function of its inputs and results merge deterministically.  Each
+:class:`~repro.service.jobs.AnalysisRequest` here is exactly that, so the
+scheduler can:
+
+* fan requests across a ``concurrent.futures.ProcessPoolExecutor``,
+* **dedupe** identical in-flight requests (same content key → same Job),
+* serve repeats straight from the :class:`ArtifactStore`,
+* **retry** jobs whose worker process died (``BrokenProcessPool``) on a
+  rebuilt pool, up to ``max_retries`` attempts,
+* stay **deterministic**: a batch produces artifacts bit-identical to
+  running the same requests sequentially in one process, regardless of
+  worker count or completion order (results are keyed, not ordered).
+
+``inline=True`` bypasses the pool and executes synchronously in-process —
+the reference behaviour the determinism tests compare against, and the
+sensible mode on single-core hosts.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from .artifacts import ArtifactStore
+from .jobs import AnalysisRequest, Job, execute_request
+from .metrics import NULL_METRICS, ServiceMetrics
+
+
+def _pool_worker(request_dict: Dict) -> Dict:
+    """Top-level (picklable) worker entry point."""
+    return execute_request(AnalysisRequest.from_dict(request_dict))
+
+
+class BatchScheduler:
+    """Submit/queue/run/done-or-failed job management over a process pool."""
+
+    def __init__(self, store: Optional[ArtifactStore] = None, *,
+                 metrics: ServiceMetrics = NULL_METRICS,
+                 workers: Optional[int] = None,
+                 max_retries: int = 2,
+                 inline: bool = False):
+        self.store = store if store is not None else ArtifactStore(None)
+        self.metrics = metrics
+        self.workers = workers
+        self.max_retries = max_retries
+        self.inline = inline
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._jobs: Dict[str, Job] = {}          # job id -> Job
+        self._inflight: Dict[str, Job] = {}      # artifact key -> Job
+        self._shutdown = False
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _get_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool so the next dispatch builds a fresh one."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._shutdown = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- submission --------------------------------------------------------
+    def submit(self, request: AnalysisRequest) -> Job:
+        """Submit a request; returns a (possibly shared or already-done)
+        Job.  Identical in-flight requests dedupe onto one Job; identical
+        finished requests are served from the artifact store."""
+        key = request.key()      # resolves the corpus; may raise KeyError
+        cached = self.store.get(key)
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.metrics.incr("jobs_deduped")
+                return existing
+            job = Job(request, key)
+            self._jobs[job.id] = job
+            if cached is None:
+                self._inflight[key] = job
+                job.mark_queued()
+        self.metrics.incr("jobs_submitted")
+        if cached is not None:
+            job.mark_done(cached=True)
+            self.metrics.incr("jobs_served_cached")
+            return job
+        self._update_queue_gauge()
+        if self.inline:
+            self._run_inline(job)
+        else:
+            self._dispatch(job)
+        return job
+
+    def batch(self, requests: Sequence[AnalysisRequest],
+              timeout: Optional[float] = None) -> List[Optional[Dict]]:
+        """Submit all requests, wait, and return their artifacts in
+        request order (None for failed jobs)."""
+        jobs = [self.submit(r) for r in requests]
+        self.wait(jobs, timeout=timeout)
+        return [self.artifact(job) for job in jobs]
+
+    # -- execution ---------------------------------------------------------
+    def _run_inline(self, job: Job) -> None:
+        job.mark_running()
+        try:
+            with self.metrics.time_phase("execute"):
+                artifact = execute_request(job.request)
+        except Exception as exc:               # noqa: BLE001
+            self._finish_failed(job, exc)
+        else:
+            self._finish_done(job, artifact)
+
+    def _dispatch(self, job: Job) -> None:
+        job.mark_running()
+        try:
+            pool = self._get_pool()
+            future = pool.submit(_pool_worker, job.request.to_dict())
+        except (BrokenExecutor, RuntimeError) as exc:
+            self._handle_crash(job, exc)
+            return
+        future.add_done_callback(lambda f, j=job: self._on_done(j, f))
+
+    def _on_done(self, job: Job, future) -> None:
+        if job.finished:        # a pool-wide breakage already handled it
+            return
+        exc = future.exception()
+        if exc is None:
+            self._finish_done(job, future.result())
+        elif isinstance(exc, BrokenExecutor):
+            self._handle_crash(job, exc)
+        else:
+            self._finish_failed(job, exc)
+
+    def _handle_crash(self, job: Job, exc: Exception) -> None:
+        """A worker process died mid-job: rebuild the pool and retry."""
+        self._discard_pool()
+        self.metrics.incr("worker_crashes")
+        if job.attempts <= self.max_retries and not self._shutdown:
+            self.metrics.incr("jobs_retried")
+            self._dispatch(job)
+        else:
+            self._finish_failed(job, exc)
+
+    def _finish_done(self, job: Job, artifact: Dict) -> None:
+        self.store.put(job.key, artifact)
+        with self._lock:
+            self._inflight.pop(job.key, None)
+        job.mark_done()
+        self.metrics.incr("jobs_completed")
+        if job.started_at is not None:
+            self.metrics.observe("job_latency",
+                                 job.finished_at - job.started_at)
+        self._update_queue_gauge()
+
+    def _finish_failed(self, job: Job, exc: Exception) -> None:
+        with self._lock:
+            self._inflight.pop(job.key, None)
+        job.mark_failed(f"{type(exc).__name__}: {exc}")
+        self.metrics.incr("jobs_failed")
+        self._update_queue_gauge()
+
+    def _update_queue_gauge(self) -> None:
+        with self._lock:
+            depth = len(self._inflight)
+        self.metrics.gauge("queue_depth", depth)
+
+    # -- queries -----------------------------------------------------------
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    def artifact(self, job: Job) -> Optional[Dict]:
+        if job.state != "done":
+            return None
+        return self.store.get(job.key)
+
+    def wait(self, jobs: Sequence[Job],
+             timeout: Optional[float] = None) -> bool:
+        """Block until every job finished; False on timeout."""
+        import time as _time
+        deadline = None if timeout is None else _time.time() + timeout
+        for job in jobs:
+            remain = None
+            if deadline is not None:
+                remain = max(0.0, deadline - _time.time())
+            if not job.wait(remain):
+                return False
+        return True
+
+
+def run_sequential(requests: Sequence[AnalysisRequest]) -> List[Dict]:
+    """The sequential reference: execute each request in this process.
+    Batch results must be bit-identical to this (determinism contract)."""
+    return [execute_request(r) for r in requests]

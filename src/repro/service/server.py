@@ -1,0 +1,212 @@
+"""Stdlib-only HTTP serving layer: many clients, one warm cache.
+
+A ``ThreadingHTTPServer`` JSON API in front of the batch scheduler and
+artifact store::
+
+    POST /jobs              {"workload": "mdg", "options": {...}}
+                            -> 202 {"job": {...}}   (dedupes / cache-serves)
+    GET  /jobs              -> {"jobs": [...]}
+    GET  /jobs/<id>         -> {"job": {...}, "artifact_ready": bool}
+    GET  /artifacts/<key>   -> the analysis artifact JSON
+    GET  /corpus            -> {"workloads": [{name, description, ...}]}
+    GET  /metrics           -> counters / gauges / timers / cache hit-rate
+    GET  /healthz           -> {"ok": true}
+
+The handler threads only touch thread-safe components (scheduler,
+store, metrics), so concurrent clients share one warm cache; analysis
+itself runs in the scheduler's worker processes, never in a handler.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from .artifacts import ArtifactStore
+from .jobs import AnalysisRequest
+from .metrics import ServiceMetrics
+from .scheduler import BatchScheduler
+
+_MAX_BODY = 4 * 1024 * 1024      # 4 MiB request-body cap
+
+
+class AnalysisService:
+    """The shared state behind the HTTP handlers."""
+
+    def __init__(self, *, cache_dir: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 inline: bool = False,
+                 store: Optional[ArtifactStore] = None,
+                 scheduler: Optional[BatchScheduler] = None,
+                 metrics: Optional[ServiceMetrics] = None):
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.store = store if store is not None else \
+            ArtifactStore(cache_dir, metrics=self.metrics)
+        self.scheduler = scheduler if scheduler is not None else \
+            BatchScheduler(self.store, metrics=self.metrics,
+                           workers=workers, inline=inline)
+
+    # -- routes ------------------------------------------------------------
+    def handle_get(self, path: str) -> Tuple[int, Dict]:
+        parts = [p for p in path.split("/") if p]
+        if parts == ["healthz"]:
+            return 200, {"ok": True}
+        if parts == ["metrics"]:
+            snap = self.metrics.snapshot()
+            snap["store"] = self.store.stats()
+            return 200, snap
+        if parts == ["corpus"]:
+            return 200, {"workloads": _corpus_listing()}
+        if parts == ["jobs"]:
+            return 200, {"jobs": [j.to_dict()
+                                  for j in self.scheduler.jobs()]}
+        if len(parts) == 2 and parts[0] == "jobs":
+            job = self.scheduler.job(parts[1])
+            if job is None:
+                return 404, {"error": f"no job {parts[1]!r}"}
+            return 200, {"job": job.to_dict(),
+                         "artifact_ready": job.state == "done"}
+        if len(parts) == 2 and parts[0] == "artifacts":
+            artifact = self.store.get(parts[1])
+            if artifact is None:
+                return 404, {"error": f"no artifact {parts[1]!r}"}
+            return 200, artifact
+        return 404, {"error": f"no route GET {path!r}"}
+
+    def handle_post(self, path: str, body: Dict) -> Tuple[int, Dict]:
+        parts = [p for p in path.split("/") if p]
+        if parts == ["jobs"]:
+            try:
+                request = AnalysisRequest(
+                    body.get("workload"), source=body.get("source"),
+                    program_name=body.get("program_name"),
+                    inputs=body.get("inputs"),
+                    options=body.get("options"))
+                job = self.scheduler.submit(request)
+            except (KeyError, ValueError, TypeError) as exc:
+                return 400, {"error": str(exc)}
+            return 202, {"job": job.to_dict()}
+        return 404, {"error": f"no route POST {path!r}"}
+
+    def close(self) -> None:
+        self.scheduler.shutdown()
+
+
+def _corpus_listing() -> list:
+    from ..workloads import ALL
+    return [{"name": w.name,
+             "description": w.description,
+             "lines": w.line_count(),
+             "inputs": list(w.inputs),
+             "assertions": len(w.user_assertions),
+             "tags": list(w.tags)}
+            for _, w in sorted(ALL.items())]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: AnalysisService = None      # set by make_server
+    quiet = True
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, fmt, *args):   # noqa: A003
+        if not self.quiet:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _reply(self, status: int, payload: Dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    # -- verbs -------------------------------------------------------------
+    def do_GET(self) -> None:            # noqa: N802
+        self.service.metrics.incr("http_requests")
+        with self.service.metrics.time_phase("http_get"):
+            try:
+                status, payload = self.service.handle_get(
+                    self.path.split("?", 1)[0])
+            except Exception as exc:     # noqa: BLE001
+                status, payload = 500, {"error": f"{type(exc).__name__}: "
+                                                 f"{exc}"}
+        self._reply(status, payload)
+
+    def do_POST(self) -> None:           # noqa: N802
+        self.service.metrics.incr("http_requests")
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            self._reply(413, {"error": "request body too large"})
+            return
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw.decode("utf-8") or "{}")
+            if not isinstance(body, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._reply(400, {"error": f"bad JSON body: {exc}"})
+            return
+        with self.service.metrics.time_phase("http_post"):
+            try:
+                status, payload = self.service.handle_post(
+                    self.path.split("?", 1)[0], body)
+            except Exception as exc:     # noqa: BLE001
+                status, payload = 500, {"error": f"{type(exc).__name__}: "
+                                                 f"{exc}"}
+        self._reply(status, payload)
+
+
+class AnalysisServer:
+    """A ThreadingHTTPServer bound to an :class:`AnalysisService`.
+
+    ``port=0`` binds an ephemeral port (tests, smoke script); use
+    :meth:`start` for a background thread or :meth:`serve_forever` to
+    block (the ``repro serve`` CLI)."""
+
+    def __init__(self, service: Optional[AnalysisService] = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 quiet: bool = True, **service_kwargs):
+        self.service = service if service is not None else \
+            AnalysisService(**service_kwargs)
+        handler = type("BoundHandler", (_Handler,),
+                       {"service": self.service, "quiet": quiet})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AnalysisServer":
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        name="analysis-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self.service.close()
+
+    def __enter__(self) -> "AnalysisServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -25,7 +25,11 @@ for _w in (CHAPTER4 + CHAPTER5 + CHAPTER6
 
 
 def get(name: str) -> Workload:
-    return ALL[name]
+    try:
+        return ALL[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; choose from "
+                       f"{', '.join(sorted(ALL))}") from None
 
 
 def by_tag(tag: str) -> List[Workload]:

@@ -87,3 +87,38 @@ def test_compile_command(tmp_path, capsys):
     exec(compile(out_file.read_text(), str(out_file), "exec"), ns)
     result = ns["run"]([])
     assert result and isinstance(result[0], float)
+
+
+def test_unknown_target_lists_workloads(capsys):
+    """`repro run nosuch.f` must explain itself, not FileNotFoundError."""
+    with pytest.raises(SystemExit) as err:
+        main(["run", "no-such-file.f"])
+    assert "mdg" in str(err.value)
+    assert "neither a file nor a corpus workload" in str(err.value)
+
+
+def test_batch_command_sequential(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["batch", "ora", "track", "--sequential",
+                 "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "ora" in out and "computed" in out and "speedup" in out
+    # second run over the same cache dir is served from disk
+    assert main(["batch", "ora", "track", "--sequential",
+                 "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "cached" in out and "computed" not in out
+
+
+def test_batch_command_unknown_name():
+    with pytest.raises(SystemExit) as err:
+        main(["batch", "nope"])
+    assert "unknown workload" in str(err.value)
+
+
+def test_batch_command_json(capsys):
+    import json
+    assert main(["batch", "ora", "--sequential", "--json"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert payload["ora"]["execution"]["speedup"] > 1.0

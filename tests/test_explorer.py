@@ -128,3 +128,25 @@ def test_checker_unknown_loop_rejected():
     checker = AssertionChecker(prog)
     outcomes = checker.check([Assertion("nosuch/1", "x", "privatizable")])
     assert not outcomes[0].accepted
+
+
+def test_session_queries_before_run_raise_clear_error():
+    """slices_for/coverage/granularity_ms used to die with an opaque
+    AttributeError on None when called before run_automatic()
+    (PR-2 satellite regression test)."""
+    from repro.workloads import get
+    w = get("ora")
+    prog = w.build()
+    sess = ExplorerSession(prog, inputs=w.inputs)
+    loop = prog.all_loops()[0]
+    with pytest.raises(RuntimeError, match=r"run_automatic\(\) first"):
+        sess.coverage()
+    with pytest.raises(RuntimeError, match=r"run_automatic\(\) first"):
+        sess.granularity_ms()
+    with pytest.raises(RuntimeError, match=r"run_automatic\(\) first"):
+        sess.slices_for(loop)
+    # after phase 1 the same queries succeed
+    sess.run_automatic()
+    assert sess.coverage() >= 0.0
+    assert sess.granularity_ms() >= 0.0
+    assert isinstance(sess.slices_for(loop), list)

@@ -1,0 +1,282 @@
+"""The analysis service: artifact store, job scheduler, HTTP server.
+
+Covers the PR-2 contracts: content-addressed keying (any change to
+source / inputs / options / schema version misses), corruption
+tolerance (truncated disk entry → recompute, never crash), in-flight
+dedupe, worker-crash retry, and the determinism guarantee (process-pool
+batch artifacts bit-identical to sequential in-process runs over ≥5
+corpus workloads).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.service import (AnalysisRequest, AnalysisServer, ArtifactStore,
+                           BatchScheduler, ServiceMetrics, artifact_key,
+                           canonical_json, execute_request, run_sequential)
+
+#: Small corpus entries (sub-second each) used throughout.
+SMALL = ["ora", "track", "ear", "doduc", "dyfesm"]
+
+SRC = """
+      PROGRAM tiny
+      DIMENSION a(40)
+      DO 10 i = 1, 40
+        a(i) = i * 2.0
+10    CONTINUE
+      s = 0.0
+      DO 20 i = 1, 40
+        s = s + a(i)
+20    CONTINUE
+      PRINT *, s
+      END
+"""
+
+
+# -- content addressing -------------------------------------------------------
+
+def test_key_is_stable_for_identical_requests():
+    assert AnalysisRequest("ora").key() == AnalysisRequest("ora").key()
+    a = AnalysisRequest(source=SRC, program_name="tiny").key()
+    b = AnalysisRequest(source=SRC, program_name="tiny").key()
+    assert a == b
+
+
+def test_key_changes_with_source_inputs_options_and_schema():
+    base = artifact_key(SRC, "tiny", [1.0], {"engine": "compiled"})
+    assert base != artifact_key(SRC + "\nC x", "tiny", [1.0],
+                                {"engine": "compiled"})
+    assert base != artifact_key(SRC, "tiny", [2.0], {"engine": "compiled"})
+    assert base != artifact_key(SRC, "tiny", [1.0], {"engine": "tree"})
+    assert base != artifact_key(SRC, "tiny", [1.0], {"engine": "compiled"},
+                                schema_version=999)
+
+
+def test_request_requires_exactly_one_target():
+    with pytest.raises(ValueError):
+        AnalysisRequest()
+    with pytest.raises(ValueError):
+        AnalysisRequest("ora", source=SRC)
+
+
+def test_unknown_workload_raises_helpful_keyerror():
+    with pytest.raises(KeyError, match="choose from.*mdg"):
+        AnalysisRequest("no-such-workload").key()
+
+
+# -- artifact store -----------------------------------------------------------
+
+def test_store_round_trip_memory_and_disk(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("ab" * 32, {"x": 1})
+    assert store.get("ab" * 32) == {"x": 1}          # memory hit
+    store.clear_memory()
+    assert store.get("ab" * 32) == {"x": 1}          # disk hit
+    assert store.get("cd" * 32) is None              # miss
+    assert ("ab" * 32) in store and len(store) == 1
+
+
+def test_store_invalidation(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("ab" * 32, {"x": 1})
+    assert store.invalidate("ab" * 32)
+    assert store.get("ab" * 32) is None
+    assert not store.invalidate("ab" * 32)           # already gone
+
+
+def test_store_tolerates_truncated_disk_entry(tmp_path):
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path, metrics=metrics)
+    key = "ab" * 32
+    store.put(key, {"x": 1})
+    store.clear_memory()
+    path, = list(tmp_path.glob("*/*.json"))
+    path.write_text(path.read_text()[:17])           # simulate torn write
+    assert store.get(key) is None                    # miss, not a crash
+    assert metrics.counter("cache_corrupt") == 1
+    assert not path.exists()                         # quarantined
+    store.put(key, {"x": 2})                         # recompute path works
+    assert store.get(key) == {"x": 2}
+
+
+def test_store_memory_lru_is_bounded():
+    store = ArtifactStore(None, memory_capacity=2)   # memory-only
+    for i in range(3):
+        store.put(f"k{i}" * 16, {"i": i})
+    assert store.get("k0" * 16) is None              # evicted
+    assert store.get("k2" * 16) == {"i": 2}
+
+
+# -- executing requests -------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def ora_artifact():
+    return execute_request(AnalysisRequest("ora"))
+
+
+def test_artifact_contains_every_product(ora_artifact):
+    art = ora_artifact
+    assert set(art) >= {"program", "plan", "profiles", "dyndep", "guru",
+                        "slices", "metrics", "execution", "summary",
+                        "request"}
+    assert art["execution"]["speedup"] > 1.0
+    assert art["program"]["name"] == "ora"
+    assert any(row["parallel"] for row in art["plan"].values())
+    json.dumps(art)                                  # fully serializable
+
+
+def test_artifact_is_deterministic(ora_artifact):
+    again = execute_request(AnalysisRequest("ora"))
+    assert canonical_json(again) == canonical_json(ora_artifact)
+
+
+def test_execute_rejects_unknown_machine():
+    with pytest.raises(ValueError, match="unknown machine"):
+        execute_request(AnalysisRequest("ora",
+                                        options={"machine": "cray"}))
+
+
+# -- scheduler ----------------------------------------------------------------
+
+def test_scheduler_serves_repeats_from_cache(tmp_path):
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path, metrics=metrics)
+    with BatchScheduler(store, metrics=metrics, inline=True) as sched:
+        first = sched.submit(AnalysisRequest("ora"))
+        second = sched.submit(AnalysisRequest("ora"))
+    assert first.state == "done" and not first.cached
+    assert second.state == "done" and second.cached
+    assert metrics.counter("jobs_served_cached") == 1
+
+
+def test_scheduler_dedupes_identical_inflight_requests(monkeypatch):
+    metrics = ServiceMetrics()
+    sched = BatchScheduler(ArtifactStore(None), metrics=metrics)
+    monkeypatch.setattr(sched, "_dispatch", lambda job: None)  # hold queued
+    a = sched.submit(AnalysisRequest("ora"))
+    b = sched.submit(AnalysisRequest("ora"))
+    assert a is b
+    assert metrics.counter("jobs_deduped") == 1
+    assert metrics.counter("jobs_submitted") == 1
+    sched._finish_done(a, {"stub": True})            # release
+    c = sched.submit(AnalysisRequest("ora"))
+    assert c is not a and c.cached
+
+
+def test_scheduler_marks_bad_source_failed():
+    with BatchScheduler(ArtifactStore(None), inline=True) as sched:
+        job = sched.submit(AnalysisRequest(source="THIS IS NOT FORTRAN",
+                                           program_name="bad"))
+        arts = [sched.artifact(job)]
+    assert job.state == "failed"
+    assert job.error
+    assert arts == [None]
+
+
+def test_scheduler_retries_after_worker_crash(tmp_path):
+    marker = tmp_path / "crash-marker"
+    metrics = ServiceMetrics()
+    with BatchScheduler(ArtifactStore(None), metrics=metrics,
+                        workers=1) as sched:
+        job = sched.submit(AnalysisRequest(
+            "ora", options={"fault": f"crash-once:{marker}"}))
+        assert job.wait(120)
+    assert job.state == "done"
+    assert job.attempts == 2
+    assert metrics.counter("worker_crashes") == 1
+    assert metrics.counter("jobs_retried") == 1
+
+
+def test_job_lifecycle_dict():
+    with BatchScheduler(ArtifactStore(None), inline=True) as sched:
+        job = sched.submit(AnalysisRequest("ora"))
+    d = job.to_dict()
+    assert d["state"] == "done" and d["target"] == "ora"
+    assert d["attempts"] == 1 and d["error"] is None
+    assert len(d["key"]) == 64
+
+
+# -- the determinism contract -------------------------------------------------
+
+def test_pool_batch_bit_identical_to_sequential(tmp_path):
+    """≥5 corpus workloads through the process pool == sequential runs."""
+    requests = [AnalysisRequest(name) for name in SMALL]
+    with BatchScheduler(ArtifactStore(tmp_path), workers=2) as sched:
+        batch = sched.batch(requests, timeout=300)
+    sequential = run_sequential([AnalysisRequest(n) for n in SMALL])
+    assert all(batch)
+    for name, got, want in zip(SMALL, batch, sequential):
+        assert canonical_json(got) == canonical_json(want), \
+            f"{name}: batch artifact drifted from the sequential oracle"
+
+
+def test_warm_batch_is_all_cache_hits(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with BatchScheduler(store, inline=True) as sched:
+        sched.batch([AnalysisRequest(n) for n in SMALL[:2]])
+    metrics = ServiceMetrics()
+    warm_store = ArtifactStore(tmp_path, metrics=metrics)   # fresh LRU
+    with BatchScheduler(warm_store, metrics=metrics, inline=True) as sched:
+        jobs = [sched.submit(AnalysisRequest(n)) for n in SMALL[:2]]
+    assert all(j.cached for j in jobs)
+    assert metrics.counter("cache_misses") == 0
+
+
+# -- HTTP server --------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def server():
+    with AnalysisServer(inline=True) as srv:       # port 0 → ephemeral
+        yield srv
+
+
+def _call(server, method, path, body=None):
+    import urllib.error
+    import urllib.request
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(server.url + path, data=data,
+                                 method=method,
+                                 headers={"Content-Type":
+                                          "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_server_job_round_trip(server):
+    status, out = _call(server, "POST", "/jobs", {"workload": "ora"})
+    assert status == 202
+    job = out["job"]
+    status, out = _call(server, "GET", f"/jobs/{job['id']}")
+    assert status == 200 and out["job"]["state"] == "done"
+    status, art = _call(server, "GET", f"/artifacts/{job['key']}")
+    assert status == 200 and art["execution"]["speedup"] > 1.0
+    # a second client asking the same question is served from the cache
+    status, out = _call(server, "POST", "/jobs", {"workload": "ora"})
+    assert status == 202 and out["job"]["cached"]
+
+
+def test_server_corpus_and_metrics(server):
+    status, out = _call(server, "GET", "/corpus")
+    assert status == 200
+    names = {w["name"] for w in out["workloads"]}
+    assert {"mdg", "hydro", "ora"} <= names
+    status, out = _call(server, "GET", "/metrics")
+    assert status == 200
+    assert "cache_hit_rate" in out and "counters" in out
+    status, out = _call(server, "GET", "/healthz")
+    assert status == 200 and out["ok"]
+
+
+def test_server_error_paths(server):
+    assert _call(server, "GET", "/jobs/job-999999")[0] == 404
+    assert _call(server, "GET", "/artifacts/" + "0" * 64)[0] == 404
+    assert _call(server, "GET", "/no/such/route")[0] == 404
+    status, out = _call(server, "POST", "/jobs", {"workload": "nope"})
+    assert status == 400 and "unknown workload" in out["error"]
+    status, out = _call(server, "POST", "/jobs", {})
+    assert status == 400

@@ -137,3 +137,13 @@ def test_spec77_interprocedural_reduction():
     for vp in reds:
         names.update(vp.display_name.split("/"))
     assert {"fl", "emean"} <= names
+
+
+def test_corpus_get_unknown_name_lists_choices():
+    """A bare KeyError is useless at the CLI; the registry must name the
+    available workloads (PR-2 satellite)."""
+    with pytest.raises(KeyError) as err:
+        get("no-such-program")
+    message = str(err.value)
+    assert "no-such-program" in message
+    assert "mdg" in message and "hydro2d" in message
