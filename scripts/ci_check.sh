@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The one-command CI gate: everything a change must pass before merging.
+#
+#   bash scripts/ci_check.sh
+#
+# Runs, in order:
+#   1. the tier-1 pytest suite (correctness, soundness fuzzing,
+#      service determinism, observability contracts),
+#   2. the engine performance gate (ops/sec vs the committed
+#      BENCH_engine.json baseline; also enforces the compiled engine's
+#      2x-over-tree contract),
+#   3. the end-to-end HTTP service smoke test (submit / poll /
+#      artifact / cache-repeat / metrics).
+#
+# Any failure stops the script with a nonzero exit.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== [1/3] tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== [2/3] engine performance gate =="
+python scripts/perf_check.py
+
+echo "== [3/3] service smoke test =="
+python scripts/serve_smoke.py
+
+echo "== ci_check: all gates passed =="

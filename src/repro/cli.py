@@ -12,7 +12,10 @@ Commands mirror the Explorer workflow on mini-Fortran source files:
 * ``compile``     — transpile to a self-contained Python module,
 * ``batch``       — run many workloads through the cached process-pool
   scheduler (``repro batch`` = the full corpus),
-* ``serve``       — the multi-client analysis service over HTTP.
+* ``serve``       — the multi-client analysis service over HTTP,
+* ``trace``       — run the full pipeline under the tracer and print the
+  span tree (or export Chrome ``trace_event`` JSON for
+  ``chrome://tracing`` / Perfetto).
 
 Workload names from the corpus (e.g. ``mdg``) may be given instead of a
 file path.
@@ -182,9 +185,14 @@ def cmd_batch(args) -> int:
     requests = [AnalysisRequest(name, options=options) for name in names]
     metrics = ServiceMetrics()
     store = ArtifactStore(args.cache_dir, metrics=metrics)
+    tracer = None
+    if getattr(args, "trace", None):
+        from .obs import Tracer
+        tracer = Tracer()
     t0 = time.perf_counter()
     with BatchScheduler(store, metrics=metrics, workers=args.workers,
-                        inline=args.sequential) as scheduler:
+                        inline=args.sequential,
+                        tracer=tracer) as scheduler:
         jobs = [scheduler.submit(r) for r in requests]
         scheduler.wait(jobs)
         artifacts = [scheduler.artifact(j) for j in jobs]
@@ -193,15 +201,28 @@ def cmd_batch(args) -> int:
     if args.json:
         print(canonical_json({n: a for n, a in zip(names, artifacts)}))
     for name, job, artifact in zip(names, jobs, artifacts):
-        if artifact is None:
+        # Exit status keys on the job *state*, not on artifact presence:
+        # a done job whose artifact was evicted from a memory-only store
+        # is not a failure, while a failed job must be nonzero even if a
+        # stale artifact exists under the same key.
+        if job.state == "failed":
             failed += 1
             print(f"{name:14s} FAILED  {job.error}", file=sys.stderr)
+        elif artifact is None:
+            print(f"{name:14s} done (artifact evicted from cache; rerun "
+                  f"with --cache-dir to keep it)", file=sys.stderr)
         elif not args.json:
             ex = artifact["execution"]
             tag = "cached" if job.cached else "computed"
             print(f"{name:14s} {tag:8s} speedup {ex['speedup']:5.2f}x  "
                   f"coverage {ex['coverage']:6.1%}  "
                   f"key {job.key[:12]}")
+    if tracer is not None:
+        from .obs import to_chrome
+        with open(args.trace, "w") as fh:
+            json.dump(to_chrome(tracer.to_dicts()), fh)
+        print(f"[trace: {len(tracer.finished_spans())} spans -> "
+              f"{args.trace}]", file=sys.stderr)
     snap = metrics.snapshot()
     print(f"[{len(names)} jobs in {elapsed:.2f}s; cache hit-rate "
           f"{snap['cache_hit_rate']:.0%}]", file=sys.stderr)
@@ -216,11 +237,61 @@ def cmd_serve(args) -> int:
     print(f"analysis service listening on {server.url}")
     print("  POST /jobs {\"workload\": \"mdg\"}   GET /jobs/<id>")
     print("  GET /artifacts/<key>   GET /corpus   GET /metrics")
+    print("  GET /trace/<job_id>    (per-job span trace)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
         server.stop()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import json
+    from .obs import (Tracer, activate, phase_totals, render_tree,
+                      to_chrome)
+    from .service import AnalysisRequest
+    from .service.jobs import execute_request
+    options = {"engine": args.engine, "machine": args.machine}
+    target = args.target
+    import os
+    from .workloads import ALL
+    if target in ALL:
+        request = AnalysisRequest(target, options=options)
+    elif os.path.exists(target):
+        with open(target) as fh:
+            request = AnalysisRequest(source=fh.read(),
+                                      program_name=target,
+                                      inputs=[], options=options)
+    else:
+        raise SystemExit(
+            f"{target!r} is neither a file nor a corpus workload; "
+            f"workloads: {', '.join(sorted(ALL))}")
+    tracer = Tracer()
+    with activate(tracer):
+        execute_request(request)
+    spans = tracer.to_dicts()
+    if args.export == "chrome":
+        payload = json.dumps(to_chrome(spans))
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(payload)
+            print(f"wrote {len(spans)} spans to {args.output} "
+                  f"(open in chrome://tracing or Perfetto)",
+                  file=sys.stderr)
+        else:
+            print(payload)
+        return 0
+    for line in render_tree(spans, min_ms=args.min_ms):
+        print(line)
+    print("\n-- phase totals --")
+    totals = phase_totals(spans)
+    width = max(len(n) for n in totals)
+    for name, agg in sorted(totals.items(),
+                            key=lambda kv: -kv[1]["total_s"]):
+        print(f"{name:<{width}s}  x{agg['count']:<3d} "
+              f"total {agg['total_s'] * 1e3:9.2f} ms  "
+              f"max {agg['max_s'] * 1e3:8.2f} ms")
     return 0
 
 
@@ -300,7 +371,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-liveness", action="store_true")
     p.add_argument("--json", action="store_true",
                    help="print the artifacts as canonical JSON")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record spans for the whole batch and write "
+                        "Chrome trace_event JSON to FILE")
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser("trace", help="run the pipeline under the tracer "
+                                     "and print the span tree")
+    p.add_argument("target", help="corpus workload name or source file")
+    p.add_argument("--export", choices=["chrome"],
+                   help="emit Chrome trace_event JSON instead of a tree")
+    p.add_argument("-o", "--output", help="write the export to a file")
+    p.add_argument("--min-ms", type=float, default=0.0,
+                   help="hide tree spans shorter than this (default: 0)")
+    p.add_argument("--engine", default="compiled",
+                   choices=["compiled", "tree"])
+    p.add_argument("--machine", default="alphaserver",
+                   choices=sorted(MACHINES))
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("serve", help="serve the analysis API over HTTP")
     p.add_argument("--host", default="127.0.0.1")

@@ -86,11 +86,15 @@ class ExplorerSession:
 
     # -- phase 1: automatic parallelization + execution analysis -------------
     def run_automatic(self) -> ParallelExecutionResult:
-        self.parallelizer = Parallelizer(
-            self.program, use_liveness=self.use_liveness,
-            liveness_variant=self.liveness_variant,
-            assertions=self.assertions)
-        self.plan = self.parallelizer.plan()
+        from ..obs import get_tracer
+        tracer = get_tracer()
+        with tracer.span("parallelize", program=self.program.name) as sp:
+            self.parallelizer = Parallelizer(
+                self.program, use_liveness=self.use_liveness,
+                liveness_variant=self.liveness_variant,
+                assertions=self.assertions)
+            self.plan = self.parallelizer.plan()
+            sp.tag(parallel_loops=len(self.plan.parallel_loops()))
         self.profiler = profile_program(self.program, self.inputs,
                                         max_ops=self.max_ops,
                                         engine=self.engine)
@@ -98,13 +102,19 @@ class ExplorerSession:
             self.program, self.inputs,
             skip_stmt_ids=reduction_stmt_ids(self.program),
             max_ops=self.max_ops, engine=self.engine)
-        self.guru = ParallelizationGuru(self.program, self.plan,
-                                        self.profiler, self.dyndep,
-                                        self.machine)
-        self.result = execute_parallel(self.program, self.plan,
-                                       self.machine, inputs=self.inputs,
-                                       max_ops=self.max_ops,
-                                       engine=self.engine)
+        with tracer.span("guru") as sp:
+            self.guru = ParallelizationGuru(self.program, self.plan,
+                                            self.profiler, self.dyndep,
+                                            self.machine)
+            sp.tag(targets=len(self.guru.targets()))
+        with tracer.span("parallel_exec",
+                         machine=self.machine.name) as sp:
+            self.result = execute_parallel(self.program, self.plan,
+                                           self.machine,
+                                           inputs=self.inputs,
+                                           max_ops=self.max_ops,
+                                           engine=self.engine)
+            sp.tag(speedup=round(self.result.speedup, 4))
         return self.result
 
     def _require_run(self) -> None:
@@ -135,21 +145,24 @@ class ExplorerSession:
         """Per unresolved dependence of a loop, the program and control
         slices at the pruning levels of Fig 4-8 (full / code-region /
         code-region+array)."""
+        from ..obs import get_tracer
         self._require_run()
-        plan = self.plan.loops[loop.stmt_id]
-        out: List[DependenceSlices] = []
-        for var in plan.dependent_vars():
-            refs = self._references_to(loop, var)
-            if not refs:
-                continue
-            out.append(DependenceSlices(
-                var,
-                self._union_slices(refs, loop, None, False, "program"),
-                self._union_slices(refs, loop, None, False, "control"),
-                self._union_slices(refs, loop, loop, False, "program"),
-                self._union_slices(refs, loop, loop, False, "control"),
-                self._union_slices(refs, loop, loop, True, "program"),
-                self._union_slices(refs, loop, loop, True, "control")))
+        with get_tracer().span("slice", loop=loop.name) as sp:
+            plan = self.plan.loops[loop.stmt_id]
+            out: List[DependenceSlices] = []
+            for var in plan.dependent_vars():
+                refs = self._references_to(loop, var)
+                if not refs:
+                    continue
+                out.append(DependenceSlices(
+                    var,
+                    self._union_slices(refs, loop, None, False, "program"),
+                    self._union_slices(refs, loop, None, False, "control"),
+                    self._union_slices(refs, loop, loop, False, "program"),
+                    self._union_slices(refs, loop, loop, False, "control"),
+                    self._union_slices(refs, loop, loop, True, "program"),
+                    self._union_slices(refs, loop, loop, True, "control")))
+            sp.tag(vars=len(out))
         return out
 
     def _references_to(self, loop: LoopStmt, var: VarPlan) -> List[Tuple]:

@@ -32,14 +32,18 @@ from .symbols import Dimension, Symbol, SymbolTable, INT, REAL
 
 def build_program(source: str, name: str = "program") -> Program:
     """Parse and lower mini-Fortran source text into a :class:`Program`."""
-    tree = parse_source(source, unit=name)
-    program = Program(name)
-    program.source_text = source
-    builder = _Builder(program)
-    for unit in tree.units:
-        builder.build_unit(unit)
-    builder.validate_calls()
-    return program
+    from ..obs import get_tracer
+    with get_tracer().span("build", program=name) as sp:
+        tree = parse_source(source, unit=name)
+        program = Program(name)
+        program.source_text = source
+        builder = _Builder(program)
+        for unit in tree.units:
+            builder.build_unit(unit)
+        builder.validate_calls()
+        sp.tag(procedures=len(program.procedures),
+               loops=len(program.all_loops()))
+        return program
 
 
 class _Builder:

@@ -475,4 +475,9 @@ class Parser:
 
 def parse_source(text: str, unit: str = "<input>") -> ast.SourceFile:
     """Parse mini-Fortran source text into an AST."""
-    return Parser(tokenize(text, unit)).parse_source()
+    from ..obs import get_tracer
+    with get_tracer().span("parse", unit=unit) as sp:
+        tokens = tokenize(text, unit)
+        tree = Parser(tokens).parse_source()
+        sp.tag(tokens=len(tokens), units=len(tree.units))
+        return tree

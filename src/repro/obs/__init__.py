@@ -1,0 +1,19 @@
+"""Observability layer: structured tracing + profiling for the pipeline.
+
+``tracer`` holds the span model and thread-local activation;
+``export`` renders finished spans as Chrome ``trace_event`` JSON or a
+terminal tree.  See the "Observability" section of DESIGN.md for the
+span taxonomy, the cross-process propagation protocol, and the
+overhead contract.
+"""
+
+from .export import (PHASES, phase_totals, render_tree, span_index,
+                     to_chrome)
+from .tracer import (NULL_TRACER, NullTracer, Span, Tracer, activate,
+                     get_tracer, set_tracer)
+
+__all__ = [
+    "Span", "Tracer", "NullTracer", "NULL_TRACER",
+    "get_tracer", "activate", "set_tracer",
+    "PHASES", "to_chrome", "render_tree", "span_index", "phase_totals",
+]

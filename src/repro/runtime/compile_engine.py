@@ -1096,19 +1096,25 @@ class CompiledEngine:
             self.commons[name] = Buffer(f"/{name}/", block.size)
 
     def run(self) -> "CompiledEngine":
+        from ..obs import get_tracer
         if self.program.main is None:
             raise ValueError("program has no PROGRAM unit")
-        self.variant = select_variant(self.observers)
-        compiled = compile_closures(self.program, self.variant)
-        main = compiled.procs[self.program.main]
-        frame = main.make_frame(self, [])
-        try:
-            for s in main.body:
-                s(self, frame)
-        except _Stop:
-            pass
-        except _Return:
-            pass
+        tracer = get_tracer()
+        with tracer.span("execute", engine="compiled",
+                         program=self.program.name) as sp:
+            self.variant = select_variant(self.observers)
+            with tracer.span("codegen", variant=self.variant):
+                compiled = compile_closures(self.program, self.variant)
+            main = compiled.procs[self.program.main]
+            frame = main.make_frame(self, [])
+            try:
+                for s in main.body:
+                    s(self, frame)
+            except _Stop:
+                pass
+            except _Return:
+                pass
+            sp.tag(ops=self.ops, variant=self.variant)
         return self
 
 

@@ -151,12 +151,18 @@ def analyze_dependences(program: Program, inputs=(),
     :func:`repro.runtime.interpreter.run_program`).  The analyzer overrides
     the read/write hooks, so the compiled engine runs its fully
     instrumented variant — callback order is identical to the oracle."""
+    from ..obs import get_tracer
     from .compile_engine import make_engine
-    analyzer = DynamicDependenceAnalyzer(skip_stmt_ids, sample_stride)
-    interp = make_engine(program, inputs, observers=[], max_ops=max_ops,
-                         engine=engine)
-    analyzer.attach(interp)
-    interp.run()
+    with get_tracer().span("dyndep", program=program.name,
+                           engine=engine, stride=sample_stride) as sp:
+        analyzer = DynamicDependenceAnalyzer(skip_stmt_ids, sample_stride)
+        interp = make_engine(program, inputs, observers=[], max_ops=max_ops,
+                             engine=engine)
+        analyzer.attach(interp)
+        interp.run()
+        sp.tag(ops=interp.ops,
+               carried_loops=len(analyzer.carried),
+               carried_total=sum(analyzer.carried.values()))
     return analyzer
 
 

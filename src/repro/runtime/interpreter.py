@@ -104,14 +104,18 @@ class Interpreter:
 
     # -- public -----------------------------------------------------------
     def run(self) -> "Interpreter":
-        main = self.program.main_procedure()
-        frame = self._make_frame(main, [])
-        try:
-            self._exec_block(main.body, frame)
-        except _Stop:
-            pass
-        except _Return:
-            pass
+        from ..obs import get_tracer
+        with get_tracer().span("execute", engine="tree",
+                               program=self.program.name) as sp:
+            main = self.program.main_procedure()
+            frame = self._make_frame(main, [])
+            try:
+                self._exec_block(main.body, frame)
+            except _Stop:
+                pass
+            except _Return:
+                pass
+            sp.tag(ops=self.ops, observers=len(self.observers))
         return self
 
     # -- frames ------------------------------------------------------------

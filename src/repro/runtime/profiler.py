@@ -106,11 +106,15 @@ def profile_program(program: Program, inputs=(), max_ops: int = 500_000_000,
     :func:`repro.runtime.interpreter.run_program`).  Under the compiled
     engine the profiler triggers the loop-events-only variant: array
     reads/writes run with zero callback overhead."""
+    from ..obs import get_tracer
     from .compile_engine import make_engine
-    profiler = LoopProfiler()
-    interp = make_engine(program, inputs, observers=[], max_ops=max_ops,
-                         engine=engine)
-    profiler.attach(interp)
-    interp.run()
-    profiler.finish()
+    with get_tracer().span("profile", program=program.name,
+                           engine=engine) as sp:
+        profiler = LoopProfiler()
+        interp = make_engine(program, inputs, observers=[], max_ops=max_ops,
+                             engine=engine)
+        profiler.attach(interp)
+        interp.run()
+        profiler.finish()
+        sp.tag(ops=profiler.total_ops, loops=len(profiler.profiles))
     return profiler

@@ -121,44 +121,52 @@ def execute_request(request: AnalysisRequest) -> Dict:
     Pure in the sense that matters for caching and batching: output is a
     function of the request content only, and every field is plain JSON.
     """
+    from ..obs import get_tracer
     _maybe_inject_fault(request.options)
-    r = request.resolved()
-    from ..ir import build_program
-    from ..runtime.machine import MACHINES
-    from ..explorer.session import ExplorerSession
+    tracer = get_tracer()
+    with tracer.span("execute_request",
+                     target=request.describe()) as root:
+        r = request.resolved()
+        from ..ir import build_program
+        from ..runtime.machine import MACHINES
+        from ..explorer.session import ExplorerSession
 
-    machine_name = r.options.get("machine", "alphaserver")
-    try:
-        machine = MACHINES[machine_name]
-    except KeyError:
-        raise ValueError(f"unknown machine {machine_name!r}; choose from "
-                         f"{sorted(MACHINES)}") from None
-    program = build_program(r.source, r.program_name)
-    session = ExplorerSession(
-        program, inputs=r.inputs, machine=machine,
-        use_liveness=bool(r.options.get("use_liveness", True)),
-        engine=r.options.get("engine", "compiled"))
-    session.run_automatic()
+        machine_name = r.options.get("machine", "alphaserver")
+        try:
+            machine = MACHINES[machine_name]
+        except KeyError:
+            raise ValueError(f"unknown machine {machine_name!r}; choose "
+                             f"from {sorted(MACHINES)}") from None
+        program = build_program(r.source, r.program_name)
+        session = ExplorerSession(
+            program, inputs=r.inputs, machine=machine,
+            use_liveness=bool(r.options.get("use_liveness", True)),
+            engine=r.options.get("engine", "compiled"))
+        session.run_automatic()
 
-    outcomes = []
-    if r.options.get("assertions") and request.workload is not None:
-        from ..workloads import get
-        w = get(request.workload)
-        if w.user_assertions:
-            checked, _result = session.apply_assertions(w.user_assertions)
-            outcomes = [{"assertion": str(o.assertion),
-                         "accepted": o.accepted,
-                         "warnings": list(o.warnings),
-                         "errors": list(o.errors)} for o in checked]
+        outcomes = []
+        if r.options.get("assertions") and request.workload is not None:
+            from ..workloads import get
+            w = get(request.workload)
+            if w.user_assertions:
+                checked, _result = session.apply_assertions(
+                    w.user_assertions)
+                outcomes = [{"assertion": str(o.assertion),
+                             "accepted": o.accepted,
+                             "warnings": list(o.warnings),
+                             "errors": list(o.errors)} for o in checked]
 
-    artifact = session_snapshot(session)
-    artifact["request"] = {"program": r.program_name,
-                           "workload": request.workload,
-                           "inputs": r.inputs,
-                           "options": r.options,
-                           "schema": SCHEMA_VERSION}
-    if outcomes:
-        artifact["assertion_outcomes"] = outcomes
+        with tracer.span("snapshot"):
+            artifact = session_snapshot(session)
+        artifact["request"] = {"program": r.program_name,
+                               "workload": request.workload,
+                               "inputs": r.inputs,
+                               "options": r.options,
+                               "schema": SCHEMA_VERSION}
+        if outcomes:
+            artifact["assertion_outcomes"] = outcomes
+        root.tag(ops=session.profiler.total_ops,
+                 engine=r.options.get("engine", "compiled"))
     return artifact
 
 

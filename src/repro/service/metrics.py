@@ -10,9 +10,41 @@ I/O- and fork-bound, so the lock is never contended enough to matter.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+#: Log-ish latency bucket bounds (seconds) for the per-phase histograms.
+HIST_BOUNDS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+               0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class _Histogram:
+    """Fixed-bucket latency histogram (Prometheus-style cumulative-free
+    counts: one count per bucket, plus count/sum for means)."""
+
+    __slots__ = ("bounds", "counts", "count", "sum_s")
+
+    def __init__(self, bounds: Sequence[float] = HIST_BOUNDS):
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum_s += seconds
+
+    def to_dict(self) -> Dict:
+        buckets = {f"le_{b:g}": c
+                   for b, c in zip(self.bounds, self.counts)}
+        buckets["inf"] = self.counts[-1]
+        mean = self.sum_s / self.count if self.count else 0.0
+        return {"buckets": buckets, "count": self.count,
+                "sum_s": round(self.sum_s, 6),
+                "mean_s": round(mean, 6)}
 
 
 class _Timer:
@@ -46,6 +78,7 @@ class ServiceMetrics:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, _Timer] = {}
+        self._histograms: Dict[str, _Histogram] = {}
         self._started = time.time()
 
     # -- writers -----------------------------------------------------------
@@ -68,6 +101,24 @@ class ServiceMetrics:
                 timer = self._timers[phase] = _Timer()
             timer.observe(seconds)
 
+    def observe_histogram(self, name: str, seconds: float) -> None:
+        """Record a latency sample into the named bucketed histogram
+        (per-phase span durations land here via the scheduler)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = _Histogram()
+            hist.observe(seconds)
+
+    def record_phases(self, span_dicts) -> None:
+        """Fold a trace (a list of span dicts) into per-phase latency
+        histograms: span ``name`` -> histogram ``phase_<name>``."""
+        for span in span_dicts:
+            name = span.get("name")
+            if name:
+                self.observe_histogram(f"phase_{name}",
+                                       float(span.get("duration_s", 0.0)))
+
     def time_phase(self, phase: str) -> "_PhaseContext":
         """``with metrics.time_phase("execute"): ...``"""
         return _PhaseContext(self, phase)
@@ -82,6 +133,8 @@ class ServiceMetrics:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             timers = {k: t.to_dict() for k, t in self._timers.items()}
+            histograms = {k: h.to_dict()
+                          for k, h in self._histograms.items()}
         hits = counters.get("cache_hits", 0)
         misses = counters.get("cache_misses", 0)
         looked = hits + misses
@@ -90,6 +143,7 @@ class ServiceMetrics:
             "counters": counters,
             "gauges": gauges,
             "timers": timers,
+            "histograms": histograms,
             "cache_hit_rate": round(hits / looked, 4) if looked else 0.0,
         }
 

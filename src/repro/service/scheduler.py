@@ -23,17 +23,32 @@ sensible mode on single-core hosts.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import NULL_TRACER, Tracer, activate
 from .artifacts import ArtifactStore
 from .jobs import AnalysisRequest, Job, execute_request
 from .metrics import NULL_METRICS, ServiceMetrics
 
 
-def _pool_worker(request_dict: Dict) -> Dict:
-    """Top-level (picklable) worker entry point."""
-    return execute_request(AnalysisRequest.from_dict(request_dict))
+def _pool_worker(request_dict: Dict,
+                 trace_context: Optional[Dict] = None) -> Dict:
+    """Top-level (picklable) worker entry point.
+
+    Without a trace context this returns the bare artifact (the zero-cost
+    path).  With one, the worker builds a child tracer whose root spans
+    parent onto the scheduler's ``submit`` span, runs the request under
+    it, and ships the spans back for the parent to reattach."""
+    request = AnalysisRequest.from_dict(request_dict)
+    if trace_context is None:
+        return execute_request(request)
+    tracer = Tracer.from_context(trace_context)
+    with activate(tracer):
+        with tracer.span("job", target=request.describe()):
+            artifact = execute_request(request)
+    return {"artifact": artifact, "spans": tracer.to_dicts()}
 
 
 class BatchScheduler:
@@ -43,16 +58,22 @@ class BatchScheduler:
                  metrics: ServiceMetrics = NULL_METRICS,
                  workers: Optional[int] = None,
                  max_retries: int = 2,
-                 inline: bool = False):
+                 inline: bool = False,
+                 tracer=None,
+                 max_traces: int = 256):
         self.store = store if store is not None else ArtifactStore(None)
         self.metrics = metrics
         self.workers = workers
         self.max_retries = max_retries
         self.inline = inline
+        #: Span sink; NULL_TRACER keeps every trace path zero-cost-ish.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.max_traces = max(1, max_traces)
         self._lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._jobs: Dict[str, Job] = {}          # job id -> Job
         self._inflight: Dict[str, Job] = {}      # artifact key -> Job
+        self._traces: "OrderedDict[str, List[Dict]]" = OrderedDict()
         self._shutdown = False
 
     # -- pool lifecycle ----------------------------------------------------
@@ -89,29 +110,34 @@ class BatchScheduler:
         """Submit a request; returns a (possibly shared or already-done)
         Job.  Identical in-flight requests dedupe onto one Job; identical
         finished requests are served from the artifact store."""
-        key = request.key()      # resolves the corpus; may raise KeyError
-        cached = self.store.get(key)
-        with self._lock:
-            existing = self._inflight.get(key)
-            if existing is not None:
-                self.metrics.incr("jobs_deduped")
-                return existing
-            job = Job(request, key)
-            self._jobs[job.id] = job
-            if cached is None:
-                self._inflight[key] = job
-                job.mark_queued()
-        self.metrics.incr("jobs_submitted")
-        if cached is not None:
-            job.mark_done(cached=True)
-            self.metrics.incr("jobs_served_cached")
+        with self.tracer.span("submit",
+                              target=request.describe()) as sp:
+            key = request.key()  # resolves the corpus; may raise KeyError
+            cached = self.store.get(key)
+            with self._lock:
+                existing = self._inflight.get(key)
+                if existing is not None:
+                    self.metrics.incr("jobs_deduped")
+                    sp.tag(cache="dedup", job=existing.id)
+                    return existing
+                job = Job(request, key)
+                self._jobs[job.id] = job
+                if cached is None:
+                    self._inflight[key] = job
+                    job.mark_queued()
+            self.metrics.incr("jobs_submitted")
+            sp.tag(cache="hit" if cached is not None else "miss",
+                   job=job.id)
+            if cached is not None:
+                job.mark_done(cached=True)
+                self.metrics.incr("jobs_served_cached")
+                return job
+            self._update_queue_gauge()
+            if self.inline:
+                self._run_inline(job)
+            else:
+                self._dispatch(job)
             return job
-        self._update_queue_gauge()
-        if self.inline:
-            self._run_inline(job)
-        else:
-            self._dispatch(job)
-        return job
 
     def batch(self, requests: Sequence[AnalysisRequest],
               timeout: Optional[float] = None) -> List[Optional[Dict]]:
@@ -124,30 +150,54 @@ class BatchScheduler:
     # -- execution ---------------------------------------------------------
     def _run_inline(self, job: Job) -> None:
         job.mark_running()
+        job_tracer: Optional[Tracer] = None
+        if self.tracer.enabled:
+            job_tracer = Tracer.from_context(self.tracer.export_context())
         try:
             with self.metrics.time_phase("execute"):
-                artifact = execute_request(job.request)
+                if job_tracer is not None:
+                    with activate(job_tracer), \
+                            job_tracer.span("job", job=job.id,
+                                            target=job.request.describe()):
+                        artifact = execute_request(job.request)
+                else:
+                    artifact = execute_request(job.request)
         except Exception as exc:               # noqa: BLE001
+            if job_tracer is not None:
+                self._record_trace(job, job_tracer.to_dicts())
             self._finish_failed(job, exc)
         else:
+            if job_tracer is not None:
+                self._record_trace(job, job_tracer.to_dicts())
             self._finish_done(job, artifact)
 
     def _dispatch(self, job: Job) -> None:
         job.mark_running()
+        trace_ctx = (self.tracer.export_context()
+                     if self.tracer.enabled else None)
         try:
             pool = self._get_pool()
-            future = pool.submit(_pool_worker, job.request.to_dict())
+            future = pool.submit(_pool_worker, job.request.to_dict(),
+                                 trace_ctx)
         except (BrokenExecutor, RuntimeError) as exc:
             self._handle_crash(job, exc)
             return
-        future.add_done_callback(lambda f, j=job: self._on_done(j, f))
+        traced = trace_ctx is not None
+        future.add_done_callback(
+            lambda f, j=job, t=traced: self._on_done(j, f, t))
 
-    def _on_done(self, job: Job, future) -> None:
+    def _on_done(self, job: Job, future, traced: bool = False) -> None:
         if job.finished:        # a pool-wide breakage already handled it
             return
         exc = future.exception()
         if exc is None:
-            self._finish_done(job, future.result())
+            result = future.result()
+            if traced:
+                self._record_trace(job, result.get("spans") or [])
+                artifact = result["artifact"]
+            else:
+                artifact = result
+            self._finish_done(job, artifact)
         elif isinstance(exc, BrokenExecutor):
             self._handle_crash(job, exc)
         else:
@@ -185,6 +235,25 @@ class BatchScheduler:
         with self._lock:
             depth = len(self._inflight)
         self.metrics.gauge("queue_depth", depth)
+
+    # -- traces ------------------------------------------------------------
+    def _record_trace(self, job: Job, spans: List[Dict]) -> None:
+        """Keep a bounded per-job trace, reattach the spans onto the
+        scheduler's own tracer, and fold them into per-phase metrics."""
+        if not spans:
+            return
+        with self._lock:
+            self._traces[job.id] = list(spans)
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+        self.tracer.adopt(spans)
+        self.metrics.record_phases(spans)
+
+    def trace(self, job_id: str) -> Optional[List[Dict]]:
+        """The recorded spans for one job, or None if not traced/evicted."""
+        with self._lock:
+            spans = self._traces.get(job_id)
+            return list(spans) if spans is not None else None
 
     # -- queries -----------------------------------------------------------
     def job(self, job_id: str) -> Optional[Job]:

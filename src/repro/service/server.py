@@ -9,7 +9,8 @@ artifact store::
     GET  /jobs/<id>         -> {"job": {...}, "artifact_ready": bool}
     GET  /artifacts/<key>   -> the analysis artifact JSON
     GET  /corpus            -> {"workloads": [{name, description, ...}]}
-    GET  /metrics           -> counters / gauges / timers / cache hit-rate
+    GET  /trace/<job_id>    -> {"job_id": ..., "spans": [...]} per-job trace
+    GET  /metrics           -> counters / gauges / timers / histograms
     GET  /healthz           -> {"ok": true}
 
 The handler threads only touch thread-safe components (scheduler,
@@ -24,6 +25,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
+from ..obs import Tracer
 from .artifacts import ArtifactStore
 from .jobs import AnalysisRequest
 from .metrics import ServiceMetrics
@@ -40,13 +42,18 @@ class AnalysisService:
                  inline: bool = False,
                  store: Optional[ArtifactStore] = None,
                  scheduler: Optional[BatchScheduler] = None,
-                 metrics: Optional[ServiceMetrics] = None):
+                 metrics: Optional[ServiceMetrics] = None,
+                 trace: bool = True):
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.store = store if store is not None else \
             ArtifactStore(cache_dir, metrics=self.metrics)
+        # Per-job tracing defaults on: the cost is a dozen spans per job
+        # (microseconds against seconds of analysis) and it is what makes
+        # GET /trace/<job_id> and the per-phase histograms useful.
+        tracer = Tracer() if trace else None
         self.scheduler = scheduler if scheduler is not None else \
             BatchScheduler(self.store, metrics=self.metrics,
-                           workers=workers, inline=inline)
+                           workers=workers, inline=inline, tracer=tracer)
 
     # -- routes ------------------------------------------------------------
     def handle_get(self, path: str) -> Tuple[int, Dict]:
@@ -68,6 +75,16 @@ class AnalysisService:
                 return 404, {"error": f"no job {parts[1]!r}"}
             return 200, {"job": job.to_dict(),
                          "artifact_ready": job.state == "done"}
+        if len(parts) == 2 and parts[0] == "trace":
+            job = self.scheduler.job(parts[1])
+            if job is None:
+                return 404, {"error": f"no job {parts[1]!r}"}
+            spans = self.scheduler.trace(parts[1])
+            if spans is None:
+                return 404, {"error": f"no trace for job {parts[1]!r} "
+                                      "(cached/deduped jobs and disabled "
+                                      "tracing record no spans)"}
+            return 200, {"job_id": parts[1], "spans": spans}
         if len(parts) == 2 and parts[0] == "artifacts":
             artifact = self.store.get(parts[1])
             if artifact is None:

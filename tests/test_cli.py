@@ -122,3 +122,75 @@ def test_batch_command_json(capsys):
     out = capsys.readouterr().out
     payload = json.loads(out)
     assert payload["ora"]["execution"]["speedup"] > 1.0
+
+
+def test_batch_exit_code_nonzero_on_job_failure(capsys, monkeypatch):
+    """Regression: a failed job must surface as a nonzero exit and a
+    FAILED line naming the error, while surviving jobs still report."""
+    from repro.service import jobs as jobs_mod
+    real = jobs_mod.execute_request
+
+    def flaky(request):
+        if request.describe() == "track":
+            raise RuntimeError("injected analysis failure")
+        return real(request)
+
+    monkeypatch.setattr("repro.service.scheduler.execute_request", flaky)
+    rc = main(["batch", "ora", "track", "--sequential"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "FAILED" in captured.err
+    assert "injected analysis failure" in captured.err
+    assert "ora" in captured.out and "speedup" in captured.out
+
+
+def test_batch_failure_keyed_on_job_state_not_artifact(capsys,
+                                                       monkeypatch):
+    """Regression for the exit-code bug: a *done* job whose artifact was
+    merely evicted from the memory-only LRU must not flip the exit code
+    to failure (that conflated cache pressure with analysis errors)."""
+    from repro.service.artifacts import ArtifactStore
+    real_init = ArtifactStore.__init__
+
+    def tiny_lru(self, root=None, *, memory_capacity=128, **kw):
+        real_init(self, root, memory_capacity=1, **kw)
+
+    monkeypatch.setattr(ArtifactStore, "__init__", tiny_lru)
+    rc = main(["batch", "ora", "track", "--sequential"])
+    captured = capsys.readouterr()
+    assert rc == 0, captured.err
+    assert "FAILED" not in captured.err
+    assert "evicted" in captured.err          # reported, but not fatal
+
+
+def test_batch_trace_writes_chrome_json(tmp_path, capsys):
+    import json
+    trace_file = tmp_path / "batch.json"
+    assert main(["batch", "ora", "--sequential",
+                 "--trace", str(trace_file)]) == 0
+    doc = json.loads(trace_file.read_text())
+    names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+    assert {"submit", "job", "execute_request"} <= names
+    assert "spans" in capsys.readouterr().err
+
+
+def test_trace_command_tree_and_chrome(tmp_path, capsys):
+    import json
+    assert main(["trace", "ora"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("execute_request")
+    assert "phase totals" in out
+    assert "dyndep" in out and "guru" in out
+    out_file = tmp_path / "trace.json"
+    assert main(["trace", "mdg", "--export", "chrome",
+                 "-o", str(out_file)]) == 0
+    doc = json.loads(out_file.read_text())
+    names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+    assert {"parse", "build", "profile", "dyndep", "guru",
+            "slice"} <= names
+
+
+def test_trace_command_unknown_target():
+    with pytest.raises(SystemExit) as err:
+        main(["trace", "no-such-file.f"])
+    assert "neither a file nor a corpus workload" in str(err.value)

@@ -130,6 +130,73 @@ def test_checker_unknown_loop_rejected():
     assert not outcomes[0].accepted
 
 
+def test_checker_unknown_loop_reports_actionable_error():
+    """Failure path: the rejection must *name* the bad loop so the user
+    can fix the assertion, and auto-add nothing for it."""
+    prog = build_program("      PROGRAM t\n      x = 1.0\n      END\n")
+    checker = AssertionChecker(prog)
+    outcomes = checker.check([Assertion("nosuch/1", "x", "privatizable")])
+    o = outcomes[0]
+    assert o.errors == ["unknown loop 'nosuch/1'"]
+    assert o.auto_added == [] and o.warnings == []
+    assert "REJECTED" in repr(o)
+
+
+def test_checked_assertions_excludes_rejected(mdg_session):
+    """checked_assertions must drop rejected assertions (and their
+    would-be auto-adds) while keeping accepted ones intact."""
+    w, sess = mdg_session
+    checker = AssertionChecker(sess.program, sess.dyndep)
+    good = Assertion("interf/1000", "rl", "privatizable")
+    bad = Assertion("nosuch/1", "zz", "privatizable")
+    final, outcomes = checker.checked_assertions([good, bad])
+    assert [o.accepted for o in outcomes] == [True, False]
+    assert good in final
+    assert all(a.loop_name != "nosuch/1" for a in final)
+    # rejected-only input produces an empty final list
+    final2, outcomes2 = checker.checked_assertions([bad])
+    assert final2 == [] and not outcomes2[0].accepted
+
+
+def test_checker_contradicted_independence_not_propagated():
+    """A dynamically-contradicted independence assertion is rejected,
+    reports the witnessing loop, and contributes nothing downstream."""
+    prog = build_program("""
+      PROGRAM t
+      DIMENSION a(40)
+      a(1) = 1.0
+      DO 10 i = 2, 40
+        a(i) = a(i-1) + 1.0
+10    CONTINUE
+      PRINT *, a(40)
+      END
+""")
+    dd = analyze_dependences(prog)
+    checker = AssertionChecker(prog, dd)
+    final, outcomes = checker.checked_assertions(
+        [Assertion("t/10", "a", "independent")])
+    assert final == []
+    o = outcomes[0]
+    assert not o.accepted
+    assert "t/10" in o.errors[0] and "a" in o.errors[0]
+
+
+def test_apply_assertions_with_bad_assertion_does_not_poison_session():
+    """Session-level failure path: a bad assertion must not derail the
+    re-parallelize/re-run cycle, and must not be recorded on the
+    session for subsequent runs."""
+    from repro.workloads import get
+    w = get("ora")
+    sess = ExplorerSession(w.build(), inputs=w.inputs)
+    sess.run_automatic()
+    baseline = sess.result.speedup
+    outcomes, result = sess.apply_assertions(
+        [Assertion("nosuch/1", "x", "privatizable")])
+    assert not outcomes[0].accepted
+    assert sess.assertions == []          # nothing durable was added
+    assert result.speedup == pytest.approx(baseline)
+
+
 def test_session_queries_before_run_raise_clear_error():
     """slices_for/coverage/granularity_ms used to die with an opaque
     AttributeError on None when called before run_automatic()

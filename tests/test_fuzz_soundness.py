@@ -186,6 +186,28 @@ def test_compiled_engine_matches_tree_oracle(source):
     _assert_engine_parity(prog, prog, max_ops=2_000_000, context="fuzz")
 
 
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_engines_agree_and_are_unperturbed_under_tracing(source):
+    """Differential fuzzing with the observability layer switched ON:
+    activating a tracer must change neither engine's outputs, memory,
+    or op counts (parity still holds), and must actually record the
+    execution spans — tracing observes, never feeds back."""
+    from repro.obs import Tracer, activate
+    prog = build_program(source, "fuzz")
+    # untraced baseline for both engines
+    base_tree = run_program(prog, max_ops=2_000_000, engine="tree")
+    tracer = Tracer()
+    with activate(tracer):
+        _assert_engine_parity(prog, prog, max_ops=2_000_000,
+                              context="traced-fuzz")
+        traced_tree = run_program(prog, max_ops=2_000_000, engine="tree")
+    assert traced_tree.outputs == base_tree.outputs
+    assert traced_tree.ops == base_tree.ops
+    names = {s.name for s in tracer.finished_spans()}
+    assert "execute" in names, "tracer recorded no engine spans"
+
+
 def _corpus_names():
     from repro.workloads import corpus
     return sorted(corpus.ALL)

@@ -109,6 +109,47 @@ def test_store_memory_lru_is_bounded():
     assert store.get("k2" * 16) == {"i": 2}
 
 
+def test_store_lru_eviction_order_is_least_recently_used():
+    """Eviction must follow *use* recency, not insertion order: a get()
+    refreshes the entry, so the untouched one is evicted first."""
+    metrics = ServiceMetrics()
+    store = ArtifactStore(None, memory_capacity=2, metrics=metrics)
+    k0, k1, k2 = ("k0" * 16, "k1" * 16, "k2" * 16)
+    store.put(k0, {"i": 0})
+    store.put(k1, {"i": 1})
+    assert store.get(k0) == {"i": 0}                 # refresh k0
+    store.put(k2, {"i": 2})                          # evicts k1, not k0
+    assert store.get(k1) is None
+    assert store.get(k0) == {"i": 0}
+    assert store.get(k2) == {"i": 2}
+    assert metrics.counter("cache_evictions") == 1
+
+
+def test_store_lru_re_put_refreshes_recency():
+    """Re-storing an existing key must move it to most-recent, so the
+    other entry is the eviction victim."""
+    store = ArtifactStore(None, memory_capacity=2)
+    k0, k1, k2 = ("k0" * 16, "k1" * 16, "k2" * 16)
+    store.put(k0, {"i": 0})
+    store.put(k1, {"i": 1})
+    store.put(k0, {"i": 0})                          # refresh via put
+    store.put(k2, {"i": 2})                          # evicts k1
+    assert store.get(k1) is None
+    assert store.get(k0) == {"i": 0}
+
+
+def test_store_zero_capacity_disables_memory_layer(tmp_path):
+    """memory_capacity=0 must not crash or evict-loop; disk still works."""
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path, memory_capacity=0, metrics=metrics)
+    key = "ab" * 32
+    store.put(key, {"x": 1})
+    assert store.stats()["memory_entries"] == 0
+    assert store.get(key) == {"x": 1}                # served from disk
+    assert metrics.counter("cache_hits_disk") == 1
+    assert metrics.counter("cache_evictions") == 0
+
+
 # -- executing requests -------------------------------------------------------
 
 @pytest.fixture(scope="module")
