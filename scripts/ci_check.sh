@@ -10,7 +10,9 @@
 #      BENCH_engine.json baseline; also enforces the compiled engine's
 #      2x-over-tree contract),
 #   3. the end-to-end HTTP service smoke test (submit / poll /
-#      artifact / cache-repeat / metrics).
+#      artifact / cache-repeat / metrics),
+#   4. the fault-injected serve smoke (seeded worker crashes retried,
+#      hung job killed by its deadline, service stays healthy).
 #
 # Any failure stops the script with a nonzero exit.
 
@@ -19,13 +21,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-echo "== [1/3] tier-1 test suite =="
+echo "== [1/4] tier-1 test suite =="
 python -m pytest -x -q
 
-echo "== [2/3] engine performance gate =="
+echo "== [2/4] engine performance gate =="
 python scripts/perf_check.py
 
-echo "== [3/3] service smoke test =="
+echo "== [3/4] service smoke test =="
 python scripts/serve_smoke.py
+
+echo "== [4/4] fault-injected service smoke =="
+python scripts/serve_smoke.py --inject "crash=0.5,seed=1"
 
 echo "== ci_check: all gates passed =="

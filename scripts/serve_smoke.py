@@ -7,6 +7,14 @@ cache serves the repeat, and checks ``/metrics`` consistency.  Exits
 non-zero on any failure::
 
     PYTHONPATH=src python scripts/serve_smoke.py [--workload ora]
+
+With ``--inject SPEC`` the script runs the *fault-injected* smoke
+instead: the server is started with a seeded chaos plan, several jobs
+are pushed through it (crashes are retried, the service must keep
+answering), and a deliberately hung job must be killed by its deadline
+with reason exactly ``"deadline exceeded"``::
+
+    PYTHONPATH=src python scripts/serve_smoke.py --inject "crash=0.5,seed=1"
 """
 
 from __future__ import annotations
@@ -46,13 +54,91 @@ def expect(condition: bool, message: str) -> None:
         fail(message)
 
 
+def poll(base: str, job: dict, timeout: float) -> dict:
+    deadline = time.time() + timeout
+    while job["state"] not in ("done", "failed"):
+        expect(time.time() < deadline, f"job {job['id']} timed out")
+        time.sleep(0.2)
+        status, out = call(base, "GET", f"/jobs/{job['id']}")
+        expect(status == 200, f"GET /jobs/{job['id']} -> {status}")
+        job = out["job"]
+    return job
+
+
+def fault_smoke(args) -> int:
+    """The chaos gate: seeded fault injection + deadline enforcement."""
+    from repro.service import AnalysisServer
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        with AnalysisServer(cache_dir=str(Path(tmp) / "cache"), port=0,
+                            inject=args.inject) as server:
+            base = server.url
+            print(f"server up at {base} [inject {args.inject!r}]")
+
+            # a burst of distinct jobs through the chaos plan: every
+            # injected fault is a recoverable one-shot, so all must
+            # finish "done" (crashes retried, transients retried)
+            jobs = []
+            for i in range(4):
+                status, out = call(base, "POST", "/jobs",
+                                   {"workload": args.workload,
+                                    "options": {"salt": str(i)}})
+                expect(status == 202, f"POST /jobs -> {status}: {out}")
+                jobs.append(out["job"])
+            for job in jobs:
+                job = poll(base, job, args.timeout)
+                expect(job["state"] == "done",
+                       f"chaos job {job['id']} -> {job['state']}: "
+                       f"{job.get('error')}")
+            print(f"{len(jobs)} jobs survived the chaos plan")
+
+            # a deliberately hung job must die at its deadline
+            marker = Path(tmp) / "hang-marker"
+            status, out = call(base, "POST", "/jobs", {
+                "workload": args.workload,
+                "options": {"fault": f"hang-once:{marker}:60",
+                            "deadline_s": 1.5}})
+            expect(status == 202, f"POST hang job -> {status}")
+            hung = poll(base, out["job"], args.timeout)
+            expect(hung["state"] == "failed",
+                   f"hung job ended {hung['state']}")
+            expect(hung["error"] == "deadline exceeded",
+                   f"wrong deadline reason: {hung['error']!r}")
+            print(f"deadline enforced: {hung['id']} failed "
+                  f"with {hung['error']!r}")
+
+            # the service is still alive and telling the story
+            status, health = call(base, "GET", "/healthz")
+            expect(status == 200 and health.get("ok"),
+                   "service unhealthy after chaos")
+            status, metrics = call(base, "GET", "/metrics")
+            counters = metrics["counters"]
+            expect(counters.get("jobs_deadline_exceeded", 0) >= 1,
+                   f"deadline not counted: {counters}")
+            expect(counters.get("failures_deadline", 0) >= 1,
+                   f"failure taxonomy missing: {counters}")
+            interesting = {k: v for k, v in sorted(counters.items())
+                           if k.startswith(("faults", "failures", "pool",
+                                            "jobs", "worker"))}
+            print(f"metrics ok: {interesting}")
+
+    print("FAULT SMOKE OK")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--workload", default="ora",
                     help="corpus entry to analyze (default: ora)")
     ap.add_argument("--timeout", type=float, default=120.0,
                     help="seconds to wait for the job")
+    ap.add_argument("--inject", metavar="SPEC",
+                    help="run the fault-injected smoke with this seeded "
+                         "chaos plan (e.g. 'crash=0.5,seed=1')")
     args = ap.parse_args(argv)
+
+    if args.inject:
+        return fault_smoke(args)
 
     from repro.service import AnalysisServer
 

@@ -233,7 +233,12 @@ def cmd_serve(args) -> int:
     from .service import AnalysisServer
     server = AnalysisServer(cache_dir=args.cache_dir, workers=args.workers,
                             host=args.host, port=args.port,
-                            quiet=not args.verbose)
+                            quiet=not args.verbose,
+                            inject=args.inject,
+                            default_deadline_s=args.default_deadline,
+                            max_jobs=args.max_jobs)
+    if args.inject:
+        print(f"[chaos] fault injection active: {args.inject}")
     print(f"analysis service listening on {server.url}")
     print("  POST /jobs {\"workload\": \"mdg\"}   GET /jobs/<id>")
     print("  GET /artifacts/<key>   GET /corpus   GET /metrics")
@@ -397,6 +402,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, help="process-pool size")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request")
+    p.add_argument("--inject", metavar="SPEC",
+                   help="seeded fault-injection plan, e.g. "
+                        "'crash=0.2,hang=0.05,seed=7' (chaos testing)")
+    p.add_argument("--default-deadline", type=float, metavar="SECONDS",
+                   help="per-job wall-time deadline applied when a "
+                        "request sets no deadline_s option")
+    p.add_argument("--max-jobs", type=int, default=1024,
+                   help="finished-job retention cap (oldest evicted)")
     p.set_defaults(func=cmd_serve)
     return parser
 

@@ -186,6 +186,21 @@ class Tracer:
         currently open span (or the tracer's root parent)."""
         return Span(self, name, tags)
 
+    def event(self, name: str, **tags) -> None:
+        """Record an *instant* span (zero duration) — for point-in-time
+        facts like ``deadline_exceeded`` or ``pool_recycled`` that have
+        no meaningful extent but belong in the trace timeline."""
+        span = Span(self, name, tags)
+        span.tags.setdefault("event", True)
+        current = self.current()
+        span.parent_id = current.span_id if current is not None \
+            else self.root_parent_id
+        span.tid = threading.get_ident() & 0xFFFFFFFF
+        span.seq = self._next_seq()
+        span.start_wall = time.time()
+        span.duration_s = 0.0
+        self._finish(span)
+
     def current(self) -> Optional[Span]:
         stack = self._stack()
         return stack[-1] if stack else None
@@ -266,6 +281,9 @@ class NullTracer:
 
     def span(self, name: str, **tags) -> _NullSpan:    # noqa: ARG002
         return _NULL_SPAN
+
+    def event(self, name: str, **tags) -> None:        # noqa: ARG002
+        pass
 
     def current(self) -> None:
         return None

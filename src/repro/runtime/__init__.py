@@ -12,7 +12,8 @@ from .compile_engine import (CompiledEngine, CompiledProgram,
 from .dyndep import (DynamicDependenceAnalyzer, analyze_dependences,
                      reduction_stmt_ids)
 from .interpreter import (BINOPS, INTRINSICS, Interpreter, Observer,
-                          RuntimeErrorInProgram, run_program)
+                          OpsBudgetExceeded, RuntimeErrorInProgram,
+                          budget_error, run_program)
 from .machine import (ALPHASERVER_8400, MACHINES, SGI_CHALLENGE, SGI_ORIGIN,
                       Machine, with_processors)
 from .parallel_exec import (ATOMIC, MINIMIZED, NAIVE, STAGGERED, TREE,
@@ -27,7 +28,8 @@ __all__ = [
     "select_variant", "VARIANT_FULL", "VARIANT_LOOPS", "VARIANT_NONE",
     "DynamicDependenceAnalyzer", "analyze_dependences", "reduction_stmt_ids",
     "BINOPS", "INTRINSICS",
-    "Interpreter", "Observer", "RuntimeErrorInProgram", "run_program",
+    "Interpreter", "Observer", "OpsBudgetExceeded", "RuntimeErrorInProgram",
+    "budget_error", "run_program",
     "ALPHASERVER_8400", "MACHINES", "SGI_CHALLENGE", "SGI_ORIGIN", "Machine",
     "with_processors",
     "ATOMIC", "MINIMIZED", "NAIVE", "STAGGERED", "TREE",

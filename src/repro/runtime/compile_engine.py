@@ -54,15 +54,13 @@ from ..ir.statements import (AssignStmt, Block, CallStmt, CycleStmt,
 from ..ir.symbols import INT, Symbol
 from .interpreter import (BINOPS, INTRINSICS, COMPILED_ENGINE_NAMES,
                           TREE_ENGINE_NAMES, Interpreter, Observer,
-                          RuntimeErrorInProgram, _Cycle, _Exit,
-                          _fortran_div, _Return, _Stop)
+                          RuntimeErrorInProgram, budget_error, _Cycle,
+                          _Exit, _fortran_div, _Return, _Stop)
 from .values import ArrayView, Buffer
 
 VARIANT_NONE = "none"
 VARIANT_LOOPS = "loops"
 VARIANT_FULL = "full"
-
-_BUDGET_MSG = "operation budget exceeded"
 
 #: Direct single-argument intrinsic fast paths (same semantics as the
 #: shared ``INTRINSICS`` table entries they shadow).
@@ -440,7 +438,7 @@ class _ProcCompiler:
             ops = st.ops + 1
             st.ops = ops
             if ops > st.max_ops:
-                raise RuntimeErrorInProgram(_BUDGET_MSG)
+                raise budget_error(ops, st.max_ops)
             raise RuntimeErrorInProgram(msg)
         return bad, None
 
@@ -515,7 +513,7 @@ class _ProcCompiler:
                 ops = st.ops + head_n
                 st.ops = ops
                 if ops > st.max_ops:
-                    raise RuntimeErrorInProgram(_BUDGET_MSG)
+                    raise budget_error(ops, st.max_ops)
                 if full:
                     st.current_stmt = stmt
                 if cf(st, f):
@@ -532,7 +530,7 @@ class _ProcCompiler:
             ops = st.ops + head_n
             st.ops = ops
             if ops > st.max_ops:
-                raise RuntimeErrorInProgram(_BUDGET_MSG)
+                raise budget_error(ops, st.max_ops)
             if full:
                 st.current_stmt = stmt
             first = True
@@ -578,7 +576,7 @@ class _ProcCompiler:
             ops = st.ops + head_n
             st.ops = ops
             if ops > st.max_ops:
-                raise RuntimeErrorInProgram(_BUDGET_MSG)
+                raise budget_error(ops, st.max_ops)
             if full:
                 st.current_stmt = loop
             low = int(low_f(st, f))
@@ -633,7 +631,7 @@ class _ProcCompiler:
                 ops = st.ops + head_n
                 st.ops = ops
                 if ops > st.max_ops:
-                    raise RuntimeErrorInProgram(_BUDGET_MSG)
+                    raise budget_error(ops, st.max_ops)
                 low = int(low_f(st, f))
                 high = int(high_f(st, f))
                 step = int(step_f(st, f)) if step_f is not None else 1
@@ -667,7 +665,7 @@ class _ProcCompiler:
                 ops = st.ops + 1
                 st.ops = ops
                 if ops > st.max_ops:
-                    raise RuntimeErrorInProgram(_BUDGET_MSG)
+                    raise budget_error(ops, st.max_ops)
                 raise KeyError(msg)
             return missing
         binders: List[Callable] = []
@@ -696,7 +694,7 @@ class _ProcCompiler:
             ops = st.ops + 1
             st.ops = ops
             if ops > st.max_ops:
-                raise RuntimeErrorInProgram(_BUDGET_MSG)
+                raise budget_error(ops, st.max_ops)
             if full:
                 st.current_stmt = call
             if events:
@@ -1007,7 +1005,7 @@ def _make_run(effects: Tuple[Callable, ...], n: int) -> Callable:
             ops = st.ops + n
             st.ops = ops
             if ops > st.max_ops:
-                raise RuntimeErrorInProgram(_BUDGET_MSG)
+                raise budget_error(ops, st.max_ops)
             e0(st, f)
         return run1
     if not effects:
@@ -1015,14 +1013,14 @@ def _make_run(effects: Tuple[Callable, ...], n: int) -> Callable:
             ops = st.ops + n
             st.ops = ops
             if ops > st.max_ops:
-                raise RuntimeErrorInProgram(_BUDGET_MSG)
+                raise budget_error(ops, st.max_ops)
         return run0
 
     def run(st, f):
         ops = st.ops + n
         st.ops = ops
         if ops > st.max_ops:
-            raise RuntimeErrorInProgram(_BUDGET_MSG)
+            raise budget_error(ops, st.max_ops)
         for e in effects:
             e(st, f)
     return run
@@ -1034,7 +1032,7 @@ def _make_raiser(exc_type, arg, stmt, full: bool) -> Callable:
             ops = st.ops + 1
             st.ops = ops
             if ops > st.max_ops:
-                raise RuntimeErrorInProgram(_BUDGET_MSG)
+                raise budget_error(ops, st.max_ops)
             if full:
                 st.current_stmt = stmt
             raise _Cycle(arg)
@@ -1044,7 +1042,7 @@ def _make_raiser(exc_type, arg, stmt, full: bool) -> Callable:
         ops = st.ops + 1
         st.ops = ops
         if ops > st.max_ops:
-            raise RuntimeErrorInProgram(_BUDGET_MSG)
+            raise budget_error(ops, st.max_ops)
         if full:
             st.current_stmt = stmt
         raise exc_type()

@@ -54,6 +54,18 @@ class DynamicDependenceAnalyzer(Observer):
                  sample_stride: int = 1):
         self.skip_stmt_ids = skip_stmt_ids or set()
         self.sample_stride = max(1, sample_stride)
+        #: Sampling window: out of every ``2 * stride`` iterations, the
+        #: two adjacent ones with counter ≡ 0, 1 (mod window) are kept —
+        #: a *pair* so distance-1 flow dependences stay observable, while
+        #: the other ``2*(stride-1)`` iterations are skipped entirely
+        #: (the §2.5.2 batch-skipping speedup).  At stride 1 the window
+        #: degenerates to "sample everything".
+        self._window = 2 * self.sample_stride
+        #: Instrumented accesses actually recorded vs. skipped by the
+        #: sampler — the observability hook for the stride regression
+        #: tests (strictly fewer sampled accesses at stride 2 than 1).
+        self.sampled_accesses = 0
+        self.skipped_accesses = 0
         self.interpreter: Optional[Interpreter] = None
         self._stack: List[_ActiveLoop] = []
         self._invocations: Dict[int, int] = {}
@@ -87,10 +99,24 @@ class DynamicDependenceAnalyzer(Observer):
         self._stack.pop()
 
     def _sampled(self) -> bool:
-        if self.sample_stride == 1:
+        """True when the *innermost* active loop is inside its window.
+
+        The window keeps the adjacent iteration pair (counter ≡ 0 and 1
+        mod ``2 * stride``) of the innermost loop and skips the rest of
+        the batch.  The old predicate (``iteration % stride in (0, 1)``)
+        degenerated at stride 2: *every* iteration is ≡ 0 or ≡ 1
+        (mod 2), so nothing was ever skipped and the §2.5.2 speedup was
+        a no-op.  Doubling the modulus keeps the adjacent-pair property
+        (distance-1 dependences remain observable) while actually
+        skipping ``2 * (stride - 1)`` of every ``2 * stride``
+        iterations.  Only the innermost counter is windowed: requiring
+        *every* active loop to sit in its window simultaneously
+        (a joint ``all()``) provably loses dependences on nested-loop
+        workloads — outer-loop carried dependences are still witnessed
+        because each outer iteration replays the innermost window."""
+        if self.sample_stride == 1 or not self._stack:
             return True
-        return all(a.iteration % self.sample_stride in (0, 1)
-                   for a in self._stack)
+        return self._stack[-1].iteration % self._window in (0, 1)
 
     def _snapshot(self) -> Tuple:
         return tuple((a.loop.stmt_id, a.invocation, a.iteration)
@@ -101,7 +127,9 @@ class DynamicDependenceAnalyzer(Observer):
         if stmt is not None and stmt.stmt_id in self.skip_stmt_ids:
             return
         if not self._sampled():
+            self.skipped_accesses += 1
             return
+        self.sampled_accesses += 1
         self._buffers[id(buffer)] = buffer
         key = (id(buffer), offset)
         self._last_write[key] = (self._snapshot(),
@@ -112,7 +140,9 @@ class DynamicDependenceAnalyzer(Observer):
         if stmt is not None and stmt.stmt_id in self.skip_stmt_ids:
             return
         if not self._sampled():
+            self.skipped_accesses += 1
             return
+        self.sampled_accesses += 1
         key = (id(buffer), offset)
         got = self._last_write.get(key)
         if got is None:
@@ -162,7 +192,9 @@ def analyze_dependences(program: Program, inputs=(),
         interp.run()
         sp.tag(ops=interp.ops,
                carried_loops=len(analyzer.carried),
-               carried_total=sum(analyzer.carried.values()))
+               carried_total=sum(analyzer.carried.values()),
+               sampled_accesses=analyzer.sampled_accesses,
+               skipped_accesses=analyzer.skipped_accesses)
     return analyzer
 
 

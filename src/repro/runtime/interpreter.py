@@ -32,6 +32,42 @@ class RuntimeErrorInProgram(Exception):
     pass
 
 
+class OpsBudgetExceeded(RuntimeErrorInProgram):
+    """The operation budget (``max_ops``) was exhausted.
+
+    Raised identically by the tree-walking interpreter and the
+    closure-compiled engine (same type, same message for the same
+    ``max_ops``), so budget exhaustion is a *deterministic, structured*
+    outcome the service layer can classify — not a raw exception string
+    that differs per engine.  Subclasses :class:`RuntimeErrorInProgram`
+    for backward compatibility with existing ``except`` clauses.
+
+    The exception must survive a pickle round-trip (worker process →
+    scheduler), hence the explicit :meth:`__reduce__`.
+    """
+
+    def __init__(self, message: str = "operation budget exceeded",
+                 ops: Optional[int] = None,
+                 max_ops: Optional[int] = None):
+        super().__init__(message)
+        self.ops = ops
+        self.max_ops = max_ops
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.ops, self.max_ops))
+
+
+def budget_error(ops: int, max_ops: int) -> OpsBudgetExceeded:
+    """The one way both engines build a budget error.  The message
+    deliberately includes only ``max_ops`` (identical across engines for
+    the same request), never the instantaneous op count (the engines
+    check the budget at different granularities, so ``ops`` at raise
+    time is engine-dependent — it is kept on the exception object for
+    diagnostics only)."""
+    return OpsBudgetExceeded(
+        f"operation budget exceeded (max_ops={max_ops})", ops, max_ops)
+
+
 class _Cycle(Exception):
     def __init__(self, target_label):
         self.target_label = target_label
@@ -185,7 +221,7 @@ class Interpreter:
         self.ops += 1
         self.current_stmt = stmt
         if self.ops > self.max_ops:
-            raise RuntimeErrorInProgram("operation budget exceeded")
+            raise budget_error(self.ops, self.max_ops)
         if isinstance(stmt, AssignStmt):
             value = self._eval(stmt.value, frame)
             self._store(stmt.target, value, frame, stmt)

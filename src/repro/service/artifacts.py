@@ -136,6 +136,20 @@ class ArtifactStore:
         with self._lock:
             self._memory.clear()
 
+    def corrupt_on_disk(self, key: str) -> bool:
+        """Fault-injection hook: overwrite the on-disk entry with
+        truncated JSON and drop it from the memory LRU, so the next read
+        exercises the quarantine-and-recompute path.  True if a disk
+        entry existed to corrupt."""
+        with self._lock:
+            self._memory.pop(key, None)
+        path = self._path(key)
+        if path is None or not path.exists():
+            return False
+        path.write_text('{"key": "corrupt', encoding="utf-8")
+        self.metrics.incr("faults_corrupted")
+        return True
+
     # -- introspection -----------------------------------------------------
     def keys(self) -> List[str]:
         seen = set()

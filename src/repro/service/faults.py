@@ -1,0 +1,203 @@
+"""Seeded fault-injection harness for the analysis service.
+
+Production hardening is only believable if every failure mode can be
+reproduced on demand.  This module supplies two layers:
+
+**Per-request fault directives** ride in ``options["fault"]`` and are
+executed worker-side by :func:`apply_request_fault` just before the
+analysis pipeline runs (``corrupt-artifact`` is the one exception — it
+is applied scheduler-side *after* the artifact is stored)::
+
+    crash-once:<marker>            hard-kill the worker (os._exit) on the
+                                   first execution; retries find the
+                                   marker file and proceed
+    crash                          hard-kill on *every* execution
+    transient-once:<marker>        raise TransientFault once, succeed on
+                                   retry
+    transient                      raise TransientFault every time
+    hang:<seconds>                 sleep inside the worker (deadline bait)
+    hang-once:<marker>:<seconds>   sleep only on the first execution
+    slow-start:<seconds>           sleep, then complete normally
+    corrupt-artifact               after the artifact is stored, garbage
+                                   its on-disk entry (exercises the
+                                   store's quarantine path)
+
+One-shot markers are claimed atomically (``O_CREAT | O_EXCL``) so the
+"exactly once" contract holds even if the directive races across worker
+processes.
+
+**A seeded chaos plan** (:class:`FaultPlan`) draws a directive for a
+fraction of submissions, for ``repro serve --inject`` and soak tests::
+
+    FaultPlan.parse("crash=0.2,hang=0.05,seed=7")
+
+Every drawn fault is a *recoverable* one-shot (unique marker file per
+draw), so an injected service degrades — retries, deadline kills,
+recomputes — but never wedges.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import tempfile
+import time
+from typing import Dict, Optional
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "TransientFault",
+           "apply_request_fault"]
+
+#: Chaos-plan fault kinds, in the (fixed) order the single uniform draw
+#: scans them — keeping the order fixed keeps a seeded plan's fault
+#: sequence reproducible.
+FAULT_KINDS = ("crash", "transient", "hang", "slow-start",
+               "corrupt-artifact")
+
+#: Exit status used for injected hard worker kills (distinctive in logs).
+CRASH_EXIT_STATUS = 17
+
+
+class TransientFault(RuntimeError):
+    """An injected, retry-worthy failure (network blip stand-in)."""
+
+
+def _claim_once(marker: str) -> bool:
+    """Atomically claim a one-shot marker file: True exactly once."""
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    except OSError:
+        # Unwritable marker path: treat as already claimed rather than
+        # crashing the worker with an unrelated error.
+        return False
+    os.close(fd)
+    return True
+
+
+def apply_request_fault(options: Dict) -> None:
+    """Execute the ``options["fault"]`` directive, if any.
+
+    Runs in the worker process, before the analysis pipeline.  Raises
+    :class:`ValueError` for unknown directives (surfacing typos as clean
+    400s/failed jobs instead of silently skipping the fault).
+    """
+    fault = options.get("fault")
+    if not fault:
+        return
+    spec = str(fault)
+    kind, _, rest = spec.partition(":")
+    if kind == "crash-once":
+        if _claim_once(rest):
+            os._exit(CRASH_EXIT_STATUS)      # simulate a hard worker crash
+    elif kind == "crash":
+        os._exit(CRASH_EXIT_STATUS)
+    elif kind == "transient-once":
+        if _claim_once(rest):
+            raise TransientFault("injected transient fault (once)")
+    elif kind == "transient":
+        raise TransientFault("injected transient fault")
+    elif kind == "hang":
+        time.sleep(float(rest))
+    elif kind == "hang-once":
+        marker, _, seconds = rest.rpartition(":")
+        if _claim_once(marker):
+            time.sleep(float(seconds))
+    elif kind == "slow-start":
+        time.sleep(float(rest))
+    elif kind == "corrupt-artifact":
+        pass          # applied scheduler-side, after the artifact store
+    else:
+        raise ValueError(f"unknown fault directive {spec!r}")
+
+
+class FaultPlan:
+    """Seeded, rate-based chaos: a directive for a fraction of jobs.
+
+    ``rates`` maps a :data:`FAULT_KINDS` entry to a probability in
+    [0, 1].  :meth:`draw` makes one uniform draw per job and scans the
+    kinds in fixed order, so two plans with the same spec produce the
+    same fault sequence — chaos runs are replayable.
+    """
+
+    def __init__(self, rates: Dict[str, float], *, seed: int = 0,
+                 hang_s: float = 30.0, slow_s: float = 0.25):
+        import random
+        for kind in rates:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}; choose "
+                                 f"from {FAULT_KINDS}")
+        total = sum(rates.values())
+        if any(r < 0 for r in rates.values()) or total > 1.0:
+            raise ValueError("fault rates must be >= 0 and sum to <= 1")
+        self.rates = dict(rates)
+        self.seed = seed
+        self.hang_s = float(hang_s)
+        self.slow_s = float(slow_s)
+        self._rng = random.Random(seed)
+        self._counter = itertools.count(1)
+        self._dir: Optional[str] = None
+        self.drawn = 0           # directives handed out (observability)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> Optional["FaultPlan"]:
+        """``"crash=0.2,hang=0.05,seed=7,hang_s=1.5"`` → a plan.
+
+        Returns None for an empty/None spec so callers can pass the CLI
+        flag straight through.
+        """
+        if not spec:
+            return None
+        rates: Dict[str, float] = {}
+        kwargs: Dict[str, float] = {}
+        for part in str(spec).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad fault spec part {part!r} (want kind=rate)")
+            name, _, value = part.partition("=")
+            name = name.strip()
+            if name == "seed":
+                kwargs["seed"] = int(value)
+            elif name == "hang_s":
+                kwargs["hang_s"] = float(value)
+            elif name == "slow_s":
+                kwargs["slow_s"] = float(value)
+            else:
+                rates[name] = float(value)
+        return cls(rates, **kwargs)
+
+    # -- drawing -------------------------------------------------------------
+    def _marker(self) -> str:
+        if self._dir is None:
+            self._dir = tempfile.mkdtemp(prefix="repro-faults-")
+        return os.path.join(self._dir, f"fault-{next(self._counter):05d}")
+
+    def draw(self) -> Optional[str]:
+        """A fault directive for the next job, or None (the common case)."""
+        u = self._rng.random()
+        acc = 0.0
+        for kind in FAULT_KINDS:
+            acc += self.rates.get(kind, 0.0)
+            if u < acc:
+                self.drawn += 1
+                return self._directive(kind)
+        return None
+
+    def _directive(self, kind: str) -> str:
+        if kind == "crash":
+            return f"crash-once:{self._marker()}"
+        if kind == "transient":
+            return f"transient-once:{self._marker()}"
+        if kind == "hang":
+            return f"hang-once:{self._marker()}:{self.hang_s}"
+        if kind == "slow-start":
+            return f"slow-start:{self.slow_s}"
+        return "corrupt-artifact"
+
+    def __repr__(self):
+        parts = ",".join(f"{k}={v:g}" for k, v in sorted(self.rates.items()))
+        return f"FaultPlan({parts},seed={self.seed})"

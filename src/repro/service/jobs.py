@@ -50,6 +50,57 @@ _DEFAULT_OPTIONS = {
     "assertions": False,
 }
 
+#: Server-boundary ceiling for ``options["max_ops"]`` — a request may
+#: lower its op budget but never raise it past the engine default, so a
+#: single pathological job cannot monopolize a pool slot indefinitely.
+MAX_OPS_CAP = 500_000_000
+
+
+def validate_options(options) -> Optional[Dict]:
+    """Validate and normalize request options at the service boundary.
+
+    Raises :class:`ValueError` with a client-actionable message for bad
+    shapes/values; returns a sanitized copy (``max_ops`` coerced to int
+    and capped at :data:`MAX_OPS_CAP`, ``deadline_s`` coerced to float).
+    ``None`` passes through (defaults apply).
+    """
+    if options is None:
+        return None
+    if not isinstance(options, dict):
+        raise ValueError("options must be a JSON object")
+    out = dict(options)
+    engine = out.get("engine")
+    if engine is not None:
+        from ..runtime.interpreter import (COMPILED_ENGINE_NAMES,
+                                           TREE_ENGINE_NAMES)
+        names = COMPILED_ENGINE_NAMES + TREE_ENGINE_NAMES
+        if engine not in names:
+            raise ValueError(f"unknown engine {engine!r}; choose from "
+                             f"{sorted(names)}")
+    machine = out.get("machine")
+    if machine is not None:
+        from ..runtime.machine import MACHINES
+        if machine not in MACHINES:
+            raise ValueError(f"unknown machine {machine!r}; choose from "
+                             f"{sorted(MACHINES)}")
+    if "max_ops" in out:
+        try:
+            max_ops = int(out["max_ops"])
+        except (TypeError, ValueError):
+            raise ValueError("max_ops must be an integer") from None
+        if max_ops <= 0:
+            raise ValueError("max_ops must be positive")
+        out["max_ops"] = min(max_ops, MAX_OPS_CAP)
+    if "deadline_s" in out:
+        try:
+            deadline = float(out["deadline_s"])
+        except (TypeError, ValueError):
+            raise ValueError("deadline_s must be a number") from None
+        if not deadline > 0:
+            raise ValueError("deadline_s must be positive")
+        out["deadline_s"] = deadline
+    return out
+
 
 class AnalysisRequest:
     """One unit of analysis work, content-addressable."""
@@ -122,7 +173,8 @@ def execute_request(request: AnalysisRequest) -> Dict:
     function of the request content only, and every field is plain JSON.
     """
     from ..obs import get_tracer
-    _maybe_inject_fault(request.options)
+    from .faults import apply_request_fault
+    apply_request_fault(request.options)
     tracer = get_tracer()
     with tracer.span("execute_request",
                      target=request.describe()) as root:
@@ -138,9 +190,12 @@ def execute_request(request: AnalysisRequest) -> Dict:
             raise ValueError(f"unknown machine {machine_name!r}; choose "
                              f"from {sorted(MACHINES)}") from None
         program = build_program(r.source, r.program_name)
+        max_ops = min(int(r.options.get("max_ops", MAX_OPS_CAP)),
+                      MAX_OPS_CAP)
         session = ExplorerSession(
             program, inputs=r.inputs, machine=machine,
             use_liveness=bool(r.options.get("use_liveness", True)),
+            max_ops=max_ops,
             engine=r.options.get("engine", "compiled"))
         session.run_automatic()
 
@@ -262,19 +317,10 @@ def session_snapshot(session,
 
 
 def _maybe_inject_fault(options: Dict) -> None:
-    """Crash-injection hook for exercising the scheduler's worker-crash
-    retry path (``options["fault"] = "crash-once:<marker-path>"``): the
-    first execution of the request hard-kills the worker process; the
-    retry finds the marker file and proceeds normally."""
-    fault = options.get("fault")
-    if not fault or not str(fault).startswith("crash-once:"):
-        return
-    import os
-    marker = str(fault).split(":", 1)[1]
-    if not os.path.exists(marker):
-        with open(marker, "w") as fh:
-            fh.write("crashed")
-        os._exit(17)            # simulate a hard worker crash
+    """Back-compat alias: the crash hook grew into the full fault
+    harness in :mod:`repro.service.faults`."""
+    from .faults import apply_request_fault
+    apply_request_fault(options)
 
 
 # -- the job record -----------------------------------------------------------
@@ -287,9 +333,11 @@ class Job:
 
     __slots__ = ("id", "request", "key", "state", "error", "attempts",
                  "created_at", "started_at", "finished_at", "cached",
-                 "done_event")
+                 "done_event", "deadline_s", "deadline_at", "generation",
+                 "failure_kind")
 
-    def __init__(self, request: AnalysisRequest, key: str):
+    def __init__(self, request: AnalysisRequest, key: str,
+                 deadline_s: Optional[float] = None):
         self.id = f"job-{next(_job_counter):06d}"
         self.request = request
         self.key = key
@@ -301,6 +349,18 @@ class Job:
         self.finished_at: Optional[float] = None
         self.cached = False          # served straight from the store
         self.done_event = threading.Event()
+        #: Wall-budget for this job (None = no deadline).  The watchdog
+        #: compares against ``deadline_at``, a *monotonic* instant set
+        #: when the job first starts running — NTP steps can't shrink or
+        #: stretch a job's allowance.
+        self.deadline_s = deadline_s
+        self.deadline_at: Optional[float] = None
+        #: Pool generation the job was last dispatched on (crash
+        #: forensics / single-flight rebuild bookkeeping).
+        self.generation: Optional[int] = None
+        #: Failure taxonomy bucket ("error", "crash", "deadline",
+        #: "budget", "transient", "shutdown"); None until failed.
+        self.failure_kind: Optional[str] = None
 
     # -- transitions (scheduler holds its lock around these) ----------------
     def mark_queued(self) -> None:
@@ -311,6 +371,8 @@ class Job:
         self.attempts += 1
         if self.started_at is None:
             self.started_at = time.time()
+        if self.deadline_s is not None and self.deadline_at is None:
+            self.deadline_at = time.monotonic() + self.deadline_s
 
     def mark_done(self, *, cached: bool = False) -> None:
         self.state = DONE
@@ -318,9 +380,10 @@ class Job:
         self.finished_at = time.time()
         self.done_event.set()
 
-    def mark_failed(self, error: str) -> None:
+    def mark_failed(self, error: str, kind: str = "error") -> None:
         self.state = FAILED
         self.error = error
+        self.failure_kind = kind
         self.finished_at = time.time()
         self.done_event.set()
 
@@ -341,6 +404,8 @@ class Job:
             "error": self.error,
             "attempts": self.attempts,
             "cached": self.cached,
+            "deadline_s": self.deadline_s,
+            "failure_kind": self.failure_kind,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,

@@ -86,6 +86,17 @@ class ServiceMetrics:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
 
+    def incr_failure(self, kind: str) -> None:
+        """Count one failure into both the total and its taxonomy bucket
+        (``failures_total`` + ``failures_<kind>``), so ``GET /metrics``
+        breaks outages down by cause (crash / deadline / budget /
+        transient / shutdown / error)."""
+        with self._lock:
+            self._counters["failures_total"] = \
+                self._counters.get("failures_total", 0) + 1
+            key = f"failures_{kind}"
+            self._counters[key] = self._counters.get(key, 0) + 1
+
     def gauge(self, name: str, value: float) -> None:
         with self._lock:
             self._gauges[name] = value

@@ -10,10 +10,39 @@ scheduler can:
 * **dedupe** identical in-flight requests (same content key → same Job),
 * serve repeats straight from the :class:`ArtifactStore`,
 * **retry** jobs whose worker process died (``BrokenProcessPool``) on a
-  rebuilt pool, up to ``max_retries`` attempts,
+  rebuilt pool — with jittered exponential backoff, up to
+  ``max_retries`` attempts,
 * stay **deterministic**: a batch produces artifacts bit-identical to
   running the same requests sequentially in one process, regardless of
   worker count or completion order (results are keyed, not ordered).
+
+Robustness layer (the parts that make "heavy traffic" survivable):
+
+* **Deadlines** — ``options["deadline_s"]`` (or the scheduler-wide
+  ``default_deadline_s``) bounds a job's wall time across all attempts.
+  A watchdog thread fails over-deadline jobs with reason exactly
+  ``"deadline exceeded"``, frees their in-flight slot (an identical
+  resubmit runs fresh), and terminates the stuck worker; sibling jobs
+  caught in the resulting pool breakage are retried on the rebuilt pool.
+  Deadlines use ``time.monotonic()`` throughout — wall-clock steps
+  cannot shrink or stretch a budget.  (Inline execution cannot be
+  preempted, so deadlines bind only in pool mode.)
+* **Single-flight pool rebuild** — a worker death breaks *every*
+  in-flight future at once; a generation counter ensures only the first
+  observer discards and rebuilds the pool, and the survivors are
+  redispatched against the one fresh pool instead of triggering a
+  rebuild storm.
+* **Circuit breaker** — after ``breaker_threshold`` consecutive pool
+  breakages the scheduler stops feeding the pool and runs jobs inline
+  (degraded but alive); after ``breaker_cooldown_s`` it half-opens and
+  probes the pool again, closing on the first pooled success.
+* **Bounded retention** — finished jobs beyond ``max_jobs`` are evicted
+  oldest-first (``GET /jobs/<id>`` then 404s), mirroring the bounded
+  ``_traces`` LRU, so a long-lived service cannot leak its job registry.
+* **Fault injection** — a seeded :class:`~repro.service.faults.FaultPlan`
+  can stamp chaos directives onto a fraction of submissions
+  (``repro serve --inject``); every failure path above increments a
+  taxonomy metrics counter and emits a tracer event.
 
 ``inline=True`` bypasses the pool and executes synchronously in-process —
 the reference behaviour the determinism tests compare against, and the
@@ -22,13 +51,18 @@ sensible mode on single-core hosts.
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 from collections import OrderedDict
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from concurrent.futures import (BrokenExecutor, CancelledError,
+                                ProcessPoolExecutor)
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..obs import NULL_TRACER, Tracer, activate
+from ..runtime.interpreter import OpsBudgetExceeded
 from .artifacts import ArtifactStore
+from .faults import FaultPlan, TransientFault
 from .jobs import AnalysisRequest, Job, execute_request
 from .metrics import NULL_METRICS, ServiceMetrics
 
@@ -60,7 +94,14 @@ class BatchScheduler:
                  max_retries: int = 2,
                  inline: bool = False,
                  tracer=None,
-                 max_traces: int = 256):
+                 max_traces: int = 256,
+                 max_jobs: int = 1024,
+                 default_deadline_s: Optional[float] = None,
+                 fault_plan: Union[FaultPlan, str, None] = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 30.0,
+                 retry_backoff_s: float = 0.05,
+                 watchdog_interval_s: float = 0.02):
         self.store = store if store is not None else ArtifactStore(None)
         self.metrics = metrics
         self.workers = workers
@@ -69,41 +110,180 @@ class BatchScheduler:
         #: Span sink; NULL_TRACER keeps every trace path zero-cost-ish.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.max_traces = max(1, max_traces)
+        self.max_jobs = max(1, max_jobs)
+        self.default_deadline_s = default_deadline_s
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        self.fault_plan = fault_plan
+        self.breaker_threshold = max(1, breaker_threshold)
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.retry_backoff_s = retry_backoff_s
+        self.watchdog_interval_s = watchdog_interval_s
+        self._rng = random.Random(0x5EED)        # retry jitter only
         self._lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._jobs: Dict[str, Job] = {}          # job id -> Job
+        self._generation = 0                     # bumps on every rebuild
+        self._jobs: Dict[str, Job] = {}          # job id -> Job (insertion order)
         self._inflight: Dict[str, Job] = {}      # artifact key -> Job
+        self._futures: Dict[str, object] = {}    # job id -> Future
+        self._timers: Dict[str, threading.Timer] = {}   # job id -> retry timer
         self._traces: "OrderedDict[str, List[Dict]]" = OrderedDict()
+        self._breaker_failures = 0               # consecutive pool breakages
+        self._breaker_open_until: Optional[float] = None   # monotonic
+        self._watchdog: Optional[threading.Thread] = None
+        self._watchdog_stop = threading.Event()
         self._shutdown = False
 
     # -- pool lifecycle ----------------------------------------------------
-    def _get_pool(self) -> ProcessPoolExecutor:
+    def _get_pool(self):
+        """The live pool and its generation (building one if needed)."""
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("scheduler is shut down")
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            return self._pool
+            return self._pool, self._generation
 
-    def _discard_pool(self) -> None:
-        """Drop a broken pool so the next dispatch builds a fresh one."""
+    def _recycle_pool(self, observed_gen: int,
+                      count_breaker: bool = True) -> bool:
+        """Discard a broken pool — **single-flight**.
+
+        Every in-flight future breaks at once when a worker dies, and
+        each completion callback lands here; only the first caller still
+        observing ``observed_gen`` discards the pool and bumps the
+        generation.  The rest see a newer generation and return without
+        touching the (already fresh) pool — no rebuild storm.
+
+        ``count_breaker=False`` is the deadline-kill path: a deliberate
+        worker termination proves nothing about pool health, so it must
+        not push the circuit breaker toward open."""
         with self._lock:
+            if observed_gen != self._generation or self._pool is None:
+                return False
             pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=False)
+            self._generation += 1
+            gen = self._generation
+            opened = False
+            if count_breaker:
+                self._breaker_failures += 1
+                if self._breaker_failures >= self.breaker_threshold:
+                    opened = self._breaker_open_until is None
+                    self._breaker_open_until = (time.monotonic()
+                                                + self.breaker_cooldown_s)
+        pool.shutdown(wait=False)
+        self.metrics.incr("pool_rebuilds")
+        self.tracer.event("pool_recycled", generation=gen)
+        if opened:
+            self.metrics.incr("breaker_opened")
+            self.tracer.event("breaker_open",
+                              failures=self.breaker_threshold)
+        return True
+
+    def _pool_allowed(self) -> bool:
+        """Circuit-breaker gate: False while the breaker is open.
+
+        After the cooldown the gate half-opens (returns True) so one
+        dispatch probes the pool; a pooled success closes the breaker,
+        another breakage re-arms the cooldown."""
+        with self._lock:
+            until = self._breaker_open_until
+        if until is None:
+            return True
+        return time.monotonic() >= until
+
+    def _terminate_pool_processes(self, gen: Optional[int]) -> None:
+        """Kill the worker processes of generation ``gen`` (deadline
+        enforcement: a hung worker never returns, so it must die).  The
+        resulting ``BrokenProcessPool`` on sibling futures routes them
+        through the single-flight recycle + retry path."""
+        with self._lock:
+            pool = self._pool if gen == self._generation else None
+        if pool is None:
+            return
+        procs = list(getattr(pool, "_processes", {}).values())
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:                   # noqa: BLE001
+                pass
+        self.metrics.incr("workers_terminated", len(procs))
 
     def shutdown(self, wait: bool = True) -> None:
+        self._watchdog_stop.set()
         with self._lock:
             self._shutdown = True
             pool, self._pool = self._pool, None
+            timers = dict(self._timers)
+            self._timers.clear()
+            watchdog = self._watchdog
+        for timer in timers.values():
+            timer.cancel()
+        for job_id in timers:
+            job = self.job(job_id)
+            if job is not None and not job.finished:
+                self._fail(job, "scheduler shutdown", "shutdown")
         if pool is not None:
             pool.shutdown(wait=wait)
+        if watchdog is not None and watchdog.is_alive():
+            watchdog.join(timeout=1.0)
 
     def __enter__(self) -> "BatchScheduler":
         return self
 
     def __exit__(self, *exc) -> None:
         self.shutdown()
+
+    # -- watchdog ----------------------------------------------------------
+    def _ensure_watchdog(self) -> None:
+        with self._lock:
+            if self._watchdog is not None or self._shutdown:
+                return
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="scheduler-watchdog",
+                daemon=True)
+            thread = self._watchdog
+        thread.start()
+
+    def _watchdog_loop(self) -> None:
+        while not self._watchdog_stop.wait(self.watchdog_interval_s):
+            try:
+                self._reap_deadlines()
+            except Exception:                   # noqa: BLE001
+                # The watchdog must outlive any single bad job.
+                self.metrics.incr("watchdog_errors")
+
+    def _reap_deadlines(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            expired = [job for job in self._inflight.values()
+                       if job.deadline_at is not None
+                       and not job.finished and now >= job.deadline_at]
+        for job in expired:
+            self._expire(job)
+
+    def _expire(self, job: Job) -> None:
+        """Deadline enforcement for one job: fail it (reason exactly
+        ``"deadline exceeded"``), free its in-flight slot so an identical
+        resubmit runs fresh, and reclaim its worker."""
+        with self._lock:
+            future = self._futures.get(job.id)
+        # Fail *first*: completion callbacks observe job.finished and
+        # stand down, so a racing worker result cannot resurrect the job.
+        if not self._fail(job, "deadline exceeded", "deadline"):
+            return                               # lost the race: job done
+        self.metrics.incr("jobs_deadline_exceeded")
+        self.tracer.event("deadline_exceeded", job=job.id,
+                          target=job.request.describe(),
+                          deadline_s=job.deadline_s)
+        if future is not None and not future.cancel() and \
+                not future.done():
+            # Already running on a worker: the only way to reclaim the
+            # slot is to kill the worker (pool siblings get retried).
+            # Proactively recycle so the *next* submit lands on a fresh
+            # pool instead of burning a retry on the corpse — without
+            # charging the circuit breaker for a deliberate kill.
+            self._terminate_pool_processes(job.generation)
+            self._recycle_pool(job.generation, count_breaker=False)
 
     # -- submission --------------------------------------------------------
     def submit(self, request: AnalysisRequest) -> Job:
@@ -112,7 +292,16 @@ class BatchScheduler:
         finished requests are served from the artifact store."""
         with self.tracer.span("submit",
                               target=request.describe()) as sp:
+            if self.fault_plan is not None and \
+                    not request.options.get("fault"):
+                directive = self.fault_plan.draw()
+                if directive is not None:
+                    request.options["fault"] = directive
+                    self.metrics.incr("faults_injected")
+                    sp.tag(fault=directive.split(":", 1)[0])
             key = request.key()  # resolves the corpus; may raise KeyError
+            deadline_s = request.options.get("deadline_s",
+                                             self.default_deadline_s)
             cached = self.store.get(key)
             with self._lock:
                 existing = self._inflight.get(key)
@@ -120,11 +309,12 @@ class BatchScheduler:
                     self.metrics.incr("jobs_deduped")
                     sp.tag(cache="dedup", job=existing.id)
                     return existing
-                job = Job(request, key)
+                job = Job(request, key, deadline_s=deadline_s)
                 self._jobs[job.id] = job
                 if cached is None:
                     self._inflight[key] = job
                     job.mark_queued()
+                self._gc_finished_locked()
             self.metrics.incr("jobs_submitted")
             sp.tag(cache="hit" if cached is not None else "miss",
                    job=job.id)
@@ -136,6 +326,8 @@ class BatchScheduler:
             if self.inline:
                 self._run_inline(job)
             else:
+                if job.deadline_s is not None:
+                    self._ensure_watchdog()
                 self._dispatch(job)
             return job
 
@@ -146,6 +338,19 @@ class BatchScheduler:
         jobs = [self.submit(r) for r in requests]
         self.wait(jobs, timeout=timeout)
         return [self.artifact(job) for job in jobs]
+
+    def _gc_finished_locked(self) -> None:
+        """Evict the oldest *finished* jobs past ``max_jobs`` (lock
+        held).  Unfinished jobs are never evicted, so the registry can
+        transiently exceed the cap under a flood of live work."""
+        if len(self._jobs) <= self.max_jobs:
+            return
+        evictable = [j for j in self._jobs.values() if j.finished]
+        excess = len(self._jobs) - self.max_jobs
+        for job in evictable[:excess]:
+            del self._jobs[job.id]
+            self._traces.pop(job.id, None)
+            self.metrics.incr("jobs_evicted")
 
     # -- execution ---------------------------------------------------------
     def _run_inline(self, job: Job) -> None:
@@ -172,24 +377,43 @@ class BatchScheduler:
             self._finish_done(job, artifact)
 
     def _dispatch(self, job: Job) -> None:
+        if job.finished:
+            return
+        if not self._pool_allowed():
+            # Breaker open: degrade to inline execution — slower, but
+            # the service keeps answering while the pool is poisoned.
+            self.metrics.incr("jobs_inline_fallback")
+            self.tracer.event("inline_fallback", job=job.id)
+            self._run_inline(job)
+            return
         job.mark_running()
         trace_ctx = (self.tracer.export_context()
                      if self.tracer.enabled else None)
+        gen = None
         try:
-            pool = self._get_pool()
+            pool, gen = self._get_pool()
+            job.generation = gen
             future = pool.submit(_pool_worker, job.request.to_dict(),
                                  trace_ctx)
         except (BrokenExecutor, RuntimeError) as exc:
-            self._handle_crash(job, exc)
+            self._handle_crash(job, exc, gen)
             return
+        with self._lock:
+            self._futures[job.id] = future
         traced = trace_ctx is not None
         future.add_done_callback(
-            lambda f, j=job, t=traced: self._on_done(j, f, t))
+            lambda f, j=job, g=gen, t=traced: self._on_done(j, f, g, t))
 
-    def _on_done(self, job: Job, future, traced: bool = False) -> None:
-        if job.finished:        # a pool-wide breakage already handled it
-            return
-        exc = future.exception()
+    def _on_done(self, job: Job, future, gen: Optional[int] = None,
+                 traced: bool = False) -> None:
+        with self._lock:
+            self._futures.pop(job.id, None)
+        if job.finished:        # deadline watchdog / pool-wide breakage
+            return              # already settled this job
+        try:
+            exc = future.exception()
+        except CancelledError:
+            return              # deadline-cancelled before it started
         if exc is None:
             result = future.result()
             if traced:
@@ -197,27 +421,93 @@ class BatchScheduler:
                 artifact = result["artifact"]
             else:
                 artifact = result
-            self._finish_done(job, artifact)
+            self._finish_done(job, artifact, pooled=True)
         elif isinstance(exc, BrokenExecutor):
-            self._handle_crash(job, exc)
-        else:
-            self._finish_failed(job, exc)
-
-    def _handle_crash(self, job: Job, exc: Exception) -> None:
-        """A worker process died mid-job: rebuild the pool and retry."""
-        self._discard_pool()
-        self.metrics.incr("worker_crashes")
-        if job.attempts <= self.max_retries and not self._shutdown:
+            self.metrics.incr("futures_broken")
+            self._handle_crash(job, exc, gen)
+        elif isinstance(exc, TransientFault) and \
+                job.attempts <= self.max_retries:
+            self.metrics.incr("transient_faults")
             self.metrics.incr("jobs_retried")
-            self._dispatch(job)
+            self.tracer.event("transient_retry", job=job.id,
+                              attempt=job.attempts)
+            self._schedule_retry(job)
         else:
             self._finish_failed(job, exc)
 
-    def _finish_done(self, job: Job, artifact: Dict) -> None:
-        self.store.put(job.key, artifact)
+    def _handle_crash(self, job: Job, exc: Exception,
+                      gen: Optional[int]) -> None:
+        """A worker process died (or the pool was unusable): recycle the
+        pool exactly once and route this job to backoff-retry."""
+        if gen is not None and self._recycle_pool(gen):
+            self.metrics.incr("worker_crashes")
+        if job.finished:
+            return
+        if self._shutdown:
+            self._fail(job, "scheduler shutdown", "shutdown")
+            return
+        if job.attempts <= self.max_retries:
+            self.metrics.incr("jobs_retried")
+            self._schedule_retry(job)
+        else:
+            self._fail(job, f"{type(exc).__name__}: {exc}", "crash")
+
+    def _schedule_retry(self, job: Job) -> None:
+        """Redispatch after a jittered exponential backoff — retries
+        from a mass pool breakage spread out instead of thundering onto
+        the fresh pool in lockstep."""
+        delay = self.retry_backoff_s * (2 ** max(0, job.attempts - 1))
+        delay *= 0.5 + self._rng.random()        # jitter in [0.5, 1.5)
         with self._lock:
+            if self._shutdown:
+                shutdown = True
+            else:
+                shutdown = False
+                timer = threading.Timer(delay, self._redispatch, [job])
+                timer.daemon = True
+                self._timers[job.id] = timer
+        if shutdown:
+            self._fail(job, "scheduler shutdown", "shutdown")
+            return
+        self.metrics.observe("retry_backoff", delay)
+        timer.start()
+
+    def _redispatch(self, job: Job) -> None:
+        with self._lock:
+            self._timers.pop(job.id, None)
+            shutdown = self._shutdown
+        if job.finished:
+            return
+        if shutdown:
+            self._fail(job, "scheduler shutdown", "shutdown")
+            return
+        self._dispatch(job)
+
+    # -- settlement --------------------------------------------------------
+    def _finish_done(self, job: Job, artifact: Dict,
+                     pooled: bool = False) -> None:
+        self.store.put(job.key, artifact)
+        if str(job.request.options.get("fault") or "") == \
+                "corrupt-artifact":
+            # Applied post-store so the *next* read exercises the
+            # store's quarantine-and-recompute path.
+            self.store.corrupt_on_disk(job.key)
+        closed = False
+        with self._lock:
+            if job.finished:
+                return
             self._inflight.pop(job.key, None)
-        job.mark_done()
+            self._futures.pop(job.id, None)
+            job.mark_done()
+            if pooled:
+                # A pooled success proves the pool is healthy again.
+                self._breaker_failures = 0
+                if self._breaker_open_until is not None:
+                    self._breaker_open_until = None
+                    closed = True
+        if closed:
+            self.metrics.incr("breaker_closed")
+            self.tracer.event("breaker_closed")
         self.metrics.incr("jobs_completed")
         if job.started_at is not None:
             self.metrics.observe("job_latency",
@@ -225,11 +515,33 @@ class BatchScheduler:
         self._update_queue_gauge()
 
     def _finish_failed(self, job: Job, exc: Exception) -> None:
+        kind = "error"
+        if isinstance(exc, OpsBudgetExceeded):
+            kind = "budget"
+        elif isinstance(exc, TransientFault):
+            kind = "transient"
+        elif isinstance(exc, BrokenExecutor):
+            kind = "crash"
+        self._fail(job, f"{type(exc).__name__}: {exc}", kind)
+
+    def _fail(self, job: Job, reason: str, kind: str) -> bool:
+        """Settle a job as failed (idempotent; False if it already
+        finished).  Frees the in-flight slot so an identical resubmit
+        creates a fresh job instead of deduping onto a corpse."""
         with self._lock:
+            if job.finished:
+                return False
             self._inflight.pop(job.key, None)
-        job.mark_failed(f"{type(exc).__name__}: {exc}")
+            self._futures.pop(job.id, None)
+            timer = self._timers.pop(job.id, None)
+            job.mark_failed(reason, kind=kind)
+        if timer is not None:
+            timer.cancel()
         self.metrics.incr("jobs_failed")
+        self.metrics.incr_failure(kind)
+        self.tracer.event("job_failed", job=job.id, kind=kind)
         self._update_queue_gauge()
+        return True
 
     def _update_queue_gauge(self) -> None:
         with self._lock:
@@ -271,13 +583,14 @@ class BatchScheduler:
 
     def wait(self, jobs: Sequence[Job],
              timeout: Optional[float] = None) -> bool:
-        """Block until every job finished; False on timeout."""
-        import time as _time
-        deadline = None if timeout is None else _time.time() + timeout
+        """Block until every job finished; False on timeout.  Monotonic
+        throughout — an NTP step cannot corrupt the deadline."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
         for job in jobs:
             remain = None
             if deadline is not None:
-                remain = max(0.0, deadline - _time.time())
+                remain = max(0.0, deadline - time.monotonic())
             if not job.wait(remain):
                 return False
         return True

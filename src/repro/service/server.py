@@ -27,7 +27,8 @@ from typing import Dict, Optional, Tuple
 
 from ..obs import Tracer
 from .artifacts import ArtifactStore
-from .jobs import AnalysisRequest
+from .faults import FaultPlan
+from .jobs import AnalysisRequest, validate_options
 from .metrics import ServiceMetrics
 from .scheduler import BatchScheduler
 
@@ -43,7 +44,10 @@ class AnalysisService:
                  store: Optional[ArtifactStore] = None,
                  scheduler: Optional[BatchScheduler] = None,
                  metrics: Optional[ServiceMetrics] = None,
-                 trace: bool = True):
+                 trace: bool = True,
+                 inject: Optional[str] = None,
+                 default_deadline_s: Optional[float] = None,
+                 max_jobs: int = 1024):
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.store = store if store is not None else \
             ArtifactStore(cache_dir, metrics=self.metrics)
@@ -53,7 +57,10 @@ class AnalysisService:
         tracer = Tracer() if trace else None
         self.scheduler = scheduler if scheduler is not None else \
             BatchScheduler(self.store, metrics=self.metrics,
-                           workers=workers, inline=inline, tracer=tracer)
+                           workers=workers, inline=inline, tracer=tracer,
+                           fault_plan=FaultPlan.parse(inject),
+                           default_deadline_s=default_deadline_s,
+                           max_jobs=max_jobs)
 
     # -- routes ------------------------------------------------------------
     def handle_get(self, path: str) -> Tuple[int, Dict]:
@@ -96,11 +103,12 @@ class AnalysisService:
         parts = [p for p in path.split("/") if p]
         if parts == ["jobs"]:
             try:
+                options = validate_options(body.get("options"))
                 request = AnalysisRequest(
                     body.get("workload"), source=body.get("source"),
                     program_name=body.get("program_name"),
                     inputs=body.get("inputs"),
-                    options=body.get("options"))
+                    options=options)
                 job = self.scheduler.submit(request)
             except (KeyError, ValueError, TypeError) as exc:
                 return 400, {"error": str(exc)}

@@ -158,6 +158,28 @@ def test_interpreter_vs_transpiled_backend(source):
     assert transpiled == pytest.approx([float(v) for v in interp])
 
 
+@settings(max_examples=20, deadline=None)
+@given(programs())
+def test_budget_exhaustion_is_identical_across_engines(source):
+    """Budget-bounded differential case: with ``max_ops`` set below a
+    program's total op count, both engines must fail with the *same*
+    unified :class:`OpsBudgetExceeded` — identical type, identical
+    message — never a partial result or a divergent error string."""
+    from repro.runtime import OpsBudgetExceeded
+    prog = build_program(source, "fuzz")
+    total = run_program(prog, max_ops=2_000_000, engine="tree").ops
+    budget = max(1, total // 2)
+    messages = []
+    for engine in ("tree", "compiled"):
+        with pytest.raises(OpsBudgetExceeded) as exc_info:
+            run_program(prog, max_ops=budget, engine=engine)
+        assert exc_info.value.max_ops == budget
+        messages.append(str(exc_info.value))
+    assert messages[0] == messages[1]
+    assert messages[0] == \
+        f"operation budget exceeded (max_ops={budget})"
+
+
 def _assert_engine_parity(prog_a, prog_b, inputs=(),
                           max_ops=20_000_000, context=""):
     """Tree-walking oracle and compiled engine must agree *exactly*:

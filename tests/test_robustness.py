@@ -1,0 +1,381 @@
+"""Service hardening: deadlines, budgets, fault injection, degradation.
+
+Every failure mode the scheduler claims to survive is injected here and
+driven end-to-end (HTTP → scheduler → pool → artifact store):
+
+* seeded :class:`FaultPlan` chaos — worker crash, transient exception,
+  hang, slow-start, corrupt-artifact — and the one-shot directive layer,
+* per-job **deadlines**: over-deadline jobs end ``failed`` with reason
+  exactly ``"deadline exceeded"``, their in-flight slot is freed (an
+  identical resubmit runs fresh), and sibling jobs still complete,
+* unified **op-budget enforcement**: budget-exceeded jobs fail
+  identically under both engines (same error string, same taxonomy
+  bucket), inline and across the process pool,
+* **graceful degradation**: single-flight pool rebuild (no rebuild
+  storm), jittered backoff retries, the inline-fallback circuit breaker,
+  and bounded finished-job retention,
+* the determinism contract *under* injected crashes and retries.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.service import (AnalysisRequest, AnalysisServer, ArtifactStore,
+                           BatchScheduler, FaultPlan, ServiceMetrics,
+                           TransientFault, apply_request_fault,
+                           canonical_json, run_sequential,
+                           validate_options)
+from repro.service.jobs import MAX_OPS_CAP
+
+SRC = """
+      PROGRAM tiny
+      DIMENSION a(40)
+      DO 10 i = 1, 40
+        a(i) = i * 2.0
+10    CONTINUE
+      s = 0.0
+      DO 20 i = 1, 40
+        s = s + a(i)
+20    CONTINUE
+      PRINT *, s
+      END
+"""
+
+
+def _call(server, method, path, body=None):
+    import urllib.error
+    import urllib.request
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(server.url + path, data=data,
+                                 method=method,
+                                 headers={"Content-Type":
+                                          "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _poll_job(server, job_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, out = _call(server, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if out["job"]["state"] in ("done", "failed"):
+            return out["job"]
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+# -- the fault plan -----------------------------------------------------------
+
+def test_fault_plan_parse_and_seeded_determinism():
+    a = FaultPlan.parse("crash=0.3,transient=0.2,seed=7")
+    b = FaultPlan.parse("crash=0.3,transient=0.2,seed=7")
+    kinds_a = [(d or "").split(":", 1)[0] for d in
+               (a.draw() for _ in range(50))]
+    kinds_b = [(d or "").split(":", 1)[0] for d in
+               (b.draw() for _ in range(50))]
+    assert kinds_a == kinds_b                    # replayable chaos
+    assert "crash-once" in kinds_a and "transient-once" in kinds_a
+    assert FaultPlan.parse("") is None and FaultPlan.parse(None) is None
+
+
+def test_fault_plan_rejects_bad_specs():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan.parse("meteor=0.5")
+    with pytest.raises(ValueError, match="sum to <= 1"):
+        FaultPlan.parse("crash=0.9,hang=0.9")
+    with pytest.raises(ValueError, match="kind=rate"):
+        FaultPlan.parse("crash")
+
+
+def test_unknown_fault_directive_is_a_clean_error():
+    with pytest.raises(ValueError, match="unknown fault directive"):
+        apply_request_fault({"fault": "comet:1"})
+
+
+def test_transient_once_fires_exactly_once(tmp_path):
+    opts = {"fault": f"transient-once:{tmp_path / 'm'}"}
+    with pytest.raises(TransientFault):
+        apply_request_fault(opts)
+    apply_request_fault(opts)                    # second call: no raise
+
+
+# -- option validation at the server boundary ---------------------------------
+
+def test_validate_options_caps_max_ops_and_rejects_garbage():
+    assert validate_options(None) is None
+    out = validate_options({"max_ops": 10 ** 18, "deadline_s": "2.5"})
+    assert out["max_ops"] == MAX_OPS_CAP and out["deadline_s"] == 2.5
+    for bad in [{"max_ops": 0}, {"max_ops": "many"},
+                {"deadline_s": -1}, {"deadline_s": "soon"},
+                {"engine": "quantum"}, {"machine": "abacus"}, [1, 2]]:
+        with pytest.raises(ValueError):
+            validate_options(bad)
+
+
+def test_http_rejects_bad_options_and_non_object_bodies():
+    with AnalysisServer(inline=True) as server:
+        for bad_opts in [{"max_ops": 0}, {"engine": "quantum"},
+                         {"deadline_s": -3}]:
+            status, out = _call(server, "POST", "/jobs",
+                                {"workload": "ora", "options": bad_opts})
+            assert status == 400 and "error" in out
+        # non-object JSON bodies must 400, never 500 (AttributeError)
+        for raw in [[1, 2], "x", 7, None]:
+            status, out = _call(server, "POST", "/jobs", raw)
+            assert status == 400, f"body {raw!r} -> {status}"
+            assert "error" in out
+
+
+# -- unified op-budget enforcement --------------------------------------------
+
+def test_budget_exceeded_identical_across_engines_inline():
+    metrics = ServiceMetrics()
+    with BatchScheduler(ArtifactStore(None), metrics=metrics,
+                        inline=True) as sched:
+        jobs = [sched.submit(AnalysisRequest(
+                    source=SRC, program_name="tiny",
+                    options={"engine": engine, "max_ops": 50}))
+                for engine in ("compiled", "tree")]
+    for job in jobs:
+        assert job.state == "failed"
+        assert job.failure_kind == "budget"
+    # the unified error: byte-identical across engines
+    assert jobs[0].error == jobs[1].error
+    assert jobs[0].error == \
+        "OpsBudgetExceeded: operation budget exceeded (max_ops=50)"
+    assert metrics.counter("failures_budget") == 2
+    assert metrics.counter("failures_total") == 2
+
+
+def test_budget_exceeded_survives_the_process_pool(tmp_path):
+    """OpsBudgetExceeded must pickle across the pool boundary intact
+    (type, message, taxonomy) — not degrade into a bare RuntimeError."""
+    with BatchScheduler(ArtifactStore(None), workers=1) as sched:
+        job = sched.submit(AnalysisRequest(
+            source=SRC, program_name="tiny", options={"max_ops": 50}))
+        assert job.wait(120)
+    assert job.state == "failed" and job.failure_kind == "budget"
+    assert job.error == \
+        "OpsBudgetExceeded: operation budget exceeded (max_ops=50)"
+
+
+# -- deadlines ----------------------------------------------------------------
+
+def test_deadline_kills_hung_job_but_siblings_complete(tmp_path):
+    metrics = ServiceMetrics()
+    with BatchScheduler(ArtifactStore(None), metrics=metrics, workers=2,
+                        watchdog_interval_s=0.02) as sched:
+        hang_opts = {"fault": f"hang-once:{tmp_path / 'h'}:60",
+                     "deadline_s": 1.0}
+        hung = sched.submit(AnalysisRequest("ora", options=hang_opts))
+        siblings = [sched.submit(AnalysisRequest(w))
+                    for w in ("track", "ear")]
+        assert sched.wait([hung, *siblings], timeout=120)
+        # over-deadline job: failed, with the exact contractual reason
+        assert hung.state == "failed"
+        assert hung.error == "deadline exceeded"
+        assert hung.failure_kind == "deadline"
+        # sibling jobs complete despite the worker kill
+        for sib in siblings:
+            assert sib.state == "done", sib.error
+        assert metrics.counter("jobs_deadline_exceeded") == 1
+        assert metrics.counter("failures_deadline") == 1
+        assert metrics.counter("workers_terminated") >= 1
+        # the slot was freed: an identical resubmit runs fresh (the
+        # one-shot hang already fired, so this attempt succeeds)
+        again = sched.submit(AnalysisRequest("ora", options=hang_opts))
+        assert again.id != hung.id, "resubmit deduped onto a corpse"
+        assert again.wait(120) and again.state == "done", again.error
+
+
+def test_scheduler_default_deadline_applies(tmp_path):
+    with BatchScheduler(ArtifactStore(None), workers=1,
+                        default_deadline_s=1.0,
+                        watchdog_interval_s=0.02) as sched:
+        job = sched.submit(AnalysisRequest(
+            "ora", options={"fault": f"hang-once:{tmp_path / 'h'}:60"}))
+        assert job.wait(120)
+    assert job.state == "failed" and job.error == "deadline exceeded"
+    assert job.deadline_s == 1.0
+
+
+def test_deadline_over_http_end_to_end(tmp_path):
+    with AnalysisServer(workers=1) as server:
+        status, out = _call(server, "POST", "/jobs", {
+            "workload": "ora",
+            "options": {"fault": f"hang-once:{tmp_path / 'h'}:60",
+                        "deadline_s": 1.0}})
+        assert status == 202
+        job = _poll_job(server, out["job"]["id"])
+        assert job["state"] == "failed"
+        assert job["error"] == "deadline exceeded"
+        assert job["failure_kind"] == "deadline"
+        status, snap = _call(server, "GET", "/metrics")
+        assert snap["counters"]["jobs_deadline_exceeded"] == 1
+
+
+# -- transient faults and backoff ---------------------------------------------
+
+def test_transient_fault_is_retried_with_backoff(tmp_path):
+    metrics = ServiceMetrics()
+    with BatchScheduler(ArtifactStore(None), metrics=metrics, workers=1,
+                        retry_backoff_s=0.01) as sched:
+        job = sched.submit(AnalysisRequest(
+            "ora",
+            options={"fault": f"transient-once:{tmp_path / 't'}"}))
+        assert job.wait(120)
+    assert job.state == "done", job.error
+    assert job.attempts == 2
+    assert metrics.counter("transient_faults") == 1
+    assert metrics.counter("jobs_retried") == 1
+    assert metrics.counter("pool_rebuilds") == 0     # no pool churn
+
+
+def test_persistent_transient_fault_exhausts_retries():
+    with BatchScheduler(ArtifactStore(None), workers=1, max_retries=1,
+                        retry_backoff_s=0.01) as sched:
+        job = sched.submit(AnalysisRequest(
+            "ora", options={"fault": "transient"}))
+        assert job.wait(120)
+    assert job.state == "failed"
+    assert job.failure_kind == "transient"
+    assert "TransientFault" in job.error
+
+
+def test_slow_start_fault_completes_normally():
+    with BatchScheduler(ArtifactStore(None), workers=1) as sched:
+        job = sched.submit(AnalysisRequest(
+            "ora", options={"fault": "slow-start:0.05"}))
+        assert job.wait(120)
+    assert job.state == "done", job.error
+
+
+# -- corrupt artifacts --------------------------------------------------------
+
+def test_corrupt_artifact_fault_quarantines_and_recomputes(tmp_path):
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path / "cache", metrics=metrics)
+    with BatchScheduler(store, metrics=metrics, inline=True) as sched:
+        req = AnalysisRequest("ora",
+                              options={"fault": "corrupt-artifact"})
+        job = sched.submit(req)
+        assert job.state == "done", job.error
+        assert metrics.counter("faults_corrupted") == 1
+        # the poisoned entry is a miss (quarantined), never a crash
+        assert store.get(job.key) is None
+        assert metrics.counter("cache_corrupt") == 1
+        # resubmitting recomputes instead of wedging on the corpse
+        again = sched.submit(AnalysisRequest(
+            "ora", options={"fault": "corrupt-artifact"}))
+        assert again.state == "done" and again.id != job.id
+
+
+# -- graceful degradation -----------------------------------------------------
+
+def test_pool_rebuild_is_single_flight_under_mass_breakage(tmp_path):
+    """One worker death breaks every in-flight future; the old code
+    rebuilt the pool once per broken future.  Now: exactly one rebuild,
+    and every survivor completes on the fresh pool."""
+    metrics = ServiceMetrics()
+    with BatchScheduler(ArtifactStore(None), metrics=metrics, workers=2,
+                        retry_backoff_s=0.01) as sched:
+        jobs = [sched.submit(AnalysisRequest(
+                    "ora", options={"fault": "slow-start:0.3",
+                                    "salt": str(i)}))
+                for i in range(3)]
+        jobs.append(sched.submit(AnalysisRequest(
+            "ora", options={"fault": f"crash-once:{tmp_path / 'c'}"})))
+        assert sched.wait(jobs, timeout=180)
+    for job in jobs:
+        assert job.state == "done", (job.id, job.error)
+    assert metrics.counter("worker_crashes") == 1
+    assert metrics.counter("pool_rebuilds") == 1, "rebuild storm!"
+
+
+def test_circuit_breaker_falls_back_to_inline(tmp_path):
+    metrics = ServiceMetrics()
+    with BatchScheduler(ArtifactStore(None), metrics=metrics, workers=1,
+                        breaker_threshold=1, breaker_cooldown_s=300.0,
+                        retry_backoff_s=0.01) as sched:
+        job = sched.submit(AnalysisRequest(
+            "ora", options={"fault": f"crash-once:{tmp_path / 'c'}"}))
+        assert job.wait(120)
+        assert job.state == "done", job.error
+        assert metrics.counter("breaker_opened") == 1
+        assert metrics.counter("jobs_inline_fallback") == 1
+        # while open, new jobs keep degrading to inline — still served
+        j2 = sched.submit(AnalysisRequest("track"))
+        assert j2.wait(120) and j2.state == "done"
+        assert metrics.counter("jobs_inline_fallback") == 2
+
+
+def test_circuit_breaker_half_open_probe_closes(tmp_path):
+    metrics = ServiceMetrics()
+    with BatchScheduler(ArtifactStore(None), metrics=metrics, workers=1,
+                        breaker_threshold=1, breaker_cooldown_s=0.0,
+                        retry_backoff_s=0.01) as sched:
+        job = sched.submit(AnalysisRequest(
+            "ora", options={"fault": f"crash-once:{tmp_path / 'c'}"}))
+        assert job.wait(120)
+    assert job.state == "done", job.error
+    # cooldown elapsed instantly: the retry probed the pool and closed
+    assert metrics.counter("breaker_closed") == 1
+    assert metrics.counter("jobs_inline_fallback") == 0
+
+
+def test_finished_job_retention_is_bounded():
+    metrics = ServiceMetrics()
+    with BatchScheduler(ArtifactStore(None), metrics=metrics,
+                        inline=True, max_jobs=3) as sched:
+        jobs = [sched.submit(AnalysisRequest(
+                    "ora", options={"salt": str(i)}))
+                for i in range(6)]
+        assert len(sched.jobs()) <= 3
+        assert metrics.counter("jobs_evicted") >= 3
+        # oldest finished jobs evicted → lookup is a miss (HTTP: 404)
+        assert sched.job(jobs[0].id) is None
+        # the newest job survives
+        assert sched.job(jobs[-1].id) is jobs[-1]
+
+
+# -- seeded chaos + the determinism contract ----------------------------------
+
+def test_fault_plan_injected_scheduler_still_serves():
+    metrics = ServiceMetrics()
+    plan = FaultPlan({"transient": 0.5}, seed=3)
+    with BatchScheduler(ArtifactStore(None), metrics=metrics, workers=2,
+                        fault_plan=plan, retry_backoff_s=0.01) as sched:
+        jobs = [sched.submit(AnalysisRequest(
+                    "ora", options={"salt": str(i)})) for i in range(4)]
+        assert sched.wait(jobs, timeout=180)
+    for job in jobs:
+        assert job.state == "done", (job.id, job.error)
+    assert metrics.counter("faults_injected") >= 1
+    assert plan.drawn >= 1
+
+
+def test_batch_determinism_holds_under_crash_and_retry(tmp_path):
+    """The acceptance bar: bit-identical batch-vs-sequential artifacts
+    even when a worker crash forces a backoff retry mid-batch."""
+    requests = [
+        AnalysisRequest("ora"),
+        AnalysisRequest("track",
+                        options={"fault":
+                                 f"crash-once:{tmp_path / 'c'}"}),
+        AnalysisRequest("ear"),
+    ]
+    with BatchScheduler(ArtifactStore(tmp_path / "cache"), workers=2,
+                        retry_backoff_s=0.01) as sched:
+        pooled = sched.batch(requests, timeout=180)
+    assert all(a is not None for a in pooled)
+    # the crash-once marker is claimed, so the sequential reference
+    # executes the identical requests without faulting
+    sequential = run_sequential(requests)
+    for got, want in zip(pooled, sequential):
+        assert canonical_json(got) == canonical_json(want)

@@ -92,6 +92,36 @@ def test_dyndep_sampling_keeps_distance_one_dependences(stride):
     assert 0 < dd.dependence_count(loop) <= full.dependence_count(loop)
 
 
+#: Corpus subset for the stride regression: includes nested-loop
+#: workloads (doduc, dyfesm, mgrid, hydro) that broke naive all-loop
+#: window schemes, and write-heavy ones (track, ear) whose instrumented
+#: accesses are dominated by stores.
+_STRIDE_CORPUS = ["track", "ear", "doduc", "dyfesm", "mgrid", "hydro"]
+
+
+@pytest.mark.parametrize("name", _STRIDE_CORPUS)
+def test_dyndep_stride_two_skips_batches_without_losing_deps(name):
+    """Regression for the §2.5.2 sampling bug: the old predicate
+    ``iteration % stride in (0, 1)`` sampled 100% of iterations at
+    ``sample_stride=2`` (every counter is ≡ 0 or ≡ 1 mod 2), so the
+    batch-skipping speedup was a no-op.  The fixed innermost-loop window
+    must (a) record strictly fewer accesses at stride 2 than stride 1
+    and (b) detect the *identical* set of loop-carried dependences."""
+    from repro.workloads import get
+    w = get(name)
+    prog = build_program(w.source, w.name)       # build ONCE: stmt_ids
+    d1 = analyze_dependences(prog, w.inputs, sample_stride=1)
+    d2 = analyze_dependences(prog, w.inputs, sample_stride=2)
+    assert set(d2.carried) == set(d1.carried), (
+        f"{name}: stride-2 sampling changed the detected-dependence set")
+    assert d1.sampled_accesses > 0
+    assert d2.sampled_accesses < d1.sampled_accesses, (
+        f"{name}: stride 2 sampled {d2.sampled_accesses} of "
+        f"{d1.sampled_accesses} accesses — nothing was skipped")
+    assert d2.skipped_accesses > 0
+    assert d1.skipped_accesses == 0
+
+
 def test_dyndep_witnesses_are_bounded_sample_pairs():
     """``witnesses`` maps a loop to a short list of distinct
     (writer line, reader line) pairs, never an unbounded census."""
