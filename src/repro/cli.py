@@ -236,9 +236,13 @@ def cmd_serve(args) -> int:
                             quiet=not args.verbose,
                             inject=args.inject,
                             default_deadline_s=args.default_deadline,
-                            max_jobs=args.max_jobs)
+                            max_jobs=args.max_jobs,
+                            allow_faults=(True if args.allow_faults
+                                          else None))
     if args.inject:
         print(f"[chaos] fault injection active: {args.inject}")
+    elif args.allow_faults:
+        print("[chaos] per-request fault directives allowed")
     print(f"analysis service listening on {server.url}")
     print("  POST /jobs {\"workload\": \"mdg\"}   GET /jobs/<id>")
     print("  GET /artifacts/<key>   GET /corpus   GET /metrics")
@@ -404,7 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="log every HTTP request")
     p.add_argument("--inject", metavar="SPEC",
                    help="seeded fault-injection plan, e.g. "
-                        "'crash=0.2,hang=0.05,seed=7' (chaos testing)")
+                        "'crash=0.2,hang=0.05,seed=7' (chaos testing; "
+                        "also allows per-request fault directives)")
+    p.add_argument("--allow-faults", action="store_true",
+                   help="accept options.fault chaos directives on POST "
+                        "/jobs without a chaos plan (default: rejected "
+                        "with 400 unless --inject is active)")
     p.add_argument("--default-deadline", type=float, metavar="SECONDS",
                    help="per-job wall-time deadline applied when a "
                         "request sets no deadline_s option")

@@ -56,10 +56,15 @@ class DynamicDependenceAnalyzer(Observer):
         self.sample_stride = max(1, sample_stride)
         #: Sampling window: out of every ``2 * stride`` iterations, the
         #: two adjacent ones with counter ≡ 0, 1 (mod window) are kept —
-        #: a *pair* so distance-1 flow dependences stay observable, while
-        #: the other ``2*(stride-1)`` iterations are skipped entirely
-        #: (the §2.5.2 batch-skipping speedup).  At stride 1 the window
-        #: degenerates to "sample everything".
+        #: a *pair* so distance-1 flow dependences between consecutive
+        #: sampled iterations stay observable, while the other
+        #: ``2*(stride-1)`` iterations are skipped entirely (the §2.5.2
+        #: batch-skipping speedup).  This is a *heuristic*: sampling is
+        #: lossy by design (§2.5.2 uses the result "only as a hint"),
+        #: and a distance-1 pair straddling a window boundary (write at
+        #: iteration ≡ 1, read at ≡ 2 mod window) is sampled out at
+        #: stride > 1.  At stride 1 the window degenerates to "sample
+        #: everything".
         self._window = 2 * self.sample_stride
         #: Instrumented accesses actually recorded vs. skipped by the
         #: sampler — the observability hook for the stride regression
@@ -106,14 +111,23 @@ class DynamicDependenceAnalyzer(Observer):
         the batch.  The old predicate (``iteration % stride in (0, 1)``)
         degenerated at stride 2: *every* iteration is ≡ 0 or ≡ 1
         (mod 2), so nothing was ever skipped and the §2.5.2 speedup was
-        a no-op.  Doubling the modulus keeps the adjacent-pair property
-        (distance-1 dependences remain observable) while actually
-        skipping ``2 * (stride - 1)`` of every ``2 * stride``
-        iterations.  Only the innermost counter is windowed: requiring
-        *every* active loop to sit in its window simultaneously
-        (a joint ``all()``) provably loses dependences on nested-loop
-        workloads — outer-loop carried dependences are still witnessed
-        because each outer iteration replays the innermost window."""
+        a no-op.  Doubling the modulus actually skips
+        ``2 * (stride - 1)`` of every ``2 * stride`` iterations while
+        keeping an adjacent pair in-window, so distance-1 dependences
+        between consecutive sampled iterations remain observable.
+
+        This is a **heuristic**, not a preservation guarantee: a
+        distance-1 pair that straddles a window boundary (write at
+        iteration ≡ 1, read at ≡ 2 mod window) is sampled out at
+        stride > 1 — acceptable because the paper uses the dynamic
+        result only as a hint, and the corpus regression test checks
+        the detected-dependence sets match on the 6-workload corpus,
+        not in general.  Only the innermost counter is windowed:
+        requiring *every* active loop to sit in its window
+        simultaneously (a joint ``all()``) provably loses dependences
+        on nested-loop workloads — outer-loop carried dependences are
+        still witnessed because each outer iteration replays the
+        innermost window."""
         if self.sample_stride == 1 or not self._stack:
             return True
         return self._stack[-1].iteration % self._window in (0, 1)

@@ -10,21 +10,25 @@ one warm cache.
 
 from .artifacts import (SCHEMA_VERSION, ArtifactStore, artifact_key,
                         canonical_json)
-from .faults import (FAULT_KINDS, FaultPlan, TransientFault,
-                     apply_request_fault)
-from .jobs import (DONE, FAILED, MAX_OPS_CAP, MAX_SLICE_TARGETS, QUEUED,
-                   RUNNING, STATES, SUBMITTED, AnalysisRequest, Job,
-                   execute_request, session_snapshot, validate_options)
+from .faults import (DIRECTIVE_KINDS, FAULT_KINDS, FaultPlan,
+                     TransientFault, apply_request_fault,
+                     in_worker_process, mark_worker_process)
+from .jobs import (DONE, FAILED, MAX_OPS_CAP, MAX_SLICE_TARGETS,
+                   NON_SEMANTIC_OPTIONS, QUEUED, RUNNING, STATES,
+                   SUBMITTED, AnalysisRequest, Job, execute_request,
+                   semantic_options, session_snapshot, validate_options)
 from .metrics import ServiceMetrics
 from .scheduler import BatchScheduler, run_sequential
 from .server import AnalysisServer, AnalysisService
 
 __all__ = [
     "SCHEMA_VERSION", "ArtifactStore", "artifact_key", "canonical_json",
-    "FAULT_KINDS", "FaultPlan", "TransientFault", "apply_request_fault",
+    "DIRECTIVE_KINDS", "FAULT_KINDS", "FaultPlan", "TransientFault",
+    "apply_request_fault", "in_worker_process", "mark_worker_process",
     "SUBMITTED", "QUEUED", "RUNNING", "DONE", "FAILED", "STATES",
-    "MAX_OPS_CAP", "MAX_SLICE_TARGETS", "AnalysisRequest", "Job",
-    "execute_request", "session_snapshot", "validate_options",
+    "MAX_OPS_CAP", "MAX_SLICE_TARGETS", "NON_SEMANTIC_OPTIONS",
+    "AnalysisRequest", "Job", "execute_request", "semantic_options",
+    "session_snapshot", "validate_options",
     "ServiceMetrics",
     "BatchScheduler", "run_sequential",
     "AnalysisServer", "AnalysisService",

@@ -26,6 +26,17 @@ One-shot markers are claimed atomically (``O_CREAT | O_EXCL``) so the
 "exactly once" contract holds even if the directive races across worker
 processes.
 
+Process-killing and process-stalling directives (``crash``,
+``crash-once``, ``hang``, ``hang-once``, ``slow-start``) only *execute*
+inside a sacrificial pool worker — :func:`mark_worker_process` is called
+by the scheduler's worker entry point, and anywhere else (inline mode,
+the breaker-open inline fallback, the sequential reference runner)
+:func:`apply_request_fault` **neutralizes** them instead of killing or
+stalling the serving process.  A chaos plan must degrade the service,
+never take out the very process the circuit breaker just promised to
+keep alive.  Neutralized one-shot directives still claim their marker:
+the fault is "consumed" at first execution regardless of venue.
+
 **A seeded chaos plan** (:class:`FaultPlan`) draws a directive for a
 fraction of submissions, for ``repro serve --inject`` and soak tests::
 
@@ -44,8 +55,9 @@ import tempfile
 import time
 from typing import Dict, Optional
 
-__all__ = ["FAULT_KINDS", "FaultPlan", "TransientFault",
-           "apply_request_fault"]
+__all__ = ["DIRECTIVE_KINDS", "FAULT_KINDS", "FaultPlan",
+           "TransientFault", "apply_request_fault",
+           "in_worker_process", "mark_worker_process"]
 
 #: Chaos-plan fault kinds, in the (fixed) order the single uniform draw
 #: scans them — keeping the order fixed keeps a seeded plan's fault
@@ -53,8 +65,39 @@ __all__ = ["FAULT_KINDS", "FaultPlan", "TransientFault",
 FAULT_KINDS = ("crash", "transient", "hang", "slow-start",
                "corrupt-artifact")
 
+#: Every valid per-request directive kind (the ``options["fault"]``
+#: vocabulary) — the server boundary validates against this so a typo'd
+#: directive is a 400, not a failed job.
+DIRECTIVE_KINDS = ("crash", "crash-once", "transient", "transient-once",
+                   "hang", "hang-once", "slow-start", "corrupt-artifact")
+
+#: Directive kinds that kill or stall the *hosting process* — these are
+#: only allowed to execute inside a sacrificial pool worker and are
+#: neutralized anywhere else (see :func:`apply_request_fault`).
+_PROCESS_UNSAFE_KINDS = ("crash", "crash-once", "hang", "hang-once",
+                         "slow-start")
+
 #: Exit status used for injected hard worker kills (distinctive in logs).
 CRASH_EXIT_STATUS = 17
+
+#: Set in pool-worker processes only (see :func:`mark_worker_process`);
+#: an env var rather than a module global so it survives re-imports and
+#: is inherited correctly under both fork and spawn start methods.
+_WORKER_ENV = "REPRO_FAULT_WORKER"
+
+
+def mark_worker_process() -> None:
+    """Declare the current process a sacrificial pool worker.
+
+    Called by the scheduler's worker entry point (``_pool_worker``).
+    Only marked processes execute process-killing/-stalling fault
+    directives; everywhere else they are neutralized."""
+    os.environ[_WORKER_ENV] = "1"
+
+
+def in_worker_process() -> bool:
+    """True inside a process marked by :func:`mark_worker_process`."""
+    return os.environ.get(_WORKER_ENV) == "1"
 
 
 class TransientFault(RuntimeError):
@@ -78,15 +121,36 @@ def _claim_once(marker: str) -> bool:
 def apply_request_fault(options: Dict) -> None:
     """Execute the ``options["fault"]`` directive, if any.
 
-    Runs in the worker process, before the analysis pipeline.  Raises
-    :class:`ValueError` for unknown directives (surfacing typos as clean
-    400s/failed jobs instead of silently skipping the fault).
+    Runs before the analysis pipeline, normally inside a pool worker.
+    Raises :class:`ValueError` for unknown directives (surfacing typos
+    as clean 400s/failed jobs instead of silently skipping the fault).
+
+    Process-killing/-stalling directives (:data:`_PROCESS_UNSAFE_KINDS`)
+    only execute in a process marked by :func:`mark_worker_process`.
+    Anywhere else — inline mode, the circuit breaker's inline fallback,
+    the sequential reference runner — they are *neutralized*: one-shot
+    markers are still claimed (the fault is consumed), a tracer event
+    records the suppression, and the job proceeds normally.  ``crash``
+    would otherwise ``os._exit`` the scheduler/server process and
+    ``hang`` would stall its serving thread unpreemptably — exactly the
+    "degraded but alive" promise the inline fallback exists to keep.
     """
     fault = options.get("fault")
     if not fault:
         return
     spec = str(fault)
     kind, _, rest = spec.partition(":")
+    if kind not in DIRECTIVE_KINDS:
+        raise ValueError(f"unknown fault directive {spec!r}")
+    if kind in _PROCESS_UNSAFE_KINDS and not in_worker_process():
+        if kind == "crash-once":
+            _claim_once(rest)
+        elif kind == "hang-once":
+            marker, _, _seconds = rest.rpartition(":")
+            _claim_once(marker)
+        from ..obs import get_tracer
+        get_tracer().event("fault_neutralized", kind=kind)
+        return
     if kind == "crash-once":
         if _claim_once(rest):
             os._exit(CRASH_EXIT_STATUS)      # simulate a hard worker crash
@@ -107,8 +171,6 @@ def apply_request_fault(options: Dict) -> None:
         time.sleep(float(rest))
     elif kind == "corrupt-artifact":
         pass          # applied scheduler-side, after the artifact store
-    else:
-        raise ValueError(f"unknown fault directive {spec!r}")
 
 
 class FaultPlan:

@@ -55,20 +55,50 @@ _DEFAULT_OPTIONS = {
 #: single pathological job cannot monopolize a pool slot indefinitely.
 MAX_OPS_CAP = 500_000_000
 
+#: Options that direct *how* a job is run (chaos directives), not *what*
+#: is computed.  They are excluded from the content address and from the
+#: options recorded in the artifact, so an injected job shares its cache
+#: key — and its artifact bytes — with its clean twin.
+NON_SEMANTIC_OPTIONS = ("fault",)
 
-def validate_options(options) -> Optional[Dict]:
+
+def semantic_options(options: Dict) -> Dict:
+    """``options`` minus the :data:`NON_SEMANTIC_OPTIONS` entries."""
+    return {k: v for k, v in options.items()
+            if k not in NON_SEMANTIC_OPTIONS}
+
+
+def validate_options(options, *, allow_faults: bool = False) -> Optional[Dict]:
     """Validate and normalize request options at the service boundary.
 
     Raises :class:`ValueError` with a client-actionable message for bad
     shapes/values; returns a sanitized copy (``max_ops`` coerced to int
     and capped at :data:`MAX_OPS_CAP`, ``deadline_s`` coerced to float).
     ``None`` passes through (defaults apply).
+
+    ``options["fault"]`` is rejected unless ``allow_faults`` is set —
+    a production server that never enabled injection must 400 a chaos
+    directive at the boundary, not let an arbitrary client crash its
+    workers (the directives are additionally neutralized outside pool
+    workers, but the front door stays shut regardless).  When allowed,
+    the directive's kind is validated so typos are 400s, not failed
+    jobs.
     """
     if options is None:
         return None
     if not isinstance(options, dict):
         raise ValueError("options must be a JSON object")
     out = dict(options)
+    if out.get("fault"):
+        if not allow_faults:
+            raise ValueError(
+                "fault injection is not enabled on this server "
+                "(start it with --inject / allow_faults=True)")
+        from .faults import DIRECTIVE_KINDS
+        kind = str(out["fault"]).partition(":")[0]
+        if kind not in DIRECTIVE_KINDS:
+            raise ValueError(f"unknown fault directive kind {kind!r}; "
+                             f"choose from {DIRECTIVE_KINDS}")
     engine = out.get("engine")
     if engine is not None:
         from ..runtime.interpreter import (COMPILED_ENGINE_NAMES,
@@ -141,8 +171,13 @@ class AnalysisRequest:
                                inputs=inputs, options=self.options)
 
     def key(self) -> str:
+        """Content address — hashes **semantic** options only: a chaos
+        directive stamped into ``options["fault"]`` changes how a job is
+        *run*, not what it computes, so an injected job dedupes, caches,
+        and corrupts under the same key as its clean twin."""
         r = self.resolved()
-        return artifact_key(r.source, r.program_name, r.inputs, r.options)
+        return artifact_key(r.source, r.program_name, r.inputs,
+                            semantic_options(r.options))
 
     # -- (de)serialization for process-pool transfer and the HTTP API ------
     def to_dict(self) -> Dict:
@@ -213,10 +248,13 @@ def execute_request(request: AnalysisRequest) -> Dict:
 
         with tracer.span("snapshot"):
             artifact = session_snapshot(session)
+        # Record semantic options only: the artifact must be bit-identical
+        # to its clean twin's (they share a content key), so a transient
+        # chaos directive must not leak into the cached payload.
         artifact["request"] = {"program": r.program_name,
                                "workload": request.workload,
                                "inputs": r.inputs,
-                               "options": r.options,
+                               "options": semantic_options(r.options),
                                "schema": SCHEMA_VERSION}
         if outcomes:
             artifact["assertion_outcomes"] = outcomes

@@ -34,15 +34,22 @@ Robustness layer (the parts that make "heavy traffic" survivable):
   rebuild storm.
 * **Circuit breaker** — after ``breaker_threshold`` consecutive pool
   breakages the scheduler stops feeding the pool and runs jobs inline
-  (degraded but alive); after ``breaker_cooldown_s`` it half-opens and
-  probes the pool again, closing on the first pooled success.
+  (degraded but alive — process-killing/-stalling fault directives are
+  neutralized outside pool workers, so an injected crash/hang cannot
+  take out the serving process the fallback exists to protect); after
+  ``breaker_cooldown_s`` it half-opens and admits a *single* probe
+  dispatch, closing on a pooled success while everyone else keeps
+  falling back inline.
 * **Bounded retention** — finished jobs beyond ``max_jobs`` are evicted
   oldest-first (``GET /jobs/<id>`` then 404s), mirroring the bounded
   ``_traces`` LRU, so a long-lived service cannot leak its job registry.
 * **Fault injection** — a seeded :class:`~repro.service.faults.FaultPlan`
   can stamp chaos directives onto a fraction of submissions
-  (``repro serve --inject``); every failure path above increments a
-  taxonomy metrics counter and emits a tracer event.
+  (``repro serve --inject``); directives are non-semantic options
+  (excluded from the content key), so an injected job dedupes, caches,
+  and corrupts under the same address as its clean twin.  Every failure
+  path above increments a taxonomy metrics counter and emits a tracer
+  event.
 
 ``inline=True`` bypasses the pool and executes synchronously in-process —
 the reference behaviour the determinism tests compare against, and the
@@ -62,7 +69,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..obs import NULL_TRACER, Tracer, activate
 from ..runtime.interpreter import OpsBudgetExceeded
 from .artifacts import ArtifactStore
-from .faults import FaultPlan, TransientFault
+from .faults import FaultPlan, TransientFault, mark_worker_process
 from .jobs import AnalysisRequest, Job, execute_request
 from .metrics import NULL_METRICS, ServiceMetrics
 
@@ -75,6 +82,10 @@ def _pool_worker(request_dict: Dict,
     path).  With one, the worker builds a child tracer whose root spans
     parent onto the scheduler's ``submit`` span, runs the request under
     it, and ships the spans back for the parent to reattach."""
+    # This process is sacrificial: process-killing fault directives are
+    # allowed to execute here (and *only* here — inline execution in the
+    # scheduler/server process neutralizes them).
+    mark_worker_process()
     request = AnalysisRequest.from_dict(request_dict)
     if trace_context is None:
         return execute_request(request)
@@ -130,6 +141,7 @@ class BatchScheduler:
         self._traces: "OrderedDict[str, List[Dict]]" = OrderedDict()
         self._breaker_failures = 0               # consecutive pool breakages
         self._breaker_open_until: Optional[float] = None   # monotonic
+        self._probing = False                    # half-open probe in flight
         self._watchdog: Optional[threading.Thread] = None
         self._watchdog_stop = threading.Event()
         self._shutdown = False
@@ -163,6 +175,7 @@ class BatchScheduler:
             pool, self._pool = self._pool, None
             self._generation += 1
             gen = self._generation
+            self._probing = False        # a probe's breakage settles it
             opened = False
             if count_breaker:
                 self._breaker_failures += 1
@@ -182,14 +195,23 @@ class BatchScheduler:
     def _pool_allowed(self) -> bool:
         """Circuit-breaker gate: False while the breaker is open.
 
-        After the cooldown the gate half-opens (returns True) so one
-        dispatch probes the pool; a pooled success closes the breaker,
-        another breakage re-arms the cooldown."""
+        After the cooldown the gate half-opens and admits **exactly
+        one** probe dispatch (``_probing`` is set until that probe's
+        future settles); concurrent dispatches keep taking the inline
+        fallback, so a traffic burst at cooldown expiry cannot storm a
+        possibly-still-bad pool.  A pooled success closes the breaker,
+        another breakage re-arms the cooldown, and either way the probe
+        flag is cleared when the probe settles."""
+        now = time.monotonic()
         with self._lock:
-            until = self._breaker_open_until
-        if until is None:
+            if self._breaker_open_until is None:
+                return True
+            if now < self._breaker_open_until:
+                return False
+            if self._probing:
+                return False                     # someone is probing
+            self._probing = True                 # this dispatch probes
             return True
-        return time.monotonic() >= until
 
     def _terminate_pool_processes(self, gen: Optional[int]) -> None:
         """Kill the worker processes of generation ``gen`` (deadline
@@ -212,6 +234,7 @@ class BatchScheduler:
         self._watchdog_stop.set()
         with self._lock:
             self._shutdown = True
+            self._probing = False
             pool, self._pool = self._pool, None
             timers = dict(self._timers)
             self._timers.clear()
@@ -408,6 +431,9 @@ class BatchScheduler:
                  traced: bool = False) -> None:
         with self._lock:
             self._futures.pop(job.id, None)
+            # Any pooled future settling settles the half-open probe
+            # (while probing, this is the only job the pool was fed).
+            self._probing = False
         if job.finished:        # deadline watchdog / pool-wide breakage
             return              # already settled this job
         try:

@@ -47,7 +47,8 @@ class AnalysisService:
                  trace: bool = True,
                  inject: Optional[str] = None,
                  default_deadline_s: Optional[float] = None,
-                 max_jobs: int = 1024):
+                 max_jobs: int = 1024,
+                 allow_faults: Optional[bool] = None):
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.store = store if store is not None else \
             ArtifactStore(cache_dir, metrics=self.metrics)
@@ -61,6 +62,13 @@ class AnalysisService:
                            fault_plan=FaultPlan.parse(inject),
                            default_deadline_s=default_deadline_s,
                            max_jobs=max_jobs)
+        #: Whether POST /jobs accepts ``options["fault"]`` chaos
+        #: directives.  Default: only when injection was enabled
+        #: (``--inject`` / a scheduler with a fault plan) — a production
+        #: server 400s them at the boundary.
+        if allow_faults is None:
+            allow_faults = self.scheduler.fault_plan is not None
+        self.allow_faults = bool(allow_faults)
 
     # -- routes ------------------------------------------------------------
     def handle_get(self, path: str) -> Tuple[int, Dict]:
@@ -103,7 +111,8 @@ class AnalysisService:
         parts = [p for p in path.split("/") if p]
         if parts == ["jobs"]:
             try:
-                options = validate_options(body.get("options"))
+                options = validate_options(body.get("options"),
+                                           allow_faults=self.allow_faults)
                 request = AnalysisRequest(
                     body.get("workload"), source=body.get("source"),
                     program_name=body.get("program_name"),

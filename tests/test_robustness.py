@@ -105,6 +105,40 @@ def test_transient_once_fires_exactly_once(tmp_path):
     apply_request_fault(opts)                    # second call: no raise
 
 
+def test_process_killing_faults_are_neutralized_outside_workers(tmp_path):
+    """``crash``/``hang`` directives executing in the scheduler/server
+    process (inline mode, the breaker-open inline fallback, the
+    sequential reference) must be no-ops: a chaos plan degrades the
+    service, it never ``os._exit``'s the serving process or stalls its
+    thread.  This test would kill pytest outright if the guard broke."""
+    from repro.service.faults import in_worker_process
+    assert not in_worker_process()               # pytest is not a worker
+    start = time.monotonic()
+    apply_request_fault({"fault": "crash"})      # would os._exit(17)
+    apply_request_fault({"fault": "hang:3600"})  # would stall 1 h
+    apply_request_fault({"fault": "slow-start:3600"})
+    assert time.monotonic() - start < 5.0
+    # one-shot variants are *consumed* by neutralization: the marker is
+    # claimed, so a later pool-side retry cannot fire the fault either
+    marker = tmp_path / "c"
+    apply_request_fault({"fault": f"crash-once:{marker}"})
+    assert marker.exists()
+    # unknown directives still raise, worker or not
+    with pytest.raises(ValueError, match="unknown fault directive"):
+        apply_request_fault({"fault": "comet:1"})
+
+
+def test_inline_scheduler_survives_crash_and_hang_directives():
+    """End-to-end version: an inline scheduler fed process-killing
+    directives completes the jobs instead of dying ('degraded but
+    alive' — the promise the circuit-breaker fallback makes)."""
+    with BatchScheduler(ArtifactStore(None), inline=True) as sched:
+        for i, fault in enumerate(["crash", "hang:3600"]):
+            job = sched.submit(AnalysisRequest(
+                "ora", options={"fault": fault, "salt": str(i)}))
+            assert job.state == "done", (fault, job.error)
+
+
 # -- option validation at the server boundary ---------------------------------
 
 def test_validate_options_caps_max_ops_and_rejects_garbage():
@@ -116,6 +150,41 @@ def test_validate_options_caps_max_ops_and_rejects_garbage():
                 {"engine": "quantum"}, {"machine": "abacus"}, [1, 2]]:
         with pytest.raises(ValueError):
             validate_options(bad)
+
+
+def test_fault_option_is_rejected_at_the_boundary_by_default():
+    """A production server that never enabled injection must 400 a
+    chaos directive — any HTTP client could otherwise crash workers
+    until the breaker opens (and, before the worker-only guard, kill
+    the server itself via the inline fallback)."""
+    with pytest.raises(ValueError, match="fault injection is not"):
+        validate_options({"fault": "crash"})
+    with AnalysisServer(inline=True) as server:          # no --inject
+        for directive in ["crash", "hang:3600", "corrupt-artifact"]:
+            status, out = _call(server, "POST", "/jobs",
+                                {"workload": "ora",
+                                 "options": {"fault": directive}})
+            assert status == 400, f"fault {directive!r} -> {status}"
+            assert "fault injection is not enabled" in out["error"]
+
+
+def test_fault_option_allowed_and_kind_checked_when_enabled():
+    out = validate_options({"fault": "slow-start:0.01"},
+                           allow_faults=True)
+    assert out["fault"] == "slow-start:0.01"
+    with pytest.raises(ValueError, match="unknown fault directive kind"):
+        validate_options({"fault": "meteor:1"}, allow_faults=True)
+    with AnalysisServer(inline=True, allow_faults=True) as server:
+        status, out = _call(server, "POST", "/jobs",
+                            {"workload": "ora",
+                             "options": {"fault": "meteor:1"}})
+        assert status == 400 and "unknown fault directive" in out["error"]
+        status, out = _call(server, "POST", "/jobs",
+                            {"workload": "ora",
+                             "options": {"fault": "transient"}})
+        assert status == 202
+        job = _poll_job(server, out["job"]["id"])
+        assert job["state"] == "failed"          # inline: no retry
 
 
 def test_http_rejects_bad_options_and_non_object_bodies():
@@ -206,7 +275,8 @@ def test_scheduler_default_deadline_applies(tmp_path):
 
 
 def test_deadline_over_http_end_to_end(tmp_path):
-    with AnalysisServer(workers=1) as server:
+    # allow_faults: the hang directive must pass the boundary validator
+    with AnalysisServer(workers=1, allow_faults=True) as server:
         status, out = _call(server, "POST", "/jobs", {
             "workload": "ora",
             "options": {"fault": f"hang-once:{tmp_path / 'h'}:60",
@@ -327,6 +397,66 @@ def test_circuit_breaker_half_open_probe_closes(tmp_path):
     # cooldown elapsed instantly: the retry probed the pool and closed
     assert metrics.counter("breaker_closed") == 1
     assert metrics.counter("jobs_inline_fallback") == 0
+
+
+def test_half_open_admits_exactly_one_probe():
+    """When the cooldown expires the breaker half-opens for a *single*
+    probe dispatch; concurrent dispatches keep degrading inline until
+    the probe settles, so a burst cannot storm a possibly-bad pool."""
+    with BatchScheduler(ArtifactStore(None), workers=1) as sched:
+        # force the breaker open with an already-expired cooldown
+        with sched._lock:
+            sched._breaker_open_until = time.monotonic() - 1.0
+        assert sched._pool_allowed() is True      # the one probe
+        assert sched._pool_allowed() is False     # everyone else: inline
+        assert sched._pool_allowed() is False
+        # probe settles in breakage: recycle clears the flag and re-arms
+        with sched._lock:
+            gen = sched._generation
+        sched._get_pool()
+        sched._recycle_pool(gen)
+        assert sched._probing is False
+
+
+def test_injected_fault_shares_content_key_with_clean_request():
+    """``fault`` is a non-semantic option: an injected job must dedupe/
+    cache under the same content address as its clean twin (and
+    ``corrupt-artifact`` must poison a key clean requests actually
+    read), and the directive must not leak into the artifact payload."""
+    clean = AnalysisRequest("ora")
+    faulted = AnalysisRequest("ora", options={"fault": "corrupt-artifact"})
+    assert clean.key() == faulted.key()
+    # directive never leaks into the recorded artifact payload (the
+    # artifact shares its key — so must share its bytes — with the
+    # clean twin's; slow-start is neutralized outside pool workers)
+    from repro.service import execute_request
+    with_fault = execute_request(AnalysisRequest(
+        source=SRC, program_name="tiny",
+        options={"fault": "slow-start:0.01"}))
+    without = execute_request(AnalysisRequest(
+        source=SRC, program_name="tiny"))
+    assert "fault" not in with_fault["request"]["options"]
+    assert canonical_json(with_fault) == canonical_json(without)
+
+
+def test_chaos_corruption_hits_the_clean_cache_entry(tmp_path):
+    """With fault excluded from the key, ``corrupt-artifact`` garbages
+    the entry a subsequent *clean* request reads — the quarantine-and-
+    recompute path is exercised by real traffic, not only by
+    resubmitting the identical faulted request."""
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path / "cache", metrics=metrics)
+    with BatchScheduler(store, metrics=metrics, inline=True) as sched:
+        bad = sched.submit(AnalysisRequest(
+            "ora", options={"fault": "corrupt-artifact"}))
+        assert bad.state == "done", bad.error
+        clean = sched.submit(AnalysisRequest("ora"))
+        assert clean.state == "done", clean.error
+        assert clean.key == bad.key
+        assert not clean.cached                  # recomputed, not served
+        assert metrics.counter("cache_corrupt") == 1
+        # and the recomputed artifact is back in the store, readable
+        assert store.get(clean.key) is not None
 
 
 def test_finished_job_retention_is_bounded():

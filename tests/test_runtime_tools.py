@@ -106,7 +106,9 @@ def test_dyndep_stride_two_skips_batches_without_losing_deps(name):
     ``sample_stride=2`` (every counter is ≡ 0 or ≡ 1 mod 2), so the
     batch-skipping speedup was a no-op.  The fixed innermost-loop window
     must (a) record strictly fewer accesses at stride 2 than stride 1
-    and (b) detect the *identical* set of loop-carried dependences."""
+    and (b) detect the identical set of loop-carried dependences *on
+    this corpus* (sampling is heuristic in general — a distance-1 pair
+    straddling a window boundary can be sampled out)."""
     from repro.workloads import get
     w = get(name)
     prog = build_program(w.source, w.name)       # build ONCE: stmt_ids
