@@ -1,0 +1,193 @@
+"""Instrumented-tools shootout: the dynamic analyzers on three paths.
+
+Times the Loop Profile Analyzer and the Dynamic Dependence Analyzer on
+the three workloads with the largest dynamic op counts, under:
+
+* ``tree``     — the observer riding the tree-walking oracle,
+* ``generic``  — the observer riding the compiled engine through the
+  generic per-event callback protocol (``specialize=False``),
+* ``fast``     — the analyzer compiled *into* the closure engine
+  (``VARIANT_PROFILE`` / ``VARIANT_DYNDEP``).
+
+Reports ops/sec per path and asserts the tentpole contract:
+
+* the fast path is at least ``MIN_SPEEDUP``x faster than the tree
+  observer path on every workload, for both tools,
+* all three paths produce bit-identical analyzer state.
+
+Run standalone to (re)generate the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_perf_tools.py
+
+which writes ``BENCH_tools.json`` at the repo root —
+``scripts/perf_check.py`` compares fresh numbers against that file.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.ir import build_program
+from repro.runtime import reduction_stmt_ids
+from repro.runtime.compile_engine import engine_label, make_engine
+from repro.runtime.dyndep import DynamicDependenceAnalyzer
+from repro.runtime.profiler import LoopProfiler
+from repro.workloads import get
+
+WORKLOADS = ("mdg", "flo88", "hydro2d")
+TOOLS = ("profile", "dyndep")
+MIN_SPEEDUP = 3.0
+#: path -> (engine kwarg dict, repeats); best (minimum) time is kept
+PATHS = {
+    "tree": ({"engine": "tree"}, 1),
+    "generic": ({"engine": "compiled", "specialize": False}, 2),
+    "fast": ({"engine": "compiled"}, 3),
+}
+EXPECT_LABEL = {
+    ("profile", "tree"): "tree",
+    ("profile", "generic"): "compiled/loops",
+    ("profile", "fast"): "compiled/profile",
+    ("dyndep", "tree"): "tree",
+    ("dyndep", "generic"): "compiled/full",
+    ("dyndep", "fast"): "compiled/dyndep",
+}
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_tools.json"
+
+
+def _run_tool(tool: str, prog, inputs, skip, **kw):
+    """One instrumented run; returns (analyzer, engine)."""
+    if tool == "profile":
+        obs = LoopProfiler()
+    else:
+        obs = DynamicDependenceAnalyzer(skip_stmt_ids=skip)
+    eng = make_engine(prog, inputs, observers=[], **kw)
+    obs.attach(eng)
+    eng.run()
+    if tool == "profile":
+        obs.finish()
+    return obs, eng
+
+
+def _state(tool: str, obs):
+    """The bit-parity fingerprint of one analyzer run."""
+    if tool == "profile":
+        return ([(p.loop.stmt_id, p.total_ops, p.invocations, p.iterations)
+                 for p in obs.executed_loops()], obs.total_ops)
+    return (obs.carried, obs.carried_by_var, obs.witnesses,
+            obs.sampled_accesses, obs.skipped_accesses)
+
+
+def _time_tool(tool: str, path: str, prog, inputs, skip) -> Dict:
+    """Best-of-N wall-clock for one tool on one path (includes the
+    closure-compilation step for the compiled paths, matching how
+    ``profile_program`` / ``analyze_dependences`` pay for it)."""
+    kw, repeats = PATHS[path]
+    best = float("inf")
+    ops = state = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        obs, eng = _run_tool(tool, prog, inputs, skip, **kw)
+        best = min(best, time.perf_counter() - t0)
+        assert engine_label(eng) == EXPECT_LABEL[(tool, path)], (
+            f"{tool}/{path} ran on {engine_label(eng)}")
+        ops, state = eng.ops, _state(tool, obs)
+    return {"seconds": best, "ops": ops,
+            "ops_per_sec": ops / best if best else 0.0, "state": state}
+
+
+def run_bench(workloads=WORKLOADS) -> Dict:
+    """Measure every (workload, tool) on all paths; verify parity."""
+    results: Dict[str, Dict] = {}
+    for name in workloads:
+        w = get(name)
+        # build ONCE per workload so stmt_ids line up across paths
+        prog = build_program(w.source, w.name)
+        skip = reduction_stmt_ids(prog)
+        results[name] = {}
+        for tool in TOOLS:
+            timed = {p: _time_tool(tool, p, prog, w.inputs,
+                                   skip if tool == "dyndep" else None)
+                     for p in PATHS}
+            ref = timed["tree"]
+            for path in ("generic", "fast"):
+                assert timed[path]["ops"] == ref["ops"], (
+                    f"{name}/{tool}: op-count drift on {path} path")
+                assert timed[path]["state"] == ref["state"], (
+                    f"{name}/{tool}: analyzer state drift on {path} path")
+            results[name][tool] = {
+                "ops": ref["ops"],
+                **{p: {"seconds": round(t["seconds"], 4),
+                       "ops_per_sec": round(t["ops_per_sec"], 1)}
+                   for p, t in timed.items()},
+                "speedup_vs_tree": round(
+                    timed["fast"]["ops_per_sec"] / ref["ops_per_sec"], 2),
+                "speedup_vs_generic": round(
+                    timed["fast"]["ops_per_sec"]
+                    / timed["generic"]["ops_per_sec"], 2),
+            }
+    return {
+        "benchmark": "instrumented-tools shootout",
+        "units": "interpreter ops per wall-clock second",
+        "host": {"python": platform.python_version(),
+                 "machine": platform.machine()},
+        "workloads": results,
+    }
+
+
+def _rows(report: Dict) -> List[List]:
+    rows = []
+    for name, tools in report["workloads"].items():
+        for tool, r in tools.items():
+            rows.append([
+                name, tool,
+                f"{r['tree']['ops_per_sec'] / 1e6:.2f}M",
+                f"{r['generic']['ops_per_sec'] / 1e6:.2f}M",
+                f"{r['fast']['ops_per_sec'] / 1e6:.2f}M",
+                f"{r['speedup_vs_tree']:.2f}x",
+                f"{r['speedup_vs_generic']:.2f}x",
+            ])
+    return rows
+
+
+def test_instrumented_fast_path_speedup(benchmark):
+    from conftest import once, print_table
+    report = once(benchmark, run_bench)
+    print_table("instrumented ops/sec (tree vs generic vs fast)",
+                ["workload", "tool", "tree", "generic", "fast",
+                 "vs tree", "vs generic"],
+                _rows(report))
+    for name, tools in report["workloads"].items():
+        for tool, r in tools.items():
+            assert r["speedup_vs_tree"] >= MIN_SPEEDUP, (
+                f"{name}/{tool}: fast path only "
+                f"{r['speedup_vs_tree']:.2f}x over the tree observer "
+                f"path, below the {MIN_SPEEDUP}x contract")
+            if tool == "dyndep":
+                # per-access shadow-memory specialization must beat the
+                # generic callback protocol outright; for the profiler
+                # the generic loops-variant is already event-light, so
+                # its margin is thin and only reported, not gated
+                assert r["speedup_vs_generic"] > 1.0, (
+                    f"{name}/{tool}: fast path not faster than the "
+                    f"generic observer path")
+
+
+def main() -> None:
+    report = run_bench()
+    BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    for row in _rows(report):
+        print("  " + "  ".join(f"{c:>9}" if i else f"{c:10s}"
+                               for i, c in enumerate(row)))
+    for name, tools in report["workloads"].items():
+        for tool, r in tools.items():
+            assert r["speedup_vs_tree"] >= MIN_SPEEDUP, (
+                f"{name}/{tool}: {r['speedup_vs_tree']}x < {MIN_SPEEDUP}x")
+
+
+if __name__ == "__main__":
+    main()

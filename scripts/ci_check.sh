@@ -6,9 +6,10 @@
 # Runs, in order:
 #   1. the tier-1 pytest suite (correctness, soundness fuzzing,
 #      service determinism, observability contracts),
-#   2. the engine performance gate (ops/sec vs the committed
-#      BENCH_engine.json baseline; also enforces the compiled engine's
-#      2x-over-tree contract),
+#   2. the performance gates (ops/sec vs the committed
+#      BENCH_engine.json and BENCH_tools.json baselines; also enforces
+#      the compiled engine's 2x-over-tree contract and the instrumented
+#      fast path's 3x-over-tree-observer contract),
 #   3. the end-to-end HTTP service smoke test (submit / poll /
 #      artifact / cache-repeat / metrics),
 #   4. the fault-injected serve smoke (seeded worker crashes retried,
@@ -24,7 +25,7 @@ export PYTHONPATH=src
 echo "== [1/4] tier-1 test suite =="
 python -m pytest -x -q
 
-echo "== [2/4] engine performance gate =="
+echo "== [2/4] performance gates (engine + instrumented tools) =="
 python scripts/perf_check.py
 
 echo "== [3/4] service smoke test =="

@@ -1,18 +1,21 @@
 #!/usr/bin/env python
-"""Performance regression gate for the execution engines.
+"""Performance regression gate for the engines and instrumented tools.
 
-Re-runs ``benchmarks/bench_perf_engine.py`` and compares fresh ops/sec
-numbers against the committed baseline ``BENCH_engine.json``.  Fails
-(exit 1) when either engine regresses by more than ``--tolerance``
-(default 20%) on any workload, or when the compiled engine drops below
-the 2x-over-tree contract.
+Re-runs ``benchmarks/bench_perf_engine.py`` (clean execution) and
+``benchmarks/bench_perf_tools.py`` (instrumented profiler / dyndep) and
+compares fresh ops/sec numbers against the committed baselines
+``BENCH_engine.json`` and ``BENCH_tools.json``.  Fails (exit 1) when
+any path regresses by more than ``--tolerance`` (default 20%) on any
+workload, when the compiled engine drops below the 2x-over-tree
+contract, or when an instrumented fast path drops below the
+3x-over-tree-observer contract.
 
 Run it next to the tier-1 suite::
 
     PYTHONPATH=src python scripts/perf_check.py
 
-The baseline is host-dependent (wall-clock ops/sec), so regenerate it
-when moving to new hardware::
+The baselines are host-dependent (wall-clock ops/sec), so regenerate
+them when moving to new hardware::
 
     PYTHONPATH=src python scripts/perf_check.py --update
 """
@@ -28,31 +31,92 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO / "benchmarks"))
 
-from bench_perf_engine import (BASELINE_PATH, MIN_SPEEDUP,  # noqa: E402
-                               run_bench)
+import bench_perf_engine  # noqa: E402
+import bench_perf_tools  # noqa: E402
 
 
-def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+def compare_engine(baseline: dict, fresh: dict, tolerance: float) -> list:
     """Failure messages for every >tolerance ops/sec drop."""
     failures = []
     for name, base in baseline["workloads"].items():
         cur = fresh["workloads"].get(name)
         if cur is None:
-            failures.append(f"{name}: missing from fresh run")
+            failures.append(f"engine/{name}: missing from fresh run")
             continue
         for engine in ("tree", "compiled"):
             was = base[engine]["ops_per_sec"]
             now = cur[engine]["ops_per_sec"]
             if now < was * (1.0 - tolerance):
                 failures.append(
-                    f"{name}/{engine}: {now / 1e6:.2f}M ops/s is "
+                    f"engine/{name}/{engine}: {now / 1e6:.2f}M ops/s is "
                     f"{(1 - now / was):.0%} below baseline "
                     f"{was / 1e6:.2f}M ops/s (tolerance {tolerance:.0%})")
-        if cur["speedup"] < MIN_SPEEDUP:
+        if cur["speedup"] < bench_perf_engine.MIN_SPEEDUP:
             failures.append(
-                f"{name}: compiled/tree speedup {cur['speedup']:.2f}x "
-                f"below the {MIN_SPEEDUP}x contract")
+                f"engine/{name}: compiled/tree speedup "
+                f"{cur['speedup']:.2f}x below the "
+                f"{bench_perf_engine.MIN_SPEEDUP}x contract")
     return failures
+
+
+def compare_tools(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Failure messages for the instrumented-tools gate."""
+    failures = []
+    for name, base_tools in baseline["workloads"].items():
+        cur_tools = fresh["workloads"].get(name)
+        if cur_tools is None:
+            failures.append(f"tools/{name}: missing from fresh run")
+            continue
+        for tool, base in base_tools.items():
+            cur = cur_tools.get(tool)
+            if cur is None:
+                failures.append(f"tools/{name}/{tool}: missing from "
+                                f"fresh run")
+                continue
+            for path in ("tree", "generic", "fast"):
+                was = base[path]["ops_per_sec"]
+                now = cur[path]["ops_per_sec"]
+                if now < was * (1.0 - tolerance):
+                    failures.append(
+                        f"tools/{name}/{tool}/{path}: "
+                        f"{now / 1e6:.2f}M ops/s is "
+                        f"{(1 - now / was):.0%} below baseline "
+                        f"{was / 1e6:.2f}M ops/s "
+                        f"(tolerance {tolerance:.0%})")
+            if cur["speedup_vs_tree"] < bench_perf_tools.MIN_SPEEDUP:
+                failures.append(
+                    f"tools/{name}/{tool}: fast path "
+                    f"{cur['speedup_vs_tree']:.2f}x over the tree "
+                    f"observer path, below the "
+                    f"{bench_perf_tools.MIN_SPEEDUP}x contract")
+    return failures
+
+
+#: (label, bench module, printer, comparator)
+GATES = (
+    ("engine", bench_perf_engine, compare_engine),
+    ("tools", bench_perf_tools, compare_tools),
+)
+
+
+def _print_engine(fresh: dict) -> None:
+    for name, r in fresh["workloads"].items():
+        print(f"{name:10s} tree={r['tree']['ops_per_sec'] / 1e6:5.2f}M/s  "
+              f"compiled={r['compiled']['ops_per_sec'] / 1e6:5.2f}M/s  "
+              f"speedup={r['speedup']:.2f}x")
+
+
+def _print_tools(fresh: dict) -> None:
+    for name, tools in fresh["workloads"].items():
+        for tool, r in tools.items():
+            print(f"{name:10s} {tool:8s} "
+                  f"tree={r['tree']['ops_per_sec'] / 1e6:5.2f}M/s  "
+                  f"generic={r['generic']['ops_per_sec'] / 1e6:5.2f}M/s  "
+                  f"fast={r['fast']['ops_per_sec'] / 1e6:5.2f}M/s  "
+                  f"vs-tree={r['speedup_vs_tree']:.2f}x")
+
+
+PRINTERS = {"engine": _print_engine, "tools": _print_tools}
 
 
 def main(argv=None) -> int:
@@ -60,28 +124,33 @@ def main(argv=None) -> int:
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional ops/sec drop (default 0.20)")
     ap.add_argument("--update", action="store_true",
-                    help="rewrite BENCH_engine.json from this run")
+                    help="rewrite BENCH_engine.json and BENCH_tools.json "
+                         "from this run")
+    ap.add_argument("--only", choices=["engine", "tools"],
+                    help="run a single gate")
     args = ap.parse_args(argv)
 
-    fresh = run_bench()
-    for name, r in fresh["workloads"].items():
-        print(f"{name:10s} tree={r['tree']['ops_per_sec'] / 1e6:5.2f}M/s  "
-              f"compiled={r['compiled']['ops_per_sec'] / 1e6:5.2f}M/s  "
-              f"speedup={r['speedup']:.2f}x")
+    failures = []
+    for label, bench, comparator in GATES:
+        if args.only and label != args.only:
+            continue
+        print(f"-- {label} gate --")
+        fresh = bench.run_bench()
+        PRINTERS[label](fresh)
+        if args.update or not bench.BASELINE_PATH.exists():
+            bench.BASELINE_PATH.write_text(
+                json.dumps(fresh, indent=2) + "\n")
+            print(f"baseline written: {bench.BASELINE_PATH}")
+            continue
+        baseline = json.loads(bench.BASELINE_PATH.read_text())
+        failures += comparator(baseline, fresh, args.tolerance)
 
-    if args.update or not BASELINE_PATH.exists():
-        BASELINE_PATH.write_text(json.dumps(fresh, indent=2) + "\n")
-        print(f"baseline written: {BASELINE_PATH}")
-        return 0
-
-    baseline = json.loads(BASELINE_PATH.read_text())
-    failures = compare(baseline, fresh, args.tolerance)
     if failures:
         print("\nPERF REGRESSION:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print(f"\nok: within {args.tolerance:.0%} of {BASELINE_PATH.name}")
+    print(f"\nok: within {args.tolerance:.0%} of the committed baselines")
     return 0
 
 

@@ -7,6 +7,12 @@ Commands mirror the Explorer workflow on mini-Fortran source files:
   and the annotated source,
 * ``explore``     — the full Explorer session: profile, dynamic
   dependences, Guru strategy, codeview, simulated speedup,
+* ``profile``     — the Loop Profile Analyzer: per-loop inclusive op
+  counts, invocation counts and coverage (reports which execution
+  engine ran on stderr),
+* ``dyndep``      — the Dynamic Dependence Analyzer: loop-carried flow
+  dependences observed in one instrumented execution (reports which
+  execution engine ran on stderr),
 * ``slice``       — slice a variable's uses inside a loop,
 * ``advise``      — memory-performance advisories,
 * ``compile``     — transpile to a self-contained Python module,
@@ -121,6 +127,59 @@ def cmd_explore(args) -> int:
                 print(f"  warning: {w}")
         for line in session.summary_lines():
             print(line)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .runtime.compile_engine import engine_label
+    from .runtime.profiler import profile_program
+    program, inputs, _ = _load(args.target)
+    if args.inputs:
+        inputs = [float(x) for x in args.inputs]
+    machine = _machine(args.machine)
+    profiler = profile_program(program, inputs, engine=args.engine)
+    loops = sorted(profiler.executed_loops(),
+                   key=lambda p: -p.total_ops)
+    print(f"{'loop':<18s} {'total ops':>12s} {'inv':>6s} {'iters':>9s} "
+          f"{'coverage':>9s} {'grain ms':>9s}")
+    for prof in loops:
+        print(f"{prof.name:<18s} {prof.total_ops:>12d} "
+              f"{prof.invocations:>6d} {prof.iterations:>9d} "
+              f"{profiler.coverage_of(prof.loop):>8.1%} "
+              f"{profiler.granularity_ms(prof.loop, machine):>9.3f}")
+    print(f"[{profiler.total_ops} ops; engine: "
+          f"{engine_label(profiler.interpreter)}]", file=sys.stderr)
+    return 0
+
+
+def cmd_dyndep(args) -> int:
+    from .runtime.compile_engine import engine_label
+    from .runtime.dyndep import analyze_dependences, reduction_stmt_ids
+    program, inputs, _ = _load(args.target)
+    if args.inputs:
+        inputs = [float(x) for x in args.inputs]
+    skip = set() if args.keep_reductions else reduction_stmt_ids(program)
+    analyzer = analyze_dependences(program, inputs, skip_stmt_ids=skip,
+                                   sample_stride=args.stride,
+                                   engine=args.engine)
+    loops = {loop.stmt_id: loop for loop in program.all_loops()}
+    for loop in program.all_loops():
+        count = analyzer.carried.get(loop.stmt_id, 0)
+        if not count:
+            continue
+        vars_ = sorted(name for (lid, name) in analyzer.carried_by_var
+                       if lid == loop.stmt_id)
+        print(f"{loop.name}: {count} loop-carried flow dependence(s) "
+              f"on {', '.join(vars_)}")
+        for wline, rline in analyzer.witnesses.get(loop.stmt_id, []):
+            print(f"    write line {wline} -> read line {rline}")
+    clean = [loop.name for sid, loop in loops.items()
+             if sid not in analyzer.carried]
+    if clean:
+        print(f"no carried dependences observed: {', '.join(clean)}")
+    print(f"[sampled {analyzer.sampled_accesses} accesses, skipped "
+          f"{analyzer.skipped_accesses}; engine: "
+          f"{engine_label(analyzer.interpreter)}]", file=sys.stderr)
     return 0
 
 
@@ -342,6 +401,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--assertions", action="store_true")
     p.add_argument("--no-liveness", action="store_true")
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("profile", help="per-loop execution profile")
+    p.add_argument("target")
+    p.add_argument("--inputs", nargs="*", help="values for READ statements")
+    p.add_argument("--engine", default="compiled",
+                   choices=["compiled", "tree"])
+    p.add_argument("--machine", default="alphaserver",
+                   choices=sorted(MACHINES))
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("dyndep", help="dynamic loop-carried dependences")
+    p.add_argument("target")
+    p.add_argument("--inputs", nargs="*", help="values for READ statements")
+    p.add_argument("--engine", default="compiled",
+                   choices=["compiled", "tree"])
+    p.add_argument("--stride", type=int, default=1,
+                   help="iteration sampling stride (section 2.5.2 "
+                        "batch skipping; default: 1 = sample everything)")
+    p.add_argument("--keep-reductions", action="store_true",
+                   help="instrument compiler-recognized reduction "
+                        "updates too (default: skipped)")
+    p.set_defaults(func=cmd_dyndep)
 
     p = sub.add_parser("slice", help="slice a variable's use in a loop")
     p.add_argument("target")

@@ -83,6 +83,12 @@ class ExplorerSession:
         self.result: Optional[ParallelExecutionResult] = None
         self.assertions: List[Assertion] = []
         self._slicer: Optional[Slicer] = None
+        #: Which execution substrate each instrumented analysis actually
+        #: ran on (e.g. ``{"profile": "compiled/profile", "dyndep":
+        #: "compiled/dyndep"}``) — filled by :meth:`run_automatic` so
+        #: logs and service traces can tell the fast path from the
+        #: generic observer path.
+        self.engine_labels: Dict[str, str] = {}
 
     # -- phase 1: automatic parallelization + execution analysis -------------
     def run_automatic(self) -> ParallelExecutionResult:
@@ -95,13 +101,18 @@ class ExplorerSession:
                 assertions=self.assertions)
             self.plan = self.parallelizer.plan()
             sp.tag(parallel_loops=len(self.plan.parallel_loops()))
+        from ..runtime.compile_engine import engine_label
         self.profiler = profile_program(self.program, self.inputs,
                                         max_ops=self.max_ops,
                                         engine=self.engine)
+        self.engine_labels["profile"] = engine_label(
+            self.profiler.interpreter)
         self.dyndep = analyze_dependences(
             self.program, self.inputs,
             skip_stmt_ids=reduction_stmt_ids(self.program),
             max_ops=self.max_ops, engine=self.engine)
+        self.engine_labels["dyndep"] = engine_label(
+            self.dyndep.interpreter)
         with tracer.span("guru") as sp:
             self.guru = ParallelizationGuru(self.program, self.plan,
                                             self.profiler, self.dyndep,

@@ -18,8 +18,8 @@ __all__ = ["to_chrome", "render_tree", "span_index", "phase_totals"]
 #: DESIGN.md).  Instrumentation sites elsewhere must use these names so
 #: dashboards and tests can rely on them.
 PHASES = ("parse", "build", "execute", "codegen", "parallelize",
-          "profile", "dyndep", "guru", "slice", "parallel_exec",
-          "snapshot", "execute_request", "job", "submit")
+          "instrument.profile", "instrument.dyndep", "guru", "slice",
+          "parallel_exec", "snapshot", "execute_request", "job", "submit")
 
 
 def _as_dicts(spans: Sequence[Union[Span, Dict]]) -> List[Dict]:

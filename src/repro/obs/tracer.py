@@ -63,7 +63,7 @@ def _new_trace_id() -> str:
 class Span:
     """One named, tagged interval.  Use as a context manager::
 
-        with tracer.span("dyndep", loop="interf/1000") as sp:
+        with tracer.span("instrument.dyndep", loop="interf/1000") as sp:
             ...
             sp.tag(carried=3)
     """

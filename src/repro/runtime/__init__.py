@@ -7,8 +7,9 @@ Two execution engines share one semantics: the closure-compiling
 """
 
 from .compile_engine import (CompiledEngine, CompiledProgram,
-                             compile_closures, make_engine, select_variant,
-                             VARIANT_FULL, VARIANT_LOOPS, VARIANT_NONE)
+                             compile_closures, engine_label, make_engine,
+                             select_variant, VARIANT_DYNDEP, VARIANT_FULL,
+                             VARIANT_LOOPS, VARIANT_NONE, VARIANT_PROFILE)
 from .dyndep import (DynamicDependenceAnalyzer, analyze_dependences,
                      reduction_stmt_ids)
 from .interpreter import (BINOPS, INTRINSICS, Interpreter, Observer,
@@ -24,8 +25,9 @@ from .transpile import compile_program, transpile_to_python
 from .values import ArrayView, Buffer
 
 __all__ = [
-    "CompiledEngine", "CompiledProgram", "compile_closures", "make_engine",
-    "select_variant", "VARIANT_FULL", "VARIANT_LOOPS", "VARIANT_NONE",
+    "CompiledEngine", "CompiledProgram", "compile_closures", "engine_label",
+    "make_engine", "select_variant", "VARIANT_DYNDEP", "VARIANT_FULL",
+    "VARIANT_LOOPS", "VARIANT_NONE", "VARIANT_PROFILE",
     "DynamicDependenceAnalyzer", "analyze_dependences", "reduction_stmt_ids",
     "BINOPS", "INTRINSICS",
     "Interpreter", "Observer", "OpsBudgetExceeded", "RuntimeErrorInProgram",

@@ -16,15 +16,39 @@ Design
   buffer-backed COMMON scalars hold an :class:`~repro.runtime.values.ArrayView`.
   No ``Dict[Symbol, ...]`` probe survives into the hot path.
 
-* **Observer fast paths.**  Each procedure compiles into one of three
+* **Observer fast paths.**  Each procedure compiles into one of five
   variants, selected at run start from the attached observers:
 
   - :data:`VARIANT_NONE` — no observers: loop drivers are tight ``while``
     loops with **zero** callback overhead,
-  - :data:`VARIANT_LOOPS` — loop/call events only (the Loop Profile
-    Analyzer): array reads/writes stay callback-free,
-  - :data:`VARIANT_FULL` — full read/write instrumentation (the Dynamic
-    Dependence Analyzer, the parallel-machine cost observer).
+  - :data:`VARIANT_LOOPS` — loop/call events only (generic loop
+    observers): array reads/writes stay callback-free,
+  - :data:`VARIANT_FULL` — full read/write instrumentation through the
+    generic :class:`Observer` callback protocol (duck-typed observers,
+    the parallel-machine cost observer, observer *combinations*),
+  - :data:`VARIANT_PROFILE` — the **instrumented fast path** for the
+    Loop Profile Analyzer: no callbacks at all; every loop driver does
+    its own op-counter-delta accounting (entry snapshot, local
+    iteration counter, exit accumulate) against dense per-loop
+    accumulator arrays assigned at compile time,
+  - :data:`VARIANT_DYNDEP` — the **instrumented fast path** for the
+    Dynamic Dependence Analyzer: shadow memory is a per-buffer flat
+    list instead of a ``(buffer_id, offset)``-keyed dict, loop-stack
+    snapshots are cached tuples of mutable activation cells (no
+    per-read dict comprehension), sampling-window membership is a
+    single engine flag maintained at loop events (hoisted out of the
+    per-access path), and reduction/induction skip sets plus witness
+    line numbers are resolved to per-statement constants at compile
+    time.
+
+  The specialized variants are chosen by :func:`CompiledEngine.run`
+  only when the *exact* analyzer types are attached alone and fresh
+  (see ``_specialized_variant``); any other observer mix falls back to
+  the generic callback variants, which behave exactly like the
+  tree-walking interpreter.  Both paths are bit-identical to the
+  oracle — same ``LoopProfile`` numbers, same detected-dependence sets,
+  witness pairs, and sampling counters — enforced by the whole-corpus
+  instrumented-parity suite and differential fuzzing.
 
 * **Exact op-count parity.**  The tree-walker charges one abstract op per
   expression node and statement.  The compiler pre-sums those charges per
@@ -61,6 +85,8 @@ from .values import ArrayView, Buffer
 VARIANT_NONE = "none"
 VARIANT_LOOPS = "loops"
 VARIANT_FULL = "full"
+VARIANT_PROFILE = "profile"
+VARIANT_DYNDEP = "dyndep"
 
 #: Direct single-argument intrinsic fast paths (same semantics as the
 #: shared ``INTRINSICS`` table entries they shadow).
@@ -111,6 +137,176 @@ def _int_valued(e: Expression) -> bool:
     return False
 
 
+def _specialized_variant(observers: Sequence[Observer]) -> Optional[str]:
+    """Upgrade a generic observer variant to an instrumented fast path.
+
+    Fires only when exactly one observer of the *exact* analyzer type is
+    attached (subclasses may override behaviour, so they fall back to the
+    generic callback protocol) and the analyzer is *fresh* — an analyzer
+    carrying state from a previous run must keep accumulating through the
+    oracle-identical callback path."""
+    if len(observers) != 1:
+        return None
+    obs = observers[0]
+    from .dyndep import DynamicDependenceAnalyzer
+    from .profiler import LoopProfiler
+    t = type(obs)
+    if t is LoopProfiler:
+        if obs.profiles or obs._stack:
+            return None
+        return VARIANT_PROFILE
+    if t is DynamicDependenceAnalyzer:
+        if (obs.carried or obs.carried_by_var or obs.witnesses
+                or obs._last_write or obs._stack or obs._invocations
+                or obs.sampled_accesses or obs.skipped_accesses):
+            return None
+        return VARIANT_DYNDEP
+    return None
+
+
+def engine_label(engine) -> str:
+    """Human-readable engine tag for logs/spans: ``"tree"`` for the
+    tree-walking oracle, ``"compiled/<variant>"`` for the closure engine
+    (call after ``run()`` — the variant is chosen at run start)."""
+    v = getattr(engine, "variant", None)
+    return "tree" if v is None else f"compiled/{v}"
+
+
+class _ProfileRun:
+    """Per-run object for :data:`VARIANT_PROFILE`: a compile-time registry
+    assigning each loop a dense accumulator index, plus the runtime
+    accumulator lists themselves (they grow as loops are discovered, and
+    the loop drivers close over them directly — no per-event dict probe,
+    no engine attribute loads).  ``order`` records first-touch order so
+    the filled-back ``profiles`` dict has oracle-identical insertion
+    order."""
+
+    __slots__ = ("loops", "_idx", "total", "inv", "iters", "seen", "order")
+
+    def __init__(self):
+        self.loops: List[LoopStmt] = []
+        self._idx: Dict[int, int] = {}
+        self.total: List[int] = []
+        self.inv: List[int] = []
+        self.iters: List[int] = []
+        self.seen: List[bool] = []
+        self.order: List[int] = []
+
+    def index(self, loop: LoopStmt) -> int:
+        i = self._idx.get(loop.stmt_id)
+        if i is None:
+            i = len(self.loops)
+            self._idx[loop.stmt_id] = i
+            self.loops.append(loop)
+            self.total.append(0)
+            self.inv.append(0)
+            self.iters.append(0)
+            self.seen.append(False)
+        return i
+
+
+class _DyndepRun:
+    """Per-run object for :data:`VARIANT_DYNDEP`: the compile-time
+    constants (reduction/induction skip set resolved to per-statement
+    booleans, sampling window — ``0`` disables windowing at stride 1 so
+    the per-access check is a single truthy flag load) plus the runtime
+    dependence state the access closures close over directly.
+
+    * ``stack`` holds mutable activation cells ``[loop_stmt_id,
+      invocation, iteration]``; on loop exit the cell's iteration field is
+      set to ``None`` (a dead marker), which is exactly the oracle's
+      "``(lid, inv)`` no longer active" condition without any per-read
+      dict build.
+    * ``snap`` caches the current write snapshot — a tuple of
+      ``(cell, iteration_at_snapshot)`` pairs — and is invalidated
+      (``None``) whenever the stack or an iteration counter changes, so
+      consecutive writes in one iteration share a single tuple.
+    * ``shadow`` maps ``id(buffer)`` to a flat per-offset list of
+      ``(snapshot, writer_line)`` entries (no tuple-key hashing);
+      ``bufs`` pins every written buffer exactly like the oracle's
+      ``_buffers`` so ids are never recycled.
+    * ``flag`` is the hoisted sampling-window membership, maintained by
+      the loop drivers instead of being recomputed per access.
+    """
+
+    __slots__ = ("skip_ids", "stride", "window",
+                 "stack", "inv", "snap", "flag", "shadow", "bufs",
+                 "sampled", "skipped", "carried", "carried_by_var",
+                 "witnesses", "maxw")
+
+    def __init__(self, skip_ids, stride: int, max_witnesses: int):
+        self.skip_ids = frozenset(skip_ids or ())
+        self.stride = max(1, int(stride))
+        self.window = 0 if self.stride == 1 else 2 * self.stride
+        self.stack: List[list] = []
+        self.inv: Dict[int, int] = {}
+        self.snap: Optional[tuple] = ()    # empty stack == empty snapshot
+        self.flag = True
+        self.shadow: Dict[int, list] = {}
+        self.bufs: Dict[int, Buffer] = {}
+        self.sampled = 0
+        self.skipped = 0
+        self.carried: Dict[int, int] = {}
+        self.carried_by_var: Dict[Tuple[int, str], int] = {}
+        self.witnesses: Dict[int, List[Tuple[int, int]]] = {}
+        self.maxw = max_witnesses
+
+    def record(self, lid: int, bname: str, wline: int, rline: int) -> None:
+        """One observed loop-carried flow dependence (oracle-identical
+        bookkeeping: census counters plus deduped, capped witness pairs —
+        dedupe applies *before* the cap so a hot pair can never crowd out
+        distinct diagnostics)."""
+        self.carried[lid] = self.carried.get(lid, 0) + 1
+        vkey = (lid, bname)
+        self.carried_by_var[vkey] = self.carried_by_var.get(vkey, 0) + 1
+        pairs = self.witnesses.setdefault(lid, [])
+        pair = (wline, rline)
+        if pair not in pairs and len(pairs) < self.maxw:
+            pairs.append(pair)
+
+
+def _fill_profiler(obs, state: _ProfileRun) -> None:
+    """Deliver fast-path accumulators into a :class:`LoopProfiler`,
+    preserving the oracle's ``profiles`` insertion order (first touch)."""
+    from .profiler import LoopProfile
+    loops = state.loops
+    profiles = obs.profiles
+    for i in state.order:
+        loop = loops[i]
+        prof = profiles.get(loop.stmt_id)
+        if prof is None:
+            prof = LoopProfile(loop)
+            profiles[loop.stmt_id] = prof
+        prof.total_ops += state.total[i]
+        prof.invocations += state.inv[i]
+        prof.iterations += state.iters[i]
+
+
+def _fill_dyndep(obs, state: _DyndepRun) -> None:
+    """Deliver fast-path results into a :class:`DynamicDependenceAnalyzer`
+    — dependence census, witness pairs, sampling counters, and the
+    reconstructed ``(buffer id, offset)``-keyed last-write map."""
+    obs.sampled_accesses += state.sampled
+    obs.skipped_accesses += state.skipped
+    for lid, n in state.carried.items():
+        obs.carried[lid] = obs.carried.get(lid, 0) + n
+    for vkey, n in state.carried_by_var.items():
+        obs.carried_by_var[vkey] = obs.carried_by_var.get(vkey, 0) + n
+    maxw = state.maxw
+    for lid, pairs in state.witnesses.items():
+        dst = obs.witnesses.setdefault(lid, [])
+        for pair in pairs:
+            if pair not in dst and len(dst) < maxw:
+                dst.append(pair)
+    obs._invocations.update(state.inv)
+    obs._buffers.update(state.bufs)
+    for bid, sh in state.shadow.items():
+        for off, ent in enumerate(sh):
+            if ent is not None:
+                snap = tuple((cell[0], cell[1], it) for cell, it in ent[0])
+                obs._last_write[(bid, off)] = (snap, ent[1])
+
+
 class CompiledProcedure:
     """One procedure lowered to closures for one observer variant."""
 
@@ -127,14 +323,39 @@ class _ProcCompiler:
     """Compiles one :class:`Procedure` into a :class:`CompiledProcedure`."""
 
     def __init__(self, program: Program, proc: Procedure, variant: str,
-                 procs: Dict[str, CompiledProcedure]):
+                 procs: Dict[str, CompiledProcedure], plan=None):
         self.program = program
         self.proc = proc
         self.variant = variant
+        self.plan = plan            # _ProfilePlan / _DyndepPlan / None
+        self.full = variant == VARIANT_FULL
+        self.events = variant in (VARIANT_LOOPS, VARIANT_FULL)
+        self.profile = variant == VARIANT_PROFILE
+        self.dyn = variant == VARIANT_DYNDEP
         self.procs = procs          # shared, filled lazily (recursion-safe)
         self._slots: Dict[int, int] = {}      # id(sym) -> slot
         self._shadow: Dict[int, int] = {}     # id(sym) -> shadow slot
         self._nslots = 0
+        #: Compile-time mirror of the oracle's runtime ``current_stmt``:
+        #: the statement an access is attributed to (skip-set membership
+        #: and witness line numbers become per-site constants).  The one
+        #: knowing divergence: copy-back subscript reads attribute to the
+        #: CallStmt, where the oracle leaves ``current_stmt`` pointing at
+        #: the callee's last-executed statement — a stale value no corpus
+        #: or fuzz program depends on (skip sets never contain CallStmts,
+        #: and the whole-corpus parity suite guards the witness lines).
+        self._cur_stmt: Optional[Statement] = None
+
+    def _dd_site(self) -> Tuple[bool, int]:
+        """Resolve the current statement against the dyndep plan:
+        ``(instrument?, witness line)``.  Statements in the compiler-known
+        reduction/induction skip set compile to the plain (uninstrumented)
+        closures — exactly the oracle's early return, which also bypasses
+        the sampling counters."""
+        s = self._cur_stmt
+        if s is not None and s.stmt_id in self.plan.skip_ids:
+            return False, 0
+        return True, (s.line if s is not None else 0)
 
     # -- slots ---------------------------------------------------------------
     def slot(self, sym: Symbol) -> int:
@@ -173,7 +394,7 @@ class _ProcCompiler:
         """Compile ``e`` to ``fn(st, frame) -> value`` plus the static op
         count charged by the caller.  Short-circuit operands account for
         their own (conditional) ops inside the closure."""
-        full = self.variant == VARIANT_FULL
+        full = self.full
         if isinstance(e, Const) or isinstance(e, StrConst):
             v = e.value
             return (lambda st, f: v), 1
@@ -193,6 +414,38 @@ class _ProcCompiler:
                             ob.on_read(b, o, st.current_stmt)
                         return b.data[o]
                     return rd, 1
+                if self.dyn:
+                    site, rline = self._dd_site()
+                    if site:
+                        dd = self.plan
+                        shadow_get = dd.shadow.get
+                        record = dd.record
+
+                        def rd(st, f, k=k, rline=rline):
+                            vw = f[k]
+                            b = vw.buffer
+                            o = vw.offset
+                            if dd.flag:
+                                dd.sampled += 1
+                                sh = shadow_get(id(b))
+                                if sh is not None:
+                                    ent = sh[o]
+                                    if ent is not None:
+                                        snap_w = ent[0]
+                                        # identity: write was in this
+                                        # very iteration -> never carried
+                                        if snap_w is not dd.snap:
+                                            for cell, wit in snap_w:
+                                                cur = cell[2]
+                                                if cur is not None \
+                                                        and cur != wit:
+                                                    record(cell[0],
+                                                           b.name,
+                                                           ent[1], rline)
+                            else:
+                                dd.skipped += 1
+                            return b.data[o]
+                        return rd, 1
 
                 def rd(st, f, k=k):
                     vw = f[k]
@@ -283,7 +536,7 @@ class _ProcCompiler:
         # array formals, so the oracle's per-access None check is dropped.
         k = self.slot(e.symbol)
         off, n = self._c_offset(e.indices)
-        if self.variant == VARIANT_FULL:
+        if self.full:
             def rd(st, f):
                 vw = f[k]
                 o = off(st, f, vw)
@@ -292,6 +545,36 @@ class _ProcCompiler:
                     ob.on_read(b, o, st.current_stmt)
                 return b.data[o]
             return rd, 1 + n
+        if self.dyn:
+            site, rline = self._dd_site()
+            if site:
+                dd = self.plan
+                shadow_get = dd.shadow.get
+                record = dd.record
+
+                def rd(st, f, rline=rline):
+                    vw = f[k]
+                    o = off(st, f, vw)
+                    b = vw.buffer
+                    if dd.flag:
+                        dd.sampled += 1
+                        sh = shadow_get(id(b))
+                        if sh is not None:
+                            ent = sh[o]
+                            if ent is not None:
+                                snap_w = ent[0]
+                                # identity: same-iteration write -> the
+                                # oracle's privatization-aware no-op
+                                if snap_w is not dd.snap:
+                                    for cell, wit in snap_w:
+                                        cur = cell[2]
+                                        if cur is not None and cur != wit:
+                                            record(cell[0], b.name,
+                                                   ent[1], rline)
+                    else:
+                        dd.skipped += 1
+                    return b.data[o]
+                return rd, 1 + n
 
         def rd(st, f):
             vw = f[k]
@@ -411,6 +694,7 @@ class _ProcCompiler:
         """Returns ``(effect, static_ops)`` for straight-line statements
         (``effect`` may be None for pure-cost statements), or
         ``(closure, None)`` for self-accounting control statements."""
+        self._cur_stmt = stmt
         if isinstance(stmt, AssignStmt):
             return self._c_assign(stmt)
         if isinstance(stmt, IfStmt):
@@ -423,7 +707,7 @@ class _ProcCompiler:
             return self._c_io(stmt)
         if isinstance(stmt, NoopStmt):
             return None, 1
-        full = self.variant == VARIANT_FULL
+        full = self.full
         if isinstance(stmt, CycleStmt):
             return _make_raiser(_Cycle, stmt.target_label, stmt, full), None
         if isinstance(stmt, ExitStmt):
@@ -444,7 +728,7 @@ class _ProcCompiler:
 
     def _c_assign(self, stmt: AssignStmt) -> Tuple[Callable, int]:
         val, vn = self._c_expr(stmt.value)
-        full = self.variant == VARIANT_FULL
+        full = self.full
         target = stmt.target
         if isinstance(target, VarRef):
             sym = target.symbol
@@ -461,6 +745,38 @@ class _ProcCompiler:
                             ob.on_write(b, o, stmt)
                         b.data[o] = v
                     return eff, 1 + vn
+                if self.dyn:
+                    site, wline = self._dd_site()
+                    if site:
+                        dd = self.plan
+                        shadow = dd.shadow
+                        shadow_get = shadow.get
+                        bufs = dd.bufs
+                        stack = dd.stack
+
+                        def eff(st, f, wline=wline):
+                            v = val(st, f)
+                            vw = f[k]
+                            b = vw.buffer
+                            o = vw.offset
+                            if dd.flag:
+                                dd.sampled += 1
+                                bid = id(b)
+                                sh = shadow_get(bid)
+                                if sh is None:
+                                    sh = [None] * len(b.data)
+                                    shadow[bid] = sh
+                                    bufs[bid] = b
+                                snap = dd.snap
+                                if snap is None:
+                                    snap = tuple((c, c[2])
+                                                 for c in stack)
+                                    dd.snap = snap
+                                sh[o] = (snap, wline)
+                            else:
+                                dd.skipped += 1
+                            b.data[o] = v
+                        return eff, 1 + vn
 
                 def eff(st, f):
                     v = val(st, f)
@@ -490,6 +806,37 @@ class _ProcCompiler:
                     ob.on_write(b, o, stmt)
                 b.data[o] = v
             return eff, 1 + vn + on
+        if self.dyn:
+            site, wline = self._dd_site()
+            if site:
+                dd = self.plan
+                shadow = dd.shadow
+                shadow_get = shadow.get
+                bufs = dd.bufs
+                stack = dd.stack
+
+                def eff(st, f, wline=wline):
+                    v = val(st, f)
+                    vw = f[k]
+                    o = off(st, f, vw)
+                    b = vw.buffer
+                    if dd.flag:
+                        dd.sampled += 1
+                        bid = id(b)
+                        sh = shadow_get(bid)
+                        if sh is None:
+                            sh = [None] * len(b.data)
+                            shadow[bid] = sh
+                            bufs[bid] = b
+                        snap = dd.snap
+                        if snap is None:
+                            snap = tuple((c, c[2]) for c in stack)
+                            dd.snap = snap
+                        sh[o] = (snap, wline)
+                    else:
+                        dd.skipped += 1
+                    b.data[o] = v
+                return eff, 1 + vn + on
 
         def eff(st, f):
             v = val(st, f)
@@ -500,11 +847,14 @@ class _ProcCompiler:
     def _c_if(self, stmt: IfStmt) -> Callable:
         arms = []
         for cond, body in stmt.arms:
+            # arm bodies move _cur_stmt; conditions belong to the IfStmt
+            # (the oracle sets current_stmt to it before testing arms)
+            self._cur_stmt = stmt
             cf, cn = self._c_expr(cond)
             arms.append((cf, cn, self._c_block(body)))
         else_blk = (self._c_block(stmt.else_block)
                     if stmt.else_block is not None else None)
-        full = self.variant == VARIANT_FULL
+        full = self.full
         if len(arms) == 1:
             cf, cn, blk = arms[0]
             head_n = 1 + cn
@@ -560,9 +910,8 @@ class _ProcCompiler:
         k = self._index_slot(loop.index)
         term = loop.term_label
         name = loop.name
-        variant = self.variant
-        events = variant != VARIANT_NONE
-        full = variant == VARIANT_FULL
+        events = self.events
+        full = self.full
         # the oracle wraps every iteration in try/except _Cycle and the
         # whole loop in try/except _Exit; skip the wrappers when the body
         # can never raise them (no CYCLE/EXIT reachable, no calls)
@@ -571,6 +920,12 @@ class _ProcCompiler:
         need_cycle = has_call or any(isinstance(s, CycleStmt)
                                      for s in stmts)
         need_exit = has_call or _has_shallow_exit(loop.body)
+        if self.profile:
+            return self._profile_loop(loop, low_f, high_f, step_f, head_n,
+                                      body, k, term, name, need_cycle)
+        if self.dyn:
+            return self._dyndep_loop(loop, low_f, high_f, step_f, head_n,
+                                     body, k, term, name, need_cycle)
 
         def fn(st, f):
             ops = st.ops + head_n
@@ -656,6 +1011,173 @@ class _ProcCompiler:
             return fast
         return fn
 
+    def _profile_loop(self, loop, low_f, high_f, step_f, head_n, body,
+                      k, term, name, need_cycle) -> Callable:
+        """Loop driver for :data:`VARIANT_PROFILE`: no observer callbacks
+        anywhere — the driver snapshots the op counter where the oracle's
+        ``on_loop_enter`` fires, counts iterations in a local, and
+        accumulates (total delta, invocations, iterations) into dense
+        plan-indexed lists in a ``finally`` so mid-iteration unwinds
+        (EXIT/STOP/RETURN/op budget) charge exactly like the oracle's
+        ``finally``-driven ``on_loop_exit``."""
+        pr = self.plan
+        L = pr.index(loop)
+        seen = pr.seen
+        order = pr.order
+        total = pr.total
+        invs = pr.inv
+        iter_acc = pr.iters
+
+        def fn(st, f):
+            ops = st.ops + head_n
+            st.ops = ops
+            if ops > st.max_ops:
+                raise budget_error(ops, st.max_ops)
+            low = int(low_f(st, f))
+            high = int(high_f(st, f))
+            step = int(step_f(st, f)) if step_f is not None else 1
+            if step == 0:
+                raise RuntimeErrorInProgram(f"zero step in {name}")
+            entry_ops = st.ops      # == ops at the oracle's on_loop_enter
+            i = low
+            iters = 0
+            # first-touch registration order must match the oracle's
+            # ``profiles`` dict: a loop that iterates registers at its
+            # first iteration event (before any inner loop); a zero-trip
+            # loop registers at exit (the finally below).
+            if ((i <= high) if step > 0 else (i >= high)) \
+                    and not seen[L]:
+                seen[L] = True
+                order.append(L)
+            try:
+                if need_cycle:
+                    while (i <= high) if step > 0 else (i >= high):
+                        f[k] = i
+                        iters += 1
+                        try:
+                            for s in body:
+                                s(st, f)
+                        except _Cycle as cyc:
+                            if cyc.target_label is not None and \
+                                    cyc.target_label != term:
+                                raise
+                        i += step
+                        st.ops += 1
+                elif step > 0:
+                    while i <= high:
+                        f[k] = i
+                        iters += 1
+                        for s in body:
+                            s(st, f)
+                        i += step
+                        st.ops += 1
+                else:
+                    while i >= high:
+                        f[k] = i
+                        iters += 1
+                        for s in body:
+                            s(st, f)
+                        i += step
+                        st.ops += 1
+            except _Exit:
+                pass
+            finally:
+                f[k] = i
+                if not seen[L]:
+                    seen[L] = True
+                    order.append(L)
+                total[L] += st.ops - entry_ops
+                invs[L] += 1
+                iter_acc[L] += iters
+        return fn
+
+    def _dyndep_loop(self, loop, low_f, high_f, step_f, head_n, body,
+                     k, term, name, need_cycle) -> Callable:
+        """Loop driver for :data:`VARIANT_DYNDEP`: maintains the mutable
+        activation-cell stack, invalidates the cached write snapshot on
+        every loop event, and keeps the sampling-window flag up to date so
+        the per-access closures do a single attribute load instead of a
+        modulo over the innermost counter.  On exit the cell is marked
+        dead (iteration ``None``) — the oracle's "that invocation is no
+        longer active" condition."""
+        lid = loop.stmt_id
+        dd = self.plan
+        window = dd.window
+        stack = dd.stack
+        inv_map = dd.inv
+
+        def fn(st, f):
+            ops = st.ops + head_n
+            st.ops = ops
+            if ops > st.max_ops:
+                raise budget_error(ops, st.max_ops)
+            low = int(low_f(st, f))
+            high = int(high_f(st, f))
+            step = int(step_f(st, f)) if step_f is not None else 1
+            if step == 0:
+                raise RuntimeErrorInProgram(f"zero step in {name}")
+            inv = inv_map.get(lid, 0) + 1
+            inv_map[lid] = inv
+            entry = [lid, inv, 0]
+            stack.append(entry)
+            dd.snap = None
+            if window:
+                dd.flag = True      # iteration 0 is in-window
+            i = low
+            try:
+                if need_cycle:
+                    while (i <= high) if step > 0 else (i >= high):
+                        f[k] = i
+                        it = entry[2] + 1
+                        entry[2] = it
+                        dd.snap = None
+                        if window:
+                            dd.flag = (it % window) < 2
+                        try:
+                            for s in body:
+                                s(st, f)
+                        except _Cycle as cyc:
+                            if cyc.target_label is not None and \
+                                    cyc.target_label != term:
+                                raise
+                        i += step
+                        st.ops += 1
+                elif step > 0:
+                    while i <= high:
+                        f[k] = i
+                        it = entry[2] + 1
+                        entry[2] = it
+                        dd.snap = None
+                        if window:
+                            dd.flag = (it % window) < 2
+                        for s in body:
+                            s(st, f)
+                        i += step
+                        st.ops += 1
+                else:
+                    while i >= high:
+                        f[k] = i
+                        it = entry[2] + 1
+                        entry[2] = it
+                        dd.snap = None
+                        if window:
+                            dd.flag = (it % window) < 2
+                        for s in body:
+                            s(st, f)
+                        i += step
+                        st.ops += 1
+            except _Exit:
+                pass
+            finally:
+                f[k] = i
+                stack.pop()
+                entry[2] = None          # dead marker for old snapshots
+                dd.snap = None
+                if window:
+                    dd.flag = ((stack[-1][2] % window) < 2) if stack \
+                        else True
+        return fn
+
     def _c_call(self, call: CallStmt) -> Callable:
         callee = self.program.procedures.get(call.callee)
         if callee is None:
@@ -685,8 +1207,8 @@ class _ProcCompiler:
         procs = self.procs
         callee_name = call.callee
         cell: List[CompiledProcedure] = []
-        events = self.variant != VARIANT_NONE
-        full = self.variant == VARIANT_FULL
+        events = self.events
+        full = self.full
         total_args_n = args_n
         total_cb_n = cb_n
 
@@ -893,7 +1415,7 @@ class _ProcCompiler:
 
     # -- io ------------------------------------------------------------------
     def _c_io(self, stmt: IoStmt) -> Tuple[Callable, int]:
-        full = self.variant == VARIANT_FULL
+        full = self.full
         if stmt.kind == "print":
             comp = [self._c_expr(item) for item in stmt.items]
             n = 1 + sum(m for _, m in comp)
@@ -907,6 +1429,16 @@ class _ProcCompiler:
                     out.append(t(st, f))
             return eff, n
         # READ
+        if self.dyn:
+            dd_site, dd_line = self._dd_site()
+        else:
+            dd_site, dd_line = False, 0
+        if dd_site:
+            dd = self.plan
+            shadow = dd.shadow
+            shadow_get = shadow.get
+            bufs = dd.bufs
+            stack = dd.stack
         stores = []
         n = 1
         for item in stmt.items:
@@ -921,6 +1453,30 @@ class _ProcCompiler:
                             o = vw.offset
                             for ob in st.observers:
                                 ob.on_write(b, o, stmt)
+                            b.data[o] = v
+                    elif dd_site:
+                        def sto(st, f, v, k=k, wline=dd_line, dd=dd,
+                                shadow=shadow, shadow_get=shadow_get,
+                                bufs=bufs, stack=stack):
+                            vw = f[k]
+                            b = vw.buffer
+                            o = vw.offset
+                            if dd.flag:
+                                dd.sampled += 1
+                                bid = id(b)
+                                sh = shadow_get(bid)
+                                if sh is None:
+                                    sh = [None] * len(b.data)
+                                    shadow[bid] = sh
+                                    bufs[bid] = b
+                                snap = dd.snap
+                                if snap is None:
+                                    snap = tuple((c, c[2])
+                                                 for c in stack)
+                                    dd.snap = snap
+                                sh[o] = (snap, wline)
+                            else:
+                                dd.skipped += 1
                             b.data[o] = v
                     else:
                         def sto(st, f, v, k=k):
@@ -944,6 +1500,29 @@ class _ProcCompiler:
                         b = vw.buffer
                         for ob in st.observers:
                             ob.on_write(b, o, stmt)
+                        b.data[o] = v
+                elif dd_site:
+                    def sto(st, f, v, k=k, off=off, wline=dd_line, dd=dd,
+                            shadow=shadow, shadow_get=shadow_get,
+                            bufs=bufs, stack=stack):
+                        vw = f[k]
+                        o = off(st, f, vw)
+                        b = vw.buffer
+                        if dd.flag:
+                            dd.sampled += 1
+                            bid = id(b)
+                            sh = shadow_get(bid)
+                            if sh is None:
+                                sh = [None] * len(b.data)
+                                shadow[bid] = sh
+                                bufs[bid] = b
+                            snap = dd.snap
+                            if snap is None:
+                                snap = tuple((c, c[2]) for c in stack)
+                                dd.snap = snap
+                            sh[o] = (snap, wline)
+                        else:
+                            dd.skipped += 1
                         b.data[o] = v
                 else:
                     def sto(st, f, v, k=k, off=off):
@@ -1052,21 +1631,24 @@ def _make_raiser(exc_type, arg, stmt, full: bool) -> Callable:
 class CompiledProgram:
     """All procedures of one program compiled for one observer variant."""
 
-    __slots__ = ("program", "variant", "procs")
+    __slots__ = ("program", "variant", "procs", "plan")
 
-    def __init__(self, program: Program, variant: str):
+    def __init__(self, program: Program, variant: str, plan=None):
         self.program = program
         self.variant = variant
+        self.plan = plan
         self.procs: Dict[str, CompiledProcedure] = {}
         for name, proc in program.procedures.items():
             self.procs[name] = _ProcCompiler(program, proc, variant,
-                                             self.procs).compile()
+                                             self.procs, plan).compile()
 
 
-def compile_closures(program: Program, variant: str = VARIANT_NONE
-                     ) -> CompiledProgram:
-    """One-pass compile of ``program`` for the given observer variant."""
-    return CompiledProgram(program, variant)
+def compile_closures(program: Program, variant: str = VARIANT_NONE,
+                     plan=None) -> CompiledProgram:
+    """One-pass compile of ``program`` for the given observer variant.
+    The specialized variants take a ``plan`` (:class:`_ProfilePlan` or
+    :class:`_DyndepPlan`) carrying their compile-time constants."""
+    return CompiledProgram(program, variant, plan)
 
 
 class CompiledEngine:
@@ -1075,11 +1657,12 @@ class CompiledEngine:
     ``outputs``, ``observers``, ``commons``, ``inputs``, ``max_ops``)."""
 
     __slots__ = ("program", "inputs", "_input_pos", "observers", "ops",
-                 "max_ops", "outputs", "current_stmt", "commons", "variant")
+                 "max_ops", "outputs", "current_stmt", "commons", "variant",
+                 "specialize", "prof", "dd")
 
     def __init__(self, program: Program, inputs: Sequence[float] = (),
                  observers: Sequence[Observer] = (),
-                 max_ops: int = 500_000_000):
+                 max_ops: int = 500_000_000, specialize: bool = True):
         self.program = program
         self.inputs = list(inputs)
         self._input_pos = 0
@@ -1089,6 +1672,14 @@ class CompiledEngine:
         self.outputs: List = []
         self.current_stmt: Optional[Statement] = None
         self.variant: Optional[str] = None
+        #: When True (default), a lone fresh LoopProfiler / dyndep
+        #: analyzer is compiled into the engine (VARIANT_PROFILE /
+        #: VARIANT_DYNDEP) instead of running through the generic
+        #: callback protocol.  ``specialize=False`` forces the generic
+        #: path — the parity tests use it to compare both.
+        self.specialize = specialize
+        self.prof: Optional[_ProfileRun] = None
+        self.dd: Optional[_DyndepRun] = None
         self.commons: Dict[str, Buffer] = {}
         for name, block in program.commons.items():
             self.commons[name] = Buffer(f"/{name}/", block.size)
@@ -1100,28 +1691,58 @@ class CompiledEngine:
         tracer = get_tracer()
         with tracer.span("execute", engine="compiled",
                          program=self.program.name) as sp:
-            self.variant = select_variant(self.observers)
-            with tracer.span("codegen", variant=self.variant):
-                compiled = compile_closures(self.program, self.variant)
+            self.prof = None
+            self.dd = None
+            variant = select_variant(self.observers)
+            special = None
+            if self.specialize and variant in (VARIANT_LOOPS,
+                                               VARIANT_FULL):
+                upgraded = _specialized_variant(self.observers)
+                if upgraded is not None:
+                    special = self.observers[0]
+                    variant = upgraded
+            self.variant = variant
+            plan = None
+            if variant == VARIANT_PROFILE:
+                plan = self.prof = _ProfileRun()
+            elif variant == VARIANT_DYNDEP:
+                from .dyndep import _MAX_WITNESSES
+                plan = self.dd = _DyndepRun(special.skip_stmt_ids,
+                                            special.sample_stride,
+                                            _MAX_WITNESSES)
+            with tracer.span("codegen", variant=variant):
+                compiled = compile_closures(self.program, variant, plan)
             main = compiled.procs[self.program.main]
             frame = main.make_frame(self, [])
             try:
-                for s in main.body:
-                    s(self, frame)
-            except _Stop:
-                pass
-            except _Return:
-                pass
-            sp.tag(ops=self.ops, variant=self.variant)
+                try:
+                    for s in main.body:
+                        s(self, frame)
+                except _Stop:
+                    pass
+                except _Return:
+                    pass
+            finally:
+                # deliver fast-path results even on abnormal unwinds
+                # (op budget, program errors) — the oracle's observers
+                # hold partial data in exactly those cases too.
+                if self.prof is not None:
+                    _fill_profiler(special, self.prof)
+                elif self.dd is not None:
+                    _fill_dyndep(special, self.dd)
+            sp.tag(ops=self.ops, variant=variant)
         return self
 
 
 def make_engine(program: Program, inputs: Sequence[float] = (),
                 observers: Sequence[Observer] = (),
-                max_ops: int = 500_000_000, engine: str = "compiled"):
-    """Build (don't run) the selected execution engine."""
+                max_ops: int = 500_000_000, engine: str = "compiled",
+                specialize: bool = True):
+    """Build (don't run) the selected execution engine.  ``specialize``
+    (compiled engine only) gates the instrumented fast paths."""
     if engine in COMPILED_ENGINE_NAMES:
-        return CompiledEngine(program, inputs, observers, max_ops)
+        return CompiledEngine(program, inputs, observers, max_ops,
+                              specialize=specialize)
     if engine in TREE_ENGINE_NAMES:
         return Interpreter(program, inputs, observers, max_ops)
     raise ValueError(f"unknown engine {engine!r}; expected one of "

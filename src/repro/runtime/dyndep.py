@@ -172,7 +172,10 @@ class DynamicDependenceAnalyzer(Observer):
                     self.carried_by_var.get(vkey, 0) + 1
                 pair = (write_line, stmt.line if stmt else 0)
                 pairs = self.witnesses.setdefault(lid, [])
-                if len(pairs) < _MAX_WITNESSES and pair not in pairs:
+                # dedupe *before* the cap: a hot (writer, reader) pair
+                # repeating millions of times is one witness, and must
+                # never crowd out later distinct diagnostic pairs
+                if pair not in pairs and len(pairs) < _MAX_WITNESSES:
                     pairs.append(pair)
 
     # -- queries -----------------------------------------------------------
@@ -192,12 +195,18 @@ def analyze_dependences(program: Program, inputs=(),
     """Run one instrumented execution and return the analyzer.
 
     ``engine`` selects the execution substrate (see
-    :func:`repro.runtime.interpreter.run_program`).  The analyzer overrides
-    the read/write hooks, so the compiled engine runs its fully
-    instrumented variant — callback order is identical to the oracle."""
+    :func:`repro.runtime.interpreter.run_program`).  Under the compiled
+    engine a lone fresh analyzer is compiled *into* the engine
+    (``VARIANT_DYNDEP``): flat per-buffer shadow memory, cached
+    activation-cell snapshots, a hoisted sampling flag, and compile-time
+    skip sets replace the per-access callback protocol — results stay
+    bit-identical to this observer running on the tree-walking oracle.
+    The span is named ``instrument.dyndep`` so traces separate
+    instrumented runs from clean execution; its ``engine_variant`` tag
+    records which path ran."""
     from ..obs import get_tracer
-    from .compile_engine import make_engine
-    with get_tracer().span("dyndep", program=program.name,
+    from .compile_engine import engine_label, make_engine
+    with get_tracer().span("instrument.dyndep", program=program.name,
                            engine=engine, stride=sample_stride) as sp:
         analyzer = DynamicDependenceAnalyzer(skip_stmt_ids, sample_stride)
         interp = make_engine(program, inputs, observers=[], max_ops=max_ops,
@@ -208,7 +217,8 @@ def analyze_dependences(program: Program, inputs=(),
                carried_loops=len(analyzer.carried),
                carried_total=sum(analyzer.carried.values()),
                sampled_accesses=analyzer.sampled_accesses,
-               skipped_accesses=analyzer.skipped_accesses)
+               skipped_accesses=analyzer.skipped_accesses,
+               engine_variant=engine_label(interp))
     return analyzer
 
 

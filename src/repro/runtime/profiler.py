@@ -104,11 +104,15 @@ def profile_program(program: Program, inputs=(), max_ops: int = 500_000_000,
 
     ``engine`` selects the execution substrate (see
     :func:`repro.runtime.interpreter.run_program`).  Under the compiled
-    engine the profiler triggers the loop-events-only variant: array
-    reads/writes run with zero callback overhead."""
+    engine a lone fresh profiler is compiled *into* the engine
+    (``VARIANT_PROFILE``): loop drivers do their own op-delta accounting
+    and no observer callback fires at all — results stay bit-identical to
+    this observer running on the tree-walking oracle.  The span is named
+    ``instrument.profile`` so traces separate instrumented runs from
+    clean execution; its ``engine_variant`` tag records which path ran."""
     from ..obs import get_tracer
-    from .compile_engine import make_engine
-    with get_tracer().span("profile", program=program.name,
+    from .compile_engine import engine_label, make_engine
+    with get_tracer().span("instrument.profile", program=program.name,
                            engine=engine) as sp:
         profiler = LoopProfiler()
         interp = make_engine(program, inputs, observers=[], max_ops=max_ops,
@@ -116,5 +120,6 @@ def profile_program(program: Program, inputs=(), max_ops: int = 500_000_000,
         profiler.attach(interp)
         interp.run()
         profiler.finish()
-        sp.tag(ops=profiler.total_ops, loops=len(profiler.profiles))
+        sp.tag(ops=profiler.total_ops, loops=len(profiler.profiles),
+               engine_variant=engine_label(interp))
     return profiler

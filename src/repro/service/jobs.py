@@ -259,7 +259,9 @@ def execute_request(request: AnalysisRequest) -> Dict:
         if outcomes:
             artifact["assertion_outcomes"] = outcomes
         root.tag(ops=session.profiler.total_ops,
-                 engine=r.options.get("engine", "compiled"))
+                 engine=r.options.get("engine", "compiled"),
+                 profile_engine=session.engine_labels.get("profile"),
+                 dyndep_engine=session.engine_labels.get("dyndep"))
     return artifact
 
 

@@ -56,6 +56,35 @@ def test_explore_session(capsys):
     assert "legend" in out
 
 
+def test_profile_command_reports_engine(capsys):
+    assert main(["profile", "mdg"]) == 0
+    cap = capsys.readouterr()
+    assert "interf/1000" in cap.out
+    assert "coverage" in cap.out
+    assert "engine: compiled/profile" in cap.err
+
+
+def test_profile_command_tree_engine(capsys):
+    assert main(["profile", "ora", "--engine", "tree"]) == 0
+    assert "engine: tree" in capsys.readouterr().err
+
+
+def test_dyndep_command_reports_engine_and_deps(capsys):
+    assert main(["dyndep", "hydro"]) == 0
+    cap = capsys.readouterr()
+    assert "loop-carried flow dependence" in cap.out
+    assert "write line" in cap.out
+    assert "engine: compiled/dyndep" in cap.err
+    assert "sampled" in cap.err
+
+
+def test_dyndep_command_stride_and_tree(capsys):
+    assert main(["dyndep", "mdg", "--engine", "tree", "--stride", "2"]) == 0
+    cap = capsys.readouterr()
+    assert "engine: tree" in cap.err
+    assert "skipped" in cap.err
+
+
 def test_slice_command(capsys):
     assert main(["slice", "mdg", "interf/1000", "rl",
                  "--region-restricted"]) == 0
@@ -180,14 +209,14 @@ def test_trace_command_tree_and_chrome(tmp_path, capsys):
     out = capsys.readouterr().out
     assert out.startswith("execute_request")
     assert "phase totals" in out
-    assert "dyndep" in out and "guru" in out
+    assert "instrument.dyndep" in out and "guru" in out
     out_file = tmp_path / "trace.json"
     assert main(["trace", "mdg", "--export", "chrome",
                  "-o", str(out_file)]) == 0
     doc = json.loads(out_file.read_text())
     names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
-    assert {"parse", "build", "profile", "dyndep", "guru",
-            "slice"} <= names
+    assert {"parse", "build", "instrument.profile", "instrument.dyndep",
+            "guru", "slice"} <= names
 
 
 def test_trace_command_unknown_target():

@@ -230,6 +230,55 @@ def test_engines_agree_and_are_unperturbed_under_tracing(source):
     assert "execute" in names, "tracer recorded no engine spans"
 
 
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_instrumented_fast_path_matches_oracle_under_tracing(source):
+    """Differential fuzzing of the *instrumented* fast path with the
+    observability layer switched ON: a lone fresh profiler / dyndep
+    analyzer is compiled into the closure engine (``compiled/profile``,
+    ``compiled/dyndep``), and its state must be bit-identical to the
+    same observer riding the tree-walking oracle — profiles including
+    first-touch order, carried-dependence census, witness pairs, and
+    sampling counters — while the tracer records the
+    ``instrument.profile`` / ``instrument.dyndep`` spans with the
+    engine variant that actually ran."""
+    from repro.obs import Tracer, activate
+    from repro.runtime import profile_program
+    from repro.runtime.compile_engine import engine_label
+    prog = build_program(source, "fuzz")
+    skip = reduction_stmt_ids(prog)
+    tracer = Tracer()
+    with activate(tracer):
+        profs = {e: profile_program(prog, max_ops=2_000_000, engine=e)
+                 for e in ("tree", "compiled")}
+        dds = {e: analyze_dependences(prog, skip_stmt_ids=skip,
+                                      max_ops=2_000_000, engine=e)
+               for e in ("tree", "compiled")}
+    assert engine_label(profs["compiled"].interpreter) == \
+        "compiled/profile"
+    assert engine_label(dds["compiled"].interpreter) == "compiled/dyndep"
+    tp, cp = profs["tree"], profs["compiled"]
+    assert cp.total_ops == tp.total_ops
+    assert [(p.loop.stmt_id, p.total_ops, p.invocations, p.iterations)
+            for p in cp.executed_loops()] == \
+           [(p.loop.stmt_id, p.total_ops, p.invocations, p.iterations)
+            for p in tp.executed_loops()]
+    td, cd = dds["tree"], dds["compiled"]
+    assert cd.carried == td.carried
+    assert cd.carried_by_var == td.carried_by_var
+    assert cd.witnesses == td.witnesses
+    assert cd.sampled_accesses == td.sampled_accesses
+    assert cd.skipped_accesses == td.skipped_accesses
+    spans = tracer.to_dicts()
+    variants = {s["name"]: {s2["tags"].get("engine_variant")
+                            for s2 in spans if s2["name"] == s["name"]}
+                for s in spans}
+    assert variants.get("instrument.profile") == \
+        {"tree", "compiled/profile"}
+    assert variants.get("instrument.dyndep") == \
+        {"tree", "compiled/dyndep"}
+
+
 def _corpus_names():
     from repro.workloads import corpus
     return sorted(corpus.ALL)

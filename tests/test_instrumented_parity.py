@@ -1,0 +1,296 @@
+"""Bit-parity of the instrumented fast path vs the tree-walking oracle.
+
+The closure-compiled engine compiles a lone fresh ``LoopProfiler`` /
+``DynamicDependenceAnalyzer`` *into* the generated closures
+(``VARIANT_PROFILE`` / ``VARIANT_DYNDEP``): loop drivers do their own
+op-delta accounting, dyndep shadow memory is flattened to per-buffer
+lists, and the sampling window is maintained at loop events instead of
+per access.  These tests pin the contract those optimizations must
+honor — the specialized run is **bit-identical** to the same observer
+attached to the tree-walking oracle:
+
+* identical ``LoopProfile`` numbers *and first-touch registration
+  order* (``executed_loops()`` ordering is observable via reports),
+* identical detected-dependence sets, per-variable counts, witness
+  pairs, invocation counts and sampling counters at stride 1 and 2,
+* over every workload in ``workloads/corpus.py``,
+* with graceful fallback to the generic observer path whenever the
+  specialization preconditions fail (stale observer, extra observers,
+  ``specialize=False``) — and the fallback agrees too.
+"""
+
+import pytest
+
+from repro.ir import build_program
+from repro.runtime import (analyze_dependences, profile_program,
+                           reduction_stmt_ids)
+from repro.runtime.compile_engine import engine_label, make_engine
+from repro.runtime.dyndep import DynamicDependenceAnalyzer
+from repro.runtime.profiler import LoopProfiler
+from repro.workloads import ALL
+
+CORPUS = sorted(ALL)
+
+_cache = {}
+
+
+def _program(name):
+    """Build each workload once so stmt_ids line up across engines."""
+    if name not in _cache:
+        w = ALL[name]
+        _cache[name] = (build_program(w.source, w.name), w.inputs)
+    return _cache[name]
+
+
+def _profile_state(p):
+    """Everything a LoopProfiler exposes, including first-touch order."""
+    return ([(prof.loop.stmt_id, prof.total_ops, prof.invocations,
+              prof.iterations) for prof in p.executed_loops()],
+            p.total_ops)
+
+
+def _dyndep_state(d):
+    """Everything a DynamicDependenceAnalyzer exposes."""
+    return (d.carried, d.carried_by_var, d.witnesses,
+            d.sampled_accesses, d.skipped_accesses, d._invocations)
+
+
+# -- whole-corpus parity ------------------------------------------------------
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_profiler_parity_full_corpus(name):
+    prog, inputs = _program(name)
+    tree = profile_program(prog, inputs, engine="tree")
+    fast = profile_program(prog, inputs, engine="compiled")
+    assert engine_label(tree.interpreter) == "tree"
+    assert engine_label(fast.interpreter) == "compiled/profile"
+    assert _profile_state(fast) == _profile_state(tree)
+
+
+@pytest.mark.parametrize("stride", [1, 2])
+@pytest.mark.parametrize("name", CORPUS)
+def test_dyndep_parity_full_corpus(name, stride):
+    prog, inputs = _program(name)
+    skip = reduction_stmt_ids(prog)
+    tree = analyze_dependences(prog, inputs, skip_stmt_ids=skip,
+                               sample_stride=stride, engine="tree")
+    fast = analyze_dependences(prog, inputs, skip_stmt_ids=skip,
+                               sample_stride=stride, engine="compiled")
+    assert engine_label(tree.interpreter) == "tree"
+    assert engine_label(fast.interpreter) == "compiled/dyndep"
+    assert _dyndep_state(fast) == _dyndep_state(tree)
+
+
+# -- specialization preconditions and fallback --------------------------------
+
+def _run_profiler(prog, inputs, **kw):
+    p = LoopProfiler()
+    eng = make_engine(prog, inputs, observers=[], engine="compiled", **kw)
+    p.attach(eng)
+    eng.run()
+    p.finish()
+    return p, eng
+
+
+def _run_dyndep(prog, inputs, analyzer=None, **kw):
+    d = analyzer or DynamicDependenceAnalyzer()
+    eng = make_engine(prog, inputs, observers=[], engine="compiled", **kw)
+    d.attach(eng)
+    eng.run()
+    return d, eng
+
+
+def test_specialize_false_forces_generic_path_same_results():
+    prog, inputs = _program("mdg")
+    fast, feng = _run_profiler(prog, inputs)
+    slow, seng = _run_profiler(prog, inputs, specialize=False)
+    assert engine_label(feng) == "compiled/profile"
+    assert engine_label(seng) == "compiled/loops"
+    assert _profile_state(fast) == _profile_state(slow)
+
+    dfast, dfeng = _run_dyndep(prog, inputs)
+    dslow, dseng = _run_dyndep(prog, inputs, specialize=False)
+    assert engine_label(dfeng) == "compiled/dyndep"
+    assert engine_label(dseng) == "compiled/full"
+    assert _dyndep_state(dfast) == _dyndep_state(dslow)
+
+
+def test_stale_analyzer_falls_back_to_generic_path():
+    """A dyndep analyzer carrying state from an earlier run must NOT be
+    compiled in (the fill-back would double-count); the engine keeps the
+    generic observer protocol and the analyzer accumulates as the
+    oracle would."""
+    prog, inputs = _program("hydro2d")
+    d, eng1 = _run_dyndep(prog, inputs)
+    assert engine_label(eng1) == "compiled/dyndep"
+    once = _dyndep_state(d)
+    d2, eng2 = _run_dyndep(prog, inputs, analyzer=d)   # reuse, now dirty
+    assert engine_label(eng2) == "compiled/full"
+    # oracle reference: one fresh run + one accumulating rerun
+    ref = DynamicDependenceAnalyzer()
+    for _ in range(2):
+        t = make_engine(prog, inputs, observers=[], engine="tree")
+        ref.attach(t)
+        t.run()
+    assert _dyndep_state(d2) == _dyndep_state(ref)
+    assert d2.sampled_accesses == 2 * once[3]
+
+
+def test_extra_observer_falls_back_to_generic_path():
+    """Profiler + dyndep attached together: no lone observer, so no
+    specialization — but the pair must still match the oracle pair."""
+    prog, inputs = _program("mgrid")
+    p, d = LoopProfiler(), DynamicDependenceAnalyzer()
+    eng = make_engine(prog, inputs, observers=[], engine="compiled")
+    p.attach(eng)
+    d.attach(eng)
+    eng.run()
+    p.finish()
+    assert engine_label(eng) == "compiled/full"
+    tp, td = LoopProfiler(), DynamicDependenceAnalyzer()
+    teng = make_engine(prog, inputs, observers=[], engine="tree")
+    tp.attach(teng)
+    td.attach(teng)
+    teng.run()
+    tp.finish()
+    assert _profile_state(p) == _profile_state(tp)
+    assert _dyndep_state(d) == _dyndep_state(td)
+
+
+# -- early-exit control flow ---------------------------------------------------
+
+EXIT_SRC = """
+      PROGRAM t
+      DIMENSION a(50)
+      s = 0.0
+      DO 100 it = 1, 5
+        DO 10 i = 1, 50
+          a(i) = a(i) + i * 1.0
+          IF (i .GT. 12) EXIT
+          s = s + a(i)
+10      CONTINUE
+100   CONTINUE
+      PRINT *, s
+      END
+"""
+
+STOP_SRC = """
+      PROGRAM t
+      DIMENSION a(50)
+      DO 10 i = 1, 50
+        a(i) = i * 2.0
+        IF (i .GT. 7) THEN
+          STOP
+        END IF
+10    CONTINUE
+      PRINT *, a(1)
+      END
+"""
+
+
+@pytest.mark.parametrize("src", [EXIT_SRC, STOP_SRC],
+                         ids=["exit", "stop"])
+def test_profile_totals_match_on_early_loop_exit(src):
+    """Loops left mid-iteration via EXIT/STOP: the fast path accumulates
+    totals in a ``finally`` at the oracle's on_loop_exit point, so
+    partial iterations charge identically on both engines."""
+    prog = build_program(src)
+    tree = profile_program(prog, engine="tree")
+    fast = profile_program(prog, engine="compiled")
+    assert engine_label(fast.interpreter) == "compiled/profile"
+    assert _profile_state(fast) == _profile_state(tree)
+    # the early exit actually happened: iterations < trip count bound
+    inner = prog.loop("t/10")
+    assert fast.profile(inner).iterations < 50 * \
+        fast.profile(inner).invocations
+
+
+@pytest.mark.parametrize("src", [EXIT_SRC, STOP_SRC],
+                         ids=["exit", "stop"])
+def test_dyndep_state_matches_on_early_loop_exit(src):
+    prog = build_program(src)
+    tree = analyze_dependences(prog, engine="tree")
+    fast = analyze_dependences(prog, engine="compiled")
+    assert engine_label(fast.interpreter) == "compiled/dyndep"
+    assert _dyndep_state(fast) == _dyndep_state(tree)
+
+
+def test_profile_partial_data_survives_ops_budget_abort():
+    """The oracle keeps whatever it observed before the op budget blew;
+    the fast path's fill-back runs in a ``finally`` so it must too.
+
+    Exact op totals legitimately differ by a few ops here: the compiled
+    engine charges ops in per-block batches, so the budget trips a
+    handful of ops later than the oracle's finer-grained checks.  That
+    skew exists for *clean* execution too and only becomes observable
+    at the abort point; the structural profile (which loops, in which
+    first-touch order, with which invocation/iteration counts) must
+    still match, and per-loop totals may differ by at most the global
+    abort skew."""
+    from repro.runtime.interpreter import OpsBudgetExceeded
+    results = []
+    prog, inputs = _program("mdg")
+    for engine in ("tree", "compiled"):
+        prof = LoopProfiler()
+        eng = make_engine(prog, inputs, observers=[], max_ops=20_000,
+                          engine=engine)
+        prof.attach(eng)
+        with pytest.raises(OpsBudgetExceeded):
+            eng.run()
+        prof.finish()
+        results.append(prof)
+    tree, fast = results
+    t_loops = tree.executed_loops()
+    f_loops = fast.executed_loops()
+    assert t_loops, "budget abort must leave partial profiles"
+    assert [(p.loop.stmt_id, p.invocations, p.iterations)
+            for p in f_loops] == \
+           [(p.loop.stmt_id, p.invocations, p.iterations)
+            for p in t_loops]
+    skew = abs(fast.total_ops - tree.total_ops)
+    assert skew < 1_000, "abort points wildly diverged"
+    for f, t in zip(f_loops, t_loops):
+        assert abs(f.total_ops - t.total_ops) <= skew
+
+
+# -- witness bookkeeping -------------------------------------------------------
+
+MANY_READERS_SRC = """
+      PROGRAM t
+      DIMENSION a(40)
+      a(1) = 1.0
+      DO 10 i = 2, 40
+        a(i) = a(i-1) + 1.0
+        b1 = a(i-1) * 2.0
+        b2 = a(i-1) * 3.0
+        b3 = a(i-1) * 4.0
+        b4 = a(i-1) * 5.0
+10    CONTINUE
+      PRINT *, a(40)
+      END
+"""
+
+
+@pytest.mark.parametrize("engine", ["tree", "compiled"])
+def test_witnesses_dedupe_before_cap(engine):
+    """A hot (writer, reader) pair repeating every iteration is ONE
+    witness; the cap applies to *distinct* pairs, so later distinct
+    readers still earn a slot instead of being crowded out."""
+    prog = build_program(MANY_READERS_SRC)
+    dd = analyze_dependences(prog, engine=engine)
+    loop = prog.loop("t/10")
+    pairs = dd.witnesses[loop.stmt_id]
+    assert len(pairs) == 4                       # _MAX_WITNESSES
+    assert len(set(pairs)) == 4                  # all distinct
+    # 5 distinct reader lines exist; the first four in program order win
+    reader_lines = [r for _, r in pairs]
+    assert reader_lines == sorted(reader_lines)
+    # far more dependences than witnesses: the census kept counting
+    assert dd.carried[loop.stmt_id] > 4
+
+
+def test_witness_pairs_identical_across_engines():
+    prog = build_program(MANY_READERS_SRC)
+    tree = analyze_dependences(prog, engine="tree")
+    fast = analyze_dependences(prog, engine="compiled")
+    assert fast.witnesses == tree.witnesses

@@ -210,8 +210,8 @@ def test_chrome_export_schema_is_valid():
     for e in meta:
         assert e["name"] == "process_name"
     names = {e["name"] for e in complete}
-    assert {"parse", "build", "profile", "dyndep", "guru",
-            "execute_request"} <= names
+    assert {"parse", "build", "instrument.profile", "instrument.dyndep",
+            "guru", "execute_request"} <= names
     assert names <= set(PHASES) | {"parallelize", "execute", "codegen",
                                    "parallel_exec", "snapshot", "slice"}
 
@@ -288,7 +288,8 @@ def test_inline_scheduler_records_per_job_trace():
     spans = scheduler.trace(job.id)
     assert spans is not None
     names = {s["name"] for s in spans}
-    assert {"job", "execute_request", "profile", "dyndep"} <= names
+    assert {"job", "execute_request", "instrument.profile",
+            "instrument.dyndep"} <= names
     # the job span parents onto the scheduler's submit span
     submit = next(s for s in scheduler.tracer.to_dicts()
                   if s["name"] == "submit")
@@ -402,11 +403,11 @@ def test_record_phases_folds_spans_into_histograms():
     tracer = Tracer()
     with tracer.span("parse"):
         pass
-    with tracer.span("dyndep"):
+    with tracer.span("instrument.dyndep"):
         pass
     metrics.record_phases(tracer.to_dicts())
     hist = metrics.snapshot()["histograms"]
-    assert set(hist) == {"phase_parse", "phase_dyndep"}
+    assert set(hist) == {"phase_parse", "phase_instrument.dyndep"}
     assert hist["phase_parse"]["count"] == 1
 
 
