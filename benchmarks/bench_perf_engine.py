@@ -1,12 +1,16 @@
 """Execution-engine shootout: closure-compiled vs tree-walking oracle.
 
-Times both engines end-to-end (``run_program`` wall clock, which for the
-compiled engine *includes* the closure-compilation step) on the three
+Times all three engines end-to-end (``run_program`` wall clock, which
+for the compiled engine *includes* the closure-compilation step and for
+the transpiled engine the codegen-or-cache-hit step) on the three
 workloads with the largest dynamic op counts, reports ops/sec and the
-speedup, and asserts the tentpole contract:
+speedups, and asserts the tentpole contracts:
 
 * the compiled engine is at least ``MIN_SPEEDUP``x faster on mdg,
-* both engines produce bit-identical outputs and op counts.
+* the transpiled engine is at least ``MIN_TRANSPILED_SPEEDUP``x the
+  compiled engine's ops/sec on mdg (repeats after the first hit the
+  codegen cache, matching the warm service path),
+* all engines produce bit-identical outputs and op counts.
 
 Run standalone to (re)generate the committed baseline::
 
@@ -29,8 +33,10 @@ from repro.workloads import get
 
 WORKLOADS = ("mdg", "flo88", "hydro2d")
 MIN_SPEEDUP = 2.0
+#: transpiled-over-compiled ops/sec contract on the plain-run path
+MIN_TRANSPILED_SPEEDUP = 10.0
 #: repeats per engine; the best (minimum) time is kept
-REPEATS = {"tree": 2, "compiled": 3}
+REPEATS = {"tree": 2, "compiled": 3, "transpiled": 3}
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -56,10 +62,11 @@ def run_bench(workloads=WORKLOADS) -> Dict:
     for name in workloads:
         tree = _time_engine(name, "tree")
         comp = _time_engine(name, "compiled")
-        assert comp["ops"] == tree["ops"], (
+        trans = _time_engine(name, "transpiled")
+        assert comp["ops"] == tree["ops"] == trans["ops"], (
             f"{name}: op-count drift tree={tree['ops']} "
-            f"compiled={comp['ops']}")
-        assert comp["outputs"] == tree["outputs"], (
+            f"compiled={comp['ops']} transpiled={trans['ops']}")
+        assert comp["outputs"] == tree["outputs"] == trans["outputs"], (
             f"{name}: output drift between engines")
         results[name] = {
             "ops": tree["ops"],
@@ -67,7 +74,11 @@ def run_bench(workloads=WORKLOADS) -> Dict:
                      "ops_per_sec": round(tree["ops_per_sec"], 1)},
             "compiled": {"seconds": round(comp["seconds"], 4),
                          "ops_per_sec": round(comp["ops_per_sec"], 1)},
+            "transpiled": {"seconds": round(trans["seconds"], 4),
+                           "ops_per_sec": round(trans["ops_per_sec"], 1)},
             "speedup": round(comp["ops_per_sec"] / tree["ops_per_sec"], 2),
+            "transpiled_speedup": round(
+                trans["ops_per_sec"] / comp["ops_per_sec"], 2),
         }
     return {
         "benchmark": "execution-engine shootout",
@@ -82,21 +93,40 @@ def _rows(report: Dict) -> List[List]:
     return [[name, r["ops"],
              f"{r['tree']['ops_per_sec'] / 1e6:.2f}M",
              f"{r['compiled']['ops_per_sec'] / 1e6:.2f}M",
-             f"{r['speedup']:.2f}x"]
+             f"{r['transpiled']['ops_per_sec'] / 1e6:.2f}M",
+             f"{r['speedup']:.2f}x",
+             f"{r['transpiled_speedup']:.2f}x"]
             for name, r in report["workloads"].items()]
 
 
 def test_compiled_engine_speedup(benchmark):
     from conftest import once, print_table
     report = once(benchmark, run_bench)
-    print_table("engine ops/sec (tree vs compiled)",
-                ["workload", "ops", "tree", "compiled", "speedup"],
+    print_table("engine ops/sec (tree vs compiled vs transpiled)",
+                ["workload", "ops", "tree", "compiled", "transpiled",
+                 "comp/tree", "trans/comp"],
                 _rows(report))
     for name, r in report["workloads"].items():
         assert r["speedup"] > 1.0, f"{name}: compiled engine not faster"
     assert report["workloads"]["mdg"]["speedup"] >= MIN_SPEEDUP, (
         f"mdg speedup {report['workloads']['mdg']['speedup']} "
         f"below the {MIN_SPEEDUP}x contract")
+
+
+def test_transpiled_engine_speedup(benchmark):
+    from conftest import once, print_table
+    report = once(benchmark, run_bench)
+    print_table("engine ops/sec (tree vs compiled vs transpiled)",
+                ["workload", "ops", "tree", "compiled", "transpiled",
+                 "comp/tree", "trans/comp"],
+                _rows(report))
+    for name, r in report["workloads"].items():
+        assert r["transpiled_speedup"] > 1.0, (
+            f"{name}: transpiled engine not faster than compiled")
+    mdg = report["workloads"]["mdg"]["transpiled_speedup"]
+    assert mdg >= MIN_TRANSPILED_SPEEDUP, (
+        f"mdg transpiled/compiled speedup {mdg} below the "
+        f"{MIN_TRANSPILED_SPEEDUP}x contract")
 
 
 def main() -> None:
@@ -108,8 +138,12 @@ def main() -> None:
         print(f"  {name:{width}s}  ops={r['ops']:>9}  "
               f"tree={r['tree']['ops_per_sec'] / 1e6:5.2f}M/s  "
               f"compiled={r['compiled']['ops_per_sec'] / 1e6:5.2f}M/s  "
-              f"speedup={r['speedup']:.2f}x")
+              f"transpiled={r['transpiled']['ops_per_sec'] / 1e6:5.2f}M/s  "
+              f"speedup={r['speedup']:.2f}x  "
+              f"transpiled_speedup={r['transpiled_speedup']:.2f}x")
     assert report["workloads"]["mdg"]["speedup"] >= MIN_SPEEDUP
+    assert report["workloads"]["mdg"]["transpiled_speedup"] >= \
+        MIN_TRANSPILED_SPEEDUP
 
 
 if __name__ == "__main__":

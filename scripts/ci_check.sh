@@ -8,7 +8,8 @@
 #      service determinism, observability contracts),
 #   2. the performance gates (ops/sec vs the committed
 #      BENCH_engine.json and BENCH_tools.json baselines; also enforces
-#      the compiled engine's 2x-over-tree contract and the instrumented
+#      the compiled engine's 2x-over-tree contract, the transpiled
+#      engine's 10x-over-compiled contract, and the instrumented
 #      fast path's 3x-over-tree-observer contract),
 #   3. the end-to-end HTTP service smoke test (submit / poll /
 #      artifact / cache-repeat / metrics),
@@ -25,8 +26,9 @@ export PYTHONPATH=src
 echo "== [1/4] tier-1 test suite =="
 python -m pytest -x -q
 
-echo "== [2/4] performance gates (engine + instrumented tools) =="
+echo "== [2/4] performance gates (engine + transpiled + tools) =="
 python scripts/perf_check.py
+python scripts/perf_check.py --only transpiled
 
 echo "== [3/4] service smoke test =="
 python scripts/serve_smoke.py

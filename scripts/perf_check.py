@@ -7,6 +7,7 @@ compares fresh ops/sec numbers against the committed baselines
 ``BENCH_engine.json`` and ``BENCH_tools.json``.  Fails (exit 1) when
 any path regresses by more than ``--tolerance`` (default 20%) on any
 workload, when the compiled engine drops below the 2x-over-tree
+contract, when the transpiled engine drops below the 10x-over-compiled
 contract, or when an instrumented fast path drops below the
 3x-over-tree-observer contract.
 
@@ -43,7 +44,9 @@ def compare_engine(baseline: dict, fresh: dict, tolerance: float) -> list:
         if cur is None:
             failures.append(f"engine/{name}: missing from fresh run")
             continue
-        for engine in ("tree", "compiled"):
+        for engine in ("tree", "compiled", "transpiled"):
+            if engine not in base:
+                continue
             was = base[engine]["ops_per_sec"]
             now = cur[engine]["ops_per_sec"]
             if now < was * (1.0 - tolerance):
@@ -56,6 +59,37 @@ def compare_engine(baseline: dict, fresh: dict, tolerance: float) -> list:
                 f"engine/{name}: compiled/tree speedup "
                 f"{cur['speedup']:.2f}x below the "
                 f"{bench_perf_engine.MIN_SPEEDUP}x contract")
+    return failures
+
+
+def compare_transpiled(baseline: dict, fresh: dict,
+                       tolerance: float) -> list:
+    """Failure messages for the transpiled-engine gate."""
+    failures = []
+    for name, base in baseline["workloads"].items():
+        cur = fresh["workloads"].get(name)
+        if cur is None:
+            failures.append(f"transpiled/{name}: missing from fresh run")
+            continue
+        if "transpiled" in base:
+            was = base["transpiled"]["ops_per_sec"]
+            now = cur["transpiled"]["ops_per_sec"]
+            if now < was * (1.0 - tolerance):
+                failures.append(
+                    f"transpiled/{name}: {now / 1e6:.2f}M ops/s is "
+                    f"{(1 - now / was):.0%} below baseline "
+                    f"{was / 1e6:.2f}M ops/s (tolerance {tolerance:.0%})")
+        if cur["transpiled_speedup"] <= 1.0:
+            failures.append(
+                f"transpiled/{name}: not faster than the compiled "
+                f"engine ({cur['transpiled_speedup']:.2f}x)")
+    mdg = fresh["workloads"].get("mdg")
+    if mdg and mdg["transpiled_speedup"] < \
+            bench_perf_engine.MIN_TRANSPILED_SPEEDUP:
+        failures.append(
+            f"transpiled/mdg: transpiled/compiled speedup "
+            f"{mdg['transpiled_speedup']:.2f}x below the "
+            f"{bench_perf_engine.MIN_TRANSPILED_SPEEDUP}x contract")
     return failures
 
 
@@ -92,9 +126,11 @@ def compare_tools(baseline: dict, fresh: dict, tolerance: float) -> list:
     return failures
 
 
-#: (label, bench module, printer, comparator)
+#: (label, bench module, printer, comparator); engine and transpiled
+#: share one measurement pass over bench_perf_engine
 GATES = (
     ("engine", bench_perf_engine, compare_engine),
+    ("transpiled", bench_perf_engine, compare_transpiled),
     ("tools", bench_perf_tools, compare_tools),
 )
 
@@ -104,6 +140,14 @@ def _print_engine(fresh: dict) -> None:
         print(f"{name:10s} tree={r['tree']['ops_per_sec'] / 1e6:5.2f}M/s  "
               f"compiled={r['compiled']['ops_per_sec'] / 1e6:5.2f}M/s  "
               f"speedup={r['speedup']:.2f}x")
+
+
+def _print_transpiled(fresh: dict) -> None:
+    for name, r in fresh["workloads"].items():
+        print(f"{name:10s} "
+              f"compiled={r['compiled']['ops_per_sec'] / 1e6:5.2f}M/s  "
+              f"transpiled={r['transpiled']['ops_per_sec'] / 1e6:6.2f}M/s  "
+              f"speedup={r['transpiled_speedup']:.2f}x")
 
 
 def _print_tools(fresh: dict) -> None:
@@ -116,7 +160,8 @@ def _print_tools(fresh: dict) -> None:
                   f"vs-tree={r['speedup_vs_tree']:.2f}x")
 
 
-PRINTERS = {"engine": _print_engine, "tools": _print_tools}
+PRINTERS = {"engine": _print_engine, "transpiled": _print_transpiled,
+            "tools": _print_tools}
 
 
 def main(argv=None) -> int:
@@ -126,21 +171,28 @@ def main(argv=None) -> int:
     ap.add_argument("--update", action="store_true",
                     help="rewrite BENCH_engine.json and BENCH_tools.json "
                          "from this run")
-    ap.add_argument("--only", choices=["engine", "tools"],
+    ap.add_argument("--only", choices=["engine", "transpiled", "tools"],
                     help="run a single gate")
     args = ap.parse_args(argv)
 
     failures = []
+    fresh_cache: dict = {}
+    written = set()
     for label, bench, comparator in GATES:
         if args.only and label != args.only:
             continue
         print(f"-- {label} gate --")
-        fresh = bench.run_bench()
+        key = bench.__name__
+        if key not in fresh_cache:
+            fresh_cache[key] = bench.run_bench()
+        fresh = fresh_cache[key]
         PRINTERS[label](fresh)
         if args.update or not bench.BASELINE_PATH.exists():
-            bench.BASELINE_PATH.write_text(
-                json.dumps(fresh, indent=2) + "\n")
-            print(f"baseline written: {bench.BASELINE_PATH}")
+            if key not in written:
+                bench.BASELINE_PATH.write_text(
+                    json.dumps(fresh, indent=2) + "\n")
+                print(f"baseline written: {bench.BASELINE_PATH}")
+                written.add(key)
             continue
         baseline = json.loads(bench.BASELINE_PATH.read_text())
         failures += comparator(baseline, fresh, args.tolerance)

@@ -199,6 +199,36 @@ def main(argv=None) -> int:
             print(f"metrics ok: {counters}; "
                   f"hit-rate {metrics['cache_hit_rate']:.0%}")
 
+            # a transpiled-engine job, then a warm repeat (distinct
+            # salt dodges the artifact cache) that must skip codegen
+            status, out = call(base, "POST", "/jobs",
+                               {"workload": args.workload,
+                                "options": {"engine": "transpiled",
+                                            "salt": "cg1"}})
+            expect(status == 202, f"POST transpiled job -> {status}")
+            tjob = poll(base, out["job"], args.timeout)
+            expect(tjob["state"] == "done",
+                   f"transpiled job failed: {tjob.get('error')}")
+            status, metrics = call(base, "GET", "/metrics")
+            counters = metrics["counters"]
+            expect(counters.get("codegen_cache_miss", 0) >= 1,
+                   f"transpiled job did not codegen: {counters}")
+            status, out = call(base, "POST", "/jobs",
+                               {"workload": args.workload,
+                                "options": {"engine": "transpiled",
+                                            "salt": "cg2"}})
+            expect(status == 202, f"POST transpiled repeat -> {status}")
+            tjob = poll(base, out["job"], args.timeout)
+            expect(tjob["state"] == "done",
+                   f"transpiled repeat failed: {tjob.get('error')}")
+            status, metrics = call(base, "GET", "/metrics")
+            counters = metrics["counters"]
+            expect(counters.get("codegen_cache_hit", 0) >= 1,
+                   f"warm transpiled repeat re-ran codegen: {counters}")
+            print(f"transpiled jobs ok: codegen "
+                  f"miss={counters['codegen_cache_miss']} "
+                  f"hit={counters['codegen_cache_hit']}")
+
             # error paths stay errors
             expect(call(base, "POST", "/jobs",
                         {"workload": "nope"})[0] == 400,

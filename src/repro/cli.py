@@ -67,13 +67,15 @@ def _machine(name: str):
 
 
 def cmd_run(args) -> int:
+    from .runtime.compile_engine import engine_label
     program, inputs, _ = _load(args.target)
     if args.inputs:
         inputs = [float(x) for x in args.inputs]
-    interp = run_program(program, inputs)
+    interp = run_program(program, inputs, engine=args.engine)
     for value in interp.outputs:
         print(value)
-    print(f"[{interp.ops} ops]", file=sys.stderr)
+    print(f"[{interp.ops} ops; engine: {engine_label(interp)}]",
+          file=sys.stderr)
     return 0
 
 
@@ -381,6 +383,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="execute a program")
     p.add_argument("target")
     p.add_argument("--inputs", nargs="*", help="values for READ statements")
+    p.add_argument("--engine", default="compiled",
+                   choices=["compiled", "transpiled", "tree"])
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("parallelize", help="automatic parallelization plan")
@@ -406,7 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target")
     p.add_argument("--inputs", nargs="*", help="values for READ statements")
     p.add_argument("--engine", default="compiled",
-                   choices=["compiled", "tree"])
+                   choices=["compiled", "transpiled", "tree"])
     p.add_argument("--machine", default="alphaserver",
                    choices=sorted(MACHINES))
     p.set_defaults(func=cmd_profile)
@@ -415,7 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target")
     p.add_argument("--inputs", nargs="*", help="values for READ statements")
     p.add_argument("--engine", default="compiled",
-                   choices=["compiled", "tree"])
+                   choices=["compiled", "transpiled", "tree"])
     p.add_argument("--stride", type=int, default=1,
                    help="iteration sampling stride (section 2.5.2 "
                         "batch skipping; default: 1 = sample everything)")
@@ -453,7 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sequential", action="store_true",
                    help="run inline in this process (no pool)")
     p.add_argument("--engine", default="compiled",
-                   choices=["compiled", "tree"])
+                   choices=["compiled", "transpiled", "tree"])
     p.add_argument("--machine", default="alphaserver",
                    choices=sorted(MACHINES))
     p.add_argument("--assertions", action="store_true",
@@ -475,7 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-ms", type=float, default=0.0,
                    help="hide tree spans shorter than this (default: 0)")
     p.add_argument("--engine", default="compiled",
-                   choices=["compiled", "tree"])
+                   choices=["compiled", "transpiled", "tree"])
     p.add_argument("--machine", default="alphaserver",
                    choices=sorted(MACHINES))
     p.set_defaults(func=cmd_trace)

@@ -1,9 +1,21 @@
 """Dynamic substrate: execution engines, analyzers, machine simulation.
 
-Two execution engines share one semantics: the closure-compiling
-:class:`CompiledEngine` (default, fast) and the tree-walking
-:class:`Interpreter` (the reference oracle).  Every entry point taking an
-``engine=`` keyword accepts ``"compiled"`` or ``"tree"``.
+Three execution engines share one semantics, ordered by speed:
+
+* :class:`TranspiledEngine` (``"transpiled"``) — generates plain Python
+  source from the IR and runs it, the fastest substrate; instrumentation
+  is injected at codegen time and unsupported observer configurations
+  fall back to the closure engine automatically,
+* :class:`CompiledEngine` (``"compiled"``, the default) — lowers the IR
+  to nested Python closures,
+* :class:`Interpreter` (``"tree"``) — the tree-walking reference oracle.
+
+All three produce bit-identical outputs, op counts, COMMON memory and
+analyzer state, and raise the same :class:`OpsBudgetExceeded` on budget
+exhaustion.  Every entry point taking an ``engine=`` keyword accepts
+``"transpiled"``, ``"compiled"`` or ``"tree"``;
+:func:`~repro.runtime.compile_engine.engine_label` reports what actually
+ran (e.g. ``"transpiled/profile"`` or a fallback's ``"compiled/full"``).
 """
 
 from .compile_engine import (CompiledEngine, CompiledProgram,
@@ -21,7 +33,9 @@ from .parallel_exec import (ATOMIC, MINIMIZED, NAIVE, STAGGERED, TREE,
                             ParallelExecutionResult, ParallelExecutor,
                             execute_parallel)
 from .profiler import LoopProfile, LoopProfiler, profile_program
-from .transpile import compile_program, transpile_to_python
+from .transpile import (TranspiledEngine, codegen_cache_stats,
+                        compile_program, reset_codegen_cache,
+                        set_codegen_store, transpile_to_python)
 from .values import ArrayView, Buffer
 
 __all__ = [
@@ -38,6 +52,7 @@ __all__ = [
     "ParallelExecutionResult",
     "ParallelExecutor", "execute_parallel",
     "LoopProfile", "LoopProfiler", "profile_program",
-    "compile_program", "transpile_to_python",
+    "TranspiledEngine", "codegen_cache_stats", "compile_program",
+    "reset_codegen_cache", "set_codegen_store", "transpile_to_python",
     "ArrayView", "Buffer",
 ]

@@ -77,6 +77,7 @@ from ..ir.statements import (AssignStmt, Block, CallStmt, CycleStmt,
                              ReturnStmt, Statement, StopStmt)
 from ..ir.symbols import INT, Symbol
 from .interpreter import (BINOPS, INTRINSICS, COMPILED_ENGINE_NAMES,
+                          TRANSPILED_ENGINE_NAMES,
                           TREE_ENGINE_NAMES, Interpreter, Observer,
                           RuntimeErrorInProgram, budget_error, _Cycle,
                           _Exit, _fortran_div, _Return, _Stop)
@@ -166,8 +167,13 @@ def _specialized_variant(observers: Sequence[Observer]) -> Optional[str]:
 
 def engine_label(engine) -> str:
     """Human-readable engine tag for logs/spans: ``"tree"`` for the
-    tree-walking oracle, ``"compiled/<variant>"`` for the closure engine
-    (call after ``run()`` — the variant is chosen at run start)."""
+    tree-walking oracle, ``"compiled/<variant>"`` for the closure engine,
+    ``"transpiled/<variant>"`` for the code-generating engine — or the
+    ``compiled/<variant>`` it fell back to (call after ``run()`` — the
+    variant is chosen at run start)."""
+    lbl = getattr(engine, "label", None)
+    if lbl is not None:
+        return lbl
     v = getattr(engine, "variant", None)
     return "tree" if v is None else f"compiled/{v}"
 
@@ -1743,7 +1749,12 @@ def make_engine(program: Program, inputs: Sequence[float] = (),
     if engine in COMPILED_ENGINE_NAMES:
         return CompiledEngine(program, inputs, observers, max_ops,
                               specialize=specialize)
+    if engine in TRANSPILED_ENGINE_NAMES:
+        from .transpile import TranspiledEngine
+        return TranspiledEngine(program, inputs, observers, max_ops,
+                                specialize=specialize)
     if engine in TREE_ENGINE_NAMES:
         return Interpreter(program, inputs, observers, max_ops)
-    raise ValueError(f"unknown engine {engine!r}; expected one of "
-                     f"{COMPILED_ENGINE_NAMES + TREE_ENGINE_NAMES}")
+    raise ValueError(
+        f"unknown engine {engine!r}; expected one of "
+        f"{COMPILED_ENGINE_NAMES + TRANSPILED_ENGINE_NAMES + TREE_ENGINE_NAMES}")

@@ -494,6 +494,7 @@ def _intrinsic(name: str, args: List):
 #: Engine selector aliases accepted by :func:`run_program` and friends.
 TREE_ENGINE_NAMES = ("tree", "interp", "interpreter", "oracle")
 COMPILED_ENGINE_NAMES = ("compiled", "closure")
+TRANSPILED_ENGINE_NAMES = ("transpiled", "codegen")
 
 
 def run_program(program: Program, inputs: Sequence[float] = (),
@@ -507,6 +508,11 @@ def run_program(program: Program, inputs: Sequence[float] = (),
       (:mod:`repro.runtime.compile_engine`): one compile pass lowers the IR
       to nested Python closures with precomputed frame slots and
       observer-specialized fast paths,
+    * ``"transpiled"`` — the code-generating engine
+      (:mod:`repro.runtime.transpile`): the program is emitted as plain
+      Python source, compiled by CPython, and cached; observer
+      configurations the generator cannot express fall back to
+      ``"compiled"`` transparently,
     * ``"tree"`` — this module's tree-walking :class:`Interpreter`, kept as
       the reference oracle (exact op-count and output parity is enforced by
       the differential tests).
@@ -514,7 +520,11 @@ def run_program(program: Program, inputs: Sequence[float] = (),
     if engine in COMPILED_ENGINE_NAMES:
         from .compile_engine import CompiledEngine
         return CompiledEngine(program, inputs, observers, max_ops).run()
+    if engine in TRANSPILED_ENGINE_NAMES:
+        from .transpile import TranspiledEngine
+        return TranspiledEngine(program, inputs, observers, max_ops).run()
     if engine in TREE_ENGINE_NAMES:
         return Interpreter(program, inputs, observers, max_ops).run()
-    raise ValueError(f"unknown engine {engine!r}; expected one of "
-                     f"{COMPILED_ENGINE_NAMES + TREE_ENGINE_NAMES}")
+    raise ValueError(
+        f"unknown engine {engine!r}; expected one of "
+        f"{COMPILED_ENGINE_NAMES + TRANSPILED_ENGINE_NAMES + TREE_ENGINE_NAMES}")

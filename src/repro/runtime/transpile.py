@@ -1,22 +1,49 @@
-"""Transpile mini-Fortran IR to plain Python.
+"""Transpiled execution engine: IR -> plain Python source.
 
-The SUIF parallelizer "generates an SPMD parallel C version of the program
-that can be compiled by native C compilers" (section 4.5).  The analogue
-here is a Python backend: :func:`transpile_to_python` emits a
-self-contained Python source string whose ``run(inputs)`` function executes
-the program with exactly the interpreter's semantics (column-major
-storage, COMMON aliasing, copy-in/copy-out scalars, Fortran integer
-division, DO-loop index left one-past-the-end).
+The third execution substrate, and the fastest.  Where the tree-walking
+:class:`~repro.runtime.interpreter.Interpreter` is the semantic oracle
+and the closure engine (:mod:`repro.runtime.compile_engine`) lowers the
+IR to nested Python closures, this module *generates Python source* —
+the paper's §4.5 endgame of handing generated code to a real compiler,
+with CPython's bytecode compiler standing in for the native one.
 
-Besides being a usable backend (compiled programs run ~30-100x faster than
-the tree-walking interpreter), it is a second, independent implementation
-of the language semantics — the differential-testing oracle used by
-``tests/test_fuzz_interpreter.py``.
+The contract is the same bit-determinism the closure engine honors:
+
+* identical printed outputs, COMMON memory, and **op counts** as the
+  closure engine (ops are charged in the same per-block batches, so the
+  two fast engines agree exactly, including where the budget trips),
+* identical :class:`OpsBudgetExceeded` type and message on exhaustion,
+* codegen-time instrumentation variants (the source-level analogue of
+  the closure engine's ``VARIANT_PROFILE`` / ``VARIANT_DYNDEP``): loop
+  drivers emit their own op-delta accounting, and dyndep shadow-memory
+  updates — stride-sampling window included — are generated directly
+  into the Python, keeping analyzer state bit-identical to the oracle.
+
+Op accounting in generated code uses a function-local counter ``_o``
+synchronized through a shared cell ``_s[0]`` at call boundaries (callers
+publish before a call, callees start from the cell, and ``finally``
+blocks max-merge on every unwind), so the budget check on the hot path
+is a compare of two local integers.
+
+Generated modules are cached twice: an in-process LRU of exec'd
+namespaces keyed by (program source hash, variant, skip-set signature,
+codegen version), and an optional persistent
+:class:`~repro.service.artifacts.ArtifactStore` layer (see
+:func:`set_codegen_store`) holding the generated source so repeat
+service jobs skip codegen entirely.
+
+Programs or observer configurations the generator cannot express
+(unknown operators/intrinsics, observer sets with no codegen variant)
+make :class:`TranspiledEngine` fall back to the closure engine — same
+results, and ``engine_label`` reports what actually ran.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.expressions import (ArrayRef, BinaryOp, Const, Expression,
                               Intrinsic, StrConst, UnaryOp, VarRef)
@@ -25,345 +52,1807 @@ from ..ir.statements import (AssignStmt, Block, CallStmt, CycleStmt,
                              ExitStmt, IfStmt, IoStmt, LoopStmt, NoopStmt,
                              ReturnStmt, Statement, StopStmt)
 from ..ir.symbols import INT, Symbol
+from .interpreter import (RuntimeErrorInProgram, TRANSPILED_ENGINE_NAMES,
+                          budget_error)
+from .values import Buffer
+
+__all__ = [
+    "CODEGEN_VERSION", "TRANSPILED_ENGINE_NAMES", "TranspileUnsupported",
+    "TranspiledEngine", "VARIANT_DYNDEP", "VARIANT_PLAIN",
+    "VARIANT_PROFILE", "codegen_cache_stats", "compile_program",
+    "loop_table", "reset_codegen_cache", "set_codegen_store",
+    "transpile_to_python",
+]
+
+#: Bumped whenever generated-code layout or semantics change: cached
+#: modules (in-process and persistent) then miss instead of being reused.
+CODEGEN_VERSION = 2
+
+#: Instrumentation variants the generator can emit.  ``profile`` and
+#: ``dyndep`` intentionally reuse the closure engine's variant names so
+#: engine labels read uniformly (``transpiled/profile`` vs
+#: ``compiled/profile``).
+VARIANT_PLAIN = "plain"
+VARIANT_PROFILE = "profile"
+VARIANT_DYNDEP = "dyndep"
+
+_DEFAULT_MAX_OPS = 500_000_000
+
+
+class TranspileUnsupported(ValueError):
+    """The generator cannot express this program/construct; callers fall
+    back to the closure engine (which shares oracle semantics)."""
+
+
+def _buffer_backed(sym: Symbol) -> bool:
+    return sym.is_common and not sym.is_array
+
+
+def loop_table(program: Program) -> List[LoopStmt]:
+    """Every loop of ``program`` in deterministic order (procedures by
+    name, statements pre-order).  Generated code refers to loops by
+    their dense index in this table, so identical sources produce
+    identical generated text regardless of parse-time statement ids."""
+    out: List[LoopStmt] = []
+    for name in sorted(program.procedures):
+        for s in program.procedures[name].body.walk():
+            if isinstance(s, LoopStmt):
+                out.append(s)
+    return out
+
+
+def _skip_signature(program: Program, skip_ids) -> Tuple[int, ...]:
+    """Canonical (parse-order-independent) form of a dyndep skip set,
+    used in cache keys: dense pre-order statement indices."""
+    if not skip_ids:
+        return ()
+    skip = frozenset(skip_ids)
+    dense: List[int] = []
+    i = 0
+    for name in sorted(program.procedures):
+        for s in program.procedures[name].body.walk():
+            if s.stmt_id in skip:
+                dense.append(i)
+            i += 1
+    return tuple(dense)
+
+
+# ---------------------------------------------------------------------------
+# generated-module preamble
+# ---------------------------------------------------------------------------
+# Self-contained: the emitted source runs standalone (the ``repro
+# compile`` CLI, the plain-Python contract in the tests).  When the
+# engine drives a module it rebinds ``_Err`` / ``_bud`` post-exec to the
+# runtime's real exception types so error and budget semantics unify
+# across all three engines.
 
 _PREAMBLE = '''\
-import math
+import math as _m
 
-def _idiv(a, b):
-    q = abs(a) // abs(b)
-    return int(q if (a >= 0) == (b >= 0) else -q)
 
-def _div(a, b):
-    if isinstance(a, int) and isinstance(b, int):
-        return _idiv(a, b)
-    return a / b
+class _Err(Exception):
+    pass
 
-def _sign(a, b):
-    return abs(a) if b >= 0 else -abs(a)
+
+class _Budget(_Err):
+    pass
+
+
+class _Stop(Exception):
+    pass
+
+
+class _Exit(Exception):
+    pass
+
 
 class _Cycle(Exception):
     def __init__(self, label):
         self.label = label
 
-class _Stop(Exception):
-    pass
+
+def _bud(o, mo):
+    raise _Budget("operation budget exceeded (max_ops=%d)" % (mo,))
+
+
+def _idiv(a, b):
+    q = abs(a) // abs(b)
+    return int(q if (a >= 0) == (b >= 0) else -q)
+
+
+def _div(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise _Err("integer division by zero")
+        return _idiv(a, b)
+    return a / b
+
+
+def _sign(a, b):
+    return abs(a) if b >= 0 else -abs(a)
+
+
+def _pop(q):
+    if not q:
+        raise _Err("READ past end of inputs")
+    return q.pop(0)
 '''
+
+# Dyndep-variant extras: the state object plus the read/write helpers
+# called at every instrumented access site.  ``_wr`` takes the value
+# *before* the offset so Python's left-to-right argument evaluation
+# reproduces the oracle's event order (value reads, then subscript
+# reads, then the write).  ``stack`` holds mutable activation cells
+# ``[dense loop id, invocation, iteration]``; a cell's iteration field
+# is severed to ``None`` on loop exit, so a shadow snapshot referencing
+# a dead (or re-entered) loop invocation compares as inactive — exactly
+# the oracle's (loop, invocation) matching.
+_DD_PREAMBLE = '''\
+
+
+class _DD(object):
+    __slots__ = ("window", "stack", "inv", "snap", "flag", "shadow",
+                 "bufs", "names", "sampled", "skipped", "carried",
+                 "by_var", "wit", "maxw")
+
+    def __init__(self, window, maxw):
+        self.window = window
+        self.stack = []
+        self.inv = {}
+        self.snap = ()
+        self.flag = True
+        self.shadow = {}
+        self.bufs = {}
+        self.names = {}
+        self.sampled = 0
+        self.skipped = 0
+        self.carried = {}
+        self.by_var = {}
+        self.wit = {}
+        self.maxw = maxw
+
+    def rec(self, lid, bname, wline, rline):
+        c = self.carried
+        c[lid] = c.get(lid, 0) + 1
+        bv = self.by_var
+        k = (lid, bname)
+        bv[k] = bv.get(k, 0) + 1
+        pairs = self.wit.setdefault(lid, [])
+        p = (wline, rline)
+        if p not in pairs and len(pairs) < self.maxw:
+            pairs.append(p)
+
+
+def _rd(dd, b, i, rline):
+    if dd.flag:
+        dd.sampled += 1
+        sh = dd.shadow.get(id(b))
+        if sh is not None:
+            ent = sh[i]
+            if ent is not None:
+                sw = ent[0]
+                if sw is not dd.snap:
+                    for cell, wit in sw:
+                        cur = cell[2]
+                        if cur is not None and cur != wit:
+                            dd.rec(cell[0], dd.names[id(b)],
+                                   ent[1], rline)
+    else:
+        dd.skipped += 1
+    return b[i]
+
+
+def _wr(dd, b, v, i, wline):
+    if dd.flag:
+        dd.sampled += 1
+        bid = id(b)
+        sh = dd.shadow.get(bid)
+        if sh is None:
+            sh = [None] * len(b)
+            dd.shadow[bid] = sh
+            dd.bufs[bid] = b
+        snap = dd.snap
+        if snap is None:
+            snap = tuple((c, c[2]) for c in dd.stack)
+            dd.snap = snap
+        sh[i] = (snap, wline)
+    else:
+        dd.skipped += 1
+    b[i] = float(v)
+'''
+
+_BINOPS = {"+": "+", "-": "-", "*": "*", "**": "**",
+           "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+           "==": "==", "/=": "!="}
+
+_ONE_ARG = {"abs": "abs", "sqrt": "_m.sqrt", "exp": "_m.exp",
+            "log": "_m.log", "sin": "_m.sin", "cos": "_m.cos",
+            "float": "float", "int": "int"}
+
+
+class _Arr:
+    """Codegen-time metadata for one array (or buffer-backed scalar).
+
+    ``lows`` / ``strides`` entries are ints (constant-folded) or names
+    of prologue temporaries; formal arrays instead defer everything to
+    the runtime 4-tuple ``(buffer, base, lows, strides)`` they were
+    passed — the oracle binds the *caller's* view to array formals, so
+    the callee's declared shape never enters the picture."""
+
+    __slots__ = ("buf", "base", "lows", "strides", "formal", "name")
+
+    def __init__(self, buf, base, lows, strides, formal, name):
+        self.buf = buf
+        self.base = base
+        self.lows = lows
+        self.strides = strides
+        self.formal = formal
+        self.name = name
+
+    def low(self, k: int):
+        if self.formal:
+            return f"lo_{self.name}[{k}]"
+        return self.lows[k]
+
+    def stride(self, k: int):
+        if self.formal:
+            # ArrayView strides always start at 1
+            return 1 if k == 0 else f"st_{self.name}[{k}]"
+        return self.strides[k]
+
+    def whole(self) -> str:
+        """Argument text passing this array whole to an array formal."""
+        if self.formal:
+            return (f"(buf_{self.name}, off_{self.name}, "
+                    f"lo_{self.name}, st_{self.name})")
+        lows = ", ".join(str(v) for v in self.lows)
+        sts = ", ".join(str(v) for v in self.strides)
+        sep = "," if len(self.lows) == 1 else ""
+        return f"({self.buf}, {self.base}, ({lows}{sep}), ({sts}{sep}))"
+
+
+def _lit(value) -> str:
+    """Source literal for a constant; negatives are parenthesized so
+    the text embeds safely in any operator context."""
+    text = repr(value)
+    return f"({text})" if text.startswith("-") else text
+
+
+def _const_index(e: Expression) -> Optional[int]:
+    if isinstance(e, Const) and isinstance(e.value, int) \
+            and not isinstance(e.value, bool):
+        return e.value
+    if isinstance(e, VarRef) and e.symbol.is_const \
+            and isinstance(e.symbol.const_value, int) \
+            and not isinstance(e.symbol.const_value, bool):
+        return e.symbol.const_value
+    return None
 
 
 class _ProcEmitter:
-    def __init__(self, program: Program, proc: Procedure):
-        self.program = program
+    """Emits one procedure as a Python function, mirroring the closure
+    engine's op batching, loop drivers, and call protocol statement for
+    statement."""
+
+    def __init__(self, mod: "_ModuleEmitter", proc: Procedure):
+        self.mod = mod
+        self.program = mod.program
         self.proc = proc
+        self.dyn = mod.variant == VARIANT_DYNDEP
+        self.profile = mod.variant == VARIANT_PROFILE
+        self.is_main = proc.name == mod.program.main
         self.lines: List[str] = []
-        self._tmp = 0
-        # array metadata: symbol -> (base expression, lows, strides text)
-        self._array_meta: Dict[int, Dict] = {}
+        self._ind = 0
+        self._n = 0
+        self._pending: List[str] = []
+        self._pending_n = 0
+        self.arrays: Dict[int, _Arr] = {}      # id(sym) -> metadata
+        self._site = False                      # dyndep: instrument here?
+        self._line = 0                          # dyndep: witness line
+        # loop scopes for invariant hoisting: [pos, indent, written, cache]
+        self._scopes: List[list] = []
+        # batch-scope load/store CSE: (bufname, offtext) -> value temp.
+        # Off for dyndep — every access must raise its shadow event.
+        self._cse: Optional[Dict] = None if self.dyn else {}
+        # CSE pre-lines go through self._pending; only statements that
+        # batch (assign/io) may use it — conditions, bounds and call
+        # arguments must compile to self-contained text
+        self._batch = False
+        # symbols the loop driver writes raw ints into (no type
+        # coercion, mirroring the oracle's frame.scalars[index] = i)
+        self._loop_syms = frozenset(
+            id(s.index) for s in proc.body.walk()
+            if isinstance(s, LoopStmt))
 
-    def out(self, indent: int, text: str) -> None:
-        self.lines.append("    " * indent + text)
+    # -- infrastructure ------------------------------------------------------
+    def w(self, text: str) -> None:
+        self.lines.append("    " * self._ind + text)
 
-    # -- names ---------------------------------------------------------------
-    def scalar_name(self, sym: Symbol) -> str:
-        return f"v_{sym.name}"
+    def tmp(self, prefix: str = "_t") -> str:
+        self._n += 1
+        return f"{prefix}{self._n}"
 
-    # -- array address arithmetic ----------------------------------------------
-    def _register_array(self, sym: Symbol, buf: str, offset: str) -> None:
-        self._array_meta[id(sym)] = {"buf": buf, "offset": offset}
+    def set_site(self, stmt: Optional[Statement]) -> None:
+        """Resolve dyndep instrumentation for accesses attributed to
+        ``stmt`` (the compile-time mirror of the oracle's
+        ``current_stmt``; skip-set statements compile to uninstrumented
+        accesses, bypassing even the sampling counters, exactly like
+        the oracle's early return)."""
+        if not self.dyn:
+            return
+        if stmt is not None and stmt.stmt_id in self.mod.skip:
+            self._site, self._line = False, 0
+        else:
+            self._site = True
+            self._line = stmt.line if stmt is not None else 0
 
-    def flat_index(self, ref: ArrayRef) -> str:
-        meta = self._array_meta[id(ref.symbol)]
-        sym = ref.symbol
-        parts = [meta["offset"]]
-        stride = f"st_{sym.name}"
-        for k, idx in enumerate(ref.indices):
-            lo = f"lo_{sym.name}[{k}]"
-            parts.append(f"(int({self.expr(idx)}) - {lo}) * "
-                         f"{stride}[{k}]")
-        return " + ".join(parts)
+    def charge(self, n: int) -> None:
+        """One batched budget charge-and-check."""
+        self.w(f"_o += {n}")
+        self.w("if _o > _mo:")
+        self.w("    _bud(_o, _mo)")
 
-    # -- expressions -----------------------------------------------------------
-    def expr(self, e: Expression) -> str:
+    def flush(self) -> None:
+        if self._pending_n:
+            self.charge(self._pending_n)
+            for line in self._pending:
+                self.w(line)
+        self._pending = []
+        self._pending_n = 0
+        if self._cse is not None:
+            self._cse = {}
+
+    # -- static analysis -----------------------------------------------------
+    def etype(self, e: Expression) -> str:
+        """Runtime type of ``e``'s value: ``'f'`` (definitely Python
+        float), ``'i'`` (definitely int), ``'?'`` (unknown / bool).
+        Sound because every store site coerces: REAL locals and buffer
+        elements always hold floats, INT locals always ints.  Formals
+        are ``'?'`` — binding is raw, so a float can hide in an INT
+        formal until its first (coercing) store."""
+        import numpy as np
         if isinstance(e, Const):
-            return repr(e.value)
-        if isinstance(e, StrConst):
-            return repr(e.value)
+            v = e.value
+            if isinstance(v, bool):
+                return "?"
+            if isinstance(v, float):
+                return "f"
+            if isinstance(v, (int, np.integer)):
+                return "i"
+            return "?"
         if isinstance(e, VarRef):
             sym = e.symbol
             if sym.is_const:
-                return repr(sym.const_value)
-            if sym.is_common and not sym.is_array:
-                meta = self._array_meta[id(sym)]
-                return f"{meta['buf']}[{meta['offset']}]"
-            return self.scalar_name(sym)
+                v = sym.const_value
+                if isinstance(v, bool):
+                    return "?"
+                return "f" if isinstance(v, float) else (
+                    "i" if isinstance(v, (int, np.integer)) else "?")
+            if _buffer_backed(sym):
+                return "f"
+            if sym.is_array:
+                return "i"                       # bare ref reads as 0
+            if getattr(sym, "storage", None) != "local":
+                return "?"
+            if sym.type == INT:
+                return "i"
+            # a REAL used as a loop index holds raw driver ints
+            return "?" if id(sym) in self._loop_syms else "f"
         if isinstance(e, ArrayRef):
-            meta = self._array_meta[id(e.symbol)]
-            return f"{meta['buf']}[{self.flat_index(e)}]"
+            return "f"
         if isinstance(e, BinaryOp):
-            left, right = self.expr(e.left), self.expr(e.right)
+            lt, rt = self.etype(e.left), self.etype(e.right)
+            if e.op in ("+", "-", "*"):
+                if "f" in (lt, rt):
+                    return "f"
+                return "i" if lt == rt == "i" else "?"
             if e.op == "/":
-                return f"_div({left}, {right})"
+                if "f" in (lt, rt):
+                    return "f"
+                return "i" if lt == rt == "i" else "?"
             if e.op == "**":
-                return f"({left}) ** ({right})"
-            op = {"and": "and", "or": "or", "/=": "!="}.get(e.op, e.op)
-            return f"({left} {op} {right})"
+                return "f" if "f" in (lt, rt) else "?"
+            return "?"                           # comparisons, and/or
         if isinstance(e, UnaryOp):
-            if e.op == "-":
-                return f"(-{self.expr(e.operand)})"
-            return f"(not {self.expr(e.operand)})"
+            return self.etype(e.operand) if e.op == "-" else "?"
         if isinstance(e, Intrinsic):
-            args = ", ".join(self.expr(a) for a in e.args)
-            table = {"min": "min", "max": "max", "abs": "abs",
-                     "sqrt": "math.sqrt", "exp": "math.exp",
-                     "log": "math.log", "sin": "math.sin",
-                     "cos": "math.cos", "float": "float", "int": "int",
-                     "sign": "_sign"}
-            if e.name == "mod":
-                a0 = self.expr(e.args[0])
-                a1 = self.expr(e.args[1])
-                return f"math.fmod({a0}, {a1})" \
-                    if False else f"({a0} % {a1})"
-            return f"{table[e.name]}({args})"
-        raise ValueError(f"cannot transpile {e!r}")
+            n = e.name
+            if n in ("sqrt", "exp", "log", "sin", "cos", "float"):
+                return "f"
+            if n == "int":
+                return "i"
+            if n in ("abs", "min", "max", "mod"):
+                ts = {self.etype(a) for a in e.args}
+                return ts.pop() if len(ts) == 1 else "?"
+            if n == "sign" and e.args:
+                return self.etype(e.args[0])
+        return "?"
 
-    def coerced(self, sym: Symbol, text: str) -> str:
-        return f"int({text})" if sym.type == INT else f"float({text})"
+    def _expr_vars(self, e: Expression):
+        """(referenced plain-local names, pure?) — pure means no buffer
+        reads, no raising ops, no short-circuit charging: safe to
+        evaluate early, repeatedly, or not at all."""
+        if isinstance(e, Const):
+            return frozenset(), True
+        if isinstance(e, VarRef):
+            sym = e.symbol
+            if sym.is_const or sym.is_array:
+                return frozenset(), True
+            if _buffer_backed(sym):
+                return frozenset(), False
+            return frozenset((sym.name,)), True
+        if isinstance(e, BinaryOp):
+            if e.op not in ("+", "-", "*"):
+                return frozenset(), False
+            lv, lp = self._expr_vars(e.left)
+            rv, rp = self._expr_vars(e.right)
+            return lv | rv, lp and rp
+        if isinstance(e, UnaryOp) and e.op == "-":
+            return self._expr_vars(e.operand)
+        if isinstance(e, Intrinsic) and e.name in ("int", "float", "abs"):
+            vs, pure = frozenset(), True
+            for a in e.args:
+                av, ap = self._expr_vars(a)
+                vs, pure = vs | av, pure and ap
+            return vs, pure
+        return frozenset(), False
 
-    # -- statements -----------------------------------------------------------
-    def stmt(self, s: Statement, indent: int) -> None:
-        if isinstance(s, AssignStmt):
-            value = self.expr(s.value)
-            if isinstance(s.target, VarRef):
-                sym = s.target.symbol
-                if sym.is_common and not sym.is_array:
-                    meta = self._array_meta[id(sym)]
-                    self.out(indent,
-                             f"{meta['buf']}[{meta['offset']}] = {value}")
-                else:
-                    self.out(indent, f"{self.scalar_name(sym)} = "
-                                     f"{self.coerced(sym, value)}")
-            else:
-                meta = self._array_meta[id(s.target.symbol)]
-                self.out(indent, f"{meta['buf']}"
-                                 f"[{self.flat_index(s.target)}] = {value}")
-            return
-        if isinstance(s, IfStmt):
-            for k, (cond, body) in enumerate(s.arms):
-                kw = "if" if k == 0 else "elif"
-                self.out(indent, f"{kw} {self.expr(cond)}:")
-                self.block(body, indent + 1)
-            if s.else_block is not None:
-                self.out(indent, "else:")
-                self.block(s.else_block, indent + 1)
-            return
-        if isinstance(s, LoopStmt):
-            self.loop(s, indent)
-            return
-        if isinstance(s, CallStmt):
-            self.call(s, indent)
-            return
-        if isinstance(s, IoStmt):
-            if s.kind == "print":
-                for item in s.items:
-                    self.out(indent, f"_out.append({self.expr(item)})")
-            else:
+    def _written_vars(self, block: Block) -> frozenset:
+        """Plain-local names the block (transitively) may write: assign
+        targets, READ items, call copy-back args, loop indices."""
+        out = set()
+
+        def local(sym):
+            if not (sym.is_const or sym.is_array or _buffer_backed(sym)):
+                out.add(sym.name)
+
+        for s in block.walk():
+            if isinstance(s, AssignStmt) and isinstance(s.target, VarRef):
+                local(s.target.symbol)
+            elif isinstance(s, IoStmt) and s.kind == "read":
                 for item in s.items:
                     if isinstance(item, VarRef):
-                        sym = item.symbol
-                        self.out(indent,
-                                 f"{self.scalar_name(sym)} = "
-                                 f"{self.coerced(sym, '_in.pop(0)')}")
-                    else:
-                        meta = self._array_meta[id(item.symbol)]
-                        self.out(indent, f"{meta['buf']}"
-                                         f"[{self.flat_index(item)}]"
-                                         f" = _in.pop(0)")
+                        local(item.symbol)
+            elif isinstance(s, CallStmt):
+                for a in s.args:
+                    if isinstance(a, VarRef):
+                        local(a.symbol)
+            elif isinstance(s, LoopStmt):
+                local(s.index)
+        return frozenset(out)
+
+    def _hoist(self, text: str, vars_: frozenset) -> str:
+        """Loop-invariant code motion for a pure offset term: emit
+        ``temp = text`` at the outermost enclosing loop none of whose
+        (transitively) written variables feed the term; returns the temp
+        (or ``text`` unchanged when no loop qualifies)."""
+        target = None
+        for scope in self._scopes:               # outermost first
+            if not (vars_ & scope[2]):
+                target = scope
+                break
+        if target is None:
+            return text
+        cached = target[3].get(text)
+        if cached is not None:
+            return cached
+        name = self.tmp("_h")
+        line = "    " * target[1] + f"{name} = {text}"
+        pos = target[0]
+        self.lines.insert(pos, line)
+        for scope in self._scopes:
+            if scope[0] >= pos:
+                scope[0] += 1
+        target[3][text] = name
+        return name
+
+    def _load(self, bufname: str, offtext: str) -> str:
+        """Batch-scope CSE of element loads: repeated reads of the same
+        (buffer, offset-text) within one straight-line batch reuse one
+        temp; a store to the same slot forwards its value.  Ops are
+        charged statically, so reuse never changes op accounting."""
+        plain = f"{bufname}[{offtext}]"
+        if self._cse is None or not self._batch or "_o :=" in offtext:
+            return plain
+        key = (bufname, offtext)
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+        name = self.tmp()
+        self._pending.append(f"{name} = {plain}")
+        self._cse[key] = name
+        return name
+
+    def _store_cse(self, meta: _Arr, offtext: str, valtext: str,
+                   vtype: str) -> List[str]:
+        """Emit a coerced store through the CSE layer: the stored value
+        lands in a temp (forwarded to later same-slot reads) and every
+        possibly-aliasing cached load is dropped."""
+        val = valtext if vtype == "f" else f"float({valtext})"
+        plain = [f"{meta.buf}[{offtext}] = {val}"]
+        if self._cse is None or not self._batch or "_o :=" in offtext:
+            self._invalidate_store(meta, None)
+            return plain
+        name = self.tmp()
+        self._invalidate_store(meta, (meta.buf, offtext))
+        self._cse[(meta.buf, offtext)] = name
+        return [f"{name} = {val}", f"{meta.buf}[{offtext}] = {name}"]
+
+    def _invalidate_store(self, meta: _Arr, keep) -> None:
+        """Drop CSE entries a store through ``meta`` may alias: same
+        buffer at any other offset text, plus — since array formals can
+        alias each other and any common block — everything formal-backed
+        when storing anywhere, and commons when storing via a formal."""
+        if self._cse is None:
+            return
+        via_formal = meta.formal
+        for key in list(self._cse):
+            bufname, _ = key
+            if key == keep:
+                continue
+            if bufname == meta.buf \
+                    or bufname.startswith("buf_") and self._is_formal(bufname) \
+                    or (via_formal and bufname.startswith("_c_")):
+                del self._cse[key]
+
+    def _is_formal(self, bufname: str) -> bool:
+        name = bufname[4:]
+        for f in self.proc.formals:
+            if f.is_array and f.name == name:
+                return True
+        return False
+
+    def _invalidate_scalar(self, name: str) -> None:
+        """A scalar assign changes the meaning of any cached offset text
+        that mentions it."""
+        if not self._cse:
+            return
+        import re
+        pat = re.compile(rf"\bv_{re.escape(name)}\b")
+        for key in list(self._cse):
+            if pat.search(key[1]):
+                del self._cse[key]
+
+    # -- expressions ---------------------------------------------------------
+    def expr(self, e: Expression) -> Tuple[str, int]:
+        """(source text, static op count) — op protocol identical to the
+        closure engine's ``_c_expr``: one op per node, short-circuit
+        right branches charged dynamically (via walrus on ``_o``)."""
+        if isinstance(e, Const):
+            return _lit(e.value), 1
+        if isinstance(e, StrConst):
+            return repr(e.value), 1
+        if isinstance(e, VarRef):
+            sym = e.symbol
+            if sym.is_const:
+                return _lit(sym.const_value), 1
+            if _buffer_backed(sym):
+                meta = self.arrays[id(sym)]
+                if self._site:
+                    return (f"_rd(_dd, {meta.buf}, {meta.base}, "
+                            f"{self._line})"), 1
+                return self._load(meta.buf, str(meta.base)), 1
+            if sym.is_array:
+                # the oracle resolves a bare VarRef of an array symbol
+                # via frame.scalars.get(sym, 0) -> always 0
+                return "0", 1
+            return f"v_{sym.name}", 1
+        if isinstance(e, ArrayRef):
+            meta = self.arrays.get(id(e.symbol))
+            if meta is None:
+                raise TranspileUnsupported(
+                    f"cannot transpile array ref {e.symbol.name}")
+            off, n = self.offset(meta, e.indices)
+            if self._site:
+                return f"_rd(_dd, {meta.buf}, {off}, {self._line})", 1 + n
+            return self._load(meta.buf, off), 1 + n
+        if isinstance(e, BinaryOp):
+            lt, ln = self.expr(e.left)
+            rt, rn = self.expr(e.right)
+            if e.op == "and":
+                return (f"(bool({lt}) and ((_o := _o + {rn}), "
+                        f"bool({rt}))[1])"), 1 + ln
+            if e.op == "or":
+                return (f"(bool({lt}) or ((_o := _o + {rn}), "
+                        f"bool({rt}))[1])"), 1 + ln
+            if e.op == "/":
+                return f"_div({lt}, {rt})", 1 + ln + rn
+            op = _BINOPS.get(e.op)
+            if op is None:
+                raise TranspileUnsupported(
+                    f"cannot transpile operator {e.op!r}")
+            return f"({lt} {op} {rt})", 1 + ln + rn
+        if isinstance(e, UnaryOp):
+            t, n = self.expr(e.operand)
+            if e.op == "-":
+                return f"(-{t})", 1 + n
+            if e.op == "not":
+                return f"(not bool({t}))", 1 + n
+            raise TranspileUnsupported(f"cannot transpile unary {e.op!r}")
+        if isinstance(e, Intrinsic):
+            return self.intrinsic(e)
+        raise TranspileUnsupported(f"cannot transpile {e!r}")
+
+    def intrinsic(self, e: Intrinsic) -> Tuple[str, int]:
+        comp = [self.expr(a) for a in e.args]
+        n = 1 + sum(m for _, m in comp)
+        texts = [t for t, _ in comp]
+        name = e.name
+        if name in ("min", "max"):
+            if not texts:
+                raise TranspileUnsupported(f"{name} with no arguments")
+            if len(texts) == 1:
+                return texts[0], n
+            return f"{name}({', '.join(texts)})", n
+        if name == "mod":
+            if len(texts) != 2:
+                raise TranspileUnsupported("mod arity")
+            return f"({texts[0]} % {texts[1]})", n
+        if name == "sign":
+            if len(texts) != 2:
+                raise TranspileUnsupported("sign arity")
+            return f"_sign({texts[0]}, {texts[1]})", n
+        fn = _ONE_ARG.get(name)
+        if fn is None or len(texts) != 1:
+            raise TranspileUnsupported(
+                f"cannot transpile intrinsic {name!r}")
+        return f"{fn}({texts[0]})", n
+
+    def index(self, e: Expression) -> Tuple[str, int]:
+        t, n = self.expr(e)
+        if self.etype(e) == "i":
+            return t, n                    # int() of an int is identity
+        return f"int({t})", n
+
+    def offset(self, meta: _Arr, indices: Sequence[Expression]
+               ) -> Tuple[str, int]:
+        """Flat-offset text mirroring ``ArrayView.flat_index`` over the
+        array's (possibly runtime) lows/strides, with constant folding
+        of literal indices against constant shape metadata and
+        loop-invariant terms hoisted out of enclosing loops."""
+        const = meta.base if isinstance(meta.base, int) else 0
+        terms: List[str] = []
+        if not isinstance(meta.base, int):
+            terms.append(str(meta.base))
+        n = 0
+        for k, e in enumerate(indices):
+            it, m = self.index(e)
+            n += m
+            lo = meta.low(k)
+            st = meta.stride(k)
+            iv = _const_index(e)
+            if iv is not None and isinstance(lo, int) \
+                    and isinstance(st, int):
+                const += (iv - lo) * st
+                continue
+            if isinstance(lo, int):
+                if lo == 0:
+                    base = it
+                elif lo > 0:
+                    base = f"({it} - {lo})"
+                else:
+                    base = f"({it} + {-lo})"
+            else:
+                base = f"({it} - {lo})"
+            term = base if st == 1 else f"{base} * {st}"
+            if self._scopes and term != it:
+                vars_, pure = self._expr_vars(e)
+                if pure:
+                    term = self._hoist(term, vars_)
+            terms.append(term)
+        if not terms:
+            return str(const), n
+        text = " + ".join(terms)
+        if const:
+            text = f"{const} + {text}" if const > 0 else \
+                f"{text} - {-const}"
+        return text, n
+
+    # -- statements ----------------------------------------------------------
+    def block(self, b: Block) -> None:
+        mark = len(self.lines)
+        for s in b.statements:
+            self.stmt(s)
+        self.flush()
+        if len(self.lines) == mark:
+            self.w("pass")
+
+    def stmt(self, s: Statement) -> None:
+        if isinstance(s, AssignStmt):
+            self.set_site(s)
+            self._batch = True
+            lines, n = self.assign(s)
+            self._batch = False
+            self._pending.extend(lines)
+            self._pending_n += n
+            return
+        if isinstance(s, IoStmt):
+            self.set_site(s)
+            self._batch = True
+            lines, n = self.io(s)
+            self._batch = False
+            self._pending.extend(lines)
+            self._pending_n += n
             return
         if isinstance(s, NoopStmt):
-            self.out(indent, "pass")
+            self._pending_n += 1
             return
-        if isinstance(s, CycleStmt):
-            self.out(indent, f"raise _Cycle({s.target_label!r})")
-            return
-        if isinstance(s, ExitStmt):
-            self.out(indent, "break")
-            return
-        if isinstance(s, ReturnStmt):
-            self.out(indent, "return")
-            return
-        if isinstance(s, StopStmt):
-            self.out(indent, "raise _Stop()")
-            return
-        raise ValueError(f"cannot transpile {s!r}")
+        self.flush()
+        if isinstance(s, IfStmt):
+            self.emit_if(s)
+        elif isinstance(s, LoopStmt):
+            self.emit_loop(s)
+        elif isinstance(s, CallStmt):
+            self.emit_call(s)
+        elif isinstance(s, CycleStmt):
+            self.charge(1)
+            self.w(f"raise _Cycle({s.target_label!r})")
+        elif isinstance(s, ExitStmt):
+            self.charge(1)
+            self.w("raise _Exit()")
+        elif isinstance(s, ReturnStmt):
+            self.charge(1)
+            self.w("return")
+        elif isinstance(s, StopStmt):
+            self.charge(1)
+            self.w("raise _Stop()")
+        else:
+            raise TranspileUnsupported(f"cannot transpile {s!r}")
 
-    def block(self, block: Block, indent: int) -> None:
-        if not block.statements:
-            self.out(indent, "pass")
+    def assign(self, s: AssignStmt) -> Tuple[List[str], int]:
+        vtype = self.etype(s.value)
+        vt, vn = self.expr(s.value)
+        t = s.target
+        if isinstance(t, VarRef):
+            sym = t.symbol
+            if _buffer_backed(sym):
+                meta = self.arrays[id(sym)]
+                if self._site:
+                    return [f"_wr(_dd, {meta.buf}, {vt}, {meta.base}, "
+                            f"{self._line})"], 1 + vn
+                return self._store_cse(meta, str(meta.base), vt,
+                                       vtype), 1 + vn
+            if sym.is_array:
+                raise TranspileUnsupported(
+                    f"assignment to array name {sym.name}")
+            want = "i" if sym.type == INT else "f"
+            coerce = "int" if sym.type == INT else "float"
+            val = vt if vtype == want else f"{coerce}({vt})"
+            if sym.is_const:
+                # the oracle stores into frame.scalars where the const
+                # shadows it forever: evaluate + coerce, visible nowhere
+                return [f"{self.tmp()} = {val}"], 1 + vn
+            self._invalidate_scalar(sym.name)
+            return [f"v_{sym.name} = {val}"], 1 + vn
+        if isinstance(t, ArrayRef):
+            meta = self.arrays.get(id(t.symbol))
+            if meta is None:
+                raise TranspileUnsupported(
+                    f"cannot transpile store to {t.symbol.name}")
+            off, on = self.offset(meta, t.indices)
+            if self._site:
+                return [f"_wr(_dd, {meta.buf}, {vt}, {off}, "
+                        f"{self._line})"], 1 + vn + on
+            # RHS text precedes the target subscript in the emitted
+            # store - oracle value-then-index order
+            return self._store_cse(meta, off, vt, vtype), 1 + vn + on
+        raise TranspileUnsupported(f"invalid store target {t!r}")
+
+    def io(self, s: IoStmt) -> Tuple[List[str], int]:
+        if s.kind == "print":
+            lines = []
+            n = 1
+            for item in s.items:
+                t, m = self.expr(item)
+                n += m
+                lines.append(f"_out.append({t})")
+            return lines, n
+        lines = []
+        n = 1
+        for item in s.items:
+            if isinstance(item, VarRef):
+                sym = item.symbol
+                if _buffer_backed(sym):
+                    meta = self.arrays[id(sym)]
+                    if self._site:
+                        lines.append(f"_wr(_dd, {meta.buf}, _pop(_in), "
+                                     f"{meta.base}, {self._line})")
+                    else:
+                        lines.extend(self._store_cse(
+                            meta, str(meta.base), "_pop(_in)", "?"))
+                    continue
+                if sym.is_array:
+                    raise TranspileUnsupported(
+                        f"READ into array name {sym.name}")
+                coerce = "int" if sym.type == INT else "float"
+                target = self.tmp() if sym.is_const else f"v_{sym.name}"
+                if not sym.is_const:
+                    self._invalidate_scalar(sym.name)
+                lines.append(f"{target} = {coerce}(_pop(_in))")
+                continue
+            if isinstance(item, ArrayRef):
+                meta = self.arrays.get(id(item.symbol))
+                if meta is None:
+                    raise TranspileUnsupported(
+                        f"READ into {item.symbol.name}")
+                off, on = self.offset(meta, item.indices)
+                n += on
+                if self._site:
+                    lines.append(f"_wr(_dd, {meta.buf}, _pop(_in), "
+                                 f"{off}, {self._line})")
+                else:
+                    lines.extend(self._store_cse(meta, off,
+                                                 "_pop(_in)", "?"))
+                continue
+            raise TranspileUnsupported(f"invalid READ target {item!r}")
+        return lines, n
+
+    def emit_if(self, s: IfStmt) -> None:
+        self.set_site(s)
+        arms = []
+        for cond, body in s.arms:
+            self.set_site(s)        # bodies move the site; conds don't
+            ct, cn = self.expr(cond)
+            arms.append((ct, cn, body))
+        self.charge(1 + arms[0][1])
+
+        def emit_arm(i: int) -> None:
+            ct, _, body = arms[i]
+            self.w(f"if {ct}:")
+            self._ind += 1
+            self.block(body)
+            self._ind -= 1
+            rest = i + 1 < len(arms)
+            if rest or s.else_block is not None:
+                self.w("else:")
+                self._ind += 1
+                if rest:
+                    # later arm conditions charge on reach, no check
+                    self.w(f"_o += {arms[i + 1][1]}")
+                    emit_arm(i + 1)
+                else:
+                    self.block(s.else_block)
+                self._ind -= 1
+
+        emit_arm(0)
+
+    # -- loops ---------------------------------------------------------------
+    def _index_written(self, loop: LoopStmt) -> bool:
+        """Static test: can the loop body write the index variable?  If
+        not, the generated loop drives ``v_<index>`` directly (no mirror
+        counter, no per-iteration store)."""
+        sym = loop.index
+        for s in loop.body.walk():
+            if isinstance(s, AssignStmt) and isinstance(s.target, VarRef) \
+                    and s.target.symbol is sym:
+                return True
+            if isinstance(s, IoStmt) and s.kind == "read":
+                for item in s.items:
+                    if isinstance(item, VarRef) and item.symbol is sym:
+                        return True
+            if isinstance(s, CallStmt):
+                for a in s.args:
+                    if isinstance(a, VarRef) and a.symbol is sym:
+                        return True
+            if isinstance(s, LoopStmt) and s.index is sym:
+                return True
+        return False
+
+    def _bound(self, e: Expression, prefix: str) -> str:
+        """Loop bound: a literal when constant, otherwise an ``int()``-
+        coerced temp evaluated once (like the closure driver)."""
+        iv = _const_index(e)
+        if iv is not None:
+            return _lit(iv)
+        t, _ = self.index(e)
+        name = self.tmp(prefix)
+        self.w(f"{name} = {t}")
+        return name
+
+    def emit_loop(self, loop: LoopStmt) -> None:
+        self.set_site(loop)
+        stmts = list(loop.body.walk())
+        has_call = any(isinstance(x, CallStmt) for x in stmts)
+        need_cycle = has_call or any(isinstance(x, CycleStmt)
+                                     for x in stmts)
+        from .compile_engine import _has_shallow_exit
+        need_exit = has_call or _has_shallow_exit(loop.body)
+        # the per-iteration +1 folds into the body's first batch charge
+        # only when no unwind can skip it (the oracle drops it on
+        # EXIT/STOP/RETURN and on a CYCLE crossing to an outer loop)
+        seed_iter = not any(
+            isinstance(x, (CallStmt, ExitStmt, StopStmt, ReturnStmt,
+                           CycleStmt)) for x in stmts)
+        # straight-line bodies under the plain variant hoist the whole
+        # per-iteration charge out of the loop: one precomputed
+        # (batch + 1) * trips charge, zero accounting inside
+        precharge = (not self.profile and not self.dyn
+                     and all(isinstance(x, (AssignStmt, IoStmt,
+                                            NoopStmt))
+                             for x in loop.body.statements))
+
+        sym = loop.index
+        if sym.is_array:
+            raise TranspileUnsupported(
+                f"array symbol {sym.name} as loop index")
+        # buffer-backed / const indices: the oracle's index store lands
+        # in frame.scalars where reads never see it -> invisible mirror
+        shadow = _buffer_backed(sym) or sym.is_const
+        mirror = shadow or self._index_written(loop)
+
+        def bound_n(e) -> int:
+            return 1 if _const_index(e) is not None else self.expr(e)[1]
+
+        head = 1 + bound_n(loop.low) + bound_n(loop.high)
+        if loop.step is not None:
+            head += bound_n(loop.step)
+        self.charge(head)
+
+        lo_t = self._bound(loop.low, "_lo")
+        hi_t = self._bound(loop.high, "_hi")
+        step_const: Optional[int] = 1
+        st_t = "1"
+        if loop.step is not None:
+            step_const = _const_index(loop.step)
+            if step_const is not None:
+                st_t = _lit(step_const)
+            else:
+                st_t = self._bound(loop.step, "_st")
+                self.w(f"if {st_t} == 0:")
+                self.w(f"    raise _Err({('zero step in ' + loop.name)!r})")
+        if step_const == 0:
+            self.w(f"raise _Err({('zero step in ' + loop.name)!r})")
+
+        rng = self.tmp("_rng")
+        if step_const is None:
+            self.w(f"{rng} = range({lo_t}, {hi_t} + "
+                   f"(1 if {st_t} > 0 else -1), {st_t})")
+        elif step_const == 1:
+            self.w(f"{rng} = range({lo_t}, {hi_t} + 1)")
+        elif step_const > 0:
+            self.w(f"{rng} = range({lo_t}, {hi_t} + 1, {st_t})")
+        else:
+            self.w(f"{rng} = range({lo_t}, {hi_t} - 1, {st_t})")
+
+        L = None
+        if self.profile or self.dyn:
+            L = self.mod.loop_index[loop.stmt_id]
+        if self.profile:
+            en = self.tmp("_en")
+            it_acc = self.tmp("_it")
+            self.w(f"{en} = _o")
+        if self.dyn:
+            cell = self.tmp("_e")
+            self.w(f"_v = _dd.inv.get({L}, 0) + 1")
+            self.w(f"_dd.inv[{L}] = _v")
+            self.w(f"{cell} = [{L}, _v, 0]")
+            self.w(f"_dd.stack.append({cell})")
+            self.w("_dd.snap = None")
+            self.w("if _w:")
+            self.w("    _dd.flag = True")
+        iv = self.tmp("_i") if mirror else f"v_{sym.name}"
+        self.w(f"{iv} = {lo_t}")
+        if self.profile:
+            self.w(f"{it_acc} = 0")
+            # first-touch registration: an iterating loop registers at
+            # its first iteration (before any inner loop does); zero-trip
+            # loops register in the exit finally below
+            self.w(f"if {rng} and not _pn[{L}]:")
+            self.w(f"    _pn[{L}] = True")
+            self.w(f"    _po.append({L})")
+
+        # on normal completion the oracle's index sits one past the last
+        # iteration; a Python for leaves the final value, so fix up from
+        # the O(1) range length (unwinds skip this, keeping the
+        # current-iteration value exactly like the while form did)
+        if step_const == 1:
+            fix = f"{iv} = {lo_t} + len({rng})"
+        else:
+            fix = f"{iv} = {lo_t} + len({rng}) * {st_t}"
+
+        # loop-invariant hoist scope: offset terms none of whose inputs
+        # the body writes migrate to this position
+        written = self._written_vars(loop.body)
+        if not shadow:
+            written = written | {sym.name}
+        self._scopes.append([len(self.lines), self._ind, written, {}])
+
+        if precharge:
+            for s in loop.body.statements:
+                self.stmt(s)
+            body_lines = self._pending
+            body_n = self._pending_n
+            self._pending = []
+            self._pending_n = 0
+            if self._cse is not None:
+                self._cse = {}
+            self.w(f"_o += {body_n + 1} * len({rng})")
+            self.w("if _o > _mo:")
+            self.w("    _bud(_o, _mo)")
+            self.w(f"for {iv} in {rng}:")
+            self._ind += 1
+            if mirror and not shadow:
+                self.w(f"v_{sym.name} = {iv}")
+            if body_lines:
+                for line in body_lines:
+                    self.w(line)
+            elif not (mirror and not shadow):
+                self.w("pass")
+            self._ind -= 1
+            self.w(fix)
+            if mirror and not shadow:
+                self.w(f"v_{sym.name} = {iv}")
+            self._scopes.pop()
             return
-        for s in block.statements:
-            self.stmt(s, indent)
 
-    def loop(self, loop: LoopStmt, indent: int) -> None:
-        n = self._tmp
-        self._tmp += 1
-        iv = self.scalar_name(loop.index)
-        self.out(indent, f"_lo{n} = int({self.expr(loop.low)})")
-        self.out(indent, f"_hi{n} = int({self.expr(loop.high)})")
-        step = (f"int({self.expr(loop.step)})"
-                if loop.step is not None else "1")
-        self.out(indent, f"_st{n} = {step}")
-        self.out(indent, f"{iv} = _lo{n}")
-        self.out(indent, f"while ({iv} <= _hi{n}) if _st{n} > 0 "
-                         f"else ({iv} >= _hi{n}):")
-        self.out(indent + 1, "try:")
-        self.block(loop.body, indent + 2)
-        self.out(indent + 1, "except _Cycle as _c:")
-        self.out(indent + 2, f"if _c.label is not None and "
-                             f"_c.label != {loop.term_label!r}:")
-        self.out(indent + 3, "raise")
-        self.out(indent + 1, f"{iv} += _st{n}")
+        fenced = need_exit or self.profile or self.dyn or mirror
+        if fenced:
+            self.w("try:")
+            self._ind += 1
+        self.w(f"for {iv} in {rng}:")
+        self._ind += 1
+        if mirror and not shadow:
+            self.w(f"v_{sym.name} = {iv}")
+        if self.profile:
+            self.w(f"{it_acc} += 1")
+        if self.dyn:
+            itv = self.tmp("_c")
+            self.w(f"{itv} = {cell}[2] + 1")
+            self.w(f"{cell}[2] = {itv}")
+            self.w("_dd.snap = None")
+            self.w("if _w:")
+            self.w(f"    _dd.flag = ({itv} % _w) < 2")
+        if seed_iter:
+            self._pending_n += 1
+        if need_cycle:
+            self.w("try:")
+            self._ind += 1
+            self.block(loop.body)
+            self._ind -= 1
+            self.w("except _Cycle as _cy:")
+            self.w("    if _cy.label is not None and "
+                   f"_cy.label != {loop.term_label!r}:")
+            self.w("        raise")
+        else:
+            self.block(loop.body)
+        if not seed_iter:
+            self.w("_o += 1")
+        self._ind -= 1
+        self.w(fix)
+        self._scopes.pop()
+        if fenced:
+            self._ind -= 1
+            if need_exit:
+                self.w("except _Exit:")
+                self.w("    pass")
+            self.w("finally:")
+            self._ind += 1
+            emitted = False
+            if mirror and not shadow:
+                self.w(f"v_{sym.name} = {iv}")
+                emitted = True
+            if self.profile:
+                # call-site finallys already max-merged _s[0] into _o on
+                # any unwind path, so _o is current here
+                self.w(f"if not _pn[{L}]:")
+                self.w(f"    _pn[{L}] = True")
+                self.w(f"    _po.append({L})")
+                self.w(f"_pt[{L}] += _o - {en}")
+                self.w(f"_pv[{L}] += 1")
+                self.w(f"_pi[{L}] += {it_acc}")
+                emitted = True
+            if self.dyn:
+                self.w("_dd.stack.pop()")
+                self.w(f"{cell}[2] = None")
+                self.w("_dd.snap = None")
+                self.w("if _w:")
+                self.w("    _dd.flag = ((_dd.stack[-1][2] % _w) < 2) "
+                       "if _dd.stack else True")
+                emitted = True
+            if not emitted:
+                self.w("pass")
+            self._ind -= 1
 
-    def call(self, call: CallStmt, indent: int) -> None:
-        callee = self.program.procedures[call.callee]
-        args: List[str] = []
-        copy_back: List[str] = []
+    # -- calls ---------------------------------------------------------------
+    def emit_call(self, call: CallStmt) -> None:
+        callee = self.program.procedures.get(call.callee)
+        if callee is None:
+            raise TranspileUnsupported(
+                f"call to unknown procedure {call.callee}")
+        self.set_site(call)
+        args: List[Tuple[str, bool]] = []     # (text, hoist to temp?)
+        cbs: List[str] = []
+        args_n = 0
+        cb_n = 0
         for pos, (actual, formal) in enumerate(zip(call.args,
                                                    callee.formals)):
-            if isinstance(actual, ArrayRef) and formal.is_array:
-                meta = self._array_meta[id(actual.symbol)]
+            if isinstance(actual, ArrayRef):
+                meta = self.arrays.get(id(actual.symbol))
+                if meta is None:
+                    raise TranspileUnsupported(
+                        f"unbound array {actual.symbol.name}")
                 if actual.indices:
-                    off = self.flat_index(actual)
+                    off, on = self.offset(meta, actual.indices)
+                    args_n += on
+                    if formal.is_array:
+                        # sequence association: a 1-D open view rooted
+                        # at the element (ArrayView.subview_at)
+                        args.append((f"({meta.buf}, {off}, (1,), (1,))",
+                                     True))
+                    else:
+                        # scalar formal bound to an array element:
+                        # copy-in/copy-out; the loads/stores themselves
+                        # have no observer events (oracle view.load /
+                        # view.store), only the index expressions do
+                        args.append((f"{meta.buf}[{off}]", True))
+                        cb_off, cb_on = self.offset(meta, actual.indices)
+                        cb_n += cb_on
+                        cbs.append(f"{meta.buf}[{cb_off}] = "
+                                   f"float(_r[{pos}])")
                 else:
-                    off = meta["offset"]
-                args.append(f"({meta['buf']}, {off})")
-            elif isinstance(actual, (VarRef, ArrayRef)):
-                args.append(self.expr(actual))
-                if isinstance(actual, VarRef) and \
-                        not actual.symbol.is_common:
-                    copy_back.append(
-                        f"{self.scalar_name(actual.symbol)} = "
-                        f"{self.coerced(actual.symbol, f'_r{pos}')}")
-                elif isinstance(actual, VarRef):
-                    meta = self._array_meta[id(actual.symbol)]
-                    copy_back.append(f"{meta['buf']}[{meta['offset']}] "
-                                     f"= _r{pos}")
+                    args.append((meta.whole(), False))
+                continue
+            if isinstance(actual, VarRef) and not formal.is_array:
+                sym = actual.symbol
+                if _buffer_backed(sym) or sym.is_const or sym.is_array:
+                    # oracle: frame.scalars.get(sym, 0) -> 0, and the
+                    # copy-out lands where the real storage shadows it
+                    args.append(("0", False))
                 else:
-                    meta = self._array_meta[id(actual.symbol)]
-                    copy_back.append(f"{meta['buf']}"
-                                     f"[{self.flat_index(actual)}]"
-                                     f" = _r{pos}")
-            else:
-                args.append(self.expr(actual))
-        rets = ", ".join(f"_r{pos}" for pos in range(len(call.args)))
-        arg_text = ", ".join(args + ["_cm", "_out", "_in"])
-        self.out(indent, f"{rets}{',' if len(call.args) == 1 else ''} "
-                         f"= p_{call.callee}({arg_text})" if call.args
-                 else f"p_{call.callee}({arg_text})")
-        for line in copy_back:
-            self.out(indent, line)
+                    coerce = "int" if sym.type == INT else "float"
+                    args.append((f"v_{sym.name}", False))
+                    cbs.append(f"v_{sym.name} = {coerce}(_r[{pos}])")
+                continue
+            if formal.is_array:
+                # the oracle would bind a scalar and raise "array formal
+                # not bound" at frame setup — degenerate, not mirrored
+                raise TranspileUnsupported(
+                    f"non-array actual for array formal {formal.name} "
+                    f"of {call.callee}")
+            t, n = self.expr(actual)
+            args_n += n
+            args.append((t, True))
+        for pos in range(len(call.args), len(callee.formals)):
+            args.append(("None" if callee.formals[pos].is_array else "0",
+                         False))
 
-    # -- procedure scaffolding ----------------------------------------------
+        self.charge(1)
+        if args_n:
+            self.w(f"_o += {args_n}")
+        final = []
+        for text, hoist in args:
+            if hoist:
+                # side-effecting argument expressions (charges via
+                # walrus, dyndep events) must run before _s[0] publishes
+                name = self.tmp("_a")
+                self.w(f"{name} = {text}")
+                final.append(name)
+            else:
+                final.append(text)
+        self.w("_s[0] = _o")
+        arglist = ", ".join(final + ["_cm", "_out", "_in", "_s", "_mo"])
+        self.w("try:")
+        self.w(f"    p_{call.callee}({arglist}{self.mod.extra_args})")
+        self.w("finally:")
+        self._ind += 1
+        # max-merge so caught unwinds (CYCLE/EXIT crossing the call)
+        # leave the local counter in sync with the shared cell
+        self.w("if _s[0] > _o:")
+        self.w("    _o = _s[0]")
+        if cbs:
+            # _s[1] stays None when the callee died during frame setup;
+            # the oracle skips copy-out (and its charge) in that case
+            self.w("_r = _s[1]")
+            self.w("if _r is not None:")
+            self._ind += 1
+            if cb_n:
+                self.w(f"_o += {cb_n}")
+            for line in cbs:
+                self.w(line)
+            self._ind -= 1
+        self._ind -= 1
+
+    # -- procedure -----------------------------------------------------------
     def emit(self) -> List[str]:
-        proc = self.program.procedures[self.proc.name]
-        formal_names = ", ".join(f"a_{f.name}" for f in proc.formals)
-        params = (formal_names + ", " if formal_names else "") + \
-            "_cm, _out, _in"
-        self.out(0, f"def p_{proc.name}({params}):")
+        proc = self.proc
+        params = [(f"a_{f.name}" if f.is_array else f"v_{f.name}")
+                  for f in proc.formals]
+        params += ["_cm", "_out", "_in", "_s", "_mo"]
+        sig = ", ".join(params) + self.mod.extra_args
+        self.w(f"def p_{proc.name}({sig}):")
+        self._ind += 1
+        self.w("_o = _s[0]")
+        self.w("_s[1] = None")
+        self.w("try:")
+        self._ind += 1
 
-        # formals
-        for f in proc.formals:
-            if f.is_array:
-                self.out(1, f"buf_{f.name}, base_{f.name} = a_{f.name}")
-                self._register_array(f, f"buf_{f.name}", f"base_{f.name}")
-                self._emit_shape(f, 1)
-            else:
-                self.out(1, f"v_{f.name} = a_{f.name}")
+        # formal arrays: unpack the caller's view 4-tuple; the unbound
+        # check (for call sites that under-pass) mirrors frame setup
+        for pos, f in enumerate(proc.formals):
+            if not f.is_array:
+                continue
+            if self.mod.may_underpass(proc.name, pos):
+                msg = f"array formal {f.name} of {proc.name} not bound"
+                self.w(f"if a_{f.name} is None:")
+                self.w(f"    raise _Err({msg!r})")
+            self.w(f"buf_{f.name}, off_{f.name}, lo_{f.name}, "
+                   f"st_{f.name} = a_{f.name}")
+            self.arrays[id(f)] = _Arr(f"buf_{f.name}", f"off_{f.name}",
+                                      None, None, True, f.name)
 
-        # commons
+        # common blocks: hoist each flat list once per frame
+        hoisted = set()
+        common_arrays = []
         for block_name in proc.common_blocks:
+            if block_name not in hoisted:
+                hoisted.add(block_name)
+                self.w(f"_c_{block_name} = _cm[{block_name!r}]")
             view = self.program.commons[block_name].views[proc.name]
             for sym in view.symbols:
-                buf = f"_cm[{block_name!r}]"
-                self._register_array(sym, buf, str(sym.common_offset))
                 if sym.is_array:
-                    self._emit_shape(sym, 1)
+                    common_arrays.append((block_name, sym))
+                else:
+                    self.arrays[id(sym)] = _Arr(
+                        f"_c_{block_name}", sym.common_offset,
+                        [1], [1], False, sym.name)
 
-        # locals
-        for sym in self.proc.symbols:
-            if sym.is_const or sym.is_formal or sym.is_common:
+        # local scalars first: frame slots default to 0, and dimension
+        # expressions may (degenerately) read them
+        local_arrays = []
+        for sym in proc.symbols:
+            if sym.is_const or sym.is_formal or sym.is_common \
+                    or id(sym) in self.arrays:
                 continue
             if sym.is_array:
-                size = sym.constant_size()
-                self.out(1, f"buf_{sym.name} = [0.0] * {size}")
-                self._register_array(sym, f"buf_{sym.name}", "0")
-                self._emit_shape(sym, 1)
+                local_arrays.append(sym)
+            elif sym.type == INT or id(sym) in self._loop_syms:
+                self.w(f"v_{sym.name} = 0")
             else:
-                self.out(1, f"v_{sym.name} = 0")
+                # float seed keeps the 'f' inference sound (== 0, so
+                # printed read-before-write values still compare equal)
+                self.w(f"v_{sym.name} = 0.0")
 
-        body_start = len(self.lines)
-        self.block(self.proc.body, 1)
+        # frame-setup op charge: statically summed dimension-expression
+        # costs, charged before any dimension runs (no budget check)
+        setup = 0
+        for _, sym in common_arrays:
+            for d in sym.dims:
+                setup += self.expr(d.low)[1]
+                if d.high is not None:
+                    setup += self.expr(d.high)[1]
+        for sym in local_arrays:
+            for d in sym.dims:
+                setup += self.expr(d.low)[1]
+                if d.high is not None:
+                    setup += self.expr(d.high)[1]
+        if setup:
+            self.w(f"_o += {setup}")
 
-        # single return point returning the scalar formals (copy-out)
-        ret_expr = ", ".join(f"v_{f.name}" if not f.is_array
-                             else f"a_{f.name}" for f in self.proc.formals)
-        if len(self.proc.formals) == 1:
-            ret_expr += ","                 # 1-tuple, not parentheses
-        if self.proc.formals:
-            # rewrite bare `return` to return the tuple
-            self.lines = [
-                line.replace("return", f"return ({ret_expr})")
-                if line.strip() == "return" else line
-                for line in self.lines]
-            self.out(1, f"return ({ret_expr})")
+        # dimension expressions compile like the closure engine's frame
+        # setup: dyndep-instrumented, attributed to line 0
+        if self.dyn:
+            self._site, self._line = True, 0
+
+        for block_name, sym in common_arrays:
+            lows, strides = self._emit_shape(sym, local=False)
+            self.arrays[id(sym)] = _Arr(f"_c_{block_name}",
+                                        sym.common_offset, lows, strides,
+                                        False, sym.name)
+        for sym in local_arrays:
+            if any(d.high is None for d in sym.dims):
+                msg = f"local array {sym.name} has assumed size"
+                self.w(f"raise _Err({msg!r})")
+                # codegen must still complete for the (unreachable) body
+                self.arrays[id(sym)] = _Arr(f"buf_{sym.name}", 0,
+                                            [1], [1], False, sym.name)
+                continue
+            lows, strides = self._emit_shape(sym, local=True)
+            self.arrays[id(sym)] = _Arr(f"buf_{sym.name}", 0, lows,
+                                        strides, False, sym.name)
+        if not self.is_main:
+            self.w("_o += 5")
+        if self.dyn:
+            self.w("_w = _dd.window")
+
+        self.w("try:")
+        self._ind += 1
+        self.block(proc.body)
+        self._ind -= 1
+        self.w("finally:")
+        self._ind += 1
+        # copy-out source for the caller: final scalar-formal values.
+        # Runs on every unwind once frame setup succeeded (the oracle
+        # performs copy-outs even when the body raised).
+        formals_t = ", ".join(
+            ("None" if f.is_array else f"v_{f.name}")
+            for f in proc.formals)
+        if len(proc.formals) == 1:
+            formals_t += ","
+        self.w(f"_s[1] = ({formals_t})")
+        self._ind -= 2
+        self.w("finally:")
+        self._ind += 1
+        self.w("if _o > _s[0]:")
+        self.w("    _s[0] = _o")
+        self._ind -= 2
         return self.lines
 
-    def _emit_shape(self, sym: Symbol, indent: int) -> None:
-        lows = []
-        strides = []
-        acc = "1"
+    def _emit_shape(self, sym: Symbol, local: bool) -> Tuple[List, List]:
+        """Evaluate one array's declared shape at frame time (lows,
+        strides and — for locals — the backing list), folding constant
+        dimensions into codegen-time ints."""
+        lows: List = []
+        extents: List = []
         for d in sym.dims:
-            lows.append(f"int({self.expr(d.low)})")
+            lo = _const_index(d.low)
+            if lo is None:
+                t, _ = self.index(d.low)
+                lo = self.tmp("_d")
+                self.w(f"{lo} = {t}")
+            if d.high is None:
+                lows.append(lo)
+                extents.append(None)
+                continue
+            hi = _const_index(d.high)
+            if hi is None:
+                t, _ = self.index(d.high)
+                hi = self.tmp("_d")
+                self.w(f"{hi} = {t}")
+            if isinstance(lo, int) and isinstance(hi, int):
+                extents.append(hi - lo + 1)
+            else:
+                ext = self.tmp("_d")
+                self.w(f"{ext} = {hi} - {lo} + 1")
+                extents.append(ext)
+            lows.append(lo)
+        strides: List = []
+        acc: object = 1
+        for ext in extents:
             strides.append(acc)
-            if d.high is not None:
-                ext = (f"(int({self.expr(d.high)}) - "
-                       f"int({self.expr(d.low)}) + 1)")
-                acc = f"({acc} * {ext})" if acc != "1" else ext
-        self.out(indent, f"lo_{sym.name} = ({', '.join(lows)},)")
-        self.out(indent, f"st_{sym.name} = ({', '.join(strides)},)")
+            if ext is None:
+                continue
+            if isinstance(acc, int) and isinstance(ext, int):
+                acc = acc * ext
+            else:
+                nxt = self.tmp("_d")
+                self.w(f"{nxt} = {acc} * {ext}")
+                acc = nxt
+        if local:
+            self.w(f"buf_{sym.name} = [0.0] * {acc}")
+            if self.dyn:
+                bname = f"{self.proc.name}::{sym.name}"
+                self.w(f"_dd.names[id(buf_{sym.name})] = {bname!r}")
+        return lows, strides
 
 
-def transpile_to_python(program: Program) -> str:
-    """Emit a Python module source with a ``run(inputs=())`` entry point
-    returning the list of PRINTed values."""
-    parts = [_PREAMBLE]
-    for name in sorted(program.procedures):
-        if name == program.main:
-            continue
-        emitter = _ProcEmitter(program, program.procedures[name])
-        parts.append("\n".join(emitter.emit()))
-    main = program.main_procedure()
-    emitter = _ProcEmitter(program, main)
-    parts.append("\n".join(emitter.emit()))
-    commons = {name: block.size
-               for name, block in program.commons.items()}
-    parts.append(f'''
-def run(inputs=()):
-    _cm = {{name: [0.0] * size
-           for name, size in {commons!r}.items()}}
-    _out = []
-    _in = list(inputs)
+class _ModuleEmitter:
+    """Emits one whole program for one instrumentation variant."""
+
+    def __init__(self, program: Program, variant: str, skip_ids=()):
+        if variant not in (VARIANT_PLAIN, VARIANT_PROFILE,
+                           VARIANT_DYNDEP):
+            raise TranspileUnsupported(f"unknown variant {variant!r}")
+        if program.main is None:
+            raise ValueError("program has no PROGRAM unit")
+        self.program = program
+        self.variant = variant
+        self.skip = frozenset(skip_ids or ())
+        self.loop_index = {loop.stmt_id: i
+                           for i, loop in enumerate(loop_table(program))}
+        if variant == VARIANT_PROFILE:
+            self.extra_args = ", _pt, _pv, _pi, _pn, _po"
+        elif variant == VARIANT_DYNDEP:
+            self.extra_args = ", _dd"
+        else:
+            self.extra_args = ""
+        # minimum positional arity seen per callee: array formals at or
+        # past it need the unbound-None guard
+        self._min_args: Dict[str, int] = {}
+        for proc in program.procedures.values():
+            for s in proc.body.walk():
+                if isinstance(s, CallStmt):
+                    prev = self._min_args.get(s.callee)
+                    if prev is None or len(s.args) < prev:
+                        self._min_args[s.callee] = len(s.args)
+
+    def may_underpass(self, proc_name: str, pos: int) -> bool:
+        least = self._min_args.get(proc_name)
+        return least is not None and least <= pos
+
+    def emit(self) -> str:
+        program = self.program
+        parts = [
+            f'"""Transpiled from {program.name!r} '
+            f'(variant={self.variant}, codegen v{CODEGEN_VERSION}).\n'
+            'Generated by repro.runtime.transpile - do not edit."""',
+            "",
+            _PREAMBLE,
+        ]
+        if self.variant == VARIANT_DYNDEP:
+            parts.append(_DD_PREAMBLE)
+        parts.append(f"\n_NLOOPS = {len(self.loop_index)}\n")
+        for name in sorted(program.procedures):
+            emitter = _ProcEmitter(self, program.procedures[name])
+            parts.append("\n")
+            parts.extend(emitter.emit())
+        if self.variant == VARIANT_PLAIN:
+            commons = ", ".join(
+                f"{name!r}: [0.0] * {block.size}"
+                for name, block in program.commons.items())
+            parts.extend([
+                "\n",
+                f"def run(inputs=(), max_ops={_DEFAULT_MAX_OPS}):",
+                f"    _cm = {{{commons}}}",
+                "    _out = []",
+                "    _in = list(inputs)",
+                "    _s = [0, None]",
+                "    try:",
+                f"        p_{program.main}(_cm, _out, _in, _s, max_ops)",
+                "    except _Stop:",
+                "        pass",
+                "    return _out",
+            ])
+        return "\n".join(parts) + "\n"
+
+
+def transpile_to_python(program: Program, variant: str = VARIANT_PLAIN,
+                        skip_stmt_ids=()) -> str:
+    """Generate a self-contained Python module for ``program``.
+
+    ``variant`` selects the instrumentation baked into the source
+    (:data:`VARIANT_PLAIN` / :data:`VARIANT_PROFILE` /
+    :data:`VARIANT_DYNDEP`); ``skip_stmt_ids`` is the dyndep
+    reduction/induction skip set, compiled to uninstrumented accesses.
+    Raises :class:`TranspileUnsupported` for programs the generator
+    cannot express (the engine falls back to the closure engine)."""
+    return _ModuleEmitter(program, variant, skip_stmt_ids).emit()
+
+
+# ---------------------------------------------------------------------------
+# module cache
+# ---------------------------------------------------------------------------
+
+class TranspiledModule:
+    """One generated module, exec'd and engine-ready."""
+
+    __slots__ = ("source", "namespace", "variant", "nloops")
+
+    def __init__(self, source: str, namespace: Dict, variant: str,
+                 nloops: int):
+        self.source = source
+        self.namespace = namespace
+        self.variant = variant
+        self.nloops = nloops
+
+
+_UNSUPPORTED = object()          # negative-cache sentinel
+
+_MEMO_CAP = 128
+_lock = threading.Lock()
+_memo: "OrderedDict[tuple, object]" = OrderedDict()
+_counters = {"hit": 0, "miss": 0}
+_codegen_store = None
+
+
+def set_codegen_store(store) -> None:
+    """Install a persistent cache (an
+    :class:`~repro.service.artifacts.ArtifactStore`) for generated
+    module source.  Keys combine the program source hash, variant, skip
+    signature, and :data:`CODEGEN_VERSION`, so a stale entry can never
+    be served.  Pass ``None`` to disable."""
+    global _codegen_store
+    with _lock:
+        _codegen_store = store
+
+
+def codegen_cache_stats() -> Dict[str, int]:
+    """Monotonic counters: ``hit`` (codegen skipped — in-process memo
+    or persistent store) and ``miss`` (source freshly generated)."""
+    with _lock:
+        return dict(_counters)
+
+
+def reset_codegen_cache() -> None:
+    """Drop the in-process memo and zero the counters (for tests)."""
+    with _lock:
+        _memo.clear()
+        _counters["hit"] = 0
+        _counters["miss"] = 0
+
+
+def _raise_budget(ops, mo):
+    raise budget_error(ops, mo)
+
+
+def _bind_runtime(ns: Dict) -> None:
+    """Swap a module's self-contained error/budget shims for the
+    runtime's real types so all three engines raise identically."""
+    ns["_Err"] = RuntimeErrorInProgram
+    ns["_bud"] = _raise_budget
+
+
+def _exec_module(source: str, program: Program,
+                 variant: str) -> TranspiledModule:
+    ns: Dict = {}
+    exec(compile(source, f"<transpiled:{program.name}>", "exec"), ns)
+    _bind_runtime(ns)
+    return TranspiledModule(source, ns, variant,
+                            int(ns.get("_NLOOPS", 0)))
+
+
+def _cache_key(program: Program, variant: str,
+               skip_ids) -> Optional[tuple]:
+    src = program.source_text or ""
+    if not src:
+        return None                      # no stable identity: no caching
+    digest = hashlib.sha256(src.encode("utf-8")).hexdigest()
+    return (digest, variant, _skip_signature(program, skip_ids),
+            CODEGEN_VERSION)
+
+
+def _store_key(key: tuple) -> str:
+    from ..service.artifacts import canonical_json
+    payload = canonical_json({"src": key[0], "variant": key[1],
+                              "skip": list(key[2]), "codegen": key[3]})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _remember(key: tuple, value) -> None:
+    with _lock:
+        _memo[key] = value
+        _memo.move_to_end(key)
+        while len(_memo) > _MEMO_CAP:
+            _memo.popitem(last=False)
+
+
+def load_module(program: Program, variant: str = VARIANT_PLAIN,
+                skip_ids=()) -> TranspiledModule:
+    """Generated module for ``(program, variant, skip set)`` via the
+    in-process memo, then the persistent store, then fresh codegen."""
+    key = _cache_key(program, variant, skip_ids)
+    if key is not None:
+        with _lock:
+            cached = _memo.get(key)
+            if cached is not None:
+                _memo.move_to_end(key)
+                _counters["hit"] += 1
+            store = _codegen_store
+        if cached is _UNSUPPORTED:
+            raise TranspileUnsupported(
+                f"cannot transpile {program.name} (cached verdict)")
+        if cached is not None:
+            return cached
+        if store is not None:
+            art = store.get(_store_key(key))
+            if art is not None and isinstance(art.get("source"), str):
+                mod = _exec_module(art["source"], program, variant)
+                with _lock:
+                    _counters["hit"] += 1
+                _remember(key, mod)
+                return mod
+    with _lock:
+        _counters["miss"] += 1
     try:
-        p_{program.main}(_cm, _out, _in)
-    except _Stop:
-        pass
-    return _out
-''')
-    return "\n\n".join(parts)
+        source = transpile_to_python(program, variant, skip_ids)
+    except TranspileUnsupported:
+        if key is not None:
+            _remember(key, _UNSUPPORTED)
+        raise
+    mod = _exec_module(source, program, variant)
+    if key is not None:
+        _remember(key, mod)
+        with _lock:
+            store = _codegen_store
+        if store is not None:
+            store.put(_store_key(key), {"source": source})
+    return mod
 
 
 def compile_program(program: Program):
-    """Transpile + exec; returns the ``run`` callable."""
-    source = transpile_to_python(program)
-    namespace: Dict[str, object] = {}
-    exec(compile(source, f"<transpiled {program.name}>", "exec"),
-         namespace)
-    return namespace["run"]
+    """Transpile (once) and return the module-level ``run(inputs,
+    max_ops)`` callable.  Memoized on the program's source hash: repeat
+    calls for an unchanged program skip codegen and re-``exec``."""
+    return load_module(program, VARIANT_PLAIN).namespace["run"]
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+
+class TranspiledEngine:
+    """Drop-in engine running generated Python.  Same constructor and
+    public attributes as the closure engine; observer support is
+    narrower by design — no observers (plain), or a lone fresh
+    ``LoopProfiler`` / ``DynamicDependenceAnalyzer`` (compiled to
+    codegen-time instrumentation).  Everything else falls back to the
+    closure engine, and ``engine_label`` then reports the
+    ``compiled/<variant>`` that actually ran."""
+
+    __slots__ = ("program", "inputs", "observers", "_ops", "max_ops",
+                 "outputs", "_current_stmt", "commons", "variant",
+                 "specialize", "label", "_delegate")
+
+    def __init__(self, program: Program, inputs: Sequence[float] = (),
+                 observers: Sequence = (),
+                 max_ops: int = _DEFAULT_MAX_OPS,
+                 specialize: bool = True):
+        self.program = program
+        self.inputs = list(inputs)
+        self.observers = list(observers)
+        self._delegate = None
+        self.ops = 0
+        self.max_ops = max_ops
+        self.outputs: List = []
+        self.current_stmt: Optional[Statement] = None
+        self.commons: Dict[str, Buffer] = {}
+        self.variant: Optional[str] = None
+        self.specialize = specialize
+        self.label: Optional[str] = None
+        for name, block in program.commons.items():
+            self.commons[name] = Buffer(f"/{name}/", block.size)
+
+    # Observers attached to *this* engine read ``.ops`` /
+    # ``.current_stmt`` mid-run (the profiler computes per-loop op
+    # deltas from them), so during a fallback these must be live views
+    # of the delegate, not stale snapshots mirrored after the fact.
+    @property
+    def ops(self) -> int:
+        d = self._delegate
+        return d.ops if d is not None else self._ops
+
+    @ops.setter
+    def ops(self, value: int) -> None:
+        self._ops = value
+
+    @property
+    def current_stmt(self):
+        d = self._delegate
+        return d.current_stmt if d is not None else self._current_stmt
+
+    @current_stmt.setter
+    def current_stmt(self, value) -> None:
+        self._current_stmt = value
+
+    def _select(self):
+        if not self.observers:
+            return VARIANT_PLAIN, None
+        if self.specialize:
+            from .compile_engine import _specialized_variant
+            upgraded = _specialized_variant(self.observers)
+            if upgraded == "profile":
+                return VARIANT_PROFILE, self.observers[0]
+            if upgraded == "dyndep":
+                return VARIANT_DYNDEP, self.observers[0]
+        return None, None
+
+    def run(self) -> "TranspiledEngine":
+        from ..obs import get_tracer
+        if self.program.main is None:
+            raise ValueError("program has no PROGRAM unit")
+        variant, special = self._select()
+        if variant is None:
+            return self._run_fallback()
+        skip = special.skip_stmt_ids if variant == VARIANT_DYNDEP else ()
+        tracer = get_tracer()
+        before = codegen_cache_stats()["miss"]
+        try:
+            with tracer.span("codegen", engine="transpiled",
+                             variant=variant) as cg:
+                mod = load_module(self.program, variant, skip)
+                cg.tag(cached=codegen_cache_stats()["miss"] == before)
+        except TranspileUnsupported:
+            return self._run_fallback()
+        self.variant = variant
+        self.label = f"transpiled/{variant}"
+        with tracer.span("execute", engine="transpiled",
+                         program=self.program.name) as sp:
+            self._execute(mod, variant, special)
+            sp.tag(ops=self.ops, variant=variant)
+        return self
+
+    def _run_fallback(self) -> "TranspiledEngine":
+        """Observer configuration or program shape the generator can't
+        express: delegate to the closure engine (bit-identical
+        semantics) and mirror its results, so callers — profilers, the
+        parallel executor, sessions — keep seeing one engine object."""
+        from .compile_engine import CompiledEngine, engine_label
+        delegate = CompiledEngine(self.program, self.inputs,
+                                  self.observers, self.max_ops,
+                                  specialize=self.specialize)
+        self._delegate = delegate
+        try:
+            delegate.run()
+        finally:
+            self._delegate = None
+            self.ops = delegate.ops
+            self.outputs = delegate.outputs
+            self.commons = delegate.commons
+            self.current_stmt = delegate.current_stmt
+            self.variant = delegate.variant
+            self.label = engine_label(delegate)
+        return self
+
+    # -- execution -----------------------------------------------------------
+    def _execute(self, mod: TranspiledModule, variant: str,
+                 special) -> None:
+        ns = mod.namespace
+        program = self.program
+        cm = {name: [0.0] * block.size
+              for name, block in program.commons.items()}
+        out: List = []
+        inp = list(self.inputs)
+        s: List = [0, None]
+        extra: tuple = ()
+        state = None
+        if variant == VARIANT_PROFILE:
+            nl = mod.nloops
+            state = ([0] * nl, [0] * nl, [0] * nl, [False] * nl, [])
+            extra = state
+        elif variant == VARIANT_DYNDEP:
+            from .dyndep import _MAX_WITNESSES
+            stride = max(1, int(special.sample_stride))
+            state = ns["_DD"](0 if stride == 1 else 2 * stride,
+                              _MAX_WITNESSES)
+            for name, lst in cm.items():
+                state.names[id(lst)] = f"/{name}/"
+            extra = (state,)
+        entry = ns[f"p_{program.main}"]
+        stop = ns["_Stop"]
+        try:
+            try:
+                entry(cm, out, inp, s, self.max_ops, *extra)
+            except stop:
+                pass
+        finally:
+            # deliver results even on abnormal unwinds (budget aborts,
+            # program errors) — oracle observers hold partial data too
+            self.ops = s[0]
+            self.outputs = out
+            for name, buf in self.commons.items():
+                buf.data[:] = cm[name]
+            if variant == VARIANT_PROFILE:
+                self._fill_profile(special, state)
+            elif variant == VARIANT_DYNDEP:
+                self._fill_dyndep(special, state)
+
+    def _fill_profile(self, obs, state) -> None:
+        from .profiler import LoopProfile
+        total, inv, iters, _seen, order = state
+        loops = loop_table(self.program)
+        profiles = obs.profiles
+        for i in order:
+            loop = loops[i]
+            prof = profiles.get(loop.stmt_id)
+            if prof is None:
+                prof = LoopProfile(loop)
+                profiles[loop.stmt_id] = prof
+            prof.total_ops += total[i]
+            prof.invocations += inv[i]
+            prof.iterations += iters[i]
+
+    def _fill_dyndep(self, obs, dd) -> None:
+        sid = [loop.stmt_id for loop in loop_table(self.program)]
+        obs.sampled_accesses += dd.sampled
+        obs.skipped_accesses += dd.skipped
+        for lid, n in dd.carried.items():
+            key = sid[lid]
+            obs.carried[key] = obs.carried.get(key, 0) + n
+        for (lid, bname), n in dd.by_var.items():
+            vkey = (sid[lid], bname)
+            obs.carried_by_var[vkey] = \
+                obs.carried_by_var.get(vkey, 0) + n
+        maxw = dd.maxw
+        for lid, pairs in dd.wit.items():
+            dst = obs.witnesses.setdefault(sid[lid], [])
+            for pair in pairs:
+                if pair not in dst and len(dst) < maxw:
+                    dst.append(pair)
+        obs._invocations.update(
+            {sid[lid]: n for lid, n in dd.inv.items()})
+        obs._buffers.update(dd.bufs)
+        for bid, sh in dd.shadow.items():
+            for off, ent in enumerate(sh):
+                if ent is not None:
+                    snap = tuple((sid[cell[0]], cell[1], it)
+                                 for cell, it in ent[0])
+                    obs._last_write[(bid, off)] = (snap, ent[1])

@@ -102,8 +102,10 @@ def validate_options(options, *, allow_faults: bool = False) -> Optional[Dict]:
     engine = out.get("engine")
     if engine is not None:
         from ..runtime.interpreter import (COMPILED_ENGINE_NAMES,
+                                           TRANSPILED_ENGINE_NAMES,
                                            TREE_ENGINE_NAMES)
-        names = COMPILED_ENGINE_NAMES + TREE_ENGINE_NAMES
+        names = (COMPILED_ENGINE_NAMES + TRANSPILED_ENGINE_NAMES
+                 + TREE_ENGINE_NAMES)
         if engine not in names:
             raise ValueError(f"unknown engine {engine!r}; choose from "
                              f"{sorted(names)}")

@@ -74,26 +74,53 @@ from .jobs import AnalysisRequest, Job, execute_request
 from .metrics import NULL_METRICS, ServiceMetrics
 
 
+def _stats_delta(before: Dict, after: Dict) -> Dict:
+    return {k: after[k] - before.get(k, 0) for k in after}
+
+
+_worker_codegen_root: Optional[str] = None
+
+
+def _ensure_codegen_store(root: Optional[str]) -> None:
+    """Point this process's transpiler at the scheduler's persistent
+    codegen cache (worker processes have their own module globals, so
+    the registration the scheduler did does not carry over the fork)."""
+    global _worker_codegen_root
+    if root and root != _worker_codegen_root:
+        from ..runtime.transpile import set_codegen_store
+        set_codegen_store(ArtifactStore(root))
+        _worker_codegen_root = root
+
+
 def _pool_worker(request_dict: Dict,
-                 trace_context: Optional[Dict] = None) -> Dict:
+                 trace_context: Optional[Dict] = None,
+                 codegen_root: Optional[str] = None) -> Dict:
     """Top-level (picklable) worker entry point.
 
-    Without a trace context this returns the bare artifact (the zero-cost
-    path).  With one, the worker builds a child tracer whose root spans
-    parent onto the scheduler's ``submit`` span, runs the request under
-    it, and ships the spans back for the parent to reattach."""
+    Returns an envelope ``{artifact, spans, codegen}``: spans are only
+    populated when a trace context was shipped (the worker then builds
+    a child tracer whose root parents onto the scheduler's ``submit``
+    span), and ``codegen`` carries this request's codegen-cache hit and
+    miss deltas for the scheduler's metrics."""
     # This process is sacrificial: process-killing fault directives are
     # allowed to execute here (and *only* here — inline execution in the
     # scheduler/server process neutralizes them).
     mark_worker_process()
+    _ensure_codegen_store(codegen_root)
+    from ..runtime.transpile import codegen_cache_stats
+    before = codegen_cache_stats()
     request = AnalysisRequest.from_dict(request_dict)
+    spans = None
     if trace_context is None:
-        return execute_request(request)
-    tracer = Tracer.from_context(trace_context)
-    with activate(tracer):
-        with tracer.span("job", target=request.describe()):
-            artifact = execute_request(request)
-    return {"artifact": artifact, "spans": tracer.to_dicts()}
+        artifact = execute_request(request)
+    else:
+        tracer = Tracer.from_context(trace_context)
+        with activate(tracer):
+            with tracer.span("job", target=request.describe()):
+                artifact = execute_request(request)
+        spans = tracer.to_dicts()
+    return {"artifact": artifact, "spans": spans,
+            "codegen": _stats_delta(before, codegen_cache_stats())}
 
 
 class BatchScheduler:
@@ -115,6 +142,13 @@ class BatchScheduler:
                  watchdog_interval_s: float = 0.02):
         self.store = store if store is not None else ArtifactStore(None)
         self.metrics = metrics
+        # persistent codegen cache rides in a subtree of the job store;
+        # workers point at the same root via _ensure_codegen_store
+        self.codegen_root: Optional[str] = None
+        if self.store.root is not None:
+            from ..runtime.transpile import set_codegen_store
+            self.codegen_root = str(self.store.root / "codegen")
+            set_codegen_store(ArtifactStore(self.codegen_root))
         self.workers = workers
         self.max_retries = max_retries
         self.inline = inline
@@ -376,11 +410,21 @@ class BatchScheduler:
             self.metrics.incr("jobs_evicted")
 
     # -- execution ---------------------------------------------------------
+    def _count_codegen(self, delta: Optional[Dict]) -> None:
+        if not delta:
+            return
+        if delta.get("hit"):
+            self.metrics.incr("codegen_cache_hit", delta["hit"])
+        if delta.get("miss"):
+            self.metrics.incr("codegen_cache_miss", delta["miss"])
+
     def _run_inline(self, job: Job) -> None:
+        from ..runtime.transpile import codegen_cache_stats
         job.mark_running()
         job_tracer: Optional[Tracer] = None
         if self.tracer.enabled:
             job_tracer = Tracer.from_context(self.tracer.export_context())
+        cg_before = codegen_cache_stats()
         try:
             with self.metrics.time_phase("execute"):
                 if job_tracer is not None:
@@ -391,10 +435,14 @@ class BatchScheduler:
                 else:
                     artifact = execute_request(job.request)
         except Exception as exc:               # noqa: BLE001
+            self._count_codegen(_stats_delta(cg_before,
+                                             codegen_cache_stats()))
             if job_tracer is not None:
                 self._record_trace(job, job_tracer.to_dicts())
             self._finish_failed(job, exc)
         else:
+            self._count_codegen(_stats_delta(cg_before,
+                                             codegen_cache_stats()))
             if job_tracer is not None:
                 self._record_trace(job, job_tracer.to_dicts())
             self._finish_done(job, artifact)
@@ -417,7 +465,7 @@ class BatchScheduler:
             pool, gen = self._get_pool()
             job.generation = gen
             future = pool.submit(_pool_worker, job.request.to_dict(),
-                                 trace_ctx)
+                                 trace_ctx, self.codegen_root)
         except (BrokenExecutor, RuntimeError) as exc:
             self._handle_crash(job, exc, gen)
             return
@@ -444,10 +492,8 @@ class BatchScheduler:
             result = future.result()
             if traced:
                 self._record_trace(job, result.get("spans") or [])
-                artifact = result["artifact"]
-            else:
-                artifact = result
-            self._finish_done(job, artifact, pooled=True)
+            self._count_codegen(result.get("codegen"))
+            self._finish_done(job, result["artifact"], pooled=True)
         elif isinstance(exc, BrokenExecutor):
             self.metrics.incr("futures_broken")
             self._handle_crash(job, exc, gen)

@@ -162,20 +162,21 @@ def test_interpreter_vs_transpiled_backend(source):
 @given(programs())
 def test_budget_exhaustion_is_identical_across_engines(source):
     """Budget-bounded differential case: with ``max_ops`` set below a
-    program's total op count, both engines must fail with the *same*
-    unified :class:`OpsBudgetExceeded` — identical type, identical
-    message — never a partial result or a divergent error string."""
+    program's total op count, all three engines must fail with the
+    *same* unified :class:`OpsBudgetExceeded` — identical type,
+    identical message — never a partial result or a divergent error
+    string."""
     from repro.runtime import OpsBudgetExceeded
     prog = build_program(source, "fuzz")
     total = run_program(prog, max_ops=2_000_000, engine="tree").ops
     budget = max(1, total // 2)
     messages = []
-    for engine in ("tree", "compiled"):
+    for engine in ("tree", "compiled", "transpiled"):
         with pytest.raises(OpsBudgetExceeded) as exc_info:
             run_program(prog, max_ops=budget, engine=engine)
         assert exc_info.value.max_ops == budget
         messages.append(str(exc_info.value))
-    assert messages[0] == messages[1]
+    assert len(set(messages)) == 1
     assert messages[0] == \
         f"operation budget exceeded (max_ops={budget})"
 
@@ -206,6 +207,29 @@ def test_compiled_engine_matches_tree_oracle(source):
     be identical, not merely close."""
     prog = build_program(source, "fuzz")
     _assert_engine_parity(prog, prog, max_ops=2_000_000, context="fuzz")
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_transpiled_engine_matches_tree_oracle(source):
+    """Differential fuzzing of the code-generating engine against the
+    tree-walking reference: the generated Python (with its range-driven
+    loops, merged op charges, precharged bodies, hoisting and
+    store-forwarding) must reproduce outputs, COMMON memory, and op
+    counts exactly — and report the ``transpiled/plain`` label."""
+    import numpy as np
+    from repro.runtime.compile_engine import engine_label
+    prog = build_program(source, "fuzz")
+    tree = run_program(prog, max_ops=2_000_000, engine="tree")
+    trans = run_program(prog, max_ops=2_000_000, engine="transpiled")
+    assert engine_label(trans) == "transpiled/plain"
+    assert trans.outputs == tree.outputs
+    assert trans.ops == tree.ops, (
+        f"op-count drift tree={tree.ops} transpiled={trans.ops}")
+    assert set(trans.commons) == set(tree.commons)
+    for name, buf in tree.commons.items():
+        assert np.array_equal(trans.commons[name].data, buf.data), (
+            f"COMMON /{name}/ contents differ")
 
 
 @settings(max_examples=30, deadline=None)

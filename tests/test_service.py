@@ -192,6 +192,34 @@ def test_scheduler_serves_repeats_from_cache(tmp_path):
     assert metrics.counter("jobs_served_cached") == 1
 
 
+def test_warm_repeat_transpiled_job_skips_codegen(tmp_path):
+    """First transpiled job pays codegen (``codegen_cache_miss``); a
+    repeat of the same program (distinct salt, so the artifact cache
+    can't serve it) reuses the generated modules and only the hit
+    counter moves."""
+    from repro.runtime.transpile import (reset_codegen_cache,
+                                         set_codegen_store)
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path, metrics=metrics)
+    reset_codegen_cache()
+    try:
+        with BatchScheduler(store, metrics=metrics, inline=True) as sched:
+            cold = sched.submit(AnalysisRequest(
+                "ora", options={"engine": "transpiled", "salt": "cg1"}))
+            assert cold.state == "done"
+            misses = metrics.counter("codegen_cache_miss")
+            assert misses >= 1, "cold transpiled job never ran codegen"
+            warm = sched.submit(AnalysisRequest(
+                "ora", options={"engine": "transpiled", "salt": "cg2"}))
+            assert warm.state == "done" and not warm.cached
+            assert metrics.counter("codegen_cache_hit") >= 1
+            assert metrics.counter("codegen_cache_miss") == misses, (
+                "warm repeat re-ran codegen")
+    finally:
+        set_codegen_store(None)
+        reset_codegen_cache()
+
+
 def test_scheduler_dedupes_identical_inflight_requests(monkeypatch):
     metrics = ServiceMetrics()
     sched = BatchScheduler(ArtifactStore(None), metrics=metrics)

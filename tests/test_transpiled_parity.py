@@ -1,0 +1,290 @@
+"""Bit-parity of the transpiled (code-generating) engine vs the oracle.
+
+The transpiled engine emits plain Python source per instrumentation
+variant (``plain`` / ``profile`` / ``dyndep``) and runs it; these tests
+pin the contract the generator's optimizations (range-driven loops,
+merged per-iteration charges, whole-loop precharging, invariant
+hoisting, store-forwarding, coercion elision) must honor:
+
+* **plain runs** are bit-identical to the tree-walking oracle — printed
+  outputs, op counts, final COMMON memory — over every corpus workload,
+* **codegen-time instrumentation** reproduces the oracle's analyzer
+  state exactly: LoopProfiler numbers including first-touch order,
+  dyndep census / witness pairs / sampling counters at stride 1 and 2,
+* the op budget aborts with the *same* ``OpsBudgetExceeded`` message,
+* unsupported observer configurations **fall back** to the closure
+  engine (and still agree), with ``engine_label`` naming what ran,
+* generated modules are **cached** — in-process memo and the persistent
+  ``ArtifactStore`` — and repeat compilations skip codegen,
+* generated-module **hygiene**: user identifiers echoing the preamble
+  helper names never capture them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import build_program
+from repro.runtime import (OpsBudgetExceeded, analyze_dependences,
+                           profile_program, reduction_stmt_ids,
+                           run_program)
+from repro.runtime.compile_engine import engine_label, make_engine
+from repro.runtime.dyndep import DynamicDependenceAnalyzer
+from repro.runtime.profiler import LoopProfiler
+from repro.runtime.transpile import (codegen_cache_stats, compile_program,
+                                     load_module, reset_codegen_cache,
+                                     set_codegen_store,
+                                     transpile_to_python)
+from repro.workloads import ALL
+
+CORPUS = sorted(ALL)
+
+_cache = {}
+
+
+def _program(name):
+    """Build each workload once so stmt_ids line up across engines."""
+    if name not in _cache:
+        w = ALL[name]
+        _cache[name] = (build_program(w.source, w.name), w.inputs)
+    return _cache[name]
+
+
+def _profile_state(p):
+    """Everything a LoopProfiler exposes, including first-touch order."""
+    return ([(prof.loop.stmt_id, prof.total_ops, prof.invocations,
+              prof.iterations) for prof in p.executed_loops()],
+            p.total_ops)
+
+
+def _dyndep_state(d):
+    """Everything a DynamicDependenceAnalyzer exposes."""
+    return (d.carried, d.carried_by_var, d.witnesses,
+            d.sampled_accesses, d.skipped_accesses, d._invocations)
+
+
+# -- whole-corpus parity ------------------------------------------------------
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_plain_parity_full_corpus(name):
+    prog, inputs = _program(name)
+    tree = run_program(prog, inputs, engine="tree")
+    trans = run_program(prog, inputs, engine="transpiled")
+    assert engine_label(trans) == "transpiled/plain"
+    assert trans.outputs == tree.outputs
+    assert trans.ops == tree.ops, (
+        f"{name}: op-count drift tree={tree.ops} transpiled={trans.ops}")
+    assert set(trans.commons) == set(tree.commons)
+    for cname, buf in tree.commons.items():
+        assert np.array_equal(trans.commons[cname].data, buf.data), (
+            f"{name}: COMMON /{cname}/ contents differ")
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_profiler_parity_full_corpus(name):
+    prog, inputs = _program(name)
+    tree = profile_program(prog, inputs, engine="tree")
+    fast = profile_program(prog, inputs, engine="transpiled")
+    assert engine_label(fast.interpreter) == "transpiled/profile"
+    assert _profile_state(fast) == _profile_state(tree)
+
+
+@pytest.mark.parametrize("stride", [1, 2])
+@pytest.mark.parametrize("name", CORPUS)
+def test_dyndep_parity_full_corpus(name, stride):
+    prog, inputs = _program(name)
+    skip = reduction_stmt_ids(prog)
+    tree = analyze_dependences(prog, inputs, skip_stmt_ids=skip,
+                               sample_stride=stride, engine="tree")
+    fast = analyze_dependences(prog, inputs, skip_stmt_ids=skip,
+                               sample_stride=stride, engine="transpiled")
+    assert engine_label(fast.interpreter) == "transpiled/dyndep"
+    assert _dyndep_state(fast) == _dyndep_state(tree)
+
+
+# -- budget enforcement -------------------------------------------------------
+
+def test_budget_abort_message_identical_across_engines():
+    """All three engines must raise the *same* unified exception with
+    the *same* message (the abort may land a few ops apart — the
+    generated code charges loops in merged batches — but the contract
+    is the error type and text, which carry only ``max_ops``)."""
+    prog, inputs = _program("mdg")
+    total = run_program(prog, inputs, engine="tree").ops
+    budget = max(1, total // 2)
+    messages = []
+    for engine in ("tree", "compiled", "transpiled"):
+        with pytest.raises(OpsBudgetExceeded) as exc_info:
+            run_program(prog, inputs, max_ops=budget, engine=engine)
+        assert exc_info.value.max_ops == budget
+        messages.append(str(exc_info.value))
+    assert len(set(messages)) == 1
+    assert messages[0] == f"operation budget exceeded (max_ops={budget})"
+
+
+# -- fallback to the closure engine -------------------------------------------
+
+def test_extra_observers_fall_back_and_agree():
+    """Profiler + dyndep attached together has no codegen variant: the
+    transpiled engine must delegate to the closure engine's generic
+    observer path and the pair must still match the oracle pair."""
+    prog, inputs = _program("mgrid")
+    p, d = LoopProfiler(), DynamicDependenceAnalyzer()
+    eng = make_engine(prog, inputs, observers=[], engine="transpiled")
+    p.attach(eng)
+    d.attach(eng)
+    eng.run()
+    p.finish()
+    assert engine_label(eng) == "compiled/full"
+    tp, td = LoopProfiler(), DynamicDependenceAnalyzer()
+    teng = make_engine(prog, inputs, observers=[], engine="tree")
+    tp.attach(teng)
+    td.attach(teng)
+    teng.run()
+    tp.finish()
+    assert _profile_state(p) == _profile_state(tp)
+    assert _dyndep_state(d) == _dyndep_state(td)
+
+
+def test_specialize_false_falls_back_same_results():
+    prog, inputs = _program("mdg")
+    fast_p = LoopProfiler()
+    fast = make_engine(prog, inputs, observers=[], engine="transpiled")
+    fast_p.attach(fast)
+    fast.run()
+    fast_p.finish()
+    assert engine_label(fast) == "transpiled/profile"
+    slow_p = LoopProfiler()
+    slow = make_engine(prog, inputs, observers=[], engine="transpiled",
+                       specialize=False)
+    slow_p.attach(slow)
+    slow.run()
+    slow_p.finish()
+    assert engine_label(slow) == "compiled/loops"
+    assert _profile_state(fast_p) == _profile_state(slow_p)
+
+
+def test_parallel_executor_falls_back_and_matches():
+    """The parallel executor attaches its own cost observer, which has
+    no codegen variant — engine="transpiled" must fall back to the
+    closure engine and produce the identical machine account."""
+    from repro.parallelize import Parallelizer
+    from repro.runtime import ALPHASERVER_8400
+    from repro.runtime.parallel_exec import ParallelExecutor
+    prog, inputs = _program("mdg")
+    plan = Parallelizer(prog).plan()
+    runs = {}
+    for engine in ("compiled", "transpiled"):
+        ex = ParallelExecutor(prog, plan, ALPHASERVER_8400,
+                              inputs=inputs, engine=engine)
+        runs[engine] = ex.run()
+        assert engine_label(ex.interp) == "compiled/full", engine
+    comp, trans = runs["compiled"], runs["transpiled"]
+    assert trans.par_ops == comp.par_ops
+    assert trans.speedup == comp.speedup
+    assert trans.outputs == comp.outputs
+
+
+# -- codegen caching ----------------------------------------------------------
+
+def test_compile_program_memoizes_on_source_hash():
+    set_codegen_store(None)      # isolate from scheduler-installed stores
+    reset_codegen_cache()
+    prog, _ = _program("ora")
+    before = codegen_cache_stats()
+    run1 = compile_program(prog)
+    mid = codegen_cache_stats()
+    assert mid["miss"] == before["miss"] + 1
+    run2 = compile_program(prog)
+    after = codegen_cache_stats()
+    assert run2 is run1, "repeat compile must return the memoized module"
+    assert after["hit"] == mid["hit"] + 1
+    assert after["miss"] == mid["miss"]
+    # a structurally identical rebuild (same source hash) also hits
+    w = ALL["ora"]
+    rebuilt = build_program(w.source, w.name)
+    assert compile_program(rebuilt) is run1
+
+
+def test_persistent_store_serves_generated_source(tmp_path):
+    """With an ArtifactStore installed, a cold process (simulated by
+    dropping the in-process memo) re-uses the stored source instead of
+    re-running codegen."""
+    from repro.service.artifacts import ArtifactStore
+    prog, inputs = _program("ora")
+    oracle = run_program(prog, inputs, engine="tree")
+    set_codegen_store(ArtifactStore(str(tmp_path)))
+    try:
+        reset_codegen_cache()
+        mod = load_module(prog)
+        assert codegen_cache_stats() == {"hit": 0, "miss": 1}
+        reset_codegen_cache()                  # "new process", store warm
+        warm = load_module(prog)
+        assert codegen_cache_stats() == {"hit": 1, "miss": 0}
+        assert warm.source == mod.source
+        assert warm.namespace["run"](list(inputs)) == \
+            pytest.approx([float(v) for v in oracle.outputs])
+    finally:
+        set_codegen_store(None)
+        reset_codegen_cache()
+
+
+def test_engine_tags_codegen_span_with_cache_state():
+    from repro.obs import Tracer, activate
+    prog, inputs = _program("ora")
+    set_codegen_store(None)      # isolate from scheduler-installed stores
+    reset_codegen_cache()
+    tracer = Tracer()
+    with activate(tracer):
+        run_program(prog, inputs, engine="transpiled")
+        run_program(prog, inputs, engine="transpiled")
+    spans = [s for s in tracer.to_dicts() if s["name"] == "codegen"]
+    assert [s["tags"]["cached"] for s in spans] == [False, True]
+    assert {s["tags"]["engine"] for s in spans} == {"transpiled"}
+
+
+# -- generated-module hygiene -------------------------------------------------
+
+HYGIENE_SRC = """
+      PROGRAM run
+      COMMON /cm/ out(4), idiv
+      DIMENSION inputs(3)
+      idiv = 9.0
+      DO 10 mo = 1, 3
+        inputs(mo) = mo * 1.5
+10    CONTINUE
+      CALL pop(inputs, 3)
+      s = inputs(2) + out(1) + idiv / 2.0
+      PRINT *, s, out(1), idiv
+      END
+      SUBROUTINE pop(wr, n)
+      DIMENSION wr(*)
+      COMMON /cm/ out(4), idiv
+      DO 20 rd = 1, n
+        wr(rd) = wr(rd) + 1.0
+        out(1) = out(1) + wr(rd)
+20    CONTINUE
+      END
+"""
+
+
+def test_user_names_cannot_capture_preamble_helpers():
+    """A program whose identifiers echo the generated module's helper
+    names (``run``, ``cm``, ``out``, ``inputs``, ``idiv``, ``pop``,
+    ``wr``, ``s``, ``mo``) must transpile, run, and agree with the
+    oracle — name mangling keeps user symbols and helpers disjoint."""
+    prog = build_program(HYGIENE_SRC, "hygiene")
+    src = transpile_to_python(prog)
+    # the helpers survive under their reserved (underscored) names
+    for helper in ("_idiv(", "_Stop", "_cm", "_out", "_in"):
+        assert helper in src, f"preamble helper {helper!r} missing"
+    # no generated name collides with a helper: user symbols are
+    # prefix-mangled (v_/a_/p_/_c_), so plain helper names never rebind
+    for banned in ("\nidiv =", "\nout =", "\ncm =", "\nrun ="):
+        assert banned not in src
+    tree = run_program(prog, engine="tree")
+    trans = run_program(prog, engine="transpiled")
+    assert engine_label(trans) == "transpiled/plain"
+    assert trans.outputs == tree.outputs
+    assert trans.ops == tree.ops
+    for cname, buf in tree.commons.items():
+        assert np.array_equal(trans.commons[cname].data, buf.data)
