@@ -1,0 +1,175 @@
+"""Real-parallel-execution benchmark: measured speedup on actual cores.
+
+A DOALL-heavy inline workload (a sequential outer stepping loop around
+a large parallel inner loop doing SQRT/EXP/COS work with a scalar
+reduction) is executed by the sequential transpiled engine and by the
+par_backend at 1, 2, and 4 workers.  The bench verifies bit-parity on
+every run, reports measured wall-clock speedups next to the cost
+model's predictions for the same counts, and asserts the speedup
+contract — but **only on hosts with at least**
+:data:`MIN_CORES_FOR_SPEEDUP` **free cores**: on a 1-core CI box the
+measured numbers are recorded for the table yet cannot gate (worker
+processes would just time-slice one core).  The sequential ops/sec
+throughput always gates against the committed baseline.
+
+Run standalone to (re)generate the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_perf_parallel.py
+
+which writes ``BENCH_parallel.json`` at the repo root —
+``scripts/perf_check.py --only parallel`` compares fresh numbers
+against that file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.ir import build_program
+from repro.parallelize import Parallelizer
+from repro.runtime import run_program
+from repro.runtime.par_backend import ParallelRunner, analyze_offloads
+
+WORKER_COUNTS = (1, 2, 4)
+#: measured-speedup contract at 4 workers (enforced on capable hosts)
+MIN_PARALLEL_SPEEDUP = 1.5
+MIN_CORES_FOR_SPEEDUP = 4
+REPEATS = 2
+BASELINE_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_parallel.json"
+
+#: The workload: outer stepping loop is sequential (it PRINTs, and its
+#: scale factor chains across steps); the inner loop is a classic DOALL
+#: with a private inner accumulation loop, a PARALLEL array write, and
+#: a scalar sum reduction.  Heavy per-iteration math amortizes the
+#: dispatch round-trips, like the paper's coarse-grained loops.
+SOURCE = """
+      PROGRAM pbench
+      COMMON /st/ s, d
+      COMMON /fld/ c(4096)
+      d = 1.0
+      DO 30 it = 1, 3
+        s = 0.0
+        DO 20 i = 1, 4096
+          t = 0.0
+          DO 10 k = 1, 64
+            t = t + SQRT(i * d + k) * COS(k * 0.5) + EXP(-k * 0.01)
+10        CONTINUE
+          c(i) = t
+          s = s + t
+20      CONTINUE
+        d = d + s * 0.0000001
+        PRINT *, s
+30    CONTINUE
+      END
+"""
+
+
+def _build():
+    prog = build_program(SOURCE, "pbench")
+    plan = Parallelizer(prog).plan()
+    return prog, plan
+
+
+def host_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def run_bench() -> Dict:
+    prog, plan = _build()
+    offloads, rejects = analyze_offloads(prog, plan)
+    assert offloads, f"bench loop failed to offload: {rejects}"
+
+    from repro.runtime.transpile import load_module
+    run = load_module(prog).namespace["run"]
+    seq = run_program(prog, engine="transpiled")
+    seq_wall = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        out = run(())
+        seq_wall = min(seq_wall, time.perf_counter() - t0)
+        assert out == seq.outputs
+
+    workers: Dict[str, Dict] = {}
+    parity = True
+    for w in WORKER_COUNTS:
+        runner_wall = float("inf")
+        res = None
+        for _ in range(REPEATS):
+            runner = ParallelRunner(prog, plan, workers=w)
+            t0 = time.perf_counter()
+            res = runner.execute(())
+            runner_wall = min(runner_wall,
+                              time.perf_counter() - t0)
+        ok = (res.outputs == seq.outputs and res.ops == seq.ops)
+        parity = parity and ok
+        workers[str(w)] = {
+            "seconds": round(runner_wall, 4),
+            "speedup": round(seq_wall / runner_wall, 3),
+            "dispatches": res.dispatches,
+            "parity": ok,
+        }
+
+    from repro.runtime import ALPHASERVER_8400, ParallelExecutor
+    ex = ParallelExecutor(prog, plan, ALPHASERVER_8400,
+                          engine="transpiled")
+    predicted = {str(p): round(ex.account(p).speedup, 3)
+                 for p in WORKER_COUNTS}
+
+    return {
+        "benchmark": "real parallel execution (par_backend)",
+        "units": "wall-clock speedup over the sequential transpiled "
+                 "engine",
+        "host": {"python": platform.python_version(),
+                 "machine": platform.machine(),
+                 "cores": host_cores()},
+        "seq": {"seconds": round(seq_wall, 4), "ops": seq.ops,
+                "ops_per_sec": round(seq.ops / seq_wall, 1)},
+        "workers": workers,
+        "predicted": predicted,
+        "parity": parity,
+    }
+
+
+def _rows(report: Dict) -> List[List]:
+    return [[w, f"{r['seconds']:.3f}s", f"{r['speedup']:.2f}x",
+             f"{report['predicted'][w]:.2f}x",
+             "ok" if r["parity"] else "DIVERGED"]
+            for w, r in report["workers"].items()]
+
+
+def test_parallel_backend_speedup(benchmark):
+    from conftest import once, print_table
+    report = once(benchmark, run_bench)
+    print_table("real parallel execution (measured vs predicted)",
+                ["workers", "wall", "measured", "predicted", "parity"],
+                _rows(report))
+    assert report["parity"], "parallel execution diverged from sequential"
+    pred = [report["predicted"][str(p)] for p in WORKER_COUNTS]
+    assert pred == sorted(pred), (
+        f"predicted speedups not monotonic over {WORKER_COUNTS}: {pred}")
+    if report["host"]["cores"] >= MIN_CORES_FOR_SPEEDUP:
+        sp = report["workers"]["4"]["speedup"]
+        assert sp >= MIN_PARALLEL_SPEEDUP, (
+            f"measured speedup {sp:.2f}x at 4 workers below the "
+            f"{MIN_PARALLEL_SPEEDUP}x contract")
+        measured = [report["workers"][str(p)]["speedup"]
+                    for p in WORKER_COUNTS]
+        assert measured[1] >= measured[0] * 0.9 and \
+            measured[2] >= measured[1] * 0.9, (
+            f"measured speedups not (near-)monotonic: {measured}")
+
+
+if __name__ == "__main__":
+    fresh = run_bench()
+    BASELINE_PATH.write_text(json.dumps(fresh, indent=2) + "\n")
+    print(json.dumps(fresh, indent=2))
+    print(f"baseline written: {BASELINE_PATH}")

@@ -7,10 +7,12 @@
 #   1. the tier-1 pytest suite (correctness, soundness fuzzing,
 #      service determinism, observability contracts),
 #   2. the performance gates (ops/sec vs the committed
-#      BENCH_engine.json and BENCH_tools.json baselines; also enforces
-#      the compiled engine's 2x-over-tree contract, the transpiled
-#      engine's 10x-over-compiled contract, and the instrumented
-#      fast path's 3x-over-tree-observer contract),
+#      BENCH_engine.json, BENCH_tools.json, and BENCH_parallel.json
+#      baselines; also enforces the compiled engine's 2x-over-tree
+#      contract, the transpiled engine's 10x-over-compiled contract,
+#      the instrumented fast path's 3x-over-tree-observer contract,
+#      and — on hosts with >= 4 free cores — real parallel execution's
+#      1.5x-at-4-workers contract with bit-parity on every host),
 #   3. the end-to-end HTTP service smoke test (submit / poll /
 #      artifact / cache-repeat / metrics),
 #   4. the fault-injected serve smoke (seeded worker crashes retried,
@@ -26,9 +28,10 @@ export PYTHONPATH=src
 echo "== [1/4] tier-1 test suite =="
 python -m pytest -x -q
 
-echo "== [2/4] performance gates (engine + transpiled + tools) =="
+echo "== [2/4] performance gates (engine + transpiled + tools + parallel) =="
 python scripts/perf_check.py
 python scripts/perf_check.py --only transpiled
+python scripts/perf_check.py --only parallel
 
 echo "== [3/4] service smoke test =="
 python scripts/serve_smoke.py

@@ -1,15 +1,19 @@
 #!/usr/bin/env python
 """Performance regression gate for the engines and instrumented tools.
 
-Re-runs ``benchmarks/bench_perf_engine.py`` (clean execution) and
-``benchmarks/bench_perf_tools.py`` (instrumented profiler / dyndep) and
-compares fresh ops/sec numbers against the committed baselines
-``BENCH_engine.json`` and ``BENCH_tools.json``.  Fails (exit 1) when
-any path regresses by more than ``--tolerance`` (default 20%) on any
-workload, when the compiled engine drops below the 2x-over-tree
-contract, when the transpiled engine drops below the 10x-over-compiled
-contract, or when an instrumented fast path drops below the
-3x-over-tree-observer contract.
+Re-runs ``benchmarks/bench_perf_engine.py`` (clean execution),
+``benchmarks/bench_perf_tools.py`` (instrumented profiler / dyndep),
+and ``benchmarks/bench_perf_parallel.py`` (real multi-core execution)
+and compares fresh numbers against the committed baselines
+``BENCH_engine.json``, ``BENCH_tools.json``, and
+``BENCH_parallel.json``.  Fails (exit 1) when any path regresses by
+more than ``--tolerance`` (default 20%) on any workload, when the
+compiled engine drops below the 2x-over-tree contract, when the
+transpiled engine drops below the 10x-over-compiled contract, when an
+instrumented fast path drops below the 3x-over-tree-observer contract,
+or — on hosts with >= 4 free cores — when real parallel execution
+drops below the 1.5x-at-4-workers contract (bit-parity and the
+monotonic predicted-speedup shape gate on every host).
 
 Run it next to the tier-1 suite::
 
@@ -33,6 +37,7 @@ sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO / "benchmarks"))
 
 import bench_perf_engine  # noqa: E402
+import bench_perf_parallel  # noqa: E402
 import bench_perf_tools  # noqa: E402
 
 
@@ -126,12 +131,51 @@ def compare_tools(baseline: dict, fresh: dict, tolerance: float) -> list:
     return failures
 
 
+def compare_parallel(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Failure messages for the real-parallel-execution gate.
+
+    Bit-parity, the monotonic predicted-speedup shape, and the
+    sequential-throughput regression check gate on every host; the
+    measured ≥``MIN_PARALLEL_SPEEDUP``x-at-4-workers contract and the
+    measured-speedup shape only gate on hosts with enough free cores
+    (measured wall speedups on a 1-core box are time-slicing noise)."""
+    failures = []
+    if not fresh["parity"]:
+        failures.append("parallel: execution diverged from the "
+                        "sequential transpiled engine")
+    counts = sorted(int(k) for k in fresh["predicted"])
+    pred = [fresh["predicted"][str(p)] for p in counts]
+    if pred != sorted(pred):
+        failures.append(f"parallel: predicted speedups not monotonic "
+                        f"over {counts}: {pred}")
+    was = baseline["seq"]["ops_per_sec"]
+    now = fresh["seq"]["ops_per_sec"]
+    if now < was * (1.0 - tolerance):
+        failures.append(
+            f"parallel/seq: {now / 1e6:.2f}M ops/s is "
+            f"{(1 - now / was):.0%} below baseline {was / 1e6:.2f}M "
+            f"ops/s (tolerance {tolerance:.0%})")
+    if fresh["host"]["cores"] >= bench_perf_parallel.MIN_CORES_FOR_SPEEDUP:
+        sp = fresh["workers"]["4"]["speedup"]
+        if sp < bench_perf_parallel.MIN_PARALLEL_SPEEDUP:
+            failures.append(
+                f"parallel: measured speedup {sp:.2f}x at 4 workers "
+                f"below the "
+                f"{bench_perf_parallel.MIN_PARALLEL_SPEEDUP}x contract")
+        measured = [fresh["workers"][str(p)]["speedup"] for p in counts]
+        if any(b < a * 0.9 for a, b in zip(measured, measured[1:])):
+            failures.append(f"parallel: measured speedups not "
+                            f"(near-)monotonic over {counts}: {measured}")
+    return failures
+
+
 #: (label, bench module, printer, comparator); engine and transpiled
 #: share one measurement pass over bench_perf_engine
 GATES = (
     ("engine", bench_perf_engine, compare_engine),
     ("transpiled", bench_perf_engine, compare_transpiled),
     ("tools", bench_perf_tools, compare_tools),
+    ("parallel", bench_perf_parallel, compare_parallel),
 )
 
 
@@ -160,8 +204,19 @@ def _print_tools(fresh: dict) -> None:
                   f"vs-tree={r['speedup_vs_tree']:.2f}x")
 
 
+def _print_parallel(fresh: dict) -> None:
+    print(f"seq        {fresh['seq']['seconds']:.3f}s  "
+          f"{fresh['seq']['ops_per_sec'] / 1e6:.2f}M ops/s  "
+          f"(host cores: {fresh['host']['cores']})")
+    for w, r in fresh["workers"].items():
+        print(f"workers={w}  {r['seconds']:.3f}s  "
+              f"measured={r['speedup']:.2f}x  "
+              f"predicted={fresh['predicted'][w]:.2f}x  "
+              f"parity={'ok' if r['parity'] else 'DIVERGED'}")
+
+
 PRINTERS = {"engine": _print_engine, "transpiled": _print_transpiled,
-            "tools": _print_tools}
+            "tools": _print_tools, "parallel": _print_parallel}
 
 
 def main(argv=None) -> int:
@@ -171,7 +226,8 @@ def main(argv=None) -> int:
     ap.add_argument("--update", action="store_true",
                     help="rewrite BENCH_engine.json and BENCH_tools.json "
                          "from this run")
-    ap.add_argument("--only", choices=["engine", "transpiled", "tools"],
+    ap.add_argument("--only", choices=["engine", "transpiled", "tools",
+                                       "parallel"],
                     help="run a single gate")
     args = ap.parse_args(argv)
 

@@ -1,0 +1,33 @@
+"""Real multiprocessor execution backend.
+
+Consumes a :class:`~repro.parallelize.plan.ProgramPlan` and executes
+the program's DOALL loops on actual cores:
+
+* :mod:`.codegen` — extends the transpiled engine's code generator with
+  per-loop worker *kernels* (iteration-space chunks over the loop
+  range, privatized scalars/arrays, deterministic reduction logs) and
+  a dispatch site at every offloadable loop that falls back to the
+  bit-identical sequential drivers when the runtime declines,
+* :mod:`.shm` — ``multiprocessing.shared_memory`` float64 views over
+  COMMON block storage, shared zero-copy between orchestrator and
+  workers,
+* :mod:`.pool` — a persistent worker pool (fork or spawn) with module
+  shipping and a tiny pipe protocol,
+* :mod:`.runner` — the orchestrator: chunking, worker fan-out, the
+  chunk-order merge protocol (masked privatized writebacks, last-chunk
+  scalar finals, reduction-log replay), and op/budget accounting summed
+  across workers.
+
+Whole-program outputs, COMMON memory, and op counts are bit-identical
+to ``engine="transpiled"`` sequential runs; see DESIGN.md ("Real
+parallel execution") for the exact protocol and its guardrails.
+"""
+
+from .codegen import (ParallelModule, analyze_offloads,
+                      load_parallel_module, transpile_parallel)
+from .runner import ParallelRunResult, ParallelRunner
+
+__all__ = [
+    "ParallelModule", "ParallelRunResult", "ParallelRunner",
+    "analyze_offloads", "load_parallel_module", "transpile_parallel",
+]

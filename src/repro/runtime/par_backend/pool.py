@@ -1,0 +1,211 @@
+"""Persistent worker pool for the parallel backend.
+
+Workers are long-lived processes speaking a tiny pipe protocol:
+
+* ``("module", key, source)`` — exec a generated parallel module and
+  cache its namespace under ``key`` (idempotent; the module's
+  self-contained ``_Err``/``_Budget`` shims stay in place, so kernel
+  failures classify without importing anything),
+* ``("segs", run_id, spec)`` — attach the run's shared-memory COMMON
+  segments (see :mod:`.shm`),
+* ``("task", key, run_id, kernel, rng, env, mo, ro)`` — run one kernel
+  over one iteration-space chunk; replies ``("ok", result)``,
+  ``("budget",)``, ``("err", message)`` (a runtime error the program
+  itself raised) or ``("fail", message)`` (anything else),
+* ``("release", run_id)`` — detach the run's segments,
+* ``("stop",)`` — exit.
+
+Module shipping makes the pool spawn-safe: nothing about the generated
+code relies on fork-inherited state, so ``start_method="spawn"`` works
+wherever fork is unavailable.  Pools are cached per (worker count,
+start method) and reused across runs; a broken pipe marks the pool dead
+and evicts it so the next run builds a fresh one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from typing import Dict, Optional, Tuple
+
+from .shm import attach_views, detach_views
+
+__all__ = ["WorkerPool", "get_pool", "shutdown_pools"]
+
+
+def _worker_main(conn) -> None:
+    """Worker loop (module top-level so it pickles under spawn)."""
+    modules: Dict[str, dict] = {}
+    runs: Dict[object, tuple] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "stop":
+                break
+            if kind == "module":
+                _, key, source = msg
+                if key not in modules:
+                    ns: dict = {}
+                    try:
+                        exec(compile(source, "<par-worker>", "exec"), ns)
+                        modules[key] = ns
+                    except Exception as e:  # surfaced on first task
+                        modules[key] = {"__error__": f"{type(e).__name__}: {e}"}
+                continue
+            if kind == "segs":
+                _, run_id, spec = msg
+                if run_id not in runs:
+                    try:
+                        runs[run_id] = attach_views(spec)
+                    except Exception as e:
+                        runs[run_id] = ("__error__",
+                                        f"{type(e).__name__}: {e}")
+                continue
+            if kind == "release":
+                _, run_id = msg
+                state = runs.pop(run_id, None)
+                if state is not None and state[0] != "__error__":
+                    detach_views(*state)
+                continue
+            if kind == "task":
+                _, key, run_id, kernel, rng, env, mo, ro = msg
+                ns = modules.get(key)
+                state = runs.get(run_id)
+                if ns is None or state is None:
+                    conn.send(("fail", "worker missing module or segments"))
+                    continue
+                if "__error__" in ns:
+                    conn.send(("fail", ns["__error__"]))
+                    continue
+                if state[0] == "__error__":
+                    conn.send(("fail", state[1]))
+                    continue
+                views = state[0]
+                try:
+                    res = ns[kernel](rng, env, views, mo, ro)
+                except ns["_Budget"]:
+                    conn.send(("budget",))
+                except ns["_Err"] as e:
+                    conn.send(("err", str(e)))
+                except Exception as e:
+                    conn.send(("fail", f"{type(e).__name__}: {e}"))
+                else:
+                    conn.send(("ok", res))
+                continue
+            conn.send(("fail", f"unknown message {kind!r}"))
+    finally:
+        for state in runs.values():
+            if state[0] != "__error__":
+                detach_views(*state)
+        conn.close()
+
+
+class WorkerPool:
+    """A fixed set of worker processes plus bookkeeping of what each
+    already holds (shipped modules, attached runs)."""
+
+    def __init__(self, workers: int, start_method: Optional[str] = None):
+        self.workers = workers
+        self.start_method = start_method
+        ctx = multiprocessing.get_context(start_method)
+        self.conns = []
+        self.procs = []
+        self.broken = False
+        self._modules: set = set()
+        self._runs: set = set()
+        for _ in range(workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(child,),
+                               daemon=True)
+            proc.start()
+            child.close()
+            self.conns.append(parent)
+            self.procs.append(proc)
+
+    # -- broadcast bookkeeping ----------------------------------------------
+    def _send_all(self, msg) -> None:
+        try:
+            for conn in self.conns:
+                conn.send(msg)
+        except (BrokenPipeError, OSError):
+            self.broken = True
+            raise RuntimeError(
+                "parallel worker pool broken (worker died)") from None
+
+    def ship_module(self, key: str, source: str) -> None:
+        if key not in self._modules:
+            self._send_all(("module", key, source))
+            self._modules.add(key)
+
+    def attach_run(self, run_id, spec) -> None:
+        if run_id not in self._runs:
+            self._send_all(("segs", run_id, spec))
+            self._runs.add(run_id)
+
+    def release_run(self, run_id) -> None:
+        if run_id in self._runs:
+            self._runs.discard(run_id)
+            if not self.broken:
+                try:
+                    self._send_all(("release", run_id))
+                except RuntimeError:
+                    pass
+
+    # -- tasks ---------------------------------------------------------------
+    def run_chunks(self, key: str, run_id, kernel: str, chunks, env,
+                   mo: int, ro):
+        """Fan ``chunks`` (≤ worker count) out one-per-worker and return
+        the replies in chunk order."""
+        try:
+            for w, rng in enumerate(chunks):
+                self.conns[w].send(
+                    ("task", key, run_id, kernel, rng, env, mo, ro))
+            return [self.conns[w].recv() for w in range(len(chunks))]
+        except (BrokenPipeError, EOFError, OSError):
+            self.broken = True
+            raise RuntimeError(
+                "parallel worker pool broken (worker died)") from None
+
+    def shutdown(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self.procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self.conns:
+            conn.close()
+        self.broken = True
+
+
+_pools: Dict[Tuple[int, Optional[str]], WorkerPool] = {}
+
+
+def get_pool(workers: int, start_method: Optional[str] = None
+             ) -> WorkerPool:
+    """The shared pool for (workers, start_method), rebuilt if broken."""
+    key = (workers, start_method)
+    pool = _pools.get(key)
+    if pool is not None and pool.broken:
+        pool.shutdown()
+        pool = None
+    if pool is None:
+        pool = WorkerPool(workers, start_method)
+        _pools[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    for pool in list(_pools.values()):
+        pool.shutdown()
+    _pools.clear()
+
+
+atexit.register(shutdown_pools)

@@ -1,0 +1,105 @@
+"""Shared-memory COMMON storage for the parallel backend.
+
+Each COMMON block becomes one ``multiprocessing.shared_memory`` segment
+holding ``size`` float64 slots, exposed as a ``memoryview(...).cast("d")``
+both in the orchestrator and in every worker.  The cast view supports
+exactly the operations generated code performs on the sequential
+backend's plain lists — ``view[i]``, ``view[i] = float``, and
+``view[a:b]`` slicing — so the same generated module runs against either
+storage.  Contents start zeroed, matching the sequential ``run()``
+prologue's ``[0.0] * size``.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, List, Tuple
+
+from ...ir.program import Program
+
+__all__ = ["SharedCommons", "attach_views", "detach_views"]
+
+
+class SharedCommons:
+    """Owner side: create, zero, view, and eventually unlink one segment
+    per COMMON block of ``program``."""
+
+    def __init__(self, program: Program):
+        self.segments: Dict[str, shared_memory.SharedMemory] = {}
+        self.views: Dict[str, memoryview] = {}
+        self.sizes: Dict[str, int] = {}
+        try:
+            for name, block in program.commons.items():
+                nbytes = 8 * block.size
+                seg = shared_memory.SharedMemory(create=True,
+                                                 size=max(nbytes, 1))
+                # segments round up to page size; slice before casting
+                seg.buf[:nbytes] = b"\0" * nbytes
+                self.segments[name] = seg
+                self.views[name] = memoryview(seg.buf)[:nbytes].cast("d")
+                self.sizes[name] = block.size
+        except Exception:
+            self.close()
+            raise
+
+    def spec(self) -> Dict[str, Tuple[str, int]]:
+        """{block name: (segment name, element count)} — everything a
+        worker needs to attach."""
+        return {name: (seg.name, self.sizes[name])
+                for name, seg in self.segments.items()}
+
+    def snapshot(self) -> Dict[str, List[float]]:
+        """Plain-list copy of every block, in the same shape the
+        sequential engines report machine state."""
+        return {name: list(view) for name, view in self.views.items()}
+
+    def load(self, commons: Dict[str, List[float]]) -> None:
+        """Overwrite block contents (used to seed non-zero states)."""
+        for name, values in commons.items():
+            view = self.views[name]
+            for i, v in enumerate(values):
+                view[i] = float(v)
+
+    def close(self) -> None:
+        """Release views and destroy the segments.  Safe to call twice;
+        the owner is the only unlinker (workers merely close)."""
+        for view in self.views.values():
+            view.release()
+        self.views.clear()
+        for seg in self.segments.values():
+            try:
+                seg.close()
+            except OSError:
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+        self.segments.clear()
+
+
+def attach_views(spec: Dict[str, Tuple[str, int]]):
+    """Worker side: attach every segment in ``spec``.  Returns
+    ``(views, segments)`` — keep ``segments`` alive as long as the views
+    are in use, then pass both to :func:`detach_views`."""
+    views: Dict[str, memoryview] = {}
+    segments: Dict[str, shared_memory.SharedMemory] = {}
+    try:
+        for name, (seg_name, count) in spec.items():
+            seg = shared_memory.SharedMemory(name=seg_name)
+            segments[name] = seg
+            views[name] = memoryview(seg.buf)[:8 * count].cast("d")
+    except Exception:
+        detach_views(views, segments)
+        raise
+    return views, segments
+
+
+def detach_views(views, segments) -> None:
+    for view in views.values():
+        view.release()
+    for seg in segments.values():
+        try:
+            seg.close()
+        except OSError:
+            pass

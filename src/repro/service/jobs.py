@@ -55,6 +55,12 @@ _DEFAULT_OPTIONS = {
 #: single pathological job cannot monopolize a pool slot indefinitely.
 MAX_OPS_CAP = 500_000_000
 
+#: Server-boundary ceiling for ``options["workers"]`` — real parallel
+#: execution spawns this many OS processes per job, so the cap bounds a
+#: request's process fan-out the same way :data:`MAX_OPS_CAP` bounds its
+#: op budget.
+MAX_WORKERS_CAP = 16
+
 #: Options that direct *how* a job is run (chaos directives), not *what*
 #: is computed.  They are excluded from the content address and from the
 #: options recorded in the artifact, so an injected job shares its cache
@@ -131,6 +137,19 @@ def validate_options(options, *, allow_faults: bool = False) -> Optional[Dict]:
         if not deadline > 0:
             raise ValueError("deadline_s must be positive")
         out["deadline_s"] = deadline
+    if "parallel_execute" in out:
+        flag = out["parallel_execute"]
+        if not isinstance(flag, (bool, int)) or isinstance(flag, float):
+            raise ValueError("parallel_execute must be a boolean")
+        out["parallel_execute"] = bool(flag)
+    if "workers" in out:
+        try:
+            workers = int(out["workers"])
+        except (TypeError, ValueError):
+            raise ValueError("workers must be an integer") from None
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        out["workers"] = min(workers, MAX_WORKERS_CAP)
     return out
 
 
@@ -248,8 +267,28 @@ def execute_request(request: AnalysisRequest) -> Dict:
                              "warnings": list(o.warnings),
                              "errors": list(o.errors)} for o in checked]
 
+        parallel_run = None
+        if r.options.get("parallel_execute"):
+            workers = min(int(r.options.get("workers", 2)),
+                          MAX_WORKERS_CAP)
+            parallel_run = session.parallel_execute(workers=workers)
+
         with tracer.span("snapshot"):
             artifact = session_snapshot(session)
+        if parallel_run is not None:
+            # wall times are nondeterministic, so the artifact records
+            # only the bit-stable facts of the real run
+            artifact["parallel_execution"] = {
+                "workers": parallel_run.workers,
+                "ops": parallel_run.ops,
+                "dispatches": parallel_run.dispatches,
+                "declined": parallel_run.declined,
+                "offloaded": parallel_run.offloaded,
+                "rejects": dict(parallel_run.rejects),
+                "outputs": [float(v) for v in parallel_run.outputs],
+                "matches_simulated":
+                    parallel_run.outputs == session.result.outputs,
+            }
         # Record semantic options only: the artifact must be bit-identical
         # to its clean twin's (they share a content key), so a transient
         # chaos directive must not leak into the cached payload.

@@ -318,3 +318,70 @@ def test_compiled_engine_parity_on_corpus(name):
     _assert_engine_parity(w.build(), w.build(), inputs=w.inputs,
                           context=name)
 
+
+
+# -- real parallel execution: reduction-merge determinism ---------------------
+
+@st.composite
+def reduction_programs(draw):
+    """Parallel loops dominated by reduction chains — the shapes whose
+    merge order the par_backend must replay bit-exactly: ``+ - *`` and
+    ``min``/``max`` spines over scalars, mixed with plain parallel
+    array writes."""
+    lines = []
+    n_red = draw(st.integers(1, 3))
+    operands = ["a(i)", "b(i)", "a(i) * b(i)", "0.5", "1.25",
+                "b(i) - a(i)"]
+    for _ in range(n_red):
+        target = draw(st.sampled_from(["s", "t"]))
+        kind = draw(st.sampled_from(["chain", "minmax"]))
+        if kind == "minmax":
+            fn = draw(st.sampled_from(["MIN", "MAX"]))
+            arg = draw(st.sampled_from(operands))
+            lines.append(f"        {target} = {fn}({target}, {arg})")
+        else:
+            expr = target
+            for _ in range(draw(st.integers(1, 3))):
+                op = draw(st.sampled_from(["+", "-", "*"]))
+                expr = f"({expr} {op} {draw(st.sampled_from(operands))})"
+            lines.append(f"        {target} = {expr}")
+    if draw(st.booleans()):
+        lines.append(f"        c(i) = {draw(st.sampled_from(operands))}")
+    return "\n".join([
+        "      PROGRAM fzr",
+        "      COMMON /sc/ s, t",
+        "      DIMENSION a(40), b(40), c(40)",
+        "      DO 5 i = 1, 40",
+        "        a(i) = i * 0.5",
+        "        b(i) = 21.0 - i * 0.25",
+        "5     CONTINUE",
+        "      s = 1.0",
+        "      t = 2.0",
+        "      DO 100 i = 2, 33",
+    ] + lines + [
+        "100   CONTINUE",
+        "      PRINT *, s, t, c(3)",
+        "      END",
+    ])
+
+
+@settings(max_examples=30, deadline=None)
+@given(reduction_programs())
+def test_parallel_reduction_merge_matches_sequential(source):
+    """Differential fuzzing of the real-execution merge protocol: for
+    any generated reduction shape, chunked execution + log replay at 2
+    and 4 workers must reproduce the sequential transpiled engine's
+    outputs, COMMON memory, and op count *bit-exactly* (not approx —
+    the replay preserves evaluation order, operand position, and the
+    store's single coercion)."""
+    from repro.runtime.par_backend import ParallelRunner
+    prog = build_program(source, "fzr")
+    plan = Parallelizer(prog).plan()
+    seq = run_program(prog, max_ops=2_000_000, engine="transpiled")
+    seq_cm = {n: list(b.data) for n, b in seq.commons.items()}
+    for workers in (2, 4):
+        r = ParallelRunner(prog, plan, workers=workers,
+                           inline=True).execute((), max_ops=2_000_000)
+        assert r.outputs == seq.outputs, f"w={workers} outputs"
+        assert r.ops == seq.ops, f"w={workers} ops"
+        assert r.commons == seq_cm, f"w={workers} commons"

@@ -1,0 +1,301 @@
+"""The real multiprocessor backend (repro.runtime.par_backend).
+
+The contract under test: executing a program's DOALL plan on actual
+worker processes is **bit-identical** to the sequential transpiled
+engine — same outputs, same COMMON memory, same op count, same budget
+abort decision and message — at every worker count, on every corpus
+workload.  Plus the dispatch protocol edges: declines, dispatch caps,
+broken-pool fallback, spawn start method, and the span taxonomy.
+"""
+
+import os
+
+import pytest
+
+from repro.ir import build_program
+from repro.obs.tracer import Tracer, activate
+from repro.parallelize import Parallelizer
+from repro.runtime import run_program
+from repro.runtime.interpreter import (OpsBudgetExceeded,
+                                       RuntimeErrorInProgram)
+from repro.runtime.machine import ALPHASERVER_8400
+from repro.runtime.par_backend import ParallelRunner, analyze_offloads
+from repro.runtime.parallel_exec import (ParallelExecutionResult,
+                                         ParallelExecutor)
+from repro.workloads import ALL
+
+CORPUS = sorted(ALL)
+
+_cache = {}
+
+
+def _program(name):
+    """Build each workload once: plans key on stmt identity."""
+    if name not in _cache:
+        w = ALL[name]
+        prog = build_program(w.source, w.name)
+        plan = Parallelizer(prog,
+                            assertions=w.user_assertions).plan()
+        _cache[name] = (prog, plan, w.inputs)
+    return _cache[name]
+
+
+def _seq_reference(prog, inputs, **kwargs):
+    interp = run_program(prog, inputs, engine="transpiled", **kwargs)
+    commons = {name: list(buf.data)
+               for name, buf in interp.commons.items()}
+    return interp.outputs, interp.ops, commons
+
+
+# -- whole-corpus bit-parity --------------------------------------------------
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_corpus_parity_across_worker_counts(name):
+    """Outputs, op counts, and COMMON memory must match the sequential
+    transpiled engine exactly at 1, 2, and 4 workers.
+
+    workers=1 runs every dispatch through the full kernel + merge
+    protocol (single chunk, in-process) with no cap.  At 2 and 4
+    workers the chunks cross real process boundaries; dispatches are
+    capped there because per-dispatch pipe round-trips on the heavy
+    workloads (mdg ~7700 dispatches) would dominate the suite — the
+    capped tail falls back to the generated sequential drivers, whose
+    parity the cap itself also asserts.
+    """
+    prog, plan, inputs = _program(name)
+    out0, ops0, cm0 = _seq_reference(prog, inputs)
+    for workers, cap in ((1, None), (2, 400), (4, 150)):
+        r = ParallelRunner(prog, plan, workers=workers,
+                           max_dispatches=cap).execute(inputs)
+        assert r.outputs == out0, f"{name} w={workers}: outputs diverge"
+        assert r.ops == ops0, (
+            f"{name} w={workers}: op drift {r.ops} != {ops0}")
+        assert r.commons == cm0, f"{name} w={workers}: COMMON diverges"
+        if workers == 1 and r.offloaded:
+            # the parallel protocol actually ran, this is not a
+            # vacuous pass through the sequential fallback
+            assert r.dispatches > 0, f"{name}: nothing dispatched"
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_corpus_offload_coverage(name):
+    """Every parallel loop either offloads or is rejected for one of the
+    known structural reasons (calls, formal-array writes, conditionally
+    reached inner drivers, guarded min/max reductions)."""
+    prog, plan, _ = _program(name)
+    offloads, rejects = analyze_offloads(prog, plan)
+    offloaded_ids = {o.loop.stmt_id for o in offloads}
+    for loop in plan.parallel_loops():
+        assert loop.stmt_id in offloaded_ids or loop.name in rejects, (
+            f"{name}: {loop.name} neither offloaded nor rejected")
+    known = ("loop contains a call", "formal array",
+             "conditionally reached", "read outside its update")
+    for loop, why in rejects.items():
+        assert any(k in why for k in known), (
+            f"{name}: unexpected reject for {loop}: {why}")
+
+
+def test_merge_is_deterministic_across_repeats():
+    """Reduction-heavy workload, repeated at 4 workers: bit-equal."""
+    prog, plan, inputs = _program("mdljdp2")
+    runs = [ParallelRunner(prog, plan, workers=4).execute(inputs)
+            for _ in range(3)]
+    assert runs[0].outputs == runs[1].outputs == runs[2].outputs
+    assert runs[0].commons == runs[1].commons == runs[2].commons
+    assert runs[0].ops == runs[1].ops == runs[2].ops
+
+
+def test_inline_chunks_match_pool_chunks():
+    prog, plan, inputs = _program("tomcatv")
+    pool = ParallelRunner(prog, plan, workers=2).execute(inputs)
+    inline = ParallelRunner(prog, plan, workers=2,
+                            inline=True).execute(inputs)
+    assert inline.outputs == pool.outputs
+    assert inline.ops == pool.ops
+    assert inline.commons == pool.commons
+
+
+def test_spawn_start_method_parity():
+    """Module shipping keeps the pool spawn-safe (no fork inheritance)."""
+    prog, plan, inputs = _program("ora")
+    out0, ops0, cm0 = _seq_reference(prog, inputs)
+    r = ParallelRunner(prog, plan, workers=2,
+                       start_method="spawn").execute(inputs)
+    assert (r.outputs, r.ops, r.commons) == (out0, ops0, cm0)
+
+
+# -- dispatch protocol edges --------------------------------------------------
+
+def test_runner_rejects_bad_worker_count():
+    prog, plan, _ = _program("ora")
+    with pytest.raises(ValueError):
+        ParallelRunner(prog, plan, workers=0)
+
+
+def test_min_iters_declines_small_loops():
+    prog, plan, inputs = _program("tomcatv")
+    r = ParallelRunner(prog, plan, workers=2,
+                       min_iters=10 ** 9).execute(inputs)
+    out0, ops0, cm0 = _seq_reference(prog, inputs)
+    assert r.dispatches == 0 and r.declined > 0
+    assert (r.outputs, r.ops, r.commons) == (out0, ops0, cm0)
+
+
+def test_max_dispatches_caps_then_falls_back_sequential():
+    prog, plan, inputs = _program("arc3d")
+    r = ParallelRunner(prog, plan, workers=2,
+                       max_dispatches=3).execute(inputs)
+    out0, ops0, cm0 = _seq_reference(prog, inputs)
+    assert r.dispatches == 3 and r.declined > 0
+    assert (r.outputs, r.ops, r.commons) == (out0, ops0, cm0)
+
+
+def test_budget_abort_decision_and_message_match_sequential():
+    """The abort *decision* and the exception text (which carries only
+    max_ops) must match the sequential engine at any worker count."""
+    prog, plan, inputs = _program("tomcatv")
+    _, ops0, _ = _seq_reference(prog, inputs)
+    max_ops = ops0 // 2
+    with pytest.raises(OpsBudgetExceeded) as seq_exc:
+        run_program(prog, inputs, engine="transpiled", max_ops=max_ops)
+    for workers in (1, 2):
+        runner = ParallelRunner(prog, plan, workers=workers)
+        with pytest.raises(OpsBudgetExceeded) as par_exc:
+            runner.execute(inputs, max_ops=max_ops)
+        assert str(par_exc.value) == str(seq_exc.value)
+
+
+def test_budget_completion_parity_just_above_threshold():
+    prog, plan, inputs = _program("ora")
+    _, ops0, _ = _seq_reference(prog, inputs)
+    r = ParallelRunner(prog, plan, workers=2).execute(
+        inputs, max_ops=ops0)
+    assert r.ops == ops0
+
+
+ERR_SRC = """
+      PROGRAM perr
+      COMMON /g/ a(64)
+      INTEGER k, m
+      m = 1
+      DO 10 i = 1, 64
+        k = i / (m - m)
+        a(i) = k * 1.0
+10    CONTINUE
+      PRINT *, a(1)
+      END
+"""
+
+
+def test_runtime_error_in_kernel_propagates_with_same_message():
+    prog = build_program(ERR_SRC, "perr")
+    plan = Parallelizer(prog).plan()
+    offloads, _ = analyze_offloads(prog, plan)
+    assert offloads, "error loop must actually offload"
+    with pytest.raises(RuntimeErrorInProgram) as seq_exc:
+        run_program(prog, engine="transpiled")
+    for workers in (1, 2):
+        with pytest.raises(RuntimeErrorInProgram) as par_exc:
+            ParallelRunner(prog, plan, workers=workers).execute(())
+        assert str(par_exc.value) == str(seq_exc.value)
+
+
+# -- observability ------------------------------------------------------------
+
+def test_parallel_spans_are_emitted_with_tags():
+    prog, plan, inputs = _program("tomcatv")
+    tracer = Tracer()
+    with activate(tracer):
+        ParallelRunner(prog, plan, workers=2).execute(inputs)
+    names = [s.name for s in tracer.finished_spans()]
+    assert "parallel.exec" in names and "parallel.merge" in names
+    execs = [s for s in tracer.finished_spans()
+             if s.name == "parallel.exec"]
+    assert all(s.tags["workers"] >= 1 and s.tags["iters"] >= 1
+               and s.tags["loop"] for s in execs)
+    assert "parallel.exec" in __import__(
+        "repro.obs.export", fromlist=["PHASES"]).PHASES
+
+
+# -- zero-op guards (satellite: simulated result arithmetic) ------------------
+
+def test_simulated_result_guards_divide_by_zero():
+    res = ParallelExecutionResult(ALPHASERVER_8400)
+    assert res.speedup == 1.0
+    assert res.coverage == 0.0
+    assert res.granularity_ms() == 0.0
+
+
+EMPTY_SRC = """
+      PROGRAM nul
+      END
+"""
+
+
+def test_zero_work_program_end_to_end():
+    """A program with no loops and no output: the simulator's ratios
+    stay defined and the real backend runs it without dispatching."""
+    prog = build_program(EMPTY_SRC, "nul")
+    plan = Parallelizer(prog).plan()
+    ex = ParallelExecutor(prog, plan, ALPHASERVER_8400,
+                          engine="transpiled")
+    sim = ex.run()
+    assert sim.speedup >= 1.0 and sim.coverage == 0.0
+    r = ParallelRunner(prog, plan, workers=2).execute(())
+    out0, ops0, cm0 = _seq_reference(prog, ())
+    assert (r.outputs, r.ops, r.commons) == (out0, ops0, cm0)
+    assert r.dispatches == 0
+
+
+# -- the executor bridge ------------------------------------------------------
+
+def test_executor_execute_matches_account_shape():
+    """ParallelExecutor.execute() runs for real; account() predicts.
+    The real run must stay bit-identical to the sequential engine and
+    the predicted speedups must be monotonic over 1/2/4 processors."""
+    prog, plan, inputs = _program("tomcatv")
+    ex = ParallelExecutor(prog, plan, ALPHASERVER_8400, inputs=inputs,
+                          engine="transpiled")
+    real = ex.execute(processors=2)
+    out0, ops0, cm0 = _seq_reference(prog, inputs)
+    assert (real.outputs, real.ops, real.commons) == (out0, ops0, cm0)
+    predicted = [ex.account(p).speedup for p in (1, 2, 4)]
+    assert predicted[0] <= predicted[1] <= predicted[2]
+
+
+def test_session_parallel_execute_builds_plan_on_demand():
+    from repro.explorer.session import ExplorerSession
+    w = ALL["ora"]
+    session = ExplorerSession(w.build(), inputs=w.inputs)
+    r = session.parallel_execute(workers=2)
+    assert session.plan is not None
+    prog2 = w.build()
+    out0 = run_program(prog2, w.inputs, engine="transpiled").outputs
+    assert r.outputs == out0
+
+
+# -- service boundary ---------------------------------------------------------
+
+def test_service_validates_parallel_options():
+    from repro.service.jobs import MAX_WORKERS_CAP, validate_options
+    out = validate_options({"workers": 10 ** 6,
+                            "parallel_execute": True})
+    assert out["workers"] == MAX_WORKERS_CAP
+    assert out["parallel_execute"] is True
+    for bad in ({"workers": 0}, {"workers": -2}, {"workers": "many"},
+                {"workers": None}, {"parallel_execute": "yes"},
+                {"parallel_execute": 2.5}):
+        with pytest.raises(ValueError):
+            validate_options(bad)
+
+
+def test_service_job_records_parallel_execution():
+    from repro.service.jobs import AnalysisRequest, execute_request
+    art = execute_request(AnalysisRequest(
+        "ora", options={"parallel_execute": True, "workers": 2,
+                        "engine": "transpiled"}))
+    pe = art["parallel_execution"]
+    assert pe["workers"] == 2
+    assert pe["matches_simulated"] is True
+    assert pe["ops"] > 0 and pe["offloaded"] >= 1
+    assert pe["outputs"] == art["execution"]["outputs"]
