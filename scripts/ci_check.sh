@@ -16,7 +16,13 @@
 #   3. the end-to-end HTTP service smoke test (submit / poll /
 #      artifact / cache-repeat / metrics),
 #   4. the fault-injected serve smoke (seeded worker crashes retried,
-#      hung job killed by its deadline, service stays healthy).
+#      hung job killed by its deadline, service stays healthy),
+#   5. the generated-corpus gates: a pinned 50-seed synth parity slice
+#      (4-way engine/parallel bit-parity + determinism + lazy
+#      registration) and the quick service soak (dedupe, GC bounds,
+#      breaker quiescence, bit-stable artifacts).  REPRO_SYNTH_N is the
+#      scale knob — the tier-1 default is 200; soak runs use 500+
+#      (e.g. `REPRO_SYNTH_N=500 python scripts/soak_check.py`).
 #
 # Any failure stops the script with a nonzero exit.
 
@@ -25,18 +31,22 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-echo "== [1/4] tier-1 test suite =="
+echo "== [1/5] tier-1 test suite =="
 python -m pytest -x -q
 
-echo "== [2/4] performance gates (engine + transpiled + tools + parallel) =="
+echo "== [2/5] performance gates (engine + transpiled + tools + parallel) =="
 python scripts/perf_check.py
 python scripts/perf_check.py --only transpiled
 python scripts/perf_check.py --only parallel
 
-echo "== [3/4] service smoke test =="
+echo "== [3/5] service smoke test =="
 python scripts/serve_smoke.py
 
-echo "== [4/4] fault-injected service smoke =="
+echo "== [4/5] fault-injected service smoke =="
 python scripts/serve_smoke.py --inject "crash=0.5,seed=1"
+
+echo "== [5/5] generated-corpus gates (synth parity slice + quick soak) =="
+REPRO_SYNTH_N=50 python -m pytest tests/test_synth_corpus.py -q
+python scripts/soak_check.py --quick
 
 echo "== ci_check: all gates passed =="

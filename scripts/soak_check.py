@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Service soak gate: a 500-program generated batch through the scheduler.
+
+Pushes ``--n`` synthetic workloads (the canonical pinned slice, so the
+population covers every trait profile) through a real process-pool
+:class:`BatchScheduler` with deliberate duplicate submissions, then
+asserts the scale contracts the hand-built 27-workload corpus is too
+small to exercise:
+
+* every job completes; zero failures, zero worker crashes, and the
+  circuit breaker never opens under sustained load (quiescence),
+* in-flight dedupe fires at least once per duplicate seed, and
+  re-submitting a finished request is served from the artifact store,
+* the finished-job registry stays bounded by ``--max-jobs`` (GC),
+* artifacts are **bit-stable**: the scheduler's pool-computed artifact
+  for a sampled workload is byte-identical (canonical JSON) to an
+  inline in-process recomputation.
+
+Exit code 0 = all contracts hold.  ``--quick`` (CI gate 5) runs a
+60-program slice on 2 workers; the full soak defaults to 500 programs
+(override with ``--n`` or the ``REPRO_SYNTH_N`` environment knob).
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import (AnalysisRequest, ArtifactStore,  # noqa: E402
+                           BatchScheduler, ServiceMetrics, canonical_json)
+from repro.service.jobs import execute_request  # noqa: E402
+from repro.workloads import synth  # noqa: E402
+
+DUP_EVERY = 10          # every 10th program is submitted twice
+PARITY_SAMPLE = 5       # artifacts recomputed inline for bit-stability
+
+
+def check(ok: bool, label: str, detail: str = "") -> bool:
+    mark = "ok  " if ok else "FAIL"
+    print(f"  [{mark}] {label}" + (f"  ({detail})" if detail else ""))
+    return ok
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int,
+                    default=int(os.environ.get("REPRO_SYNTH_N", "500")),
+                    help="generated programs in the batch (default: "
+                         "REPRO_SYNTH_N or 500)")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="process-pool size (default: scheduler choice)")
+    ap.add_argument("--max-jobs", type=int, default=None,
+                    help="finished-job retention cap (default: n // 2, "
+                         "so GC must fire)")
+    ap.add_argument("--cache-dir",
+                    help="artifact store directory (default: a fresh "
+                         "temp dir — the memory-only store's LRU is "
+                         "smaller than a 500-program population)")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI mode: 60 programs, 2 workers")
+    args = ap.parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 60)
+        args.workers = args.workers or 2
+    max_jobs = args.max_jobs or max(8, args.n // 2)
+
+    names = synth.pinned_slice(args.n)
+    submit_names = []
+    for i, name in enumerate(names):
+        submit_names.append(name)
+        if i % DUP_EVERY == 0:
+            submit_names.append(name)     # in-flight duplicate
+    n_dupes = len(submit_names) - len(names)
+
+    print(f"soak: {len(names)} programs (+{n_dupes} duplicate "
+          f"submissions), max_jobs={max_jobs}, "
+          f"workers={args.workers or 'auto'}")
+    metrics = ServiceMetrics()
+    tmp = None
+    if args.cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-soak-")
+        args.cache_dir = tmp.name
+    store = ArtifactStore(args.cache_dir, metrics=metrics)
+    ok = True
+    t0 = time.perf_counter()
+    with BatchScheduler(store, metrics=metrics, workers=args.workers,
+                        max_jobs=max_jobs) as sched:
+        jobs = [sched.submit(AnalysisRequest(n)) for n in submit_names]
+        sched.wait(jobs)
+        states = {}
+        for job in jobs:
+            states[job.state] = states.get(job.state, 0) + 1
+        snap = metrics.snapshot()
+        counters = snap["counters"]
+        elapsed = time.perf_counter() - t0
+
+        ok &= check(states.get("done", 0) == len(jobs),
+                    "all jobs completed", f"states={states}")
+        ok &= check(counters.get("jobs_failed", 0) == 0, "zero failed jobs")
+        ok &= check(counters.get("worker_crashes", 0) == 0,
+                    "zero worker crashes")
+        ok &= check(counters.get("breaker_opened", 0) == 0,
+                    "circuit breaker quiescent")
+        dedup = (counters.get("jobs_deduped", 0)
+                 + counters.get("jobs_served_cached", 0))
+        ok &= check(dedup >= n_dupes,
+                    "every duplicate deduped or served cached",
+                    f"{dedup} hits for {n_dupes} duplicates")
+
+        # GC bound: submissions ran through _gc_finished_locked; one
+        # more flush submit after everything finished forces a final
+        # sweep, after which only max_jobs finished jobs may remain
+        # (+1 for the flush job itself).
+        flush = sched.submit(AnalysisRequest(names[0]))
+        sched.wait([flush])
+        retained = len(sched.jobs())
+        ok &= check(retained <= max_jobs + 1,
+                    "finished-job registry bounded",
+                    f"{retained} retained <= {max_jobs}+1")
+        evicted = metrics.snapshot()["counters"].get("jobs_evicted", 0)
+        ok &= check(evicted > 0 or len(jobs) <= max_jobs,
+                    "GC evicted past the cap", f"{evicted} evicted")
+
+        # cached resubmit of a finished request
+        pre = metrics.snapshot()["counters"].get(
+            "jobs_served_cached", 0)
+        again = sched.submit(AnalysisRequest(names[1]))
+        sched.wait([again])
+        post = metrics.snapshot()["counters"].get(
+            "jobs_served_cached", 0)
+        ok &= check(again.cached and post == pre + 1,
+                    "finished request re-served from artifact store")
+
+        # bit-stability: pool-computed artifacts == inline recomputation
+        stride = max(1, len(names) // PARITY_SAMPLE)
+        sampled = names[::stride][:PARITY_SAMPLE]
+        stable = 0
+        for name in sampled:
+            req = AnalysisRequest(name)
+            pooled = store.get(req.key())
+            inline = execute_request(AnalysisRequest(name))
+            if pooled is not None and \
+                    canonical_json(pooled) == canonical_json(inline):
+                stable += 1
+        ok &= check(stable == len(sampled),
+                    "artifacts bit-stable vs inline recomputation",
+                    f"{stable}/{len(sampled)} byte-identical")
+
+    if tmp is not None:
+        tmp.cleanup()
+    rate = len(jobs) / elapsed if elapsed else 0.0
+    print(f"soak: {len(jobs)} submissions in {elapsed:.1f}s "
+          f"({rate:.0f} jobs/s); "
+          f"hit-rate {snap.get('cache_hit_rate', 0.0):.0%}")
+    if not ok:
+        print("SOAK FAILED", file=sys.stderr)
+        return 1
+    print("soak: all contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

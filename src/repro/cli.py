@@ -46,19 +46,20 @@ from .viz import Codeview, render_slice
 
 
 def _load(target: str):
-    """A (program, inputs, assertions) triple from a path or corpus name."""
+    """A (program, inputs, assertions) triple from a path or corpus name
+    (eager, lazy, and ``synth/s<seed>-<profile>`` names all resolve)."""
     import os
-    from .workloads import ALL
-    if target in ALL:
-        w = ALL[target]
-        return w.build(), w.inputs, w.user_assertions
-    if not os.path.exists(target):
-        raise SystemExit(
-            f"{target!r} is neither a file nor a corpus workload; "
-            f"workloads: {', '.join(sorted(ALL))}")
-    with open(target) as fh:
-        text = fh.read()
-    return build_program(text, target), [], []
+    from .workloads import get
+    try:
+        w = get(target)
+    except (KeyError, ValueError) as exc:
+        if os.path.exists(target):
+            with open(target) as fh:
+                text = fh.read()
+            return build_program(text, target), [], []
+        raise SystemExit(f"{target!r} is neither a file nor a corpus "
+                         f"workload; {exc.args[0]}")
+    return w.build(), w.inputs, w.user_assertions
 
 
 def _machine(name: str):
@@ -276,7 +277,7 @@ def cmd_batch(args) -> int:
     try:
         for name in names:
             get(name)
-    except KeyError as exc:
+    except (KeyError, ValueError) as exc:
         raise SystemExit(str(exc.args[0]))
     options = {"engine": args.engine, "machine": args.machine,
                "use_liveness": not args.no_liveness,
@@ -400,6 +401,41 @@ def cmd_trace(args) -> int:
         print(f"{name:<{width}s}  x{agg['count']:<3d} "
               f"total {agg['total_s'] * 1e3:9.2f} ms  "
               f"max {agg['max_s'] * 1e3:8.2f} ms")
+    return 0
+
+
+def cmd_synth(args) -> int:
+    import json
+    from .workloads import synth
+    if args.list_profiles:
+        for prof in synth.PROFILES:
+            print(f"{prof:10s} {synth.SPECS[prof].description}")
+        return 0
+    if args.slice is not None:
+        for name in synth.pinned_slice(args.slice):
+            print(name)
+        return 0
+    w = synth.generate(args.seed, args.profile)
+    if args.manifest:
+        print(json.dumps(w.manifest, indent=2, sort_keys=True))
+    else:
+        print(w.source)
+        print(f"[{w.name}: {w.manifest['plan']['parallel_count']}/"
+              f"{w.manifest['plan']['loop_count']} loops parallel; "
+              f"reference {w.manifest['reference']['ops']} ops; "
+              f"sha256 {w.manifest['source_sha256'][:12]}]",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_synthstats(args) -> int:
+    from .workloads.synth.stats import render_table, trait_table
+    profiles = args.profiles or ()
+    rows = trait_table(seeds_per_profile=args.seeds, profiles=profiles)
+    print(render_table(rows))
+    total = sum(r[2] for r in rows)
+    print(f"[{sum(r[1] for r in rows)} generated programs, {total} "
+          f"loops classified]", file=sys.stderr)
     return 0
 
 
@@ -534,6 +570,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="alphaserver",
                    choices=sorted(MACHINES))
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("synth", help="generate a seeded synthetic "
+                                     "workload (print source or trait "
+                                     "manifest)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", default="mix",
+                   help="trait profile (see --list-profiles)")
+    p.add_argument("--manifest", action="store_true",
+                   help="print the trait manifest JSON instead of source")
+    p.add_argument("--list-profiles", action="store_true",
+                   help="list trait profiles and exit")
+    p.add_argument("--slice", type=int, metavar="N",
+                   help="print the first N names of the canonical "
+                        "pinned corpus slice and exit")
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser("synthstats", help="trait-coverage table: which "
+                       "analysis wins per trait profile over a generated "
+                       "corpus slice (machine-made Fig. 6.2 extension)")
+    p.add_argument("--seeds", type=int, default=4,
+                   help="seeds per profile (default 4)")
+    p.add_argument("--profiles", nargs="*",
+                   help="restrict to these profiles (default: all)")
+    p.set_defaults(func=cmd_synthstats)
 
     p = sub.add_parser("serve", help="serve the analysis API over HTTP")
     p.add_argument("--host", default="127.0.0.1")

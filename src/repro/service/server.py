@@ -80,7 +80,8 @@ class AnalysisService:
             snap["store"] = self.store.stats()
             return 200, snap
         if parts == ["corpus"]:
-            return 200, {"workloads": _corpus_listing()}
+            return 200, {"workloads": _corpus_listing(),
+                         "synth": _synth_listing()}
         if parts == ["jobs"]:
             return 200, {"jobs": [j.to_dict()
                                   for j in self.scheduler.jobs()]}
@@ -137,6 +138,17 @@ def _corpus_listing() -> list:
              "assertions": len(w.user_assertions),
              "tags": list(w.tags)}
             for _, w in sorted(ALL.items())]
+
+
+def _synth_listing() -> Dict:
+    """Advertise the generated-workload namespace: profiles and the name
+    scheme clients may POST as ``workload`` (resolved lazily per job; no
+    generation happens to serve this listing)."""
+    from ..workloads.synth import GENERATOR_VERSION, SPECS
+    return {"name_format": "synth/s<seed>-<profile>",
+            "generator_version": GENERATOR_VERSION,
+            "profiles": [{"profile": p, "description": s.description}
+                         for p, s in sorted(SPECS.items())]}
 
 
 class _Handler(BaseHTTPRequestHandler):

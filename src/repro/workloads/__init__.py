@@ -1,7 +1,9 @@
-"""Benchmark corpus: miniatures of the paper's evaluation programs."""
+"""Benchmark corpus: miniatures of the paper's evaluation programs,
+plus lazily-resolved generated entries (``synth/s<seed>-<profile>``)."""
 
 from .base import Workload
-from .corpus import ALL, CHAPTER4, CHAPTER5, CHAPTER6, by_tag, get
+from .corpus import (ALL, CHAPTER4, CHAPTER5, CHAPTER6, by_tag, get,
+                     register_lazy)
 
 __all__ = ["Workload", "ALL", "CHAPTER4", "CHAPTER5", "CHAPTER6",
-           "by_tag", "get"]
+           "by_tag", "get", "register_lazy"]

@@ -1,6 +1,19 @@
-"""The workload registry: every benchmark program the benches draw on."""
+"""The workload registry: every benchmark program the benches draw on.
 
-from typing import Dict, List
+Two tiers of registration:
+
+* **eager** — the hand-built paper miniatures in :data:`ALL`, defined at
+  module import (27 programs; cheap, pure source text).
+* **lazy** — generated entries resolved on first :func:`get`.  A
+  ``register_lazy(name, factory)`` entry materializes once and is cached;
+  ``synth/s<seed>-<profile>`` names resolve through the synth factory
+  without the registry importing :mod:`repro.workloads.synth` (or running
+  any generation) until such a name is actually requested.  This keeps
+  ``import repro.workloads`` fast and side-effect-free — there is a
+  regression test on exactly that.
+"""
+
+from typing import Callable, Dict, List
 
 from . import (arc3d, bdna, flo88, hydro, hydro2d, mdg, nas_perfect,
                spec_kernels, wave5)
@@ -23,13 +36,44 @@ for _w in (CHAPTER4 + CHAPTER5 + CHAPTER6
            + [flo88.WORKLOAD_FUSED]):
     ALL[_w.name] = _w
 
+#: name -> zero-arg factory; materialized entries move to _MATERIALIZED.
+_LAZY: Dict[str, Callable[[], Workload]] = {}
+_MATERIALIZED: Dict[str, Workload] = {}
+
+_SYNTH_PREFIX = "synth/"
+
+
+def register_lazy(name: str, factory: Callable[[], Workload]) -> None:
+    """Register a workload that is built on first lookup.  The factory
+    runs at most once; its result is cached for the process lifetime."""
+    if name in ALL:
+        raise ValueError(f"workload {name!r} is already registered "
+                         "eagerly")
+    _LAZY[name] = factory
+
 
 def get(name: str) -> Workload:
     try:
         return ALL[name]
     except KeyError:
-        raise KeyError(f"unknown workload {name!r}; choose from "
-                       f"{', '.join(sorted(ALL))}") from None
+        pass
+    try:
+        return _MATERIALIZED[name]
+    except KeyError:
+        pass
+    factory = _LAZY.get(name)
+    if factory is not None:
+        w = factory()
+        _MATERIALIZED[name] = w
+        return w
+    if name.startswith(_SYNTH_PREFIX):
+        # deferred import: pulling in the generator (and its IR /
+        # parallelizer / runtime deps) only when a synth name is asked
+        from . import synth
+        return synth.from_name(name)  # LRU-bounded in synth
+    raise KeyError(f"unknown workload {name!r}; choose from "
+                   f"{', '.join(sorted(ALL))} or a lazy/synth name "
+                   f"(synth/s<seed>-<profile>)")
 
 
 def by_tag(tag: str) -> List[Workload]:

@@ -1,0 +1,68 @@
+"""Seeded workload factory: corpus-scale generated mini-Fortran programs.
+
+Public surface:
+
+* :func:`generate` — ``(seed, profile) -> SynthWorkload``, memoized in a
+  bounded LRU (generation runs the tree oracle once, so repeat lookups
+  by suites/scheduler/CLI must not regenerate).
+* :func:`from_name` — resolve a ``synth/s<seed>-<profile>`` corpus name.
+* :func:`pinned_slice` — the canonical prefix-stable corpus slice the
+  parity suites and CI gates pin: ``pinned_slice(50)`` is a strict
+  prefix of ``pinned_slice(200)``, so scaling ``REPRO_SYNTH_N`` only
+  ever *adds* programs.
+* :data:`PROFILES` / :data:`SPECS` — the trait-profile registry.
+
+Determinism: everything here is a pure function of
+``(seed, profile, GENERATOR_VERSION)`` — see :mod:`.generator`.
+"""
+
+from functools import lru_cache
+from typing import List
+
+from .emit import Chooser, RandomChooser
+from .generator import (GENERATOR_VERSION, NAME_PREFIX, SPECS, SynthSpec,
+                        SynthWorkload, build_source, parse_name,
+                        profile_names, synth_name)
+from .generator import generate as _generate
+
+#: Sorted profile tags, the deterministic round-robin order of
+#: :func:`pinned_slice`.
+PROFILES: List[str] = profile_names()
+
+_CACHE_SIZE = 256
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def generate(seed: int, profile: str) -> SynthWorkload:
+    return _generate(seed, profile)
+
+
+def from_name(name: str) -> SynthWorkload:
+    """Resolve a ``synth/s<seed>-<profile>`` name to its workload."""
+    seed, profile = parse_name(name)
+    return generate(seed, profile)
+
+
+def is_synth_name(name: str) -> bool:
+    return name.startswith(NAME_PREFIX)
+
+
+def pinned_slice(n: int) -> List[str]:
+    """The first ``n`` names of the canonical corpus slice: profiles in
+    sorted order round-robin, seeds increasing — prefix-stable in ``n``."""
+    if n < 0:
+        raise ValueError("slice size must be >= 0")
+    out = []
+    for k in range(n):
+        profile = PROFILES[k % len(PROFILES)]
+        seed = k // len(PROFILES)
+        out.append(synth_name(seed, profile))
+    return out
+
+
+__all__ = [
+    "Chooser", "RandomChooser", "GENERATOR_VERSION", "NAME_PREFIX",
+    "PROFILES", "SPECS", "SynthSpec", "SynthWorkload", "build_source",
+    "from_name", "generate", "is_synth_name", "parse_name",
+    "pinned_slice", "profile_names", "synth_name",
+]

@@ -1,0 +1,103 @@
+"""Trait-coverage analysis over a generated corpus slice.
+
+``repro synthstats`` (and the bench mirror) answers the question the
+paper's Fig. 6.2 table answers for its hand-picked suite, here over a
+machine-generated population: *for each trait profile, which analysis
+wins* — the static dependence test alone, the reduction recognizer, the
+privatizer (liveness-driven finalization included), or dynamic
+dependence analysis confirming/refuting a statically blocked loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Classification buckets, in report-column order.
+WINNERS = ("static", "reduction", "privatizer", "dyndep-dep",
+           "dyndep-clean")
+
+_PRIVATE = ("private", "private_final", "private_user")
+
+
+def classify_program(source: str, name: str) -> Dict[str, int]:
+    """Per-loop analysis-winner census for one program.
+
+    Parallel loops are credited to the *strongest* analysis that was
+    needed: reduction recognizer beats privatizer beats the bare static
+    dependence test.  Statically blocked loops are handed to dyndep
+    (stride 1, exhaustive): a loop with an observed carried dependence
+    is ``dyndep-dep`` (the block is real), one with none is
+    ``dyndep-clean`` (a candidate the static test missed — interactive
+    Explorer fodder per §2.5)."""
+    from ...ir import build_program
+    from ...parallelize import Parallelizer
+    from ...runtime import analyze_dependences
+
+    prog = build_program(source, name)
+    plan = Parallelizer(prog).plan()
+    counts = {w: 0 for w in WINNERS}
+    blocked = []
+    for loop in prog.all_loops():
+        lp = plan.plan_for(loop)
+        if lp is None:
+            continue
+        if lp.parallel:
+            statuses = {vp.status for vp in lp.vars.values()}
+            if "reduction" in statuses:
+                counts["reduction"] += 1
+            elif statuses.intersection(_PRIVATE):
+                counts["privatizer"] += 1
+            else:
+                counts["static"] += 1
+        else:
+            blocked.append(loop)
+    if blocked:
+        # fresh build for the instrumented run; map its stmt_ids back to
+        # loop *names* (stmt_ids are global counters, unique per build)
+        dyn_prog = build_program(source, name)
+        names = {l.stmt_id: l.name for l in dyn_prog.all_loops()}
+        analyzer = analyze_dependences(dyn_prog, sample_stride=1)
+        carried = {}
+        for (stmt_id, _var), hits in analyzer.carried_by_var.items():
+            if hits:
+                carried[names.get(stmt_id)] = True
+        for loop in blocked:
+            if carried.get(loop.name):
+                counts["dyndep-dep"] += 1
+            else:
+                counts["dyndep-clean"] += 1
+    return counts
+
+
+def trait_table(seeds_per_profile: int = 4,
+                profiles: Sequence[str] = ()) -> List[Tuple]:
+    """Aggregate :func:`classify_program` over ``seeds_per_profile``
+    seeds of each profile.  Returns rows
+    ``(profile, programs, loops, static, reduction, privatizer,
+    dyndep-dep, dyndep-clean)`` sorted by profile."""
+    from . import SPECS, generate
+
+    rows = []
+    for profile in sorted(profiles or SPECS):
+        agg = {w: 0 for w in WINNERS}
+        loops = 0
+        for seed in range(seeds_per_profile):
+            w = generate(seed, profile)
+            counts = classify_program(w.source, w.name)
+            for k, v in counts.items():
+                agg[k] += v
+            loops += sum(counts.values())
+        rows.append((profile, seeds_per_profile, loops,
+                     *(agg[w] for w in WINNERS)))
+    return rows
+
+
+def render_table(rows: List[Tuple]) -> str:
+    headers = ("profile", "progs", "loops") + WINNERS
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    def fmt(vals):
+        return "  ".join(str(v).ljust(w) for v, w in zip(vals, widths))
+    lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)

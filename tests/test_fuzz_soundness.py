@@ -22,92 +22,33 @@ from repro.ir import build_program
 from repro.parallelize import Parallelizer
 from repro.runtime import analyze_dependences, reduction_stmt_ids, \
     run_program
-
-IDX = ["i", "i+1", "i-1", "2*i", "j", "j+1", "3", "7"]
-SCALARS = ["s", "t"]
-ARRAYS = ["a", "b"]
+from repro.workloads.synth.emit import (Chooser, fuzz_program,
+                                        reduction_merge_program)
 
 
-@st.composite
-def exprs(draw):
-    kind = draw(st.sampled_from(["const", "scalar", "array", "index",
-                                 "binop"]))
-    if kind == "const":
-        return f"{draw(st.integers(1, 9))}.0"
-    if kind == "scalar":
-        return draw(st.sampled_from(SCALARS))
-    if kind == "index":
-        return draw(st.sampled_from(["i * 1.0", "j * 1.0"]))
-    if kind == "array":
-        return f"{draw(st.sampled_from(ARRAYS))}({draw(st.sampled_from(IDX))})"
-    op = draw(st.sampled_from(["+", "-", "*"]))
-    left = draw(st.sampled_from(SCALARS + ["i * 1.0", "2.0"]))
-    right = f"{draw(st.sampled_from(ARRAYS))}({draw(st.sampled_from(IDX))})"
-    return f"{left} {op} {right}"
+class _DrawChooser(Chooser):
+    """A Hypothesis-backed chooser: the grammar lives once in
+    ``repro.workloads.synth.emit`` (shared with the seeded corpus
+    factory, so fuzzer and generator cannot drift apart); here every
+    decision routes through ``draw``, which keeps shrinking — Hypothesis
+    minimizes the draw sequence and replays it through the same rules."""
 
+    def __init__(self, draw):
+        self._draw = draw
 
-@st.composite
-def simple_stmts(draw, indent):
-    pad = " " * indent
-    kind = draw(st.sampled_from(["assign_array", "assign_scalar",
-                                 "reduce_scalar", "reduce_array"]))
-    if kind == "assign_array":
-        tgt = f"{draw(st.sampled_from(ARRAYS))}({draw(st.sampled_from(IDX))})"
-        return f"{pad}{tgt} = {draw(exprs())}"
-    if kind == "assign_scalar":
-        return f"{pad}{draw(st.sampled_from(SCALARS))} = {draw(exprs())}"
-    if kind == "reduce_scalar":
-        s = draw(st.sampled_from(SCALARS))
-        return f"{pad}{s} = {s} + {draw(exprs())}"
-    arr = draw(st.sampled_from(ARRAYS))
-    idx = draw(st.sampled_from(IDX))
-    return f"{pad}{arr}({idx}) = {arr}({idx}) + {draw(exprs())}"
+    def choice(self, seq):
+        return self._draw(st.sampled_from(list(seq)))
 
+    def randint(self, lo, hi):
+        return self._draw(st.integers(lo, hi))
 
-@st.composite
-def body_stmts(draw, labels):
-    out = []
-    n = draw(st.integers(1, 3))
-    for _ in range(n):
-        shape = draw(st.sampled_from(["simple", "if", "jloop"]))
-        if shape == "simple":
-            out.append(draw(simple_stmts(8)))
-        elif shape == "if":
-            cond = (f"{draw(st.sampled_from(ARRAYS))}"
-                    f"({draw(st.sampled_from(IDX))}) .GT. "
-                    f"{draw(st.integers(0, 5))}.0")
-            out.append(f"        IF ({cond}) THEN")
-            out.append(draw(simple_stmts(10)))
-            out.append("        ENDIF")
-        else:
-            label = labels.pop()
-            out.append(f"        DO {label} j = 2, 8")
-            out.append(draw(simple_stmts(10)))
-            out.append(f"{label}      CONTINUE")
-    return out
+    def boolean(self):
+        return self._draw(st.booleans())
 
 
 @st.composite
 def programs(draw):
-    labels = [20, 30, 40]
-    body = draw(body_stmts(labels))
-    lines = [
-        "      PROGRAM fz",
-        "      COMMON /sc/ s, t",
-        "      DIMENSION a(40), b(40)",
-        "      DO 5 i = 1, 40",
-        "        a(i) = i * 0.5",
-        "        b(i) = 21.0 - i * 0.25",
-        "5     CONTINUE",
-        "      s = 1.0",
-        "      t = 2.0",
-        "      DO 100 i = 2, 12",
-    ] + body + [
-        "100   CONTINUE",
-        "      PRINT *, a(3), b(5), s, t",
-        "      END",
-    ]
-    return "\n".join(lines)
+    return fuzz_program(_DrawChooser(draw))
 
 
 @settings(max_examples=30, deadline=None)
@@ -324,45 +265,10 @@ def test_compiled_engine_parity_on_corpus(name):
 
 @st.composite
 def reduction_programs(draw):
-    """Parallel loops dominated by reduction chains — the shapes whose
-    merge order the par_backend must replay bit-exactly: ``+ - *`` and
-    ``min``/``max`` spines over scalars, mixed with plain parallel
-    array writes."""
-    lines = []
-    n_red = draw(st.integers(1, 3))
-    operands = ["a(i)", "b(i)", "a(i) * b(i)", "0.5", "1.25",
-                "b(i) - a(i)"]
-    for _ in range(n_red):
-        target = draw(st.sampled_from(["s", "t"]))
-        kind = draw(st.sampled_from(["chain", "minmax"]))
-        if kind == "minmax":
-            fn = draw(st.sampled_from(["MIN", "MAX"]))
-            arg = draw(st.sampled_from(operands))
-            lines.append(f"        {target} = {fn}({target}, {arg})")
-        else:
-            expr = target
-            for _ in range(draw(st.integers(1, 3))):
-                op = draw(st.sampled_from(["+", "-", "*"]))
-                expr = f"({expr} {op} {draw(st.sampled_from(operands))})"
-            lines.append(f"        {target} = {expr}")
-    if draw(st.booleans()):
-        lines.append(f"        c(i) = {draw(st.sampled_from(operands))}")
-    return "\n".join([
-        "      PROGRAM fzr",
-        "      COMMON /sc/ s, t",
-        "      DIMENSION a(40), b(40), c(40)",
-        "      DO 5 i = 1, 40",
-        "        a(i) = i * 0.5",
-        "        b(i) = 21.0 - i * 0.25",
-        "5     CONTINUE",
-        "      s = 1.0",
-        "      t = 2.0",
-        "      DO 100 i = 2, 33",
-    ] + lines + [
-        "100   CONTINUE",
-        "      PRINT *, s, t, c(3)",
-        "      END",
-    ])
+    """See :func:`repro.workloads.synth.emit.reduction_merge_program`
+    — the shapes whose merge order the par_backend must replay
+    bit-exactly, drawn through Hypothesis for shrinking."""
+    return reduction_merge_program(_DrawChooser(draw))
 
 
 @settings(max_examples=30, deadline=None)

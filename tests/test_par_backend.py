@@ -299,3 +299,52 @@ def test_service_job_records_parallel_execution():
     assert pe["matches_simulated"] is True
     assert pe["ops"] > 0 and pe["offloaded"] >= 1
     assert pe["outputs"] == art["execution"]["outputs"]
+
+
+# -- trait-targeted rejection coverage (generated programs) -------------------
+#
+# Every offload-rejection class must be *producible on demand*: the
+# synth factory has a trait profile per class, and for each one the
+# containing plan marks the loop PARALLEL (the rejection is a backend
+# codegen limit, not a planning failure) while execution falls back
+# bit-identically to the sequential transpiled engine.
+
+REJECTION_PROFILES = [
+    ("call", "loop contains a call"),
+    ("formal", "formal array"),
+    ("conddrv", "conditionally reached"),
+    ("red-mm", "read outside its update"),
+]
+
+
+@pytest.mark.parametrize("profile,needle", REJECTION_PROFILES)
+def test_rejection_class_produced_on_demand(profile, needle):
+    from repro.workloads import synth
+    for seed in range(4):
+        w = synth.generate(seed, profile)
+        prog = build_program(w.source, w.name)
+        plan = Parallelizer(prog).plan()
+        offloads, rejects = analyze_offloads(prog, plan)
+        hits = {loop: why for loop, why in rejects.items()
+                if needle in why}
+        assert hits, (
+            f"{w.name}: no '{needle}' rejection; rejects={rejects}")
+        # the rejected loops were *planned* parallel — the backend,
+        # not the planner, declined them
+        parallel_names = {l.name for l in plan.parallel_loops()}
+        assert set(hits).issubset(parallel_names), (w.name, hits)
+
+
+@pytest.mark.parametrize("profile,needle", REJECTION_PROFILES)
+def test_rejected_loops_fall_back_bit_identically(profile, needle):
+    from repro.workloads import synth
+    w = synth.generate(1, profile)
+    prog = build_program(w.source, w.name)
+    plan = Parallelizer(prog).plan()
+    out0, ops0, cm0 = _seq_reference(prog, ())
+    r = ParallelRunner(prog, plan, workers=2, inline=True).execute(())
+    assert r.outputs == out0, w.name
+    assert r.ops == ops0, w.name
+    assert r.commons == cm0, w.name
+    assert any(needle in why for why in r.rejects.values()), (
+        w.name, r.rejects)
