@@ -7,11 +7,13 @@
 #   1. the tier-1 pytest suite (correctness, soundness fuzzing,
 #      service determinism, observability contracts),
 #   2. the performance gates (ops/sec vs the committed
-#      BENCH_engine.json, BENCH_tools.json, and BENCH_parallel.json
-#      baselines; also enforces the compiled engine's 2x-over-tree
-#      contract, the transpiled engine's 10x-over-compiled contract,
-#      the instrumented fast path's 3x-over-tree-observer contract,
-#      and — on hosts with >= 4 free cores — real parallel execution's
+#      BENCH_engine.json, BENCH_tools.json, BENCH_parallel.json, and
+#      BENCH_incremental.json baselines; also enforces the compiled
+#      engine's 2x-over-tree contract, the transpiled engine's
+#      10x-over-compiled contract, the instrumented fast path's
+#      3x-over-tree-observer contract, warm incremental re-analysis's
+#      10x-over-cold-pipeline contract with bit parity, and — on hosts
+#      with >= 4 free cores — real parallel execution's
 #      1.5x-at-4-workers contract with bit-parity on every host),
 #   3. the end-to-end HTTP service smoke test (submit / poll /
 #      artifact / cache-repeat / metrics),
@@ -22,7 +24,10 @@
 #      registration) and the quick service soak (dedupe, GC bounds,
 #      breaker quiescence, bit-stable artifacts).  REPRO_SYNTH_N is the
 #      scale knob — the tier-1 default is 200; soak runs use 500+
-#      (e.g. `REPRO_SYNTH_N=500 python scripts/soak_check.py`).
+#      (e.g. `REPRO_SYNTH_N=500 python scripts/soak_check.py`),
+#   6. the incremental-analysis gate (a one-procedure edit on the
+#      deepest call graphs invalidates exactly its dependency cone,
+#      with warm/cold bit parity and a no-op hot re-run).
 #
 # Any failure stops the script with a nonzero exit.
 
@@ -31,22 +36,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-echo "== [1/5] tier-1 test suite =="
+echo "== [1/6] tier-1 test suite =="
 python -m pytest -x -q
 
-echo "== [2/5] performance gates (engine + transpiled + tools + parallel) =="
+echo "== [2/6] performance gates (engine + transpiled + tools + parallel + incremental) =="
 python scripts/perf_check.py
 python scripts/perf_check.py --only transpiled
 python scripts/perf_check.py --only parallel
+python scripts/perf_check.py --only incremental
 
-echo "== [3/5] service smoke test =="
+echo "== [3/6] service smoke test =="
 python scripts/serve_smoke.py
 
-echo "== [4/5] fault-injected service smoke =="
+echo "== [4/6] fault-injected service smoke =="
 python scripts/serve_smoke.py --inject "crash=0.5,seed=1"
 
-echo "== [5/5] generated-corpus gates (synth parity slice + quick soak) =="
+echo "== [5/6] generated-corpus gates (synth parity slice + quick soak) =="
 REPRO_SYNTH_N=50 python -m pytest tests/test_synth_corpus.py -q
 python scripts/soak_check.py --quick
+
+echo "== [6/6] incremental-analysis gate (cone invalidation + parity) =="
+python scripts/incr_check.py
 
 echo "== ci_check: all gates passed =="

@@ -3,17 +3,20 @@
 
 Re-runs ``benchmarks/bench_perf_engine.py`` (clean execution),
 ``benchmarks/bench_perf_tools.py`` (instrumented profiler / dyndep),
-and ``benchmarks/bench_perf_parallel.py`` (real multi-core execution)
-and compares fresh numbers against the committed baselines
-``BENCH_engine.json``, ``BENCH_tools.json``, and
-``BENCH_parallel.json``.  Fails (exit 1) when any path regresses by
-more than ``--tolerance`` (default 20%) on any workload, when the
-compiled engine drops below the 2x-over-tree contract, when the
-transpiled engine drops below the 10x-over-compiled contract, when an
-instrumented fast path drops below the 3x-over-tree-observer contract,
-or — on hosts with >= 4 free cores — when real parallel execution
-drops below the 1.5x-at-4-workers contract (bit-parity and the
-monotonic predicted-speedup shape gate on every host).
+``benchmarks/bench_perf_parallel.py`` (real multi-core execution), and
+``benchmarks/bench_perf_incr.py`` (incremental re-analysis) and
+compares fresh numbers against the committed baselines
+``BENCH_engine.json``, ``BENCH_tools.json``, ``BENCH_parallel.json``,
+and ``BENCH_incremental.json``.  Fails (exit 1) when any path
+regresses by more than ``--tolerance`` (default 20%) on any workload,
+when the compiled engine drops below the 2x-over-tree contract, when
+the transpiled engine drops below the 10x-over-compiled contract, when
+an instrumented fast path drops below the 3x-over-tree-observer
+contract, when a warm-edit re-analysis drops below the 10x-over-cold-
+pipeline contract (or loses bit parity with a cold run), or — on hosts
+with >= 4 free cores — when real parallel execution drops below the
+1.5x-at-4-workers contract (bit-parity and the monotonic
+predicted-speedup shape gate on every host).
 
 Run it next to the tier-1 suite::
 
@@ -37,6 +40,7 @@ sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO / "benchmarks"))
 
 import bench_perf_engine  # noqa: E402
+import bench_perf_incr  # noqa: E402
 import bench_perf_parallel  # noqa: E402
 import bench_perf_tools  # noqa: E402
 
@@ -169,6 +173,43 @@ def compare_parallel(baseline: dict, fresh: dict, tolerance: float) -> list:
     return failures
 
 
+def compare_incremental(baseline: dict, fresh: dict,
+                        tolerance: float) -> list:
+    """Failure messages for the incremental re-analysis gate.
+
+    Bit parity and the ≥``MIN_WARM_SPEEDUP``x / ``MIN_HOT_SPEEDUP``x
+    contracts gate against the *fresh* run (host-independent ratios);
+    the seconds comparison against the baseline catches absolute
+    warm-path regressions that a uniformly slower host would mask."""
+    failures = []
+    for name, base in baseline["workloads"].items():
+        cur = fresh["workloads"].get(name)
+        if cur is None:
+            failures.append(f"incremental/{name}: missing from fresh run")
+            continue
+        if not cur["parity"]:
+            failures.append(
+                f"incremental/{name}: warm-edit artifact not "
+                f"bit-identical to a cold run")
+        for regime, contract in (
+                ("warm", bench_perf_incr.MIN_WARM_SPEEDUP),
+                ("hot", bench_perf_incr.MIN_HOT_SPEEDUP)):
+            sp = cur[f"{regime}_speedup"]
+            if sp < contract:
+                failures.append(
+                    f"incremental/{name}: {regime} re-analysis only "
+                    f"{sp:.1f}x over the cold full pipeline, below "
+                    f"the {contract}x contract")
+        for field in ("warm_edit_s", "hot_s"):
+            was, now = base[field], cur[field]
+            if now > was * (1.0 + tolerance):
+                failures.append(
+                    f"incremental/{name}/{field}: {now * 1e3:.1f}ms is "
+                    f"{(now / was - 1):.0%} above baseline "
+                    f"{was * 1e3:.1f}ms (tolerance {tolerance:.0%})")
+    return failures
+
+
 #: (label, bench module, printer, comparator); engine and transpiled
 #: share one measurement pass over bench_perf_engine
 GATES = (
@@ -176,6 +217,7 @@ GATES = (
     ("transpiled", bench_perf_engine, compare_transpiled),
     ("tools", bench_perf_tools, compare_tools),
     ("parallel", bench_perf_parallel, compare_parallel),
+    ("incremental", bench_perf_incr, compare_incremental),
 )
 
 
@@ -215,8 +257,18 @@ def _print_parallel(fresh: dict) -> None:
               f"parity={'ok' if r['parity'] else 'DIVERGED'}")
 
 
+def _print_incremental(fresh: dict) -> None:
+    for name, r in fresh["workloads"].items():
+        print(f"{name:10s} full={r['full_s'] * 1e3:7.1f}ms  "
+              f"warm-edit={r['warm_edit_s'] * 1e3:6.1f}ms  "
+              f"hot={r['hot_s'] * 1e3:5.1f}ms  "
+              f"warm={r['warm_speedup']:.1f}x  hot={r['hot_speedup']:.1f}x  "
+              f"parity={'ok' if r['parity'] else 'DIVERGED'}")
+
+
 PRINTERS = {"engine": _print_engine, "transpiled": _print_transpiled,
-            "tools": _print_tools, "parallel": _print_parallel}
+            "tools": _print_tools, "parallel": _print_parallel,
+            "incremental": _print_incremental}
 
 
 def main(argv=None) -> int:
@@ -227,7 +279,7 @@ def main(argv=None) -> int:
                     help="rewrite BENCH_engine.json and BENCH_tools.json "
                          "from this run")
     ap.add_argument("--only", choices=["engine", "transpiled", "tools",
-                                       "parallel"],
+                                       "parallel", "incremental"],
                     help="run a single gate")
     args = ap.parse_args(argv)
 

@@ -68,7 +68,8 @@ class LivenessResult:
 class ArrayLiveness:
     """Top-down liveness over a completed bottom-up :class:`ArrayDataFlow`."""
 
-    def __init__(self, dataflow: ArrayDataFlow, variant: str = FULL):
+    def __init__(self, dataflow: ArrayDataFlow, variant: str = FULL,
+                 lazy: bool = False):
         if variant not in (FULL, ONE_BIT, FLOW_INSENSITIVE):
             raise ValueError(f"unknown liveness variant {variant!r}")
         self.dataflow = dataflow
@@ -82,23 +83,71 @@ class ArrayLiveness:
         # 1-bit caches
         self._stmt_ebits: Dict[int, Set[LocKey]] = {}
         self._proc_ebits: Dict[str, Set[LocKey]] = {}
-        self._run()
+        self._walked: Set[str] = set()
+        self._ran_all = False
+        # Optional cache hooks (installed by the incremental analyzer).
+        # ``after_loader(name) -> Optional[AccessSummary]`` may satisfy an
+        # after-proc summary without walking the caller chain;
+        # ``after_saver(name, summary)`` observes every fresh computation.
+        self.after_loader = None
+        self.after_saver = None
+        if not lazy:
+            self._run()
 
     # ------------------------------------------------------------------ runs
     def _run(self) -> None:
+        self.ensure_all()
+
+    def ensure_all(self) -> None:
+        """Record liveness facts for every loop (idempotent)."""
+        if self._ran_all:
+            return
+        self._ran_all = True
         cg = self.dataflow.callgraph
         order = cg.top_down_order()
         if self.variant == FLOW_INSENSITIVE:
+            self.dataflow.walk_all()
             self._run_flow_insensitive(order)
             return
         if self.variant == ONE_BIT:
+            self.dataflow.walk_all()
             self._run_one_bit(order)
             return
         for proc_name in order:
-            proc = self.program.procedures[proc_name]
-            after = self._compute_after_proc(proc_name)
-            self._after_proc[proc_name] = after
-            self._walk_block_top_down(proc.body, proc, after)
+            self.ensure_proc(proc_name)
+
+    def ensure_proc(self, proc_name: str) -> None:
+        """Demand-driven entry point: record liveness for one procedure's
+        loops.  In the FULL variant this pulls in exactly the procedure's
+        dependency cone — transitive callees (bottom-up summaries) plus
+        the continuation closure over its call sites (after-summaries) —
+        which is what the incremental analyzer caches per cone.  The
+        1-bit / flow-insensitive variants are whole-program push
+        algorithms, so they fall back to :meth:`ensure_all`."""
+        if self.variant != FULL:
+            self.ensure_all()
+            return
+        if proc_name in self._walked:
+            return
+        self._walked.add(proc_name)
+        proc = self.program.procedures[proc_name]
+        self.dataflow.ensure_walked(proc_name)
+        after = self._ensure_after_proc(proc_name)
+        self._walk_block_top_down(proc.body, proc, after)
+
+    def _ensure_after_proc(self, proc_name: str) -> AccessSummary:
+        got = self._after_proc.get(proc_name)
+        if got is None:
+            if self.after_loader is not None:
+                # a cache hit short-circuits the recursive caller-chain
+                # walk — the dominant cost of re-planning a leaf edit
+                got = self.after_loader(proc_name)
+            if got is None:
+                got = self._compute_after_proc(proc_name)
+                if self.after_saver is not None:
+                    self.after_saver(proc_name, got)
+            self._after_proc[proc_name] = got
+        return got
 
     # ------------------------------------------------------------ 1-bit
     def _run_one_bit(self, order) -> None:
@@ -236,6 +285,10 @@ class ArrayLiveness:
         merged: Optional[AccessSummary] = None
         for call in sites:
             caller = self.program.procedures[call.proc_name]
+            # the caller's bottom-up pass records the within-region
+            # suffix summaries _after_statement composes, so the caller
+            # needs a real walk (a cache-loaded flat summary lacks them)
+            self.dataflow.ensure_walked(call.proc_name)
             after_call = self._after_statement(call, caller)
             mapped = self._map_to_callee(after_call, call, proc_name)
             merged = mapped if merged is None else join(merged, mapped)
@@ -265,7 +318,7 @@ class ArrayLiveness:
         while cur is not None and not isinstance(cur, LoopStmt):
             cur = cur.parent
         if cur is None:
-            return self._after_proc.get(proc_name, AccessSummary.empty())
+            return self._ensure_after_proc(proc_name)
         loop = cur
         cached = self._after_body.get(loop.stmt_id)
         if cached is not None:

@@ -75,7 +75,7 @@ class ArrayDataFlow:
     def __init__(self, program: Program,
                  symbolic: Optional[SymbolicAnalysis] = None,
                  callgraph: Optional[CallGraph] = None,
-                 key_fn=None):
+                 key_fn=None, lazy: bool = False):
         self.program = program
         self.symbolic = symbolic or SymbolicAnalysis(program)
         self.callgraph = callgraph or CallGraph(program)
@@ -92,15 +92,74 @@ class ArrayDataFlow:
         # per-statement summaries (immutable once computed) memoized for
         # the liveness variants that re-query them
         self._stmt_memo: Dict[int, AccessSummary] = {}
-        self._run()
+        # Procedures whose bodies were actually walked (vs. summaries
+        # installed wholesale by ``summary_loader``).  Only a walked
+        # procedure has its side tables (``after_in_region``,
+        # ``loop_body_summary``, ``_stmt_memo``) populated.
+        self._walked: set = set()
+        # Optional cache hooks (installed by the incremental analyzer).
+        # ``summary_loader(name) -> Optional[AccessSummary]`` may satisfy
+        # a flat summary request without a body walk;
+        # ``summary_saver(name, summary)`` observes every fresh walk.
+        self.summary_loader = None
+        self.summary_saver = None
+        if not lazy:
+            self._run()
 
     # -- driver ------------------------------------------------------------
     def _run(self) -> None:
+        self.summarize_all()
+
+    def summarize_all(self) -> None:
+        """Summarize every procedure (idempotent; bottom-up order)."""
         for proc_name in self.callgraph.bottom_up_order():
-            proc = self.program.procedures[proc_name]
-            psym = self.symbolic.result(proc)
-            self.proc_summary[proc_name] = self._summarize_block(
-                proc.body, proc, psym)
+            self.summary_of(proc_name)
+
+    def summary_of(self, proc_name: str) -> AccessSummary:
+        """Demand-driven per-procedure summary.  Recurses through call
+        sites (the call graph is acyclic), so in lazy mode only the
+        transitive-callee cone of the queried procedure is summarized —
+        the unit of reuse for the incremental analyzer.
+
+        A flat summary is all a *call site* needs (`_summarize_call`
+        renames every opaque term to fresh caller tags anyway), so this
+        consults ``summary_loader`` first.  Callers that need the side
+        tables — liveness walks suffixes of the enclosing region — must
+        use :meth:`ensure_walked` instead."""
+        got = self.proc_summary.get(proc_name)
+        if got is None:
+            if self.summary_loader is not None:
+                got = self.summary_loader(proc_name)
+                if got is not None:
+                    self.proc_summary[proc_name] = got
+                    return got
+            got = self._walk(proc_name)
+        return got
+
+    def ensure_walked(self, proc_name: str) -> AccessSummary:
+        """Summary of *proc_name* with its side tables populated.  A
+        cache-loaded flat summary is discarded and the body re-walked:
+        the statement-level tables it lacks feed the liveness phase."""
+        if proc_name not in self._walked:
+            return self._walk(proc_name)
+        return self.proc_summary[proc_name]
+
+    def walk_all(self) -> None:
+        """Walk every procedure body (the whole-program liveness
+        variants need side tables for all procedures, so the summary
+        cache cannot help them)."""
+        for proc_name in self.callgraph.bottom_up_order():
+            self.ensure_walked(proc_name)
+
+    def _walk(self, proc_name: str) -> AccessSummary:
+        proc = self.program.procedures[proc_name]
+        psym = self.symbolic.result(proc)
+        got = self._summarize_block(proc.body, proc, psym)
+        self.proc_summary[proc_name] = got
+        self._walked.add(proc_name)
+        if self.summary_saver is not None:
+            self.summary_saver(proc_name, got)
+        return got
 
     # -- block / statement summaries -----------------------------------------
     def _summarize_block(self, block: Block, proc: Procedure,
@@ -333,7 +392,7 @@ class ArrayDataFlow:
     def _summarize_call(self, call: CallStmt, proc: Procedure,
                         psym: ProcSymbolic) -> AccessSummary:
         callee = self.program.procedures[call.callee]
-        callee_summary = self.proc_summary[call.callee]
+        callee_summary = self.summary_of(call.callee)
         # Reads performed evaluating expression actuals (lvalue actuals are
         # accessed per the callee summary, not here; their subscript
         # expressions are read by the caller though).

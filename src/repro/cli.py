@@ -62,6 +62,22 @@ def _load(target: str):
     return w.build(), w.inputs, w.user_assertions
 
 
+def _load_source(target: str):
+    """A (source, program name) pair — the incremental analyzer hashes
+    raw text, so it needs the source itself, not a built Program."""
+    import os
+    from .workloads import get
+    try:
+        w = get(target)
+    except (KeyError, ValueError):
+        if os.path.exists(target):
+            with open(target) as fh:
+                return fh.read(), target
+        raise SystemExit(f"{target!r} is neither a file nor a corpus "
+                         f"workload")
+    return w.source, w.name
+
+
 def _machine(name: str):
     try:
         return MACHINES[name]
@@ -101,6 +117,44 @@ def cmd_parallelize(args) -> int:
     if args.annotate:
         print("\n--- annotated source ---")
         print(annotate_source(program, plan))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .analysis.incremental import (IncrementalAnalyzer,
+                                       proc_cache_stats, set_proc_store)
+    from .service.artifacts import ArtifactStore
+    source, name = _load_source(args.target)
+    if args.cache_dir:
+        set_proc_store(ArtifactStore(args.cache_dir))
+    program = build_program(source, name)
+    analyzer = IncrementalAnalyzer(program, source)
+    before = proc_cache_stats()
+    artifact = analyzer.analysis_artifact(slice_names=args.slice or (),
+                                          workers=args.workers)
+    after = proc_cache_stats()
+    for loop_name, row in artifact["plan"].items():
+        tag = "PARALLEL" if row["parallel"] else "sequential"
+        print(f"{loop_name}: {tag}")
+        if args.verbose:
+            for var, vp in row["vars"].items():
+                line = f"    {var}: {vp['status']}"
+                if vp["reason"]:
+                    line += f"  ({vp['reason']})"
+                print(line)
+    for query, per_var in artifact["slices"].items():
+        print(f"slice {query}:")
+        for var, counts in per_var.items():
+            print(f"    {var}: program={counts['program']} "
+                  f"control={counts['control']} "
+                  f"cr={counts['program_cr']}/{counts['control_cr']} "
+                  f"ar={counts['program_ar']}/{counts['control_ar']}")
+    hits = after["hit"] - before["hit"]
+    misses = after["miss"] - before["miss"]
+    # entries span all three cache levels (plan rows, summaries,
+    # liveness contexts), so they exceed the procedure count
+    print(f"[{len(artifact['procs'])} procedures; proc-cache "
+          f"{hits} hits / {misses} misses]", file=sys.stderr)
     return 0
 
 
@@ -361,7 +415,10 @@ def cmd_trace(args) -> int:
                       to_chrome)
     from .service import AnalysisRequest
     from .service.jobs import execute_request
-    options = {"engine": args.engine, "machine": args.machine}
+    # slicing is demand-driven now; ask for the guru targets' slices so
+    # the trace exercises the full phase taxonomy
+    options = {"engine": args.engine, "machine": args.machine,
+               "slice": ["targets"]}
     target = args.target
     import os
     from .workloads import ALL
@@ -470,6 +527,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-reductions", action="store_true")
     p.add_argument("--no-liveness", action="store_true")
     p.set_defaults(func=cmd_parallelize)
+
+    p = sub.add_parser("analyze", help="incremental static analysis "
+                       "served from the per-procedure cone cache")
+    p.add_argument("target")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent proc/ cache root (warm runs reuse "
+                   "every unchanged dependency cone)")
+    p.add_argument("--slice", action="append", metavar="LOOP[@VAR]",
+                   help="demand slice query point (repeatable)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="fan independent cones out onto N processes")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="per-variable verdicts")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("explore", help="full Explorer session")
     p.add_argument("target")

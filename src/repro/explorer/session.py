@@ -59,6 +59,99 @@ class DependenceSlices:
         self.control_slice_ar = control_slice_ar
 
 
+def references_to(loop: LoopStmt, var: VarPlan) -> List[Tuple]:
+    """(stmt, symbol) pairs whose slices the Explorer presents for a
+    dependence on ``var``.
+
+    Following section 3.2.2, for array references the interesting
+    slices are those of the *index expressions* ("the program slices
+    of the array index expressions specify the locations accessed") —
+    Fig 4-3 presents the slices of the references to K, not to RL.
+    Scalar dependences slice the scalar itself."""
+    from ..ir.expressions import ArrayRef, VarRef
+    from ..ir.statements import AssignStmt
+    symbols = {id(s) for s in var.symbols}
+    refs: List[Tuple] = []
+
+    def add_array_ref(stmt, node):
+        added = False
+        for idx in node.indices:
+            for sub in idx.walk():
+                if isinstance(sub, VarRef) and not sub.symbol.is_const:
+                    refs.append((stmt, sub.symbol))
+                    added = True
+        if not added:
+            refs.append((stmt, node.symbol))
+
+    for stmt in loop.body.walk():
+        if isinstance(stmt, AssignStmt) and \
+                id(stmt.target.symbol) in symbols:
+            if isinstance(stmt.target, ArrayRef):
+                add_array_ref(stmt, stmt.target)
+            else:
+                refs.append((stmt, stmt.target.symbol))
+        for expr in stmt.sub_expressions():
+            for node in expr.walk():
+                if isinstance(node, (VarRef, ArrayRef)) and \
+                        id(node.symbol) in symbols:
+                    if isinstance(node, ArrayRef):
+                        add_array_ref(stmt, node)
+                    else:
+                        refs.append((stmt, node.symbol))
+    return refs[:8]      # the Explorer shows the few key references
+
+
+def union_slices(slicer: Slicer, program: Program, refs, loop,
+                 region_loop, array_restricted, kind) -> SliceResult:
+    ids = set()
+    for stmt, symbol in refs:
+        if kind == "control":
+            res = slicer.control_slice(
+                stmt, array_restricted=array_restricted,
+                region_loop=region_loop)
+        else:
+            res = slicer.slice_of_use(
+                stmt, symbol, kind="program",
+                array_restricted=array_restricted,
+                region_loop=region_loop)
+        ids.update(res.stmt_ids)
+    return SliceResult(program, frozenset(ids))
+
+
+def dependence_slices(program: Program, slicer: Slicer, loop: LoopStmt,
+                      loop_plan, var: Optional[str] = None
+                      ) -> List[DependenceSlices]:
+    """Per unresolved dependence of one loop, the program and control
+    slices at the pruning levels of Fig 4-8 (full / code-region /
+    code-region+array).  Session-free core shared by
+    :meth:`ExplorerSession.slices_for` / :meth:`ExplorerSession.slice_at`
+    and the incremental analyzer's demand-slice cache; ``var`` narrows
+    the query to one variable (by display or symbol name)."""
+    out: List[DependenceSlices] = []
+    for vp in loop_plan.dependent_vars():
+        if var is not None and vp.display_name != var and \
+                var not in {s.name for s in vp.symbols}:
+            continue
+        refs = references_to(loop, vp)
+        if not refs:
+            continue
+        out.append(DependenceSlices(
+            vp,
+            union_slices(slicer, program, refs, loop, None, False,
+                         "program"),
+            union_slices(slicer, program, refs, loop, None, False,
+                         "control"),
+            union_slices(slicer, program, refs, loop, loop, False,
+                         "program"),
+            union_slices(slicer, program, refs, loop, loop, False,
+                         "control"),
+            union_slices(slicer, program, refs, loop, loop, True,
+                         "program"),
+            union_slices(slicer, program, refs, loop, loop, True,
+                         "control")))
+    return out
+
+
 class ExplorerSession:
     def __init__(self, program: Program, *,
                  machine: Machine = ALPHASERVER_8400,
@@ -180,79 +273,40 @@ class ExplorerSession:
         from ..obs import get_tracer
         self._require_run()
         with get_tracer().span("slice", loop=loop.name) as sp:
-            plan = self.plan.loops[loop.stmt_id]
-            out: List[DependenceSlices] = []
-            for var in plan.dependent_vars():
-                refs = self._references_to(loop, var)
-                if not refs:
-                    continue
-                out.append(DependenceSlices(
-                    var,
-                    self._union_slices(refs, loop, None, False, "program"),
-                    self._union_slices(refs, loop, None, False, "control"),
-                    self._union_slices(refs, loop, loop, False, "program"),
-                    self._union_slices(refs, loop, loop, False, "control"),
-                    self._union_slices(refs, loop, loop, True, "program"),
-                    self._union_slices(refs, loop, loop, True, "control")))
+            out = dependence_slices(self.program, self.slicer, loop,
+                                    self.plan.loops[loop.stmt_id])
             sp.tag(vars=len(out))
         return out
 
-    def _references_to(self, loop: LoopStmt, var: VarPlan) -> List[Tuple]:
-        """(stmt, symbol) pairs whose slices the Explorer presents for a
-        dependence on ``var``.
-
-        Following section 3.2.2, for array references the interesting
-        slices are those of the *index expressions* ("the program slices
-        of the array index expressions specify the locations accessed") —
-        Fig 4-3 presents the slices of the references to K, not to RL.
-        Scalar dependences slice the scalar itself."""
-        from ..ir.expressions import ArrayRef, VarRef
-        from ..ir.statements import AssignStmt
-        symbols = {id(s) for s in var.symbols}
-        refs: List[Tuple] = []
-
-        def add_array_ref(stmt, node):
-            added = False
-            for idx in node.indices:
-                for sub in idx.walk():
-                    if isinstance(sub, VarRef) and not sub.symbol.is_const:
-                        refs.append((stmt, sub.symbol))
-                        added = True
-            if not added:
-                refs.append((stmt, node.symbol))
-
-        for stmt in loop.body.walk():
-            if isinstance(stmt, AssignStmt) and \
-                    id(stmt.target.symbol) in symbols:
-                if isinstance(stmt.target, ArrayRef):
-                    add_array_ref(stmt, stmt.target)
-                else:
-                    refs.append((stmt, stmt.target.symbol))
-            for expr in stmt.sub_expressions():
-                for node in expr.walk():
-                    if isinstance(node, (VarRef, ArrayRef)) and \
-                            id(node.symbol) in symbols:
-                        if isinstance(node, ArrayRef):
-                            add_array_ref(stmt, node)
-                        else:
-                            refs.append((stmt, node.symbol))
-        return refs[:8]      # the Explorer shows the few key references
-
-    def _union_slices(self, refs, loop, region_loop, array_restricted,
-                      kind) -> SliceResult:
-        ids = set()
-        for stmt, symbol in refs:
-            if kind == "control":
-                res = self.slicer.control_slice(
-                    stmt, array_restricted=array_restricted,
-                    region_loop=region_loop)
-            else:
-                res = self.slicer.slice_of_use(
-                    stmt, symbol, kind="program",
-                    array_restricted=array_restricted,
-                    region_loop=region_loop)
-            ids.update(res.stmt_ids)
-        return SliceResult(self.program, frozenset(ids))
+    def slice_at(self, loop, var: Optional[str] = None
+                 ) -> List[DependenceSlices]:
+        """Demand-driven slicing from a query point (paper section 3.2:
+        "the demand-driven slicing algorithm is invoked" at the user's
+        point of interest).  ``loop`` is a :class:`LoopStmt` or a loop
+        name; ``var`` optionally narrows to one dependence.  Unlike
+        :meth:`slices_for` this does not require :meth:`run_automatic`:
+        without a plan it lazily analyzes just the loop's procedure cone."""
+        from ..obs import get_tracer
+        if isinstance(loop, str):
+            try:
+                loop = self.program.loop(loop)
+            except KeyError:
+                raise ValueError(
+                    f"unknown loop {loop!r}; choose from "
+                    f"{self.program.loop_names()}") from None
+        if self.plan is not None and loop.stmt_id in self.plan.loops:
+            loop_plan = self.plan.loops[loop.stmt_id]
+        else:
+            par = Parallelizer(
+                self.program, use_liveness=self.use_liveness,
+                liveness_variant=self.liveness_variant,
+                assertions=self.assertions, lazy=True)
+            loop_plan = par.plan_for([loop.proc_name]).loops[loop.stmt_id]
+        with get_tracer().span("slice", loop=loop.name) as sp:
+            out = dependence_slices(self.program, self.slicer, loop,
+                                    loop_plan, var=var)
+            sp.tag(vars=len(out))
+        return out
 
     # -- phase 3: user feedback ---------------------------------------------
     def apply_assertions(self, assertions: List[Assertion]

@@ -46,18 +46,41 @@ __all__ = [
     "get_tracer", "activate", "set_tracer",
 ]
 
-_ids = itertools.count(1)
-_trace_ids = itertools.count(1)
+class _AtomicCounter:
+    """Explicitly locked monotonic counter.  ``itertools.count`` happens
+    to be atomic under CPython's GIL, but id uniqueness is a correctness
+    property (Chrome-trace nesting corrupts on collision), so it gets a
+    real lock rather than an implementation accident."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def next(self) -> int:
+        with self._lock:
+            self._value += 1
+            return self._value
+
+
+_ids = _AtomicCounter()
+_trace_ids = _AtomicCounter()
 
 
 def _new_span_id() -> str:
-    """Process-unique, cross-process-collision-free span id."""
-    return f"{os.getpid():x}.{next(_ids):x}"
+    """Process-unique, cross-process-collision-free span id: the pid
+    disambiguates across processes, the atomic counter within one.  No
+    timestamp component — two spans opened in the same millisecond must
+    still get distinct ids."""
+    return f"{os.getpid():x}.{_ids.next():x}"
 
 
 def _new_trace_id() -> str:
+    # The millisecond timestamp is for human readability only;
+    # uniqueness comes from pid + the atomic counter.
     return f"t{os.getpid():x}.{int(time.time() * 1e3):x}." \
-           f"{next(_trace_ids):x}"
+           f"{_trace_ids.next():x}"
 
 
 class Span:

@@ -70,35 +70,62 @@ class Parallelizer:
                  use_liveness: bool = True,
                  liveness_variant: str = FULL,
                  assertions: Iterable[Assertion] = (),
-                 dataflow: Optional[ArrayDataFlow] = None):
+                 dataflow: Optional[ArrayDataFlow] = None,
+                 lazy: bool = False):
         self.program = program
         self.use_reductions = use_reductions
         self.use_liveness = use_liveness
+        self.lazy = lazy
         self.symbolic = (dataflow.symbolic if dataflow
                          else SymbolicAnalysis(program))
-        self.dataflow = dataflow or ArrayDataFlow(program, self.symbolic)
+        self.dataflow = dataflow or ArrayDataFlow(program, self.symbolic,
+                                                  lazy=lazy)
         # Scalar liveness is part of the base analysis suite (Fig 5-6's
         # "base" column) and is always available; the chapter-5 *array*
         # liveness is what `use_liveness` ablates.
-        self._full_liveness = ArrayLiveness(self.dataflow, FULL).result
+        self._full_liveness_analysis = ArrayLiveness(self.dataflow, FULL,
+                                                     lazy=lazy)
+        self._full_liveness = self._full_liveness_analysis.result
+        self._variant_analysis: Optional[ArrayLiveness] = None
         self.liveness: Optional[LivenessResult] = None
         if use_liveness:
-            self.liveness = (self._full_liveness
-                             if liveness_variant == FULL else
-                             ArrayLiveness(self.dataflow,
-                                           liveness_variant).result)
+            self._variant_analysis = (
+                self._full_liveness_analysis if liveness_variant == FULL
+                else ArrayLiveness(self.dataflow, liveness_variant,
+                                   lazy=lazy))
+            self.liveness = self._variant_analysis.result
         self.assertions = list(assertions)
         self._member_groups_cache: Dict[str, List] = {}
         self._current_liveness_key: Tuple = (None, None)
 
     # -- public API ------------------------------------------------------------
     def plan(self) -> ProgramPlan:
+        return self.plan_for(self.program.procedures)
+
+    def plan_for(self, proc_names: Iterable[str]) -> ProgramPlan:
+        """Plan only the named procedures' loops — the demand-driven entry
+        point for the incremental analyzer.  With ``lazy=True`` the
+        underlying analyses pull in exactly each procedure's dependency
+        cone; results are identical to slicing the full :meth:`plan`."""
         result = ProgramPlan(self.program)
-        for proc in self.program.procedures.values():
+        for name in proc_names:
+            proc = self.program.procedures[name]
+            self._ensure_proc_ready(name)
             psym = self.symbolic.result(proc)
             for loop in proc.loops():
                 result.loops[loop.stmt_id] = self._plan_loop(loop, psym)
         return result
+
+    def _ensure_proc_ready(self, name: str) -> None:
+        """Force the lazy analyses for one procedure before planning it."""
+        if not self.lazy:
+            return
+        # planning reads loop_body_summary, so a real walk is required
+        self.dataflow.ensure_walked(name)
+        self._full_liveness_analysis.ensure_proc(name)
+        if self._variant_analysis is not None and \
+                self._variant_analysis is not self._full_liveness_analysis:
+            self._variant_analysis.ensure_proc(name)
 
     # -- per-loop classification -------------------------------------------------
     def _plan_loop(self, loop: LoopStmt, psym: ProcSymbolic) -> LoopPlan:

@@ -34,7 +34,9 @@ from .metrics import NULL_METRICS, ServiceMetrics
 
 #: Bump whenever the artifact payload layout changes — old cache entries
 #: then miss (different key) instead of being misread.
-SCHEMA_VERSION = 1
+#: v2: demand-driven slicing (``slices`` populated on request instead of
+#: precomputed per Guru target) + the ``proc/`` per-procedure namespace.
+SCHEMA_VERSION = 2
 
 
 def canonical_json(obj) -> str:
@@ -68,6 +70,13 @@ class ArtifactStore:
         self.metrics = metrics
         self._lock = threading.Lock()
         self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        #: Per-key write-version counters (guarded by ``_lock``).  Disk
+        #: reads happen outside the lock; the version lets ``get`` detect
+        #: that a concurrent ``put``/``invalidate``/``corrupt_on_disk``
+        #: touched the key mid-read, so a stale snapshot never overwrites
+        #: the fresher entry in the memory LRU.
+        self._versions: Dict[str, int] = {}
+        self._tmp_seq = 0
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
 
@@ -87,12 +96,20 @@ class ArtifactStore:
                 self.metrics.incr("cache_hits")
                 self.metrics.incr("cache_hits_memory")
                 return hit
+            version = self._versions.get(key, 0)
         artifact = self._read_disk(key)
         if artifact is None:
             self.metrics.incr("cache_misses")
             return None
         with self._lock:
-            self._remember(key, artifact)
+            # Fill the LRU only if no writer touched the key while the
+            # disk read ran lock-free; a concurrent put (e.g. rewriting a
+            # quarantined entry) must not be shadowed by our stale bytes.
+            # The fresher value is already (or about to be) in memory.
+            if self._versions.get(key, 0) == version:
+                self._remember(key, artifact)
+            else:
+                artifact = self._memory.get(key, artifact)
         self.metrics.incr("cache_hits")
         self.metrics.incr("cache_hits_disk")
         return artifact
@@ -101,12 +118,18 @@ class ArtifactStore:
         path = self._path(key)
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
+            with self._lock:
+                self._tmp_seq += 1
+                seq = self._tmp_seq
+            # Unique tmp name per write: two concurrent puts of the same
+            # key must not interleave bytes into one shared tmp file.
+            tmp = path.with_suffix(f".{os.getpid()}.{seq}.tmp")
             envelope = {"key": key, "schema": SCHEMA_VERSION,
                         "artifact": artifact}
             tmp.write_text(canonical_json(envelope))
             os.replace(tmp, path)
         with self._lock:
+            self._versions[key] = self._versions.get(key, 0) + 1
             self._remember(key, artifact)
         self.metrics.incr("cache_stores")
 
@@ -114,6 +137,7 @@ class ArtifactStore:
         """Drop one entry from both levels; True if anything was dropped."""
         dropped = False
         with self._lock:
+            self._versions[key] = self._versions.get(key, 0) + 1
             if self._memory.pop(key, None) is not None:
                 dropped = True
         path = self._path(key)
@@ -126,6 +150,8 @@ class ArtifactStore:
 
     def clear(self) -> None:
         with self._lock:
+            for key in self._memory:
+                self._versions[key] = self._versions.get(key, 0) + 1
             self._memory.clear()
         if self.root is not None:
             for path in self.root.glob("*/*.json"):
@@ -142,6 +168,7 @@ class ArtifactStore:
         exercises the quarantine-and-recompute path.  True if a disk
         entry existed to corrupt."""
         with self._lock:
+            self._versions[key] = self._versions.get(key, 0) + 1
             self._memory.pop(key, None)
         path = self._path(key)
         if path is None or not path.exists():

@@ -39,9 +39,12 @@ FAILED = "failed"
 #: All states, in lifecycle order.
 STATES = (SUBMITTED, QUEUED, RUNNING, DONE, FAILED)
 
-#: How many Guru targets get their dependence slices materialized into the
-#: artifact (slicing every loop of every request would swamp the payload).
+#: How many Guru targets the ``slice: "targets"`` shorthand expands to
+#: (slicing every loop of every request would swamp the payload).
 MAX_SLICE_TARGETS = 4
+
+#: Server-boundary cap on explicit ``options["slice"]`` query points.
+MAX_SLICE_QUERIES = 16
 
 _DEFAULT_OPTIONS = {
     "engine": "compiled",
@@ -150,6 +153,30 @@ def validate_options(options, *, allow_faults: bool = False) -> Optional[Dict]:
         if workers <= 0:
             raise ValueError("workers must be positive")
         out["workers"] = min(workers, MAX_WORKERS_CAP)
+    if "analysis_only" in out:
+        flag = out["analysis_only"]
+        if not isinstance(flag, (bool, int)) or isinstance(flag, float):
+            raise ValueError("analysis_only must be a boolean")
+        out["analysis_only"] = bool(flag)
+        if out["analysis_only"]:
+            if out.get("parallel_execute"):
+                raise ValueError("analysis_only jobs cannot request "
+                                 "parallel_execute (no program run)")
+            if out.get("assertions"):
+                raise ValueError("analysis_only jobs cannot check "
+                                 "assertions (no execution to compare)")
+    if "slice" in out:
+        val = out["slice"]
+        if isinstance(val, str):
+            val = [val]
+        if not isinstance(val, list) or \
+                not all(isinstance(x, str) for x in val):
+            raise ValueError("slice must be a loop name or a list of "
+                             "loop names (or 'targets')")
+        if len(val) > MAX_SLICE_QUERIES:
+            raise ValueError(f"slice accepts at most "
+                             f"{MAX_SLICE_QUERIES} query points")
+        out["slice"] = list(val)
     return out
 
 
@@ -246,6 +273,28 @@ def execute_request(request: AnalysisRequest) -> Dict:
             raise ValueError(f"unknown machine {machine_name!r}; choose "
                              f"from {sorted(MACHINES)}") from None
         program = build_program(r.source, r.program_name)
+
+        if r.options.get("analysis_only"):
+            # Static pipeline only, served from the per-procedure
+            # incremental cache: no execution, profiling, dyndep, or
+            # Guru ranking — the interactive edit/re-analyze fast path.
+            from ..analysis.incremental import IncrementalAnalyzer
+            slice_names = r.options.get("slice") or ()
+            if "targets" in slice_names:
+                raise ValueError("slice 'targets' needs Guru ranking; "
+                                 "drop analysis_only or name the loops")
+            analyzer = IncrementalAnalyzer(program, r.source,
+                                           options=r.options)
+            artifact = analyzer.analysis_artifact(slice_names=slice_names)
+            artifact["request"] = {"program": r.program_name,
+                                   "workload": request.workload,
+                                   "inputs": r.inputs,
+                                   "options": semantic_options(r.options),
+                                   "schema": SCHEMA_VERSION}
+            root.tag(analysis_only=True,
+                     procedures=len(program.procedures))
+            return artifact
+
         max_ops = min(int(r.options.get("max_ops", MAX_OPS_CAP)),
                       MAX_OPS_CAP)
         session = ExplorerSession(
@@ -273,8 +322,26 @@ def execute_request(request: AnalysisRequest) -> Dict:
                           MAX_WORKERS_CAP)
             parallel_run = session.parallel_execute(workers=workers)
 
+        if not outcomes:
+            # Warm the per-procedure incremental cache from this full
+            # run (assertions mutate the plan, so asserted plans stay
+            # out of the shared per-proc namespace).
+            from ..analysis.incremental import store_plan_rows
+            par = session.parallelizer
+            store_plan_rows(
+                program, r.source, r.options, session.plan,
+                dataflow=par.dataflow if par is not None else None,
+                after_summaries=(par._full_liveness_analysis._after_proc
+                                 if par is not None else None))
+
+        slice_names = list(r.options.get("slice") or ())
+        if "targets" in slice_names:
+            slice_names.remove("targets")
+            targets = [rep.name for rep
+                       in session.guru.targets()[:MAX_SLICE_TARGETS]]
+            slice_names.extend(n for n in targets if n not in slice_names)
         with tracer.span("snapshot"):
-            artifact = session_snapshot(session)
+            artifact = session_snapshot(session, slice_targets=slice_names)
         if parallel_run is not None:
             # wall times are nondeterministic, so the artifact records
             # only the bit-stable facts of the real run
@@ -307,10 +374,15 @@ def execute_request(request: AnalysisRequest) -> Dict:
 
 
 def session_snapshot(session,
-                     max_slice_targets: int = MAX_SLICE_TARGETS) -> Dict:
+                     slice_targets: Optional[Sequence[str]] = None) -> Dict:
     """Flatten a finished :class:`ExplorerSession` into plain JSON dicts:
-    plan, profiles, dyndep summary, Guru report, target slices, and the
-    simulated parallel-execution result."""
+    plan, profiles, dyndep summary, Guru report, and the simulated
+    parallel-execution result.
+
+    Slicing is demand-driven: ``slices`` holds per-variable slice sizes
+    only for the loops named in ``slice_targets`` (the service ``slice``
+    option / :meth:`ExplorerSession.slice_at`), not precomputed for
+    every Guru target."""
     program = session.program
     names = {loop.stmt_id: loop.name for loop in program.all_loops()}
 
@@ -356,9 +428,9 @@ def session_snapshot(session,
         }
 
     slices: Dict[str, Dict] = {}
-    for report in session.guru.targets()[:max_slice_targets]:
+    for name in slice_targets or ():
         per_var: Dict[str, Dict] = {}
-        for ds in session.slices_for(report.loop):
+        for ds in session.slice_at(name):
             per_var[ds.var.display_name] = {
                 "program": ds.program_slice.line_count(),
                 "control": ds.control_slice.line_count(),
@@ -367,7 +439,7 @@ def session_snapshot(session,
                 "program_ar": ds.program_slice_ar.line_count(),
                 "control_ar": ds.control_slice_ar.line_count(),
             }
-        slices[report.name] = per_var
+        slices[name] = per_var
 
     result = session.result
     return {
@@ -414,6 +486,7 @@ class Job:
 
     __slots__ = ("id", "request", "key", "state", "error", "attempts",
                  "created_at", "started_at", "finished_at", "cached",
+                 "started_mono", "finished_mono",
                  "done_event", "deadline_s", "deadline_at", "generation",
                  "failure_kind")
 
@@ -425,9 +498,13 @@ class Job:
         self.state = SUBMITTED
         self.error: Optional[str] = None
         self.attempts = 0
+        #: Wall-clock timestamps, for display only (an NTP step moves
+        #: them).  Durations come from the ``*_mono`` monotonic pair.
         self.created_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        self.started_mono: Optional[float] = None
+        self.finished_mono: Optional[float] = None
         self.cached = False          # served straight from the store
         self.done_event = threading.Event()
         #: Wall-budget for this job (None = no deadline).  The watchdog
@@ -452,6 +529,7 @@ class Job:
         self.attempts += 1
         if self.started_at is None:
             self.started_at = time.time()
+            self.started_mono = time.monotonic()
         if self.deadline_s is not None and self.deadline_at is None:
             self.deadline_at = time.monotonic() + self.deadline_s
 
@@ -459,6 +537,7 @@ class Job:
         self.state = DONE
         self.cached = cached
         self.finished_at = time.time()
+        self.finished_mono = time.monotonic()
         self.done_event.set()
 
     def mark_failed(self, error: str, kind: str = "error") -> None:
@@ -466,12 +545,22 @@ class Job:
         self.error = error
         self.failure_kind = kind
         self.finished_at = time.time()
+        self.finished_mono = time.monotonic()
         self.done_event.set()
 
     # -- queries -----------------------------------------------------------
     @property
     def finished(self) -> bool:
         return self.state in (DONE, FAILED)
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Run duration from the monotonic clock — immune to wall-clock
+        (NTP) steps that would make ``finished_at - started_at`` negative
+        or inflated.  None until the job has both started and finished."""
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return self.finished_mono - self.started_mono
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         return self.done_event.wait(timeout)
@@ -490,6 +579,7 @@ class Job:
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "duration_s": self.duration_s,
         }
 
     def __repr__(self):

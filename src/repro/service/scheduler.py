@@ -79,6 +79,7 @@ def _stats_delta(before: Dict, after: Dict) -> Dict:
 
 
 _worker_codegen_root: Optional[str] = None
+_worker_proc_root: Optional[str] = None
 
 
 def _ensure_codegen_store(root: Optional[str]) -> None:
@@ -92,23 +93,37 @@ def _ensure_codegen_store(root: Optional[str]) -> None:
         _worker_codegen_root = root
 
 
+def _ensure_proc_store(root: Optional[str]) -> None:
+    """Same registration dance for the per-procedure analysis cache."""
+    global _worker_proc_root
+    if root and root != _worker_proc_root:
+        from ..analysis.incremental import set_proc_store
+        set_proc_store(ArtifactStore(root))
+        _worker_proc_root = root
+
+
 def _pool_worker(request_dict: Dict,
                  trace_context: Optional[Dict] = None,
-                 codegen_root: Optional[str] = None) -> Dict:
+                 codegen_root: Optional[str] = None,
+                 proc_root: Optional[str] = None) -> Dict:
     """Top-level (picklable) worker entry point.
 
-    Returns an envelope ``{artifact, spans, codegen}``: spans are only
-    populated when a trace context was shipped (the worker then builds
-    a child tracer whose root parents onto the scheduler's ``submit``
-    span), and ``codegen`` carries this request's codegen-cache hit and
-    miss deltas for the scheduler's metrics."""
+    Returns an envelope ``{artifact, spans, codegen, proc}``: spans are
+    only populated when a trace context was shipped (the worker then
+    builds a child tracer whose root parents onto the scheduler's
+    ``submit`` span), while ``codegen`` and ``proc`` carry this
+    request's cache hit/miss deltas (transpiled-kernel and
+    per-procedure analysis caches) for the scheduler's metrics."""
     # This process is sacrificial: process-killing fault directives are
     # allowed to execute here (and *only* here — inline execution in the
     # scheduler/server process neutralizes them).
     mark_worker_process()
     _ensure_codegen_store(codegen_root)
+    _ensure_proc_store(proc_root)
+    from ..analysis.incremental import proc_cache_stats
     from ..runtime.transpile import codegen_cache_stats
     before = codegen_cache_stats()
+    proc_before = proc_cache_stats()
     request = AnalysisRequest.from_dict(request_dict)
     spans = None
     if trace_context is None:
@@ -120,7 +135,8 @@ def _pool_worker(request_dict: Dict,
                 artifact = execute_request(request)
         spans = tracer.to_dicts()
     return {"artifact": artifact, "spans": spans,
-            "codegen": _stats_delta(before, codegen_cache_stats())}
+            "codegen": _stats_delta(before, codegen_cache_stats()),
+            "proc": _stats_delta(proc_before, proc_cache_stats())}
 
 
 class BatchScheduler:
@@ -142,13 +158,18 @@ class BatchScheduler:
                  watchdog_interval_s: float = 0.02):
         self.store = store if store is not None else ArtifactStore(None)
         self.metrics = metrics
-        # persistent codegen cache rides in a subtree of the job store;
-        # workers point at the same root via _ensure_codegen_store
+        # persistent codegen and per-procedure analysis caches ride in
+        # subtrees of the job store; workers point at the same roots via
+        # _ensure_codegen_store / _ensure_proc_store
         self.codegen_root: Optional[str] = None
+        self.proc_root: Optional[str] = None
         if self.store.root is not None:
+            from ..analysis.incremental import set_proc_store
             from ..runtime.transpile import set_codegen_store
             self.codegen_root = str(self.store.root / "codegen")
             set_codegen_store(ArtifactStore(self.codegen_root))
+            self.proc_root = str(self.store.root / "proc")
+            set_proc_store(ArtifactStore(self.proc_root))
         self.workers = workers
         self.max_retries = max_retries
         self.inline = inline
@@ -418,13 +439,23 @@ class BatchScheduler:
         if delta.get("miss"):
             self.metrics.incr("codegen_cache_miss", delta["miss"])
 
+    def _count_proc(self, delta: Optional[Dict]) -> None:
+        if not delta:
+            return
+        if delta.get("hit"):
+            self.metrics.incr("proc_cache_hit", delta["hit"])
+        if delta.get("miss"):
+            self.metrics.incr("proc_cache_miss", delta["miss"])
+
     def _run_inline(self, job: Job) -> None:
+        from ..analysis.incremental import proc_cache_stats
         from ..runtime.transpile import codegen_cache_stats
         job.mark_running()
         job_tracer: Optional[Tracer] = None
         if self.tracer.enabled:
             job_tracer = Tracer.from_context(self.tracer.export_context())
         cg_before = codegen_cache_stats()
+        proc_before = proc_cache_stats()
         try:
             with self.metrics.time_phase("execute"):
                 if job_tracer is not None:
@@ -437,12 +468,14 @@ class BatchScheduler:
         except Exception as exc:               # noqa: BLE001
             self._count_codegen(_stats_delta(cg_before,
                                              codegen_cache_stats()))
+            self._count_proc(_stats_delta(proc_before, proc_cache_stats()))
             if job_tracer is not None:
                 self._record_trace(job, job_tracer.to_dicts())
             self._finish_failed(job, exc)
         else:
             self._count_codegen(_stats_delta(cg_before,
                                              codegen_cache_stats()))
+            self._count_proc(_stats_delta(proc_before, proc_cache_stats()))
             if job_tracer is not None:
                 self._record_trace(job, job_tracer.to_dicts())
             self._finish_done(job, artifact)
@@ -465,7 +498,8 @@ class BatchScheduler:
             pool, gen = self._get_pool()
             job.generation = gen
             future = pool.submit(_pool_worker, job.request.to_dict(),
-                                 trace_ctx, self.codegen_root)
+                                 trace_ctx, self.codegen_root,
+                                 self.proc_root)
         except (BrokenExecutor, RuntimeError) as exc:
             self._handle_crash(job, exc, gen)
             return
@@ -493,6 +527,7 @@ class BatchScheduler:
             if traced:
                 self._record_trace(job, result.get("spans") or [])
             self._count_codegen(result.get("codegen"))
+            self._count_proc(result.get("proc"))
             self._finish_done(job, result["artifact"], pooled=True)
         elif isinstance(exc, BrokenExecutor):
             self.metrics.incr("futures_broken")
@@ -581,9 +616,9 @@ class BatchScheduler:
             self.metrics.incr("breaker_closed")
             self.tracer.event("breaker_closed")
         self.metrics.incr("jobs_completed")
-        if job.started_at is not None:
-            self.metrics.observe("job_latency",
-                                 job.finished_at - job.started_at)
+        if job.duration_s is not None:
+            # monotonic pair — immune to wall-clock steps (NTP, DST)
+            self.metrics.observe("job_latency", job.duration_s)
         self._update_queue_gauge()
 
     def _finish_failed(self, job: Job, exc: Exception) -> None:

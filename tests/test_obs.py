@@ -184,10 +184,10 @@ def test_disabled_tracing_overhead_smoke():
 
 # -- exporters ---------------------------------------------------------------
 
-def _pipeline_trace(workload="ora"):
+def _pipeline_trace(workload="ora", **options):
     tracer = Tracer()
     with activate(tracer):
-        execute_request(AnalysisRequest(workload))
+        execute_request(AnalysisRequest(workload, options=options))
     return tracer
 
 
@@ -217,7 +217,8 @@ def test_chrome_export_schema_is_valid():
 
 
 def test_pipeline_spans_nest_under_execute_request():
-    tracer = _pipeline_trace("mdg")
+    # slicing is demand-driven now: ask for the guru targets' slices
+    tracer = _pipeline_trace("mdg", slice=["targets"])
     spans = tracer.to_dicts()
     idx = span_index(spans)
     roots = [s for s in spans if s["parent_id"] is None]
