@@ -16,7 +16,12 @@ contract, when a warm-edit re-analysis drops below the 10x-over-cold-
 pipeline contract (or loses bit parity with a cold run), or — on hosts
 with >= 4 free cores — when real parallel execution drops below the
 1.5x-at-4-workers contract (bit-parity and the monotonic
-predicted-speedup shape gate on every host).
+predicted-speedup shape gate on every host).  The ``service`` gate
+(``benchmarks/bench_perf_service.py`` vs ``BENCH_service.json``)
+additionally enforces the scale-out contracts: sharded warm throughput
+>= 2x the single-pool server at 16 concurrent clients, and a cold
+64-client same-key storm across two server processes computing its
+artifact exactly once with bit-identical responses.
 
 Run it next to the tier-1 suite::
 
@@ -42,6 +47,7 @@ sys.path.insert(0, str(REPO / "benchmarks"))
 import bench_perf_engine  # noqa: E402
 import bench_perf_incr  # noqa: E402
 import bench_perf_parallel  # noqa: E402
+import bench_perf_service  # noqa: E402
 import bench_perf_tools  # noqa: E402
 
 
@@ -210,6 +216,33 @@ def compare_incremental(baseline: dict, fresh: dict,
     return failures
 
 
+def compare_service(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Failure messages for the scale-out service gate."""
+    failures = []
+    was = baseline["sharded"]["requests_per_sec"]
+    now = fresh["sharded"]["requests_per_sec"]
+    if now < was * (1.0 - tolerance):
+        failures.append(
+            f"service/sharded: {now:.0f} req/s is "
+            f"{(1 - now / was):.0%} below baseline {was:.0f} req/s "
+            f"(tolerance {tolerance:.0%})")
+    if fresh["warm_speedup"] < bench_perf_service.MIN_WARM_SPEEDUP:
+        failures.append(
+            f"service: sharded warm throughput only "
+            f"{fresh['warm_speedup']:.2f}x the single-pool server, "
+            f"below the {bench_perf_service.MIN_WARM_SPEEDUP}x "
+            f"contract at {fresh['clients']} clients")
+    storm = fresh["cold_storm"]
+    if storm["computations"] != 1 or not storm["bit_identical"]:
+        failures.append(
+            f"service: cold same-key storm computed "
+            f"{storm['computations']} times "
+            f"(bit_identical={storm['bit_identical']}) — want exactly "
+            f"one computation across {storm['server_processes']} "
+            f"server processes")
+    return failures
+
+
 #: (label, bench module, printer, comparator); engine and transpiled
 #: share one measurement pass over bench_perf_engine
 GATES = (
@@ -218,6 +251,7 @@ GATES = (
     ("tools", bench_perf_tools, compare_tools),
     ("parallel", bench_perf_parallel, compare_parallel),
     ("incremental", bench_perf_incr, compare_incremental),
+    ("service", bench_perf_service, compare_service),
 )
 
 
@@ -266,9 +300,24 @@ def _print_incremental(fresh: dict) -> None:
               f"parity={'ok' if r['parity'] else 'DIVERGED'}")
 
 
+def _print_service(fresh: dict) -> None:
+    single = fresh["single_pool"]
+    sharded = fresh["sharded"]
+    storm = fresh["cold_storm"]
+    print(f"single-pool  {single['requests_per_sec']:7.0f} req/s  "
+          f"({fresh['clients']} warm clients)")
+    print(f"sharded      {sharded['requests_per_sec']:7.0f} req/s  "
+          f"speedup={fresh['warm_speedup']:.2f}x")
+    print(f"cold storm   {storm['clients']} clients x 2 processes: "
+          f"{storm['computations']} computation in "
+          f"{storm['seconds']:.2f}s, "
+          f"bit-identical={storm['bit_identical']}")
+
+
 PRINTERS = {"engine": _print_engine, "transpiled": _print_transpiled,
             "tools": _print_tools, "parallel": _print_parallel,
-            "incremental": _print_incremental}
+            "incremental": _print_incremental,
+            "service": _print_service}
 
 
 def main(argv=None) -> int:
@@ -279,7 +328,8 @@ def main(argv=None) -> int:
                     help="rewrite BENCH_engine.json and BENCH_tools.json "
                          "from this run")
     ap.add_argument("--only", choices=["engine", "transpiled", "tools",
-                                       "parallel", "incremental"],
+                                       "parallel", "incremental",
+                                       "service"],
                     help="run a single gate")
     args = ap.parse_args(argv)
 

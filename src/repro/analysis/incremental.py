@@ -558,6 +558,30 @@ def summary_from_json(data: List):
     return AccessSummary(vars_)
 
 
+def attach_summary_cache(parallelizer, source: str, *,
+                         options: Optional[Dict] = None,
+                         store=None) -> Optional["IncrementalAnalyzer"]:
+    """Attach the shared ``proc/`` summary + after-context caches to a
+    *lazy* parallelizer owned by someone else (e.g. a full
+    execution/profiling job's :class:`ExplorerSession`), so cross-*job*
+    analysis reuse is not limited to ``analysis_only`` requests.
+
+    Returns the backing analyzer, or None when there is nothing to
+    attach to: no proc store registered, an eager parallelizer (its
+    walks already ran in ``__init__``), or hooks already in place."""
+    if store is None:
+        store = get_proc_store()
+    if store is None or not getattr(parallelizer, "lazy", False):
+        return None
+    if parallelizer.dataflow.summary_loader is not None:
+        return None
+    analyzer = IncrementalAnalyzer(parallelizer.program, source,
+                                   options=options, store=store)
+    analyzer._parallelizer = parallelizer
+    analyzer.attach(parallelizer)
+    return analyzer
+
+
 # -- fan-out worker (top-level: must be picklable under spawn) ---------------
 
 def _compute_proc_rows(source: str, program_name: str, options: Dict,
@@ -604,6 +628,21 @@ class IncrementalAnalyzer:
         self._value_keys: Dict[str, str] = {}
 
     # -- lazy analysis plumbing ---------------------------------------------
+    def attach(self, parallelizer) -> None:
+        """Wire this analyzer's ``proc/`` caches into a *lazy*
+        parallelizer's hooks (loaders must be in place before anything
+        forces a walk — eager construction walks in ``__init__``)."""
+        # summary cache: procedures that only participate as callees
+        # load flat ⟨R,E,W,M⟩ summaries instead of re-walking their
+        # bodies — the dominant cost of a warm-edit re-analysis
+        parallelizer.dataflow.summary_loader = self._load_summary
+        parallelizer.dataflow.summary_saver = self._save_summary
+        # after-proc cache: liveness context without re-walking the
+        # caller chain (only meaningful for the FULL variant)
+        full = parallelizer._full_liveness_analysis
+        full.after_loader = self._load_after
+        full.after_saver = self._save_after
+
     def _lazy_parallelizer(self):
         if self._parallelizer is None:
             from ..parallelize.parallelizer import Parallelizer
@@ -614,16 +653,7 @@ class IncrementalAnalyzer:
                 use_liveness=o["use_liveness"],
                 liveness_variant=o["liveness_variant"],
                 lazy=True)
-            # summary cache: procedures that only participate as callees
-            # load flat ⟨R,E,W,M⟩ summaries instead of re-walking their
-            # bodies — the dominant cost of a warm-edit re-analysis
-            self._parallelizer.dataflow.summary_loader = self._load_summary
-            self._parallelizer.dataflow.summary_saver = self._save_summary
-            # after-proc cache: liveness context without re-walking the
-            # caller chain (only meaningful for the FULL variant)
-            full = self._parallelizer._full_liveness_analysis
-            full.after_loader = self._load_after
-            full.after_saver = self._save_after
+            self.attach(self._parallelizer)
         return self._parallelizer
 
     def _load_summary(self, name: str):

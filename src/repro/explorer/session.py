@@ -159,7 +159,8 @@ class ExplorerSession:
                  use_liveness: bool = True,
                  liveness_variant: str = FULL,
                  max_ops: int = 500_000_000,
-                 engine: str = "compiled"):
+                 engine: str = "compiled",
+                 proc_cache_source: Optional[str] = None):
         self.program = program
         self.machine = machine
         self.inputs = inputs
@@ -167,6 +168,11 @@ class ExplorerSession:
         self.liveness_variant = liveness_variant
         self.max_ops = max_ops
         self.engine = engine
+        #: Source text backing ``program``; when set (and a ``proc/``
+        #: store is registered) the static analyses run demand-driven
+        #: against the shared per-procedure summary cache, so repeat
+        #: jobs over the same procedures skip the body walks.
+        self.proc_cache_source = proc_cache_source
 
         self.parallelizer: Optional[Parallelizer] = None
         self.plan: Optional[ProgramPlan] = None
@@ -188,10 +194,7 @@ class ExplorerSession:
         from ..obs import get_tracer
         tracer = get_tracer()
         with tracer.span("parallelize", program=self.program.name) as sp:
-            self.parallelizer = Parallelizer(
-                self.program, use_liveness=self.use_liveness,
-                liveness_variant=self.liveness_variant,
-                assertions=self.assertions)
+            self.parallelizer = self._build_parallelizer()
             self.plan = self.parallelizer.plan()
             sp.tag(parallel_loops=len(self.plan.parallel_loops()))
         from ..runtime.compile_engine import engine_label
@@ -220,6 +223,29 @@ class ExplorerSession:
                                            engine=self.engine)
             sp.tag(speedup=round(self.result.speedup, 4))
         return self.result
+
+    def _build_parallelizer(self) -> Parallelizer:
+        """An eager parallelizer, unless cross-job summary reuse is
+        available: with a ``proc_cache_source`` and a registered proc
+        store, a *lazy* parallelizer wired to the shared per-procedure
+        ⟨R,E,W,M⟩-summary and after-context caches plans the same rows
+        while skipping already-cached body walks.  Assertions mutate the
+        planning inputs, so asserted sessions always analyze fresh."""
+        if self.proc_cache_source is not None and not self.assertions:
+            from ..analysis.incremental import attach_summary_cache
+            lazy = Parallelizer(self.program,
+                                use_liveness=self.use_liveness,
+                                liveness_variant=self.liveness_variant,
+                                lazy=True)
+            attached = attach_summary_cache(
+                lazy, self.proc_cache_source,
+                options={"use_liveness": self.use_liveness,
+                         "liveness_variant": self.liveness_variant})
+            if attached is not None:
+                return lazy
+        return Parallelizer(self.program, use_liveness=self.use_liveness,
+                            liveness_variant=self.liveness_variant,
+                            assertions=self.assertions)
 
     def _require_run(self) -> None:
         """Guard for the phase-2 queries that need phase-1 products."""

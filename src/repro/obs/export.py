@@ -35,14 +35,18 @@ def to_chrome(spans: Sequence[Union[Span, Dict]], *,
     ``{"traceEvents": [...], "displayTimeUnit": "ms"}``)."""
     events: List[Dict] = []
     pids = []
+    shard_lanes: Dict = {}           # (pid, tid) -> shard tag
     for s in _as_dicts(spans):
         pid = int(s.get("pid") or 0)
+        tid = int(s.get("tid") or 0)
         if pid not in pids:
             pids.append(pid)
         args = {str(k): v for k, v in (s.get("tags") or {}).items()}
         args["span_id"] = s["span_id"]
         if s.get("parent_id"):
             args["parent_id"] = s["parent_id"]
+        if "shard" in args and (pid, tid) not in shard_lanes:
+            shard_lanes[(pid, tid)] = args["shard"]
         events.append({
             "name": s["name"],
             "cat": "repro",
@@ -50,7 +54,7 @@ def to_chrome(spans: Sequence[Union[Span, Dict]], *,
             "ts": int(s.get("start_wall", 0.0) * 1e6),
             "dur": max(1, int(s.get("duration_s", 0.0) * 1e6)),
             "pid": pid,
-            "tid": int(s.get("tid") or 0),
+            "tid": tid,
             "args": args,
         })
     # name the processes (parent first, then pool workers)
@@ -58,6 +62,10 @@ def to_chrome(spans: Sequence[Union[Span, Dict]], *,
         label = process_name if rank == 0 else f"{process_name}-worker"
         events.append({"name": "process_name", "ph": "M", "pid": pid,
                        "tid": 0, "args": {"name": label}})
+    # name shard-tagged lanes so per-shard load reads off the timeline
+    for (pid, tid), shard in sorted(shard_lanes.items()):
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": f"shard-{shard}"}})
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -18,8 +18,10 @@ from .jobs import (DONE, FAILED, MAX_OPS_CAP, MAX_SLICE_TARGETS,
                    SUBMITTED, AnalysisRequest, Job, execute_request,
                    semantic_options, session_snapshot, validate_options)
 from .metrics import ServiceMetrics
-from .scheduler import BatchScheduler, run_sequential
+from .scheduler import (BatchScheduler, QueueFull, ShardedScheduler,
+                        request_key, run_sequential, shard_of)
 from .server import AnalysisServer, AnalysisService
+from .aserver import AsyncAnalysisServer
 
 __all__ = [
     "SCHEMA_VERSION", "ArtifactStore", "artifact_key", "canonical_json",
@@ -30,6 +32,7 @@ __all__ = [
     "AnalysisRequest", "Job", "execute_request", "semantic_options",
     "session_snapshot", "validate_options",
     "ServiceMetrics",
-    "BatchScheduler", "run_sequential",
-    "AnalysisServer", "AnalysisService",
+    "BatchScheduler", "QueueFull", "ShardedScheduler", "request_key",
+    "run_sequential", "shard_of",
+    "AnalysisServer", "AnalysisService", "AsyncAnalysisServer",
 ]

@@ -26,11 +26,19 @@ import hashlib
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
 from .metrics import NULL_METRICS, ServiceMetrics
+
+#: A claim whose owner pid cannot be shown dead is still broken after
+#: this many seconds — covers pid recycling and wedged owners.
+CLAIM_TTL_S = 600.0
+#: An empty/unparseable claim younger than this is assumed to be a
+#: just-created file whose owner has not finished writing it yet.
+CLAIM_GRACE_S = 5.0
 
 #: Bump whenever the artifact payload layout changes — old cache entries
 #: then miss (different key) instead of being misread.
@@ -175,6 +183,128 @@ class ArtifactStore:
             return False
         path.write_text('{"key": "corrupt', encoding="utf-8")
         self.metrics.incr("faults_corrupted")
+        return True
+
+    # -- cross-process single-flight claims --------------------------------
+    # A *claim* is an O_CREAT|O_EXCL lock file next to the artifact
+    # (``<root>/<key[:2]>/<key>.claim``) that marks one OS process as the
+    # computer of that key.  Two server processes sharing a cache dir use
+    # it so a key is computed exactly once: the loser polls the store
+    # until the winner ``put``s the artifact and releases the claim.
+    # Claims from dead pids (or older than CLAIM_TTL_S) are *broken*:
+    # quarantined by rename — never trusted, never served — and the
+    # breaker takes over the computation.
+
+    def _claim_path(self, key: str) -> Optional[Path]:
+        if self.root is None:
+            return None
+        return self.root / key[:2] / f"{key}.claim"
+
+    def claim(self, key: str) -> bool:
+        """Try to acquire the compute claim for ``key``.
+
+        True: this process now owns the claim and must compute the
+        artifact, then ``put`` it and ``release`` the claim (in that
+        order).  False: another *live* process holds the claim — poll
+        :meth:`get` until the artifact appears or the claim goes stale.
+        Memory-only stores have no shared tree to protect, so the claim
+        trivially succeeds."""
+        path = self._claim_path(key)
+        if path is None:
+            return True
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for _ in range(4):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                info = self._read_claim(path)
+                stale = self._claim_is_stale(path, info)
+                if stale is None:       # vanished: owner released mid-probe
+                    continue
+                if not stale:
+                    return False
+                if self._quarantine_claim(path):
+                    continue            # broken: retry the acquire
+                return False            # someone else broke+reacquired first
+            with os.fdopen(fd, "w") as fh:
+                fh.write(canonical_json({
+                    "pid": os.getpid(),
+                    "acquired_at": time.time(),
+                }))
+            self.metrics.incr("claims_acquired")
+            return True
+        return False
+
+    def release(self, key: str) -> None:
+        """Drop this process's claim on ``key``.  A claim that was broken
+        (quarantined) by another process is not ours any more and is left
+        alone."""
+        path = self._claim_path(key)
+        if path is None:
+            return
+        info = self._read_claim(path)
+        if info is not None and info.get("pid") not in (None, os.getpid()):
+            return
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def claim_info(self, key: str) -> Optional[Dict]:
+        """The live claim record for ``key`` ({"pid", "acquired_at"}), or
+        None when unclaimed/unreadable."""
+        path = self._claim_path(key)
+        if path is None:
+            return None
+        return self._read_claim(path)
+
+    @staticmethod
+    def _read_claim(path: Path) -> Optional[Dict]:
+        try:
+            info = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return info if isinstance(info, dict) else None
+
+    def _claim_is_stale(self, path: Path,
+                        info: Optional[Dict]) -> Optional[bool]:
+        """True = break it, False = live, None = claim file vanished."""
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return None
+        pid = info.get("pid") if info else None
+        if not isinstance(pid, int):
+            # partial write in progress, or garbage: give the owner a
+            # grace window to finish writing, then treat as abandoned
+            return age > CLAIM_GRACE_S
+        if pid == os.getpid():
+            return False        # another thread of this process: live
+        if age > CLAIM_TTL_S:
+            return True
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True         # owner died mid-compute
+        except PermissionError:
+            pass                # exists but not ours to signal: live
+        except OSError:
+            pass
+        return False
+
+    def _quarantine_claim(self, path: Path) -> bool:
+        """Atomically move a stale claim aside (never unlink-in-place:
+        the rename loses any race with a concurrent breaker exactly
+        once, so two breakers cannot both think they freed the slot)."""
+        with self._lock:
+            self._tmp_seq += 1
+            seq = self._tmp_seq
+        target = path.with_suffix(f".claim.stale.{os.getpid()}.{seq}")
+        try:
+            os.rename(path, target)
+        except OSError:
+            return False
+        self.metrics.incr("claims_stale_broken")
         return True
 
     # -- introspection -----------------------------------------------------

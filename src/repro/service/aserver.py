@@ -1,0 +1,303 @@
+"""Asyncio HTTP front end for the analysis service.
+
+The ThreadingHTTPServer in :mod:`.server` spends one OS thread per
+connection; at high fan-in the thread churn (create/teardown, GIL
+handoffs, kernel scheduling) dominates the microseconds a warm cache
+hit actually needs.  This front end serves the *same JSON API* from a
+single event loop over stdlib ``asyncio`` streams:
+
+* keep-alive HTTP/1.1 with explicit ``Content-Length`` framing,
+* fast GETs answered directly on the loop (they only touch in-memory,
+  thread-safe state),
+* POSTs and artifact reads bounced to a small thread pool so scheduler
+  submission (hashing, claim-file I/O, inline execution) can never
+  stall the accept loop,
+* **streaming job progress**: ``GET /jobs/<id>/events`` with
+  ``Accept: text/event-stream`` holds the connection open and pushes
+  each lifecycle event (submitted/queued/running/done/failed) as a
+  Server-Sent-Events frame the moment it lands; without the header the
+  route answers the same JSON snapshot the threaded server does,
+* 429 responses carry ``Retry-After`` (admission control/load shed).
+
+The back end is unchanged and shared: :class:`AnalysisService` routes,
+scheduler (sharded or single), artifact store, metrics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from .server import _MAX_BODY, AnalysisService
+
+_MAX_HEAD = 64 * 1024            # request-line + headers cap
+
+
+def _parse_head(head: bytes) -> Tuple[str, str, Dict[str, str]]:
+    """(method, target, lowercased-header dict) from a raw head block."""
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ValueError(f"malformed request line {lines[0]!r}") from None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), target, headers
+
+
+class AsyncAnalysisServer:
+    """An asyncio-streams HTTP server bound to an :class:`AnalysisService`.
+
+    API mirror of :class:`.server.AnalysisServer`: ``port=0`` binds an
+    ephemeral port, :meth:`start` serves from a background thread (the
+    event loop runs there), :meth:`serve_forever` blocks, ``with``
+    starts and stops."""
+
+    def __init__(self, service: Optional[AnalysisService] = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 quiet: bool = True, sse_poll_s: float = 0.02,
+                 post_threads: int = 32, **service_kwargs):
+        self.service = service if service is not None else \
+            AnalysisService(**service_kwargs)
+        self.quiet = quiet
+        self.sse_poll_s = sse_poll_s
+        self._host_req = host
+        self._port_req = port
+        self._addr: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=post_threads, thread_name_prefix="aserver-post")
+
+    # -- addresses ---------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._addr[0] if self._addr else self._host_req
+
+    @property
+    def port(self) -> int:
+        return self._addr[1] if self._addr else self._port_req
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle ---------------------------------------------------------
+    async def _serve(self) -> None:
+        self._stop_async = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self._host_req, self._port_req,
+            limit=_MAX_HEAD)
+        self._addr = self._server.sockets[0].getsockname()[:2]
+        self._started.set()
+        async with self._server:
+            await self._stop_async.wait()
+        # Reap connection handlers still in flight (held-open SSE
+        # streams, slow clients) so the loop can close cleanly.
+        current = asyncio.current_task()
+        tasks = [t for t in asyncio.all_tasks() if t is not current]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    def start(self) -> "AsyncAnalysisServer":
+        self._thread = threading.Thread(
+            target=self._run_loop, name="async-analysis-server",
+            daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("async server failed to bind")
+        return self
+
+    def serve_forever(self) -> None:
+        self._run_loop()
+
+    def stop(self) -> None:
+        loop, stop = self._loop, self._stop_async
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._executor.shutdown(wait=False)
+        self.service.close()
+
+    def __enter__(self) -> "AsyncAnalysisServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return                   # client went away / EOF
+                except asyncio.LimitOverrunError:
+                    await self._reply(writer, 431,
+                                      {"error": "headers too large"},
+                                      keep=False)
+                    return
+                try:
+                    method, target, headers = _parse_head(head)
+                except ValueError as exc:
+                    await self._reply(writer, 400, {"error": str(exc)},
+                                      keep=False)
+                    return
+                length = int(headers.get("content-length") or 0)
+                if length > _MAX_BODY:
+                    await self._reply(writer, 413,
+                                      {"error": "request body too large"},
+                                      keep=False)
+                    return
+                body = await reader.readexactly(length) if length else b""
+                keep = headers.get("connection", "").lower() != "close"
+                self.service.metrics.incr("http_requests")
+                if method == "GET" and self._wants_sse(target, headers):
+                    await self._stream_events(writer, target)
+                    return                   # SSE connections end here
+                status, payload = await self._dispatch(method, target,
+                                                       body)
+                await self._reply(writer, status, payload, keep=keep)
+                if not keep:
+                    return
+        except asyncio.CancelledError:
+            return                           # server shutdown: end cleanly
+        except Exception:                    # noqa: BLE001
+            self.service.metrics.incr("http_conn_errors")
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (Exception, asyncio.CancelledError):  # noqa: BLE001
+                pass
+
+    async def _dispatch(self, method: str, target: str,
+                        body: bytes) -> Tuple[int, Dict]:
+        loop = asyncio.get_event_loop()
+        try:
+            if method == "GET":
+                with self.service.metrics.time_phase("http_get"):
+                    path = target.partition("?")[0]
+                    if path.startswith("/artifacts/"):
+                        # disk read: keep it off the accept loop
+                        return await loop.run_in_executor(
+                            self._executor, self.service.handle_get,
+                            target)
+                    return self.service.handle_get(target)
+            if method == "POST":
+                try:
+                    parsed = json.loads(body.decode("utf-8") or "{}")
+                    if not isinstance(parsed, dict):
+                        raise ValueError("body must be a JSON object")
+                except (ValueError, UnicodeDecodeError) as exc:
+                    return 400, {"error": f"bad JSON body: {exc}"}
+                with self.service.metrics.time_phase("http_post"):
+                    # submission hashes, reads the store, and touches
+                    # claim files — never on the event loop
+                    return await loop.run_in_executor(
+                        self._executor, self.service.handle_post,
+                        target.partition("?")[0], parsed)
+            return 405, {"error": f"method {method} not allowed"}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:             # noqa: BLE001
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    # -- responses ---------------------------------------------------------
+    async def _reply(self, writer: asyncio.StreamWriter, status: int,
+                     payload: Dict, keep: bool = True) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 405: "Method Not Allowed",
+                  413: "Payload Too Large", 429: "Too Many Requests",
+                  431: "Request Header Fields Too Large",
+                  500: "Internal Server Error"}.get(status, "Status")
+        head = [f"HTTP/1.1 {status} {reason}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(data)}"]
+        if status == 429 and "retry_after_s" in payload:
+            head.append(
+                f"Retry-After: {max(1, int(payload['retry_after_s']))}")
+        head.append("Connection: keep-alive" if keep
+                    else "Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + data)
+        await writer.drain()
+
+    # -- server-sent events --------------------------------------------------
+    @staticmethod
+    def _wants_sse(target: str, headers: Dict[str, str]) -> bool:
+        path = target.partition("?")[0]
+        parts = [p for p in path.split("/") if p]
+        return (len(parts) == 3 and parts[0] == "jobs"
+                and parts[2] == "events"
+                and "text/event-stream" in headers.get("accept", ""))
+
+    async def _stream_events(self, writer: asyncio.StreamWriter,
+                             target: str) -> None:
+        path, _, query = target.partition("?")
+        parts = [p for p in path.split("/") if p]
+        job = self.service.scheduler.job(parts[1])
+        if job is None:
+            await self._reply(writer, 404,
+                              {"error": f"no job {parts[1]!r}"},
+                              keep=False)
+            return
+        seq = 0
+        for pair in query.split("&"):
+            if pair.startswith("after="):
+                try:
+                    seq = int(pair[6:])
+                except ValueError:
+                    await self._reply(
+                        writer, 400,
+                        {"error": "after= must be an integer"},
+                        keep=False)
+                    return
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-cache\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        self.service.metrics.incr("sse_streams")
+        while True:
+            events = job.events_after(seq)
+            for event in events:
+                seq = event["seq"]
+                writer.write(b"data: " + json.dumps(event).encode("utf-8")
+                             + b"\n\n")
+            if events:
+                await writer.drain()
+            # Terminal transitions append their event *before* flipping
+            # state, so finished + drained-to-seq means nothing more can
+            # arrive.
+            if job.finished and not job.events_after(seq):
+                break
+            await asyncio.sleep(self.sse_poll_s)
+        writer.write(b"event: end\ndata: {}\n\n")
+        await writer.drain()

@@ -301,7 +301,10 @@ def execute_request(request: AnalysisRequest) -> Dict:
             program, inputs=r.inputs, machine=machine,
             use_liveness=bool(r.options.get("use_liveness", True)),
             max_ops=max_ops,
-            engine=r.options.get("engine", "compiled"))
+            engine=r.options.get("engine", "compiled"),
+            # cross-job reuse: execution/profiling jobs consult the same
+            # per-procedure summary cache the analysis_only path fills
+            proc_cache_source=r.source)
         session.run_automatic()
 
         outcomes = []
@@ -488,7 +491,7 @@ class Job:
                  "created_at", "started_at", "finished_at", "cached",
                  "started_mono", "finished_mono",
                  "done_event", "deadline_s", "deadline_at", "generation",
-                 "failure_kind")
+                 "failure_kind", "shard", "events", "_events_lock")
 
     def __init__(self, request: AnalysisRequest, key: str,
                  deadline_s: Optional[float] = None):
@@ -496,6 +499,13 @@ class Job:
         self.request = request
         self.key = key
         self.state = SUBMITTED
+        #: Worker-pool shard this job was routed to (None = unsharded).
+        self.shard: Optional[int] = None
+        #: Seq-numbered lifecycle events for the streaming API.  Guarded
+        #: by ``_events_lock`` — HTTP/SSE threads read while scheduler
+        #: threads append.
+        self.events: List[Dict] = []
+        self._events_lock = threading.Lock()
         self.error: Optional[str] = None
         self.attempts = 0
         #: Wall-clock timestamps, for display only (an NTP step moves
@@ -519,33 +529,66 @@ class Job:
         #: Failure taxonomy bucket ("error", "crash", "deadline",
         #: "budget", "transient", "shutdown"); None until failed.
         self.failure_kind: Optional[str] = None
+        self._event("submitted", at=self.created_at)
+
+    # -- progress events ----------------------------------------------------
+    def _event(self, name: str, at: Optional[float] = None,
+               **extra) -> None:
+        # Transitions that already read the wall clock pass it in, so an
+        # event's timestamp always equals its transition's timestamp.
+        if at is None:
+            at = time.time()
+        with self._events_lock:
+            entry = {"seq": len(self.events) + 1, "event": name,
+                     "at": at}
+            entry.update(extra)
+            self.events.append(entry)
+
+    def events_after(self, seq: int = 0) -> List[Dict]:
+        """Events with a sequence number greater than ``seq``.  Terminal
+        transitions append their event *before* flipping ``state``, so a
+        reader that observes ``finished`` is guaranteed to collect the
+        terminal event on its final call."""
+        with self._events_lock:
+            return [dict(e) for e in self.events if e["seq"] > seq]
 
     # -- transitions (scheduler holds its lock around these) ----------------
     def mark_queued(self) -> None:
+        self._event("queued")
         self.state = QUEUED
 
     def mark_running(self) -> None:
-        self.state = RUNNING
         self.attempts += 1
         if self.started_at is None:
             self.started_at = time.time()
             self.started_mono = time.monotonic()
         if self.deadline_s is not None and self.deadline_at is None:
             self.deadline_at = time.monotonic() + self.deadline_s
+        self._event("running", at=self.started_at,
+                    attempt=self.attempts)
+        self.state = RUNNING
 
     def mark_done(self, *, cached: bool = False) -> None:
-        self.state = DONE
+        # Order matters for lock-free readers (HTTP threads poll
+        # ``state`` without the scheduler lock): timestamps and the
+        # terminal event must be in place before ``state`` says "done",
+        # so state=="done" implies finished_at is set and the terminal
+        # event is visible.
         self.cached = cached
         self.finished_at = time.time()
         self.finished_mono = time.monotonic()
+        self._event("done", at=self.finished_at, cached=cached)
+        self.state = DONE
         self.done_event.set()
 
     def mark_failed(self, error: str, kind: str = "error") -> None:
-        self.state = FAILED
         self.error = error
         self.failure_kind = kind
         self.finished_at = time.time()
         self.finished_mono = time.monotonic()
+        self._event("failed", at=self.finished_at, error=error,
+                    kind=kind)
+        self.state = FAILED
         self.done_event.set()
 
     # -- queries -----------------------------------------------------------
@@ -574,6 +617,7 @@ class Job:
             "error": self.error,
             "attempts": self.attempts,
             "cached": self.cached,
+            "shard": self.shard,
             "deadline_s": self.deadline_s,
             "failure_kind": self.failure_kind,
             "created_at": self.created_at,

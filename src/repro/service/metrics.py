@@ -97,6 +97,16 @@ class ServiceMetrics:
             key = f"failures_{kind}"
             self._counters[key] = self._counters.get(key, 0) + 1
 
+    def incr_shed(self, reason: str) -> None:
+        """Count one load-shed admission rejection into both the total
+        and its taxonomy bucket (``shed_total`` + ``shed_<reason>``), so
+        429s are attributable (queue_full / draining / ...)."""
+        with self._lock:
+            self._counters["shed_total"] = \
+                self._counters.get("shed_total", 0) + 1
+            key = f"shed_{reason}"
+            self._counters[key] = self._counters.get(key, 0) + 1
+
     def gauge(self, name: str, value: float) -> None:
         with self._lock:
             self._gauges[name] = value
@@ -139,7 +149,19 @@ class ServiceMetrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def timer_mean(self, phase: str) -> float:
+        with self._lock:
+            timer = self._timers.get(phase)
+            if timer is None or not timer.count:
+                return 0.0
+            return timer.total_s / timer.count
+
     def snapshot(self) -> Dict:
+        """One *consistent* cut of every counter, gauge, timer, and
+        histogram: all dicts are copied under the single metrics lock, so
+        a snapshot taken while shard threads hammer ``incr`` can never
+        pair a ``failures_total`` with taxonomy buckets from a different
+        instant (the buckets always sum to the total)."""
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)

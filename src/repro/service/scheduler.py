@@ -68,14 +68,62 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..obs import NULL_TRACER, Tracer, activate
 from ..runtime.interpreter import OpsBudgetExceeded
-from .artifacts import ArtifactStore
+from .artifacts import ArtifactStore, canonical_json
 from .faults import FaultPlan, TransientFault, mark_worker_process
-from .jobs import AnalysisRequest, Job, execute_request
+from .jobs import AnalysisRequest, Job, execute_request, semantic_options
 from .metrics import NULL_METRICS, ServiceMetrics
+
+
+class QueueFull(Exception):
+    """Admission control rejected a submission: the scheduler's bounded
+    in-flight queue is at capacity.  ``retry_after_s`` is the suggested
+    client backoff (the HTTP layer maps this to 429 + ``Retry-After``)."""
+
+    def __init__(self, depth: int, limit: int, retry_after_s: float):
+        super().__init__(
+            f"queue full ({depth}/{limit} in flight); "
+            f"retry in {retry_after_s:g}s")
+        self.depth = depth
+        self.limit = limit
+        self.retry_after_s = retry_after_s
 
 
 def _stats_delta(before: Dict, after: Dict) -> Dict:
     return {k: after[k] - before.get(k, 0) for k in after}
+
+
+# -- content-key memo ---------------------------------------------------------
+# ``AnalysisRequest.key()`` re-resolves and re-hashes the (multi-KB)
+# source text on every call; on the warm path a POST then spends more
+# time hashing than serving the cache hit.  Corpus-named workloads are
+# memoizable: within one process the corpus is fixed, so (workload name,
+# inputs, semantic options) fully determines the resolved source and
+# therefore the key.  Inline-source requests take the full hash.
+
+_KEY_MEMO_CAP = 4096
+_key_memo: "OrderedDict[tuple, str]" = OrderedDict()
+_key_memo_lock = threading.Lock()
+
+
+def request_key(request: AnalysisRequest) -> str:
+    """Content key of a request (memoized for workload-named requests)."""
+    if request.workload is None:
+        return request.key()
+    inputs = (None if request.inputs is None
+              else tuple(request.inputs))
+    memo_key = (request.workload, inputs,
+                canonical_json(semantic_options(request.options)))
+    with _key_memo_lock:
+        got = _key_memo.get(memo_key)
+        if got is not None:
+            _key_memo.move_to_end(memo_key)
+            return got
+    key = request.key()          # may raise KeyError (unknown workload)
+    with _key_memo_lock:
+        _key_memo[memo_key] = key
+        while len(_key_memo) > _KEY_MEMO_CAP:
+            _key_memo.popitem(last=False)
+    return key
 
 
 _worker_codegen_root: Optional[str] = None
@@ -155,7 +203,10 @@ class BatchScheduler:
                  breaker_threshold: int = 3,
                  breaker_cooldown_s: float = 30.0,
                  retry_backoff_s: float = 0.05,
-                 watchdog_interval_s: float = 0.02):
+                 watchdog_interval_s: float = 0.02,
+                 max_queue: Optional[int] = None,
+                 shard: Optional[int] = None,
+                 claim_poll_s: float = 0.02):
         self.store = store if store is not None else ArtifactStore(None)
         self.metrics = metrics
         # persistent codegen and per-procedure analysis caches ride in
@@ -185,6 +236,13 @@ class BatchScheduler:
         self.breaker_cooldown_s = breaker_cooldown_s
         self.retry_backoff_s = retry_backoff_s
         self.watchdog_interval_s = watchdog_interval_s
+        #: Admission cap on new (non-dedupe, non-cached) work in flight;
+        #: None = unbounded.  Dedupes and cache hits are always admitted.
+        self.max_queue = max_queue
+        #: Shard ordinal when owned by a :class:`ShardedScheduler`
+        #: (stamps jobs, span tags, and the queue-depth gauge name).
+        self.shard = shard
+        self.claim_poll_s = claim_poll_s
         self._rng = random.Random(0x5EED)        # retry jitter only
         self._lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -199,6 +257,13 @@ class BatchScheduler:
         self._probing = False                    # half-open probe in flight
         self._watchdog: Optional[threading.Thread] = None
         self._watchdog_stop = threading.Event()
+        #: Keys whose cross-process compute claim this scheduler holds
+        #: (released when the owning job settles).
+        self._claimed: set = set()
+        #: job id -> Job parked waiting on another process's claim.
+        self._remote_waits: Dict[str, Job] = {}
+        self._claim_waiter: Optional[threading.Thread] = None
+        self._claim_waiter_stop = threading.Event()
         self._shutdown = False
 
     # -- pool lifecycle ----------------------------------------------------
@@ -287,23 +352,38 @@ class BatchScheduler:
 
     def shutdown(self, wait: bool = True) -> None:
         self._watchdog_stop.set()
+        self._claim_waiter_stop.set()
         with self._lock:
             self._shutdown = True
             self._probing = False
             pool, self._pool = self._pool, None
             timers = dict(self._timers)
             self._timers.clear()
+            waits = list(self._remote_waits.values())
+            self._remote_waits.clear()
             watchdog = self._watchdog
+            claim_waiter = self._claim_waiter
         for timer in timers.values():
             timer.cancel()
         for job_id in timers:
             job = self.job(job_id)
             if job is not None and not job.finished:
                 self._fail(job, "scheduler shutdown", "shutdown")
+        for job in waits:
+            if not job.finished:
+                self._fail(job, "scheduler shutdown", "shutdown")
         if pool is not None:
             pool.shutdown(wait=wait)
         if watchdog is not None and watchdog.is_alive():
             watchdog.join(timeout=1.0)
+        if claim_waiter is not None and claim_waiter.is_alive():
+            claim_waiter.join(timeout=1.0)
+        # Claims this process still holds would read as live (our pid)
+        # to other processes until the TTL: release them explicitly.
+        with self._lock:
+            claimed, self._claimed = set(self._claimed), set()
+        for key in claimed:
+            self.store.release(key)
 
     def __enter__(self) -> "BatchScheduler":
         return self
@@ -364,12 +444,20 @@ class BatchScheduler:
             self._recycle_pool(job.generation, count_breaker=False)
 
     # -- submission --------------------------------------------------------
-    def submit(self, request: AnalysisRequest) -> Job:
+    def submit(self, request: AnalysisRequest, *,
+               key: Optional[str] = None) -> Job:
         """Submit a request; returns a (possibly shared or already-done)
         Job.  Identical in-flight requests dedupe onto one Job; identical
-        finished requests are served from the artifact store."""
+        finished requests are served from the artifact store; a key
+        claimed by another server process parks the job on a remote wait
+        instead of recomputing.  Raises :class:`QueueFull` when admission
+        control rejects *new* work (``max_queue``); dedupes and cache
+        hits are always admitted.  ``key=`` skips re-hashing when the
+        caller (shard router) already computed the content key."""
         with self.tracer.span("submit",
                               target=request.describe()) as sp:
+            if self.shard is not None:
+                sp.tag(shard=self.shard)
             if self.fault_plan is not None and \
                     not request.options.get("fault"):
                 directive = self.fault_plan.draw()
@@ -377,7 +465,8 @@ class BatchScheduler:
                     request.options["fault"] = directive
                     self.metrics.incr("faults_injected")
                     sp.tag(fault=directive.split(":", 1)[0])
-            key = request.key()  # resolves the corpus; may raise KeyError
+            if key is None:
+                key = request_key(request)  # may raise KeyError
             deadline_s = request.options.get("deadline_s",
                                              self.default_deadline_s)
             cached = self.store.get(key)
@@ -387,12 +476,29 @@ class BatchScheduler:
                     self.metrics.incr("jobs_deduped")
                     sp.tag(cache="dedup", job=existing.id)
                     return existing
-                job = Job(request, key, deadline_s=deadline_s)
-                self._jobs[job.id] = job
-                if cached is None:
-                    self._inflight[key] = job
-                    job.mark_queued()
-                self._gc_finished_locked()
+                if cached is None and self.max_queue is not None and \
+                        len(self._inflight) >= self.max_queue:
+                    depth = len(self._inflight)
+                    shed = True
+                else:
+                    shed = False
+                    job = Job(request, key, deadline_s=deadline_s)
+                    job.shard = self.shard
+                    self._jobs[job.id] = job
+                    if cached is None:
+                        self._inflight[key] = job
+                        job.mark_queued()
+                    self._gc_finished_locked()
+            if shed:
+                # Suggest waiting out roughly one mean job latency; a
+                # cold scheduler has no sample yet, so fall back to 1s.
+                mean = self.metrics.timer_mean("job_latency")
+                retry_after_s = round(max(0.1, mean or 1.0), 2)
+                self.metrics.incr_shed("queue_full")
+                self.tracer.event("shed", reason="queue_full",
+                                  depth=depth, limit=self.max_queue)
+                sp.tag(cache="shed")
+                raise QueueFull(depth, self.max_queue, retry_after_s)
             self.metrics.incr("jobs_submitted")
             sp.tag(cache="hit" if cached is not None else "miss",
                    job=job.id)
@@ -401,6 +507,27 @@ class BatchScheduler:
                 self.metrics.incr("jobs_served_cached")
                 return job
             self._update_queue_gauge()
+            if not self.store.claim(key):
+                # Another live server process owns this key's compute:
+                # park the job; the claim waiter settles it when the
+                # artifact lands (or adopts the compute if the claim
+                # goes stale).
+                self._enter_remote_wait(job, sp)
+                return job
+            with self._lock:
+                self._claimed.add(key)
+            # Finished-while-claiming: the previous owner may have
+            # stored + released between our store.get and our claim.
+            cached = self.store.get(key)
+            if cached is not None:
+                self._release_claim(key)
+                with self._lock:
+                    self._inflight.pop(key, None)
+                job.mark_done(cached=True)
+                self.metrics.incr("jobs_served_cached")
+                self._update_queue_gauge()
+                sp.tag(cache="hit")
+                return job
             if self.inline:
                 self._run_inline(job)
             else:
@@ -408,6 +535,97 @@ class BatchScheduler:
                     self._ensure_watchdog()
                 self._dispatch(job)
             return job
+
+    # -- cross-process single-flight (remote waits) ------------------------
+    def _enter_remote_wait(self, job: Job, sp) -> None:
+        """Park a job whose key another live process is computing; the
+        claim-waiter thread settles it from the shared store."""
+        self.metrics.incr("jobs_remote_waited")
+        sp.tag(cache="remote_wait")
+        self.tracer.event("remote_wait", job=job.id, key=job.key[:12])
+        if job.deadline_s is not None:
+            # The wait burns the job's wall budget just like running
+            # would; the watchdog frees the slot if the owner wedges.
+            job.deadline_at = time.monotonic() + job.deadline_s
+            self._ensure_watchdog()
+        with self._lock:
+            self._remote_waits[job.id] = job
+        self._ensure_claim_waiter()
+
+    def _ensure_claim_waiter(self) -> None:
+        with self._lock:
+            if self._claim_waiter is not None or self._shutdown:
+                return
+            self._claim_waiter = threading.Thread(
+                target=self._claim_waiter_loop,
+                name="scheduler-claim-waiter", daemon=True)
+            thread = self._claim_waiter
+        thread.start()
+
+    def _claim_waiter_loop(self) -> None:
+        while not self._claim_waiter_stop.wait(self.claim_poll_s):
+            try:
+                self._poll_remote_waits()
+            except Exception:                   # noqa: BLE001
+                self.metrics.incr("claim_waiter_errors")
+
+    def _poll_remote_waits(self) -> None:
+        with self._lock:
+            waiting = list(self._remote_waits.values())
+        for job in waiting:
+            if job.finished:        # deadline-expired or shut down
+                with self._lock:
+                    self._remote_waits.pop(job.id, None)
+                continue
+            # ``in`` probes path existence without charging a cache
+            # miss per poll tick; the real ``get`` runs once, on hit.
+            if job.key in self.store:
+                artifact = self.store.get(job.key)
+                if artifact is not None:
+                    self._finish_remote(job)
+                    continue
+                # corrupt entry was quarantined mid-read: fall through
+                # and try to adopt the compute ourselves
+            if not self.store.claim(job.key):
+                continue            # owner still live: keep waiting
+            with self._lock:
+                self._claimed.add(job.key)
+                self._remote_waits.pop(job.id, None)
+            artifact = self.store.get(job.key)
+            if artifact is not None:    # owner finished as we claimed
+                self._release_claim(job.key)
+                self._finish_remote(job)
+                continue
+            # Stale claim broken (owner died) — adopt the computation.
+            self.metrics.incr("jobs_claim_adopted")
+            self.tracer.event("claim_adopted", job=job.id,
+                              key=job.key[:12])
+            if self.inline:
+                self._run_inline(job)
+            else:
+                if job.deadline_s is not None:
+                    self._ensure_watchdog()
+                self._dispatch(job)
+
+    def _finish_remote(self, job: Job) -> None:
+        """Settle a remote-wait job whose artifact another process
+        computed and stored."""
+        with self._lock:
+            if job.finished:
+                return
+            self._remote_waits.pop(job.id, None)
+            self._inflight.pop(job.key, None)
+            job.mark_done(cached=True)
+        self.metrics.incr("jobs_completed")
+        self.metrics.incr("jobs_remote_served")
+        self._update_queue_gauge()
+
+    def _release_claim(self, key: str) -> None:
+        with self._lock:
+            held = key in self._claimed
+            self._claimed.discard(key)
+        if held:
+            self.store.release(key)
 
     def batch(self, requests: Sequence[AnalysisRequest],
               timeout: Optional[float] = None) -> List[Optional[Dict]]:
@@ -599,6 +817,9 @@ class BatchScheduler:
             # Applied post-store so the *next* read exercises the
             # store's quarantine-and-recompute path.
             self.store.corrupt_on_disk(job.key)
+        # put-then-release ordering: a remote waiter that sees the claim
+        # gone is guaranteed to find the artifact already on disk.
+        self._release_claim(job.key)
         closed = False
         with self._lock:
             if job.finished:
@@ -616,6 +837,10 @@ class BatchScheduler:
             self.metrics.incr("breaker_closed")
             self.tracer.event("breaker_closed")
         self.metrics.incr("jobs_completed")
+        # This process actually ran the pipeline for this key (vs served
+        # cached / deduped / remote-waited) — the single-flight audits
+        # sum this across server processes and assert "exactly once".
+        self.metrics.incr("artifacts_computed")
         if job.duration_s is not None:
             # monotonic pair — immune to wall-clock steps (NTP, DST)
             self.metrics.observe("job_latency", job.duration_s)
@@ -640,10 +865,14 @@ class BatchScheduler:
                 return False
             self._inflight.pop(job.key, None)
             self._futures.pop(job.id, None)
+            self._remote_waits.pop(job.id, None)
             timer = self._timers.pop(job.id, None)
             job.mark_failed(reason, kind=kind)
         if timer is not None:
             timer.cancel()
+        # Free the cross-process claim so another process (or a local
+        # resubmit) can take over the computation.
+        self._release_claim(job.key)
         self.metrics.incr("jobs_failed")
         self.metrics.incr_failure(kind)
         self.tracer.event("job_failed", job=job.id, kind=kind)
@@ -653,7 +882,15 @@ class BatchScheduler:
     def _update_queue_gauge(self) -> None:
         with self._lock:
             depth = len(self._inflight)
-        self.metrics.gauge("queue_depth", depth)
+        # Per-shard gauge names: N shard schedulers share one metrics
+        # sink, so a single "queue_depth" would be clobbered racily.
+        name = ("queue_depth" if self.shard is None
+                else f"queue_depth_shard_{self.shard}")
+        self.metrics.gauge(name, depth)
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._inflight)
 
     # -- traces ------------------------------------------------------------
     def _record_trace(self, job: Job, spans: List[Dict]) -> None:
@@ -701,6 +938,134 @@ class BatchScheduler:
             if not job.wait(remain):
                 return False
         return True
+
+
+def shard_of(key: str, nshards: int) -> int:
+    """Shard placement by content key: the leading 64 bits of the
+    sha256 are uniform, so a plain modulus balances shards and keeps
+    every request for one key on one shard (per-shard dedupe and
+    single-flight then compose to global dedupe)."""
+    return int(key[:16], 16) % nshards
+
+
+class ShardedScheduler:
+    """N independent :class:`BatchScheduler` pools routed by content key.
+
+    Each shard owns its own process pool, in-flight table, breaker, and
+    watchdog; a request's sha256 content key picks its shard, so
+    identical requests always meet in the same in-flight table (dedupe
+    stays exact) while unrelated traffic stops contending on one
+    scheduler lock and one pool queue.  The artifact store (and its
+    cross-process claim tree) is shared by all shards."""
+
+    def __init__(self, store: Optional[ArtifactStore] = None, *,
+                 shards: int = 2,
+                 workers: Optional[int] = None,
+                 metrics: ServiceMetrics = NULL_METRICS,
+                 fault_plan: Union[FaultPlan, str, None] = None,
+                 **scheduler_kwargs):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.store = store if store is not None else ArtifactStore(None)
+        self.metrics = metrics
+        self.nshards = shards
+        if workers is None:
+            # Split the host's cores across the shard pools instead of
+            # oversubscribing cpu_count() workers per shard.
+            import os as _os
+            workers = max(1, (_os.cpu_count() or 2) // shards)
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        #: One shared (seeded) fault plan: draws follow submission
+        #: order, so single-threaded chaos harnesses stay deterministic
+        #: regardless of which shard each request routes to.
+        self.fault_plan = fault_plan
+        self.shards = [
+            BatchScheduler(self.store, metrics=metrics, workers=workers,
+                           fault_plan=fault_plan, shard=i,
+                           **scheduler_kwargs)
+            for i in range(shards)
+        ]
+        self.inline = self.shards[0].inline
+        self.default_deadline_s = self.shards[0].default_deadline_s
+        self.max_jobs = self.shards[0].max_jobs
+
+    # -- routing -----------------------------------------------------------
+    def shard_for(self, key: str) -> BatchScheduler:
+        return self.shards[shard_of(key, self.nshards)]
+
+    def submit(self, request: AnalysisRequest, *,
+               key: Optional[str] = None) -> Job:
+        if key is None:
+            key = request_key(request)
+        return self.shard_for(key).submit(request, key=key)
+
+    def batch(self, requests: Sequence[AnalysisRequest],
+              timeout: Optional[float] = None) -> List[Optional[Dict]]:
+        jobs = [self.submit(r) for r in requests]
+        self.wait(jobs, timeout=timeout)
+        return [self.artifact(job) for job in jobs]
+
+    # -- fan-in queries ----------------------------------------------------
+    def job(self, job_id: str) -> Optional[Job]:
+        for shard in self.shards:
+            job = shard.job(job_id)
+            if job is not None:
+                return job
+        return None
+
+    def jobs(self) -> List[Job]:
+        out: List[Job] = []
+        for shard in self.shards:
+            out.extend(shard.jobs())
+        return sorted(out, key=lambda j: j.id)
+
+    def trace(self, job_id: str) -> Optional[List[Dict]]:
+        for shard in self.shards:
+            spans = shard.trace(job_id)
+            if spans is not None:
+                return spans
+        return None
+
+    def artifact(self, job: Job) -> Optional[Dict]:
+        if job.state != "done":
+            return None
+        return self.store.get(job.key)
+
+    def wait(self, jobs: Sequence[Job],
+             timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        for job in jobs:
+            remain = None
+            if deadline is not None:
+                remain = max(0.0, deadline - time.monotonic())
+            if not job.wait(remain):
+                return False
+        return True
+
+    def queue_depth(self) -> int:
+        return sum(shard.queue_depth() for shard in self.shards)
+
+    def shard_stats(self) -> List[Dict]:
+        """Per-shard occupancy for ``GET /metrics`` (each depth read
+        under that shard's lock)."""
+        return [{"shard": i,
+                 "queue_depth": shard.queue_depth(),
+                 "jobs": len(shard.jobs()),
+                 "workers": shard.workers}
+                for i, shard in enumerate(self.shards)]
+
+    # -- lifecycle ---------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        for shard in self.shards:
+            shard.shutdown(wait=wait)
+
+    def __enter__(self) -> "ShardedScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
 
 
 def run_sequential(requests: Sequence[AnalysisRequest]) -> List[Dict]:

@@ -26,11 +26,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from ..obs import Tracer
-from .artifacts import ArtifactStore
+from .artifacts import ArtifactStore, canonical_json
 from .faults import FaultPlan
 from .jobs import AnalysisRequest, validate_options
 from .metrics import ServiceMetrics
-from .scheduler import BatchScheduler
+from .scheduler import BatchScheduler, QueueFull, ShardedScheduler
 
 _MAX_BODY = 4 * 1024 * 1024      # 4 MiB request-body cap
 
@@ -48,7 +48,9 @@ class AnalysisService:
                  inject: Optional[str] = None,
                  default_deadline_s: Optional[float] = None,
                  max_jobs: int = 1024,
-                 allow_faults: Optional[bool] = None):
+                 allow_faults: Optional[bool] = None,
+                 shards: int = 0,
+                 max_queue: Optional[int] = None):
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.store = store if store is not None else \
             ArtifactStore(cache_dir, metrics=self.metrics)
@@ -56,12 +58,22 @@ class AnalysisService:
         # (microseconds against seconds of analysis) and it is what makes
         # GET /trace/<job_id> and the per-phase histograms useful.
         tracer = Tracer() if trace else None
-        self.scheduler = scheduler if scheduler is not None else \
-            BatchScheduler(self.store, metrics=self.metrics,
-                           workers=workers, inline=inline, tracer=tracer,
-                           fault_plan=FaultPlan.parse(inject),
-                           default_deadline_s=default_deadline_s,
-                           max_jobs=max_jobs)
+        if scheduler is not None:
+            self.scheduler = scheduler
+        elif shards >= 1:
+            self.scheduler = ShardedScheduler(
+                self.store, shards=shards, metrics=self.metrics,
+                workers=workers, inline=inline, tracer=tracer,
+                fault_plan=FaultPlan.parse(inject),
+                default_deadline_s=default_deadline_s,
+                max_jobs=max_jobs, max_queue=max_queue)
+        else:
+            self.scheduler = BatchScheduler(
+                self.store, metrics=self.metrics,
+                workers=workers, inline=inline, tracer=tracer,
+                fault_plan=FaultPlan.parse(inject),
+                default_deadline_s=default_deadline_s,
+                max_jobs=max_jobs, max_queue=max_queue)
         #: Whether POST /jobs accepts ``options["fault"]`` chaos
         #: directives.  Default: only when injection was enabled
         #: (``--inject`` / a scheduler with a fault plan) — a production
@@ -72,12 +84,15 @@ class AnalysisService:
 
     # -- routes ------------------------------------------------------------
     def handle_get(self, path: str) -> Tuple[int, Dict]:
+        path, _, query = path.partition("?")
         parts = [p for p in path.split("/") if p]
         if parts == ["healthz"]:
             return 200, {"ok": True}
         if parts == ["metrics"]:
             snap = self.metrics.snapshot()
             snap["store"] = self.store.stats()
+            if hasattr(self.scheduler, "shard_stats"):
+                snap["shards"] = self.scheduler.shard_stats()
             return 200, snap
         if parts == ["corpus"]:
             return 200, {"workloads": _corpus_listing(),
@@ -91,6 +106,23 @@ class AnalysisService:
                 return 404, {"error": f"no job {parts[1]!r}"}
             return 200, {"job": job.to_dict(),
                          "artifact_ready": job.state == "done"}
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+            # JSON snapshot of the progress stream; the asyncio front
+            # end also serves this path as live SSE.  ``?after=N``
+            # resumes past already-seen sequence numbers.
+            job = self.scheduler.job(parts[1])
+            if job is None:
+                return 404, {"error": f"no job {parts[1]!r}"}
+            after = 0
+            for pair in query.split("&"):
+                if pair.startswith("after="):
+                    try:
+                        after = int(pair[6:])
+                    except ValueError:
+                        return 400, {"error": "after= must be an integer"}
+            return 200, {"job_id": job.id,
+                         "events": job.events_after(after),
+                         "finished": job.finished}
         if len(parts) == 2 and parts[0] == "trace":
             job = self.scheduler.job(parts[1])
             if job is None:
@@ -105,7 +137,10 @@ class AnalysisService:
             artifact = self.store.get(parts[1])
             if artifact is None:
                 return 404, {"error": f"no artifact {parts[1]!r}"}
-            return 200, artifact
+            # canonical key order: the process that computed the
+            # artifact serves the same bytes as one that loaded it
+            # from the shared disk tree
+            return 200, json.loads(canonical_json(artifact))
         return 404, {"error": f"no route GET {path!r}"}
 
     def handle_post(self, path: str, body: Dict) -> Tuple[int, Dict]:
@@ -120,6 +155,11 @@ class AnalysisService:
                     inputs=body.get("inputs"),
                     options=options)
                 job = self.scheduler.submit(request)
+            except QueueFull as exc:
+                # Load shed: the transport layer maps ``retry_after_s``
+                # to a ``Retry-After`` header alongside the 429.
+                return 429, {"error": str(exc),
+                             "retry_after_s": exc.retry_after_s}
             except (KeyError, ValueError, TypeError) as exc:
                 return 400, {"error": str(exc)}
             return 202, {"job": job.to_dict()}
@@ -166,6 +206,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        if status == 429 and "retry_after_s" in payload:
+            self.send_header("Retry-After",
+                             str(max(1, int(payload["retry_after_s"]))))
         self.end_headers()
         self.wfile.write(data)
 
@@ -174,8 +217,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.service.metrics.incr("http_requests")
         with self.service.metrics.time_phase("http_get"):
             try:
-                status, payload = self.service.handle_get(
-                    self.path.split("?", 1)[0])
+                status, payload = self.service.handle_get(self.path)
             except Exception as exc:     # noqa: BLE001
                 status, payload = 500, {"error": f"{type(exc).__name__}: "
                                                  f"{exc}"}

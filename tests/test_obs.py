@@ -208,12 +208,33 @@ def test_chrome_export_schema_is_valid():
         assert e["cat"] == "repro"
         assert "span_id" in e["args"]
     for e in meta:
-        assert e["name"] == "process_name"
+        assert e["name"] in ("process_name", "thread_name")
     names = {e["name"] for e in complete}
     assert {"parse", "build", "instrument.profile", "instrument.dyndep",
             "guru", "execute_request"} <= names
     assert names <= set(PHASES) | {"parallelize", "execute", "codegen",
                                    "parallel_exec", "snapshot", "slice"}
+
+
+def test_chrome_export_names_shard_lanes():
+    """Submit spans tagged with a shard id surface as named lanes in
+    the Chrome export, so per-shard load reads off the timeline."""
+    from repro.service import ArtifactStore, ShardedScheduler
+    tracer = Tracer()
+    with ShardedScheduler(ArtifactStore(None), shards=2, inline=True,
+                          tracer=tracer) as sched:
+        jobs = [sched.submit(AnalysisRequest(n))
+                for n in ("ora", "track", "ear")]
+        assert sched.wait(jobs, timeout=120)
+        shards_hit = {j.shard for j in jobs}
+    spans = tracer.to_dicts()
+    tagged = {s["tags"]["shard"] for s in spans
+              if s["name"] == "submit" and "shard" in (s["tags"] or {})}
+    assert tagged == shards_hit
+    doc = to_chrome(spans)
+    lanes = {e["args"]["name"] for e in doc["traceEvents"]
+             if e["name"] == "thread_name"}
+    assert lanes and lanes <= {f"shard-{i}" for i in shards_hit}
 
 
 def test_pipeline_spans_nest_under_execute_request():

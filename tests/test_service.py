@@ -349,3 +349,417 @@ def test_server_error_paths(server):
     assert status == 400 and "unknown workload" in out["error"]
     status, out = _call(server, "POST", "/jobs", {})
     assert status == 400
+
+
+# -- cross-process claim protocol ---------------------------------------------
+
+def test_claim_acquire_release_round_trip(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = "ab" * 32
+    assert store.claim(key)
+    info = store.claim_info(key)
+    assert info["pid"] == os.getpid()
+    # held claims (live pid) are not re-acquirable, even by ourselves:
+    # in-process single-flight belongs to the scheduler's dedupe table
+    assert not store.claim(key)
+    store.release(key)
+    assert store.claim_info(key) is None
+    assert store.claim(key)                          # reusable after release
+    store.release(key)
+
+
+def test_memory_only_store_claims_trivially():
+    store = ArtifactStore(None)
+    assert store.claim("ab" * 32)
+    store.release("ab" * 32)                         # no-op, no crash
+
+
+def test_stale_claim_from_dead_pid_is_broken_and_quarantined(tmp_path):
+    import subprocess
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path, metrics=metrics)
+    key = "cd" * 32
+    # fabricate a claim owned by a pid that is provably dead
+    proc = subprocess.Popen(["sleep", "0"])
+    proc.wait()
+    path = store._claim_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"pid": proc.pid, "acquired_at": 0.0}))
+    # the breaker acquires despite the existing file...
+    assert store.claim(key)
+    assert store.claim_info(key)["pid"] == os.getpid()
+    # ...and the dead claim was quarantined by rename, never unlinked
+    stale = list(path.parent.glob("*.stale.*"))
+    assert len(stale) == 1
+    assert metrics.counter("claims_stale_broken") == 1
+    assert metrics.counter("claims_acquired") == 1
+    store.release(key)
+
+
+def test_stale_claim_never_blocks_computation(tmp_path):
+    """A scheduler hitting a dead process's claim must break it and
+    compute — not park forever on a corpse."""
+    import subprocess
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path, metrics=metrics)
+    request = AnalysisRequest("ora")
+    key = request.key()
+    proc = subprocess.Popen(["sleep", "0"])
+    proc.wait()
+    path = store._claim_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"pid": proc.pid, "acquired_at": 0.0}))
+    with BatchScheduler(store, metrics=metrics, inline=True) as sched:
+        job = sched.submit(request)
+        assert sched.wait([job], timeout=120)
+        assert job.state == "done" and not job.cached
+    assert metrics.counter("claims_stale_broken") == 1
+    assert metrics.counter("artifacts_computed") == 1
+
+
+def test_live_remote_claim_parks_job_until_artifact_lands(tmp_path):
+    """A claim held by another *live* process parks the local job; when
+    the artifact appears in the shared store (and the claim is
+    released), the claim waiter settles the job without recomputing."""
+    import subprocess
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path, metrics=metrics)
+    request = AnalysisRequest("ora")
+    key = request.key()
+    artifact = execute_request(request)
+    # a live foreign owner: a sleeping child process
+    proc = subprocess.Popen(["sleep", "60"])
+    try:
+        path = store._claim_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"pid": proc.pid,
+                                    "acquired_at": 0.0}))
+        with BatchScheduler(store, metrics=metrics, inline=True,
+                            claim_poll_s=0.01) as sched:
+            job = sched.submit(request)
+            assert job.state == "queued"             # parked, not running
+            assert metrics.counter("jobs_remote_waited") == 1
+            # the "other process" finishes: put artifact, release claim
+            ArtifactStore(tmp_path).put(key, artifact)
+            path.unlink()
+            assert sched.wait([job], timeout=30)
+            assert job.state == "done" and job.cached
+            assert sched.artifact(job) == artifact
+    finally:
+        proc.kill()
+        proc.wait()
+    assert metrics.counter("jobs_remote_served") == 1
+    assert metrics.counter("artifacts_computed") == 0
+
+
+def test_two_process_single_flight_computes_exactly_once(tmp_path):
+    """Two real server processes sharing one cache dir race on the same
+    key: the claim file must make exactly one of them compute, with
+    bit-identical artifacts served to both."""
+    import subprocess
+    import sys
+    child = (
+        "import sys, json, hashlib\n"
+        "from repro.service import (ArtifactStore, ServiceMetrics,\n"
+        "                           BatchScheduler, AnalysisRequest,\n"
+        "                           canonical_json)\n"
+        "m = ServiceMetrics()\n"
+        "store = ArtifactStore(sys.argv[1], metrics=m)\n"
+        "with BatchScheduler(store, metrics=m, inline=True,\n"
+        "                    claim_poll_s=0.01) as sched:\n"
+        "    job = sched.submit(AnalysisRequest('ora'))\n"
+        "    assert sched.wait([job], timeout=180), 'timed out'\n"
+        "    art = sched.artifact(job)\n"
+        "print(json.dumps({\n"
+        "    'computed': m.snapshot()['counters']\n"
+        "        .get('artifacts_computed', 0),\n"
+        "    'state': job.state,\n"
+        "    'sha': hashlib.sha256(\n"
+        "        canonical_json(art).encode()).hexdigest(),\n"
+        "}))\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [subprocess.Popen([sys.executable, "-c", child,
+                               str(tmp_path)],
+                              stdout=subprocess.PIPE, env=env)
+             for _ in range(2)]
+    results = []
+    for proc in procs:
+        out, _ = proc.communicate(timeout=240)
+        assert proc.returncode == 0
+        results.append(json.loads(out))
+    assert all(r["state"] == "done" for r in results)
+    assert sum(r["computed"] for r in results) == 1  # exactly once
+    assert results[0]["sha"] == results[1]["sha"]    # bit-identical
+
+
+# -- admission control --------------------------------------------------------
+
+def test_queue_full_sheds_new_work_but_admits_dedupe_and_hits(tmp_path):
+    from repro.service import QueueFull
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path, metrics=metrics)
+    with BatchScheduler(store, metrics=metrics, workers=1,
+                        max_queue=1) as sched:
+        slow = AnalysisRequest("ora",
+                               options={"fault": "slow-start:1.0"})
+        job = sched.submit(slow)                     # fills the queue
+        with pytest.raises(QueueFull) as exc:
+            sched.submit(AnalysisRequest("track"))   # new key: shed
+        assert exc.value.retry_after_s > 0
+        assert metrics.counter("shed_total") == 1
+        assert metrics.counter("shed_queue_full") == 1
+        # identical in-flight request dedupes — always admitted
+        again = sched.submit(AnalysisRequest(
+            "ora", options={"fault": "slow-start:1.0"}))
+        assert again is job
+        assert sched.wait([job], timeout=120)
+        # queue drained: new work admitted again
+        ok = sched.submit(AnalysisRequest("ora"))    # cache hit path
+        assert ok.state == "done" and ok.cached
+
+
+def test_queue_full_maps_to_429_with_retry_after():
+    from repro.service import AnalysisService
+    service = AnalysisService(inline=True, max_queue=0)
+    try:
+        status, payload = service.handle_post("/jobs",
+                                              {"workload": "ora"})
+        assert status == 429
+        assert payload["retry_after_s"] > 0
+        assert "queue full" in payload["error"]
+    finally:
+        service.close()
+
+
+# -- sharded scheduler --------------------------------------------------------
+
+def test_shard_of_is_deterministic_and_in_range():
+    from repro.service import shard_of
+    keys = [artifact_key(SRC, f"p{i}", [1.0], {}) for i in range(64)]
+    for key in keys:
+        shard = shard_of(key, 4)
+        assert 0 <= shard < 4
+        assert shard == shard_of(key, 4)
+    # keys spread over shards (sha256 uniformity; 64 keys, 4 shards)
+    assert len({shard_of(k, 4) for k in keys}) == 4
+
+
+def test_sharded_scheduler_routes_dedupes_and_merges(tmp_path):
+    from repro.service import ShardedScheduler, request_key, shard_of
+    metrics = ServiceMetrics()
+    store = ArtifactStore(tmp_path, metrics=metrics)
+    with ShardedScheduler(store, shards=2, metrics=metrics,
+                          inline=True) as sched:
+        reqs = [AnalysisRequest(n) for n in ("ora", "track", "ear")]
+        jobs = [sched.submit(r) for r in reqs]
+        assert sched.wait(jobs, timeout=300)
+        for req, job in zip(reqs, jobs):
+            assert job.state == "done"
+            # routed by content key
+            assert job.shard == shard_of(request_key(req), 2)
+            # fan-in queries find jobs on any shard
+            assert sched.job(job.id) is job
+            assert sched.artifact(job) is not None
+        # identical resubmit dedupes/caches on the same shard
+        again = sched.submit(AnalysisRequest("ora"))
+        assert again.state == "done" and again.cached
+        assert again.shard == jobs[0].shard
+        assert [j.id for j in sched.jobs()] == \
+            sorted(j.id for j in list(jobs) + [again])
+        stats = sched.shard_stats()
+        assert [s["shard"] for s in stats] == [0, 1]
+        assert all(s["queue_depth"] == 0 for s in stats)
+    gauges = metrics.snapshot()["gauges"]
+    assert "queue_depth_shard_0" in gauges or \
+        "queue_depth_shard_1" in gauges
+    assert "queue_depth" not in gauges               # no clobbered global
+
+
+def test_sharded_artifacts_bit_identical_to_sequential(tmp_path):
+    from repro.service import ShardedScheduler
+    reqs = [AnalysisRequest(n) for n in SMALL[:3]]
+    expected = run_sequential([AnalysisRequest(n) for n in SMALL[:3]])
+    with ShardedScheduler(ArtifactStore(tmp_path), shards=3,
+                          inline=True) as sched:
+        got = sched.batch(reqs, timeout=600)
+    for art, ref in zip(got, expected):
+        assert canonical_json(art) == canonical_json(ref)
+
+
+# -- job progress events ------------------------------------------------------
+
+def test_job_events_sequence_and_terminal_ordering(tmp_path):
+    metrics = ServiceMetrics()
+    with BatchScheduler(ArtifactStore(tmp_path), metrics=metrics,
+                        inline=True) as sched:
+        job = sched.submit(AnalysisRequest("ora"))
+        assert sched.wait([job], timeout=120)
+    names = [e["event"] for e in job.events_after(0)]
+    assert names == ["submitted", "queued", "running", "done"]
+    seqs = [e["seq"] for e in job.events_after(0)]
+    assert seqs == [1, 2, 3, 4]
+    # a reader that saw seq 2 resumes with only the missing tail
+    tail = job.events_after(2)
+    assert [e["event"] for e in tail] == ["running", "done"]
+    # terminal invariant: finished implies the terminal event is visible
+    assert job.finished and names[-1] == "done"
+    assert job.to_dict()["finished_at"] is not None
+
+
+# -- metrics consistency ------------------------------------------------------
+
+def test_metrics_snapshot_is_consistent_under_concurrent_writers():
+    """Failure/shed taxonomy buckets must always sum to their totals in
+    any snapshot taken while writer threads hammer the counters."""
+    import threading
+    metrics = ServiceMetrics()
+    stop = threading.Event()
+
+    def writer(kind):
+        while not stop.is_set():
+            metrics.incr_failure(kind)
+            metrics.incr_shed(kind)
+
+    threads = [threading.Thread(target=writer, args=(k,), daemon=True)
+               for k in ("crash", "deadline", "transient", "error")]
+    for t in threads:
+        t.start()
+    try:
+        for _ in range(200):
+            snap = metrics.snapshot()["counters"]
+            fails = sum(v for k, v in snap.items()
+                        if k.startswith("failures_")
+                        and k != "failures_total")
+            sheds = sum(v for k, v in snap.items()
+                        if k.startswith("shed_") and k != "shed_total")
+            assert fails == snap.get("failures_total", 0)
+            assert sheds == snap.get("shed_total", 0)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+
+
+# -- cross-job proc cache reuse -----------------------------------------------
+
+def test_full_jobs_reuse_proc_cache_across_schedulers(tmp_path):
+    """A second server process (fresh scheduler, same cache dir) running
+    a *full* execution job must hit the per-procedure summary cache the
+    first one filled — and produce a bit-identical artifact."""
+    ref = execute_request(AnalysisRequest("ora"))    # cache-less reference
+    cold = ServiceMetrics()
+    with BatchScheduler(ArtifactStore(tmp_path, metrics=cold),
+                        metrics=cold, inline=True) as sched:
+        job = sched.submit(AnalysisRequest("ora"))
+        assert sched.wait([job], timeout=120)
+        first = sched.artifact(job)
+    assert cold.counter("proc_cache_miss") > 0
+    assert cold.counter("proc_cache_hit") == 0
+    warm = ServiceMetrics()
+    store = ArtifactStore(tmp_path, metrics=warm)
+    store.clear()              # drop job artifacts; proc/ subtree remains
+    with BatchScheduler(store, metrics=warm, inline=True) as sched:
+        job = sched.submit(AnalysisRequest("ora"))
+        assert sched.wait([job], timeout=120)
+        second = sched.artifact(job)
+        assert not job.cached                        # actually recomputed
+    assert warm.counter("proc_cache_hit") > 0        # ...from warm summaries
+    assert canonical_json(first) == canonical_json(second) \
+        == canonical_json(ref)
+
+
+# -- asyncio front end --------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def aserver():
+    from repro.service import AsyncAnalysisServer
+    with AsyncAnalysisServer(inline=True, shards=2) as srv:
+        yield srv
+
+
+def test_async_server_api_is_byte_compatible(aserver):
+    status, out = _call(aserver, "GET", "/healthz")
+    assert (status, out) == (200, {"ok": True})
+    status, out = _call(aserver, "POST", "/jobs", {"workload": "ora"})
+    assert status == 202
+    job = out["job"]
+    assert job["state"] == "done" and job["shard"] in (0, 1)
+    status, out = _call(aserver, "GET", f"/jobs/{job['id']}")
+    assert status == 200 and out["artifact_ready"]
+    status, art = _call(aserver, "GET", f"/artifacts/{job['key']}")
+    assert status == 200 and art["execution"]["speedup"] > 1.0
+    status, out = _call(aserver, "GET", "/corpus")
+    assert status == 200
+    assert {"mdg", "hydro", "ora"} <= {w["name"] for w in out["workloads"]}
+    status, out = _call(aserver, "GET", "/metrics")
+    assert status == 200 and "cache_hit_rate" in out
+    assert [s["shard"] for s in out["shards"]] == [0, 1]
+    # error paths behave like the threaded server
+    assert _call(aserver, "GET", "/jobs/job-999999")[0] == 404
+    assert _call(aserver, "GET", "/no/such/route")[0] == 404
+    status, out = _call(aserver, "POST", "/jobs", {"workload": "nope"})
+    assert status == 400 and "unknown workload" in out["error"]
+
+
+def test_async_server_events_snapshot_and_after(aserver):
+    status, out = _call(aserver, "POST", "/jobs", {"workload": "track"})
+    assert status == 202
+    jid = out["job"]["id"]
+    status, out = _call(aserver, "GET", f"/jobs/{jid}/events")
+    assert status == 200 and out["finished"]
+    names = [e["event"] for e in out["events"]]
+    assert names[0] == "submitted" and names[-1] in ("done", "failed")
+    seq = out["events"][1]["seq"]
+    status, out = _call(aserver, "GET",
+                        f"/jobs/{jid}/events?after={seq}")
+    assert status == 200
+    assert all(e["seq"] > seq for e in out["events"])
+
+
+def test_async_server_streams_sse_events(aserver):
+    import http.client
+    status, out = _call(aserver, "POST", "/jobs", {"workload": "ora"})
+    jid = out["job"]["id"]
+    conn = http.client.HTTPConnection(aserver.host, aserver.port,
+                                      timeout=30)
+    try:
+        conn.request("GET", f"/jobs/{jid}/events",
+                     headers={"Accept": "text/event-stream"})
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type") == "text/event-stream"
+        body = resp.read().decode()
+    finally:
+        conn.close()
+    frames = [json.loads(line[6:]) for line in body.splitlines()
+              if line.startswith("data: ") and line != "data: {}"]
+    names = [f["event"] for f in frames]
+    assert names[0] == "submitted" and names[-1] == "done"
+    assert [f["seq"] for f in frames] == \
+        sorted(f["seq"] for f in frames)
+    assert "event: end" in body
+
+
+def test_async_server_sheds_with_429_and_retry_after():
+    import http.client
+    from repro.service import AsyncAnalysisServer
+    with AsyncAnalysisServer(inline=True, shards=2,
+                             max_queue=0) as srv:
+        conn = http.client.HTTPConnection(srv.host, srv.port,
+                                          timeout=30)
+        try:
+            conn.request("POST", "/jobs",
+                         body=json.dumps({"workload": "ora"}),
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            assert resp.status == 429
+            assert int(resp.getheader("Retry-After")) >= 1
+            payload = json.loads(resp.read())
+            assert payload["retry_after_s"] > 0
+        finally:
+            conn.close()
+        assert srv.service.metrics.counter("shed_total") == 1
